@@ -1,0 +1,36 @@
+//! Behavioural simulators of the comparison platforms.
+//!
+//! The paper's cross-platform evaluation (§4.6, Figure 14, Table 2) pits
+//! I-GCN against prior GCN accelerators, an SpMM accelerator, and
+//! PyG/DGL software stacks on server CPUs and GPUs. This crate models
+//! each of them at the dataflow level, sharing the
+//! [`igcn_sim::GcnAccelerator`] trait so the Figure 14 harness iterates
+//! one list:
+//!
+//! * [`awbgcn::AwbGcn`] — PUSH-column-wise with runtime workload
+//!   autotuning (MICRO'20): sparsity-aware compute, result-matrix
+//!   spill passes over the adjacency when `n × h` exceeds on-chip SRAM;
+//! * [`hygcn::HyGcn`] — hybrid PULL architecture with window-based
+//!   sparsity elimination (HPCA'20): aggregation-first over raw features,
+//!   dense systolic combination;
+//! * [`sigma::Sigma`] — flexible-interconnect sparse GEMM engine
+//!   (HPCA'20): high MAC utilization but no graph-aware locality;
+//! * [`platform`] — calibrated roofline + framework-overhead models of
+//!   the PyG/DGL CPU and GPU baselines;
+//! * [`methods`] — the measured PULL/PUSH/islandization comparison behind
+//!   Table 1.
+//!
+//! Model constants are calibrated to published results (each module
+//! documents its calibration anchors); the reproduction target is the
+//! *shape* of Figure 14 and Table 2, not absolute numbers.
+
+pub mod awbgcn;
+pub mod hygcn;
+pub mod methods;
+pub mod platform;
+pub mod sigma;
+
+pub use awbgcn::AwbGcn;
+pub use hygcn::HyGcn;
+pub use platform::{Platform, PlatformKind};
+pub use sigma::Sigma;

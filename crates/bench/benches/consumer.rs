@@ -1,0 +1,48 @@
+//! Criterion bench: Island Consumer layer execution.
+//!
+//! Measures the software island-granular layer execution with and without
+//! redundancy removal, and across pre-aggregation window widths `k` — the
+//! ablations behind Figure 10 and the §3.3.1 design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use igcn_core::consumer::{IslandConsumer, LayerInput};
+use igcn_core::{islandize, ConsumerConfig, IslandizationConfig};
+use igcn_gnn::Activation;
+use igcn_graph::generate::HubIslandConfig;
+use igcn_graph::SparseFeatures;
+use igcn_linalg::{DenseMatrix, GcnNormalization};
+
+fn bench_consumer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("island_consumer");
+    group.sample_size(20);
+    let g = HubIslandConfig::new(4_000, 160).island_density(0.5).generate(6);
+    let partition = islandize(&g.graph, &IslandizationConfig::default());
+    let x = SparseFeatures::random(4_000, 64, 0.05, 7);
+    let w = DenseMatrix::from_vec(64, 16, vec![0.1f32; 64 * 16]);
+    let norm = GcnNormalization::symmetric(&g.graph);
+
+    for redundancy in [true, false] {
+        let cfg = ConsumerConfig::default().with_redundancy_removal(redundancy);
+        let consumer = IslandConsumer::new(&g.graph, &partition, cfg);
+        let label = if redundancy { "with_reuse" } else { "no_reuse" };
+        group.bench_function(BenchmarkId::new("layer", label), |b| {
+            b.iter(|| consumer.execute_layer(LayerInput::Sparse(&x), &w, &norm, Activation::Relu))
+        });
+    }
+    for k in [2usize, 4, 8] {
+        let cfg = ConsumerConfig::default().with_k(k);
+        let consumer = IslandConsumer::new(&g.graph, &partition, cfg);
+        group.bench_function(BenchmarkId::new("k", k), |b| {
+            b.iter(|| consumer.execute_layer(LayerInput::Sparse(&x), &w, &norm, Activation::Relu))
+        });
+    }
+    group.bench_function("account_only", |b| {
+        let consumer = IslandConsumer::new(&g.graph, &partition, ConsumerConfig::default());
+        b.iter(|| consumer.account_layer(LayerInput::Sparse(&x), 16, &norm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_consumer);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: Island Locator throughput.
+//!
+//! Measures the software islandization pass (Algorithms 1–4 under
+//! deterministic lock-step) across graph sizes and community strengths —
+//! the cost the hardware pays once per graph and overlaps with layer 0.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use igcn_core::{islandize, IslandizationConfig};
+use igcn_graph::generate::HubIslandConfig;
+
+fn bench_islandization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("islandization");
+    group.sample_size(20);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let g = HubIslandConfig::new(n, n / 25).noise_fraction(0.02).generate(7);
+        group.bench_with_input(BenchmarkId::new("hub_island", n), &g.graph, |b, graph| {
+            b.iter(|| islandize(graph, &IslandizationConfig::default()))
+        });
+    }
+    // Community strength sweep at fixed size.
+    for &noise in &[0.0f64, 0.1, 0.3] {
+        let g = HubIslandConfig::new(4_000, 160).noise_fraction(noise).generate(9);
+        group.bench_with_input(
+            BenchmarkId::new("noise", format!("{noise:.1}")),
+            &g.graph,
+            |b, graph| b.iter(|| islandize(graph, &IslandizationConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpbfs_engines");
+    group.sample_size(20);
+    let g = HubIslandConfig::new(8_000, 320).generate(11);
+    for &engines in &[1usize, 8, 64] {
+        let cfg = IslandizationConfig::default().with_engines(engines);
+        group.bench_with_input(BenchmarkId::from_parameter(engines), &cfg, |b, cfg| {
+            b.iter(|| islandize(&g.graph, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_islandization, bench_engine_scaling);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: reordering-algorithm cost (Figure 12's offline side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use igcn_graph::generate::HubIslandConfig;
+use igcn_reorder::{figure12_baselines, Rcm, Reorderer, SlashBurn};
+
+fn bench_reorderers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(15);
+    let g = HubIslandConfig::new(3_000, 120).generate(8);
+    for r in figure12_baselines() {
+        group.bench_function(BenchmarkId::from_parameter(r.name()), |b| {
+            b.iter(|| r.reorder(&g.graph))
+        });
+    }
+    group.bench_function("slashburn", |b| {
+        let r = SlashBurn::default();
+        b.iter(|| r.reorder(&g.graph))
+    });
+    group.bench_function("rcm", |b| b.iter(|| Rcm.reorder(&g.graph)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorderers);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Minimal flag parsing for the harness binaries.
+
+/// Parsed common flags of a harness binary.
+///
+/// Recognised flags:
+///
+/// * `--scale <f>` — override the Reddit stand-in scale (default 0.04);
+/// * `--seed <n>` — generator seed (default 42);
+/// * `--quick` — halve every dataset's scale for smoke runs;
+/// * `--part <name>` — sub-experiment selector (binary-specific);
+/// * `--datasets a,b,c` — restrict to a subset by id
+///   (`cora,citeseer,pubmed,nell,reddit`).
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Reddit scale override.
+    pub reddit_scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Smoke-run mode.
+    pub quick: bool,
+    /// Sub-experiment selector.
+    pub part: Option<String>,
+    /// Dataset id filter (empty = all).
+    pub datasets: Vec<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            reddit_scale: 0.04,
+            seed: 42,
+            quick: false,
+            part: None,
+            datasets: Vec::new(),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale requires a value");
+                    out.reddit_scale = v.parse().expect("--scale value must be a float");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed requires a value");
+                    out.seed = v.parse().expect("--seed value must be an integer");
+                }
+                "--quick" => out.quick = true,
+                "--part" => {
+                    out.part = Some(it.next().expect("--part requires a value"));
+                }
+                "--datasets" => {
+                    let v = it.next().expect("--datasets requires a value");
+                    out.datasets = v.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --scale <f> --seed <n> --quick \
+                     --part <name> --datasets a,b,c"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Whether dataset `id` is selected.
+    pub fn wants(&self, id: &str) -> bool {
+        self.datasets.is_empty() || self.datasets.iter().any(|d| d == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 42);
+        assert!(!a.quick);
+        assert!(a.wants("cora"));
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--scale", "0.1", "--seed", "7", "--quick", "--part", "speedup"]);
+        assert!((a.reddit_scale - 0.1).abs() < 1e-12);
+        assert_eq!(a.seed, 7);
+        assert!(a.quick);
+        assert_eq!(a.part.as_deref(), Some("speedup"));
+    }
+
+    #[test]
+    fn dataset_filter() {
+        let a = parse(&["--datasets", "cora,nell"]);
+        assert!(a.wants("cora"));
+        assert!(a.wants("nell"));
+        assert!(!a.wants("reddit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--bogus"]);
+    }
+}

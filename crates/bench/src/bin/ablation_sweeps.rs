@@ -1,0 +1,133 @@
+//! Ablation sweeps over the design parameters DESIGN.md calls out.
+//!
+//! Four sweeps on a fixed Cora-scale workload:
+//!
+//! * `c_max` — the island size bound (buffer size vs closure success);
+//! * `k` — the pre-aggregation window width (pruning vs pre-agg cost);
+//! * `P2` — TP-BFS engine count (locator cycles, conflict rate);
+//! * pre-aggregation policy and redundancy removal on/off.
+//!
+//! Run: `cargo run --release -p igcn-bench --bin ablation_sweeps`
+
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{write_result, HarnessArgs, Table};
+use igcn_core::config::PreaggPolicy;
+use igcn_core::{ConsumerConfig, IGcnEngine, IslandLocator, IslandizationConfig};
+use igcn_gnn::{GnnKind, GnnModel, ModelConfig};
+use igcn_graph::datasets::Dataset;
+use igcn_sim::{HardwareConfig, IGcnAccelerator};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = if args.quick { 0.25 } else { 1.0 };
+    let data = Dataset::Cora.generate_scaled(scale, args.seed);
+    let model = GnnModel::for_dataset(Dataset::Cora, GnnKind::Gcn, ModelConfig::Algo);
+    let accelerator = IGcnAccelerator::new(HardwareConfig::paper_default());
+
+    // --- c_max sweep. ---
+    let mut cmax_table = Table::new(vec![
+        "c_max",
+        "islands",
+        "hub %",
+        "overflow drops",
+        "agg pruning %",
+    ]);
+    for c_max in [8usize, 16, 32, 64, 128] {
+        let icfg = IslandizationConfig::default().with_c_max(c_max);
+        let engine = IGcnEngine::new(&data.graph, icfg, ConsumerConfig::default()).unwrap();
+        let stats = engine.account(&data.features, &model);
+        cmax_table.row(vec![
+            c_max.to_string(),
+            engine.partition().num_islands().to_string(),
+            fmt_sig(engine.partition().hub_fraction() * 100.0),
+            stats.locator.tasks_dropped_overflow.to_string(),
+            fmt_sig(stats.aggregation_pruning_rate() * 100.0),
+        ]);
+    }
+    println!("\n# Ablation: island size bound c_max (Cora, GCN-algo)\n");
+    println!("{}", cmax_table.to_markdown());
+
+    // --- k sweep. ---
+    let mut k_table = Table::new(vec![
+        "k",
+        "agg pruning %",
+        "windows reused",
+        "preagg adds",
+        "sim latency (µs)",
+    ]);
+    for k in [2usize, 4, 8, 16] {
+        let engine = IGcnEngine::new(
+            &data.graph,
+            IslandizationConfig::default(),
+            ConsumerConfig::default().with_k(k),
+        )
+        .unwrap();
+        let stats = engine.account(&data.features, &model);
+        let report = accelerator.report_from_stats(&stats);
+        let reused: u64 = stats.layers.iter().map(|l| l.aggregation.windows_reused).sum();
+        let preagg: u64 = stats.layers.iter().map(|l| l.aggregation.preagg_vector_adds).sum();
+        k_table.row(vec![
+            k.to_string(),
+            fmt_sig(stats.aggregation_pruning_rate() * 100.0),
+            reused.to_string(),
+            preagg.to_string(),
+            fmt_sig(report.latency_us()),
+        ]);
+    }
+    println!("\n# Ablation: pre-aggregation window k\n");
+    println!("{}", k_table.to_markdown());
+
+    // --- P2 engine sweep. ---
+    let mut p2_table = Table::new(vec![
+        "TP-BFS engines",
+        "locator cycles",
+        "conflict drops",
+        "islands",
+    ]);
+    for engines in [1usize, 4, 16, 64, 256] {
+        let icfg = IslandizationConfig::default().with_engines(engines);
+        let (partition, stats) = IslandLocator::new(&data.graph, &icfg).run().unwrap();
+        p2_table.row(vec![
+            engines.to_string(),
+            stats.virtual_cycles.to_string(),
+            stats.tasks_dropped_conflict.to_string(),
+            partition.num_islands().to_string(),
+        ]);
+    }
+    println!("\n# Ablation: TP-BFS parallelism P2\n");
+    println!("{}", p2_table.to_markdown());
+
+    // --- Redundancy removal / pre-aggregation policy. ---
+    let mut policy_table = Table::new(vec!["configuration", "agg pruning %", "executed vec ops"]);
+    let configs: Vec<(&str, ConsumerConfig)> = vec![
+        ("reuse on, eager preagg", ConsumerConfig::default()),
+        (
+            "reuse on, lazy preagg",
+            ConsumerConfig::default().with_preagg(PreaggPolicy::Lazy),
+        ),
+        (
+            "reuse off (ablation)",
+            ConsumerConfig::default().with_redundancy_removal(false),
+        ),
+    ];
+    for (label, ccfg) in configs {
+        let engine =
+            IGcnEngine::new(&data.graph, IslandizationConfig::default(), ccfg).unwrap();
+        let stats = engine.account(&data.features, &model);
+        let executed: u64 =
+            stats.layers.iter().map(|l| l.aggregation.executed_vector_ops()).sum();
+        policy_table.row(vec![
+            label.to_string(),
+            fmt_sig(stats.aggregation_pruning_rate() * 100.0),
+            executed.to_string(),
+        ]);
+    }
+    println!("\n# Ablation: redundancy-removal policies\n");
+    println!("{}", policy_table.to_markdown());
+
+    write_result("ablation_cmax.csv", cmax_table.to_csv().as_bytes());
+    write_result("ablation_k.csv", k_table.to_csv().as_bytes());
+    write_result("ablation_p2.csv", p2_table.to_csv().as_bytes());
+    let path = write_result("ablation_policy.csv", policy_table.to_csv().as_bytes());
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,60 @@
+//! Figure 11: hardware consumption breakdown of I-GCN.
+//!
+//! Regenerates the ALM breakdown of an I-GCN with 4K MACs and 64 TP-BFS
+//! engines. The paper reports Island Locator ≈ 34% and Island Consumer
+//! ≈ 66% of the accelerator; the parametric area model reproduces the
+//! split and exposes the scaling knobs (P1, P2, #MACs, #PEs).
+//!
+//! Run: `cargo run --release -p igcn-bench --bin fig11_area`
+
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{write_result, HarnessArgs, Table};
+use igcn_sim::{AreaModel, HardwareConfig};
+
+fn main() {
+    let _args = HarnessArgs::parse();
+    let hw = HardwareConfig::paper_default();
+    let breakdown = AreaModel::fpga_default().breakdown(&hw);
+
+    let mut table = Table::new(vec!["component", "module", "ALMs (k)", "% of total"]);
+    let total = breakdown.total_alms();
+    let locator_components = ["Hub Detector (FIFOs + filters)", "TP-BFS engines",
+        "TP-BFS task queues", "Island node tables (PR/CR-INT)"];
+    for (name, alms) in breakdown.rows() {
+        let module = if locator_components.contains(&name) {
+            "Island Locator"
+        } else {
+            "Island Consumer"
+        };
+        table.row(vec![
+            name.to_string(),
+            module.to_string(),
+            fmt_sig(alms / 1e3),
+            fmt_sig(alms / total * 100.0),
+        ]);
+    }
+    println!("\n# Figure 11: hardware consumption breakdown (4K MACs, 64 TP-BFS engines)\n");
+    println!("{}", table.to_markdown());
+    println!(
+        "Island Locator: {:.1}% (paper: 34%) — Island Consumer: {:.1}% (paper: 66%)",
+        breakdown.locator_fraction() * 100.0,
+        (1.0 - breakdown.locator_fraction()) * 100.0
+    );
+
+    // Scaling ablation: how the split moves with engine count.
+    let mut scaling = Table::new(vec!["TP-BFS engines", "locator %", "total ALMs (k)"]);
+    for engines in [16, 32, 64, 128] {
+        let b = AreaModel::fpga_default()
+            .breakdown(&HardwareConfig { tpbfs_engines: engines, ..hw });
+        scaling.row(vec![
+            engines.to_string(),
+            fmt_sig(b.locator_fraction() * 100.0),
+            fmt_sig(b.total_alms() / 1e3),
+        ]);
+    }
+    println!("\n## Locator share vs engine count (ablation)\n\n{}", scaling.to_markdown());
+
+    write_result("fig11_area.csv", table.to_csv().as_bytes());
+    let path = write_result("fig11_scaling.csv", scaling.to_csv().as_bytes());
+    eprintln!("wrote {}", path.display());
+}

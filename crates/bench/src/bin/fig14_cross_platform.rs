@@ -1,0 +1,171 @@
+//! Figure 14: cross-platform comparison.
+//!
+//! Part (A) — normalised off-chip data access of I-GCN vs AWB-GCN, HyGCN
+//! and PyG-CPU (assuming adjacency and features start off-chip, §4.6.1).
+//! Part (B) — end-to-end latency speedups of I-GCN over the software
+//! stacks, SIGMA and the prior GCN accelerators.
+//!
+//! Run:
+//! `cargo run --release -p igcn-bench --bin fig14_cross_platform -- --part traffic`
+//! `cargo run --release -p igcn-bench --bin fig14_cross_platform -- --part speedup`
+//! (no `--part` runs both)
+
+use igcn_baselines::{AwbGcn, HyGcn, Platform, PlatformKind, Sigma};
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{standard_suite, write_result, HarnessArgs, Table};
+use igcn_gnn::{GnnKind, GnnModel, ModelConfig};
+use igcn_sim::{GcnAccelerator, HardwareConfig, IGcnAccelerator};
+
+fn traffic_part(args: &HarnessArgs) {
+    let suite = standard_suite(args);
+    let hw = HardwareConfig::paper_default();
+    let platforms: Vec<Box<dyn GcnAccelerator>> = vec![
+        Box::new(IGcnAccelerator::new(hw)),
+        Box::new(AwbGcn::new(hw)),
+        Box::new(HyGcn::paper_config()),
+        Box::new(Platform::new(PlatformKind::PygCpuE5_2680)),
+    ];
+    for config in [ModelConfig::Algo, ModelConfig::Hy] {
+        let mut table = Table::new(vec![
+            "dataset",
+            "platform",
+            "off-chip (MB)",
+            "normalized (I-GCN = 1)",
+        ]);
+        for run in &suite {
+            let model = GnnModel::for_dataset(run.dataset, GnnKind::Gcn, config);
+            let mut base: Option<f64> = None;
+            for p in &platforms {
+                eprintln!(
+                    "[fig14A] {} on {} (GCN-{})...",
+                    p.name(),
+                    run.dataset,
+                    config.id()
+                );
+                let r = p.simulate(&run.data.graph, &run.data.features, &model);
+                let mb = r.offchip_bytes as f64 / 1e6;
+                let norm = match base {
+                    None => {
+                        base = Some(mb);
+                        1.0
+                    }
+                    Some(b) => mb / b,
+                };
+                table.row(vec![
+                    run.dataset.to_string(),
+                    p.name(),
+                    fmt_sig(mb),
+                    fmt_sig(norm),
+                ]);
+            }
+        }
+        println!(
+            "\n# Figure 14(A): normalized off-chip data access (GCN-{})\n",
+            config.id()
+        );
+        println!("{}", table.to_markdown());
+        write_result(
+            &format!("fig14a_traffic_{}.csv", config.id()),
+            table.to_csv().as_bytes(),
+        );
+    }
+}
+
+fn speedup_part(args: &HarnessArgs) {
+    let suite = standard_suite(args);
+    let hw = HardwareConfig::paper_default();
+    let igcn = IGcnAccelerator::new(hw);
+    let baselines: Vec<Box<dyn GcnAccelerator>> = vec![
+        Box::new(Platform::new(PlatformKind::PygCpuE5_2680)),
+        Box::new(Platform::new(PlatformKind::DglCpuE5_2683)),
+        Box::new(Platform::new(PlatformKind::PygGpuV100)),
+        Box::new(Platform::new(PlatformKind::PygGpuRtx8000)),
+        Box::new(Platform::new(PlatformKind::DglGpuV100)),
+        Box::new(Sigma::paper_config()),
+        Box::new(HyGcn::paper_config()),
+        Box::new(AwbGcn::new(hw)),
+    ];
+    let models: Vec<(GnnKind, ModelConfig)> = vec![
+        (GnnKind::Gcn, ModelConfig::Algo),
+        (GnnKind::Gcn, ModelConfig::Hy),
+        (GnnKind::GraphSage, ModelConfig::Algo),
+        (GnnKind::Gin, ModelConfig::Hy),
+    ];
+    let mut table = Table::new(vec![
+        "model",
+        "dataset",
+        "platform",
+        "latency (µs)",
+        "I-GCN speedup",
+    ]);
+    let mut geo: std::collections::HashMap<String, (f64, u32)> = std::collections::HashMap::new();
+    for (kind, config) in &models {
+        for run in &suite {
+            let model = GnnModel::for_dataset(run.dataset, *kind, *config);
+            let label = model.label(*config);
+            eprintln!("[fig14B] I-GCN on {} ({label})...", run.dataset);
+            let ours = igcn.simulate(&run.data.graph, &run.data.features, &model);
+            table.row(vec![
+                label.clone(),
+                run.dataset.to_string(),
+                "I-GCN".to_string(),
+                fmt_sig(ours.latency_us()),
+                "1.00".to_string(),
+            ]);
+            for b in &baselines {
+                let r = b.simulate(&run.data.graph, &run.data.features, &model);
+                let speedup = ours.speedup_over(&r);
+                let entry = geo.entry(b.name()).or_insert((0.0, 0));
+                entry.0 += speedup.ln();
+                entry.1 += 1;
+                table.row(vec![
+                    label.clone(),
+                    run.dataset.to_string(),
+                    b.name(),
+                    fmt_sig(r.latency_us()),
+                    fmt_sig(speedup),
+                ]);
+            }
+        }
+    }
+    println!("\n# Figure 14(B): end-to-end latency and I-GCN speedups\n");
+    println!("{}", table.to_markdown());
+
+    let mut summary = Table::new(vec!["platform", "geomean I-GCN speedup", "paper (avg)"]);
+    let paper: &[(&str, &str)] = &[
+        ("PyG-CPU (E5-2680v3)", "9568x"),
+        ("DGL-CPU (E5-2683v3)", "1243x"),
+        ("PyG-GPU (V100)", "368x (PyG GPUs avg)"),
+        ("PyG-GPU (RTX 8000)", "368x (PyG GPUs avg)"),
+        ("DGL-GPU (V100)", "453x"),
+        ("SIGMA", "16x"),
+        ("HyGCN", "5.7x (accelerators avg)"),
+        ("AWB-GCN", "5.7x (accelerators avg)"),
+    ];
+    for (name, note) in paper {
+        if let Some((lnsum, count)) = geo.get(*name) {
+            summary.row(vec![
+                name.to_string(),
+                fmt_sig((lnsum / *count as f64).exp()),
+                note.to_string(),
+            ]);
+        }
+    }
+    println!("## Geomean speedups vs paper\n\n{}", summary.to_markdown());
+    write_result("fig14b_speedup.csv", table.to_csv().as_bytes());
+    let path = write_result("fig14b_summary.csv", summary.to_csv().as_bytes());
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    match args.part.as_deref() {
+        Some("traffic") => traffic_part(&args),
+        Some("speedup") => speedup_part(&args),
+        Some(other) => panic!("unknown part {other}; use traffic or speedup"),
+        None => {
+            traffic_part(&args);
+            speedup_part(&args);
+        }
+    }
+}

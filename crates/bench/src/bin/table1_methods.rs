@@ -1,0 +1,50 @@
+//! Table 1: comparison of PULL, PUSH and Islandization methods.
+//!
+//! Regenerates the paper's qualitative table with *measured* quantities
+//! per dataset: minimum on-chip buffer, off-chip traffic of one
+//! aggregation, operand reuse, load imbalance and prunable redundancy.
+//!
+//! Run: `cargo run --release -p igcn-bench --bin table1_methods`
+
+use igcn_baselines::methods::profile_methods;
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{standard_suite, write_result, HarnessArgs, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let suite = standard_suite(&args);
+    let mut table = Table::new(vec![
+        "dataset",
+        "method",
+        "on-chip buffer (B)",
+        "off-chip (B)",
+        "XW fetches/row",
+        "A passes",
+        "load imbalance",
+        "prunable %",
+    ]);
+    for run in &suite {
+        let hidden = run.data.spec.hidden_algo;
+        for p in profile_methods(&run.data.graph, hidden) {
+            table.row(vec![
+                run.dataset.to_string(),
+                p.method.clone(),
+                p.onchip_buffer_bytes.to_string(),
+                p.offchip_bytes.to_string(),
+                fmt_sig(p.xw_fetches_per_row),
+                fmt_sig(p.a_passes),
+                fmt_sig(p.load_imbalance_gini),
+                fmt_sig(p.prunable_fraction * 100.0),
+            ]);
+        }
+    }
+    println!("\n# Table 1 (measured): PULL vs PUSH vs Islandization\n");
+    println!("{}", table.to_markdown());
+    println!(
+        "Paper's qualitative claims: PULL = small buffer / high off-chip / poor XW reuse;\n\
+         PUSH = large buffer / high off-chip / A re-read per channel / load imbalance;\n\
+         Islandization = low on both, balanced, redundancy removable."
+    );
+    let path = write_result("table1_methods.csv", table.to_csv().as_bytes());
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,91 @@
+//! Table 2: absolute latency and energy efficiency, I-GCN vs AWB-GCN.
+//!
+//! Regenerates the paper's absolute-results table: end-to-end latency
+//! (µs) and energy efficiency (graphs/kJ) for GCN_algo and GCN_Hy on all
+//! five datasets, for both I-GCN and AWB-GCN on the same FPGA budget
+//! (4096 fp32 MACs @ 330 MHz). Paper numbers are printed alongside.
+//!
+//! Run: `cargo run --release -p igcn-bench --bin table2_absolute`
+
+use igcn_baselines::AwbGcn;
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{standard_suite, write_result, HarnessArgs, Table};
+use igcn_gnn::{GnnKind, GnnModel, ModelConfig};
+use igcn_graph::datasets::Dataset;
+use igcn_sim::{GcnAccelerator, HardwareConfig, IGcnAccelerator};
+
+/// Paper Table 2 values: (I-GCN latency µs, I-GCN EE, AWB latency µs,
+/// AWB EE) per (dataset, config).
+fn paper_values(dataset: Dataset, config: ModelConfig) -> (f64, f64, f64, f64) {
+    match (dataset, config) {
+        (Dataset::Cora, ModelConfig::Algo) => (1.3, 7.1e6, 2.3, 3.1e6),
+        (Dataset::Citeseer, ModelConfig::Algo) => (1.9, 3.7e6, 4.0, 1.9e6),
+        (Dataset::Pubmed, ModelConfig::Algo) => (15.1, 5.3e5, 30.0, 2.5e5),
+        (Dataset::Nell, ModelConfig::Algo) => (5.9e2, 1.3e4, 1.6e3, 4.1e3),
+        (Dataset::Reddit, ModelConfig::Algo) => (3.0e4, 3.5e2, 3.2e4, 2.1e2),
+        (Dataset::Cora, ModelConfig::Hy) => (8.2, 9.6e5, 17.0, 4.4e5),
+        (Dataset::Citeseer, ModelConfig::Hy) => (12.9, 6.0e5, 29.0, 2.7e5),
+        (Dataset::Pubmed, ModelConfig::Hy) => (1.1e2, 8.1e4, 2.3e2, 3.2e4),
+        (Dataset::Nell, ModelConfig::Hy) => (1.2e3, 7.5e3, 3.3e3, 2.3e3),
+        (Dataset::Reddit, ModelConfig::Hy) => (4.6e4, 2.2e2, 5.0e4, 1.5e2),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let suite = standard_suite(&args);
+    let hw = HardwareConfig::paper_default();
+    let igcn = IGcnAccelerator::new(hw);
+    let awb = AwbGcn::new(hw);
+    let mut table = Table::new(vec![
+        "config",
+        "dataset",
+        "I-GCN µs",
+        "paper",
+        "I-GCN EE",
+        "paper EE",
+        "AWB µs",
+        "paper",
+        "AWB EE",
+        "paper EE",
+        "speedup",
+        "paper speedup",
+    ]);
+    for config in [ModelConfig::Algo, ModelConfig::Hy] {
+        for run in &suite {
+            let model = GnnModel::for_dataset(run.dataset, GnnKind::Gcn, config);
+            eprintln!("[table2] {} GCN_{}...", run.dataset, config.id());
+            let ours = igcn.simulate(&run.data.graph, &run.data.features, &model);
+            let theirs = awb.simulate(&run.data.graph, &run.data.features, &model);
+            let (p_igcn, p_igcn_ee, p_awb, p_awb_ee) = paper_values(run.dataset, config);
+            let scale_note = if run.data.scale < 1.0 {
+                format!("{} (@{:.0}%)", run.dataset, run.data.scale * 100.0)
+            } else {
+                run.dataset.to_string()
+            };
+            table.row(vec![
+                format!("GCN_{}", config.id()),
+                scale_note,
+                fmt_sig(ours.latency_us()),
+                fmt_sig(p_igcn),
+                fmt_sig(ours.graphs_per_kilojoule),
+                fmt_sig(p_igcn_ee),
+                fmt_sig(theirs.latency_us()),
+                fmt_sig(p_awb),
+                fmt_sig(theirs.graphs_per_kilojoule),
+                fmt_sig(p_awb_ee),
+                fmt_sig(ours.speedup_over(&theirs)),
+                fmt_sig(p_awb / p_igcn),
+            ]);
+        }
+    }
+    println!("\n# Table 2: absolute latency (µs) and energy efficiency (graphs/kJ)\n");
+    println!("{}", table.to_markdown());
+    println!(
+        "Scaled datasets (Reddit) are marked with their node-count scale; their paper\n\
+         columns correspond to the full-size graph and are shown for shape comparison\n\
+         only. Both platforms: 4096 fp32 MACs @ 330 MHz, Stratix-10-class SRAM/DDR4."
+    );
+    let path = write_result("table2_absolute.csv", table.to_csv().as_bytes());
+    eprintln!("wrote {}", path.display());
+}

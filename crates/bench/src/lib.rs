@@ -1,0 +1,56 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §5 for the experiment index). This library
+//! provides the common pieces: dataset selection with per-dataset default
+//! scales, a tiny argument parser, markdown table rendering, and
+//! CSV/PPM result output under `results/`.
+
+pub mod args;
+pub mod suite;
+pub mod table;
+
+pub use args::HarnessArgs;
+pub use suite::{standard_suite, DatasetRun};
+pub use table::Table;
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory where harness binaries drop CSV/PPM artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("results directory must be creatable");
+    dir
+}
+
+/// Writes `content` under `results/<name>`, returning the path.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_result(name: &str, content: &[u8]) -> PathBuf {
+    let path = results_dir().join(name);
+    write_file(&path, content);
+    path
+}
+
+fn write_file(path: &Path, content: &[u8]) {
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    f.write_all(content)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_result_roundtrip() {
+        let p = write_result("harness_selftest.txt", b"ok");
+        let back = std::fs::read(&p).unwrap();
+        assert_eq!(back, b"ok");
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,201 @@
+//! Hub-side on-chip storage: the HUB Matrix XW Cache and the distributed
+//! hub partial-result cache (DHUB-PRC).
+
+use std::collections::HashMap;
+
+/// The HUB Matrix XW Cache: combined (and pre-scaled) feature vectors of
+/// hubs, computed once per layer at the hub's first appearance and reused
+/// by every later island and inter-hub task (§3.3.2).
+#[derive(Debug, Clone, Default)]
+pub struct HubXwCache {
+    entries: HashMap<u32, Vec<f32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl HubXwCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a hub's cached combination result; on miss, `compute` is
+    /// invoked once and the result cached.
+    pub fn get_or_compute<F: FnOnce() -> Vec<f32>>(&mut self, hub: u32, compute: F) -> &[f32] {
+        if self.entries.contains_key(&hub) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let value = compute();
+            self.entries.insert(hub, value);
+        }
+        self.entries.get(&hub).expect("just inserted").as_slice()
+    }
+
+    /// The cached row of `hub`, if present (does not count a hit).
+    pub fn get(&self, hub: u32) -> Option<&[f32]> {
+        self.entries.get(&hub).map(Vec::as_slice)
+    }
+
+    /// Inserts a freshly computed row, counting a miss.
+    pub fn insert(&mut self, hub: u32, value: Vec<f32>) {
+        self.misses += 1;
+        self.entries.insert(hub, value);
+    }
+
+    /// Records a cache hit observed by the caller through
+    /// [`HubXwCache::get`].
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (= hub combinations actually computed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached hub rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The distributed HUB Partial Result Cache (DHUB-PRC): one bank per PE;
+/// each hub is mapped to a fixed `(bank, row)` at its first appearance and
+/// accumulates partial aggregation results there until all islands and
+/// inter-hub tasks complete.
+#[derive(Debug, Clone)]
+pub struct HubPartialCache {
+    num_banks: usize,
+    width: usize,
+    bank_of: HashMap<u32, u32>,
+    partial: HashMap<u32, Vec<f32>>,
+    next_bank: u32,
+}
+
+impl HubPartialCache {
+    /// Creates the cache with one bank per PE and `width`-wide rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks == 0`.
+    pub fn new(num_banks: usize, width: usize) -> Self {
+        assert!(num_banks > 0, "at least one bank is required");
+        HubPartialCache {
+            num_banks,
+            width,
+            bank_of: HashMap::new(),
+            partial: HashMap::new(),
+            next_bank: 0,
+        }
+    }
+
+    /// The bank a hub maps to, allocating round-robin at first appearance
+    /// (the Island Collector "maps it to an unused row in a certain bank";
+    /// the mapping is then fixed for the rest of the layer).
+    pub fn bank_of(&mut self, hub: u32) -> u32 {
+        if let Some(&b) = self.bank_of.get(&hub) {
+            return b;
+        }
+        let b = self.next_bank;
+        self.next_bank = (self.next_bank + 1) % self.num_banks as u32;
+        self.bank_of.insert(hub, b);
+        b
+    }
+
+    /// Whether the hub already has an allocated row.
+    pub fn contains(&self, hub: u32) -> bool {
+        self.partial.contains_key(&hub)
+    }
+
+    /// Accumulates `delta` into the hub's partial row, zero-initialising at
+    /// first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != width`.
+    pub fn accumulate(&mut self, hub: u32, delta: &[f32]) {
+        assert_eq!(delta.len(), self.width, "partial-result width mismatch");
+        let row = self.partial.entry(hub).or_insert_with(|| vec![0.0; self.width]);
+        for (p, &d) in row.iter_mut().zip(delta) {
+            *p += d;
+        }
+    }
+
+    /// The completed partial row of a hub, if any island or inter-hub task
+    /// touched it.
+    pub fn partial(&self, hub: u32) -> Option<&[f32]> {
+        self.partial.get(&hub).map(Vec::as_slice)
+    }
+
+    /// Rows allocated across all banks.
+    pub fn rows_allocated(&self) -> u64 {
+        self.bank_of.len() as u64
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xw_cache_computes_once() {
+        let mut cache = HubXwCache::new();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(7, || {
+                computes += 1;
+                vec![1.0, 2.0]
+            });
+            assert_eq!(v, &[1.0, 2.0]);
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn partial_cache_round_robin_banks() {
+        let mut prc = HubPartialCache::new(3, 2);
+        assert_eq!(prc.bank_of(10), 0);
+        assert_eq!(prc.bank_of(20), 1);
+        assert_eq!(prc.bank_of(30), 2);
+        assert_eq!(prc.bank_of(40), 0);
+        // Mapping is sticky.
+        assert_eq!(prc.bank_of(10), 0);
+        assert_eq!(prc.rows_allocated(), 4);
+    }
+
+    #[test]
+    fn partial_accumulates() {
+        let mut prc = HubPartialCache::new(2, 3);
+        prc.accumulate(5, &[1.0, 0.0, 2.0]);
+        prc.accumulate(5, &[0.5, 1.0, 0.0]);
+        assert_eq!(prc.partial(5).unwrap(), &[1.5, 1.0, 2.0]);
+        assert!(prc.partial(6).is_none());
+        assert!(prc.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut prc = HubPartialCache::new(1, 2);
+        prc.accumulate(1, &[1.0]);
+    }
+}

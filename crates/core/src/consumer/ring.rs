@@ -1,0 +1,149 @@
+//! The PE ring network with in-network reduction (§3.3.2, Figure 8).
+//!
+//! PEs are connected in a unidirectional ring; hub partial results whose
+//! DHUB-PRC bank is attached to a different PE travel rightward hop by
+//! hop. Each ring entry compares the hub IDs of the packet arriving from
+//! its left neighbor and the packet injected by its local PE: when both
+//! are valid and equal they are *reduced in the network*, halving traffic
+//! for hot hubs.
+//!
+//! The accountant models wave-synchronous traffic: island tasks are issued
+//! to PEs in waves of `num_pes`; updates emitted in the same wave can
+//! merge on their way to the destination bank.
+
+use serde::{Deserialize, Serialize};
+
+/// Traffic statistics of the ring network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RingStats {
+    /// Updates that resolved in the local bank (no ring traversal).
+    pub local_hits: u64,
+    /// Ring hops traversed by forwarded updates (after in-network
+    /// merging).
+    pub hops: u64,
+    /// Packets eliminated by in-network reduction.
+    pub reductions: u64,
+    /// Total updates injected.
+    pub updates: u64,
+}
+
+/// Wave-based ring-traffic accountant.
+#[derive(Debug, Clone)]
+pub struct RingAccountant {
+    num_pes: usize,
+    stats: RingStats,
+}
+
+impl RingAccountant {
+    /// Creates an accountant for a ring of `num_pes` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes == 0`.
+    pub fn new(num_pes: usize) -> Self {
+        assert!(num_pes > 0, "ring needs at least one PE");
+        RingAccountant { num_pes, stats: RingStats::default() }
+    }
+
+    /// Records one wave of hub updates: `(source_pe, dest_bank, hub)`
+    /// triples emitted concurrently. Updates to the same hub merge at the
+    /// first ring entry where their paths join; the model charges hops for
+    /// the merged packet once past the merge point.
+    pub fn record_wave(&mut self, updates: &[(u32, u32, u32)]) {
+        self.stats.updates += updates.len() as u64;
+        // Group by destination hub.
+        let mut by_hub: std::collections::BTreeMap<u32, Vec<(u32, u32)>> =
+            std::collections::BTreeMap::new();
+        for &(pe, bank, hub) in updates {
+            by_hub.entry(hub).or_default().push((pe, bank));
+        }
+        for (_, sources) in by_hub {
+            let bank = sources[0].1;
+            // Local injections terminate immediately.
+            let mut distances: Vec<u64> = Vec::new();
+            for &(pe, b) in &sources {
+                debug_assert_eq!(b, bank, "one hub maps to one bank");
+                if pe == bank {
+                    self.stats.local_hits += 1;
+                } else {
+                    distances.push(self.distance(pe, bank));
+                }
+            }
+            if distances.is_empty() {
+                continue;
+            }
+            // Packets to the same destination share the tail of their
+            // path: the combined hop count is the longest individual path
+            // (the farthest packet sweeps up the others as it passes their
+            // entry points), and each merge eliminates one packet.
+            distances.sort_unstable();
+            let max = *distances.last().expect("non-empty");
+            self.stats.hops += max;
+            self.stats.reductions += distances.len() as u64 - 1;
+        }
+    }
+
+    fn distance(&self, from: u32, to: u32) -> u64 {
+        // Unidirectional ring: hops from `from` rightward to `to`.
+        let n = self.num_pes as u64;
+        ((to as u64 + n) - from as u64) % n
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> RingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_update_no_hops() {
+        let mut ring = RingAccountant::new(4);
+        ring.record_wave(&[(2, 2, 100)]);
+        let s = ring.stats();
+        assert_eq!(s.local_hits, 1);
+        assert_eq!(s.hops, 0);
+        assert_eq!(s.updates, 1);
+    }
+
+    #[test]
+    fn remote_update_counts_ring_distance() {
+        let mut ring = RingAccountant::new(4);
+        // PE 1 → bank 3: two hops rightward.
+        ring.record_wave(&[(1, 3, 100)]);
+        assert_eq!(ring.stats().hops, 2);
+        // Wraparound: PE 3 → bank 0 is one hop.
+        ring.record_wave(&[(3, 0, 101)]);
+        assert_eq!(ring.stats().hops, 3);
+    }
+
+    #[test]
+    fn same_hub_updates_merge() {
+        let mut ring = RingAccountant::new(8);
+        // PEs 1, 2, 3 all update hub 7 in bank 5. Farthest is PE 1
+        // (4 hops); the sweep merges the other two.
+        ring.record_wave(&[(1, 5, 7), (2, 5, 7), (3, 5, 7)]);
+        let s = ring.stats();
+        assert_eq!(s.hops, 4);
+        assert_eq!(s.reductions, 2);
+        assert_eq!(s.updates, 3);
+    }
+
+    #[test]
+    fn different_hubs_do_not_merge() {
+        let mut ring = RingAccountant::new(8);
+        ring.record_wave(&[(1, 5, 7), (2, 6, 8)]);
+        let s = ring.stats();
+        assert_eq!(s.reductions, 0);
+        assert_eq!(s.hops, 4 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_panics() {
+        let _ = RingAccountant::new(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The `1×k` scan-window decision rule (§3.3.1, Figure 7).
+//!
+//! During aggregation the PE slides a `1×k` window along each bitmap row.
+//! For each window it chooses the cheaper of:
+//!
+//! * **direct** — accumulate the `nnz` connected columns individually
+//!   (`nnz` vector adds);
+//! * **reuse** — take the pre-aggregated sum of the whole k-group and
+//!   subtract the non-connected columns
+//!   (`1` add + `k − nnz` subtracts).
+//!
+//! The paper states the consumer "can automatically pick the one that
+//! demands the fewest operations"; its `nnz < k/2` rule is the same
+//! comparison. Ties go to direct accumulation, which avoids a dependency
+//! on the pre-aggregation pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one window scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowDecision {
+    /// No connected columns — the parallel scanner skips the window
+    /// entirely (zero pipeline bubbles, §3.3.2).
+    Skip,
+    /// Accumulate each connected column directly.
+    Direct {
+        /// Number of vector additions (= window popcount).
+        adds: u32,
+    },
+    /// Add the pre-aggregated group sum, then subtract the non-connected
+    /// columns.
+    Reuse {
+        /// Number of vector subtractions (`group size − popcount`).
+        subs: u32,
+    },
+}
+
+impl WindowDecision {
+    /// Decides how to process a window with bit-mask `mask` over a group
+    /// of `group_size` columns (the final group of a row may be narrower
+    /// than `k`). With `redundancy_removal` off, every non-empty window is
+    /// processed directly — the ablation baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0` or `group_size > 64`.
+    pub fn decide(mask: u64, group_size: usize, redundancy_removal: bool) -> Self {
+        assert!(group_size > 0 && group_size <= 64, "invalid group size {group_size}");
+        let nnz = (mask & mask_of(group_size)).count_ones();
+        if nnz == 0 {
+            return WindowDecision::Skip;
+        }
+        if !redundancy_removal || group_size < 2 {
+            return WindowDecision::Direct { adds: nnz };
+        }
+        let cost_direct = nnz;
+        let cost_reuse = 1 + (group_size as u32 - nnz);
+        if cost_reuse < cost_direct {
+            WindowDecision::Reuse { subs: group_size as u32 - nnz }
+        } else {
+            WindowDecision::Direct { adds: nnz }
+        }
+    }
+
+    /// Vector ops this decision executes (excluding pre-aggregation
+    /// amortisation).
+    pub fn executed_ops(self) -> u32 {
+        match self {
+            WindowDecision::Skip => 0,
+            WindowDecision::Direct { adds } => adds,
+            WindowDecision::Reuse { subs } => 1 + subs,
+        }
+    }
+}
+
+fn mask_of(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_skips() {
+        assert_eq!(WindowDecision::decide(0, 4, true), WindowDecision::Skip);
+    }
+
+    #[test]
+    fn full_window_reuses_preaggregate() {
+        // k=2, both bits set: reuse costs 1, direct costs 2.
+        assert_eq!(WindowDecision::decide(0b11, 2, true), WindowDecision::Reuse { subs: 0 });
+        // k=4, all set: reuse costs 1 vs direct 4.
+        assert_eq!(WindowDecision::decide(0b1111, 4, true), WindowDecision::Reuse { subs: 0 });
+    }
+
+    #[test]
+    fn sparse_window_goes_direct() {
+        // k=4, one bit: direct costs 1, reuse costs 1 + 3.
+        assert_eq!(WindowDecision::decide(0b0100, 4, true), WindowDecision::Direct { adds: 1 });
+    }
+
+    #[test]
+    fn tie_goes_direct() {
+        // k=4, nnz=2: direct 2 vs reuse 1+2=3 → direct.
+        // k=3, nnz=2: direct 2 vs reuse 1+1=2 → tie → direct.
+        assert_eq!(WindowDecision::decide(0b011, 3, true), WindowDecision::Direct { adds: 2 });
+    }
+
+    #[test]
+    fn k4_three_set_prefers_reuse() {
+        // direct 3 vs reuse 1+1=2 → reuse.
+        assert_eq!(WindowDecision::decide(0b1110, 4, true), WindowDecision::Reuse { subs: 1 });
+    }
+
+    #[test]
+    fn ablation_disables_reuse() {
+        assert_eq!(WindowDecision::decide(0b11, 2, false), WindowDecision::Direct { adds: 2 });
+    }
+
+    #[test]
+    fn narrow_trailing_group() {
+        // Final group of width 1: always direct.
+        assert_eq!(WindowDecision::decide(0b1, 1, true), WindowDecision::Direct { adds: 1 });
+    }
+
+    #[test]
+    fn bits_beyond_group_ignored() {
+        // Mask has a stray high bit beyond the group width.
+        assert_eq!(WindowDecision::decide(0b101, 2, true), WindowDecision::Direct { adds: 1 });
+    }
+
+    #[test]
+    fn executed_ops_accounting() {
+        assert_eq!(WindowDecision::Skip.executed_ops(), 0);
+        assert_eq!(WindowDecision::Direct { adds: 3 }.executed_ops(), 3);
+        assert_eq!(WindowDecision::Reuse { subs: 2 }.executed_ops(), 3);
+    }
+
+    #[test]
+    fn never_worse_than_direct() {
+        for k in 2..=8usize {
+            for mask in 0..(1u64 << k) {
+                let d = WindowDecision::decide(mask, k, true);
+                let nnz = mask.count_ones();
+                assert!(
+                    d.executed_ops() <= nnz || nnz == 0,
+                    "k={k} mask={mask:b}: decision {d:?} worse than direct"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for islandization and island execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by partition validation and island execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A node was left unclassified, or classified more than once.
+    ClassificationViolation {
+        /// The offending node.
+        node: u32,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An edge was covered zero or multiple times by the partition's tasks.
+    CoverageViolation {
+        /// Source endpoint.
+        from: u32,
+        /// Destination endpoint.
+        to: u32,
+        /// Number of times the edge was covered.
+        times: usize,
+    },
+    /// An island exceeded `c_max`.
+    IslandTooLarge {
+        /// Index of the island in the partition.
+        island: usize,
+        /// Number of nodes in the island.
+        size: usize,
+        /// The configured bound.
+        c_max: usize,
+    },
+    /// An island node has a neighbor that is neither in the island nor a
+    /// hub — the "space between L-shapes" would not be blank.
+    ClosureViolation {
+        /// The island node.
+        node: u32,
+        /// Its out-of-island, non-hub neighbor.
+        neighbor: u32,
+    },
+    /// The graph passed to islandization contained self-loops (strip them
+    /// first; GCN self-contributions are handled by the normalisation).
+    SelfLoops {
+        /// A node with a self-loop.
+        node: u32,
+    },
+    /// The locator exceeded its round bound without classifying every node.
+    RoundLimitExceeded {
+        /// The configured bound.
+        max_rounds: u32,
+        /// Nodes still unclassified.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ClassificationViolation { node, detail } => {
+                write!(f, "classification violation at node {node}: {detail}")
+            }
+            CoreError::CoverageViolation { from, to, times } => {
+                write!(f, "edge ({from}, {to}) covered {times} times, expected exactly once")
+            }
+            CoreError::IslandTooLarge { island, size, c_max } => {
+                write!(f, "island {island} has {size} nodes, exceeding c_max {c_max}")
+            }
+            CoreError::ClosureViolation { node, neighbor } => {
+                write!(
+                    f,
+                    "island node {node} has neighbor {neighbor} outside its island and not a hub"
+                )
+            }
+            CoreError::SelfLoops { node } => {
+                write!(f, "graph contains a self-loop at node {node}; strip self-loops first")
+            }
+            CoreError::RoundLimitExceeded { max_rounds, remaining } => {
+                write!(
+                    f,
+                    "island locator did not converge in {max_rounds} rounds ({remaining} nodes left)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::CoverageViolation { from: 1, to: 2, times: 0 };
+        assert!(e.to_string().contains("covered 0 times"));
+        let e = CoreError::IslandTooLarge { island: 3, size: 40, c_max: 32 };
+        assert!(e.to_string().contains("exceeding c_max 32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,419 @@
+//! Incremental re-islandization for evolving graphs.
+//!
+//! §1 of the paper motivates *runtime* restructuring with evolving and
+//! dynamically generated graphs: offline reordering "is not tolerable
+//! when processed online". The full Island Locator is already fast, but
+//! when a batch of edges arrives on an already-islandized graph, most of
+//! the partition is untouched — only structures incident to the new
+//! edges can change. This module implements that update:
+//!
+//! 1. **Dissolve** every island containing an endpoint of an added edge
+//!    (hubs never dissolve — their degree only grew).
+//! 2. **Keep** every other island: the closure invariant proves they
+//!    remain valid (an edge that could violate a surviving island's
+//!    closure would have dissolved it).
+//! 3. **Re-run** the locator rounds over the dissolved + newly added
+//!    nodes only, seeding BFS from hubs adjacent to the residual region,
+//!    with pre-existing hubs recognised by classification (their degree
+//!    may sit below the restarted threshold).
+//! 4. **Patch** the inter-hub edge map with added hub–hub edges.
+//!
+//! The result satisfies the same invariants as a from-scratch run
+//! (property-tested), at a cost proportional to the disturbed
+//! neighborhood rather than the whole graph.
+
+use std::collections::BTreeSet;
+
+use igcn_graph::{CsrGraph, NodeId};
+
+use crate::config::IslandizationConfig;
+use crate::error::CoreError;
+use crate::island::Island;
+use crate::locator::task_gen::{BfsTask, TaskQueue};
+use crate::locator::{hub_detect, tpbfs};
+use crate::partition::{IslandPartition, NodeClass};
+use crate::stats::{LocatorStats, RoundStats};
+
+/// Outcome of an incremental update.
+#[derive(Debug, Clone)]
+pub struct IncrementalResult {
+    /// The refreshed partition, valid for the updated graph.
+    pub partition: IslandPartition,
+    /// Locator statistics of the incremental rounds only.
+    pub stats: LocatorStats,
+    /// Islands dissolved by the update.
+    pub dissolved_islands: usize,
+    /// Nodes that had to be re-classified (dissolved members + new
+    /// nodes).
+    pub reclassified_nodes: usize,
+}
+
+/// Applies a batch of added undirected edges to an existing partition.
+///
+/// `new_graph` must be the updated graph (old graph + `added_edges`,
+/// possibly with new nodes appended); `old` must be a valid partition of
+/// the pre-update graph. Edge *removals* are not supported — removing an
+/// edge can only strengthen island closure but may orphan hub status, so
+/// a full re-run is the safe path for deletions.
+///
+/// # Errors
+///
+/// Returns [`CoreError::RoundLimitExceeded`] if the incremental rounds
+/// fail to converge (mis-configured decay), or
+/// [`CoreError::ClassificationViolation`] if `added_edges` references
+/// nodes beyond `new_graph`.
+pub fn incremental_islandize(
+    new_graph: &CsrGraph,
+    old: &IslandPartition,
+    added_edges: &[(u32, u32)],
+    cfg: &IslandizationConfig,
+) -> Result<IncrementalResult, CoreError> {
+    let n_new = new_graph.num_nodes();
+    let n_old = old.num_nodes();
+    assert!(n_new >= n_old, "the updated graph cannot shrink");
+    for &(a, b) in added_edges {
+        if a as usize >= n_new || b as usize >= n_new {
+            return Err(CoreError::ClassificationViolation {
+                node: a.max(b),
+                detail: "added edge endpoint beyond the updated graph".to_string(),
+            });
+        }
+    }
+
+    // --- 1+2: carry over classifications, dissolving dirty islands. ---
+    let mut dirty: BTreeSet<u32> = BTreeSet::new();
+    for &(a, b) in added_edges {
+        for v in [a, b] {
+            if (v as usize) < n_old {
+                if let Some(idx) = old.island_of(NodeId::new(v)) {
+                    dirty.insert(idx as u32);
+                }
+            }
+        }
+    }
+    let mut node_class: Vec<NodeClass> = vec![NodeClass::Unclassified; n_new];
+    let mut islands: Vec<Island> = Vec::with_capacity(old.num_islands());
+    let mut reclassified = n_new - n_old;
+    for (idx, island) in old.islands().iter().enumerate() {
+        if dirty.contains(&(idx as u32)) {
+            reclassified += island.len();
+            continue; // dissolved: members fall back to Unclassified
+        }
+        let new_idx = islands.len() as u32;
+        for &v in &island.nodes {
+            node_class[v as usize] = NodeClass::Island(new_idx);
+        }
+        islands.push(island.clone());
+    }
+    let mut hubs: Vec<u32> = old.hubs().to_vec();
+    for &h in &hubs {
+        node_class[h as usize] = NodeClass::Hub;
+    }
+    let mut inter_hub: BTreeSet<(u32, u32)> = old.inter_hub_edges().iter().copied().collect();
+
+    // --- 4 (early): added hub–hub edges go straight to the map. ---
+    for &(a, b) in added_edges {
+        if node_class[a as usize] == NodeClass::Hub && node_class[b as usize] == NodeClass::Hub {
+            inter_hub.insert((a.min(b), a.max(b)));
+        }
+    }
+
+    // --- 3: locator rounds over the residual region. ---
+    let mut degrees = new_graph.degrees();
+    for v in new_graph.iter_nodes() {
+        if new_graph.has_edge(v, v) {
+            degrees[v.index()] -= 1;
+        }
+    }
+    let mut remaining = node_class.iter().filter(|c| **c == NodeClass::Unclassified).count();
+    let max_unclassified_degree = node_class
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c == NodeClass::Unclassified)
+        .map(|(v, _)| degrees[v] as usize)
+        .max()
+        .unwrap_or(0);
+    let mut threshold = cfg.threshold_init.resolve(max_unclassified_degree);
+    let mut stats = LocatorStats::default();
+    let mut v_global: Vec<u32> = vec![0; n_new];
+    let mut retry: Vec<BfsTask> = Vec::new();
+    let mut seed_seen: Vec<bool> = vec![false; n_new];
+    let mut round: u32 = 0;
+
+    // Pre-existing hubs adjacent to the residual region re-seed it (their
+    // original tasks were consumed long ago). One pass over the residual
+    // nodes finds the contacts.
+    let mut boundary_tasks: Vec<BfsTask> = Vec::new();
+    for v in 0..n_new as u32 {
+        if node_class[v as usize] != NodeClass::Unclassified {
+            continue;
+        }
+        for &nb in new_graph.neighbors(NodeId::new(v)) {
+            if node_class[nb as usize] == NodeClass::Hub {
+                boundary_tasks.push(BfsTask { hub: nb, seed: v });
+            }
+        }
+    }
+
+    while remaining > 0 {
+        if round >= cfg.max_rounds {
+            return Err(CoreError::RoundLimitExceeded { max_rounds: cfg.max_rounds, remaining });
+        }
+        let scanned = remaining;
+        let new_hubs = hub_detect::detect_hubs(&degrees, &node_class, threshold);
+        for &h in &new_hubs {
+            node_class[h as usize] = NodeClass::Hub;
+            remaining -= 1;
+        }
+        let hub_detect_cycles = (scanned as u64).div_ceil(cfg.p1_lanes as u64).max(1);
+
+        let mut queue = TaskQueue::new();
+        if round == 0 {
+            for t in boundary_tasks.drain(..) {
+                queue.push(t.hub, t.seed);
+            }
+        }
+        // One retry per seed: duplicate drops of the same region would
+        // only multiply conflict traffic.
+        retry.sort_by_key(|t| t.seed);
+        retry.dedup_by_key(|t| t.seed);
+        for task in retry.drain(..) {
+            if node_class[task.seed as usize] == NodeClass::Unclassified {
+                queue.push(task.hub, task.seed);
+            }
+        }
+        seed_seen.fill(false);
+        let mut adjacency_words = 0u64;
+        for &h in &new_hubs {
+            adjacency_words += degrees[h as usize] as u64;
+            for &nb in new_graph.neighbors(NodeId::new(h)) {
+                if nb == h {
+                    continue;
+                }
+                if degrees[nb as usize] >= threshold {
+                    queue.push(h, nb); // hub seed: records an inter-hub edge
+                } else if !seed_seen[nb as usize] {
+                    seed_seen[nb as usize] = true;
+                    queue.push(h, nb);
+                }
+            }
+        }
+        stats.tasks_generated += queue.len() as u64;
+
+        v_global.fill(0);
+        let outcome = tpbfs::run_bfs_phase(
+            new_graph,
+            &degrees,
+            threshold,
+            cfg.c_max,
+            cfg.p2_engines,
+            &mut queue,
+            &mut v_global,
+            &node_class,
+            round,
+        );
+        adjacency_words += outcome.adjacency_words_read;
+        let islands_this_round = outcome.islands.len();
+        let mut island_nodes_classified = 0usize;
+        for island in outcome.islands {
+            let idx = islands.len() as u32;
+            for &v in &island.nodes {
+                debug_assert_eq!(node_class[v as usize], NodeClass::Unclassified);
+                node_class[v as usize] = NodeClass::Island(idx);
+                remaining -= 1;
+                island_nodes_classified += 1;
+            }
+            islands.push(island);
+        }
+        for (a, b) in outcome.inter_hub_edges {
+            inter_hub.insert((a.min(b), a.max(b)));
+        }
+        retry = outcome.retry_tasks;
+        stats.tasks_dropped_conflict += outcome.dropped_conflict;
+        stats.tasks_dropped_overflow += outcome.dropped_overflow;
+        stats.tasks_dropped_hub_seed += outcome.dropped_hub_seed;
+        stats.adjacency_words_read += adjacency_words;
+        stats.virtual_cycles += hub_detect_cycles + outcome.cycles;
+        stats.rounds.push(RoundStats {
+            round,
+            threshold,
+            hubs_found: new_hubs.len(),
+            islands_found: islands_this_round,
+            island_nodes_classified,
+            hub_detect_cycles,
+            bfs_cycles: outcome.cycles,
+        });
+        hubs.extend_from_slice(&new_hubs);
+
+        if threshold == 1 && remaining > 0 {
+            for v in 0..n_new {
+                if node_class[v] == NodeClass::Unclassified {
+                    let idx = islands.len() as u32;
+                    node_class[v] = NodeClass::Island(idx);
+                    islands.push(Island {
+                        nodes: vec![v as u32],
+                        hubs: Vec::new(),
+                        round,
+                        engine: 0,
+                    });
+                    remaining -= 1;
+                }
+            }
+        }
+        threshold = cfg.decay.apply(threshold);
+        round += 1;
+    }
+
+    stats.islands_found = islands.len() as u64;
+    stats.inter_hub_edges = inter_hub.len() as u64;
+    let dissolved_islands = dirty.len();
+    let partition = IslandPartition::from_parts(
+        n_new,
+        islands,
+        hubs,
+        inter_hub.into_iter().collect(),
+        node_class,
+        cfg.c_max,
+    );
+    Ok(IncrementalResult { partition, stats, dissolved_islands, reclassified_nodes: reclassified })
+}
+
+/// Builds the updated graph from the old one plus added undirected edges
+/// (convenience for callers that hold only edge batches).
+pub fn apply_edges(old_graph: &CsrGraph, num_nodes: usize, added: &[(u32, u32)]) -> CsrGraph {
+    let mut edges: Vec<(u32, u32)> = old_graph
+        .iter_edges()
+        .map(|(u, v)| (u.value(), v.value()))
+        .collect();
+    for &(a, b) in added {
+        edges.push((a, b));
+        if a != b {
+            edges.push((b, a));
+        }
+    }
+    CsrGraph::from_directed_edges(num_nodes.max(old_graph.num_nodes()), &edges)
+        .expect("caller-validated endpoints")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locator::IslandLocator;
+    use igcn_graph::generate::HubIslandConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn base(seed: u64) -> (CsrGraph, IslandPartition) {
+        let g = HubIslandConfig::new(400, 16).noise_fraction(0.01).generate(seed);
+        let cfg = IslandizationConfig::default();
+        let (p, _) = IslandLocator::new(&g.graph, &cfg).run().unwrap();
+        (g.graph, p)
+    }
+
+    fn random_new_edges(graph: &CsrGraph, count: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = graph.num_nodes() as u32;
+        let mut edges = Vec::new();
+        while edges.len() < count {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !graph.has_edge(NodeId::new(a), NodeId::new(b)) {
+                edges.push((a, b));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn incremental_satisfies_invariants() {
+        let (g, p) = base(1);
+        let added = random_new_edges(&g, 12, 2);
+        let g2 = apply_edges(&g, g.num_nodes(), &added);
+        let cfg = IslandizationConfig::default();
+        let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
+        result.partition.check_invariants(&g2).unwrap();
+        assert!(result.dissolved_islands > 0);
+    }
+
+    #[test]
+    fn untouched_islands_survive() {
+        let (g, p) = base(3);
+        let added = random_new_edges(&g, 3, 4);
+        let g2 = apply_edges(&g, g.num_nodes(), &added);
+        let cfg = IslandizationConfig::default();
+        let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
+        // Far fewer nodes reclassified than the whole graph.
+        assert!(
+            result.reclassified_nodes < g.num_nodes() / 2,
+            "only the disturbed neighborhood should be redone, got {}",
+            result.reclassified_nodes
+        );
+        assert!(result.partition.num_islands() > 0);
+    }
+
+    #[test]
+    fn empty_update_is_identity_cheap() {
+        let (g, p) = base(5);
+        let cfg = IslandizationConfig::default();
+        let result = incremental_islandize(&g, &p, &[], &cfg).unwrap();
+        result.partition.check_invariants(&g).unwrap();
+        assert_eq!(result.dissolved_islands, 0);
+        assert_eq!(result.reclassified_nodes, 0);
+        assert_eq!(result.partition.num_islands(), p.num_islands());
+    }
+
+    #[test]
+    fn node_growth_supported() {
+        let (g, p) = base(7);
+        let n = g.num_nodes();
+        // Two new nodes: one wired to an existing hub, one isolated.
+        let hub = p.hubs()[0];
+        let added = vec![(n as u32, hub)];
+        let g2 = apply_edges(&g, n + 2, &added);
+        let cfg = IslandizationConfig::default();
+        let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
+        result.partition.check_invariants(&g2).unwrap();
+        assert_eq!(result.partition.num_nodes(), n + 2);
+    }
+
+    #[test]
+    fn hub_hub_edge_only_touches_the_map() {
+        let (g, p) = base(9);
+        let (h1, h2) = (p.hubs()[0], p.hubs()[1]);
+        if g.has_edge(NodeId::new(h1), NodeId::new(h2)) {
+            return; // seed produced adjacent hubs; nothing to add
+        }
+        let added = vec![(h1, h2)];
+        let g2 = apply_edges(&g, g.num_nodes(), &added);
+        let cfg = IslandizationConfig::default();
+        let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
+        result.partition.check_invariants(&g2).unwrap();
+        assert_eq!(result.dissolved_islands, 0);
+        assert!(result
+            .partition
+            .inter_hub_edges()
+            .contains(&(h1.min(h2), h1.max(h2))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let (g, p) = base(11);
+        let cfg = IslandizationConfig::default();
+        let err = incremental_islandize(&g, &p, &[(0, 9999)], &cfg).unwrap_err();
+        assert!(matches!(err, CoreError::ClassificationViolation { .. }));
+    }
+
+    #[test]
+    fn repeated_updates_stay_valid() {
+        let (mut g, mut p) = base(13);
+        let cfg = IslandizationConfig::default();
+        for step in 0..5 {
+            let added = random_new_edges(&g, 5, 100 + step);
+            let g2 = apply_edges(&g, g.num_nodes(), &added);
+            let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
+            result.partition.check_invariants(&g2).unwrap();
+            g = g2;
+            p = result.partition;
+        }
+    }
+}

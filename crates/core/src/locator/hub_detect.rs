@@ -1,0 +1,66 @@
+//! Algorithm 2: parallel threshold-based hub detection.
+//!
+//! The hardware stores node degrees in `P1` loop-back FIFOs; each cycle
+//! every FIFO pops one node, the Island Node Filter discards nodes
+//! classified in previous rounds (checking the island-node table), and a
+//! comparator peels nodes whose degree reaches the threshold into the hub
+//! buffer. The remaining nodes loop back for the next round.
+//!
+//! Functionally the sweep is a deterministic filter over node IDs — lane
+//! assignment (`node % P1`) does not change the outcome, only the cycle
+//! count, which the caller computes as `ceil(scanned / P1)`.
+
+use crate::partition::NodeClass;
+
+/// Sweeps all nodes and returns the IDs whose degree reaches `threshold`,
+/// skipping nodes already classified (hub or island) in earlier rounds.
+///
+/// Returned IDs are in ascending order — the order the FIFO lanes would
+/// emit them under round-robin interleaving.
+pub fn detect_hubs(degrees: &[u32], node_class: &[NodeClass], threshold: u32) -> Vec<u32> {
+    debug_assert_eq!(degrees.len(), node_class.len());
+    let mut hubs = Vec::new();
+    for (v, (&d, class)) in degrees.iter().zip(node_class).enumerate() {
+        if *class == NodeClass::Unclassified && d >= threshold {
+            hubs.push(v as u32);
+        }
+    }
+    hubs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peels_only_unclassified_above_threshold() {
+        let degrees = vec![5, 2, 9, 9];
+        let class = vec![
+            NodeClass::Unclassified,
+            NodeClass::Unclassified,
+            NodeClass::Hub,
+            NodeClass::Unclassified,
+        ];
+        assert_eq!(detect_hubs(&degrees, &class, 5), vec![0, 3]);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let degrees = vec![4];
+        let class = vec![NodeClass::Unclassified];
+        assert_eq!(detect_hubs(&degrees, &class, 4), vec![0]);
+        assert!(detect_hubs(&degrees, &class, 5).is_empty());
+    }
+
+    #[test]
+    fn island_nodes_skipped() {
+        let degrees = vec![10, 10];
+        let class = vec![NodeClass::Island(0), NodeClass::Unclassified];
+        assert_eq!(detect_hubs(&degrees, &class, 1), vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(detect_hubs(&[], &[], 1).is_empty());
+    }
+}

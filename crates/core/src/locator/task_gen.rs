@@ -1,0 +1,87 @@
+//! Algorithm 3: BFS task generation.
+//!
+//! Once a hub pops out of the hub buffer, the Task Generator streams its
+//! adjacency list from global memory and enqueues one `(hub, neighbor)`
+//! tuple per neighbor into the TP-BFS task queues. Using the *neighbors*
+//! as BFS starting points (rather than the hub itself) is what exposes
+//! enough parallelism to keep `P2` engines busy — every neighbor of every
+//! hub is an independent seed.
+
+use std::collections::VecDeque;
+
+/// A BFS task: the hub it originated from and the seed node to explore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsTask {
+    /// The hub whose adjacency produced this task.
+    pub hub: u32,
+    /// The neighbor node used as the BFS starting point (`a_o`).
+    pub seed: u32,
+}
+
+/// FIFO of pending BFS tasks, shared by all TP-BFS engines.
+///
+/// # Example
+///
+/// ```
+/// use igcn_core::locator::task_gen::TaskQueue;
+///
+/// let mut q = TaskQueue::new();
+/// q.push(7, 3);
+/// let t = q.pop().unwrap();
+/// assert_eq!((t.hub, t.seed), (7, 3));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskQueue {
+    tasks: VecDeque<BfsTask>,
+}
+
+impl TaskQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        TaskQueue { tasks: VecDeque::new() }
+    }
+
+    /// Enqueues a `(hub, seed)` task.
+    pub fn push(&mut self, hub: u32, seed: u32) {
+        self.tasks.push_back(BfsTask { hub, seed });
+    }
+
+    /// Dequeues the oldest task.
+    pub fn pop(&mut self) -> Option<BfsTask> {
+        self.tasks.pop_front()
+    }
+
+    /// Number of pending tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no tasks are pending.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = TaskQueue::new();
+        q.push(1, 10);
+        q.push(1, 11);
+        q.push(2, 20);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().seed, 10);
+        assert_eq!(q.pop().unwrap().seed, 11);
+        assert_eq!(q.pop().unwrap().hub, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(TaskQueue::default().is_empty());
+    }
+}

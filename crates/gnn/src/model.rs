@@ -1,0 +1,258 @@
+//! Model and layer configurations.
+
+use serde::{Deserialize, Serialize};
+
+use igcn_graph::datasets::Dataset;
+use igcn_graph::CsrGraph;
+use igcn_linalg::GcnNormalization;
+
+/// Non-linearity applied after a GraphCONV layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// No activation (used on the final layer; classification margins are
+    /// evaluated pre-softmax).
+    None,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::Relu => v.max(0.0),
+            Activation::None => v,
+        }
+    }
+}
+
+/// Which GNN family a model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GnnKind {
+    /// Graph Convolutional Network (Kipf & Welling), symmetric
+    /// normalisation, 2 layers.
+    Gcn,
+    /// GraphSage with mean aggregator, 2 layers.
+    GraphSage,
+    /// Graph Isomorphism Network, sum aggregator with `1+ε` self weight,
+    /// 3 layers.
+    Gin,
+}
+
+impl GnnKind {
+    /// Short identifier (`"gcn"`, `"gs"`, `"gin"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            GnnKind::Gcn => "gcn",
+            GnnKind::GraphSage => "gs",
+            GnnKind::Gin => "gin",
+        }
+    }
+}
+
+impl std::fmt::Display for GnnKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            GnnKind::Gcn => "GCN",
+            GnnKind::GraphSage => "GraphSage",
+            GnnKind::Gin => "GIN",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Hidden-width convention, following §4.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelConfig {
+    /// Hidden widths from the original algorithm papers ("GCN-algo",
+    /// "GS-algo"): 16 for the citation graphs, 64 for NELL, 128 for Reddit.
+    Algo,
+    /// HyGCN's uniform configuration: 128 hidden channels for all datasets
+    /// ("GCN-Hy", "GS-Hy").
+    Hy,
+}
+
+impl ModelConfig {
+    /// Hidden width for `dataset` under this convention.
+    pub fn hidden_dim(self, dataset: Dataset) -> usize {
+        match self {
+            ModelConfig::Algo => dataset.spec().hidden_algo,
+            ModelConfig::Hy => 128,
+        }
+    }
+
+    /// Suffix used in the paper's labels (`"algo"` / `"Hy"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            ModelConfig::Algo => "algo",
+            ModelConfig::Hy => "Hy",
+        }
+    }
+}
+
+/// One GraphCONV layer: a combination `X·W` from `in_dim` to `out_dim`
+/// channels followed by aggregation and an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerConfig {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output feature width.
+    pub out_dim: usize,
+    /// Post-layer non-linearity.
+    pub activation: Activation,
+}
+
+/// A GNN model: a stack of GraphCONV layers plus the aggregation
+/// normalisation of its family.
+///
+/// # Example
+///
+/// ```
+/// use igcn_gnn::GnnModel;
+///
+/// let m = GnnModel::gcn(1433, 16, 7);
+/// assert_eq!(m.num_layers(), 2);
+/// assert_eq!(m.layers()[0].out_dim, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GnnModel {
+    kind: GnnKind,
+    layers: Vec<LayerConfig>,
+    epsilon: f32,
+}
+
+impl GnnModel {
+    /// Two-layer GCN: `input_dim → hidden → num_classes`.
+    pub fn gcn(input_dim: usize, hidden: usize, num_classes: usize) -> Self {
+        GnnModel {
+            kind: GnnKind::Gcn,
+            layers: vec![
+                LayerConfig { in_dim: input_dim, out_dim: hidden, activation: Activation::Relu },
+                LayerConfig { in_dim: hidden, out_dim: num_classes, activation: Activation::None },
+            ],
+            epsilon: 0.0,
+        }
+    }
+
+    /// Two-layer GraphSage (mean aggregator).
+    pub fn graphsage(input_dim: usize, hidden: usize, num_classes: usize) -> Self {
+        GnnModel { kind: GnnKind::GraphSage, ..GnnModel::gcn(input_dim, hidden, num_classes) }
+    }
+
+    /// Three-layer GIN with self-weight `1 + epsilon`.
+    pub fn gin(input_dim: usize, hidden: usize, num_classes: usize, epsilon: f32) -> Self {
+        GnnModel {
+            kind: GnnKind::Gin,
+            layers: vec![
+                LayerConfig { in_dim: input_dim, out_dim: hidden, activation: Activation::Relu },
+                LayerConfig { in_dim: hidden, out_dim: hidden, activation: Activation::Relu },
+                LayerConfig { in_dim: hidden, out_dim: num_classes, activation: Activation::None },
+            ],
+            epsilon,
+        }
+    }
+
+    /// Builds the model the paper evaluates for `(dataset, kind, config)`:
+    /// layer dims from the dataset spec and the hidden-width convention.
+    pub fn for_dataset(dataset: Dataset, kind: GnnKind, config: ModelConfig) -> Self {
+        let spec = dataset.spec();
+        let hidden = config.hidden_dim(dataset);
+        match kind {
+            GnnKind::Gcn => GnnModel::gcn(spec.feature_dim, hidden, spec.num_classes),
+            GnnKind::GraphSage => GnnModel::graphsage(spec.feature_dim, hidden, spec.num_classes),
+            GnnKind::Gin => GnnModel::gin(spec.feature_dim, hidden, spec.num_classes, 0.1),
+        }
+    }
+
+    /// The model family.
+    pub fn kind(&self) -> GnnKind {
+        self.kind
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[LayerConfig] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// GIN's ε (0 for other families).
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    /// The aggregation normalisation this family applies over `graph`.
+    pub fn normalization(&self, graph: &CsrGraph) -> GcnNormalization {
+        match self.kind {
+            GnnKind::Gcn => GcnNormalization::symmetric(graph),
+            GnnKind::GraphSage => GcnNormalization::mean(graph),
+            GnnKind::Gin => GcnNormalization::gin(graph, self.epsilon),
+        }
+    }
+
+    /// Paper-style label, e.g. `"GCN-algo"`.
+    pub fn label(&self, config: ModelConfig) -> String {
+        format!("{}-{}", self.kind, config.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_shape() {
+        let m = GnnModel::gcn(100, 16, 7);
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.layers()[0].in_dim, 100);
+        assert_eq!(m.layers()[1].out_dim, 7);
+        assert_eq!(m.layers()[0].activation, Activation::Relu);
+        assert_eq!(m.layers()[1].activation, Activation::None);
+    }
+
+    #[test]
+    fn gin_has_three_layers() {
+        let m = GnnModel::gin(100, 64, 5, 0.1);
+        assert_eq!(m.num_layers(), 3);
+        assert!((m.epsilon() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_dataset_uses_spec() {
+        let m = GnnModel::for_dataset(Dataset::Cora, GnnKind::Gcn, ModelConfig::Algo);
+        assert_eq!(m.layers()[0].in_dim, 1433);
+        assert_eq!(m.layers()[0].out_dim, 16);
+        assert_eq!(m.layers()[1].out_dim, 7);
+        let m = GnnModel::for_dataset(Dataset::Cora, GnnKind::Gcn, ModelConfig::Hy);
+        assert_eq!(m.layers()[0].out_dim, 128);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let m = GnnModel::for_dataset(Dataset::Cora, GnnKind::Gcn, ModelConfig::Algo);
+        assert_eq!(m.label(ModelConfig::Algo), "GCN-algo");
+        let m = GnnModel::for_dataset(Dataset::Cora, GnnKind::GraphSage, ModelConfig::Hy);
+        assert_eq!(m.label(ModelConfig::Hy), "GraphSage-Hy");
+    }
+
+    #[test]
+    fn activation_apply() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::None.apply(-3.0), -3.0);
+    }
+
+    #[test]
+    fn normalization_family_dispatch() {
+        use igcn_graph::CsrGraph;
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let gcn = GnnModel::gcn(4, 4, 2).normalization(&g);
+        let gin = GnnModel::gin(4, 4, 2, 0.5).normalization(&g);
+        assert!((gin.self_weight() - 1.5).abs() < 1e-6);
+        assert!(gcn.self_weight() == 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Ground-truth software forward pass.
+
+use igcn_graph::{CsrGraph, SparseFeatures};
+use igcn_linalg::spmm::{pull_row_wise, sparse_sparse_dense};
+use igcn_linalg::{CsrMatrix, DenseMatrix};
+
+use crate::model::GnnModel;
+use crate::weights::ModelWeights;
+
+/// Runs the model forward on plain software kernels:
+/// `X_{l+1} = σ(Ã · (X_l · W_l))` with the explicit normalised adjacency.
+///
+/// This is the correctness oracle every accelerated execution (islandized
+/// or baseline) is verified against. The layer order is combination-first
+/// (`Ã × (X·W)`), matching §2.2.1.
+///
+/// # Panics
+///
+/// Panics if the feature width does not match the first layer, or the
+/// weight shapes do not match the model.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::{CsrGraph, SparseFeatures};
+/// use igcn_gnn::{reference_forward, GnnModel, ModelWeights};
+///
+/// let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let x = SparseFeatures::random(4, 8, 0.5, 3);
+/// let model = GnnModel::gcn(8, 4, 2);
+/// let w = ModelWeights::glorot(&model, 1);
+/// let out = reference_forward(&g, &x, &model, &w);
+/// assert_eq!(out.rows(), 4);
+/// assert_eq!(out.cols(), 2);
+/// ```
+pub fn reference_forward(
+    graph: &CsrGraph,
+    features: &SparseFeatures,
+    model: &GnnModel,
+    weights: &ModelWeights,
+) -> DenseMatrix {
+    assert_eq!(
+        features.num_cols(),
+        model.layers()[0].in_dim,
+        "feature width does not match the first layer"
+    );
+    assert_eq!(weights.num_layers(), model.num_layers(), "weight/layer count mismatch");
+    let norm = model.normalization(graph);
+    let a_tilde = norm.to_explicit_matrix(graph);
+
+    let mut current: Option<DenseMatrix> = None;
+    for (i, layer) in model.layers().iter().enumerate() {
+        // Combination first: XW.
+        let xw = match &current {
+            None => {
+                let x = CsrMatrix::from(features);
+                sparse_sparse_dense(&x, &dense_to_csr(weights.layer(i))).0
+            }
+            Some(x) => x.matmul(weights.layer(i)),
+        };
+        // Aggregation: Ã × (XW).
+        let (mut aggregated, _) = pull_row_wise(&a_tilde, &xw);
+        aggregated.map_inplace(|v| layer.activation.apply(v));
+        current = Some(aggregated);
+    }
+    current.expect("models have at least one layer")
+}
+
+/// Per-layer intermediate results of the reference pass, exposed so tests
+/// can compare accelerated executions layer by layer
+/// (`C-INTERMEDIATE`-style API: callers avoid re-running the full model to
+/// inspect one layer).
+pub fn reference_forward_layers(
+    graph: &CsrGraph,
+    features: &SparseFeatures,
+    model: &GnnModel,
+    weights: &ModelWeights,
+) -> Vec<DenseMatrix> {
+    let norm = model.normalization(graph);
+    let a_tilde = norm.to_explicit_matrix(graph);
+    let mut outputs = Vec::with_capacity(model.num_layers());
+    let mut current: Option<DenseMatrix> = None;
+    for (i, layer) in model.layers().iter().enumerate() {
+        let xw = match &current {
+            None => {
+                let x = CsrMatrix::from(features);
+                sparse_sparse_dense(&x, &dense_to_csr(weights.layer(i))).0
+            }
+            Some(x) => x.matmul(weights.layer(i)),
+        };
+        let (mut aggregated, _) = pull_row_wise(&a_tilde, &xw);
+        aggregated.map_inplace(|v| layer.activation.apply(v));
+        outputs.push(aggregated.clone());
+        current = Some(aggregated);
+    }
+    outputs
+}
+
+fn dense_to_csr(m: &DenseMatrix) -> CsrMatrix {
+    let mut triplets = Vec::new();
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            let v = m.get(r, c);
+            if v != 0.0 {
+                triplets.push((r as u32, c as u32, v));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(m.rows(), m.cols(), &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_graph::NodeId;
+
+    fn setup() -> (CsrGraph, SparseFeatures, GnnModel, ModelWeights) {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+            .unwrap();
+        let x = SparseFeatures::random(5, 6, 0.5, 11);
+        let model = GnnModel::gcn(6, 4, 3);
+        let w = ModelWeights::glorot(&model, 2);
+        (g, x, model, w)
+    }
+
+    #[test]
+    fn output_shape() {
+        let (g, x, model, w) = setup();
+        let out = reference_forward(&g, &x, &model, &w);
+        assert_eq!(out.rows(), 5);
+        assert_eq!(out.cols(), 3);
+    }
+
+    #[test]
+    fn layers_api_last_equals_forward() {
+        let (g, x, model, w) = setup();
+        let out = reference_forward(&g, &x, &model, &w);
+        let layers = reference_forward_layers(&g, &x, &model, &w);
+        assert_eq!(layers.len(), 2);
+        assert!(layers[1].max_abs_diff(&out) < 1e-7);
+    }
+
+    #[test]
+    fn relu_applied_between_layers() {
+        let (g, x, model, w) = setup();
+        let layers = reference_forward_layers(&g, &x, &model, &w);
+        assert!(layers[0].as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn isolated_node_gets_only_self_contribution() {
+        // Node 2 is isolated; with symmetric normalisation its output is
+        // its own combination scaled by 1/(0+1) = 1.
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1)]).unwrap();
+        let x = SparseFeatures::from_rows(3, 2, vec![
+            vec![(0, 1.0)],
+            vec![(1, 1.0)],
+            vec![(0, 2.0), (1, 2.0)],
+        ]);
+        let model = GnnModel::gcn(2, 2, 2);
+        let w = ModelWeights::from_matrices(vec![
+            DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+            DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+        ]);
+        let out = reference_forward_layers(&g, &x, &model, &w);
+        // Layer 0, node 2: XW row = [2, 2]; Ã_22 = 1; ReLU([2,2]) = [2,2].
+        assert!((out[0].get(2, 0) - 2.0).abs() < 1e-6);
+        assert!((out[0].get(2, 1) - 2.0).abs() < 1e-6);
+        let _ = NodeId::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn wrong_feature_width_panics() {
+        let (g, _, model, w) = setup();
+        let bad = SparseFeatures::random(5, 9, 0.5, 1);
+        let _ = reference_forward(&g, &bad, &model, &w);
+    }
+
+    #[test]
+    fn graphsage_and_gin_run() {
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let x = SparseFeatures::random(4, 5, 0.6, 4);
+        for model in [GnnModel::graphsage(5, 4, 2), GnnModel::gin(5, 4, 2, 0.1)] {
+            let w = ModelWeights::glorot(&model, 3);
+            let out = reference_forward(&g, &x, &model, &w);
+            assert_eq!(out.rows(), 4);
+            assert_eq!(out.cols(), 2);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic weight initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use igcn_linalg::DenseMatrix;
+
+use crate::model::GnnModel;
+
+/// The weight matrices of a model, one per layer.
+///
+/// Initialised with Glorot-uniform, seeded for reproducibility — inference
+/// accelerators do not train, they consume fixed weights, so any
+/// well-scaled deterministic initialisation exercises the same compute.
+///
+/// # Example
+///
+/// ```
+/// use igcn_gnn::{GnnModel, ModelWeights};
+///
+/// let model = GnnModel::gcn(64, 16, 4);
+/// let w = ModelWeights::glorot(&model, 7);
+/// assert_eq!(w.layer(0).rows(), 64);
+/// assert_eq!(w.layer(1).cols(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWeights {
+    layers: Vec<DenseMatrix>,
+}
+
+impl ModelWeights {
+    /// Glorot-uniform initialisation: each entry uniform in `±sqrt(6/(fan_in+fan_out))`.
+    pub fn glorot(model: &GnnModel, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = model
+            .layers()
+            .iter()
+            .map(|layer| {
+                let bound = (6.0 / (layer.in_dim + layer.out_dim) as f64).sqrt() as f32;
+                let data = (0..layer.in_dim * layer.out_dim)
+                    .map(|_| rng.gen_range(-bound..bound))
+                    .collect();
+                DenseMatrix::from_vec(layer.in_dim, layer.out_dim, data)
+            })
+            .collect();
+        ModelWeights { layers }
+    }
+
+    /// Builds weights from explicit matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not chain (`layer i` columns must equal
+    /// `layer i+1` rows).
+    pub fn from_matrices(layers: Vec<DenseMatrix>) -> Self {
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].cols(),
+                pair[1].rows(),
+                "weight shapes do not chain between layers"
+            );
+        }
+        ModelWeights { layers }
+    }
+
+    /// Weight matrix of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> &DenseMatrix {
+        &self.layers[i]
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|w| w.rows() * w.cols()).sum()
+    }
+
+    /// Total bytes occupied by parameters (fp32).
+    pub fn parameter_bytes(&self) -> usize {
+        self.num_parameters() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_shapes_follow_model() {
+        let m = GnnModel::gin(32, 16, 4, 0.1);
+        let w = ModelWeights::glorot(&m, 1);
+        assert_eq!(w.num_layers(), 3);
+        assert_eq!(w.layer(0).rows(), 32);
+        assert_eq!(w.layer(0).cols(), 16);
+        assert_eq!(w.layer(2).cols(), 4);
+        assert_eq!(w.num_parameters(), 32 * 16 + 16 * 16 + 16 * 4);
+    }
+
+    #[test]
+    fn glorot_deterministic() {
+        let m = GnnModel::gcn(8, 4, 2);
+        assert_eq!(ModelWeights::glorot(&m, 5), ModelWeights::glorot(&m, 5));
+        assert_ne!(ModelWeights::glorot(&m, 5), ModelWeights::glorot(&m, 6));
+    }
+
+    #[test]
+    fn glorot_is_bounded() {
+        let m = GnnModel::gcn(10, 10, 10);
+        let w = ModelWeights::glorot(&m, 2);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(w.layer(0).as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not chain")]
+    fn mismatched_chain_panics() {
+        let _ = ModelWeights::from_matrices(vec![
+            DenseMatrix::zeros(4, 3),
+            DenseMatrix::zeros(5, 2),
+        ]);
+    }
+
+    #[test]
+    fn parameter_bytes() {
+        let m = GnnModel::gcn(4, 2, 2);
+        let w = ModelWeights::glorot(&m, 0);
+        assert_eq!(w.parameter_bytes(), (4 * 2 + 2 * 2) * 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Incremental graph construction.
+
+use crate::coo::CooGraph;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+
+/// Builder for [`CsrGraph`] values.
+///
+/// A thin, non-consuming builder over a [`CooGraph`] that supports the
+/// common "accumulate undirected edges, then freeze" construction used by
+/// the generators, plus optional self-loop and symmetry policies.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(5)
+///     .undirected_edge(0, 1)
+///     .undirected_edge(1, 2)
+///     .undirected_edge(3, 4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_undirected_edges(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    coo: CooGraph,
+    drop_self_loops: bool,
+    symmetrize: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            coo: CooGraph::new(num_nodes),
+            drop_self_loops: false,
+            symmetrize: false,
+        }
+    }
+
+    /// Adds an undirected edge (both directions).
+    pub fn undirected_edge(&mut self, u: u32, v: u32) -> &mut Self {
+        self.coo.push_undirected(u, v);
+        self
+    }
+
+    /// Adds a directed edge.
+    pub fn directed_edge(&mut self, from: u32, to: u32) -> &mut Self {
+        self.coo.push_directed(from, to);
+        self
+    }
+
+    /// Adds many undirected edges.
+    pub fn undirected_edges<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) -> &mut Self {
+        for (u, v) in iter {
+            self.coo.push_undirected(u, v);
+        }
+        self
+    }
+
+    /// Drop self-loop records at build time.
+    pub fn drop_self_loops(&mut self, yes: bool) -> &mut Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Add the reverse of every record at build time, guaranteeing a
+    /// symmetric result.
+    pub fn symmetrize(&mut self, yes: bool) -> &mut Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Number of edge records accumulated so far.
+    pub fn num_records(&self) -> usize {
+        self.coo.num_records()
+    }
+
+    /// Freezes the accumulated edges into a [`CsrGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if any endpoint is out of
+    /// range.
+    pub fn build(&self) -> Result<CsrGraph, GraphError> {
+        let mut edges: Vec<(u32, u32)> = self.coo.edges().to_vec();
+        if self.drop_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+        if self.symmetrize {
+            let mut extra: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (v, u)).collect();
+            edges.append(&mut extra);
+        }
+        CsrGraph::from_directed_edges(self.coo.num_nodes(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn builder_chains() {
+        let g = GraphBuilder::new(3)
+            .undirected_edge(0, 1)
+            .directed_edge(2, 0)
+            .symmetrize(true)
+            .build()
+            .unwrap();
+        assert!(g.is_symmetric());
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn drop_self_loops_filters() {
+        let g = GraphBuilder::new(2)
+            .undirected_edge(0, 0)
+            .undirected_edge(0, 1)
+            .drop_self_loops(true)
+            .build()
+            .unwrap();
+        assert_eq!(g.count_self_loops(), 0);
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn undirected_edges_bulk() {
+        let mut b = GraphBuilder::new(4);
+        b.undirected_edges(vec![(0, 1), (2, 3)]);
+        assert_eq!(b.num_records(), 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_undirected_edges(), 2);
+    }
+}

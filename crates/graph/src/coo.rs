@@ -1,0 +1,136 @@
+//! Coordinate-format edge lists.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+
+/// An edge list in coordinate (COO) form.
+///
+/// COO is the natural output format of the synthetic generators and the
+/// input format of text edge-list files; [`CooGraph::to_csr`] converts to
+/// the [`CsrGraph`] form consumed everywhere else.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::CooGraph;
+///
+/// let mut coo = CooGraph::new(3);
+/// coo.push_undirected(0, 1);
+/// coo.push_undirected(1, 2);
+/// let g = coo.to_csr().unwrap();
+/// assert_eq!(g.num_undirected_edges(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CooGraph {
+    num_nodes: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl CooGraph {
+    /// Creates an empty edge list over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        CooGraph { num_nodes, edges: Vec::new() }
+    }
+
+    /// Creates an edge list with pre-allocated capacity.
+    pub fn with_capacity(num_nodes: usize, capacity: usize) -> Self {
+        CooGraph { num_nodes, edges: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of stored (directed) edge records, duplicates included.
+    pub fn num_records(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Appends a directed edge record.
+    pub fn push_directed(&mut self, from: u32, to: u32) {
+        self.edges.push((from, to));
+    }
+
+    /// Appends an undirected edge: both directions when `u != v`, a single
+    /// self-loop record otherwise.
+    pub fn push_undirected(&mut self, u: u32, v: u32) {
+        self.edges.push((u, v));
+        if u != v {
+            self.edges.push((v, u));
+        }
+    }
+
+    /// The stored edge records.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Converts to CSR, deduplicating and sorting neighbor lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is out of
+    /// range.
+    pub fn to_csr(&self) -> Result<CsrGraph, GraphError> {
+        CsrGraph::from_directed_edges(self.num_nodes, &self.edges)
+    }
+
+    /// Whether the directed record `(from, to)` occurs at least once.
+    pub fn contains(&self, from: NodeId, to: NodeId) -> bool {
+        self.edges.contains(&(from.value(), to.value()))
+    }
+}
+
+impl Extend<(u32, u32)> for CooGraph {
+    fn extend<T: IntoIterator<Item = (u32, u32)>>(&mut self, iter: T) {
+        self.edges.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_undirected_adds_both_directions() {
+        let mut coo = CooGraph::new(4);
+        coo.push_undirected(1, 2);
+        assert_eq!(coo.num_records(), 2);
+        assert!(coo.contains(NodeId::new(1), NodeId::new(2)));
+        assert!(coo.contains(NodeId::new(2), NodeId::new(1)));
+    }
+
+    #[test]
+    fn self_loop_pushed_once() {
+        let mut coo = CooGraph::new(4);
+        coo.push_undirected(3, 3);
+        assert_eq!(coo.num_records(), 1);
+    }
+
+    #[test]
+    fn to_csr_dedups() {
+        let mut coo = CooGraph::new(3);
+        coo.push_directed(0, 1);
+        coo.push_directed(0, 1);
+        let g = coo.to_csr().unwrap();
+        assert_eq!(g.num_directed_edges(), 1);
+    }
+
+    #[test]
+    fn extend_appends_records() {
+        let mut coo = CooGraph::new(5);
+        coo.extend(vec![(0, 1), (1, 2)]);
+        assert_eq!(coo.num_records(), 2);
+    }
+
+    #[test]
+    fn to_csr_propagates_bounds_error() {
+        let mut coo = CooGraph::new(2);
+        coo.push_directed(0, 7);
+        assert!(coo.to_csr().is_err());
+    }
+}

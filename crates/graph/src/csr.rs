@@ -1,0 +1,502 @@
+//! Compressed-sparse-row adjacency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::permutation::Permutation;
+
+/// An unweighted graph stored in compressed-sparse-row (CSR) form.
+///
+/// This mirrors the adjacency-list layout the I-GCN hardware streams from
+/// global memory: one contiguous neighbor array (`col_idx`) indexed by a
+/// per-node offset array (`row_ptr`). Neighbor lists are kept sorted, which
+/// makes [`CsrGraph::has_edge`] a binary search and gives deterministic
+/// iteration order to the islandization algorithm.
+///
+/// For GCN processing the adjacency is *symmetric* (undirected graph); all
+/// dataset generators in this crate produce symmetric graphs and
+/// [`CsrGraph::is_symmetric`] verifies the property.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::{CsrGraph, NodeId};
+///
+/// let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.has_edge(NodeId::new(2), NodeId::new(1)));
+/// assert_eq!(g.num_directed_edges(), 6);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from *directed* edge pairs.
+    ///
+    /// Duplicate edges are collapsed; neighbor lists are sorted. Self-loops
+    /// are kept (GCN's `A + I` handling strips/reinstates them explicitly at
+    /// a higher layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is `>= num_nodes`.
+    pub fn from_directed_edges(
+        num_nodes: usize,
+        edges: &[(u32, u32)],
+    ) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: u, num_nodes });
+            }
+            if v as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: v, num_nodes });
+            }
+        }
+        // Counting sort by source, then per-row sort + dedup.
+        let mut counts = vec![0usize; num_nodes + 1];
+        for &(u, _) in edges {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0u32; edges.len()];
+        let mut cursor = counts.clone();
+        for &(u, v) in edges {
+            col_idx[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(num_nodes + 1);
+        row_ptr.push(0);
+        let mut dedup = Vec::with_capacity(col_idx.len());
+        for u in 0..num_nodes {
+            let row = &mut col_idx[counts[u]..counts[u + 1]];
+            row.sort_unstable();
+            let mut prev: Option<u32> = None;
+            for &v in row.iter() {
+                if prev != Some(v) {
+                    dedup.push(v);
+                    prev = Some(v);
+                }
+            }
+            row_ptr.push(dedup.len());
+        }
+        Ok(CsrGraph { num_nodes, row_ptr, col_idx: dedup })
+    }
+
+    /// Builds a symmetric graph from *undirected* edge pairs: each pair
+    /// `(u, v)` with `u != v` inserts both `(u, v)` and `(v, u)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is `>= num_nodes`.
+    pub fn from_undirected_edges(
+        num_nodes: usize,
+        edges: &[(u32, u32)],
+    ) -> Result<Self, GraphError> {
+        let mut directed = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            directed.push((u, v));
+            if u != v {
+                directed.push((v, u));
+            }
+        }
+        Self::from_directed_edges(num_nodes, &directed)
+    }
+
+    /// Builds a graph directly from raw CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MalformedRowPtr`] if `row_ptr` has the wrong
+    /// length, is non-monotone, or does not end at `col_idx.len()`;
+    /// [`GraphError::NodeOutOfBounds`] if a column index is out of range.
+    pub fn from_raw_parts(
+        num_nodes: usize,
+        row_ptr: Vec<usize>,
+        mut col_idx: Vec<u32>,
+    ) -> Result<Self, GraphError> {
+        if row_ptr.len() != num_nodes + 1 {
+            return Err(GraphError::MalformedRowPtr {
+                detail: format!("expected {} entries, got {}", num_nodes + 1, row_ptr.len()),
+            });
+        }
+        if row_ptr.first() != Some(&0) || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(GraphError::MalformedRowPtr {
+                detail: "row_ptr must start at 0 and end at col_idx.len()".to_string(),
+            });
+        }
+        for w in row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(GraphError::MalformedRowPtr {
+                    detail: "row_ptr must be non-decreasing".to_string(),
+                });
+            }
+        }
+        for &v in &col_idx {
+            if v as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: v, num_nodes });
+            }
+        }
+        for u in 0..num_nodes {
+            col_idx[row_ptr[u]..row_ptr[u + 1]].sort_unstable();
+        }
+        Ok(CsrGraph { num_nodes, row_ptr, col_idx })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of stored (directed) adjacency entries. For a symmetric graph
+    /// this is twice the number of undirected edges plus the number of
+    /// self-loops.
+    pub fn num_directed_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of undirected edges, assuming a symmetric adjacency.
+    /// Self-loops count once.
+    pub fn num_undirected_edges(&self) -> usize {
+        let self_loops = self.count_self_loops();
+        (self.col_idx.len() - self_loops) / 2 + self_loops
+    }
+
+    /// Number of self-loop entries `(v, v)`.
+    pub fn count_self_loops(&self) -> usize {
+        (0..self.num_nodes)
+            .filter(|&u| self.neighbors_raw(u).binary_search(&(u as u32)).is_ok())
+            .count()
+    }
+
+    /// The sorted neighbor list of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
+        self.neighbors_raw(node.index())
+    }
+
+    fn neighbors_raw(&self, u: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[u]..self.row_ptr[u + 1]]
+    }
+
+    /// Degree (number of stored adjacency entries) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn degree(&self, node: NodeId) -> usize {
+        let u = node.index();
+        self.row_ptr[u + 1] - self.row_ptr[u]
+    }
+
+    /// Degrees of all nodes, indexable by [`NodeId::index`].
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.num_nodes)
+            .map(|u| (self.row_ptr[u + 1] - self.row_ptr[u]) as u32)
+            .collect()
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes)
+            .map(|u| self.row_ptr[u + 1] - self.row_ptr[u])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean degree over all nodes (0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.col_idx.len() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Density of the adjacency matrix: stored entries over `n^2`.
+    pub fn density(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.col_idx.len() as f64 / (self.num_nodes as f64 * self.num_nodes as f64)
+        }
+    }
+
+    /// Whether the directed edge `(from, to)` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of bounds.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.neighbors(from).binary_search(&to.value()).is_ok()
+    }
+
+    /// Iterates over all stored directed edges in row-major order.
+    pub fn iter_edges(&self) -> EdgeIter<'_> {
+        EdgeIter { graph: self, row: 0, pos: 0 }
+    }
+
+    /// Iterates over all node identifiers `0..num_nodes`.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes as u32).map(NodeId::new)
+    }
+
+    /// Whether every edge `(u, v)` has its reverse `(v, u)`.
+    pub fn is_symmetric(&self) -> bool {
+        self.check_symmetric().is_ok()
+    }
+
+    /// Verifies symmetry, reporting the first unpaired edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotSymmetric`] with the first unpaired edge.
+    pub fn check_symmetric(&self) -> Result<(), GraphError> {
+        for (u, v) in self.iter_edges() {
+            if !self.has_edge(v, u) {
+                return Err(GraphError::NotSymmetric { from: u.value(), to: v.value() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose (reverse of every edge). For symmetric graphs
+    /// this is equal to the input.
+    pub fn transpose(&self) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = self
+            .iter_edges()
+            .map(|(u, v)| (v.value(), u.value()))
+            .collect();
+        CsrGraph::from_directed_edges(self.num_nodes, &edges)
+            .expect("transpose of a valid graph is valid")
+    }
+
+    /// Returns the symmetric closure: every edge plus its reverse.
+    pub fn symmetrize(&self) -> CsrGraph {
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.col_idx.len() * 2);
+        for (u, v) in self.iter_edges() {
+            edges.push((u.value(), v.value()));
+            edges.push((v.value(), u.value()));
+        }
+        CsrGraph::from_directed_edges(self.num_nodes, &edges)
+            .expect("symmetrization of a valid graph is valid")
+    }
+
+    /// Returns a copy with all self-loops removed.
+    pub fn without_self_loops(&self) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = self
+            .iter_edges()
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| (u.value(), v.value()))
+            .collect();
+        CsrGraph::from_directed_edges(self.num_nodes, &edges)
+            .expect("filtered edges of a valid graph are valid")
+    }
+
+    /// Relabels nodes: node `v` becomes `perm.map(v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPermutation`] if `perm` is not over
+    /// exactly `num_nodes` elements.
+    pub fn permute(&self, perm: &Permutation) -> Result<CsrGraph, GraphError> {
+        if perm.len() != self.num_nodes {
+            return Err(GraphError::InvalidPermutation {
+                detail: format!(
+                    "permutation over {} elements applied to graph with {} nodes",
+                    perm.len(),
+                    self.num_nodes
+                ),
+            });
+        }
+        let edges: Vec<(u32, u32)> = self
+            .iter_edges()
+            .map(|(u, v)| (perm.map(u).value(), perm.map(v).value()))
+            .collect();
+        CsrGraph::from_directed_edges(self.num_nodes, &edges)
+    }
+
+    /// Raw CSR row-pointer array (length `num_nodes + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw CSR column-index array.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("num_nodes", &self.num_nodes)
+            .field("num_directed_edges", &self.col_idx.len())
+            .finish()
+    }
+}
+
+/// Iterator over the directed edges of a [`CsrGraph`], produced by
+/// [`CsrGraph::iter_edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    graph: &'a CsrGraph,
+    row: usize,
+    pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.row < self.graph.num_nodes {
+            if self.pos < self.graph.row_ptr[self.row + 1] {
+                let v = self.graph.col_idx[self.pos];
+                let u = self.row as u32;
+                self.pos += 1;
+                return Some((NodeId::new(u), NodeId::new(v)));
+            }
+            self.row += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.graph.col_idx.len() - self.pos;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for EdgeIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_undirected_builds_symmetric() {
+        let g = path4();
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_directed_edges(), 6);
+        assert_eq!(g.num_undirected_edges(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_deduped() {
+        let g = CsrGraph::from_directed_edges(3, &[(0, 2), (0, 1), (0, 2), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(NodeId::new(0)), &[1, 2]);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_edge_rejected() {
+        let err = CsrGraph::from_directed_edges(2, &[(0, 5)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfBounds { node: 5, num_nodes: 2 });
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = path4();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn self_loops_counted_once() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.count_self_loops(), 1);
+        assert_eq!(g.num_undirected_edges(), 2);
+        assert_eq!(g.num_directed_edges(), 3);
+    }
+
+    #[test]
+    fn transpose_of_asymmetric() {
+        let g = CsrGraph::from_directed_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let t = g.transpose();
+        assert!(t.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(t.has_edge(NodeId::new(2), NodeId::new(1)));
+        assert!(!t.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn symmetrize_adds_reverses() {
+        let g = CsrGraph::from_directed_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = g.symmetrize();
+        assert!(s.is_symmetric());
+        assert_eq!(s.num_directed_edges(), 4);
+    }
+
+    #[test]
+    fn without_self_loops_strips_diagonal() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 0), (0, 1), (2, 2)]).unwrap();
+        let s = g.without_self_loops();
+        assert_eq!(s.count_self_loops(), 0);
+        assert_eq!(s.num_directed_edges(), 2);
+    }
+
+    #[test]
+    fn permute_relabels_consistently() {
+        let g = path4();
+        // Reverse order: 0<->3, 1<->2.
+        let p = Permutation::from_forward(vec![3, 2, 1, 0]).unwrap();
+        let h = g.permute(&p).unwrap();
+        assert!(h.has_edge(NodeId::new(3), NodeId::new(2)));
+        assert!(h.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert_eq!(h.num_directed_edges(), g.num_directed_edges());
+    }
+
+    #[test]
+    fn permute_wrong_size_rejected() {
+        let g = path4();
+        let p = Permutation::identity(3);
+        assert!(matches!(g.permute(&p), Err(GraphError::InvalidPermutation { .. })));
+    }
+
+    #[test]
+    fn edge_iter_covers_all_entries() {
+        let g = path4();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges.len(), g.num_directed_edges());
+        assert_eq!(edges[0], (NodeId::new(0), NodeId::new(1)));
+        let iter = g.iter_edges();
+        assert_eq!(iter.len(), 6);
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        assert!(CsrGraph::from_raw_parts(2, vec![0, 1, 2], vec![1, 0]).is_ok());
+        assert!(CsrGraph::from_raw_parts(2, vec![0, 2], vec![1, 0]).is_err());
+        assert!(CsrGraph::from_raw_parts(2, vec![0, 1, 1], vec![1, 0]).is_err());
+        assert!(CsrGraph::from_raw_parts(2, vec![0, 2, 1], vec![1, 0]).is_err());
+        assert!(CsrGraph::from_raw_parts(2, vec![0, 1, 2], vec![1, 9]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_degenerate_stats() {
+        let g = CsrGraph::from_directed_edges(0, &[]).unwrap();
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.density(), 0.0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", path4());
+        assert!(s.contains("CsrGraph"));
+        assert!(s.contains("num_nodes"));
+    }
+}

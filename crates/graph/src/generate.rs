@@ -1,0 +1,18 @@
+//! Synthetic graph generators.
+//!
+//! The I-GCN evaluation uses five real-world graphs. Those datasets are not
+//! redistributable inside this repository, so the generators here produce
+//! synthetic stand-ins that match the statistics that matter to the
+//! accelerator: node/edge counts, power-law degree distributions, and —
+//! crucially for islandization — planted hub-and-island community
+//! structure of controllable strength (see [`islands`]).
+
+pub mod erdos;
+pub mod islands;
+pub mod powerlaw;
+pub mod rmat;
+
+pub use erdos::erdos_renyi;
+pub use islands::{HubIslandConfig, HubIslandGraph};
+pub use powerlaw::barabasi_albert;
+pub use rmat::{rmat, RmatConfig};

@@ -1,0 +1,74 @@
+//! Erdős–Rényi random graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooGraph;
+use crate::csr::CsrGraph;
+
+/// Generates a `G(n, m)` Erdős–Rényi graph: `num_edges` undirected edges
+/// drawn uniformly (with rejection of self-loops).
+///
+/// Erdős–Rényi graphs have *no* community structure, making them the
+/// adversarial input for islandization: nearly every node should end up a
+/// hub or a tiny island, and the locality benefit should shrink — a useful
+/// negative control in tests and ablation benches.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::generate::erdos_renyi;
+///
+/// let g = erdos_renyi(100, 300, 5);
+/// assert_eq!(g.num_nodes(), 100);
+/// assert!(g.is_symmetric());
+/// ```
+pub fn erdos_renyi(num_nodes: usize, num_edges: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooGraph::with_capacity(num_nodes, num_edges * 2);
+    if num_nodes >= 2 {
+        for _ in 0..num_edges {
+            loop {
+                let u = rng.gen_range(0..num_nodes as u32);
+                let v = rng.gen_range(0..num_nodes as u32);
+                if u != v {
+                    coo.push_undirected(u, v);
+                    break;
+                }
+            }
+        }
+    }
+    coo.to_csr().expect("erdos-renyi endpoints in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_about_requested_edges() {
+        let g = erdos_renyi(200, 500, 1);
+        // Duplicates collapse, so at most 500.
+        assert!(g.num_undirected_edges() <= 500);
+        assert!(g.num_undirected_edges() > 400);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(50, 200, 2);
+        assert_eq!(g.count_self_loops(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(64, 100, 3), erdos_renyi(64, 100, 3));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g = erdos_renyi(0, 10, 4);
+        assert_eq!(g.num_nodes(), 0);
+        let g = erdos_renyi(1, 10, 4);
+        assert_eq!(g.num_directed_edges(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Preferential-attachment (Barabási–Albert) power-law graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooGraph;
+use crate::csr::CsrGraph;
+
+/// Generates a Barabási–Albert preferential-attachment graph: nodes arrive
+/// one at a time and connect `edges_per_node` edges to existing nodes with
+/// probability proportional to current degree.
+///
+/// This produces the power-law degree distribution that drives AWB-GCN's
+/// workload-imbalance problem (and I-GCN's hub detection), without planted
+/// island structure.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::generate::barabasi_albert;
+///
+/// let g = barabasi_albert(500, 3, 11);
+/// assert_eq!(g.num_nodes(), 500);
+/// assert!(g.max_degree() > 3 * 5, "head of the distribution should be heavy");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `edges_per_node == 0`.
+pub fn barabasi_albert(num_nodes: usize, edges_per_node: usize, seed: u64) -> CsrGraph {
+    assert!(edges_per_node > 0, "edges_per_node must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = edges_per_node;
+    let seed_nodes = (m + 1).min(num_nodes);
+    let mut coo = CooGraph::with_capacity(num_nodes, num_nodes * m * 2);
+    // `targets` holds one entry per edge endpoint, so uniform sampling from
+    // it is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(num_nodes * m * 2);
+
+    // Seed clique over the first few nodes.
+    for i in 0..seed_nodes {
+        for j in (i + 1)..seed_nodes {
+            coo.push_undirected(i as u32, j as u32);
+            endpoints.push(i as u32);
+            endpoints.push(j as u32);
+        }
+    }
+
+    for v in seed_nodes..num_nodes {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..v as u32)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if t != v as u32 {
+                chosen.insert(t);
+            }
+        }
+        for &t in &chosen {
+            coo.push_undirected(v as u32, t);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    coo.to_csr().expect("BA endpoints in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_late_node_has_min_degree() {
+        let g = barabasi_albert(300, 2, 1);
+        for v in g.iter_nodes() {
+            assert!(g.degree(v) >= 1, "node {v} isolated");
+        }
+    }
+
+    #[test]
+    fn power_law_head() {
+        let g = barabasi_albert(2000, 3, 2);
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        assert!(max > 8.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_m_panics() {
+        let _ = barabasi_albert(10, 0, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Textual graph I/O.
+//!
+//! A minimal self-describing edge-list format:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! nodes <n>
+//! <u> <v>
+//! <u> <v>
+//! ...
+//! ```
+//!
+//! Edges are stored directed; symmetric graphs round-trip exactly.
+
+use std::io::{BufRead, Write};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+
+/// Writes a graph in the edge-list format.
+///
+/// A `&mut` reference can be passed for `writer` since `Write` is
+/// implemented for `&mut W`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# igcn edge list v1")?;
+    writeln!(writer, "nodes {}", graph.num_nodes())?;
+    for (u, v) in graph.iter_edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a graph from the edge-list format.
+///
+/// A `&mut` reference can be passed for `reader` since `BufRead` is
+/// implemented for `&mut R`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed input; I/O errors are
+/// converted to a parse error carrying the line number.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut num_nodes: Option<usize> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno,
+            detail: format!("i/o error: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes ") {
+            let n = rest.trim().parse::<usize>().map_err(|_| GraphError::Parse {
+                line: lineno,
+                detail: format!("invalid node count {rest:?}"),
+            })?;
+            num_nodes = Some(n);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let u = parts
+            .next()
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                detail: "expected source node id".to_string(),
+            })?;
+        let v = parts
+            .next()
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                detail: "expected destination node id".to_string(),
+            })?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno,
+                detail: "trailing tokens after edge".to_string(),
+            });
+        }
+        edges.push((u, v));
+    }
+    let num_nodes = num_nodes.ok_or(GraphError::Parse {
+        line: 0,
+        detail: "missing `nodes <n>` header".to_string(),
+    })?;
+    CsrGraph::from_directed_edges(num_nodes, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\nnodes 3\n0 1\n# another\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_directed_edges(), 2);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = read_edge_list("0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn malformed_edge_rejected() {
+        let err = read_edge_list("nodes 2\n0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("destination"));
+        let err = read_edge_list("nodes 2\n0 1 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn out_of_bounds_edge_rejected() {
+        let err = read_edge_list("nodes 2\n0 9\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,118 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (vertex) in a graph.
+///
+/// A newtype over `u32`, which bounds graphs at ~4.2 billion nodes — far
+/// beyond anything the I-GCN evaluation touches (Reddit, the largest, has
+/// 233 K nodes) while keeping adjacency arrays compact, exactly as the
+/// hardware stores node IDs in its FIFOs and tables.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::NodeId;
+///
+/// let n = NodeId::new(42);
+/// assert_eq!(n.index(), 42usize);
+/// assert_eq!(u32::from(n), 42u32);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from its raw `u32` value.
+    pub const fn new(value: u32) -> Self {
+        NodeId(value)
+    }
+
+    /// Creates a node identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "node index {index} exceeds u32::MAX");
+        NodeId(index as u32)
+    }
+
+    /// Returns the identifier as a `usize` suitable for indexing arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let n = NodeId::new(17);
+        assert_eq!(u32::from(n), 17);
+        assert_eq!(NodeId::from(17u32), n);
+    }
+
+    #[test]
+    fn index_matches_value() {
+        let n = NodeId::from_index(1234);
+        assert_eq!(n.index(), 1234);
+        assert_eq!(n.value(), 1234);
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5).max(NodeId::new(3)), NodeId::new(5));
+    }
+
+    #[test]
+    fn debug_display_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{}", NodeId::new(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Node relabellings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::node::NodeId;
+
+/// A bijection over node identifiers `0..n`, used to express graph
+/// reorderings.
+///
+/// `forward[old] = new`: applying the permutation relabels node `old` as
+/// node `new`. The reordering baselines of the paper (Rabbit, DBG, HubSort,
+/// …) all produce values of this type, as does the ordering induced by
+/// islandization for the Figure 9/13 spy plots.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::{NodeId, Permutation};
+///
+/// let p = Permutation::from_forward(vec![2, 0, 1]).unwrap();
+/// assert_eq!(p.map(NodeId::new(0)), NodeId::new(2));
+/// assert_eq!(p.inverse().map(NodeId::new(2)), NodeId::new(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    forward: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation over `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Permutation { forward: (0..n as u32).collect() }
+    }
+
+    /// Builds a permutation from its forward map (`forward[old] = new`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPermutation`] if the map is not a
+    /// bijection over `0..forward.len()`.
+    pub fn from_forward(forward: Vec<u32>) -> Result<Self, GraphError> {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &img in &forward {
+            let idx = img as usize;
+            if idx >= n {
+                return Err(GraphError::InvalidPermutation {
+                    detail: format!("image {img} out of range for {n} elements"),
+                });
+            }
+            if seen[idx] {
+                return Err(GraphError::InvalidPermutation {
+                    detail: format!("image {img} appears more than once"),
+                });
+            }
+            seen[idx] = true;
+        }
+        Ok(Permutation { forward })
+    }
+
+    /// Builds the permutation that relabels `order[i]` as `i`; i.e. `order`
+    /// lists the old node IDs in their new positions. This is the natural
+    /// output of ordering algorithms that emit a node sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPermutation`] if `order` is not a
+    /// bijection.
+    pub fn from_order(order: &[u32]) -> Result<Self, GraphError> {
+        let n = order.len();
+        let mut forward = vec![u32::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            let idx = old as usize;
+            if idx >= n {
+                return Err(GraphError::InvalidPermutation {
+                    detail: format!("node {old} out of range for {n} elements"),
+                });
+            }
+            if forward[idx] != u32::MAX {
+                return Err(GraphError::InvalidPermutation {
+                    detail: format!("node {old} appears more than once in order"),
+                });
+            }
+            forward[idx] = new as u32;
+        }
+        Ok(Permutation { forward })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation is over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// New label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn map(&self, node: NodeId) -> NodeId {
+        NodeId::new(self.forward[node.index()])
+    }
+
+    /// The forward map as a slice (`forward[old] = new`).
+    pub fn as_forward(&self) -> &[u32] {
+        &self.forward
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.forward.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Composition: applies `self` first, then `after`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutations have different lengths.
+    pub fn then(&self, after: &Permutation) -> Permutation {
+        assert_eq!(self.len(), after.len(), "composed permutations must have equal length");
+        let forward = self
+            .forward
+            .iter()
+            .map(|&mid| after.forward[mid as usize])
+            .collect();
+        Permutation { forward }
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(i, &v)| i as u32 == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.map(NodeId::new(2)), NodeId::new(2));
+    }
+
+    #[test]
+    fn from_forward_rejects_duplicates_and_oob() {
+        assert!(Permutation::from_forward(vec![0, 0]).is_err());
+        assert!(Permutation::from_forward(vec![0, 5]).is_err());
+        assert!(Permutation::from_forward(vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn from_order_is_inverse_of_sequence() {
+        // order: old node 2 comes first, then 0, then 1.
+        let p = Permutation::from_order(&[2, 0, 1]).unwrap();
+        assert_eq!(p.map(NodeId::new(2)), NodeId::new(0));
+        assert_eq!(p.map(NodeId::new(0)), NodeId::new(1));
+        assert_eq!(p.map(NodeId::new(1)), NodeId::new(2));
+    }
+
+    #[test]
+    fn from_order_rejects_invalid() {
+        assert!(Permutation::from_order(&[0, 0]).is_err());
+        assert!(Permutation::from_order(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let p = Permutation::from_forward(vec![3, 1, 0, 2]).unwrap();
+        let composed = p.then(&p.inverse());
+        assert!(composed.is_identity());
+    }
+
+    #[test]
+    fn composition_order() {
+        let first = Permutation::from_forward(vec![1, 2, 0]).unwrap();
+        let second = Permutation::from_forward(vec![2, 0, 1]).unwrap();
+        let c = first.then(&second);
+        // node 0: first -> 1, second -> 0.
+        assert_eq!(c.map(NodeId::new(0)), NodeId::new(0));
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+    }
+}

@@ -1,0 +1,232 @@
+//! Row-major dense matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense `f32` matrix.
+///
+/// Used for feature matrices after the first combination (`X·W` is dense),
+/// for weight matrices, and as the output of every SpMM dataflow.
+///
+/// # Example
+///
+/// ```
+/// use igcn_linalg::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m.set(0, 2, 5.0);
+/// assert_eq!(m.get(0, 2), 5.0);
+/// assert_eq!(m.row(0), &[0.0, 0.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The full row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The full mutable row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Dense-dense product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every element of row `r` by `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn scale_row(&mut self, r: usize, s: f32) {
+        for v in self.row_mut(r) {
+            *v *= s;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Maximum absolute elementwise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        assert_eq!(m.get(1, 1), 0.0);
+        m.set(1, 0, 3.5);
+        assert_eq!(m.get(1, 0), 3.5);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMatrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dim_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scale_and_map() {
+        let mut m = DenseMatrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        m.scale_row(0, 2.0);
+        assert_eq!(m.as_slice(), &[2.0, -4.0, 6.0]);
+        m.map_inplace(|v| v.max(0.0));
+        assert_eq!(m.as_slice(), &[2.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn diff_and_norm() {
+        let a = DenseMatrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let b = DenseMatrix::from_vec(1, 2, vec![3.0, 4.5]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn from_vec_wrong_len_panics() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Factored GCN adjacency normalisation.
+
+use serde::{Deserialize, Serialize};
+
+use igcn_graph::{CsrGraph, NodeId};
+
+use crate::sparse::CsrMatrix;
+
+/// The symmetric GCN normalisation `Ã = D^(-1/2) (A + I) D^(-1/2)` in
+/// *factored* form.
+///
+/// Every normalised entry decomposes as `ã_ij = s(i) · s(j)` with
+/// `s(v) = 1/sqrt(degree(v) + 1)`. I-GCN's redundancy removal depends on
+/// this factoring: combination results are pre-scaled by `s(j)`, the island
+/// bitmap scan then performs *unweighted* accumulation (enabling
+/// pre-aggregated group reuse for shared neighbors), and outputs are
+/// post-scaled by `s(i)`. The factored execution is numerically identical
+/// (up to FP reassociation) to multiplying by the explicit `Ã`.
+///
+/// GraphSage's mean aggregator (`s_out = 1/(d+1)`, `s_in = 1`) and GIN's
+/// sum aggregator (`s = 1`, self-weight `1 + ε`) use the same interface.
+///
+/// # Example
+///
+/// ```
+/// use igcn_graph::{CsrGraph, NodeId};
+/// use igcn_linalg::GcnNormalization;
+///
+/// let g = CsrGraph::from_undirected_edges(2, &[(0, 1)]).unwrap();
+/// let norm = GcnNormalization::symmetric(&g);
+/// let s = norm.in_scale(NodeId::new(0));
+/// assert!((s - 1.0 / 2f32.sqrt()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnNormalization {
+    in_scale: Vec<f32>,
+    out_scale: Vec<f32>,
+    self_weight: f32,
+}
+
+impl GcnNormalization {
+    /// Symmetric GCN normalisation over `A + I` (self-loops added
+    /// implicitly; the graph itself should not contain them).
+    pub fn symmetric(graph: &CsrGraph) -> Self {
+        let scale: Vec<f32> = graph
+            .degrees()
+            .iter()
+            .map(|&d| 1.0 / ((d as f32) + 1.0).sqrt())
+            .collect();
+        GcnNormalization { in_scale: scale.clone(), out_scale: scale, self_weight: 1.0 }
+    }
+
+    /// GraphSage-style mean aggregation over `N(v) ∪ {v}`.
+    pub fn mean(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let out_scale: Vec<f32> = graph
+            .degrees()
+            .iter()
+            .map(|&d| 1.0 / ((d as f32) + 1.0))
+            .collect();
+        GcnNormalization { in_scale: vec![1.0; n], out_scale, self_weight: 1.0 }
+    }
+
+    /// GIN-style sum aggregation with self weight `1 + ε`.
+    pub fn gin(graph: &CsrGraph, epsilon: f32) -> Self {
+        let n = graph.num_nodes();
+        GcnNormalization {
+            in_scale: vec![1.0; n],
+            out_scale: vec![1.0; n],
+            self_weight: 1.0 + epsilon,
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.in_scale.len()
+    }
+
+    /// Whether the normalisation covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.in_scale.is_empty()
+    }
+
+    /// Pre-scale applied to node `v`'s combination result before
+    /// aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn in_scale(&self, v: NodeId) -> f32 {
+        self.in_scale[v.index()]
+    }
+
+    /// Post-scale applied to node `v`'s aggregated result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn out_scale(&self, v: NodeId) -> f32 {
+        self.out_scale[v.index()]
+    }
+
+    /// Weight of the implicit self-contribution (in units of the node's own
+    /// *pre-scaled* combination result).
+    #[inline]
+    pub fn self_weight(&self) -> f32 {
+        self.self_weight
+    }
+
+    /// Materialises the explicit normalised adjacency
+    /// `ã_ij = out(i)·in(j)` for every edge plus
+    /// `ã_ii = out(i)·in(i)·self_weight` — the reference operand the
+    /// islandized execution is verified against.
+    pub fn to_explicit_matrix(&self, graph: &CsrGraph) -> CsrMatrix {
+        let n = graph.num_nodes();
+        assert_eq!(n, self.len(), "normalisation/graph size mismatch");
+        let mut triplets: Vec<(u32, u32, f32)> =
+            Vec::with_capacity(graph.num_directed_edges() + n);
+        for (u, v) in graph.iter_edges() {
+            triplets.push((
+                u.value(),
+                v.value(),
+                self.out_scale[u.index()] * self.in_scale[v.index()],
+            ));
+        }
+        for i in 0..n {
+            triplets.push((
+                i as u32,
+                i as u32,
+                self.out_scale[i] * self.in_scale[i] * self.self_weight,
+            ));
+        }
+        CsrMatrix::from_triplets(n, n, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn symmetric_scales() {
+        let g = triangle();
+        let n = GcnNormalization::symmetric(&g);
+        // Every node has degree 2, so scale = 1/sqrt(3).
+        for v in g.iter_nodes() {
+            assert!((n.in_scale(v) - 1.0 / 3f32.sqrt()).abs() < 1e-6);
+            assert_eq!(n.in_scale(v), n.out_scale(v));
+        }
+        assert_eq!(n.self_weight(), 1.0);
+    }
+
+    #[test]
+    fn mean_scales() {
+        let g = triangle();
+        let n = GcnNormalization::mean(&g);
+        for v in g.iter_nodes() {
+            assert_eq!(n.in_scale(v), 1.0);
+            assert!((n.out_scale(v) - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gin_self_weight() {
+        let g = triangle();
+        let n = GcnNormalization::gin(&g, 0.25);
+        assert!((n.self_weight() - 1.25).abs() < 1e-6);
+        assert_eq!(n.in_scale(NodeId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn explicit_matrix_row_sums() {
+        // For symmetric normalisation on a d-regular graph the row sum is
+        // (d+1) * 1/(d+1) = 1.
+        let g = triangle();
+        let n = GcnNormalization::symmetric(&g);
+        let m = n.to_explicit_matrix(&g);
+        for r in 0..3 {
+            let (_, vals) = m.row(r);
+            let sum: f32 = vals.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn explicit_matrix_has_diagonal() {
+        let g = triangle();
+        let m = GcnNormalization::symmetric(&g).to_explicit_matrix(&g);
+        assert_eq!(m.nnz(), g.num_directed_edges() + 3);
+    }
+}

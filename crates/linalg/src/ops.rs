@@ -1,0 +1,103 @@
+//! Arithmetic-operation and traffic accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of arithmetic operations performed by a kernel.
+///
+/// The pruning-rate results of Figure 10 and the latency models of the
+/// accelerator simulators are all derived from these counters, so every
+/// SpMM dataflow and the island consumer report them exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCounter {
+    /// Fused multiply-accumulate operations (one multiply + one add).
+    pub macs: u64,
+    /// Standalone additions (vector accumulation during aggregation).
+    pub adds: u64,
+    /// Standalone subtractions (pre-aggregation reuse corrections).
+    pub subs: u64,
+    /// Standalone multiplies (scaling by normalisation factors).
+    pub muls: u64,
+}
+
+impl OpCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total scalar operations, counting a MAC as one fused op (the unit
+    /// the paper's MAC arrays execute per cycle).
+    pub fn total(&self) -> u64 {
+        self.macs + self.adds + self.subs + self.muls
+    }
+
+    /// Adds another counter's tallies into this one.
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.macs += other.macs;
+        self.adds += other.adds;
+        self.subs += other.subs;
+        self.muls += other.muls;
+    }
+}
+
+impl std::ops::Add for OpCounter {
+    type Output = OpCounter;
+
+    fn add(self, rhs: OpCounter) -> OpCounter {
+        OpCounter {
+            macs: self.macs + rhs.macs,
+            adds: self.adds + rhs.adds,
+            subs: self.subs + rhs.subs,
+            muls: self.muls + rhs.muls,
+        }
+    }
+}
+
+impl std::ops::AddAssign for OpCounter {
+    fn add_assign(&mut self, rhs: OpCounter) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::fmt::Display for OpCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "macs={} adds={} subs={} muls={} (total {})",
+            self.macs,
+            self.adds,
+            self.subs,
+            self.muls,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_fields() {
+        let c = OpCounter { macs: 1, adds: 2, subs: 3, muls: 4 };
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn add_and_merge_agree() {
+        let a = OpCounter { macs: 1, adds: 1, subs: 0, muls: 0 };
+        let b = OpCounter { macs: 2, adds: 0, subs: 1, muls: 5 };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m, a + b);
+        let mut n = a;
+        n += b;
+        assert_eq!(n, m);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let c = OpCounter::default();
+        assert!(c.to_string().contains("total 0"));
+    }
+}

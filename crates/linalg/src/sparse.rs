@@ -1,0 +1,212 @@
+//! Weighted CSR sparse matrices.
+
+use serde::{Deserialize, Serialize};
+
+use igcn_graph::{CsrGraph, SparseFeatures};
+
+use crate::dense::DenseMatrix;
+
+/// A weighted sparse matrix in compressed-sparse-row form.
+///
+/// The adjacency operand `Ã` of Equation 1 and the sparse feature matrix
+/// `X` of the first layer both take this form.
+///
+/// # Example
+///
+/// ```
+/// use igcn_linalg::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 2, 4.0)]);
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.rows(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from `(row, col, value)` triplets. Duplicate
+    /// coordinates are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!((r as usize) < rows, "row {r} out of range");
+            assert!((c as usize) < cols, "col {c} out of range");
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        let mut last: Option<(u32, u32)> = None;
+        for (r, c, v) in sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("non-empty after push") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Builds the binary adjacency matrix of a graph (all stored edges get
+    /// value 1.0), shape `n × n`.
+    pub fn binary_adjacency(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let row_ptr = graph.row_ptr().to_vec();
+        let col_idx = graph.col_idx().to_vec();
+        let values = vec![1.0f32; col_idx.len()];
+        CsrMatrix { rows: n, cols: n, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Stored entries of row `r` as parallel `(columns, values)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let range = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[range.clone()], &self.values[range])
+    }
+
+    /// Raw row-pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw column-index array.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Raw value array parallel to [`CsrMatrix::col_idx`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Transposed copy (CSC view materialised as CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                triplets.push((c, r as u32, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.set(r, c as usize, v);
+            }
+        }
+        out
+    }
+}
+
+impl From<&SparseFeatures> for CsrMatrix {
+    fn from(x: &SparseFeatures) -> Self {
+        CsrMatrix {
+            rows: x.num_rows(),
+            cols: x.num_cols(),
+            row_ptr: x.row_ptr().to_vec(),
+            col_idx: x.col_idx().to_vec(),
+            values: x.values().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        let (_, vals) = m.row(0);
+        assert_eq!(vals, &[3.0]);
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 1, 2.0)]);
+        let (cols, _) = m.row(0);
+        assert_eq!(cols, &[1, 3]);
+    }
+
+    #[test]
+    fn binary_adjacency_matches_graph() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let m = CsrMatrix::binary_adjacency(&g);
+        assert_eq!(m.nnz(), 4);
+        assert!(m.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, 7.0)]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (1, 0, 4.0)]);
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 3.0);
+        assert_eq!(d.get(1, 0), 4.0);
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_sparse_features() {
+        let x = SparseFeatures::from_rows(2, 3, vec![vec![(1, 2.0)], vec![(0, 1.0)]]);
+        let m = CsrMatrix::from(&x);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_triplet_panics() {
+        let _ = CsrMatrix::from_triplets(1, 1, &[(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,269 @@
+//! The four SpMM dataflows of Figure 2.
+//!
+//! All four compute the same product `A × B` (`A` sparse, `B` dense) and
+//! return identical results up to floating-point reassociation; they differ
+//! in *loop order* and therefore in data-access pattern — which is exactly
+//! the distinction §2.2 of the paper draws between PULL- and PUSH-based
+//! aggregation:
+//!
+//! | function | paper name | outer loop | locality problem |
+//! |---|---|---|---|
+//! | [`pull_row_wise`] | PULL-Row-Wise (Fig 2-b1) | rows of `A` | random rows of `B` (XW) |
+//! | [`pull_inner_product`] | PULL-Inner-Product (Fig 2-b2) | rows of `A`, per channel | random columns of `B` |
+//! | [`push_column_wise`] | PUSH-Column-Wise (Fig 2-c1) | channels of `B` | random rows of result, `A` re-read per channel |
+//! | [`push_outer_product`] | PUSH-Outer-Product (Fig 2-c2) | columns of `A` | random rows of result |
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::DenseMatrix;
+use crate::ops::OpCounter;
+use crate::sparse::CsrMatrix;
+
+/// Identifies one of the four SpMM dataflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpmmMethod {
+    /// PULL-Row-Wise (Figure 2-b1).
+    PullRowWise,
+    /// PULL-Inner-Product (Figure 2-b2).
+    PullInnerProduct,
+    /// PUSH-Column-Wise (Figure 2-c1).
+    PushColumnWise,
+    /// PUSH-Outer-Product (Figure 2-c2).
+    PushOuterProduct,
+}
+
+impl SpmmMethod {
+    /// All four dataflows.
+    pub const ALL: [SpmmMethod; 4] = [
+        SpmmMethod::PullRowWise,
+        SpmmMethod::PullInnerProduct,
+        SpmmMethod::PushColumnWise,
+        SpmmMethod::PushOuterProduct,
+    ];
+
+    /// The paper's name for the dataflow.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpmmMethod::PullRowWise => "PULL-Row-Wise",
+            SpmmMethod::PullInnerProduct => "PULL-Inner-Product",
+            SpmmMethod::PushColumnWise => "PUSH-Column-Wise",
+            SpmmMethod::PushOuterProduct => "PUSH-Outer-Product",
+        }
+    }
+
+    /// Runs the dataflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn run(self, a: &CsrMatrix, b: &DenseMatrix) -> (DenseMatrix, OpCounter) {
+        match self {
+            SpmmMethod::PullRowWise => pull_row_wise(a, b),
+            SpmmMethod::PullInnerProduct => pull_inner_product(a, b),
+            SpmmMethod::PushColumnWise => push_column_wise(a, b),
+            SpmmMethod::PushOuterProduct => push_outer_product(a, b),
+        }
+    }
+}
+
+impl std::fmt::Display for SpmmMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn check_dims(a: &CsrMatrix, b: &DenseMatrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimension mismatch: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// PULL-Row-Wise: nodes are aggregated one output row at a time; for each
+/// non-zero of the row the *entire* corresponding row of `B` is fetched and
+/// scaled-accumulated. Good result reuse, poor `B` locality.
+pub fn pull_row_wise(a: &CsrMatrix, b: &DenseMatrix) -> (DenseMatrix, OpCounter) {
+    check_dims(a, b);
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut ops = OpCounter::new();
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        let out_row = out.row_mut(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let b_row = b.row(c as usize);
+            for (o, &x) in out_row.iter_mut().zip(b_row) {
+                *o += v * x;
+            }
+            ops.macs += b.cols() as u64;
+        }
+    }
+    (out, ops)
+}
+
+/// PULL-Inner-Product: each output element is a full inner product; `B` is
+/// walked by column.
+pub fn pull_inner_product(a: &CsrMatrix, b: &DenseMatrix) -> (DenseMatrix, OpCounter) {
+    check_dims(a, b);
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut ops = OpCounter::new();
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * b.get(c as usize, j);
+                ops.macs += 1;
+            }
+            out.set(r, j, acc);
+        }
+    }
+    (out, ops)
+}
+
+/// PUSH-Column-Wise: one output channel at a time; every node broadcasts
+/// its channel-`k` value to its neighbors. `A` is effectively re-read per
+/// channel; the result column is updated randomly.
+pub fn push_column_wise(a: &CsrMatrix, b: &DenseMatrix) -> (DenseMatrix, OpCounter) {
+    check_dims(a, b);
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut ops = OpCounter::new();
+    for k in 0..b.cols() {
+        for r in 0..a.rows() {
+            let (cols, vals) = a.row(r);
+            let mut acc = out.get(r, k);
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * b.get(c as usize, k);
+                ops.macs += 1;
+            }
+            out.set(r, k, acc);
+        }
+    }
+    (out, ops)
+}
+
+/// PUSH-Outer-Product: one source node at a time; its full feature row is
+/// broadcast to all nodes that reference it (a column of `A`). This is the
+/// execution order I-GCN uses for inter-hub tasks.
+pub fn push_outer_product(a: &CsrMatrix, b: &DenseMatrix) -> (DenseMatrix, OpCounter) {
+    check_dims(a, b);
+    let at = a.transpose();
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut ops = OpCounter::new();
+    // Row `j` of the transpose lists the destinations of source node `j`.
+    for j in 0..at.rows() {
+        let (dests, vals) = at.row(j);
+        let b_row = b.row(j);
+        for (&i, &v) in dests.iter().zip(vals) {
+            let out_row = out.row_mut(i as usize);
+            for (o, &x) in out_row.iter_mut().zip(b_row) {
+                *o += v * x;
+            }
+            ops.macs += b.cols() as u64;
+        }
+    }
+    (out, ops)
+}
+
+/// Multiplies a sparse matrix by a dense one exploiting sparsity of *both*
+/// operand values (skipping explicit zeros in `B` is not attempted; `B` is
+/// dense). Reference kernel used by the correctness tests.
+pub fn sparse_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    pull_row_wise(a, b).0
+}
+
+/// Multiplies two sparse matrices producing a dense result, counting one
+/// MAC per `(nnz_a_row_entry, nnz_b_row_entry)` pair — the operation count
+/// a sparsity-aware accelerator (AWB-GCN, I-GCN) incurs for the first-layer
+/// combination `X·W` where `X` is sparse.
+pub fn sparse_sparse_dense(a: &CsrMatrix, b: &CsrMatrix) -> (DenseMatrix, OpCounter) {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut ops = OpCounter::new();
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let (bcols, bvals) = b.row(c as usize);
+            let out_row = out.row_mut(r);
+            for (&bc, &bv) in bcols.iter().zip(bvals) {
+                out_row[bc as usize] += v * bv;
+                ops.macs += 1;
+            }
+        }
+    }
+    (out, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> (CsrMatrix, DenseMatrix) {
+        // A = [[1, 0, 2], [0, 3, 0]]
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        // B = [[1, 2], [3, 4], [5, 6]]
+        let b = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        (a, b)
+    }
+
+    #[test]
+    fn all_methods_agree_with_dense_reference() {
+        let (a, b) = example();
+        let reference = a.to_dense().matmul(&b);
+        for method in SpmmMethod::ALL {
+            let (out, _) = method.run(&a, &b);
+            assert!(
+                out.max_abs_diff(&reference) < 1e-5,
+                "{method} disagrees with dense reference"
+            );
+        }
+    }
+
+    #[test]
+    fn known_product() {
+        let (a, b) = example();
+        let (out, ops) = pull_row_wise(&a, &b);
+        // Row 0: 1*[1,2] + 2*[5,6] = [11, 14]; row 1: 3*[3,4] = [9, 12].
+        assert_eq!(out.as_slice(), &[11.0, 14.0, 9.0, 12.0]);
+        assert_eq!(ops.macs, 3 * 2);
+    }
+
+    #[test]
+    fn op_counts_identical_across_methods() {
+        let (a, b) = example();
+        let counts: Vec<u64> = SpmmMethod::ALL
+            .iter()
+            .map(|m| m.run(&a, &b).1.macs)
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts {counts:?}");
+    }
+
+    #[test]
+    fn sparse_sparse_matches_dense() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]);
+        let x = CsrMatrix::from_triplets(2, 3, &[(0, 1, 1.0), (1, 2, 4.0)]);
+        let (out, ops) = sparse_sparse_dense(&a, &x);
+        let reference = a.to_dense().matmul(&x.to_dense());
+        assert!(out.max_abs_diff(&reference) < 1e-6);
+        // Ops only for nnz pairs: row0 has 1 nnz * 1 nnz(X row0), row1 1*1.
+        assert_eq!(ops.macs, 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SpmmMethod::PullRowWise.to_string(), "PULL-Row-Wise");
+        assert_eq!(SpmmMethod::PushOuterProduct.to_string(), "PUSH-Outer-Product");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dim_mismatch_panics() {
+        let a = CsrMatrix::from_triplets(2, 3, &[]);
+        let b = DenseMatrix::zeros(2, 2);
+        let _ = pull_row_wise(&a, &b);
+    }
+}

@@ -1,0 +1,104 @@
+//! The combined DBG+Hub variants of the Faldu et al. taxonomy.
+
+use igcn_graph::{CsrGraph, Permutation};
+
+use crate::dbg::bucket_of;
+use crate::traits::{order_to_permutation, Reorderer};
+
+/// DBG-HubSort: degree buckets hottest-first, with the *hot* buckets
+/// (degree above average) internally sorted by descending degree and cold
+/// buckets left stable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbgHubSort;
+
+impl Reorderer for DbgHubSort {
+    fn name(&self) -> String {
+        "dbg-hubsort".to_string()
+    }
+
+    fn reorder(&self, graph: &CsrGraph) -> Permutation {
+        order_to_permutation("dbg-hubsort", &combined_order(graph, true))
+    }
+}
+
+/// DBG-HubCluster: degree buckets hottest-first with every bucket kept
+/// stable (the clustering comes entirely from the bucketing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbgHubCluster;
+
+impl Reorderer for DbgHubCluster {
+    fn name(&self) -> String {
+        "dbg-hubcluster".to_string()
+    }
+
+    fn reorder(&self, graph: &CsrGraph) -> Permutation {
+        order_to_permutation("dbg-hubcluster", &combined_order(graph, false))
+    }
+}
+
+fn combined_order(graph: &CsrGraph, sort_hot: bool) -> Vec<u32> {
+    let degrees = graph.degrees();
+    let avg = graph.avg_degree();
+    let max_bucket = degrees.iter().map(|&d| bucket_of(d)).max().unwrap_or(0);
+    let mut order: Vec<u32> = Vec::with_capacity(graph.num_nodes());
+    for bucket in (0..=max_bucket).rev() {
+        let mut members: Vec<u32> = (0..graph.num_nodes() as u32)
+            .filter(|&v| bucket_of(degrees[v as usize]) == bucket)
+            .collect();
+        let bucket_is_hot =
+            members.iter().any(|&v| degrees[v as usize] as f64 > avg);
+        if sort_hot && bucket_is_hot {
+            members.sort_by_key(|&v| std::cmp::Reverse(degrees[v as usize]));
+        }
+        order.extend_from_slice(&members);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_graph::generate::barabasi_albert;
+    use igcn_graph::NodeId;
+
+    #[test]
+    fn both_are_valid_permutations() {
+        let g = barabasi_albert(200, 2, 9);
+        assert_eq!(DbgHubSort.reorder(&g).len(), 200);
+        assert_eq!(DbgHubCluster.reorder(&g).len(), 200);
+    }
+
+    #[test]
+    fn hubsort_variant_sorts_hot_head() {
+        let g = barabasi_albert(300, 3, 10);
+        let p = DbgHubSort.reorder(&g);
+        let degrees = g.degrees();
+        let inv = p.inverse();
+        // The first few positions must be non-increasing in degree (they
+        // all come from the hottest, sorted bucket).
+        let d0 = degrees[inv.map(NodeId::new(0)).index()];
+        let d1 = degrees[inv.map(NodeId::new(1)).index()];
+        assert!(d0 >= d1, "head of dbg-hubsort not degree-sorted: {d0} < {d1}");
+    }
+
+    #[test]
+    fn cluster_variant_is_stable_everywhere() {
+        let g = barabasi_albert(150, 2, 11);
+        let p = DbgHubCluster.reorder(&g);
+        let degrees = g.degrees();
+        let max_bucket = degrees.iter().map(|&d| bucket_of(d)).max().unwrap();
+        for b in 0..=max_bucket {
+            let nodes: Vec<u32> =
+                (0..150u32).filter(|&v| bucket_of(degrees[v as usize]) == b).collect();
+            let pos: Vec<usize> =
+                nodes.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
+            assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn variants_differ_on_skewed_graphs() {
+        let g = barabasi_albert(400, 3, 12);
+        assert_ne!(DbgHubSort.reorder(&g), DbgHubCluster.reorder(&g));
+    }
+}

@@ -1,0 +1,71 @@
+//! HubCluster (Faldu et al. taxonomy).
+
+use igcn_graph::{CsrGraph, Permutation};
+
+use crate::traits::{order_to_permutation, Reorderer};
+
+/// HubCluster: hot vertices (degree above the average) are packed to the
+/// front *without sorting* — cheaper than HubSort, preserving the
+/// appearance order of both hot and cold vertices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HubCluster;
+
+impl Reorderer for HubCluster {
+    fn name(&self) -> String {
+        "hubcluster".to_string()
+    }
+
+    fn reorder(&self, graph: &CsrGraph) -> Permutation {
+        let degrees = graph.degrees();
+        let avg = graph.avg_degree();
+        let mut order: Vec<u32> = Vec::with_capacity(graph.num_nodes());
+        for v in 0..graph.num_nodes() as u32 {
+            if degrees[v as usize] as f64 > avg {
+                order.push(v);
+            }
+        }
+        for v in 0..graph.num_nodes() as u32 {
+            if degrees[v as usize] as f64 <= avg {
+                order.push(v);
+            }
+        }
+        order_to_permutation("hubcluster", &order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_graph::generate::barabasi_albert;
+    use igcn_graph::NodeId;
+
+    #[test]
+    fn hot_before_cold() {
+        let g = barabasi_albert(200, 2, 5);
+        let p = HubCluster.reorder(&g);
+        let degrees = g.degrees();
+        let avg = g.avg_degree();
+        let max_hot_pos = (0..200u32)
+            .filter(|&v| degrees[v as usize] as f64 > avg)
+            .map(|v| p.map(NodeId::new(v)).index())
+            .max()
+            .unwrap();
+        let min_cold_pos = (0..200u32)
+            .filter(|&v| degrees[v as usize] as f64 <= avg)
+            .map(|v| p.map(NodeId::new(v)).index())
+            .min()
+            .unwrap();
+        assert!(max_hot_pos < min_cold_pos);
+    }
+
+    #[test]
+    fn hot_order_unsorted_but_stable() {
+        let g = barabasi_albert(100, 2, 6);
+        let p = HubCluster.reorder(&g);
+        let degrees = g.degrees();
+        let avg = g.avg_degree();
+        let hot: Vec<u32> = (0..100u32).filter(|&v| degrees[v as usize] as f64 > avg).collect();
+        let positions: Vec<usize> = hot.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,78 @@
+//! HubSort (Zhang et al. / Faldu et al. taxonomy).
+
+use igcn_graph::{CsrGraph, Permutation};
+
+use crate::traits::{order_to_permutation, Reorderer};
+
+/// HubSort: *hot* vertices (degree above the average) are packed to the
+/// front sorted by descending degree; *cold* vertices keep their relative
+/// order behind them.
+///
+/// Sorting only the hot set keeps the cost low (the "lightweight" in
+/// lightweight reordering) while concentrating the high-reuse rows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HubSort;
+
+impl Reorderer for HubSort {
+    fn name(&self) -> String {
+        "hubsort".to_string()
+    }
+
+    fn reorder(&self, graph: &CsrGraph) -> Permutation {
+        let degrees = graph.degrees();
+        let avg = graph.avg_degree();
+        let mut hot: Vec<u32> = Vec::new();
+        let mut cold: Vec<u32> = Vec::new();
+        for v in 0..graph.num_nodes() as u32 {
+            if degrees[v as usize] as f64 > avg {
+                hot.push(v);
+            } else {
+                cold.push(v);
+            }
+        }
+        // Stable sort: equal degrees keep ascending-ID order.
+        hot.sort_by_key(|&v| std::cmp::Reverse(degrees[v as usize]));
+        hot.extend_from_slice(&cold);
+        order_to_permutation("hubsort", &hot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_graph::generate::barabasi_albert;
+    use igcn_graph::NodeId;
+
+    #[test]
+    fn hottest_node_first() {
+        let g = barabasi_albert(200, 2, 1);
+        let p = HubSort.reorder(&g);
+        let degrees = g.degrees();
+        let hottest = (0..200u32).max_by_key(|&v| (degrees[v as usize], v)).unwrap();
+        // The maximum-degree node must land at position 0 (ties broken by
+        // the stable sort keep the first max).
+        let winner_pos = p.map(NodeId::new(hottest)).index();
+        let max_deg = degrees[hottest as usize];
+        let first_max = (0..200u32).find(|&v| degrees[v as usize] == max_deg).unwrap();
+        assert_eq!(p.map(NodeId::new(first_max)).index(), 0);
+        assert!(winner_pos < 200);
+    }
+
+    #[test]
+    fn cold_nodes_keep_relative_order() {
+        let g = barabasi_albert(100, 2, 2);
+        let p = HubSort.reorder(&g);
+        let degrees = g.degrees();
+        let avg = g.avg_degree();
+        let cold: Vec<u32> =
+            (0..100u32).filter(|&v| degrees[v as usize] as f64 <= avg).collect();
+        let positions: Vec<usize> = cold.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "cold order not preserved");
+    }
+
+    #[test]
+    fn valid_permutation() {
+        let g = barabasi_albert(150, 3, 3);
+        assert_eq!(HubSort.reorder(&g).len(), 150);
+    }
+}

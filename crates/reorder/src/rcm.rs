@@ -1,0 +1,92 @@
+//! Reverse Cuthill-McKee bandwidth reduction.
+
+use igcn_graph::{CsrGraph, NodeId, Permutation};
+
+use crate::traits::{order_to_permutation, Reorderer};
+
+/// Classic RCM: BFS from a minimum-degree node, visiting neighbors in
+/// ascending-degree order, then reverse the visitation sequence. A
+/// supplementary baseline — bandwidth-style orderings are the traditional
+/// sparse-matrix answer to the locality problem islandization solves at
+/// runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rcm;
+
+impl Reorderer for Rcm {
+    fn name(&self) -> String {
+        "rcm".to_string()
+    }
+
+    fn reorder(&self, graph: &CsrGraph) -> Permutation {
+        let n = graph.num_nodes();
+        let degrees = graph.degrees();
+        let mut visited = vec![false; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+
+        // Process every connected component, seeding from its
+        // minimum-degree node.
+        let mut seeds: Vec<u32> = (0..n as u32).collect();
+        seeds.sort_by_key(|&v| (degrees[v as usize], v));
+        for &seed in &seeds {
+            if visited[seed as usize] {
+                continue;
+            }
+            visited[seed as usize] = true;
+            let mut queue = std::collections::VecDeque::from([seed]);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                let mut nbs: Vec<u32> = graph
+                    .neighbors(NodeId::new(v))
+                    .iter()
+                    .copied()
+                    .filter(|&nb| !visited[nb as usize])
+                    .collect();
+                nbs.sort_by_key(|&nb| (degrees[nb as usize], nb));
+                for nb in nbs {
+                    if !visited[nb as usize] {
+                        visited[nb as usize] = true;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+        order.reverse();
+        order_to_permutation("rcm", &order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_graph::generate::erdos_renyi;
+    use igcn_graph::stats::mean_edge_span;
+    use igcn_graph::Permutation as P;
+
+    #[test]
+    fn valid_permutation() {
+        let g = erdos_renyi(150, 400, 18);
+        assert_eq!(Rcm.reorder(&g).len(), 150);
+    }
+
+    #[test]
+    fn reduces_span_of_scrambled_path() {
+        // A path graph scrambled by a random relabelling; RCM must
+        // recover near-optimal (span ≈ 1) ordering.
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let path = CsrGraph::from_undirected_edges(100, &edges).unwrap();
+        let scramble =
+            P::from_forward((0..100u32).map(|v| (v * 37) % 100).collect()).unwrap();
+        let scrambled = path.permute(&scramble).unwrap();
+        let before = mean_edge_span(&scrambled, None);
+        let p = Rcm.reorder(&scrambled);
+        let after = mean_edge_span(&scrambled, Some(&p));
+        assert!(after < before / 4.0, "RCM span {after} vs scrambled {before}");
+        assert!(after < 1.5, "path graph should be near-perfectly banded, got {after}");
+    }
+
+    #[test]
+    fn covers_disconnected_components() {
+        let g = CsrGraph::from_undirected_edges(7, &[(0, 1), (2, 3), (5, 6)]).unwrap();
+        assert_eq!(Rcm.reorder(&g).len(), 7);
+    }
+}

@@ -1,0 +1,177 @@
+//! SlashBurn (Lim, Kang, Faloutsos, TKDE'14).
+//!
+//! SlashBurn iteratively *slashes* the top-k highest-degree nodes (moving
+//! them to the front of the ordering) and *burns* the remainder into
+//! connected components: small components move to the back, the giant
+//! component is recursed upon. The result concentrates non-zeros toward
+//! the matrix corners. The paper cites SlashBurn as the heavyweight
+//! clustering comparison — effective but expensive and sequential, hence
+//! "hardware-unfriendly and unsuited for GNN acceleration" (§5).
+
+use igcn_graph::{CsrGraph, NodeId, Permutation};
+
+use crate::traits::{order_to_permutation, Reorderer};
+
+/// SlashBurn ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct SlashBurn {
+    /// Fraction of (remaining) nodes slashed per round.
+    k_fraction: f64,
+}
+
+impl SlashBurn {
+    /// Creates SlashBurn slashing `k_fraction` of the remaining nodes per
+    /// round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_fraction` is not in `(0, 1)`.
+    pub fn new(k_fraction: f64) -> Self {
+        assert!(k_fraction > 0.0 && k_fraction < 1.0, "k_fraction must be in (0, 1)");
+        SlashBurn { k_fraction }
+    }
+}
+
+impl Default for SlashBurn {
+    /// The paper's customary 0.5% per round.
+    fn default() -> Self {
+        SlashBurn { k_fraction: 0.005 }
+    }
+}
+
+impl Reorderer for SlashBurn {
+    fn name(&self) -> String {
+        "slashburn".to_string()
+    }
+
+    fn reorder(&self, graph: &CsrGraph) -> Permutation {
+        let n = graph.num_nodes();
+        if n == 0 {
+            return Permutation::identity(0);
+        }
+        let mut front: Vec<u32> = Vec::new(); // slashed hubs, in slash order
+        let mut back: Vec<u32> = Vec::new(); // small components, reversed rounds
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut alive_count = n;
+
+        while alive_count > 0 {
+            let k = (((alive_count as f64) * self.k_fraction).ceil() as usize).max(1);
+            // Residual degrees of alive nodes.
+            let mut candidates: Vec<(u32, u32)> = (0..n as u32)
+                .filter(|&v| alive[v as usize])
+                .map(|v| {
+                    let deg = graph
+                        .neighbors(NodeId::new(v))
+                        .iter()
+                        .filter(|&&nb| alive[nb as usize] && nb != v)
+                        .count() as u32;
+                    (deg, v)
+                })
+                .collect();
+            candidates.sort_by_key(|&(deg, v)| (std::cmp::Reverse(deg), v));
+            for &(_, v) in candidates.iter().take(k) {
+                front.push(v);
+                alive[v as usize] = false;
+                alive_count -= 1;
+            }
+            if alive_count == 0 {
+                break;
+            }
+            // Burn: connected components of the residual graph.
+            let mut component = vec![u32::MAX; n];
+            let mut comps: Vec<Vec<u32>> = Vec::new();
+            for start in 0..n as u32 {
+                if !alive[start as usize] || component[start as usize] != u32::MAX {
+                    continue;
+                }
+                let id = comps.len() as u32;
+                let mut members = vec![start];
+                component[start as usize] = id;
+                let mut head = 0;
+                while head < members.len() {
+                    let v = members[head];
+                    head += 1;
+                    for &nb in graph.neighbors(NodeId::new(v)) {
+                        if alive[nb as usize] && component[nb as usize] == u32::MAX {
+                            component[nb as usize] = id;
+                            members.push(nb);
+                        }
+                    }
+                }
+                comps.push(members);
+            }
+            // The giant component survives to the next round; all others
+            // are retired to the back (smallest last, matching the
+            // corner-concentration layout).
+            comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+            for comp in comps.iter().skip(1) {
+                for &v in comp {
+                    alive[v as usize] = false;
+                    alive_count -= 1;
+                }
+            }
+            let mut retired: Vec<u32> = Vec::new();
+            for comp in comps.iter().skip(1) {
+                retired.extend_from_slice(comp);
+            }
+            // Prepend this round's retirees so later rounds sit closer to
+            // the slashed hubs.
+            retired.append(&mut back);
+            back = retired;
+
+            // Termination: if the giant component is no bigger than k,
+            // slash it entirely next-round-equivalent and finish.
+            if comps.is_empty() {
+                break;
+            }
+        }
+        let mut order = front;
+        order.extend_from_slice(&back);
+        order_to_permutation("slashburn", &order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_graph::generate::{barabasi_albert, HubIslandConfig};
+
+    #[test]
+    fn valid_permutation() {
+        let g = barabasi_albert(200, 2, 15);
+        let p = SlashBurn::default().reorder(&g);
+        assert_eq!(p.len(), 200);
+    }
+
+    #[test]
+    fn hubs_land_in_front() {
+        let g = barabasi_albert(300, 3, 16);
+        let p = SlashBurn::default().reorder(&g);
+        let degrees = g.degrees();
+        let hottest = (0..300u32).max_by_key(|&v| degrees[v as usize]).unwrap();
+        assert!(
+            p.map(NodeId::new(hottest)).index() < 30,
+            "hottest node should be slashed early"
+        );
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = CsrGraph::from_undirected_edges(8, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+        let p = SlashBurn::default().reorder(&g);
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn clusters_structured_graphs() {
+        let g = HubIslandConfig::new(400, 16).noise_fraction(0.0).generate(17);
+        let p = SlashBurn::default().reorder(&g.graph);
+        assert_eq!(p.len(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_fraction")]
+    fn invalid_fraction_panics() {
+        let _ = SlashBurn::new(1.5);
+    }
+}

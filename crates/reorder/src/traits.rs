@@ -1,0 +1,43 @@
+//! The reorderer interface.
+
+use igcn_graph::{CsrGraph, Permutation};
+
+/// A graph reordering algorithm: computes a node relabelling intended to
+/// improve locality.
+///
+/// Implementations must return a valid permutation over exactly
+/// `graph.num_nodes()` elements for every input, including empty and
+/// disconnected graphs.
+pub trait Reorderer {
+    /// Algorithm name as used in figures (e.g. `"rabbit"`, `"dbg"`).
+    fn name(&self) -> String;
+
+    /// Computes the reordering (`forward[old] = new`).
+    fn reorder(&self, graph: &CsrGraph) -> Permutation;
+}
+
+/// Helper: builds a permutation from a *new-order sequence* of old node
+/// IDs, panicking with the algorithm name on an internal invariant
+/// violation (reorderers construct orders that are permutations by
+/// construction).
+pub(crate) fn order_to_permutation(name: &str, order: &[u32]) -> Permutation {
+    Permutation::from_order(order)
+        .unwrap_or_else(|e| panic!("{name} produced an invalid ordering: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_to_permutation_valid() {
+        let p = order_to_permutation("test", &[2, 0, 1]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "test produced an invalid ordering")]
+    fn order_to_permutation_invalid_panics() {
+        let _ = order_to_permutation("test", &[0, 0]);
+    }
+}

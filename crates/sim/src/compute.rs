@@ -1,0 +1,71 @@
+//! The MAC-array compute model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hw::HardwareConfig;
+
+/// Roofline model of the shared MAC array: `cycles = ops / (macs · util)`.
+///
+/// The same array executes combination MACs and aggregation vector
+/// adds/subtracts (the PE "reuses the same MAC units", §3.3.1), so a
+/// single op pool is the right abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacArray {
+    num_macs: usize,
+    utilization: f64,
+}
+
+impl MacArray {
+    /// Creates the array from a hardware configuration.
+    pub fn new(hw: &HardwareConfig) -> Self {
+        MacArray { num_macs: hw.num_macs, utilization: hw.mac_utilization }
+    }
+
+    /// Creates the array with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_macs == 0` or utilization is not in `(0, 1]`.
+    pub fn with_params(num_macs: usize, utilization: f64) -> Self {
+        assert!(num_macs > 0, "at least one MAC is required");
+        assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+        MacArray { num_macs, utilization }
+    }
+
+    /// Cycles to execute `ops` scalar operations.
+    pub fn cycles_for(&self, ops: u64) -> u64 {
+        let effective = self.num_macs as f64 * self.utilization;
+        (ops as f64 / effective).ceil() as u64
+    }
+
+    /// Peak scalar operations per cycle (after utilization derating).
+    pub fn ops_per_cycle(&self) -> f64 {
+        self.num_macs as f64 * self.utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_round_up() {
+        let m = MacArray::with_params(100, 1.0);
+        assert_eq!(m.cycles_for(100), 1);
+        assert_eq!(m.cycles_for(101), 2);
+        assert_eq!(m.cycles_for(0), 0);
+    }
+
+    #[test]
+    fn utilization_derates() {
+        let m = MacArray::with_params(100, 0.5);
+        assert_eq!(m.cycles_for(100), 2);
+        assert!((m.ops_per_cycle() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn invalid_utilization_panics() {
+        let _ = MacArray::with_params(10, 1.5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Hardware configuration shared by all accelerator models.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the modelled hardware platform.
+///
+/// Defaults reproduce the paper's evaluation setup (§4.6, "Fairness of
+/// evaluation"): 4096 floating-point MACs at 330 MHz on a Stratix 10 SX
+/// with quad-channel DDR4 (the board AWB-GCN used), 64 TP-BFS engines and
+/// 16 hub-detection lanes.
+///
+/// # Example
+///
+/// ```
+/// use igcn_sim::HardwareConfig;
+///
+/// let hw = HardwareConfig::paper_default();
+/// assert_eq!(hw.num_macs, 4096);
+/// assert_eq!(hw.frequency_hz, 330_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareConfig {
+    /// Number of MAC units (shared by combination and aggregation).
+    pub num_macs: usize,
+    /// Core clock frequency in Hz.
+    pub frequency_hz: u64,
+    /// Peak off-chip bandwidth in bytes per second.
+    pub dram_bandwidth: f64,
+    /// Effective DRAM efficiency for the mostly-sequential streams of
+    /// island processing (0–1).
+    pub dram_efficiency: f64,
+    /// On-chip SRAM capacity in bytes (Stratix 10 SX 2800: ~28.6 MB of
+    /// M20K).
+    pub sram_bytes: u64,
+    /// Number of TP-BFS engines (`P2`).
+    pub tpbfs_engines: usize,
+    /// Number of hub-detection FIFO lanes (`P1`).
+    pub hub_lanes: usize,
+    /// Number of consumer PEs.
+    pub num_pes: usize,
+    /// Sustained MAC utilization of the consumer pipeline (I-GCN's
+    /// fine-grained island pipelining keeps this near 1).
+    pub mac_utilization: f64,
+    /// Adjacency words a TP-BFS engine consumes per cycle: a 256-bit
+    /// memory beat delivers eight u32 neighbor IDs; 4 is a conservative
+    /// sustained rate after alignment losses.
+    pub bfs_scan_words: usize,
+}
+
+impl HardwareConfig {
+    /// The configuration the paper evaluates.
+    pub fn paper_default() -> Self {
+        HardwareConfig {
+            num_macs: 4096,
+            frequency_hz: 330_000_000,
+            dram_bandwidth: 76.8e9, // 4 × DDR4-2400 channels
+            dram_efficiency: 0.80,
+            sram_bytes: 28 << 20,
+            tpbfs_engines: 64,
+            hub_lanes: 16,
+            num_pes: 8,
+            mac_utilization: 0.95,
+            bfs_scan_words: 4,
+        }
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.frequency_hz as f64
+    }
+
+    /// Effective off-chip bandwidth in bytes/second.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.dram_bandwidth * self.dram_efficiency
+    }
+
+    /// Converts a cycle count to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_time()
+    }
+
+    /// Converts seconds to (rounded-up) cycles.
+    pub fn seconds_to_cycles(&self, seconds: f64) -> u64 {
+        (seconds * self.frequency_hz as f64).ceil() as u64
+    }
+}
+
+impl Default for HardwareConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let hw = HardwareConfig::paper_default();
+        assert_eq!(hw.num_macs, 4096);
+        assert_eq!(hw.tpbfs_engines, 64);
+        assert!((hw.cycle_time() - 3.0303e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_second_roundtrip() {
+        let hw = HardwareConfig::paper_default();
+        let s = hw.cycles_to_seconds(330_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(hw.seconds_to_cycles(1.0), 330_000_000);
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let hw = HardwareConfig::paper_default();
+        assert!(hw.effective_bandwidth() < hw.dram_bandwidth);
+    }
+}

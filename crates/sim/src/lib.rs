@@ -1,0 +1,39 @@
+//! Cycle-approximate hardware model of the I-GCN accelerator.
+//!
+//! The paper evaluates I-GCN on a Stratix 10 SX FPGA with 4096 fp32 MAC
+//! units at 330 MHz and 64 TP-BFS engines. This crate converts the exact
+//! operation/traffic statistics produced by `igcn-core` into time, energy
+//! and area under that hardware model:
+//!
+//! * [`hw::HardwareConfig`] — MACs, frequency, DRAM bandwidth, SRAM
+//!   capacity (defaults match §4.6's "fairness of evaluation" setup);
+//! * [`compute::MacArray`] / [`memory::DramModel`] — the two roofline
+//!   resources; phase latency is `max(compute, memory)` with the Island
+//!   Locator overlapped against the first layer (§3.1.1);
+//! * [`energy::EnergyModel`] — per-op/per-byte/static energy constants
+//!   calibrated to the ~100 W board envelope implied by Table 2;
+//! * [`area::AreaModel`] — per-component ALM costs reproducing the
+//!   Figure 11 breakdown (Island Locator ≈ 34%, Island Consumer ≈ 66%);
+//! * [`accelerator::IGcnAccelerator`] — ties everything together and
+//!   implements the [`report::GcnAccelerator`] trait shared with the
+//!   baseline simulators in `igcn-baselines`.
+//!
+//! Absolute numbers are model outputs, not testbed measurements; the
+//! reproduction targets are the *shapes* (who wins, by what factor, where
+//! crossovers fall). See EXPERIMENTS.md for paper-vs-model tables.
+
+pub mod accelerator;
+pub mod area;
+pub mod compute;
+pub mod energy;
+pub mod hw;
+pub mod memory;
+pub mod report;
+
+pub use accelerator::IGcnAccelerator;
+pub use area::{AreaBreakdown, AreaModel};
+pub use compute::MacArray;
+pub use energy::EnergyModel;
+pub use hw::HardwareConfig;
+pub use memory::DramModel;
+pub use report::{GcnAccelerator, SimReport};

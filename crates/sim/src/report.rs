@@ -1,0 +1,96 @@
+//! Simulation reports and the accelerator trait shared with the baselines.
+
+use serde::{Deserialize, Serialize};
+
+use igcn_gnn::GnnModel;
+use igcn_graph::{CsrGraph, SparseFeatures};
+
+/// The result of simulating one inference on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Platform name (e.g. `"I-GCN"`, `"AWB-GCN"`).
+    pub name: String,
+    /// End-to-end inference latency in seconds.
+    pub latency_s: f64,
+    /// Total clock cycles (0 for platforms modelled without a clock).
+    pub cycles: u64,
+    /// Cycles attributable to compute.
+    pub compute_cycles: u64,
+    /// Cycles attributable to off-chip transfers (overlap-adjusted
+    /// portions may exceed `cycles`).
+    pub memory_cycles: u64,
+    /// Cycles spent by the Island Locator (0 for baselines).
+    pub locator_cycles: u64,
+    /// Total off-chip traffic in bytes.
+    pub offchip_bytes: u64,
+    /// Scalar operations executed.
+    pub total_ops: u64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Table 2's energy-efficiency metric.
+    pub graphs_per_kilojoule: f64,
+}
+
+impl SimReport {
+    /// Latency in microseconds (the unit Table 2 reports).
+    pub fn latency_us(&self) -> f64 {
+        self.latency_s * 1e6
+    }
+
+    /// Speedup of `self` over `other` (>1 means `self` is faster).
+    pub fn speedup_over(&self, other: &SimReport) -> f64 {
+        other.latency_s / self.latency_s
+    }
+}
+
+/// A platform that can run GCN inference under simulation.
+///
+/// Implemented by [`crate::IGcnAccelerator`] and by every baseline in
+/// `igcn-baselines` (AWB-GCN, HyGCN, SIGMA, CPU/GPU platform models), so
+/// the cross-platform harnesses of Figure 14 iterate one trait object
+/// list.
+pub trait GcnAccelerator {
+    /// Platform name as reported in result tables.
+    fn name(&self) -> String;
+
+    /// Simulates one full-model inference.
+    fn simulate(
+        &self,
+        graph: &CsrGraph,
+        features: &SparseFeatures,
+        model: &GnnModel,
+    ) -> SimReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latency: f64) -> SimReport {
+        SimReport {
+            name: "x".to_string(),
+            latency_s: latency,
+            cycles: 0,
+            compute_cycles: 0,
+            memory_cycles: 0,
+            locator_cycles: 0,
+            offchip_bytes: 0,
+            total_ops: 0,
+            energy_j: 0.0,
+            graphs_per_kilojoule: 0.0,
+        }
+    }
+
+    #[test]
+    fn latency_units() {
+        assert!((report(1.3e-6).latency_us() - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_direction() {
+        let fast = report(1e-6);
+        let slow = report(1e-3);
+        assert!((fast.speedup_over(&slow) - 1000.0).abs() < 1e-6);
+        assert!(slow.speedup_over(&fast) < 1.0);
+    }
+}

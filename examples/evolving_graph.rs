@@ -1,0 +1,109 @@
+//! Evolving-graph inference: why *runtime* islandization matters.
+//!
+//! §1 of the paper: offline preprocessing (Rubik, GraphACT, lightweight
+//! reorderings) assumes the graph is fixed, but "real-world graphs are
+//! frequently updated (e.g., evolving graphs) or generated dynamically".
+//! This example simulates a growing social network: every step a batch of
+//! new friendships arrives and inference must run on the *new* graph.
+//!
+//! Three structure-maintenance strategies are compared per step:
+//!
+//! 1. **I-GCN full re-islandization** — the paper's runtime restructuring,
+//!    overlapped with inference on the accelerator (µs-scale);
+//! 2. **incremental islandization** — this repository's extension: only
+//!    islands touched by the new edges dissolve and re-form;
+//! 3. **offline reordering** — a Rabbit pass on the host CPU, whose
+//!    measured wall-clock alone dwarfs the whole accelerated inference.
+//!
+//! ```sh
+//! cargo run --release --example evolving_graph
+//! ```
+
+use std::time::Instant;
+
+use igcn::core::incremental::{apply_edges, incremental_islandize};
+use igcn::core::{ConsumerConfig, IGcnEngine, IslandLocator, IslandizationConfig};
+use igcn::gnn::{GnnModel, ModelWeights};
+use igcn::graph::generate::HubIslandConfig;
+use igcn::graph::{CsrGraph, NodeId, SparseFeatures};
+use igcn::reorder::{Rabbit, Reorderer};
+use igcn::sim::{HardwareConfig, IGcnAccelerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_new_edges(graph: &CsrGraph, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.num_nodes() as u32;
+    let mut edges = Vec::new();
+    while edges.len() < count {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !graph.has_edge(NodeId::new(a), NodeId::new(b)) {
+            edges.push((a, b));
+        }
+    }
+    edges
+}
+
+fn main() {
+    let n = 4_000usize;
+    let cfg = IslandizationConfig::default();
+    let accelerator = IGcnAccelerator::new(HardwareConfig::paper_default());
+    let model = GnnModel::gcn(32, 16, 4);
+    let weights = ModelWeights::glorot(&model, 1);
+    let rabbit = Rabbit::default();
+
+    let mut graph = HubIslandConfig::new(n, n / 30).noise_fraction(0.01).generate(7).graph;
+    let (mut partition, _) = IslandLocator::new(&graph, &cfg).run().unwrap();
+
+    println!(
+        "step | dissolved | reclassified | incr cycles | full cycles | igcn sim (µs) | rabbit host (µs)"
+    );
+    for step in 0..6u64 {
+        // A batch of 20 new friendships lands.
+        let added = random_new_edges(&graph, 20, 1_000 + step);
+        let updated = apply_edges(&graph, graph.num_nodes(), &added);
+
+        // Incremental maintenance: only the disturbed neighborhood redoes.
+        let incr = incremental_islandize(&updated, &partition, &added, &cfg)
+            .expect("incremental update succeeds");
+        incr.partition.check_invariants(&updated).expect("still a valid partition");
+
+        // Full re-islandization for comparison.
+        let (full_partition, full_stats) = IslandLocator::new(&updated, &cfg).run().unwrap();
+
+        // Inference on the fresh structure (engine re-runs the locator
+        // internally; we reuse its verification path).
+        let features = SparseFeatures::random(updated.num_nodes(), 32, 0.1, 77 + step);
+        let engine = IGcnEngine::new(&updated, cfg, ConsumerConfig::default()).unwrap();
+        let stats = engine.account(&features, &model);
+        let report = accelerator.report_from_stats(&stats);
+        let diff = engine.verify(&features, &model, &weights);
+        assert!(diff < 1e-3, "step {step} diverged: {diff}");
+
+        // The offline alternative re-runs reordering on the host.
+        let t0 = Instant::now();
+        let _ordering = rabbit.reorder(&updated);
+        let rabbit_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        println!(
+            "{step:>4} | {:>9} | {:>12} | {:>11} | {:>11} | {:>13.2} | {:>16.1}",
+            incr.dissolved_islands,
+            incr.reclassified_nodes,
+            incr.stats.virtual_cycles,
+            full_stats.virtual_cycles,
+            report.latency_us(),
+            rabbit_us
+        );
+
+        graph = updated;
+        partition = incr.partition;
+        let _ = full_partition;
+    }
+    println!(
+        "\nIncremental maintenance re-touches only the disturbed islands (far fewer\n\
+         virtual cycles than a full pass), and either way the runtime restructuring\n\
+         lives inside the µs-scale inference budget — while the offline reordering\n\
+         pass alone costs orders of magnitude more (§1, §4.5)."
+    );
+}

@@ -1,0 +1,52 @@
+//! # igcn — a reproduction of I-GCN (MICRO 2021)
+//!
+//! *I-GCN: A Graph Convolutional Network Accelerator with Runtime
+//! Locality Enhancement through Islandization*, Geng et al., MICRO 2021.
+//!
+//! This facade crate re-exports the whole workspace as one coherent
+//! public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `igcn-graph` | CSR graphs, synthetic datasets, statistics |
+//! | [`linalg`] | `igcn-linalg` | dense/sparse matrices, the four SpMM dataflows |
+//! | [`gnn`] | `igcn-gnn` | GCN/GraphSage/GIN models, reference forward pass |
+//! | [`core`] | `igcn-core` | **the contribution**: Island Locator + Island Consumer |
+//! | [`sim`] | `igcn-sim` | cycle/energy/area models of the accelerator |
+//! | [`reorder`] | `igcn-reorder` | lightweight reordering baselines + quality metrics |
+//! | [`baselines`] | `igcn-baselines` | AWB-GCN, HyGCN, SIGMA, CPU/GPU models |
+//!
+//! # Quick start
+//!
+//! ```
+//! use igcn::core::{ConsumerConfig, IGcnEngine, IslandizationConfig};
+//! use igcn::gnn::{GnnModel, ModelWeights};
+//! use igcn::graph::generate::HubIslandConfig;
+//! use igcn::graph::SparseFeatures;
+//!
+//! // A graph with planted hub-and-island structure.
+//! let g = HubIslandConfig::new(500, 20).noise_fraction(0.01).generate(42);
+//!
+//! // Islandize once, then run GCN inference at island granularity.
+//! let engine = IGcnEngine::new(
+//!     &g.graph,
+//!     IslandizationConfig::default(),
+//!     ConsumerConfig::default(),
+//! )?;
+//! let features = SparseFeatures::random(500, 32, 0.1, 7);
+//! let model = GnnModel::gcn(32, 16, 4);
+//! let weights = ModelWeights::glorot(&model, 1);
+//! let (output, stats) = engine.run(&features, &model, &weights);
+//!
+//! assert_eq!(output.rows(), 500);
+//! println!("aggregation ops pruned: {:.1}%", stats.aggregation_pruning_rate() * 100.0);
+//! # Ok::<(), igcn::core::CoreError>(())
+//! ```
+
+pub use igcn_baselines as baselines;
+pub use igcn_core as core;
+pub use igcn_gnn as gnn;
+pub use igcn_graph as graph;
+pub use igcn_linalg as linalg;
+pub use igcn_reorder as reorder;
+pub use igcn_sim as sim;

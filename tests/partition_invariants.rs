@@ -1,0 +1,149 @@
+//! Property-based tests of the islandization invariants.
+//!
+//! For arbitrary graphs (random, power-law, planted-structure) and
+//! arbitrary locator configurations, the partition must classify every
+//! node exactly once, respect `c_max`, keep islands closed, and cover
+//! every edge exactly once — and the whole pipeline must stay lossless.
+
+use proptest::prelude::*;
+
+use igcn::core::{
+    islandize, ConsumerConfig, IGcnEngine, IslandLocator, IslandizationConfig, ThresholdInit,
+};
+use igcn::gnn::{GnnModel, ModelWeights};
+use igcn::graph::generate::{barabasi_albert, erdos_renyi, HubIslandConfig};
+use igcn::graph::{CsrGraph, SparseFeatures};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    prop_oneof![
+        // Erdős–Rényi: no community structure (adversarial input).
+        (10usize..200, 1usize..6, 0u64..1000).prop_map(|(n, d, seed)| {
+            erdos_renyi(n, n * d / 2, seed)
+        }),
+        // Preferential attachment: power-law, no planted islands.
+        (10usize..150, 1usize..4, 0u64..1000).prop_map(|(n, m, seed)| {
+            barabasi_albert(n, m, seed)
+        }),
+        // Planted hub-island structure with varying noise.
+        (30usize..250, 2usize..12, 0u64..1000, 0u32..30).prop_map(|(n, h, seed, noise)| {
+            HubIslandConfig::new(n, h.min(n - 1))
+                .noise_fraction(noise as f64 / 100.0)
+                .generate(seed)
+                .graph
+        }),
+        // Sparse random edge soups (possibly disconnected, isolated nodes).
+        (1usize..60, 0usize..80, 0u64..1000).prop_map(|(n, m, seed)| {
+            erdos_renyi(n, m, seed)
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = IslandizationConfig> {
+    (2usize..40, 1usize..16, 1usize..8, 1u32..64).prop_map(|(c_max, engines, lanes, th)| {
+        IslandizationConfig::default()
+            .with_c_max(c_max)
+            .with_engines(engines)
+            .with_lanes(lanes)
+            .with_threshold_init(ThresholdInit::Absolute(th))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_invariants_hold(graph in arb_graph(), cfg in arb_config()) {
+        let (partition, _) = IslandLocator::new(&graph, &cfg).run().expect("converges");
+        partition.check_invariants(&graph).expect("invariants");
+        prop_assert_eq!(
+            partition.num_hubs() + partition.num_island_nodes(),
+            graph.num_nodes()
+        );
+        prop_assert!((partition.outlier_fraction(&graph) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn islandization_is_deterministic(graph in arb_graph()) {
+        let cfg = IslandizationConfig::default();
+        let a = islandize(&graph, &cfg);
+        let b = islandize(&graph, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn execution_lossless_on_arbitrary_graphs(
+        graph in arb_graph(),
+        k in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let engine = IGcnEngine::new(
+            &graph,
+            IslandizationConfig::default(),
+            ConsumerConfig::default().with_k(k),
+        ).expect("generated graphs are loop-free");
+        let n = graph.num_nodes();
+        let x = SparseFeatures::random(n, 6, 0.5, seed);
+        let model = GnnModel::gcn(6, 4, 3);
+        let w = ModelWeights::glorot(&model, seed);
+        let diff = engine.verify(&x, &model, &w);
+        prop_assert!(diff < 1e-3, "diverged by {} with k={}", diff, k);
+    }
+
+    #[test]
+    fn account_equals_run_for_any_config(
+        graph in arb_graph(),
+        k in 2usize..6,
+        pes in 1usize..8,
+    ) {
+        let engine = IGcnEngine::new(
+            &graph,
+            IslandizationConfig::default(),
+            ConsumerConfig::default().with_k(k).with_pes(pes),
+        ).expect("loop-free");
+        let n = graph.num_nodes();
+        let x = SparseFeatures::random(n, 5, 0.4, 77);
+        let model = GnnModel::gcn(5, 3, 2);
+        let w = ModelWeights::glorot(&model, 5);
+        let (_, run_stats) = engine.run(&x, &model, &w);
+        let account_stats = engine.account(&x, &model);
+        prop_assert_eq!(run_stats, account_stats);
+    }
+
+    #[test]
+    fn window_ops_never_exceed_unpruned_and_ablation_is_neutral(graph in arb_graph()) {
+        let engine = IGcnEngine::new(
+            &graph,
+            IslandizationConfig::default(),
+            ConsumerConfig::default(),
+        ).expect("loop-free");
+        let n = graph.num_nodes();
+        let x = SparseFeatures::random(n, 4, 0.5, 3);
+        let model = GnnModel::gcn(4, 3, 2);
+        let stats = engine.account(&x, &model);
+        for layer in &stats.layers {
+            // Window decisions alone never beat the unpruned count; only
+            // eager pre-aggregation amortisation can push the *total* over
+            // on structureless graphs (the documented negative-pruning
+            // corner the paper's dense islands avoid).
+            prop_assert!(
+                layer.aggregation.executed_vector_adds
+                    + layer.aggregation.executed_vector_subs
+                    <= layer.aggregation.unpruned_vector_ops
+            );
+        }
+        // With redundancy removal off, execution is exactly the unpruned
+        // schedule.
+        let ablation = IGcnEngine::new(
+            &graph,
+            IslandizationConfig::default(),
+            ConsumerConfig::default().with_redundancy_removal(false),
+        ).expect("loop-free");
+        let ab_stats = ablation.account(&x, &model);
+        for layer in &ab_stats.layers {
+            prop_assert_eq!(
+                layer.aggregation.executed_vector_ops(),
+                layer.aggregation.unpruned_vector_ops
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the reordering baselines: every algorithm
+//! produces a valid permutation, and GCN inference commutes with node
+//! relabelling (reordering changes layout, never results).
+
+use proptest::prelude::*;
+
+use igcn::gnn::{reference_forward, GnnModel, ModelWeights};
+use igcn::graph::generate::{barabasi_albert, HubIslandConfig};
+use igcn::graph::{CsrGraph, NodeId, SparseFeatures};
+use igcn::reorder::{
+    figure12_baselines, Identity, RandomOrder, Rcm, Reorderer, SlashBurn,
+};
+
+fn all_reorderers() -> Vec<Box<dyn Reorderer>> {
+    let mut v = figure12_baselines();
+    v.push(Box::new(SlashBurn::default()));
+    v.push(Box::new(Rcm));
+    v.push(Box::new(Identity));
+    v.push(Box::new(RandomOrder::default()));
+    v
+}
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    prop_oneof![
+        (10usize..150, 1usize..4, 0u64..500)
+            .prop_map(|(n, m, seed)| barabasi_albert(n, m, seed)),
+        (30usize..200, 2usize..10, 0u64..500).prop_map(|(n, h, seed)| {
+            HubIslandConfig::new(n, h.min(n - 1)).generate(seed).graph
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_reorderer_emits_a_valid_permutation(graph in arb_graph()) {
+        for r in all_reorderers() {
+            let p = r.reorder(&graph);
+            prop_assert_eq!(p.len(), graph.num_nodes(), "{} wrong length", r.name());
+            // Permutation validity is enforced by construction; composing
+            // with the inverse must give the identity.
+            prop_assert!(p.then(&p.inverse()).is_identity(), "{} not bijective", r.name());
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_graph_shape(graph in arb_graph()) {
+        for r in all_reorderers() {
+            let p = r.reorder(&graph);
+            let permuted = graph.permute(&p).expect("valid permutation");
+            prop_assert_eq!(permuted.num_nodes(), graph.num_nodes());
+            prop_assert_eq!(permuted.num_directed_edges(), graph.num_directed_edges());
+            prop_assert!(permuted.is_symmetric());
+        }
+    }
+}
+
+#[test]
+fn inference_commutes_with_relabelling() {
+    // Permute graph + features, run the reference, un-permute: must equal
+    // the reference on the original layout.
+    let g = HubIslandConfig::new(120, 6).generate(9).graph;
+    let x = SparseFeatures::random(120, 8, 0.4, 2);
+    let model = GnnModel::gcn(8, 5, 3);
+    let w = ModelWeights::glorot(&model, 4);
+    let base = reference_forward(&g, &x, &model, &w);
+
+    for r in all_reorderers() {
+        let p = r.reorder(&g);
+        let pg = g.permute(&p).unwrap();
+        let rows: Vec<Vec<(u32, f32)>> = {
+            let inv = p.inverse();
+            (0..120u32)
+                .map(|new| {
+                    let old = inv.map(NodeId::new(new));
+                    let (cols, vals) = x.row(old);
+                    cols.iter().zip(vals).map(|(&c, &v)| (c, v)).collect()
+                })
+                .collect()
+        };
+        let px = SparseFeatures::from_rows(120, 8, rows);
+        let out = reference_forward(&pg, &px, &model, &w);
+        for old in 0..120usize {
+            let new = p.map(NodeId::new(old as u32)).index();
+            for c in 0..3 {
+                let a = base.get(old, c);
+                let b = out.get(new, c);
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{}: node {old} col {c}: {a} vs {b}",
+                    r.name()
+                );
+            }
+        }
+    }
+}

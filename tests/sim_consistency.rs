@@ -1,0 +1,116 @@
+//! Integration: the accelerator and baseline models produce mutually
+//! consistent shapes — the orderings the paper's evaluation reports.
+
+use igcn::baselines::{AwbGcn, HyGcn, Platform, PlatformKind, Sigma};
+use igcn::gnn::{GnnKind, GnnModel, ModelConfig};
+use igcn::graph::datasets::Dataset;
+use igcn::sim::{GcnAccelerator, HardwareConfig, IGcnAccelerator};
+
+fn cora() -> (igcn::graph::CsrGraph, igcn::graph::SparseFeatures, GnnModel) {
+    let d = Dataset::Cora.generate_scaled(0.5, 42);
+    let m = GnnModel::for_dataset(Dataset::Cora, GnnKind::Gcn, ModelConfig::Algo);
+    (d.graph, d.features, m)
+}
+
+#[test]
+fn igcn_beats_awb_beats_software() {
+    let (g, x, m) = cora();
+    let hw = HardwareConfig::paper_default();
+    let ours = IGcnAccelerator::new(hw).simulate(&g, &x, &m);
+    let awb = AwbGcn::new(hw).simulate(&g, &x, &m);
+    let cpu = Platform::new(PlatformKind::PygCpuE5_2680).simulate(&g, &x, &m);
+    let gpu = Platform::new(PlatformKind::PygGpuV100).simulate(&g, &x, &m);
+
+    assert!(
+        ours.latency_s < awb.latency_s,
+        "I-GCN ({}) must beat AWB-GCN ({})",
+        ours.latency_us(),
+        awb.latency_us()
+    );
+    assert!(awb.latency_s < gpu.latency_s, "accelerators must beat GPUs");
+    assert!(gpu.latency_s < cpu.latency_s, "GPUs must beat CPUs");
+    // Order-of-magnitude bands of Figure 14(B): CPU speedup in the
+    // thousands, GPU in the hundreds.
+    let cpu_speedup = ours.speedup_over(&cpu);
+    let gpu_speedup = ours.speedup_over(&gpu);
+    assert!(cpu_speedup > 500.0, "CPU speedup {cpu_speedup} below band");
+    assert!(gpu_speedup > 20.0, "GPU speedup {gpu_speedup} below band");
+}
+
+#[test]
+fn igcn_traffic_lowest() {
+    let (g, x, m) = cora();
+    let hw = HardwareConfig::paper_default();
+    let ours = IGcnAccelerator::new(hw).simulate(&g, &x, &m);
+    let awb = AwbGcn::new(hw).simulate(&g, &x, &m);
+    let hygcn = HyGcn::paper_config().simulate(&g, &x, &m);
+    assert!(
+        ours.offchip_bytes < awb.offchip_bytes,
+        "Figure 14(A): I-GCN traffic ({}) must undercut AWB-GCN ({})",
+        ours.offchip_bytes,
+        awb.offchip_bytes
+    );
+    assert!(ours.offchip_bytes < hygcn.offchip_bytes);
+}
+
+#[test]
+fn microsecond_band_on_citation_graphs() {
+    // Table 2: citation graphs run in single-digit to tens of µs.
+    let (g, x, m) = cora();
+    let ours = IGcnAccelerator::new(HardwareConfig::paper_default()).simulate(&g, &x, &m);
+    assert!(
+        ours.latency_us() < 100.0,
+        "Cora-scale inference should be tens of µs at most, got {}",
+        ours.latency_us()
+    );
+}
+
+#[test]
+fn sigma_slower_than_gcn_accelerators() {
+    let (g, x, m) = cora();
+    let hw = HardwareConfig::paper_default();
+    let ours = IGcnAccelerator::new(hw).simulate(&g, &x, &m);
+    let sigma = Sigma::paper_config().simulate(&g, &x, &m);
+    let ratio = ours.speedup_over(&sigma);
+    assert!(ratio > 2.0, "SIGMA should trail I-GCN clearly, got {ratio}x");
+}
+
+#[test]
+fn energy_efficiency_tracks_latency() {
+    let (g, x, m) = cora();
+    let hw = HardwareConfig::paper_default();
+    let ours = IGcnAccelerator::new(hw).simulate(&g, &x, &m);
+    let awb = AwbGcn::new(hw).simulate(&g, &x, &m);
+    assert!(
+        ours.graphs_per_kilojoule > awb.graphs_per_kilojoule,
+        "Table 2: I-GCN EE must exceed AWB-GCN EE"
+    );
+}
+
+#[test]
+fn weak_communities_shrink_the_win() {
+    // §4.6.2: the speedup over AWB-GCN is smallest on Reddit because its
+    // component structure is weak. Compare the I-GCN/AWB ratio between a
+    // strongly and a weakly clustered graph of the same size.
+    use igcn::graph::generate::HubIslandConfig;
+    use igcn::graph::SparseFeatures;
+    let hw = HardwareConfig::paper_default();
+    let model = GnnModel::gcn(32, 16, 4);
+    let mut ratios = Vec::new();
+    for noise in [0.0, 0.35] {
+        let g = HubIslandConfig::new(4_000, 160)
+            .noise_fraction(noise)
+            .island_density(0.5)
+            .generate(5);
+        let x = SparseFeatures::random(4_000, 32, 0.1, 6);
+        let ours = IGcnAccelerator::new(hw).simulate(&g.graph, &x, &model);
+        let awb = AwbGcn::new(hw).simulate(&g.graph, &x, &model);
+        ratios.push(ours.speedup_over(&awb));
+    }
+    assert!(
+        ratios[0] > ratios[1] * 0.95,
+        "strong communities ({}) should help I-GCN at least as much as weak ones ({})",
+        ratios[0],
+        ratios[1]
+    );
+}
