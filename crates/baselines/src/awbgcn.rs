@@ -91,12 +91,7 @@ impl GcnAccelerator for AwbGcn {
         "AWB-GCN".to_string()
     }
 
-    fn simulate(
-        &self,
-        graph: &CsrGraph,
-        features: &SparseFeatures,
-        model: &GnnModel,
-    ) -> SimReport {
+    fn simulate(&self, graph: &CsrGraph, features: &SparseFeatures, model: &GnnModel) -> SimReport {
         let workload = ModelWorkload::compute(graph, features, model);
         let dram = DramModel::new(&self.hw);
         let total_ops = workload.total_ops();
@@ -144,8 +139,8 @@ impl GcnAccelerator for AwbGcn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igcn_graph::datasets::Dataset;
     use igcn_gnn::{GnnKind, ModelConfig};
+    use igcn_graph::datasets::Dataset;
 
     fn cora_small() -> (CsrGraph, SparseFeatures, GnnModel) {
         let d = Dataset::Cora.generate_scaled(0.25, 1);

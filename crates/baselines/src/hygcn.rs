@@ -63,12 +63,7 @@ impl GcnAccelerator for HyGcn {
         "HyGCN".to_string()
     }
 
-    fn simulate(
-        &self,
-        graph: &CsrGraph,
-        features: &SparseFeatures,
-        model: &GnnModel,
-    ) -> SimReport {
+    fn simulate(&self, graph: &CsrGraph, features: &SparseFeatures, model: &GnnModel) -> SimReport {
         let n = graph.num_nodes() as u64;
         let nnz_a = graph.num_directed_edges() as u64 + n;
         let dram = DramModel::new(&self.hw);
@@ -147,8 +142,8 @@ impl GcnAccelerator for HyGcn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igcn_graph::datasets::Dataset;
     use igcn_gnn::{GnnKind, ModelConfig};
+    use igcn_graph::datasets::Dataset;
 
     #[test]
     fn dense_combination_dominates_on_wide_features() {

@@ -20,6 +20,11 @@
 //! * [`methods`] — the measured PULL/PUSH/islandization comparison behind
 //!   Table 1.
 //!
+//! Every model here also serves through the unified
+//! [`igcn_core::accel::Accelerator`] trait via `igcn_sim::SimBackend`
+//! (see the `*Backend` aliases), so serving harnesses and the backend
+//! conformance suite treat them exactly like the real engine.
+//!
 //! Model constants are calibrated to published results (each module
 //! documents its calibration anchors); the reproduction target is the
 //! *shape* of Figure 14 and Table 2, not absolute numbers.
@@ -34,3 +39,13 @@ pub use awbgcn::AwbGcn;
 pub use hygcn::HyGcn;
 pub use platform::{Platform, PlatformKind};
 pub use sigma::Sigma;
+
+/// AWB-GCN behind the unified [`igcn_core::accel::Accelerator`] trait.
+pub type AwbGcnBackend = igcn_sim::SimBackend<AwbGcn>;
+/// HyGCN behind the unified [`igcn_core::accel::Accelerator`] trait.
+pub type HyGcnBackend = igcn_sim::SimBackend<HyGcn>;
+/// SIGMA behind the unified [`igcn_core::accel::Accelerator`] trait.
+pub type SigmaBackend = igcn_sim::SimBackend<Sigma>;
+/// A CPU/GPU software platform behind the unified
+/// [`igcn_core::accel::Accelerator`] trait.
+pub type PlatformBackend = igcn_sim::SimBackend<Platform>;

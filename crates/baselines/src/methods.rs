@@ -141,21 +141,13 @@ pub fn profile_methods(graph: &CsrGraph, out_dim: usize) -> Vec<MethodProfile> {
         .islands()
         .iter()
         .map(|isl| {
-            isl.nodes
-                .iter()
-                .map(|&v| graph.degree(NodeId::new(v)) as u64)
-                .sum::<u64>()
-                .max(1)
+            isl.nodes.iter().map(|&v| graph.degree(NodeId::new(v)) as u64).sum::<u64>().max(1)
         })
         .collect();
     // Hub XW rows are fetched once (cache) even though used by many
     // islands; island rows exactly once.
-    let hub_uses: f64 = partition
-        .islands()
-        .iter()
-        .map(|isl| isl.hubs.len() as f64)
-        .sum::<f64>()
-        .max(1.0);
+    let hub_uses: f64 =
+        partition.islands().iter().map(|isl| isl.hubs.len() as f64).sum::<f64>().max(1.0);
     let xw_fetches = (n as f64) / (n as f64 + hub_uses - hub_rows as f64).max(1.0);
     let island = MethodProfile {
         method: "Islandization".to_string(),
@@ -171,10 +163,7 @@ pub fn profile_methods(graph: &CsrGraph, out_dim: usize) -> Vec<MethodProfile> {
     vec![pull, push, island]
 }
 
-fn measured_prunable_fraction(
-    graph: &CsrGraph,
-    partition: &igcn_core::IslandPartition,
-) -> f64 {
+fn measured_prunable_fraction(graph: &CsrGraph, partition: &igcn_core::IslandPartition) -> f64 {
     use igcn_core::consumer::window::WindowDecision;
     let k = 2usize;
     let mut unpruned = 0u64;
@@ -204,10 +193,7 @@ mod tests {
     use igcn_graph::generate::HubIslandConfig;
 
     fn profiles() -> Vec<MethodProfile> {
-        let g = HubIslandConfig::new(500, 20)
-            .island_density(0.5)
-            .noise_fraction(0.0)
-            .generate(7);
+        let g = HubIslandConfig::new(500, 20).island_density(0.5).noise_fraction(0.0).generate(7);
         profile_methods(&g.graph, 16)
     }
 

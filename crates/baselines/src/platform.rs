@@ -143,12 +143,7 @@ impl GcnAccelerator for Platform {
         self.name.to_string()
     }
 
-    fn simulate(
-        &self,
-        graph: &CsrGraph,
-        features: &SparseFeatures,
-        model: &GnnModel,
-    ) -> SimReport {
+    fn simulate(&self, graph: &CsrGraph, features: &SparseFeatures, model: &GnnModel) -> SimReport {
         let workload = ModelWorkload::compute(graph, features, model);
         let mut latency = 0.0f64;
         let mut total_bytes = 0u64;
@@ -184,8 +179,8 @@ impl GcnAccelerator for Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igcn_graph::datasets::Dataset;
     use igcn_gnn::{GnnKind, ModelConfig};
+    use igcn_graph::datasets::Dataset;
 
     fn cora() -> (CsrGraph, SparseFeatures, GnnModel) {
         let d = Dataset::Cora.generate_scaled(0.25, 6);

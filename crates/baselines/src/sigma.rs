@@ -53,12 +53,7 @@ impl GcnAccelerator for Sigma {
         "SIGMA".to_string()
     }
 
-    fn simulate(
-        &self,
-        graph: &CsrGraph,
-        features: &SparseFeatures,
-        model: &GnnModel,
-    ) -> SimReport {
+    fn simulate(&self, graph: &CsrGraph, features: &SparseFeatures, model: &GnnModel) -> SimReport {
         let workload = ModelWorkload::compute(graph, features, model);
         let dram = DramModel::new(&self.hw);
         let macs = MacArray::new(&self.hw);
@@ -117,8 +112,8 @@ impl GcnAccelerator for Sigma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igcn_graph::datasets::Dataset;
     use igcn_gnn::{GnnKind, ModelConfig};
+    use igcn_graph::datasets::Dataset;
 
     #[test]
     fn slower_than_compute_bound_floor() {

@@ -26,13 +26,7 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs {
-            reddit_scale: 0.04,
-            seed: 42,
-            quick: false,
-            part: None,
-            datasets: Vec::new(),
-        }
+        HarnessArgs { reddit_scale: 0.04, seed: 42, quick: false, part: None, datasets: Vec::new() }
     }
 }
 

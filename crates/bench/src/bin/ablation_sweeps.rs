@@ -25,17 +25,12 @@ fn main() {
     let accelerator = IGcnAccelerator::new(HardwareConfig::paper_default());
 
     // --- c_max sweep. ---
-    let mut cmax_table = Table::new(vec![
-        "c_max",
-        "islands",
-        "hub %",
-        "overflow drops",
-        "agg pruning %",
-    ]);
+    let mut cmax_table =
+        Table::new(vec!["c_max", "islands", "hub %", "overflow drops", "agg pruning %"]);
     for c_max in [8usize, 16, 32, 64, 128] {
         let icfg = IslandizationConfig::default().with_c_max(c_max);
-        let engine = IGcnEngine::new(&data.graph, icfg, ConsumerConfig::default()).unwrap();
-        let stats = engine.account(&data.features, &model);
+        let engine = IGcnEngine::builder(data.graph.clone()).island_config(icfg).build().unwrap();
+        let stats = engine.account(&data.features, &model).unwrap();
         cmax_table.row(vec![
             c_max.to_string(),
             engine.partition().num_islands().to_string(),
@@ -48,21 +43,14 @@ fn main() {
     println!("{}", cmax_table.to_markdown());
 
     // --- k sweep. ---
-    let mut k_table = Table::new(vec![
-        "k",
-        "agg pruning %",
-        "windows reused",
-        "preagg adds",
-        "sim latency (µs)",
-    ]);
+    let mut k_table =
+        Table::new(vec!["k", "agg pruning %", "windows reused", "preagg adds", "sim latency (µs)"]);
     for k in [2usize, 4, 8, 16] {
-        let engine = IGcnEngine::new(
-            &data.graph,
-            IslandizationConfig::default(),
-            ConsumerConfig::default().with_k(k),
-        )
-        .unwrap();
-        let stats = engine.account(&data.features, &model);
+        let engine = IGcnEngine::builder(data.graph.clone())
+            .consumer_config(ConsumerConfig::default().with_k(k))
+            .build()
+            .unwrap();
+        let stats = engine.account(&data.features, &model).unwrap();
         let report = accelerator.report_from_stats(&stats);
         let reused: u64 = stats.layers.iter().map(|l| l.aggregation.windows_reused).sum();
         let preagg: u64 = stats.layers.iter().map(|l| l.aggregation.preagg_vector_adds).sum();
@@ -78,12 +66,8 @@ fn main() {
     println!("{}", k_table.to_markdown());
 
     // --- P2 engine sweep. ---
-    let mut p2_table = Table::new(vec![
-        "TP-BFS engines",
-        "locator cycles",
-        "conflict drops",
-        "islands",
-    ]);
+    let mut p2_table =
+        Table::new(vec!["TP-BFS engines", "locator cycles", "conflict drops", "islands"]);
     for engines in [1usize, 4, 16, 64, 256] {
         let icfg = IslandizationConfig::default().with_engines(engines);
         let (partition, stats) = IslandLocator::new(&data.graph, &icfg).run().unwrap();
@@ -101,21 +85,13 @@ fn main() {
     let mut policy_table = Table::new(vec!["configuration", "agg pruning %", "executed vec ops"]);
     let configs: Vec<(&str, ConsumerConfig)> = vec![
         ("reuse on, eager preagg", ConsumerConfig::default()),
-        (
-            "reuse on, lazy preagg",
-            ConsumerConfig::default().with_preagg(PreaggPolicy::Lazy),
-        ),
-        (
-            "reuse off (ablation)",
-            ConsumerConfig::default().with_redundancy_removal(false),
-        ),
+        ("reuse on, lazy preagg", ConsumerConfig::default().with_preagg(PreaggPolicy::Lazy)),
+        ("reuse off (ablation)", ConsumerConfig::default().with_redundancy_removal(false)),
     ];
     for (label, ccfg) in configs {
-        let engine =
-            IGcnEngine::new(&data.graph, IslandizationConfig::default(), ccfg).unwrap();
-        let stats = engine.account(&data.features, &model);
-        let executed: u64 =
-            stats.layers.iter().map(|l| l.aggregation.executed_vector_ops()).sum();
+        let engine = IGcnEngine::builder(data.graph.clone()).consumer_config(ccfg).build().unwrap();
+        let stats = engine.account(&data.features, &model).unwrap();
+        let executed: u64 = stats.layers.iter().map(|l| l.aggregation.executed_vector_ops()).sum();
         policy_table.row(vec![
             label.to_string(),
             fmt_sig(stats.aggregation_pruning_rate() * 100.0),

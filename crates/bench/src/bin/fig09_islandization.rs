@@ -34,10 +34,9 @@ fn main() {
         let scale = if args.quick { 0.25 } else { 1.0 };
         eprintln!("[fig9] {dataset} at scale {scale}...");
         let data = dataset.generate_scaled(scale, args.seed);
-        let (partition, stats) =
-            IslandLocator::new(&data.graph, &IslandizationConfig::default())
-                .run()
-                .expect("islandization converges");
+        let (partition, stats) = IslandLocator::new(&data.graph, &IslandizationConfig::default())
+            .run()
+            .expect("islandization converges");
         partition
             .check_invariants(&data.graph)
             .expect("figure 9 claim: the space between L-shapes is blank");
@@ -53,14 +52,8 @@ fn main() {
         println!("## {dataset}: after islandization (hub L-shapes + island diagonal)\n");
         println!("{}", after.to_ascii());
 
-        let mut rounds = Table::new(vec![
-            "round",
-            "threshold",
-            "hubs",
-            "islands",
-            "island nodes",
-            "bfs cycles",
-        ]);
+        let mut rounds =
+            Table::new(vec!["round", "threshold", "hubs", "islands", "island nodes", "bfs cycles"]);
         for r in &stats.rounds {
             rounds.row(vec![
                 r.round.to_string(),
@@ -75,10 +68,7 @@ fn main() {
 
         write_result(&format!("fig09_{}_before.ppm", dataset.id()), &before.to_ppm());
         write_result(&format!("fig09_{}_after.ppm", dataset.id()), &after.to_ppm());
-        write_result(
-            &format!("fig09_{}_rounds.csv", dataset.id()),
-            rounds.to_csv().as_bytes(),
-        );
+        write_result(&format!("fig09_{}_rounds.csv", dataset.id()), rounds.to_csv().as_bytes());
 
         table.row(vec![
             dataset.to_string(),

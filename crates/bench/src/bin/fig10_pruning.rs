@@ -9,7 +9,7 @@
 
 use igcn_bench::table::fmt_sig;
 use igcn_bench::{standard_suite, write_result, HarnessArgs, Table};
-use igcn_core::{ConsumerConfig, IGcnEngine, IslandizationConfig};
+use igcn_core::IGcnEngine;
 use igcn_gnn::{GnnKind, GnnModel, ModelConfig};
 use igcn_graph::datasets::Dataset;
 
@@ -39,14 +39,13 @@ fn main() {
     let mut measured_rates = Vec::new();
     for run in &suite {
         eprintln!("[fig10] islandizing {}...", run.dataset);
-        let engine = IGcnEngine::new(
-            &run.data.graph,
-            IslandizationConfig::default(),
-            ConsumerConfig::default(),
-        )
-        .expect("loop-free dataset stand-ins");
+        let engine = IGcnEngine::builder(run.data.graph.clone())
+            .build()
+            .expect("loop-free dataset stand-ins");
         let model = GnnModel::for_dataset(run.dataset, GnnKind::Gcn, ModelConfig::Algo);
-        let stats = engine.account(&run.data.features, &model);
+        let stats = engine
+            .account(&run.data.features, &model)
+            .expect("suite features match the suite graph");
         let agg = stats.aggregation_pruning_rate() * 100.0;
         let overall = stats.overall_pruning_rate() * 100.0;
         let (paper_agg, paper_overall) = paper_rates(run.dataset);

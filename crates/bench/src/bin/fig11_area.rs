@@ -18,14 +18,15 @@ fn main() {
 
     let mut table = Table::new(vec!["component", "module", "ALMs (k)", "% of total"]);
     let total = breakdown.total_alms();
-    let locator_components = ["Hub Detector (FIFOs + filters)", "TP-BFS engines",
-        "TP-BFS task queues", "Island node tables (PR/CR-INT)"];
+    let locator_components = [
+        "Hub Detector (FIFOs + filters)",
+        "TP-BFS engines",
+        "TP-BFS task queues",
+        "Island node tables (PR/CR-INT)",
+    ];
     for (name, alms) in breakdown.rows() {
-        let module = if locator_components.contains(&name) {
-            "Island Locator"
-        } else {
-            "Island Consumer"
-        };
+        let module =
+            if locator_components.contains(&name) { "Island Locator" } else { "Island Consumer" };
         table.row(vec![
             name.to_string(),
             module.to_string(),
@@ -44,8 +45,8 @@ fn main() {
     // Scaling ablation: how the split moves with engine count.
     let mut scaling = Table::new(vec!["TP-BFS engines", "locator %", "total ALMs (k)"]);
     for engines in [16, 32, 64, 128] {
-        let b = AreaModel::fpga_default()
-            .breakdown(&HardwareConfig { tpbfs_engines: engines, ..hw });
+        let b =
+            AreaModel::fpga_default().breakdown(&HardwareConfig { tpbfs_engines: engines, ..hw });
         scaling.row(vec![
             engines.to_string(),
             fmt_sig(b.locator_fraction() * 100.0),

@@ -5,45 +5,75 @@
 //! Part (B) — end-to-end latency speedups of I-GCN over the software
 //! stacks, SIGMA and the prior GCN accelerators.
 //!
+//! Every platform is driven through the unified
+//! [`igcn_core::accel::Accelerator`] trait: one backend list per
+//! dataset, `prepare` once per model, `report` per request — the same
+//! path a serving deployment uses.
+//!
 //! Run:
 //! `cargo run --release -p igcn-bench --bin fig14_cross_platform -- --part traffic`
 //! `cargo run --release -p igcn-bench --bin fig14_cross_platform -- --part speedup`
 //! (no `--part` runs both)
 
+use std::sync::Arc;
+
 use igcn_baselines::{AwbGcn, HyGcn, Platform, PlatformKind, Sigma};
 use igcn_bench::table::fmt_sig;
 use igcn_bench::{standard_suite, write_result, HarnessArgs, Table};
-use igcn_gnn::{GnnKind, GnnModel, ModelConfig};
-use igcn_sim::{GcnAccelerator, HardwareConfig, IGcnAccelerator};
+use igcn_core::accel::{Accelerator, InferenceRequest};
+use igcn_gnn::{GnnKind, GnnModel, ModelConfig, ModelWeights};
+use igcn_graph::CsrGraph;
+use igcn_sim::{HardwareConfig, IGcnAccelerator, SimBackend};
+
+/// The Figure 14(A) platform list: I-GCN first (the normalisation
+/// base), then the prior accelerators and the CPU software stack.
+fn traffic_backends(graph: &Arc<CsrGraph>, hw: HardwareConfig) -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(SimBackend::new(IGcnAccelerator::new(hw), Arc::clone(graph))),
+        Box::new(SimBackend::new(AwbGcn::new(hw), Arc::clone(graph))),
+        Box::new(SimBackend::new(HyGcn::paper_config(), Arc::clone(graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::PygCpuE5_2680), Arc::clone(graph))),
+    ]
+}
+
+/// The Figure 14(B) baseline list (I-GCN itself is handled separately
+/// as the speedup reference).
+fn speedup_baselines(graph: &Arc<CsrGraph>, hw: HardwareConfig) -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(SimBackend::new(Platform::new(PlatformKind::PygCpuE5_2680), Arc::clone(graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::DglCpuE5_2683), Arc::clone(graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::PygGpuV100), Arc::clone(graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::PygGpuRtx8000), Arc::clone(graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::DglGpuV100), Arc::clone(graph))),
+        Box::new(SimBackend::new(Sigma::paper_config(), Arc::clone(graph))),
+        Box::new(SimBackend::new(HyGcn::paper_config(), Arc::clone(graph))),
+        Box::new(SimBackend::new(AwbGcn::new(hw), Arc::clone(graph))),
+    ]
+}
 
 fn traffic_part(args: &HarnessArgs) {
     let suite = standard_suite(args);
     let hw = HardwareConfig::paper_default();
-    let platforms: Vec<Box<dyn GcnAccelerator>> = vec![
-        Box::new(IGcnAccelerator::new(hw)),
-        Box::new(AwbGcn::new(hw)),
-        Box::new(HyGcn::paper_config()),
-        Box::new(Platform::new(PlatformKind::PygCpuE5_2680)),
-    ];
     for config in [ModelConfig::Algo, ModelConfig::Hy] {
-        let mut table = Table::new(vec![
-            "dataset",
-            "platform",
-            "off-chip (MB)",
-            "normalized (I-GCN = 1)",
-        ]);
+        let mut table =
+            Table::new(vec!["dataset", "platform", "off-chip (MB)", "normalized (I-GCN = 1)"]);
         for run in &suite {
+            let graph = Arc::new(run.data.graph.clone());
             let model = GnnModel::for_dataset(run.dataset, GnnKind::Gcn, config);
+            let weights = ModelWeights::glorot(&model, args.seed);
+            let request = InferenceRequest::new(run.data.features.clone());
             let mut base: Option<f64> = None;
-            for p in &platforms {
+            for mut backend in traffic_backends(&graph, hw) {
                 eprintln!(
                     "[fig14A] {} on {} (GCN-{})...",
-                    p.name(),
+                    backend.name(),
                     run.dataset,
                     config.id()
                 );
-                let r = p.simulate(&run.data.graph, &run.data.features, &model);
-                let mb = r.offchip_bytes as f64 / 1e6;
+                backend.prepare(&model, &weights).expect("suite weights match the model");
+                let report =
+                    backend.report(&request).expect("suite features match the suite graph");
+                let mb = report.offchip_bytes as f64 / 1e6;
                 let norm = match base {
                     None => {
                         base = Some(mb);
@@ -53,58 +83,41 @@ fn traffic_part(args: &HarnessArgs) {
                 };
                 table.row(vec![
                     run.dataset.to_string(),
-                    p.name(),
+                    backend.name(),
                     fmt_sig(mb),
                     fmt_sig(norm),
                 ]);
             }
         }
-        println!(
-            "\n# Figure 14(A): normalized off-chip data access (GCN-{})\n",
-            config.id()
-        );
+        println!("\n# Figure 14(A): normalized off-chip data access (GCN-{})\n", config.id());
         println!("{}", table.to_markdown());
-        write_result(
-            &format!("fig14a_traffic_{}.csv", config.id()),
-            table.to_csv().as_bytes(),
-        );
+        write_result(&format!("fig14a_traffic_{}.csv", config.id()), table.to_csv().as_bytes());
     }
 }
 
 fn speedup_part(args: &HarnessArgs) {
     let suite = standard_suite(args);
     let hw = HardwareConfig::paper_default();
-    let igcn = IGcnAccelerator::new(hw);
-    let baselines: Vec<Box<dyn GcnAccelerator>> = vec![
-        Box::new(Platform::new(PlatformKind::PygCpuE5_2680)),
-        Box::new(Platform::new(PlatformKind::DglCpuE5_2683)),
-        Box::new(Platform::new(PlatformKind::PygGpuV100)),
-        Box::new(Platform::new(PlatformKind::PygGpuRtx8000)),
-        Box::new(Platform::new(PlatformKind::DglGpuV100)),
-        Box::new(Sigma::paper_config()),
-        Box::new(HyGcn::paper_config()),
-        Box::new(AwbGcn::new(hw)),
-    ];
     let models: Vec<(GnnKind, ModelConfig)> = vec![
         (GnnKind::Gcn, ModelConfig::Algo),
         (GnnKind::Gcn, ModelConfig::Hy),
         (GnnKind::GraphSage, ModelConfig::Algo),
         (GnnKind::Gin, ModelConfig::Hy),
     ];
-    let mut table = Table::new(vec![
-        "model",
-        "dataset",
-        "platform",
-        "latency (µs)",
-        "I-GCN speedup",
-    ]);
+    let mut table =
+        Table::new(vec!["model", "dataset", "platform", "latency (µs)", "I-GCN speedup"]);
     let mut geo: std::collections::HashMap<String, (f64, u32)> = std::collections::HashMap::new();
     for (kind, config) in &models {
         for run in &suite {
+            let graph = Arc::new(run.data.graph.clone());
             let model = GnnModel::for_dataset(run.dataset, *kind, *config);
+            let weights = ModelWeights::glorot(&model, args.seed);
+            let request = InferenceRequest::new(run.data.features.clone());
             let label = model.label(*config);
             eprintln!("[fig14B] I-GCN on {} ({label})...", run.dataset);
-            let ours = igcn.simulate(&run.data.graph, &run.data.features, &model);
+            let mut igcn = SimBackend::new(IGcnAccelerator::new(hw), Arc::clone(&graph));
+            igcn.prepare(&model, &weights).expect("suite weights match the model");
+            let ours = igcn.report(&request).expect("suite features match the suite graph");
             table.row(vec![
                 label.clone(),
                 run.dataset.to_string(),
@@ -112,16 +125,17 @@ fn speedup_part(args: &HarnessArgs) {
                 fmt_sig(ours.latency_us()),
                 "1.00".to_string(),
             ]);
-            for b in &baselines {
-                let r = b.simulate(&run.data.graph, &run.data.features, &model);
+            for mut backend in speedup_baselines(&graph, hw) {
+                backend.prepare(&model, &weights).expect("suite weights match the model");
+                let r = backend.report(&request).expect("suite features match the suite graph");
                 let speedup = ours.speedup_over(&r);
-                let entry = geo.entry(b.name()).or_insert((0.0, 0));
+                let entry = geo.entry(backend.name()).or_insert((0.0, 0));
                 entry.0 += speedup.ln();
                 entry.1 += 1;
                 table.row(vec![
                     label.clone(),
                     run.dataset.to_string(),
-                    b.name(),
+                    backend.name(),
                     fmt_sig(r.latency_us()),
                     fmt_sig(speedup),
                 ]);

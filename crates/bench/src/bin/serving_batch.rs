@@ -1,0 +1,124 @@
+//! Batched-serving throughput of the owned I-GCN engine.
+//!
+//! The ROADMAP north-star is a serving system, and this harness
+//! measures the serving path end to end: build one [`IGcnEngine`] over
+//! a dataset stand-in, `prepare` a model once, then push batches of
+//! [`InferenceRequest`]s through [`Accelerator::infer_batch`] —
+//! which amortises the consumer schedule and Ã normalisation across
+//! the batch — against one [`Accelerator::infer`] call per request.
+//! A final phase applies evolving-graph updates through
+//! `IGcnEngine::apply_update` and keeps serving on the updated graph.
+//!
+//! Run: `cargo run --release -p igcn-bench --bin serving_batch -- --quick`
+
+use std::time::Instant;
+
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{write_result, HarnessArgs, Table};
+use igcn_core::accel::{Accelerator, GraphUpdate, InferenceRequest};
+use igcn_core::IGcnEngine;
+use igcn_gnn::{GnnKind, GnnModel, ModelConfig, ModelWeights};
+use igcn_graph::datasets::Dataset;
+use igcn_graph::SparseFeatures;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = if args.quick { 0.1 } else { 0.5 };
+    let data = Dataset::Cora.generate_scaled(scale, args.seed);
+    let n = data.graph.num_nodes();
+    let model = GnnModel::for_dataset(Dataset::Cora, GnnKind::Gcn, ModelConfig::Algo);
+    let weights = ModelWeights::glorot(&model, args.seed);
+    let feature_dim = data.spec.feature_dim;
+
+    eprintln!("[serving] islandizing {} nodes...", n);
+    let mut engine = IGcnEngine::builder(data.graph.clone()).build().expect("loop-free");
+    engine.prepare(&model, &weights).expect("weights match the model");
+
+    let batch_sizes = [1usize, 4, 16, 64];
+    let mut table = Table::new(vec![
+        "batch",
+        "one-by-one (ms)",
+        "infer_batch (ms)",
+        "batch speedup",
+        "req/s (batched)",
+    ]);
+    // Warm caches/allocator before timing.
+    let warmup = InferenceRequest::new(SparseFeatures::random(n, feature_dim, 0.01, 999));
+    let _ = engine.infer(&warmup).expect("prepared engine");
+    for &batch in &batch_sizes {
+        let requests: Vec<InferenceRequest> = (0..batch)
+            .map(|i| {
+                InferenceRequest::new(SparseFeatures::random(
+                    n,
+                    feature_dim,
+                    0.01,
+                    args.seed + i as u64,
+                ))
+                .with_id(i as u64)
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let solo: Vec<_> =
+            requests.iter().map(|r| engine.infer(r).expect("prepared engine")).collect();
+        let solo_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let batched = engine.infer_batch(&requests).expect("prepared engine");
+        let batched_s = t1.elapsed().as_secs_f64();
+
+        assert_eq!(solo.len(), batched.len());
+        for (a, b) in solo.iter().zip(&batched) {
+            assert_eq!(a.output, b.output, "batched path must be bit-identical");
+        }
+        table.row(vec![
+            batch.to_string(),
+            fmt_sig(solo_s * 1e3),
+            fmt_sig(batched_s * 1e3),
+            fmt_sig(solo_s / batched_s.max(1e-12)),
+            fmt_sig(batch as f64 / batched_s.max(1e-12)),
+        ]);
+    }
+    println!("\n# Batched serving on the owned I-GCN engine (Cora @ {:.0}%)\n", scale * 100.0);
+    println!("{}", table.to_markdown());
+
+    // Evolving-graph serving: apply edge batches and keep answering.
+    let mut update_table =
+        Table::new(vec!["step", "dissolved islands", "reclassified nodes", "incr cycles"]);
+    for step in 0..3u64 {
+        // A deterministic not-yet-present edge for this step.
+        let mut added = Vec::new();
+        'search: for offset in 1..n as u32 {
+            let a = (step * 7919) as u32 % n as u32;
+            let b = (a + offset) % n as u32;
+            if a != b
+                && !engine.graph().has_edge(igcn_graph::NodeId::new(a), igcn_graph::NodeId::new(b))
+            {
+                added.push((a, b));
+                break 'search;
+            }
+        }
+        let report = engine
+            .apply_update(GraphUpdate::add_edges(added))
+            .expect("in-range loop-free updates succeed");
+        update_table.row(vec![
+            step.to_string(),
+            report.dissolved_islands.to_string(),
+            report.reclassified_nodes.to_string(),
+            report.locator_stats.virtual_cycles.to_string(),
+        ]);
+        let request = InferenceRequest::new(SparseFeatures::random(
+            engine.graph().num_nodes(),
+            feature_dim,
+            0.01,
+            900 + step,
+        ));
+        let response = engine.infer(&request).expect("serving continues after updates");
+        assert_eq!(response.output.rows(), engine.graph().num_nodes());
+    }
+    println!("\n# Evolving-graph serving: apply_update then keep answering\n");
+    println!("{}", update_table.to_markdown());
+
+    let path = write_result("serving_batch.csv", table.to_csv().as_bytes());
+    eprintln!("wrote {}", path.display());
+}

@@ -7,12 +7,15 @@
 //!
 //! Run: `cargo run --release -p igcn-bench --bin table2_absolute`
 
+use std::sync::Arc;
+
 use igcn_baselines::AwbGcn;
 use igcn_bench::table::fmt_sig;
 use igcn_bench::{standard_suite, write_result, HarnessArgs, Table};
-use igcn_gnn::{GnnKind, GnnModel, ModelConfig};
+use igcn_core::accel::{Accelerator, InferenceRequest};
+use igcn_gnn::{GnnKind, GnnModel, ModelConfig, ModelWeights};
 use igcn_graph::datasets::Dataset;
-use igcn_sim::{GcnAccelerator, HardwareConfig, IGcnAccelerator};
+use igcn_sim::{HardwareConfig, IGcnAccelerator, SimBackend};
 
 /// Paper Table 2 values: (I-GCN latency µs, I-GCN EE, AWB latency µs,
 /// AWB EE) per (dataset, config).
@@ -35,8 +38,6 @@ fn main() {
     let args = HarnessArgs::parse();
     let suite = standard_suite(&args);
     let hw = HardwareConfig::paper_default();
-    let igcn = IGcnAccelerator::new(hw);
-    let awb = AwbGcn::new(hw);
     let mut table = Table::new(vec![
         "config",
         "dataset",
@@ -55,8 +56,17 @@ fn main() {
         for run in &suite {
             let model = GnnModel::for_dataset(run.dataset, GnnKind::Gcn, config);
             eprintln!("[table2] {} GCN_{}...", run.dataset, config.id());
-            let ours = igcn.simulate(&run.data.graph, &run.data.features, &model);
-            let theirs = awb.simulate(&run.data.graph, &run.data.features, &model);
+            // Both platforms behind the unified serving trait, one graph
+            // binding per dataset.
+            let graph = Arc::new(run.data.graph.clone());
+            let weights = ModelWeights::glorot(&model, args.seed);
+            let request = InferenceRequest::new(run.data.features.clone());
+            let mut igcn = SimBackend::new(IGcnAccelerator::new(hw), Arc::clone(&graph));
+            let mut awb = SimBackend::new(AwbGcn::new(hw), Arc::clone(&graph));
+            igcn.prepare(&model, &weights).expect("suite weights match the model");
+            awb.prepare(&model, &weights).expect("suite weights match the model");
+            let ours = igcn.report(&request).expect("suite features match the suite graph");
+            let theirs = awb.report(&request).expect("suite features match the suite graph");
             let (p_igcn, p_igcn_ee, p_awb, p_awb_ee) = paper_values(run.dataset, config);
             let scale_note = if run.data.scale < 1.0 {
                 format!("{} (@{:.0}%)", run.dataset, run.data.scale * 100.0)
@@ -68,11 +78,11 @@ fn main() {
                 scale_note,
                 fmt_sig(ours.latency_us()),
                 fmt_sig(p_igcn),
-                fmt_sig(ours.graphs_per_kilojoule),
+                fmt_sig(ours.graphs_per_kilojoule()),
                 fmt_sig(p_igcn_ee),
                 fmt_sig(theirs.latency_us()),
                 fmt_sig(p_awb),
-                fmt_sig(theirs.graphs_per_kilojoule),
+                fmt_sig(theirs.graphs_per_kilojoule()),
                 fmt_sig(p_awb_ee),
                 fmt_sig(ours.speedup_over(&theirs)),
                 fmt_sig(p_awb / p_igcn),

@@ -38,8 +38,7 @@ pub fn write_result(name: &str, content: &[u8]) -> PathBuf {
 fn write_file(path: &Path, content: &[u8]) {
     let mut f = std::fs::File::create(path)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
-    f.write_all(content)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    f.write_all(content).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 }
 
 #[cfg(test)]

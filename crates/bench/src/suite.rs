@@ -36,10 +36,7 @@ pub fn standard_suite(args: &HarnessArgs) -> Vec<DatasetRun> {
         .filter(|d| args.wants(d.id()))
         .map(|&dataset| {
             let scale = default_scale(dataset, args);
-            eprintln!(
-                "[suite] generating {dataset} at scale {scale} (seed {})...",
-                args.seed
-            );
+            eprintln!("[suite] generating {dataset} at scale {scale} (seed {})...", args.seed);
             let data = dataset.generate_scaled(scale, args.seed);
             eprintln!(
                 "[suite]   {} nodes, {} undirected edges, {} feature dims (nnz {})",

@@ -95,7 +95,7 @@ pub fn fmt_sig(v: f64) -> String {
         return "0".to_string();
     }
     let a = v.abs();
-    if a >= 1e5 || a < 1e-2 {
+    if !(1e-2..1e5).contains(&a) {
         format!("{v:.2e}")
     } else if a >= 100.0 {
         format!("{v:.0}")

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in.
+//!
+//! The companion `serde` shim blanket-implements its marker traits, so
+//! these derives only need to *accept* the annotation (including
+//! `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes;
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes;
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -18,9 +18,7 @@ impl ThresholdInit {
     /// degree.
     pub fn resolve(self, max_degree: usize) -> u32 {
         match self {
-            ThresholdInit::MaxDegreeFraction(f) => {
-                ((max_degree as f64 * f).round() as u32).max(2)
-            }
+            ThresholdInit::MaxDegreeFraction(f) => ((max_degree as f64 * f).round() as u32).max(2),
             ThresholdInit::Absolute(t) => t.max(1),
         }
     }
@@ -177,12 +175,7 @@ impl Default for ConsumerConfig {
     /// prunes more on the dense islands real graphs contain), 8 PEs,
     /// eager pre-aggregation, redundancy removal on.
     fn default() -> Self {
-        ConsumerConfig {
-            k: 4,
-            num_pes: 8,
-            preagg: PreaggPolicy::Eager,
-            redundancy_removal: true,
-        }
+        ConsumerConfig { k: 4, num_pes: 8, preagg: PreaggPolicy::Eager, redundancy_removal: true }
     }
 }
 

@@ -16,8 +16,8 @@ pub mod pe;
 pub mod ring;
 pub mod window;
 
-use igcn_graph::{CsrGraph, SparseFeatures};
 use igcn_gnn::Activation;
+use igcn_graph::{CsrGraph, SparseFeatures};
 use igcn_linalg::{DenseMatrix, GcnNormalization};
 
 use crate::config::ConsumerConfig;
@@ -90,11 +90,7 @@ impl<'a> IslandConsumer<'a> {
     ///
     /// Panics if the partition was produced for a different node count.
     pub fn new(graph: &'a CsrGraph, partition: &'a IslandPartition, cfg: ConsumerConfig) -> Self {
-        assert_eq!(
-            graph.num_nodes(),
-            partition.num_nodes(),
-            "partition does not match the graph"
-        );
+        assert_eq!(graph.num_nodes(), partition.num_nodes(), "partition does not match the graph");
         IslandConsumer { graph, partition, cfg }
     }
 
@@ -237,12 +233,8 @@ mod tests {
         for k in [2, 3, 4, 8] {
             let cfg = ConsumerConfig::default().with_k(k);
             let consumer = IslandConsumer::new(&g, &p, cfg);
-            let (out, _) = consumer.execute_layer(
-                LayerInput::Sparse(&x),
-                w.layer(0),
-                &norm,
-                Activation::Relu,
-            );
+            let (out, _) =
+                consumer.execute_layer(LayerInput::Sparse(&x), w.layer(0), &norm, Activation::Relu);
             assert!(out.max_abs_diff(&reference[0]) < 1e-4, "k={k} execution diverges");
         }
     }
@@ -268,8 +260,7 @@ mod tests {
         assert_eq!(s_without.aggregation.executed_vector_subs, 0);
         assert!(s_without.aggregation.pruning_rate().abs() < 1e-12);
         assert!(
-            s_with.aggregation.executed_vector_ops()
-                <= s_without.aggregation.executed_vector_ops(),
+            s_with.aggregation.executed_vector_ops() <= s_without.aggregation.executed_vector_ops(),
             "redundancy removal must never increase ops"
         );
     }

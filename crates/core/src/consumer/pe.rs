@@ -14,8 +14,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use igcn_graph::{CsrGraph, NodeId};
 use igcn_gnn::Activation;
+use igcn_graph::{CsrGraph, NodeId};
 use igcn_linalg::{DenseMatrix, GcnNormalization};
 
 use crate::config::{ConsumerConfig, PreaggPolicy};
@@ -176,11 +176,7 @@ pub fn execute_island_task(
     // the bitmap, so self-contributions share the pre-aggregated windows.
     // GIN's 1+ε self-weight needs the separate scaled add.
     let self_in_bitmap = ctx.norm.self_weight() == 1.0;
-    let bm = if self_in_bitmap {
-        island.bitmap_with_self(graph)
-    } else {
-        island.bitmap(graph)
-    };
+    let bm = if self_in_bitmap { island.bitmap_with_self(graph) } else { island.bitmap(graph) };
     let out_dim = ctx.weights.cols();
     let k = ctx.cfg.k;
     let dim = bm.dim();
@@ -477,11 +473,8 @@ pub fn account_island_task(
     pe_id: u32,
 ) {
     let self_in_bitmap = ctx.norm.self_weight() == 1.0;
-    let bm: IslandBitmap = if self_in_bitmap {
-        island.bitmap_with_self(graph)
-    } else {
-        island.bitmap(graph)
-    };
+    let bm: IslandBitmap =
+        if self_in_bitmap { island.bitmap_with_self(graph) } else { island.bitmap(graph) };
     let k = ctx.cfg.k;
     let dim = bm.dim();
     let nh = bm.num_hubs();

@@ -53,6 +53,22 @@ pub enum CoreError {
         /// Nodes still unclassified.
         remaining: usize,
     },
+    /// A dimension of a request, weight matrix or graph update does not
+    /// match what the backend expects.
+    ShapeMismatch {
+        /// Which dimension mismatched, e.g. `"feature rows vs graph
+        /// nodes"`.
+        what: String,
+        /// The expected size.
+        expected: usize,
+        /// The size actually supplied.
+        got: usize,
+    },
+    /// `infer`/`report` was called before `prepare` installed a model.
+    NotPrepared {
+        /// Name of the backend that was not prepared.
+        backend: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -81,6 +97,12 @@ impl fmt::Display for CoreError {
                     f,
                     "island locator did not converge in {max_rounds} rounds ({remaining} nodes left)"
                 )
+            }
+            CoreError::ShapeMismatch { what, expected, got } => {
+                write!(f, "shape mismatch ({what}): expected {expected}, got {got}")
+            }
+            CoreError::NotPrepared { backend } => {
+                write!(f, "backend {backend} has no prepared model; call prepare() first")
             }
         }
     }

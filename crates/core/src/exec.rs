@@ -1,75 +1,131 @@
-//! End-to-end islandized GNN inference.
+//! End-to-end islandized GNN inference: the owned, serving-ready
+//! I-GCN engine.
+
+use std::sync::Arc;
 
 use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::{CsrGraph, NodeId, SparseFeatures};
-use igcn_linalg::DenseMatrix;
+use igcn_linalg::{DenseMatrix, GcnNormalization};
 
+use crate::accel::{
+    validate_request, validate_weights, Accelerator, ExecReport, GraphUpdate, InferenceRequest,
+    InferenceResponse, UpdateReport,
+};
 use crate::config::{ConsumerConfig, IslandizationConfig};
 use crate::consumer::{IslandConsumer, LayerInput};
 use crate::error::CoreError;
+use crate::incremental::{apply_edges, incremental_islandize};
 use crate::locator::IslandLocator;
 use crate::partition::IslandPartition;
 use crate::stats::ExecStats;
 
-/// The I-GCN engine: islandizes a graph once, then executes GNN layers at
-/// island granularity with shared-neighbor redundancy removal.
+/// The I-GCN engine: islandizes a graph once, then executes GNN layers
+/// at island granularity with shared-neighbor redundancy removal.
 ///
-/// Islandization runs once per graph — the structure is independent of the
-/// layer — and is reused by every layer of every model, exactly as the
-/// hardware overlaps the Island Locator with the first layer's Island
-/// Consumer and replays the stored islands for deeper layers.
+/// The engine *owns* its graph (behind an `Arc`, so construction from a
+/// shared graph is free) and is `Send + Sync`: prepare it once, wrap it
+/// in an `Arc`, and serve [`Accelerator::infer`] /
+/// [`Accelerator::infer_batch`] calls from any number of threads.
+/// Islandization runs once at build time — the structure is independent
+/// of the layer — and is reused by every layer of every request, exactly
+/// as the hardware overlaps the Island Locator with the first layer's
+/// Island Consumer and replays the stored islands afterwards. Evolving
+/// graphs stay inside the same engine through
+/// [`IGcnEngine::apply_update`].
 ///
 /// # Example
 ///
 /// ```
-/// use igcn_core::{ConsumerConfig, IGcnEngine, IslandizationConfig};
+/// use igcn_core::accel::{Accelerator, InferenceRequest};
+/// use igcn_core::IGcnEngine;
 /// use igcn_gnn::{GnnModel, ModelWeights};
 /// use igcn_graph::generate::HubIslandConfig;
 /// use igcn_graph::SparseFeatures;
 ///
 /// let g = HubIslandConfig::new(200, 8).noise_fraction(0.0).generate(4);
-/// let engine = IGcnEngine::new(
-///     &g.graph,
-///     IslandizationConfig::default(),
-///     ConsumerConfig::default(),
-/// ).unwrap();
+/// let mut engine = IGcnEngine::builder(g.graph).build()?;
 ///
-/// let x = SparseFeatures::random(200, 16, 0.3, 1);
 /// let model = GnnModel::gcn(16, 8, 3);
 /// let weights = ModelWeights::glorot(&model, 2);
-/// let (out, stats) = engine.run(&x, &model, &weights);
-/// assert_eq!(out.rows(), 200);
-/// assert!(stats.aggregation_pruning_rate() >= 0.0);
+/// engine.prepare(&model, &weights)?;
+///
+/// let request = InferenceRequest::new(SparseFeatures::random(200, 16, 0.3, 1));
+/// let response = engine.infer(&request)?;
+/// assert_eq!(response.output.rows(), 200);
+/// assert!(response.report.aggregation_pruning_rate >= 0.0);
+/// # Ok::<(), igcn_core::CoreError>(())
 /// ```
-#[derive(Debug)]
-pub struct IGcnEngine<'g> {
-    graph: &'g CsrGraph,
+#[derive(Debug, Clone)]
+pub struct IGcnEngine {
+    graph: Arc<CsrGraph>,
+    island_cfg: IslandizationConfig,
+    consumer_cfg: ConsumerConfig,
     partition: IslandPartition,
     locator_stats: crate::stats::LocatorStats,
+    prepared: Option<(GnnModel, ModelWeights)>,
+}
+
+/// Configures and builds an [`IGcnEngine`]; created by
+/// [`IGcnEngine::builder`].
+#[derive(Debug, Clone)]
+pub struct IGcnEngineBuilder {
+    graph: Arc<CsrGraph>,
+    island_cfg: IslandizationConfig,
     consumer_cfg: ConsumerConfig,
 }
 
-impl<'g> IGcnEngine<'g> {
-    /// Islandizes `graph` and prepares the engine.
+impl IGcnEngineBuilder {
+    /// Overrides the Island Locator configuration.
+    pub fn island_config(mut self, cfg: IslandizationConfig) -> Self {
+        self.island_cfg = cfg;
+        self
+    }
+
+    /// Overrides the Island Consumer configuration.
+    pub fn consumer_config(mut self, cfg: ConsumerConfig) -> Self {
+        self.consumer_cfg = cfg;
+        self
+    }
+
+    /// Islandizes the graph and builds the engine.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::SelfLoops`] if the graph has self-loops (the
-    /// GCN self contribution is handled by the normalisation; strip loops
-    /// first), or [`CoreError::RoundLimitExceeded`] if the locator fails
-    /// to converge.
-    pub fn new(
-        graph: &'g CsrGraph,
-        island_cfg: IslandizationConfig,
-        consumer_cfg: ConsumerConfig,
-    ) -> Result<Self, CoreError> {
-        for v in graph.iter_nodes() {
-            if graph.has_edge(v, v) {
-                return Err(CoreError::SelfLoops { node: v.value() });
-            }
+    /// Returns [`CoreError::SelfLoops`] if the graph has self-loops
+    /// (the GCN self contribution is handled by the normalisation;
+    /// strip loops first), or [`CoreError::RoundLimitExceeded`] if the
+    /// locator fails to converge.
+    pub fn build(self) -> Result<IGcnEngine, CoreError> {
+        check_loop_free(&self.graph)?;
+        let (partition, locator_stats) = IslandLocator::new(&self.graph, &self.island_cfg).run()?;
+        Ok(IGcnEngine {
+            graph: self.graph,
+            island_cfg: self.island_cfg,
+            consumer_cfg: self.consumer_cfg,
+            partition,
+            locator_stats,
+            prepared: None,
+        })
+    }
+}
+
+impl IGcnEngine {
+    /// Starts building an engine over `graph`.
+    ///
+    /// Accepts either a `CsrGraph` by value or an existing
+    /// `Arc<CsrGraph>` (no copy in either case).
+    pub fn builder(graph: impl Into<Arc<CsrGraph>>) -> IGcnEngineBuilder {
+        IGcnEngineBuilder {
+            graph: graph.into(),
+            island_cfg: IslandizationConfig::default(),
+            consumer_cfg: ConsumerConfig::default(),
         }
-        let (partition, locator_stats) = IslandLocator::new(graph, &island_cfg).run()?;
-        Ok(IGcnEngine { graph, partition, locator_stats, consumer_cfg })
+    }
+
+    /// The graph this engine serves (also available through
+    /// [`Accelerator::graph`]).
+    pub fn graph_arc(&self) -> Arc<CsrGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// The partition produced by the Island Locator.
@@ -77,30 +133,94 @@ impl<'g> IGcnEngine<'g> {
         &self.partition
     }
 
-    /// The Island Locator statistics.
+    /// The Island Locator statistics of the most recent (re)structuring
+    /// — the initial build, or the incremental rounds of the last
+    /// [`IGcnEngine::apply_update`].
     pub fn locator_stats(&self) -> &crate::stats::LocatorStats {
         &self.locator_stats
     }
 
-    /// Runs full-model inference, returning the output features and the
-    /// complete execution statistics.
+    /// The Island Locator configuration.
+    pub fn island_config(&self) -> IslandizationConfig {
+        self.island_cfg
+    }
+
+    /// The Island Consumer configuration.
+    pub fn consumer_config(&self) -> ConsumerConfig {
+        self.consumer_cfg
+    }
+
+    /// Applies a batch of structural changes to the serving graph,
+    /// incrementally re-islandizing only the disturbed neighborhood:
+    /// islands touched by an added edge dissolve and re-form; every
+    /// other island survives by the closure invariant (hubs never
+    /// dissolve — their degree only grew).
     ///
-    /// # Panics
+    /// Subsequent inference runs on the updated graph. Edge *removals*
+    /// are not supported — removing an edge can only strengthen island
+    /// closure but may orphan hub status, so rebuild the engine for
+    /// deletions.
     ///
-    /// Panics if the feature or weight shapes do not match the model.
-    pub fn run(
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] if the update shrinks the graph or
+    /// references nodes beyond its (new) size;
+    /// [`CoreError::SelfLoops`] if an added edge is a self-loop;
+    /// [`CoreError::RoundLimitExceeded`] if the incremental rounds fail
+    /// to converge.
+    pub fn apply_update(&mut self, update: GraphUpdate) -> Result<UpdateReport, CoreError> {
+        let n_old = self.graph.num_nodes();
+        let n_new = update.new_num_nodes.unwrap_or(n_old);
+        // `apply_edges` grows to max(n_new, n_old), which would silently
+        // ignore a shrink request — reject it here where the caller's
+        // intent is visible. Self-loops are checked here because only the
+        // engine forbids them (the free functions tolerate loop-y graphs);
+        // endpoint ranges are validated by `apply_edges` itself.
+        if n_new < n_old {
+            return Err(CoreError::ShapeMismatch {
+                what: "updated node count (graphs cannot shrink)".to_string(),
+                expected: n_old,
+                got: n_new,
+            });
+        }
+        for &(a, b) in &update.added_edges {
+            if a == b {
+                return Err(CoreError::SelfLoops { node: a });
+            }
+        }
+        let new_graph = apply_edges(&self.graph, n_new, &update.added_edges)?;
+        let result = incremental_islandize(
+            &new_graph,
+            &self.partition,
+            &update.added_edges,
+            &self.island_cfg,
+        )?;
+        self.graph = Arc::new(new_graph);
+        self.partition = result.partition;
+        // The incremental rounds are the restructuring cost that
+        // overlaps the *next* inference, replacing the build-time
+        // locator pass in layer-0 traffic accounting.
+        self.locator_stats = result.stats.clone();
+        Ok(UpdateReport {
+            dissolved_islands: result.dissolved_islands,
+            reclassified_nodes: result.reclassified_nodes,
+            num_nodes: self.graph.num_nodes(),
+            locator_stats: result.stats,
+        })
+    }
+
+    fn check_features(&self, features: &SparseFeatures, model: &GnnModel) -> Result<(), CoreError> {
+        check_features_for(&self.graph, features, model)
+    }
+
+    fn execute(
         &self,
+        consumer: &IslandConsumer<'_>,
+        norm: &GcnNormalization,
         features: &SparseFeatures,
         model: &GnnModel,
         weights: &ModelWeights,
     ) -> (DenseMatrix, ExecStats) {
-        assert_eq!(
-            features.num_rows(),
-            self.graph.num_nodes(),
-            "feature rows do not match the graph"
-        );
-        let consumer = IslandConsumer::new(self.graph, &self.partition, self.consumer_cfg);
-        let norm = model.normalization(self.graph);
         let mut stats = ExecStats { locator: self.locator_stats.clone(), ..Default::default() };
         let mut current: Option<DenseMatrix> = None;
         for (i, layer) in model.layers().iter().enumerate() {
@@ -109,12 +229,11 @@ impl<'g> IGcnEngine<'g> {
                 Some(m) => LayerInput::Dense(m),
             };
             let (out, mut layer_stats) =
-                consumer.execute_layer(input, weights.layer(i), &norm, layer.activation);
+                consumer.execute_layer(input, weights.layer(i), norm, layer.activation);
             if i == 0 {
                 // The locator's adjacency streaming is charged to layer 0
                 // (restructuring overlaps the first layer's consumption).
-                layer_stats.traffic.adjacency_bytes +=
-                    self.locator_stats.adjacency_words_read * 4;
+                layer_stats.traffic.adjacency_bytes += self.locator_stats.adjacency_words_read * 4;
             }
             stats.layers.push(layer_stats);
             current = Some(out);
@@ -122,50 +241,73 @@ impl<'g> IGcnEngine<'g> {
         (current.expect("models have at least one layer"), stats)
     }
 
-    /// Computes the statistics [`IGcnEngine::run`] would produce without
-    /// any floating-point work (used by the hardware timing model on large
-    /// graphs).
-    pub fn account(&self, features: &SparseFeatures, model: &GnnModel) -> ExecStats {
-        let consumer = IslandConsumer::new(self.graph, &self.partition, self.consumer_cfg);
-        let norm = model.normalization(self.graph);
-        let mut stats = ExecStats { locator: self.locator_stats.clone(), ..Default::default() };
-        // Dense layer inputs only matter for their width: reuse one dummy
-        // per distinct hidden width.
-        let mut dense_cache: std::collections::HashMap<usize, DenseMatrix> =
-            std::collections::HashMap::new();
-        for (i, layer) in model.layers().iter().enumerate() {
-            let mut layer_stats = if i == 0 {
-                consumer.account_layer(LayerInput::Sparse(features), layer.out_dim, &norm)
-            } else {
-                let dense = dense_cache
-                    .entry(layer.in_dim)
-                    .or_insert_with(|| DenseMatrix::zeros(self.graph.num_nodes(), layer.in_dim));
-                consumer.account_layer(LayerInput::Dense(dense), layer.out_dim, &norm)
-            };
-            if i == 0 {
-                layer_stats.traffic.adjacency_bytes +=
-                    self.locator_stats.adjacency_words_read * 4;
-            }
-            stats.layers.push(layer_stats);
-        }
-        stats
+    /// Runs full-model inference, returning the output features and the
+    /// complete execution statistics.
+    ///
+    /// This is the direct-call path; the serving path is
+    /// [`Accelerator::infer`] with a model installed through
+    /// [`Accelerator::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] if the feature or weight shapes do
+    /// not match the graph and model.
+    pub fn run(
+        &self,
+        features: &SparseFeatures,
+        model: &GnnModel,
+        weights: &ModelWeights,
+    ) -> Result<(DenseMatrix, ExecStats), CoreError> {
+        self.check_features(features, model)?;
+        validate_weights(model, weights)?;
+        let consumer = IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg);
+        let norm = model.normalization(&self.graph);
+        Ok(self.execute(&consumer, &norm, features, model, weights))
     }
 
-    /// Verifies islandized inference against the plain software reference,
-    /// returning the maximum absolute output difference.
+    /// Computes the statistics [`IGcnEngine::run`] would produce
+    /// without any floating-point work (used by the hardware timing
+    /// model on large graphs).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] if the feature shape does not match
+    /// the graph.
+    pub fn account(
+        &self,
+        features: &SparseFeatures,
+        model: &GnnModel,
+    ) -> Result<ExecStats, CoreError> {
+        self.check_features(features, model)?;
+        Ok(account_with(
+            &self.graph,
+            &self.partition,
+            &self.locator_stats,
+            self.consumer_cfg,
+            features,
+            model,
+        ))
+    }
+
+    /// Verifies islandized inference against the plain software
+    /// reference, returning the maximum absolute output difference.
+    ///
+    /// # Errors
+    ///
+    /// As [`IGcnEngine::run`].
     pub fn verify(
         &self,
         features: &SparseFeatures,
         model: &GnnModel,
         weights: &ModelWeights,
-    ) -> f32 {
-        let (out, _) = self.run(features, model, weights);
-        let reference = igcn_gnn::reference_forward(self.graph, features, model, weights);
-        out.max_abs_diff(&reference)
+    ) -> Result<f32, CoreError> {
+        let (out, _) = self.run(features, model, weights)?;
+        let reference = igcn_gnn::reference_forward(&self.graph, features, model, weights);
+        Ok(out.max_abs_diff(&reference))
     }
 
-    /// Convenience access to a node's output class (argmax over the final
-    /// layer), for the example applications.
+    /// Convenience access to a node's output class (argmax over the
+    /// final layer), for the example applications.
     pub fn predict_class(output: &DenseMatrix, node: NodeId) -> usize {
         let row = output.row(node.index());
         row.iter()
@@ -174,6 +316,163 @@ impl<'g> IGcnEngine<'g> {
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
+
+    fn prepared(&self) -> Result<&(GnnModel, ModelWeights), CoreError> {
+        self.prepared.as_ref().ok_or_else(|| CoreError::NotPrepared { backend: self.name() })
+    }
+}
+
+impl Accelerator for IGcnEngine {
+    fn name(&self) -> String {
+        "I-GCN".to_string()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn prepare(&mut self, model: &GnnModel, weights: &ModelWeights) -> Result<(), CoreError> {
+        validate_weights(model, weights)?;
+        self.prepared = Some((model.clone(), weights.clone()));
+        Ok(())
+    }
+
+    fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
+        let (model, weights) = self.prepared()?;
+        validate_request(&self.graph, model, request)?;
+        let consumer = IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg);
+        let norm = model.normalization(&self.graph);
+        let (output, stats) = self.execute(&consumer, &norm, &request.features, model, weights);
+        Ok(InferenceResponse {
+            id: request.id,
+            output,
+            report: ExecReport::from_stats(self.name(), &stats),
+        })
+    }
+
+    fn infer_batch(
+        &self,
+        requests: &[InferenceRequest],
+    ) -> Result<Vec<InferenceResponse>, CoreError> {
+        let (model, weights) = self.prepared()?;
+        // Amortise the per-call setup across the batch: the consumer's
+        // island schedule and the Ã normalisation depend only on the
+        // graph and model, not on the request.
+        let consumer = IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg);
+        let norm = model.normalization(&self.graph);
+        requests
+            .iter()
+            .map(|request| {
+                validate_request(&self.graph, model, request)?;
+                let (output, stats) =
+                    self.execute(&consumer, &norm, &request.features, model, weights);
+                Ok(InferenceResponse {
+                    id: request.id,
+                    output,
+                    report: ExecReport::from_stats(self.name(), &stats),
+                })
+            })
+            .collect()
+    }
+
+    fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError> {
+        let (model, _) = self.prepared()?;
+        validate_request(&self.graph, model, request)?;
+        let stats = self.account(&request.features, model)?;
+        Ok(ExecReport::from_stats(self.name(), &stats))
+    }
+}
+
+fn check_loop_free(graph: &CsrGraph) -> Result<(), CoreError> {
+    for v in graph.iter_nodes() {
+        if graph.has_edge(v, v) {
+            return Err(CoreError::SelfLoops { node: v.value() });
+        }
+    }
+    Ok(())
+}
+
+fn check_features_for(
+    graph: &CsrGraph,
+    features: &SparseFeatures,
+    model: &GnnModel,
+) -> Result<(), CoreError> {
+    if features.num_rows() != graph.num_nodes() {
+        return Err(CoreError::ShapeMismatch {
+            what: "feature rows vs graph nodes".to_string(),
+            expected: graph.num_nodes(),
+            got: features.num_rows(),
+        });
+    }
+    let in_dim = model.layers().first().map(|l| l.in_dim).unwrap_or(0);
+    if features.num_cols() != in_dim {
+        return Err(CoreError::ShapeMismatch {
+            what: "feature cols vs model input width".to_string(),
+            expected: in_dim,
+            got: features.num_cols(),
+        });
+    }
+    Ok(())
+}
+
+/// The accounting pass shared by [`IGcnEngine::account`] and
+/// [`account_islandized`]: one `account_layer` per model layer, with
+/// the locator's adjacency streaming charged to layer 0.
+fn account_with(
+    graph: &CsrGraph,
+    partition: &IslandPartition,
+    locator_stats: &crate::stats::LocatorStats,
+    consumer_cfg: ConsumerConfig,
+    features: &SparseFeatures,
+    model: &GnnModel,
+) -> ExecStats {
+    let consumer = IslandConsumer::new(graph, partition, consumer_cfg);
+    let norm = model.normalization(graph);
+    let mut stats = ExecStats { locator: locator_stats.clone(), ..Default::default() };
+    // Dense layer inputs only matter for their width: reuse one dummy
+    // per distinct hidden width.
+    let mut dense_cache: std::collections::HashMap<usize, DenseMatrix> =
+        std::collections::HashMap::new();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let mut layer_stats = if i == 0 {
+            consumer.account_layer(LayerInput::Sparse(features), layer.out_dim, &norm)
+        } else {
+            let dense = dense_cache
+                .entry(layer.in_dim)
+                .or_insert_with(|| DenseMatrix::zeros(graph.num_nodes(), layer.in_dim));
+            consumer.account_layer(LayerInput::Dense(dense), layer.out_dim, &norm)
+        };
+        if i == 0 {
+            layer_stats.traffic.adjacency_bytes += locator_stats.adjacency_words_read * 4;
+        }
+        stats.layers.push(layer_stats);
+    }
+    stats
+}
+
+/// Islandizes `graph` and computes the statistics [`IGcnEngine::run`]
+/// would produce, without taking ownership of (or copying) the graph.
+///
+/// This is the borrowed accounting path for timing models that receive
+/// `&CsrGraph` per call (e.g. `igcn_sim`'s `GcnAccelerator::simulate`);
+/// long-lived callers should build an [`IGcnEngine`] instead so the
+/// islandization is done once.
+///
+/// # Errors
+///
+/// As [`IGcnEngineBuilder::build`] plus [`CoreError::ShapeMismatch`]
+/// for feature shapes that do not match the graph and model.
+pub fn account_islandized(
+    graph: &CsrGraph,
+    island_cfg: IslandizationConfig,
+    consumer_cfg: ConsumerConfig,
+    features: &SparseFeatures,
+    model: &GnnModel,
+) -> Result<ExecStats, CoreError> {
+    check_loop_free(graph)?;
+    check_features_for(graph, features, model)?;
+    let (partition, locator_stats) = IslandLocator::new(graph, &island_cfg).run()?;
+    Ok(account_with(graph, &partition, &locator_stats, consumer_cfg, features, model))
 }
 
 #[cfg(test)]
@@ -182,11 +481,7 @@ mod tests {
     use igcn_gnn::GnnKind;
     use igcn_graph::generate::HubIslandConfig;
 
-    fn engine_setup(
-        n: usize,
-        noise: f64,
-        seed: u64,
-    ) -> (CsrGraph, SparseFeatures) {
+    fn engine_setup(n: usize, noise: f64, seed: u64) -> (CsrGraph, SparseFeatures) {
         let g = HubIslandConfig::new(n, (n / 25).max(2)).noise_fraction(noise).generate(seed);
         let x = SparseFeatures::random(n, 10, 0.4, seed + 100);
         (g.graph, x)
@@ -195,28 +490,22 @@ mod tests {
     #[test]
     fn end_to_end_matches_reference_gcn() {
         let (g, x) = engine_setup(200, 0.05, 1);
-        let engine =
-            IGcnEngine::new(&g, IslandizationConfig::default(), ConsumerConfig::default())
-                .unwrap();
+        let engine = IGcnEngine::builder(g).build().unwrap();
         let model = GnnModel::gcn(10, 8, 4);
         let w = ModelWeights::glorot(&model, 2);
-        let diff = engine.verify(&x, &model, &w);
+        let diff = engine.verify(&x, &model, &w).unwrap();
         assert!(diff < 1e-4, "output diverges from reference by {diff}");
     }
 
     #[test]
     fn end_to_end_matches_reference_all_models() {
         let (g, x) = engine_setup(150, 0.0, 2);
-        let engine =
-            IGcnEngine::new(&g, IslandizationConfig::default(), ConsumerConfig::default())
-                .unwrap();
-        for model in [
-            GnnModel::gcn(10, 6, 3),
-            GnnModel::graphsage(10, 6, 3),
-            GnnModel::gin(10, 6, 3, 0.2),
-        ] {
+        let engine = IGcnEngine::builder(g).build().unwrap();
+        for model in
+            [GnnModel::gcn(10, 6, 3), GnnModel::graphsage(10, 6, 3), GnnModel::gin(10, 6, 3, 0.2)]
+        {
             let w = ModelWeights::glorot(&model, 4);
-            let diff = engine.verify(&x, &model, &w);
+            let diff = engine.verify(&x, &model, &w).unwrap();
             // GIN's unnormalised sum aggregation accumulates larger
             // magnitudes, so FP reassociation noise is larger in absolute
             // terms.
@@ -227,22 +516,18 @@ mod tests {
     #[test]
     fn self_loops_rejected() {
         let g = CsrGraph::from_undirected_edges(3, &[(0, 0), (0, 1)]).unwrap();
-        let err =
-            IGcnEngine::new(&g, IslandizationConfig::default(), ConsumerConfig::default())
-                .unwrap_err();
+        let err = IGcnEngine::builder(g).build().unwrap_err();
         assert!(matches!(err, CoreError::SelfLoops { node: 0 }));
     }
 
     #[test]
     fn account_matches_run_stats() {
         let (g, x) = engine_setup(180, 0.05, 3);
-        let engine =
-            IGcnEngine::new(&g, IslandizationConfig::default(), ConsumerConfig::default())
-                .unwrap();
+        let engine = IGcnEngine::builder(g).build().unwrap();
         let model = GnnModel::gcn(10, 8, 4);
         let w = ModelWeights::glorot(&model, 5);
-        let (_, run_stats) = engine.run(&x, &model, &w);
-        let acc_stats = engine.account(&x, &model);
+        let (_, run_stats) = engine.run(&x, &model, &w).unwrap();
+        let acc_stats = engine.account(&x, &model).unwrap();
         assert_eq!(run_stats, acc_stats);
     }
 
@@ -250,19 +535,11 @@ mod tests {
     fn pruning_rate_in_plausible_band() {
         // Densely clustered graphs should prune a substantial fraction of
         // aggregation ops — the paper reports 29–46% across datasets.
-        let g = HubIslandConfig::new(500, 20)
-            .island_density(0.6)
-            .noise_fraction(0.0)
-            .generate(7);
+        let g = HubIslandConfig::new(500, 20).island_density(0.6).noise_fraction(0.0).generate(7);
         let x = SparseFeatures::random(500, 16, 0.3, 8);
-        let engine = IGcnEngine::new(
-            &g.graph,
-            IslandizationConfig::default(),
-            ConsumerConfig::default(),
-        )
-        .unwrap();
+        let engine = IGcnEngine::builder(g.graph).build().unwrap();
         let model = GnnModel::gcn(16, 8, 4);
-        let stats = engine.account(&x, &model);
+        let stats = engine.account(&x, &model).unwrap();
         let rate = stats.aggregation_pruning_rate();
         assert!(rate > 0.1, "pruning rate {rate} too low for a dense-island graph");
         assert!(rate < 0.8, "pruning rate {rate} implausibly high");
@@ -279,5 +556,90 @@ mod tests {
     fn gin_kind_marker() {
         // Ensure GnnKind is re-exported usefully for downstream matching.
         assert_eq!(GnnModel::gin(4, 4, 2, 0.1).kind(), GnnKind::Gin);
+    }
+
+    #[test]
+    fn engine_is_owned_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<IGcnEngine>();
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_panic() {
+        let (g, _) = engine_setup(150, 0.0, 4);
+        let engine = IGcnEngine::builder(g).build().unwrap();
+        let model = GnnModel::gcn(10, 6, 3);
+        let w = ModelWeights::glorot(&model, 1);
+        let wrong_rows = SparseFeatures::random(99, 10, 0.4, 2);
+        assert!(matches!(
+            engine.run(&wrong_rows, &model, &w),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+        // Wrong feature width (cols vs the model's in_dim) must also be
+        // an error on the direct path, not a panic deep in the consumer.
+        let wrong_cols = SparseFeatures::random(150, 7, 0.4, 2);
+        assert!(matches!(
+            engine.run(&wrong_cols, &model, &w),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            engine.account(&wrong_cols, &model),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trait_infer_matches_direct_run() {
+        let (g, x) = engine_setup(160, 0.02, 5);
+        let mut engine = IGcnEngine::builder(g).build().unwrap();
+        let model = GnnModel::gcn(10, 8, 4);
+        let w = ModelWeights::glorot(&model, 6);
+        engine.prepare(&model, &w).unwrap();
+        let resp = engine.infer(&InferenceRequest::new(x.clone()).with_id(3)).unwrap();
+        let (direct, stats) = engine.run(&x, &model, &w).unwrap();
+        assert_eq!(resp.id, 3);
+        assert_eq!(resp.output, direct);
+        assert_eq!(resp.report, ExecReport::from_stats("I-GCN", &stats));
+    }
+
+    #[test]
+    fn apply_update_keeps_inference_exact() {
+        let (g, _) = engine_setup(300, 0.01, 6);
+        let mut engine = IGcnEngine::builder(g).build().unwrap();
+        let model = GnnModel::gcn(10, 8, 4);
+        let w = ModelWeights::glorot(&model, 7);
+        engine.prepare(&model, &w).unwrap();
+
+        // Wire two fresh nodes onto an existing hub and grow the graph.
+        let n = engine.graph().num_nodes();
+        let hub = engine.partition().hubs()[0];
+        let update = GraphUpdate::add_edges(vec![(n as u32, hub), (n as u32 + 1, n as u32)])
+            .with_num_nodes(n + 2);
+        let report = engine.apply_update(update).unwrap();
+        assert_eq!(report.num_nodes, n + 2);
+        engine.partition().check_invariants(engine.graph()).unwrap();
+
+        let x = SparseFeatures::random(n + 2, 10, 0.4, 8);
+        let diff = engine.verify(&x, &model, &w).unwrap();
+        assert!(diff < 1e-3, "post-update inference diverged by {diff}");
+    }
+
+    #[test]
+    fn apply_update_rejects_bad_updates() {
+        let (g, _) = engine_setup(150, 0.0, 7);
+        let n = g.num_nodes();
+        let mut engine = IGcnEngine::builder(g).build().unwrap();
+        assert!(matches!(
+            engine.apply_update(GraphUpdate::add_edges(vec![(0, 0)])),
+            Err(CoreError::SelfLoops { node: 0 })
+        ));
+        assert!(matches!(
+            engine.apply_update(GraphUpdate::add_edges(vec![(0, 9_999)])),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            engine.apply_update(GraphUpdate::default().with_num_nodes(n - 1)),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
     }
 }

@@ -60,8 +60,8 @@ pub struct IncrementalResult {
 ///
 /// Returns [`CoreError::RoundLimitExceeded`] if the incremental rounds
 /// fail to converge (mis-configured decay), or
-/// [`CoreError::ClassificationViolation`] if `added_edges` references
-/// nodes beyond `new_graph`.
+/// [`CoreError::ShapeMismatch`] if the graph shrank or `added_edges`
+/// references nodes beyond `new_graph`.
 pub fn incremental_islandize(
     new_graph: &CsrGraph,
     old: &IslandPartition,
@@ -70,12 +70,19 @@ pub fn incremental_islandize(
 ) -> Result<IncrementalResult, CoreError> {
     let n_new = new_graph.num_nodes();
     let n_old = old.num_nodes();
-    assert!(n_new >= n_old, "the updated graph cannot shrink");
+    if n_new < n_old {
+        return Err(CoreError::ShapeMismatch {
+            what: "updated node count (graphs cannot shrink)".to_string(),
+            expected: n_old,
+            got: n_new,
+        });
+    }
     for &(a, b) in added_edges {
         if a as usize >= n_new || b as usize >= n_new {
-            return Err(CoreError::ClassificationViolation {
-                node: a.max(b),
-                detail: "added edge endpoint beyond the updated graph".to_string(),
+            return Err(CoreError::ShapeMismatch {
+                what: "added edge endpoint vs updated graph".to_string(),
+                expected: n_new,
+                got: a.max(b) as usize,
             });
         }
     }
@@ -246,10 +253,10 @@ pub fn incremental_islandize(
         hubs.extend_from_slice(&new_hubs);
 
         if threshold == 1 && remaining > 0 {
-            for v in 0..n_new {
-                if node_class[v] == NodeClass::Unclassified {
+            for (v, class) in node_class.iter_mut().enumerate() {
+                if *class == NodeClass::Unclassified {
                     let idx = islands.len() as u32;
-                    node_class[v] = NodeClass::Island(idx);
+                    *class = NodeClass::Island(idx);
                     islands.push(Island {
                         nodes: vec![v as u32],
                         hubs: Vec::new(),
@@ -280,19 +287,37 @@ pub fn incremental_islandize(
 
 /// Builds the updated graph from the old one plus added undirected edges
 /// (convenience for callers that hold only edge batches).
-pub fn apply_edges(old_graph: &CsrGraph, num_nodes: usize, added: &[(u32, u32)]) -> CsrGraph {
-    let mut edges: Vec<(u32, u32)> = old_graph
-        .iter_edges()
-        .map(|(u, v)| (u.value(), v.value()))
-        .collect();
+///
+/// # Errors
+///
+/// [`CoreError::ShapeMismatch`] if an added edge references a node at or
+/// beyond `num_nodes` (after growing to at least the old node count).
+pub fn apply_edges(
+    old_graph: &CsrGraph,
+    num_nodes: usize,
+    added: &[(u32, u32)],
+) -> Result<CsrGraph, CoreError> {
+    let n = num_nodes.max(old_graph.num_nodes());
+    let mut edges: Vec<(u32, u32)> =
+        old_graph.iter_edges().map(|(u, v)| (u.value(), v.value())).collect();
     for &(a, b) in added {
+        if a as usize >= n || b as usize >= n {
+            return Err(CoreError::ShapeMismatch {
+                what: "added edge endpoint vs updated node count".to_string(),
+                expected: n,
+                got: a.max(b) as usize,
+            });
+        }
         edges.push((a, b));
         if a != b {
             edges.push((b, a));
         }
     }
-    CsrGraph::from_directed_edges(num_nodes.max(old_graph.num_nodes()), &edges)
-        .expect("caller-validated endpoints")
+    CsrGraph::from_directed_edges(n, &edges).map_err(|e| CoreError::ShapeMismatch {
+        what: format!("rebuilding CSR after update: {e}"),
+        expected: n,
+        got: n,
+    })
 }
 
 #[cfg(test)]
@@ -328,7 +353,7 @@ mod tests {
     fn incremental_satisfies_invariants() {
         let (g, p) = base(1);
         let added = random_new_edges(&g, 12, 2);
-        let g2 = apply_edges(&g, g.num_nodes(), &added);
+        let g2 = apply_edges(&g, g.num_nodes(), &added).unwrap();
         let cfg = IslandizationConfig::default();
         let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
         result.partition.check_invariants(&g2).unwrap();
@@ -339,7 +364,7 @@ mod tests {
     fn untouched_islands_survive() {
         let (g, p) = base(3);
         let added = random_new_edges(&g, 3, 4);
-        let g2 = apply_edges(&g, g.num_nodes(), &added);
+        let g2 = apply_edges(&g, g.num_nodes(), &added).unwrap();
         let cfg = IslandizationConfig::default();
         let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
         // Far fewer nodes reclassified than the whole graph.
@@ -369,7 +394,7 @@ mod tests {
         // Two new nodes: one wired to an existing hub, one isolated.
         let hub = p.hubs()[0];
         let added = vec![(n as u32, hub)];
-        let g2 = apply_edges(&g, n + 2, &added);
+        let g2 = apply_edges(&g, n + 2, &added).unwrap();
         let cfg = IslandizationConfig::default();
         let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
         result.partition.check_invariants(&g2).unwrap();
@@ -384,15 +409,12 @@ mod tests {
             return; // seed produced adjacent hubs; nothing to add
         }
         let added = vec![(h1, h2)];
-        let g2 = apply_edges(&g, g.num_nodes(), &added);
+        let g2 = apply_edges(&g, g.num_nodes(), &added).unwrap();
         let cfg = IslandizationConfig::default();
         let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
         result.partition.check_invariants(&g2).unwrap();
         assert_eq!(result.dissolved_islands, 0);
-        assert!(result
-            .partition
-            .inter_hub_edges()
-            .contains(&(h1.min(h2), h1.max(h2))));
+        assert!(result.partition.inter_hub_edges().contains(&(h1.min(h2), h1.max(h2))));
     }
 
     #[test]
@@ -400,7 +422,7 @@ mod tests {
         let (g, p) = base(11);
         let cfg = IslandizationConfig::default();
         let err = incremental_islandize(&g, &p, &[(0, 9999)], &cfg).unwrap_err();
-        assert!(matches!(err, CoreError::ClassificationViolation { .. }));
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }));
     }
 
     #[test]
@@ -409,7 +431,7 @@ mod tests {
         let cfg = IslandizationConfig::default();
         for step in 0..5 {
             let added = random_new_edges(&g, 5, 100 + step);
-            let g2 = apply_edges(&g, g.num_nodes(), &added);
+            let g2 = apply_edges(&g, g.num_nodes(), &added).unwrap();
             let result = incremental_islandize(&g2, &p, &added, &cfg).unwrap();
             result.partition.check_invariants(&g2).unwrap();
             g = g2;

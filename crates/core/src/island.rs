@@ -103,10 +103,7 @@ impl IslandBitmap {
             members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         index.sort_unstable_by_key(|&(v, _)| v);
         let local_of = |v: u32| -> Option<usize> {
-            index
-                .binary_search_by_key(&v, |&(x, _)| x)
-                .ok()
-                .map(|pos| index[pos].1)
+            index.binary_search_by_key(&v, |&(x, _)| x).ok().map(|pos| index[pos].1)
         };
 
         // Walk island-node adjacency only: island↔island entries are seen
@@ -224,11 +221,9 @@ mod tests {
 
     /// Hub 0; island {1,2,3} as a triangle, all touching the hub.
     fn example() -> (CsrGraph, IslandBitmap) {
-        let g = CsrGraph::from_undirected_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (1, 3)],
-        )
-        .unwrap();
+        let g =
+            CsrGraph::from_undirected_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (1, 3)])
+                .unwrap();
         let bm = IslandBitmap::build(&g, &[0], &[1, 2, 3], false);
         (g, bm)
     }
@@ -264,11 +259,7 @@ mod tests {
     #[test]
     fn no_hub_hub_entries() {
         // Hubs 0, 1 connected to each other and both to island {2, 3}.
-        let g = CsrGraph::from_undirected_edges(
-            4,
-            &[(0, 1), (0, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let bm = IslandBitmap::build(&g, &[0, 1], &[2, 3], false);
         assert!(!bm.get(0, 1), "hub-hub edge must not be in the island task");
         assert!(bm.get(0, 2)); // hub0 - node2

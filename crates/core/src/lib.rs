@@ -20,7 +20,9 @@
 //!
 //! [`exec::IGcnEngine`] ties the two together into end-to-end GCN /
 //! GraphSage / GIN inference whose outputs are verified against the plain
-//! software reference.
+//! software reference, and [`accel::Accelerator`] is the unified
+//! serving trait (`prepare`/`infer`/`infer_batch`/`report`) the engine,
+//! the CPU reference and every simulated baseline implement.
 //!
 //! # Quick start
 //!
@@ -34,6 +36,7 @@
 //! assert!(partition.num_islands() > 0);
 //! ```
 
+pub mod accel;
 pub mod config;
 pub mod consumer;
 pub mod error;
@@ -44,9 +47,13 @@ pub mod locator;
 pub mod partition;
 pub mod stats;
 
+pub use accel::{
+    Accelerator, CpuReference, ExecReport, GraphUpdate, InferenceRequest, InferenceResponse,
+    UpdateReport,
+};
 pub use config::{ConsumerConfig, DecayPolicy, IslandizationConfig, ThresholdInit};
 pub use error::CoreError;
-pub use exec::IGcnEngine;
+pub use exec::{IGcnEngine, IGcnEngineBuilder};
 pub use incremental::{incremental_islandize, IncrementalResult};
 pub use island::{Island, IslandBitmap};
 pub use locator::{islandize, IslandLocator};

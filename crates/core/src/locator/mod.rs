@@ -111,9 +111,10 @@ impl<'g> IslandLocator<'g> {
         let mut inter_hub: std::collections::BTreeSet<(u32, u32)> =
             std::collections::BTreeSet::new();
         let mut remaining = n;
-        let mut threshold = self.cfg.threshold_init.resolve(
-            self.degrees.iter().map(|&d| d as usize).max().unwrap_or(0),
-        );
+        let mut threshold = self
+            .cfg
+            .threshold_init
+            .resolve(self.degrees.iter().map(|&d| d as usize).max().unwrap_or(0));
         let mut round: u32 = 0;
         // Reused across rounds; cleared per round (Algorithm 4 line 3).
         let mut v_global: Vec<u32> = vec![0; n];
@@ -138,11 +139,7 @@ impl<'g> IslandLocator<'g> {
 
             // --- Th1: hub detection (Algorithm 2). ---
             let scanned = remaining;
-            let new_hubs = hub_detect::detect_hubs(
-                &self.degrees,
-                &node_class,
-                threshold,
-            );
+            let new_hubs = hub_detect::detect_hubs(&self.degrees, &node_class, threshold);
             for &h in &new_hubs {
                 node_class[h as usize] = NodeClass::Hub;
                 remaining -= 1;
@@ -234,11 +231,11 @@ impl<'g> IslandLocator<'g> {
             // DESIGN.md §9.
             if threshold == 1 && remaining > 0 {
                 let mut singletons = 0usize;
-                for v in 0..n {
-                    if node_class[v] == NodeClass::Unclassified {
+                for (v, class) in node_class.iter_mut().enumerate() {
+                    if *class == NodeClass::Unclassified {
                         debug_assert_eq!(self.degrees[v], 0);
                         let idx = islands.len();
-                        node_class[v] = NodeClass::Island(idx as u32);
+                        *class = NodeClass::Island(idx as u32);
                         islands.push(Island {
                             nodes: vec![v as u32],
                             hubs: Vec::new(),

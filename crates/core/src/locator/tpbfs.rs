@@ -178,8 +178,7 @@ pub fn run_bfs_phase(
                     if n == node {
                         continue; // self-loops do not participate
                     }
-                    if degrees[n as usize] >= threshold
-                        || node_class[n as usize] == NodeClass::Hub
+                    if degrees[n as usize] >= threshold || node_class[n as usize] == NodeClass::Hub
                     {
                         // Neighbor is a hub: this round's or an earlier
                         // round's (thresholds only decay, so the degree
@@ -232,16 +231,7 @@ mod tests {
     fn two_island_graph() -> CsrGraph {
         CsrGraph::from_undirected_edges(
             7,
-            &[
-                (0, 1),
-                (0, 4),
-                (1, 2),
-                (1, 3),
-                (2, 3),
-                (4, 5),
-                (4, 6),
-                (5, 6),
-            ],
+            &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 3), (4, 5), (4, 6), (5, 6)],
         )
         .unwrap()
     }
@@ -306,8 +296,8 @@ mod tests {
         let g = two_island_graph();
         // Both 1 and 4 have degree 3 = threshold; task (1, 4) is hub-hub...
         // they are not adjacent though; use a graph where hubs touch.
-        let g2 = CsrGraph::from_undirected_edges(4, &[(0, 1), (0, 2), (1, 3), (0, 3), (1, 2)])
-            .unwrap();
+        let g2 =
+            CsrGraph::from_undirected_edges(4, &[(0, 1), (0, 2), (1, 3), (0, 3), (1, 2)]).unwrap();
         // Degrees: 0→3, 1→3, 2→2, 3→2. Threshold 3 → hubs {0, 1}.
         let out = run(&g2, 3, 32, 1, &[(0, 1), (0, 2), (0, 3)]);
         assert!(out.inter_hub_edges.contains(&(0, 1)));

@@ -223,12 +223,8 @@ impl IslandPartition {
 
         // (4) Exact coverage: directed loop-free edges = island bitmap
         // entries + 2 × inter-hub edges.
-        let loop_free_directed = graph
-            .iter_edges()
-            .filter(|(u, v)| u != v)
-            .count() as u64;
-        let island_entries: u64 =
-            self.islands.iter().map(|isl| isl.bitmap(graph).nnz()).sum();
+        let loop_free_directed = graph.iter_edges().filter(|(u, v)| u != v).count() as u64;
+        let island_entries: u64 = self.islands.iter().map(|isl| isl.bitmap(graph).nnz()).sum();
         let covered = island_entries + 2 * self.inter_hub_edges.len() as u64;
         if covered != loop_free_directed {
             // Identify one offending edge for the error message.
@@ -256,10 +252,8 @@ impl IslandPartition {
     fn edge_cover_count(&self, u: u32, v: u32) -> usize {
         let mut times = 0;
         match (self.node_class[u as usize], self.node_class[v as usize]) {
-            (NodeClass::Island(i), NodeClass::Island(j)) => {
-                if i == j {
-                    times += 1;
-                }
+            (NodeClass::Island(i), NodeClass::Island(j)) if i == j => {
+                times += 1;
             }
             (NodeClass::Island(_), NodeClass::Hub) | (NodeClass::Hub, NodeClass::Island(_)) => {
                 times += 1;

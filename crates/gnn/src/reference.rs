@@ -115,8 +115,8 @@ mod tests {
     use igcn_graph::NodeId;
 
     fn setup() -> (CsrGraph, SparseFeatures, GnnModel, ModelWeights) {
-        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
-            .unwrap();
+        let g =
+            CsrGraph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
         let x = SparseFeatures::random(5, 6, 0.5, 11);
         let model = GnnModel::gcn(6, 4, 3);
         let w = ModelWeights::glorot(&model, 2);
@@ -152,11 +152,11 @@ mod tests {
         // Node 2 is isolated; with symmetric normalisation its output is
         // its own combination scaled by 1/(0+1) = 1.
         let g = CsrGraph::from_undirected_edges(3, &[(0, 1)]).unwrap();
-        let x = SparseFeatures::from_rows(3, 2, vec![
-            vec![(0, 1.0)],
-            vec![(1, 1.0)],
-            vec![(0, 2.0), (1, 2.0)],
-        ]);
+        let x = SparseFeatures::from_rows(
+            3,
+            2,
+            vec![vec![(0, 1.0)], vec![(1, 1.0)], vec![(0, 2.0), (1, 2.0)]],
+        );
         let model = GnnModel::gcn(2, 2, 2);
         let w = ModelWeights::from_matrices(vec![
             DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),

@@ -55,11 +55,7 @@ impl ModelWeights {
     /// `layer i+1` rows).
     pub fn from_matrices(layers: Vec<DenseMatrix>) -> Self {
         for pair in layers.windows(2) {
-            assert_eq!(
-                pair[0].cols(),
-                pair[1].rows(),
-                "weight shapes do not chain between layers"
-            );
+            assert_eq!(pair[0].cols(), pair[1].rows(), "weight shapes do not chain between layers");
         }
         ModelWeights { layers }
     }
@@ -122,10 +118,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "do not chain")]
     fn mismatched_chain_panics() {
-        let _ = ModelWeights::from_matrices(vec![
-            DenseMatrix::zeros(4, 3),
-            DenseMatrix::zeros(5, 2),
-        ]);
+        let _ =
+            ModelWeights::from_matrices(vec![DenseMatrix::zeros(4, 3), DenseMatrix::zeros(5, 2)]);
     }
 
     #[test]

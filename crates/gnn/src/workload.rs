@@ -61,17 +61,11 @@ impl ModelWorkload {
         for (i, layer) in model.layers().iter().enumerate() {
             let out = layer.out_dim as u64;
             let in_dim = layer.in_dim as u64;
-            let combination_macs = if i == 0 {
-                features.nnz() as u64 * out
-            } else {
-                n * in_dim * out
-            };
+            let combination_macs =
+                if i == 0 { features.nnz() as u64 * out } else { n * in_dim * out };
             let aggregation_ops = (edges + n) * out;
-            let feature_bytes = if i == 0 {
-                features.nnz() as u64 * (F32 + U32)
-            } else {
-                n * in_dim * F32
-            };
+            let feature_bytes =
+                if i == 0 { features.nnz() as u64 * (F32 + U32) } else { n * in_dim * F32 };
             let adjacency_bytes = edges * U32 + (n + 1) * U32;
             let weight_bytes = in_dim * out * F32;
             let output_bytes = n * out * F32;

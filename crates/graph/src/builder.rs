@@ -33,11 +33,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph over `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder {
-            coo: CooGraph::new(num_nodes),
-            drop_self_loops: false,
-            symmetrize: false,
-        }
+        GraphBuilder { coo: CooGraph::new(num_nodes), drop_self_loops: false, symmetrize: false }
     }
 
     /// Adds an undirected edge (both directions).

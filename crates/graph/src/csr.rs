@@ -45,10 +45,7 @@ impl CsrGraph {
     /// # Errors
     ///
     /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is `>= num_nodes`.
-    pub fn from_directed_edges(
-        num_nodes: usize,
-        edges: &[(u32, u32)],
-    ) -> Result<Self, GraphError> {
+    pub fn from_directed_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
         for &(u, v) in edges {
             if u as usize >= num_nodes {
                 return Err(GraphError::NodeOutOfBounds { node: u, num_nodes });
@@ -200,17 +197,12 @@ impl CsrGraph {
 
     /// Degrees of all nodes, indexable by [`NodeId::index`].
     pub fn degrees(&self) -> Vec<u32> {
-        (0..self.num_nodes)
-            .map(|u| (self.row_ptr[u + 1] - self.row_ptr[u]) as u32)
-            .collect()
+        (0..self.num_nodes).map(|u| (self.row_ptr[u + 1] - self.row_ptr[u]) as u32).collect()
     }
 
     /// Maximum degree over all nodes (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes)
-            .map(|u| self.row_ptr[u + 1] - self.row_ptr[u])
-            .max()
-            .unwrap_or(0)
+        (0..self.num_nodes).map(|u| self.row_ptr[u + 1] - self.row_ptr[u]).max().unwrap_or(0)
     }
 
     /// Mean degree over all nodes (0 for an empty graph).
@@ -272,10 +264,8 @@ impl CsrGraph {
     /// Returns the transpose (reverse of every edge). For symmetric graphs
     /// this is equal to the input.
     pub fn transpose(&self) -> CsrGraph {
-        let edges: Vec<(u32, u32)> = self
-            .iter_edges()
-            .map(|(u, v)| (v.value(), u.value()))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            self.iter_edges().map(|(u, v)| (v.value(), u.value())).collect();
         CsrGraph::from_directed_edges(self.num_nodes, &edges)
             .expect("transpose of a valid graph is valid")
     }
@@ -318,10 +308,8 @@ impl CsrGraph {
                 ),
             });
         }
-        let edges: Vec<(u32, u32)> = self
-            .iter_edges()
-            .map(|(u, v)| (perm.map(u).value(), perm.map(v).value()))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            self.iter_edges().map(|(u, v)| (perm.map(u).value(), perm.map(v).value())).collect();
         CsrGraph::from_directed_edges(self.num_nodes, &edges)
     }
 

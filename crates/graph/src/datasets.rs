@@ -42,13 +42,8 @@ pub enum Dataset {
 
 impl Dataset {
     /// All five datasets in the order the paper reports them.
-    pub const ALL: [Dataset; 5] = [
-        Dataset::Cora,
-        Dataset::Citeseer,
-        Dataset::Pubmed,
-        Dataset::Nell,
-        Dataset::Reddit,
-    ];
+    pub const ALL: [Dataset; 5] =
+        [Dataset::Cora, Dataset::Citeseer, Dataset::Pubmed, Dataset::Nell, Dataset::Reddit];
 
     /// The published statistics and generator parameters for this dataset.
     pub fn spec(self) -> DatasetSpec {
@@ -150,8 +145,7 @@ impl Dataset {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
         let spec = self.spec();
         let num_nodes = ((spec.num_nodes as f64 * scale).round() as usize).max(16);
-        let avg_degree =
-            2.0 * spec.num_undirected_edges as f64 / spec.num_nodes as f64;
+        let avg_degree = 2.0 * spec.num_undirected_edges as f64 / spec.num_nodes as f64;
         let num_hubs = ((num_nodes as f64 * spec.hub_fraction).round() as usize).max(2);
         let (lo, hi) = spec.island_size_range;
         // Island interiors are small and dense (the shared-neighbor

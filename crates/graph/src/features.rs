@@ -161,11 +161,7 @@ mod tests {
 
     #[test]
     fn from_rows_sorts_and_dedups() {
-        let x = SparseFeatures::from_rows(
-            2,
-            4,
-            vec![vec![(3, 1.0), (1, 2.0), (3, 5.0)], vec![]],
-        );
+        let x = SparseFeatures::from_rows(2, 4, vec![vec![(3, 1.0), (1, 2.0), (3, 5.0)], vec![]]);
         let (cols, vals) = x.row(NodeId::new(0));
         assert_eq!(cols, &[1, 3]);
         assert_eq!(vals.len(), 2);

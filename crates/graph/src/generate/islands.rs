@@ -223,10 +223,8 @@ impl HubIslandConfig {
             // receive many hub edges, at least ~2x the average degree.
             let density_floor =
                 (2.5 * self.island_density * self.island_max as f64).ceil() as usize + 4;
-            let degree_floor = self
-                .target_avg_degree
-                .map(|d| (2.0 * d).ceil() as usize)
-                .unwrap_or(0);
+            let degree_floor =
+                self.target_avg_degree.map(|d| (2.0 * d).ceil() as usize).unwrap_or(0);
             let min_quota = density_floor.max(degree_floor);
             for (r, &hub) in hub_ids.iter().enumerate() {
                 let mut quota = ((weights[r] / weight_total) * budget as f64)

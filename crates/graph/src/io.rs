@@ -48,10 +48,8 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
-        let line = line.map_err(|e| GraphError::Parse {
-            line: lineno,
-            detail: format!("i/o error: {e}"),
-        })?;
+        let line = line
+            .map_err(|e| GraphError::Parse { line: lineno, detail: format!("i/o error: {e}") })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -65,20 +63,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let u = parts
-            .next()
-            .and_then(|t| t.parse::<u32>().ok())
-            .ok_or_else(|| GraphError::Parse {
-                line: lineno,
-                detail: "expected source node id".to_string(),
-            })?;
-        let v = parts
-            .next()
-            .and_then(|t| t.parse::<u32>().ok())
-            .ok_or_else(|| GraphError::Parse {
-                line: lineno,
-                detail: "expected destination node id".to_string(),
-            })?;
+        let u = parts.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| {
+            GraphError::Parse { line: lineno, detail: "expected source node id".to_string() }
+        })?;
+        let v = parts.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| {
+            GraphError::Parse { line: lineno, detail: "expected destination node id".to_string() }
+        })?;
         if parts.next().is_some() {
             return Err(GraphError::Parse {
                 line: lineno,
@@ -87,10 +77,8 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
         }
         edges.push((u, v));
     }
-    let num_nodes = num_nodes.ok_or(GraphError::Parse {
-        line: 0,
-        detail: "missing `nodes <n>` header".to_string(),
-    })?;
+    let num_nodes = num_nodes
+        .ok_or(GraphError::Parse { line: 0, detail: "missing `nodes <n>` header".to_string() })?;
     CsrGraph::from_directed_edges(num_nodes, &edges)
 }
 

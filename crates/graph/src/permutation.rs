@@ -127,11 +127,7 @@ impl Permutation {
     /// Panics if the permutations have different lengths.
     pub fn then(&self, after: &Permutation) -> Permutation {
         assert_eq!(self.len(), after.len(), "composed permutations must have equal length");
-        let forward = self
-            .forward
-            .iter()
-            .map(|&mid| after.forward[mid as usize])
-            .collect();
+        let forward = self.forward.iter().map(|&mid| after.forward[mid as usize]).collect();
         Permutation { forward }
     }
 

@@ -214,12 +214,8 @@ pub fn clustering_coefficient(graph: &CsrGraph) -> f64 {
     let mut total = 0.0f64;
     let mut counted = 0usize;
     for v in graph.iter_nodes() {
-        let neighbors: Vec<u32> = graph
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&nb| nb != v.value())
-            .collect();
+        let neighbors: Vec<u32> =
+            graph.neighbors(v).iter().copied().filter(|&nb| nb != v.value()).collect();
         let d = neighbors.len();
         if d < 2 {
             continue;
@@ -348,9 +344,8 @@ mod tests {
         let g = erdos_renyi(100, 250, 3);
         let grid = DensityGrid::compute(&g, None, 16);
         assert_eq!(grid.total_nnz() as usize, g.num_directed_edges());
-        let sum: u64 = (0..16).flat_map(|r| (0..16).map(move |c| (r, c)))
-            .map(|(r, c)| grid.cell(r, c))
-            .sum();
+        let sum: u64 =
+            (0..16).flat_map(|r| (0..16).map(move |c| (r, c))).map(|(r, c)| grid.cell(r, c)).sum();
         assert_eq!(sum, grid.total_nnz());
     }
 
@@ -385,8 +380,8 @@ mod tests {
     #[test]
     fn mean_edge_span_identity_vs_reorder() {
         // Path graph in natural order has span 1.
-        let g = CsrGraph::from_undirected_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
-            .unwrap();
+        let g =
+            CsrGraph::from_undirected_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
         assert!((mean_edge_span(&g, None) - 1.0).abs() < 1e-12);
         // Scrambling increases it.
         let p = Permutation::from_forward(vec![0, 5, 1, 4, 2, 3]).unwrap();
@@ -436,10 +431,7 @@ mod tests {
         use crate::generate::barabasi_albert;
         let ba = barabasi_albert(3000, 2, 7);
         let alpha = powerlaw_alpha(&ba, 3);
-        assert!(
-            (1.8..4.0).contains(&alpha),
-            "BA graphs should have alpha near 3, got {alpha}"
-        );
+        assert!((1.8..4.0).contains(&alpha), "BA graphs should have alpha near 3, got {alpha}");
         let empty = CsrGraph::from_directed_edges(4, &[]).unwrap();
         assert_eq!(powerlaw_alpha(&empty, 1), 0.0);
     }

@@ -159,11 +159,7 @@ impl DenseMatrix {
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
         assert_eq!(self.rows, other.rows, "row mismatch");
         assert_eq!(self.cols, other.cols, "col mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Frobenius norm.

@@ -42,22 +42,16 @@ impl GcnNormalization {
     /// Symmetric GCN normalisation over `A + I` (self-loops added
     /// implicitly; the graph itself should not contain them).
     pub fn symmetric(graph: &CsrGraph) -> Self {
-        let scale: Vec<f32> = graph
-            .degrees()
-            .iter()
-            .map(|&d| 1.0 / ((d as f32) + 1.0).sqrt())
-            .collect();
+        let scale: Vec<f32> =
+            graph.degrees().iter().map(|&d| 1.0 / ((d as f32) + 1.0).sqrt()).collect();
         GcnNormalization { in_scale: scale.clone(), out_scale: scale, self_weight: 1.0 }
     }
 
     /// GraphSage-style mean aggregation over `N(v) ∪ {v}`.
     pub fn mean(graph: &CsrGraph) -> Self {
         let n = graph.num_nodes();
-        let out_scale: Vec<f32> = graph
-            .degrees()
-            .iter()
-            .map(|&d| 1.0 / ((d as f32) + 1.0))
-            .collect();
+        let out_scale: Vec<f32> =
+            graph.degrees().iter().map(|&d| 1.0 / ((d as f32) + 1.0)).collect();
         GcnNormalization { in_scale: vec![1.0; n], out_scale, self_weight: 1.0 }
     }
 
@@ -116,8 +110,7 @@ impl GcnNormalization {
     pub fn to_explicit_matrix(&self, graph: &CsrGraph) -> CsrMatrix {
         let n = graph.num_nodes();
         assert_eq!(n, self.len(), "normalisation/graph size mismatch");
-        let mut triplets: Vec<(u32, u32, f32)> =
-            Vec::with_capacity(graph.num_directed_edges() + n);
+        let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(graph.num_directed_edges() + n);
         for (u, v) in graph.iter_edges() {
             triplets.push((
                 u.value(),

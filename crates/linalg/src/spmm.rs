@@ -216,10 +216,7 @@ mod tests {
         let reference = a.to_dense().matmul(&b);
         for method in SpmmMethod::ALL {
             let (out, _) = method.run(&a, &b);
-            assert!(
-                out.max_abs_diff(&reference) < 1e-5,
-                "{method} disagrees with dense reference"
-            );
+            assert!(out.max_abs_diff(&reference) < 1e-5, "{method} disagrees with dense reference");
         }
     }
 
@@ -235,10 +232,7 @@ mod tests {
     #[test]
     fn op_counts_identical_across_methods() {
         let (a, b) = example();
-        let counts: Vec<u64> = SpmmMethod::ALL
-            .iter()
-            .map(|m| m.run(&a, &b).1.macs)
-            .collect();
+        let counts: Vec<u64> = SpmmMethod::ALL.iter().map(|m| m.run(&a, &b).1.macs).collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts {counts:?}");
     }
 

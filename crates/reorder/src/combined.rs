@@ -45,8 +45,7 @@ fn combined_order(graph: &CsrGraph, sort_hot: bool) -> Vec<u32> {
         let mut members: Vec<u32> = (0..graph.num_nodes() as u32)
             .filter(|&v| bucket_of(degrees[v as usize]) == bucket)
             .collect();
-        let bucket_is_hot =
-            members.iter().any(|&v| degrees[v as usize] as f64 > avg);
+        let bucket_is_hot = members.iter().any(|&v| degrees[v as usize] as f64 > avg);
         if sort_hot && bucket_is_hot {
             members.sort_by_key(|&v| std::cmp::Reverse(degrees[v as usize]));
         }
@@ -90,8 +89,7 @@ mod tests {
         for b in 0..=max_bucket {
             let nodes: Vec<u32> =
                 (0..150u32).filter(|&v| bucket_of(degrees[v as usize]) == b).collect();
-            let pos: Vec<usize> =
-                nodes.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
+            let pos: Vec<usize> = nodes.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
             assert!(pos.windows(2).all(|w| w[0] < w[1]));
         }
     }

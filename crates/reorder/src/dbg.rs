@@ -79,8 +79,7 @@ mod tests {
         for b in 0..=max_bucket {
             let nodes: Vec<u32> =
                 (0..120u32).filter(|&v| bucket_of(degrees[v as usize]) == b).collect();
-            let pos: Vec<usize> =
-                nodes.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
+            let pos: Vec<usize> = nodes.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
             assert!(pos.windows(2).all(|w| w[0] < w[1]), "bucket {b} order broken");
         }
     }

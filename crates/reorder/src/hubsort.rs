@@ -64,8 +64,7 @@ mod tests {
         let p = HubSort.reorder(&g);
         let degrees = g.degrees();
         let avg = g.avg_degree();
-        let cold: Vec<u32> =
-            (0..100u32).filter(|&v| degrees[v as usize] as f64 <= avg).collect();
+        let cold: Vec<u32> = (0..100u32).filter(|&v| degrees[v as usize] as f64 <= avg).collect();
         let positions: Vec<usize> = cold.iter().map(|&v| p.map(NodeId::new(v)).index()).collect();
         assert!(positions.windows(2).all(|w| w[0] < w[1]), "cold order not preserved");
     }

@@ -43,10 +43,10 @@ pub use traits::Reorderer;
 pub fn figure12_baselines() -> Vec<Box<dyn Reorderer>> {
     vec![
         Box::new(Rabbit::default()),
-        Box::new(Dbg::default()),
-        Box::new(HubSort::default()),
-        Box::new(HubCluster::default()),
-        Box::new(DbgHubSort::default()),
-        Box::new(DbgHubCluster::default()),
+        Box::new(Dbg),
+        Box::new(HubSort),
+        Box::new(HubCluster),
+        Box::new(DbgHubSort),
+        Box::new(DbgHubCluster),
     ]
 }

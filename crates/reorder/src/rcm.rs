@@ -74,8 +74,7 @@ mod tests {
         // recover near-optimal (span ≈ 1) ordering.
         let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
         let path = CsrGraph::from_undirected_edges(100, &edges).unwrap();
-        let scramble =
-            P::from_forward((0..100u32).map(|v| (v * 37) % 100).collect()).unwrap();
+        let scramble = P::from_forward((0..100u32).map(|v| (v * 37) % 100).collect()).unwrap();
         let scrambled = path.permute(&scramble).unwrap();
         let before = mean_edge_span(&scrambled, None);
         let p = Rcm.reorder(&scrambled);

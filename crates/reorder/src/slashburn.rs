@@ -149,10 +149,7 @@ mod tests {
         let p = SlashBurn::default().reorder(&g);
         let degrees = g.degrees();
         let hottest = (0..300u32).max_by_key(|&v| degrees[v as usize]).unwrap();
-        assert!(
-            p.map(NodeId::new(hottest)).index() < 30,
-            "hottest node should be slashed early"
-        );
+        assert!(p.map(NodeId::new(hottest)).index() < 30, "hottest node should be slashed early");
     }
 
     #[test]

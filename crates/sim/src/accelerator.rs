@@ -1,6 +1,6 @@
 //! The I-GCN accelerator timing model.
 
-use igcn_core::{ConsumerConfig, ExecStats, IGcnEngine, IslandizationConfig};
+use igcn_core::{ConsumerConfig, ExecStats, IslandizationConfig};
 use igcn_gnn::GnnModel;
 use igcn_graph::{CsrGraph, SparseFeatures};
 
@@ -29,7 +29,7 @@ use crate::report::{GcnAccelerator, SimReport};
 /// consumes [`HardwareConfig::bfs_scan_words`] adjacency words per cycle.
 ///
 /// Statistics come from `igcn-core`'s exact accounting
-/// ([`IGcnEngine::account`]); islandization itself executes for real.
+/// (`igcn_core::exec::account_islandized`); islandization itself executes for real.
 ///
 /// # Example
 ///
@@ -59,9 +59,8 @@ impl IGcnAccelerator {
     /// Creates the model with default islandization parameters derived
     /// from the hardware configuration (P1/P2 lanes and PE count).
     pub fn new(hw: HardwareConfig) -> Self {
-        let island_cfg = IslandizationConfig::default()
-            .with_engines(hw.tpbfs_engines)
-            .with_lanes(hw.hub_lanes);
+        let island_cfg =
+            IslandizationConfig::default().with_engines(hw.tpbfs_engines).with_lanes(hw.hub_lanes);
         let consumer_cfg = ConsumerConfig::default().with_pes(hw.num_pes);
         IGcnAccelerator { hw, energy: EnergyModel::fpga_default(), island_cfg, consumer_cfg }
     }
@@ -90,7 +89,7 @@ impl IGcnAccelerator {
     }
 
     /// Produces a report from already-computed execution statistics
-    /// (exposed so callers that ran [`IGcnEngine`] themselves avoid a
+    /// (exposed so callers that ran the engine themselves avoid a
     /// second islandization pass).
     pub fn report_from_stats(&self, stats: &ExecStats) -> SimReport {
         let macs = MacArray::new(&self.hw);
@@ -159,15 +158,17 @@ impl GcnAccelerator for IGcnAccelerator {
         "I-GCN".to_string()
     }
 
-    fn simulate(
-        &self,
-        graph: &CsrGraph,
-        features: &SparseFeatures,
-        model: &GnnModel,
-    ) -> SimReport {
-        let engine = IGcnEngine::new(graph, self.island_cfg, self.consumer_cfg)
-            .expect("graph must be loop-free and islandizable");
-        let stats = engine.account(features, model);
+    fn simulate(&self, graph: &CsrGraph, features: &SparseFeatures, model: &GnnModel) -> SimReport {
+        // The borrowed accounting path: islandize + account without
+        // copying the graph into an owned engine.
+        let stats = igcn_core::exec::account_islandized(
+            graph,
+            self.island_cfg,
+            self.consumer_cfg,
+            features,
+            model,
+        )
+        .expect("graph must be loop-free and feature shapes must match");
         self.report_from_stats(&stats)
     }
 }

@@ -1,0 +1,162 @@
+//! The simulated-backend adapter: any dataflow-level simulator behind
+//! the unified serving trait.
+//!
+//! The platform models in this workspace ([`crate::IGcnAccelerator`]
+//! and the AWB-GCN / HyGCN / SIGMA / CPU-GPU models of
+//! `igcn-baselines`) implement [`GcnAccelerator`] — a stateless
+//! "simulate one inference on this graph" interface that the figure
+//! harnesses iterate. [`SimBackend`] lifts any of them into the owned,
+//! graph-bound [`Accelerator`] serving API: it pins the graph, installs
+//! a model via `prepare`, answers `infer` with the numerically exact
+//! reference output (the dataflow models differ in *schedule*, not
+//! arithmetic) plus the simulator's cost report, and answers `report`
+//! from the timing model alone.
+
+use std::sync::Arc;
+
+use igcn_core::accel::{
+    validate_request, validate_weights, Accelerator, ExecReport, InferenceRequest,
+    InferenceResponse,
+};
+use igcn_core::CoreError;
+use igcn_gnn::{reference_forward, GnnModel, ModelWeights};
+use igcn_graph::CsrGraph;
+
+use crate::report::{GcnAccelerator, SimReport};
+
+impl SimReport {
+    /// Converts a simulator report into the backend-agnostic
+    /// [`ExecReport`].
+    pub fn to_exec_report(&self) -> ExecReport {
+        ExecReport {
+            backend: self.name.clone(),
+            total_ops: self.total_ops,
+            offchip_bytes: self.offchip_bytes,
+            cycles: self.cycles,
+            latency_s: self.latency_s,
+            energy_j: self.energy_j,
+            aggregation_pruning_rate: 0.0,
+        }
+    }
+}
+
+/// A [`GcnAccelerator`] simulator bound to one graph and served through
+/// the [`Accelerator`] trait.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use igcn_core::accel::{Accelerator, InferenceRequest};
+/// use igcn_gnn::{GnnModel, ModelWeights};
+/// use igcn_graph::generate::HubIslandConfig;
+/// use igcn_graph::SparseFeatures;
+/// use igcn_sim::{HardwareConfig, IGcnAccelerator, SimBackend};
+///
+/// let g = HubIslandConfig::new(200, 8).generate(1);
+/// let mut backend = SimBackend::new(
+///     IGcnAccelerator::new(HardwareConfig::paper_default()),
+///     Arc::new(g.graph),
+/// );
+/// let model = GnnModel::gcn(16, 8, 3);
+/// let weights = ModelWeights::glorot(&model, 2);
+/// backend.prepare(&model, &weights)?;
+/// let report = backend.report(&InferenceRequest::new(
+///     SparseFeatures::random(200, 16, 0.2, 3),
+/// ))?;
+/// assert!(report.latency_s > 0.0);
+/// # Ok::<(), igcn_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBackend<S> {
+    sim: S,
+    graph: Arc<CsrGraph>,
+    prepared: Option<(GnnModel, ModelWeights)>,
+}
+
+impl<S: GcnAccelerator> SimBackend<S> {
+    /// Binds `sim` to `graph`.
+    pub fn new(sim: S, graph: Arc<CsrGraph>) -> Self {
+        SimBackend { sim, graph, prepared: None }
+    }
+
+    /// The wrapped simulator.
+    pub fn simulator(&self) -> &S {
+        &self.sim
+    }
+
+    fn prepared(&self) -> Result<&(GnnModel, ModelWeights), CoreError> {
+        self.prepared.as_ref().ok_or_else(|| CoreError::NotPrepared { backend: self.sim.name() })
+    }
+}
+
+impl<S: GcnAccelerator + Send + Sync> Accelerator for SimBackend<S> {
+    fn name(&self) -> String {
+        self.sim.name()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn prepare(&mut self, model: &GnnModel, weights: &ModelWeights) -> Result<(), CoreError> {
+        validate_weights(model, weights)?;
+        self.prepared = Some((model.clone(), weights.clone()));
+        Ok(())
+    }
+
+    fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
+        let (model, weights) = self.prepared()?;
+        validate_request(&self.graph, model, request)?;
+        let output = reference_forward(&self.graph, &request.features, model, weights);
+        let report = self.sim.simulate(&self.graph, &request.features, model).to_exec_report();
+        Ok(InferenceResponse { id: request.id, output, report })
+    }
+
+    fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError> {
+        let (model, _) = self.prepared()?;
+        validate_request(&self.graph, model, request)?;
+        Ok(self.sim.simulate(&self.graph, &request.features, model).to_exec_report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HardwareConfig, IGcnAccelerator};
+    use igcn_graph::generate::HubIslandConfig;
+    use igcn_graph::SparseFeatures;
+
+    fn backend() -> SimBackend<IGcnAccelerator> {
+        let g = HubIslandConfig::new(150, 6).noise_fraction(0.0).generate(2);
+        SimBackend::new(IGcnAccelerator::new(HardwareConfig::paper_default()), Arc::new(g.graph))
+    }
+
+    #[test]
+    fn infer_yields_reference_output_and_sim_report() {
+        let mut b = backend();
+        let model = GnnModel::gcn(12, 8, 4);
+        let weights = ModelWeights::glorot(&model, 3);
+        b.prepare(&model, &weights).unwrap();
+        let x = SparseFeatures::random(150, 12, 0.3, 4);
+        let resp = b.infer(&InferenceRequest::new(x.clone()).with_id(5)).unwrap();
+        assert_eq!(resp.id, 5);
+        assert_eq!(resp.output, reference_forward(b.graph(), &x, &model, &weights));
+        assert_eq!(resp.report.backend, "I-GCN");
+        assert!(resp.report.latency_s > 0.0);
+        assert!(resp.report.cycles > 0);
+    }
+
+    #[test]
+    fn report_requires_prepare() {
+        let b = backend();
+        let x = SparseFeatures::random(150, 12, 0.3, 4);
+        assert!(matches!(b.report(&InferenceRequest::new(x)), Err(CoreError::NotPrepared { .. })));
+    }
+
+    #[test]
+    fn sim_backend_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimBackend<IGcnAccelerator>>();
+    }
+}

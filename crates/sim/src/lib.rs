@@ -16,7 +16,10 @@
 //!   Figure 11 breakdown (Island Locator ≈ 34%, Island Consumer ≈ 66%);
 //! * [`accelerator::IGcnAccelerator`] — ties everything together and
 //!   implements the [`report::GcnAccelerator`] trait shared with the
-//!   baseline simulators in `igcn-baselines`.
+//!   baseline simulators in `igcn-baselines`;
+//! * [`backend::SimBackend`] — binds any [`report::GcnAccelerator`] to a
+//!   graph and serves it through the unified
+//!   [`igcn_core::accel::Accelerator`] trait.
 //!
 //! Absolute numbers are model outputs, not testbed measurements; the
 //! reproduction targets are the *shapes* (who wins, by what factor, where
@@ -24,6 +27,7 @@
 
 pub mod accelerator;
 pub mod area;
+pub mod backend;
 pub mod compute;
 pub mod energy;
 pub mod hw;
@@ -32,6 +36,7 @@ pub mod report;
 
 pub use accelerator::IGcnAccelerator;
 pub use area::{AreaBreakdown, AreaModel};
+pub use backend::SimBackend;
 pub use compute::MacArray;
 pub use energy::EnergyModel;
 pub use hw::HardwareConfig;

@@ -54,12 +54,7 @@ pub trait GcnAccelerator {
     fn name(&self) -> String;
 
     /// Simulates one full-model inference.
-    fn simulate(
-        &self,
-        graph: &CsrGraph,
-        features: &SparseFeatures,
-        model: &GnnModel,
-    ) -> SimReport;
+    fn simulate(&self, graph: &CsrGraph, features: &SparseFeatures, model: &GnnModel) -> SimReport;
 }
 
 #[cfg(test)]

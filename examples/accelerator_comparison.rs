@@ -1,22 +1,28 @@
-//! Accelerator shoot-out on one dataset.
+//! Accelerator shoot-out on one dataset, through the unified serving
+//! trait.
 //!
-//! Simulates I-GCN against AWB-GCN, HyGCN, SIGMA and the PyG/DGL software
-//! stacks on the Citeseer stand-in — a miniature of the paper's
-//! Figure 14(B).
+//! Binds I-GCN, AWB-GCN, HyGCN, SIGMA and the PyG/DGL software stacks
+//! to the Citeseer stand-in as [`Accelerator`] backends — a miniature
+//! of the paper's Figure 14(B) on the same API a serving deployment
+//! uses.
 //!
 //! ```sh
 //! cargo run --release --example accelerator_comparison
 //! ```
 
+use std::sync::Arc;
+
 use igcn::baselines::{AwbGcn, HyGcn, Platform, PlatformKind, Sigma};
-use igcn::gnn::{GnnKind, GnnModel, ModelConfig};
+use igcn::core::accel::{Accelerator, InferenceRequest};
+use igcn::gnn::{GnnKind, GnnModel, ModelConfig, ModelWeights};
 use igcn::graph::datasets::Dataset;
-use igcn::sim::{GcnAccelerator, HardwareConfig, IGcnAccelerator};
+use igcn::sim::{HardwareConfig, IGcnAccelerator, SimBackend};
 
 fn main() {
     let dataset = Dataset::Citeseer;
     let data = dataset.generate(42);
     let model = GnnModel::for_dataset(dataset, GnnKind::Gcn, ModelConfig::Algo);
+    let weights = ModelWeights::glorot(&model, 7);
     println!(
         "{dataset} / {}: {} nodes, {} edges\n",
         model.label(ModelConfig::Algo),
@@ -25,19 +31,24 @@ fn main() {
     );
 
     let hw = HardwareConfig::paper_default();
-    let platforms: Vec<Box<dyn GcnAccelerator>> = vec![
-        Box::new(IGcnAccelerator::new(hw)),
-        Box::new(AwbGcn::new(hw)),
-        Box::new(HyGcn::paper_config()),
-        Box::new(Sigma::paper_config()),
-        Box::new(Platform::new(PlatformKind::PygGpuV100)),
-        Box::new(Platform::new(PlatformKind::DglCpuE5_2683)),
-        Box::new(Platform::new(PlatformKind::PygCpuE5_2680)),
+    let graph = Arc::new(data.graph);
+    let mut platforms: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(SimBackend::new(IGcnAccelerator::new(hw), Arc::clone(&graph))),
+        Box::new(SimBackend::new(AwbGcn::new(hw), Arc::clone(&graph))),
+        Box::new(SimBackend::new(HyGcn::paper_config(), Arc::clone(&graph))),
+        Box::new(SimBackend::new(Sigma::paper_config(), Arc::clone(&graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::PygGpuV100), Arc::clone(&graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::DglCpuE5_2683), Arc::clone(&graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::PygCpuE5_2680), Arc::clone(&graph))),
     ];
 
+    let request = InferenceRequest::new(data.features);
     let mut results: Vec<_> = platforms
-        .iter()
-        .map(|p| (p.name(), p.simulate(&data.graph, &data.features, &model)))
+        .iter_mut()
+        .map(|p| {
+            p.prepare(&model, &weights).expect("weights match the model");
+            (p.name(), p.report(&request).expect("dataset shapes match"))
+        })
         .collect();
     results.sort_by(|a, b| a.1.latency_s.partial_cmp(&b.1.latency_s).unwrap());
 

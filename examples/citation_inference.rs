@@ -8,7 +8,7 @@
 //! cargo run --release --example citation_inference
 //! ```
 
-use igcn::core::{ConsumerConfig, IGcnEngine, IslandizationConfig};
+use igcn::core::IGcnEngine;
 use igcn::gnn::{GnnKind, GnnModel, ModelConfig, ModelWeights};
 use igcn::graph::datasets::Dataset;
 use igcn::graph::stats::DensityGrid;
@@ -26,12 +26,8 @@ fn main() {
         data.features.nnz()
     );
 
-    let engine = IGcnEngine::new(
-        &data.graph,
-        IslandizationConfig::default(),
-        ConsumerConfig::default(),
-    )
-    .expect("citation stand-ins are loop-free");
+    let engine =
+        IGcnEngine::builder(data.graph.clone()).build().expect("citation stand-ins are loop-free");
 
     println!("\nadjacency before islandization:");
     println!("{}", DensityGrid::compute(&data.graph, None, 32).to_ascii());
@@ -41,7 +37,8 @@ fn main() {
 
     let model = GnnModel::for_dataset(dataset, GnnKind::Gcn, ModelConfig::Algo);
     let weights = ModelWeights::glorot(&model, 3);
-    let (output, stats) = engine.run(&data.features, &model, &weights);
+    let (output, stats) =
+        engine.run(&data.features, &model, &weights).expect("dataset shapes match");
 
     // Classify a few papers.
     for node in [0u32, 1, 2] {
@@ -66,6 +63,6 @@ fn main() {
         report.graphs_per_kilojoule
     );
 
-    let diff = engine.verify(&data.features, &model, &weights);
+    let diff = engine.verify(&data.features, &model, &weights).expect("dataset shapes match");
     println!("verification vs software reference: max diff {diff:.2e}");
 }

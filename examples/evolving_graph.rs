@@ -8,10 +8,12 @@
 //!
 //! Three structure-maintenance strategies are compared per step:
 //!
-//! 1. **I-GCN full re-islandization** — the paper's runtime restructuring,
-//!    overlapped with inference on the accelerator (µs-scale);
-//! 2. **incremental islandization** — this repository's extension: only
-//!    islands touched by the new edges dissolve and re-form;
+//! 1. **incremental islandization** — `IGcnEngine::apply_update`: only
+//!    islands touched by the new edges dissolve and re-form, and the
+//!    same engine keeps serving;
+//! 2. **full re-islandization** — the paper's from-scratch runtime
+//!    restructuring, overlapped with inference on the accelerator
+//!    (µs-scale);
 //! 3. **offline reordering** — a Rabbit pass on the host CPU, whose
 //!    measured wall-clock alone dwarfs the whole accelerated inference.
 //!
@@ -21,8 +23,8 @@
 
 use std::time::Instant;
 
-use igcn::core::incremental::{apply_edges, incremental_islandize};
-use igcn::core::{ConsumerConfig, IGcnEngine, IslandLocator, IslandizationConfig};
+use igcn::core::accel::{Accelerator, GraphUpdate, InferenceRequest};
+use igcn::core::{IGcnEngine, IslandLocator, IslandizationConfig};
 use igcn::gnn::{GnnModel, ModelWeights};
 use igcn::graph::generate::HubIslandConfig;
 use igcn::graph::{CsrGraph, NodeId, SparseFeatures};
@@ -53,52 +55,47 @@ fn main() {
     let weights = ModelWeights::glorot(&model, 1);
     let rabbit = Rabbit::default();
 
-    let mut graph = HubIslandConfig::new(n, n / 30).noise_fraction(0.01).generate(7).graph;
-    let (mut partition, _) = IslandLocator::new(&graph, &cfg).run().unwrap();
+    let graph = HubIslandConfig::new(n, n / 30).noise_fraction(0.01).generate(7).graph;
+    let mut engine = IGcnEngine::builder(graph).island_config(cfg).build().unwrap();
+    engine.prepare(&model, &weights).unwrap();
 
     println!(
         "step | dissolved | reclassified | incr cycles | full cycles | igcn sim (µs) | rabbit host (µs)"
     );
     for step in 0..6u64 {
-        // A batch of 20 new friendships lands.
-        let added = random_new_edges(&graph, 20, 1_000 + step);
-        let updated = apply_edges(&graph, graph.num_nodes(), &added);
-
-        // Incremental maintenance: only the disturbed neighborhood redoes.
-        let incr = incremental_islandize(&updated, &partition, &added, &cfg)
+        // A batch of 20 new friendships lands; the serving engine absorbs
+        // it in place.
+        let added = random_new_edges(engine.graph(), 20, 1_000 + step);
+        let update = engine
+            .apply_update(GraphUpdate::add_edges(added))
             .expect("incremental update succeeds");
-        incr.partition.check_invariants(&updated).expect("still a valid partition");
+        engine.partition().check_invariants(engine.graph()).expect("still a valid partition");
 
         // Full re-islandization for comparison.
-        let (full_partition, full_stats) = IslandLocator::new(&updated, &cfg).run().unwrap();
+        let (_, full_stats) = IslandLocator::new(engine.graph(), &cfg).run().unwrap();
 
-        // Inference on the fresh structure (engine re-runs the locator
-        // internally; we reuse its verification path).
-        let features = SparseFeatures::random(updated.num_nodes(), 32, 0.1, 77 + step);
-        let engine = IGcnEngine::new(&updated, cfg, ConsumerConfig::default()).unwrap();
-        let stats = engine.account(&features, &model);
+        // Inference on the fresh structure through the serving API.
+        let features = SparseFeatures::random(engine.graph().num_nodes(), 32, 0.1, 77 + step);
+        let request = InferenceRequest::new(features);
+        let stats = engine.account(&request.features, &model).unwrap();
         let report = accelerator.report_from_stats(&stats);
-        let diff = engine.verify(&features, &model, &weights);
+        let diff = engine.verify(&request.features, &model, &weights).unwrap();
         assert!(diff < 1e-3, "step {step} diverged: {diff}");
 
         // The offline alternative re-runs reordering on the host.
         let t0 = Instant::now();
-        let _ordering = rabbit.reorder(&updated);
+        let _ordering = rabbit.reorder(engine.graph());
         let rabbit_us = t0.elapsed().as_secs_f64() * 1e6;
 
         println!(
             "{step:>4} | {:>9} | {:>12} | {:>11} | {:>11} | {:>13.2} | {:>16.1}",
-            incr.dissolved_islands,
-            incr.reclassified_nodes,
-            incr.stats.virtual_cycles,
+            update.dissolved_islands,
+            update.reclassified_nodes,
+            update.locator_stats.virtual_cycles,
             full_stats.virtual_cycles,
             report.latency_us(),
             rabbit_us
         );
-
-        graph = updated;
-        partition = incr.partition;
-        let _ = full_partition;
     }
     println!(
         "\nIncremental maintenance re-touches only the disturbed islands (far fewer\n\

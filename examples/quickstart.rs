@@ -4,7 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use igcn::core::{ConsumerConfig, CoreError, IGcnEngine, IslandizationConfig};
+use igcn::core::accel::{Accelerator, InferenceRequest};
+use igcn::core::{CoreError, IGcnEngine};
 use igcn::gnn::{GnnModel, ModelWeights};
 use igcn::graph::generate::HubIslandConfig;
 use igcn::graph::SparseFeatures;
@@ -24,9 +25,9 @@ fn main() -> Result<(), CoreError> {
         graph.num_undirected_edges()
     );
 
-    // 2. Islandize at "runtime" and build the engine.
-    let engine =
-        IGcnEngine::new(&graph, IslandizationConfig::default(), ConsumerConfig::default())?;
+    // 2. Islandize at "runtime" and build the owned engine — it takes the
+    //    graph by value (Arc inside) and is Send + Sync, ready to serve.
+    let mut engine = IGcnEngine::builder(graph).build()?;
     let partition = engine.partition();
     println!(
         "islandization: {} islands, {} hubs ({:.1}% of nodes), {} inter-hub edges, {} rounds",
@@ -37,25 +38,28 @@ fn main() -> Result<(), CoreError> {
         engine.locator_stats().num_rounds()
     );
 
-    // 3. Run a 2-layer GCN at island granularity.
-    let features = SparseFeatures::random(graph.num_nodes(), 64, 0.05, 7);
+    // 3. Prepare a 2-layer GCN once, then serve requests through the
+    //    unified Accelerator trait.
     let model = GnnModel::gcn(64, 16, 4);
     let weights = ModelWeights::glorot(&model, 1);
-    let (output, stats) = engine.run(&features, &model, &weights);
+    engine.prepare(&model, &weights)?;
 
+    let request =
+        InferenceRequest::new(SparseFeatures::random(engine.graph().num_nodes(), 64, 0.05, 7));
+    let response = engine.infer(&request)?;
     println!(
         "inference: {} output rows x {} classes",
-        output.rows(),
-        output.cols()
+        response.output.rows(),
+        response.output.cols()
     );
     println!(
-        "redundancy removal pruned {:.1}% of aggregation ops ({:.1}% of all ops)",
-        stats.aggregation_pruning_rate() * 100.0,
-        stats.overall_pruning_rate() * 100.0
+        "redundancy removal pruned {:.1}% of aggregation ops ({} scalar ops executed)",
+        response.report.aggregation_pruning_rate * 100.0,
+        response.report.total_ops
     );
 
     // 4. Verify against the plain software reference.
-    let diff = engine.verify(&features, &model, &weights);
+    let diff = engine.verify(&request.features, &model, &weights)?;
     println!("max |islandized - reference| = {diff:.2e} (lossless up to fp rounding)");
     assert!(diff < 1e-3);
     Ok(())

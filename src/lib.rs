@@ -11,15 +11,20 @@
 //! | [`graph`] | `igcn-graph` | CSR graphs, synthetic datasets, statistics |
 //! | [`linalg`] | `igcn-linalg` | dense/sparse matrices, the four SpMM dataflows |
 //! | [`gnn`] | `igcn-gnn` | GCN/GraphSage/GIN models, reference forward pass |
-//! | [`core`] | `igcn-core` | **the contribution**: Island Locator + Island Consumer |
-//! | [`sim`] | `igcn-sim` | cycle/energy/area models of the accelerator |
+//! | [`core`] | `igcn-core` | **the contribution**: Island Locator + Island Consumer, the owned [`core::IGcnEngine`], and the unified [`core::accel::Accelerator`] serving trait |
+//! | [`sim`] | `igcn-sim` | cycle/energy/area models; [`sim::SimBackend`] lifts any simulator into the serving trait |
 //! | [`reorder`] | `igcn-reorder` | lightweight reordering baselines + quality metrics |
-//! | [`baselines`] | `igcn-baselines` | AWB-GCN, HyGCN, SIGMA, CPU/GPU models |
+//! | [`baselines`] | `igcn-baselines` | AWB-GCN, HyGCN, SIGMA, CPU/GPU models — all servable as `Accelerator` backends |
 //!
 //! # Quick start
 //!
+//! Build the engine once (it owns its graph behind an `Arc` and is
+//! `Send + Sync`), `prepare` a model, then serve requests — one at a
+//! time or in batches:
+//!
 //! ```
-//! use igcn::core::{ConsumerConfig, IGcnEngine, IslandizationConfig};
+//! use igcn::core::accel::{Accelerator, InferenceRequest};
+//! use igcn::core::IGcnEngine;
 //! use igcn::gnn::{GnnModel, ModelWeights};
 //! use igcn::graph::generate::HubIslandConfig;
 //! use igcn::graph::SparseFeatures;
@@ -27,21 +32,67 @@
 //! // A graph with planted hub-and-island structure.
 //! let g = HubIslandConfig::new(500, 20).noise_fraction(0.01).generate(42);
 //!
-//! // Islandize once, then run GCN inference at island granularity.
-//! let engine = IGcnEngine::new(
-//!     &g.graph,
-//!     IslandizationConfig::default(),
-//!     ConsumerConfig::default(),
-//! )?;
-//! let features = SparseFeatures::random(500, 32, 0.1, 7);
+//! // Islandize once and build the owned, serving-ready engine.
+//! let mut engine = IGcnEngine::builder(g.graph).build()?;
+//!
+//! // Install the model once...
 //! let model = GnnModel::gcn(32, 16, 4);
 //! let weights = ModelWeights::glorot(&model, 1);
-//! let (output, stats) = engine.run(&features, &model, &weights);
+//! engine.prepare(&model, &weights)?;
 //!
-//! assert_eq!(output.rows(), 500);
-//! println!("aggregation ops pruned: {:.1}%", stats.aggregation_pruning_rate() * 100.0);
+//! // ...then serve. `infer_batch` amortises the per-call setup.
+//! let requests: Vec<InferenceRequest> = (0..3)
+//!     .map(|i| InferenceRequest::new(SparseFeatures::random(500, 32, 0.1, i)).with_id(i))
+//!     .collect();
+//! let responses = engine.infer_batch(&requests)?;
+//!
+//! assert_eq!(responses.len(), 3);
+//! assert_eq!(responses[0].output.rows(), 500);
+//! println!(
+//!     "aggregation ops pruned: {:.1}%",
+//!     responses[0].report.aggregation_pruning_rate * 100.0
+//! );
 //! # Ok::<(), igcn::core::CoreError>(())
 //! ```
+//!
+//! Evolving graphs stay inside the same engine:
+//! `engine.apply_update(GraphUpdate::add_edges(batch))?` dissolves and
+//! re-forms only the islands the new edges touch, then serving
+//! continues on the updated graph.
+//!
+//! Every execution backend — the engine itself, the
+//! [`core::CpuReference`] software pass, and (through
+//! [`sim::SimBackend`]) the I-GCN timing model plus the AWB-GCN, HyGCN,
+//! SIGMA and CPU/GPU platform simulators — implements the same
+//! [`core::accel::Accelerator`] trait, so cross-platform harnesses and
+//! serving deployments iterate one `Vec<Box<dyn Accelerator>>`.
+//!
+//! # Migrating from the borrowed engine (pre-builder API)
+//!
+//! The old engine borrowed its graph and panicked on shape errors:
+//!
+//! ```text
+//! // before:
+//! let engine = IGcnEngine::new(&graph, island_cfg, consumer_cfg)?;   // borrows graph
+//! let (out, stats) = engine.run(&x, &model, &weights);               // panics on bad shapes
+//! ```
+//!
+//! The engine now owns its graph (`Arc` inside — pass a `CsrGraph` by
+//! value or an existing `Arc<CsrGraph>`) and every path returns
+//! `Result`:
+//!
+//! ```text
+//! // after:
+//! let engine = IGcnEngine::builder(graph)
+//!     .island_config(island_cfg)      // optional, defaults preserved
+//!     .consumer_config(consumer_cfg)  // optional
+//!     .build()?;
+//! let (out, stats) = engine.run(&x, &model, &weights)?;
+//! ```
+//!
+//! `incremental_islandize` + `apply_edges` call sites collapse into
+//! `engine.apply_update(GraphUpdate::add_edges(added))?`, and
+//! `engine.verify(..)` / `engine.account(..)` now return `Result` too.
 
 pub use igcn_baselines as baselines;
 pub use igcn_core as core;

@@ -1,0 +1,188 @@
+//! Backend conformance: every `Accelerator` implementation, one graph,
+//! one contract.
+//!
+//! All backends are prepared with the same model on the same small
+//! hub-island graph and must (a) answer with the same output shape,
+//! (b) agree with the `igcn-gnn` reference forward pass within
+//! floating-point tolerance, (c) echo request ids and preserve batch
+//! order, and (d) be `Send + Sync` so they can serve from an `Arc`.
+
+use std::sync::Arc;
+
+use igcn::baselines::{AwbGcn, HyGcn, Platform, PlatformKind, Sigma};
+use igcn::core::accel::{Accelerator, InferenceRequest};
+use igcn::core::{CoreError, CpuReference, IGcnEngine};
+use igcn::gnn::{reference_forward, GnnModel, ModelWeights};
+use igcn::graph::generate::HubIslandConfig;
+use igcn::graph::{CsrGraph, SparseFeatures};
+use igcn::sim::{HardwareConfig, IGcnAccelerator, SimBackend};
+
+const N: usize = 250;
+const FEATURE_DIM: usize = 16;
+const CLASSES: usize = 5;
+
+fn test_graph() -> Arc<CsrGraph> {
+    let g = HubIslandConfig::new(N, 10).noise_fraction(0.02).generate(31);
+    Arc::new(g.graph)
+}
+
+fn test_model() -> (GnnModel, ModelWeights) {
+    let model = GnnModel::gcn(FEATURE_DIM, 8, CLASSES);
+    let weights = ModelWeights::glorot(&model, 5);
+    (model, weights)
+}
+
+/// Every backend in the workspace, prepared over `graph`.
+fn all_backends(graph: &Arc<CsrGraph>) -> Vec<Box<dyn Accelerator>> {
+    let hw = HardwareConfig::paper_default();
+    let engine =
+        IGcnEngine::builder(Arc::clone(graph)).build().expect("conformance graph is loop-free");
+    vec![
+        Box::new(engine),
+        Box::new(CpuReference::new(Arc::clone(graph))),
+        Box::new(SimBackend::new(IGcnAccelerator::new(hw), Arc::clone(graph))),
+        Box::new(SimBackend::new(AwbGcn::new(hw), Arc::clone(graph))),
+        Box::new(SimBackend::new(HyGcn::paper_config(), Arc::clone(graph))),
+        Box::new(SimBackend::new(Sigma::paper_config(), Arc::clone(graph))),
+        Box::new(SimBackend::new(Platform::new(PlatformKind::PygCpuE5_2680), Arc::clone(graph))),
+    ]
+}
+
+#[test]
+fn every_backend_agrees_with_the_reference() {
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let x = SparseFeatures::random(N, FEATURE_DIM, 0.3, 77);
+    let expected = reference_forward(&graph, &x, &model, &weights);
+    let request = InferenceRequest::new(x).with_id(42);
+
+    let mut names = Vec::new();
+    for mut backend in all_backends(&graph) {
+        backend.prepare(&model, &weights).expect("conformance weights match");
+        let response = backend.infer(&request).expect("prepared backend answers");
+        let name = backend.name();
+        assert_eq!(response.id, 42, "{name}: request id not echoed");
+        assert_eq!(
+            (response.output.rows(), response.output.cols()),
+            (N, CLASSES),
+            "{name}: wrong output shape"
+        );
+        let diff = response.output.max_abs_diff(&expected);
+        assert!(diff < 1e-3, "{name}: diverges from reference by {diff}");
+        assert_eq!(response.report.backend, name, "{name}: report names another backend");
+        assert!(response.report.total_ops > 0, "{name}: empty cost report");
+        names.push(name);
+    }
+    // The acceptance list: I-GCN, reference, AWB-GCN, HyGCN, SIGMA (+
+    // the timing model and a software platform).
+    for required in ["I-GCN", "CPU-reference", "AWB-GCN", "HyGCN", "SIGMA"] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "backend {required} missing from the conformance sweep (got {names:?})"
+        );
+    }
+    assert!(names.len() >= 5, "fewer than five backends conform");
+}
+
+#[test]
+fn infer_batch_is_ordered_and_matches_single_infer() {
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let requests: Vec<InferenceRequest> = (0..4)
+        .map(|i| {
+            InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.25, 300 + i)).with_id(i)
+        })
+        .collect();
+    for mut backend in all_backends(&graph) {
+        backend.prepare(&model, &weights).expect("conformance weights match");
+        let batched = backend.infer_batch(&requests).expect("batch answers");
+        assert_eq!(batched.len(), requests.len(), "{}: batch length", backend.name());
+        for (request, response) in requests.iter().zip(&batched) {
+            assert_eq!(request.id, response.id, "{}: batch order lost", backend.name());
+            let solo = backend.infer(request).expect("prepared backend answers");
+            assert_eq!(
+                solo.output,
+                response.output,
+                "{}: batched result differs from single infer",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn report_does_no_numeric_work_but_prices_the_request() {
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let request = InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.3, 9));
+    for mut backend in all_backends(&graph) {
+        backend.prepare(&model, &weights).expect("conformance weights match");
+        let report = backend.report(&request).expect("prepared backend prices");
+        assert!(report.total_ops > 0, "{}: zero-op report", backend.name());
+        assert_eq!(report.backend, backend.name());
+    }
+}
+
+#[test]
+fn unprepared_backends_refuse_and_bad_shapes_are_errors() {
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let good = InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.3, 1));
+    let wrong_rows = InferenceRequest::new(SparseFeatures::random(N / 2, FEATURE_DIM, 0.3, 1));
+    let wrong_cols = InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM + 3, 0.3, 1));
+    for mut backend in all_backends(&graph) {
+        let name = backend.name();
+        assert!(
+            matches!(backend.infer(&good), Err(CoreError::NotPrepared { .. })),
+            "{name}: must refuse before prepare"
+        );
+        backend.prepare(&model, &weights).expect("conformance weights match");
+        assert!(
+            matches!(backend.infer(&wrong_rows), Err(CoreError::ShapeMismatch { .. })),
+            "{name}: must reject wrong feature rows"
+        );
+        assert!(
+            matches!(backend.infer(&wrong_cols), Err(CoreError::ShapeMismatch { .. })),
+            "{name}: must reject wrong feature width"
+        );
+    }
+}
+
+#[test]
+fn backends_are_send_sync_and_shareable() {
+    // Compile-time assertions: the acceptance criterion that the owned
+    // engine (and every other backend) can cross threads inside an Arc.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IGcnEngine>();
+    assert_send_sync::<CpuReference>();
+    assert_send_sync::<SimBackend<IGcnAccelerator>>();
+    assert_send_sync::<SimBackend<AwbGcn>>();
+    assert_send_sync::<SimBackend<HyGcn>>();
+    assert_send_sync::<SimBackend<Sigma>>();
+    assert_send_sync::<SimBackend<Platform>>();
+    assert_send_sync::<Box<dyn Accelerator>>();
+
+    // And a runtime smoke test: serve the same prepared engine from two
+    // threads through an Arc.
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let mut engine = IGcnEngine::builder(Arc::clone(&graph)).build().unwrap();
+    engine.prepare(&model, &weights).unwrap();
+    let shared: Arc<dyn Accelerator> = Arc::new(engine);
+    let handles: Vec<_> = (0..2)
+        .map(|t| {
+            let backend = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let request =
+                    InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.3, 50 + t))
+                        .with_id(t);
+                let response = backend.infer(&request).expect("shared engine serves");
+                assert_eq!(response.id, t);
+                assert_eq!(response.output.rows(), N);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("serving thread panicked");
+    }
+}

@@ -1,13 +1,14 @@
 //! Integration: incremental islandization on evolving graphs keeps
-//! inference exact and invariants intact across long update sequences.
+//! inference exact and invariants intact across long update sequences,
+//! both through the free functions and through the serving engine's
+//! `apply_update`.
 
+use igcn::core::accel::{Accelerator, GraphUpdate, InferenceRequest};
 use igcn::core::incremental::{apply_edges, incremental_islandize};
-use igcn::core::{ConsumerConfig, IslandLocator, IslandizationConfig};
-use igcn::core::consumer::{IslandConsumer, LayerInput};
-use igcn::gnn::{reference_forward, Activation, GnnModel, ModelWeights};
+use igcn::core::{IGcnEngine, IslandLocator, IslandizationConfig};
+use igcn::gnn::{GnnModel, ModelWeights};
 use igcn::graph::generate::HubIslandConfig;
 use igcn::graph::{CsrGraph, NodeId, SparseFeatures};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,41 +28,26 @@ fn random_new_edges(graph: &CsrGraph, count: usize, seed: u64) -> Vec<(u32, u32)
     edges
 }
 
-/// Runs one islandized GCN layer on `graph` with `partition` and checks it
-/// against the software reference.
-fn verify_layer(graph: &CsrGraph, partition: &igcn::core::IslandPartition, seed: u64) {
-    let n = graph.num_nodes();
-    let x = SparseFeatures::random(n, 8, 0.4, seed);
-    let model = GnnModel::gcn(8, 4, 4);
-    let w = ModelWeights::glorot(&model, seed);
-    let norm = model.normalization(graph);
-    let consumer = IslandConsumer::new(graph, partition, ConsumerConfig::default());
-    let (out, _) =
-        consumer.execute_layer(LayerInput::Sparse(&x), w.layer(0), &norm, Activation::Relu);
-    let reference = reference_forward(graph, &x, &model, &w);
-    // reference_forward runs two layers; compare against its layer stack
-    // instead.
-    let layers = igcn::gnn::reference_forward_layers(graph, &x, &model, &w);
-    assert!(
-        out.max_abs_diff(&layers[0]) < 1e-3,
-        "incrementally maintained partition produced wrong results"
-    );
-    let _ = reference;
-}
-
 #[test]
 fn long_update_sequence_stays_exact() {
-    let cfg = IslandizationConfig::default();
-    let mut graph = HubIslandConfig::new(600, 24).noise_fraction(0.01).generate(3).graph;
-    let (mut partition, _) = IslandLocator::new(&graph, &cfg).run().unwrap();
+    let mut engine =
+        IGcnEngine::builder(HubIslandConfig::new(600, 24).noise_fraction(0.01).generate(3).graph)
+            .build()
+            .unwrap();
+    let model = GnnModel::gcn(8, 4, 4);
+    let weights = ModelWeights::glorot(&model, 1);
+    engine.prepare(&model, &weights).unwrap();
     for step in 0..8u64 {
-        let added = random_new_edges(&graph, 8, 500 + step);
-        let updated = apply_edges(&graph, graph.num_nodes(), &added);
-        let result = incremental_islandize(&updated, &partition, &added, &cfg).unwrap();
-        result.partition.check_invariants(&updated).unwrap();
-        verify_layer(&updated, &result.partition, 900 + step);
-        graph = updated;
-        partition = result.partition;
+        let added = random_new_edges(engine.graph(), 8, 500 + step);
+        engine.apply_update(GraphUpdate::add_edges(added)).unwrap();
+        engine.partition().check_invariants(engine.graph()).unwrap();
+        // The incrementally maintained structure must still be lossless.
+        let x = SparseFeatures::random(engine.graph().num_nodes(), 8, 0.4, 900 + step);
+        let diff = engine.verify(&x, &model, &weights).unwrap();
+        assert!(diff < 1e-3, "step {step}: diverged by {diff}");
+        // And the serving path keeps answering on the updated graph.
+        let response = engine.infer(&InferenceRequest::new(x).with_id(step)).unwrap();
+        assert_eq!(response.output.rows(), engine.graph().num_nodes());
     }
 }
 
@@ -71,7 +57,7 @@ fn incremental_touches_less_than_full_rerun() {
     let graph = HubIslandConfig::new(2_000, 80).noise_fraction(0.005).generate(5).graph;
     let (partition, full_stats) = IslandLocator::new(&graph, &cfg).run().unwrap();
     let added = random_new_edges(&graph, 6, 77);
-    let updated = apply_edges(&graph, graph.num_nodes(), &added);
+    let updated = apply_edges(&graph, graph.num_nodes(), &added).unwrap();
     let result = incremental_islandize(&updated, &partition, &added, &cfg).unwrap();
     assert!(
         result.stats.adjacency_words_read < full_stats.adjacency_words_read,
@@ -84,51 +70,76 @@ fn incremental_touches_less_than_full_rerun() {
 }
 
 #[test]
-fn growing_network_with_new_nodes() {
+fn engine_update_touches_less_than_full_rerun() {
     let cfg = IslandizationConfig::default();
-    let mut graph = HubIslandConfig::new(300, 12).noise_fraction(0.0).generate(9).graph;
-    let (mut partition, _) = IslandLocator::new(&graph, &cfg).run().unwrap();
+    let mut engine = IGcnEngine::builder(
+        HubIslandConfig::new(2_000, 80).noise_fraction(0.005).generate(6).graph,
+    )
+    .island_config(cfg)
+    .build()
+    .unwrap();
+    let full_words = engine.locator_stats().adjacency_words_read;
+    let added = random_new_edges(engine.graph(), 6, 78);
+    let report = engine.apply_update(GraphUpdate::add_edges(added)).unwrap();
+    assert!(
+        report.locator_stats.adjacency_words_read < full_words,
+        "apply_update must stream less adjacency than the build-time pass ({} vs {})",
+        report.locator_stats.adjacency_words_read,
+        full_words
+    );
+    assert!(report.reclassified_nodes < engine.graph().num_nodes() / 4);
+}
+
+#[test]
+fn growing_network_with_new_nodes() {
+    let mut engine =
+        IGcnEngine::builder(HubIslandConfig::new(300, 12).noise_fraction(0.0).generate(9).graph)
+            .build()
+            .unwrap();
     for step in 0..4u64 {
         // Three new nodes arrive, wired to an existing hub and each other.
-        let n = graph.num_nodes() as u32;
-        let hub = partition.hubs()[step as usize % partition.num_hubs()];
-        let added = vec![(n, hub), (n + 1, n), (n + 2, n), (n + 1, n + 2)];
-        let updated = apply_edges(&graph, n as usize + 3, &added);
-        let result = incremental_islandize(&updated, &partition, &added, &cfg).unwrap();
-        result.partition.check_invariants(&updated).unwrap();
-        assert_eq!(result.partition.num_nodes(), n as usize + 3);
-        graph = updated;
-        partition = result.partition;
+        let n = engine.graph().num_nodes() as u32;
+        let hub = engine.partition().hubs()[step as usize % engine.partition().num_hubs()];
+        let update = GraphUpdate::add_edges(vec![(n, hub), (n + 1, n), (n + 2, n), (n + 1, n + 2)])
+            .with_num_nodes(n as usize + 3);
+        let report = engine.apply_update(update).unwrap();
+        engine.partition().check_invariants(engine.graph()).unwrap();
+        assert_eq!(report.num_nodes, n as usize + 3);
+        assert_eq!(engine.partition().num_nodes(), n as usize + 3);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn incremental_equals_invariants_of_full_rerun(
-        n in 50usize..300,
-        hubs in 2usize..12,
-        batch in 1usize..12,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn incremental_equals_invariants_of_full_rerun() {
+    // Deterministic sweep standing in for the original property test:
+    // varied sizes, hub counts, batch sizes and seeds.
+    let cases = [
+        (50usize, 2usize, 1usize, 13u64),
+        (80, 4, 3, 101),
+        (120, 6, 5, 227),
+        (160, 8, 7, 331),
+        (200, 10, 9, 401),
+        (240, 11, 11, 17),
+        (300, 12, 2, 499),
+        (90, 3, 12, 77),
+    ];
+    for (n, hubs, batch, seed) in cases {
         let cfg = IslandizationConfig::default();
-        let graph = HubIslandConfig::new(n, hubs.min(n - 1))
-            .noise_fraction(0.02)
-            .generate(seed)
-            .graph;
+        let graph =
+            HubIslandConfig::new(n, hubs.min(n - 1)).noise_fraction(0.02).generate(seed).graph;
         let (partition, _) = IslandLocator::new(&graph, &cfg).run().unwrap();
         let added = random_new_edges(&graph, batch, seed ^ 0xABCD);
-        let updated = apply_edges(&graph, graph.num_nodes(), &added);
+        let updated = apply_edges(&graph, graph.num_nodes(), &added).unwrap();
         let incr = incremental_islandize(&updated, &partition, &added, &cfg).unwrap();
         incr.partition.check_invariants(&updated).unwrap();
         // A full re-run also satisfies the invariants; both are valid
         // partitions of the same graph (they may differ in detail).
         let (full, _) = IslandLocator::new(&updated, &cfg).run().unwrap();
         full.check_invariants(&updated).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             incr.partition.num_hubs() + incr.partition.num_island_nodes(),
-            updated.num_nodes()
+            updated.num_nodes(),
+            "case (n={n}, hubs={hubs}, batch={batch}, seed={seed})"
         );
     }
 }

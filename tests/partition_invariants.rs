@@ -1,146 +1,139 @@
-//! Property-based tests of the islandization invariants.
+//! Deterministic sweep tests of the islandization invariants.
 //!
-//! For arbitrary graphs (random, power-law, planted-structure) and
-//! arbitrary locator configurations, the partition must classify every
-//! node exactly once, respect `c_max`, keep islands closed, and cover
-//! every edge exactly once — and the whole pipeline must stay lossless.
-
-use proptest::prelude::*;
+//! For a spread of graphs (random, power-law, planted-structure) and
+//! locator configurations, the partition must classify every node
+//! exactly once, respect `c_max`, keep islands closed, and cover every
+//! edge exactly once — and the whole pipeline must stay lossless.
 
 use igcn::core::{
     islandize, ConsumerConfig, IGcnEngine, IslandLocator, IslandizationConfig, ThresholdInit,
 };
 use igcn::gnn::{GnnModel, ModelWeights};
 use igcn::graph::generate::{barabasi_albert, erdos_renyi, HubIslandConfig};
-use igcn::graph::{CsrGraph, SparseFeatures};
+use igcn::graph::CsrGraph;
+use igcn::graph::SparseFeatures;
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    prop_oneof![
-        // Erdős–Rényi: no community structure (adversarial input).
-        (10usize..200, 1usize..6, 0u64..1000).prop_map(|(n, d, seed)| {
-            erdos_renyi(n, n * d / 2, seed)
-        }),
-        // Preferential attachment: power-law, no planted islands.
-        (10usize..150, 1usize..4, 0u64..1000).prop_map(|(n, m, seed)| {
-            barabasi_albert(n, m, seed)
-        }),
-        // Planted hub-island structure with varying noise.
-        (30usize..250, 2usize..12, 0u64..1000, 0u32..30).prop_map(|(n, h, seed, noise)| {
-            HubIslandConfig::new(n, h.min(n - 1))
-                .noise_fraction(noise as f64 / 100.0)
-                .generate(seed)
-                .graph
-        }),
-        // Sparse random edge soups (possibly disconnected, isolated nodes).
-        (1usize..60, 0usize..80, 0u64..1000).prop_map(|(n, m, seed)| {
-            erdos_renyi(n, m, seed)
-        }),
+/// A diverse, deterministic graph zoo: Erdős–Rényi soups (no community
+/// structure, possibly disconnected), preferential-attachment power
+/// laws, and planted hub-island structure at several noise levels.
+fn graph_zoo() -> Vec<CsrGraph> {
+    let mut graphs = Vec::new();
+    for seed in [1u64, 42, 777] {
+        graphs.push(erdos_renyi(60, 120, seed));
+        graphs.push(erdos_renyi(13, 20, seed + 1));
+        graphs.push(barabasi_albert(90, 3, seed + 2));
+        for noise in [0.0, 0.1, 0.25] {
+            graphs
+                .push(HubIslandConfig::new(150, 8).noise_fraction(noise).generate(seed + 3).graph);
+        }
+    }
+    // Degenerate corners: a single node, and an edgeless scatter.
+    graphs.push(erdos_renyi(1, 0, 9));
+    graphs.push(erdos_renyi(40, 0, 10));
+    graphs
+}
+
+fn config_zoo() -> Vec<IslandizationConfig> {
+    vec![
+        IslandizationConfig::default(),
+        IslandizationConfig::default().with_c_max(4).with_engines(2),
+        IslandizationConfig::default()
+            .with_c_max(16)
+            .with_engines(8)
+            .with_lanes(2)
+            .with_threshold_init(ThresholdInit::Absolute(3)),
+        IslandizationConfig::default()
+            .with_c_max(33)
+            .with_engines(1)
+            .with_threshold_init(ThresholdInit::Absolute(50)),
     ]
 }
 
-fn arb_config() -> impl Strategy<Value = IslandizationConfig> {
-    (2usize..40, 1usize..16, 1usize..8, 1u32..64).prop_map(|(c_max, engines, lanes, th)| {
-        IslandizationConfig::default()
-            .with_c_max(c_max)
-            .with_engines(engines)
-            .with_lanes(lanes)
-            .with_threshold_init(ThresholdInit::Absolute(th))
-    })
+#[test]
+fn partition_invariants_hold() {
+    for graph in graph_zoo() {
+        for cfg in config_zoo() {
+            let (partition, _) = IslandLocator::new(&graph, &cfg).run().expect("converges");
+            partition.check_invariants(&graph).expect("invariants");
+            assert_eq!(partition.num_hubs() + partition.num_island_nodes(), graph.num_nodes());
+            assert!((partition.outlier_fraction(&graph) - 0.0).abs() < 1e-12);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn partition_invariants_hold(graph in arb_graph(), cfg in arb_config()) {
-        let (partition, _) = IslandLocator::new(&graph, &cfg).run().expect("converges");
-        partition.check_invariants(&graph).expect("invariants");
-        prop_assert_eq!(
-            partition.num_hubs() + partition.num_island_nodes(),
-            graph.num_nodes()
-        );
-        prop_assert!((partition.outlier_fraction(&graph) - 0.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn islandization_is_deterministic(graph in arb_graph()) {
+#[test]
+fn islandization_is_deterministic() {
+    for graph in graph_zoo() {
         let cfg = IslandizationConfig::default();
         let a = islandize(&graph, &cfg);
         let b = islandize(&graph, &cfg);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn execution_lossless_on_arbitrary_graphs(
-        graph in arb_graph(),
-        k in 2usize..8,
-        seed in 0u64..100,
-    ) {
-        let engine = IGcnEngine::new(
-            &graph,
-            IslandizationConfig::default(),
-            ConsumerConfig::default().with_k(k),
-        ).expect("generated graphs are loop-free");
-        let n = graph.num_nodes();
-        let x = SparseFeatures::random(n, 6, 0.5, seed);
+#[test]
+fn execution_lossless_on_arbitrary_graphs() {
+    for (i, graph) in graph_zoo().into_iter().enumerate() {
+        let k = 2 + (i % 6); // sweep the pre-aggregation window 2..=7
+        let engine = IGcnEngine::builder(graph)
+            .consumer_config(ConsumerConfig::default().with_k(k))
+            .build()
+            .expect("generated graphs are loop-free");
+        let n = engine.graph_arc().num_nodes();
+        let x = SparseFeatures::random(n, 6, 0.5, i as u64);
         let model = GnnModel::gcn(6, 4, 3);
-        let w = ModelWeights::glorot(&model, seed);
-        let diff = engine.verify(&x, &model, &w);
-        prop_assert!(diff < 1e-3, "diverged by {} with k={}", diff, k);
+        let w = ModelWeights::glorot(&model, i as u64);
+        let diff = engine.verify(&x, &model, &w).unwrap();
+        assert!(diff < 1e-3, "diverged by {diff} with k={k}");
     }
+}
 
-    #[test]
-    fn account_equals_run_for_any_config(
-        graph in arb_graph(),
-        k in 2usize..6,
-        pes in 1usize..8,
-    ) {
-        let engine = IGcnEngine::new(
-            &graph,
-            IslandizationConfig::default(),
-            ConsumerConfig::default().with_k(k).with_pes(pes),
-        ).expect("loop-free");
-        let n = graph.num_nodes();
+#[test]
+fn account_equals_run_for_any_config() {
+    for (i, graph) in graph_zoo().into_iter().enumerate() {
+        let k = 2 + (i % 4);
+        let pes = 1 + (i % 7);
+        let engine = IGcnEngine::builder(graph)
+            .consumer_config(ConsumerConfig::default().with_k(k).with_pes(pes))
+            .build()
+            .expect("loop-free");
+        let n = engine.graph_arc().num_nodes();
         let x = SparseFeatures::random(n, 5, 0.4, 77);
         let model = GnnModel::gcn(5, 3, 2);
         let w = ModelWeights::glorot(&model, 5);
-        let (_, run_stats) = engine.run(&x, &model, &w);
-        let account_stats = engine.account(&x, &model);
-        prop_assert_eq!(run_stats, account_stats);
+        let (_, run_stats) = engine.run(&x, &model, &w).unwrap();
+        let account_stats = engine.account(&x, &model).unwrap();
+        assert_eq!(run_stats, account_stats);
     }
+}
 
-    #[test]
-    fn window_ops_never_exceed_unpruned_and_ablation_is_neutral(graph in arb_graph()) {
-        let engine = IGcnEngine::new(
-            &graph,
-            IslandizationConfig::default(),
-            ConsumerConfig::default(),
-        ).expect("loop-free");
+#[test]
+fn window_ops_never_exceed_unpruned_and_ablation_is_neutral() {
+    for graph in graph_zoo() {
+        let engine = IGcnEngine::builder(graph.clone()).build().expect("loop-free");
         let n = graph.num_nodes();
         let x = SparseFeatures::random(n, 4, 0.5, 3);
         let model = GnnModel::gcn(4, 3, 2);
-        let stats = engine.account(&x, &model);
+        let stats = engine.account(&x, &model).unwrap();
         for layer in &stats.layers {
             // Window decisions alone never beat the unpruned count; only
             // eager pre-aggregation amortisation can push the *total* over
             // on structureless graphs (the documented negative-pruning
             // corner the paper's dense islands avoid).
-            prop_assert!(
-                layer.aggregation.executed_vector_adds
-                    + layer.aggregation.executed_vector_subs
+            assert!(
+                layer.aggregation.executed_vector_adds + layer.aggregation.executed_vector_subs
                     <= layer.aggregation.unpruned_vector_ops
             );
         }
         // With redundancy removal off, execution is exactly the unpruned
         // schedule.
-        let ablation = IGcnEngine::new(
-            &graph,
-            IslandizationConfig::default(),
-            ConsumerConfig::default().with_redundancy_removal(false),
-        ).expect("loop-free");
-        let ab_stats = ablation.account(&x, &model);
+        let ablation = IGcnEngine::builder(graph)
+            .consumer_config(ConsumerConfig::default().with_redundancy_removal(false))
+            .build()
+            .expect("loop-free");
+        let ab_stats = ablation.account(&x, &model).unwrap();
         for layer in &ab_stats.layers {
-            prop_assert_eq!(
+            assert_eq!(
                 layer.aggregation.executed_vector_ops(),
                 layer.aggregation.unpruned_vector_ops
             );

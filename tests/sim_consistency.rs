@@ -98,10 +98,8 @@ fn weak_communities_shrink_the_win() {
     let model = GnnModel::gcn(32, 16, 4);
     let mut ratios = Vec::new();
     for noise in [0.0, 0.35] {
-        let g = HubIslandConfig::new(4_000, 160)
-            .noise_fraction(noise)
-            .island_density(0.5)
-            .generate(5);
+        let g =
+            HubIslandConfig::new(4_000, 160).noise_fraction(noise).island_density(0.5).generate(5);
         let x = SparseFeatures::random(4_000, 32, 0.1, 6);
         let ours = IGcnAccelerator::new(hw).simulate(&g.graph, &x, &model);
         let awb = AwbGcn::new(hw).simulate(&g.graph, &x, &model);
