@@ -132,6 +132,8 @@ impl GcnAccelerator for AwbGcn {
             total_ops,
             energy_j,
             graphs_per_kilojoule: self.energy.graphs_per_kilojoule(energy_j),
+            // AWB-GCN already models PE-array utilisation explicitly.
+            worker_utilisation: self.utilization(total_ops),
         }
     }
 }

@@ -135,6 +135,7 @@ impl GcnAccelerator for HyGcn {
             total_ops,
             energy_j,
             graphs_per_kilojoule: self.energy.graphs_per_kilojoule(energy_j),
+            worker_utilisation: 1.0,
         }
     }
 }

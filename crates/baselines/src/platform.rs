@@ -172,6 +172,7 @@ impl GcnAccelerator for Platform {
             total_ops,
             energy_j,
             graphs_per_kilojoule: energy_model.graphs_per_kilojoule(energy_j),
+            worker_utilisation: 1.0,
         }
     }
 }

@@ -105,6 +105,7 @@ impl GcnAccelerator for Sigma {
             total_ops,
             energy_j,
             graphs_per_kilojoule: self.energy.graphs_per_kilojoule(energy_j),
+            worker_utilisation: 1.0,
         }
     }
 }

@@ -1,28 +1,42 @@
-//! Batched-serving throughput of the owned I-GCN engine.
+//! Batched + parallel serving throughput of the owned I-GCN engine.
 //!
 //! The ROADMAP north-star is a serving system, and this harness
-//! measures the serving path end to end: build one [`IGcnEngine`] over
-//! a dataset stand-in, `prepare` a model once, then push batches of
-//! [`InferenceRequest`]s through [`Accelerator::infer_batch`] —
-//! which amortises the consumer schedule and Ã normalisation across
-//! the batch — against one [`Accelerator::infer`] call per request.
-//! A final phase applies evolving-graph updates through
-//! `IGcnEngine::apply_update` and keeps serving on the updated graph.
+//! measures the serving path end to end in three phases:
+//!
+//! 1. **Batching** — push batches of [`InferenceRequest`]s through
+//!    [`Accelerator::infer_batch`] (which amortises the consumer
+//!    schedule and Ã normalisation across the batch) against one
+//!    [`Accelerator::infer`] call per request, then keep serving across
+//!    evolving-graph updates via `IGcnEngine::apply_update`.
+//! 2. **Thread scaling** — on a generated power-law graph (50k nodes in
+//!    the full run), sweep `ExecConfig::num_threads` × batch size and
+//!    measure `infer_batch` throughput with the vendored
+//!    [`BenchHarness`] (warmup + timed iterations, median/p95), checking
+//!    outputs stay bit-identical across thread counts. Results land in
+//!    `results/serving_scaling.json`.
+//! 3. **Serving front-end** — the same workload through
+//!    `igcn_serve::ServingEngine` (bounded queue + worker pool +
+//!    micro-batching), sweeping the worker count.
 //!
 //! Run: `cargo run --release -p igcn-bench --bin serving_batch -- --quick`
 
+use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use igcn_bench::table::fmt_sig;
-use igcn_bench::{write_result, HarnessArgs, Table};
+use igcn_bench::{write_result, BenchHarness, HarnessArgs, Table};
 use igcn_core::accel::{Accelerator, GraphUpdate, InferenceRequest};
-use igcn_core::IGcnEngine;
+use igcn_core::{ExecConfig, IGcnEngine};
 use igcn_gnn::{GnnKind, GnnModel, ModelConfig, ModelWeights};
 use igcn_graph::datasets::Dataset;
+use igcn_graph::generate::barabasi_albert;
 use igcn_graph::SparseFeatures;
+use igcn_serve::{ServingConfig, ServingEngine};
 
 fn main() {
     let args = HarnessArgs::parse();
+    scaling_sweep(&args);
     let scale = if args.quick { 0.1 } else { 0.5 };
     let data = Dataset::Cora.generate_scaled(scale, args.seed);
     let n = data.graph.num_nodes();
@@ -120,5 +134,214 @@ fn main() {
     println!("{}", update_table.to_markdown());
 
     let path = write_result("serving_batch.csv", table.to_csv().as_bytes());
+    eprintln!("wrote {}", path.display());
+}
+
+/// One measured cell of the thread/batch sweep.
+struct SweepRow {
+    mode: &'static str,
+    threads: usize,
+    batch: usize,
+    median_s: f64,
+    p95_s: f64,
+    req_per_s: f64,
+    speedup_vs_1_thread: f64,
+}
+
+/// Phase 2+3: parallel `infer_batch` scaling and the `ServingEngine`
+/// front-end on a power-law graph, recorded in
+/// `results/serving_scaling.json`.
+fn scaling_sweep(args: &HarnessArgs) {
+    let n = if args.quick { 4_000 } else { 50_000 };
+    let edges_per_node = 8;
+    let feature_dim = 32;
+    let density = 0.05;
+    let graph = Arc::new(barabasi_albert(n, edges_per_node, args.seed));
+    let model = GnnModel::gcn(feature_dim, 16, 8);
+    let weights = ModelWeights::glorot(&model, args.seed);
+    let host_cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let thread_sweep: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4] };
+    let batch_sweep: &[usize] = if args.quick { &[8] } else { &[8, 32] };
+    let harness = if args.quick { BenchHarness::quick() } else { BenchHarness::new(1, 3) };
+
+    eprintln!("[scaling] power-law graph: {n} nodes, m={edges_per_node}, host_cpus={host_cpus}");
+    let max_batch = *batch_sweep.iter().max().expect("non-empty sweep");
+    let requests: Vec<InferenceRequest> = (0..max_batch)
+        .map(|i| {
+            InferenceRequest::new(SparseFeatures::random(
+                n,
+                feature_dim,
+                density,
+                args.seed + 1000 + i as u64,
+            ))
+            .with_id(i as u64)
+        })
+        .collect();
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut table = Table::new(vec![
+        "mode",
+        "threads",
+        "batch",
+        "median (ms)",
+        "p95 (ms)",
+        "req/s",
+        "speedup vs 1T",
+    ]);
+    // One reference per batch size, so every output of every sweep cell
+    // is checked, not just a shared prefix.
+    let mut reference_outputs: std::collections::HashMap<usize, Vec<igcn_linalg::DenseMatrix>> =
+        std::collections::HashMap::new();
+
+    // Islandize once — the thread count is a runtime knob that never
+    // touches the partition, so every sweep point reuses the structure.
+    eprintln!("[scaling] islandizing {n} nodes...");
+    let mut base_engine =
+        IGcnEngine::builder(Arc::clone(&graph)).build().expect("BA graphs are loop-free");
+    base_engine.prepare(&model, &weights).expect("weights match the model");
+
+    for &threads in thread_sweep {
+        eprintln!("[scaling] measuring with {threads} thread(s)...");
+        let mut engine = base_engine.clone();
+        engine.set_exec_config(ExecConfig::default().with_threads(threads));
+
+        for &batch in batch_sweep {
+            let slice = &requests[..batch];
+            let stats = harness.run(|| engine.infer_batch(slice).expect("prepared engine"));
+            // Determinism across thread counts: the acceptance contract.
+            let outputs: Vec<_> = engine
+                .infer_batch(slice)
+                .expect("prepared engine")
+                .into_iter()
+                .map(|r| r.output)
+                .collect();
+            match reference_outputs.get(&batch) {
+                None => {
+                    reference_outputs.insert(batch, outputs);
+                }
+                Some(reference) => {
+                    assert_eq!(reference.len(), outputs.len());
+                    for (a, b) in reference.iter().zip(&outputs) {
+                        assert_eq!(a, b, "outputs diverged at {threads} threads");
+                    }
+                }
+            }
+            let baseline = rows
+                .iter()
+                .find(|r| r.mode == "infer_batch" && r.threads == 1 && r.batch == batch)
+                .map(|r| r.median_s);
+            let speedup = baseline.map_or(1.0, |b| b / stats.median_s());
+            let row = SweepRow {
+                mode: "infer_batch",
+                threads,
+                batch,
+                median_s: stats.median_s(),
+                p95_s: stats.p95_s(),
+                req_per_s: stats.throughput(batch),
+                speedup_vs_1_thread: speedup,
+            };
+            table.row(vec![
+                row.mode.to_string(),
+                threads.to_string(),
+                batch.to_string(),
+                fmt_sig(row.median_s * 1e3),
+                fmt_sig(row.p95_s * 1e3),
+                fmt_sig(row.req_per_s),
+                fmt_sig(row.speedup_vs_1_thread),
+            ]);
+            rows.push(row);
+        }
+
+        // Phase 3: the ServingEngine front-end over this backend, same
+        // workload through the bounded queue + micro-batching workers.
+        let serving = ServingEngine::start(
+            Arc::new(engine),
+            ServingConfig::default()
+                .with_workers(threads)
+                .with_queue_capacity(2 * max_batch)
+                .with_max_batch(8),
+        );
+        let batch = max_batch;
+        let stats = harness.run(|| {
+            let tickets =
+                serving.submit_batch(requests.clone()).expect("engine accepts while running");
+            for ticket in tickets {
+                ticket.wait().expect("backend answers");
+            }
+        });
+        let baseline = rows
+            .iter()
+            .find(|r| r.mode == "serving_engine" && r.threads == 1 && r.batch == batch)
+            .map(|r| r.median_s);
+        let row = SweepRow {
+            mode: "serving_engine",
+            threads,
+            batch,
+            median_s: stats.median_s(),
+            p95_s: stats.p95_s(),
+            req_per_s: stats.throughput(batch),
+            speedup_vs_1_thread: baseline.map_or(1.0, |b| b / stats.median_s()),
+        };
+        table.row(vec![
+            row.mode.to_string(),
+            threads.to_string(),
+            batch.to_string(),
+            fmt_sig(row.median_s * 1e3),
+            fmt_sig(row.p95_s * 1e3),
+            fmt_sig(row.req_per_s),
+            fmt_sig(row.speedup_vs_1_thread),
+        ]);
+        rows.push(row);
+        serving.shutdown();
+    }
+
+    println!("\n# Parallel serving scaling (power-law, {n} nodes, {host_cpus} host CPU(s))\n");
+    println!("{}", table.to_markdown());
+    if host_cpus == 1 {
+        eprintln!(
+            "[scaling] note: only one host CPU is available — thread scaling is \
+             measured but cannot exceed 1x on this machine"
+        );
+    }
+
+    // Hand-rolled JSON (the serde stand-in only keeps derives compiling).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\"kind\": \"barabasi_albert\", \"nodes\": {n}, \
+         \"edges_per_node\": {edges_per_node}, \"seed\": {}}},",
+        args.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"model\": {{\"kind\": \"gcn\", \"in_dim\": {feature_dim}, \"hidden\": 16, \
+         \"classes\": 8}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"harness\": {{\"warmup\": {}, \"iters\": {}}},",
+        harness.warmup, harness.iters
+    );
+    json.push_str("  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"batch\": {}, \
+             \"median_s\": {:.6}, \"p95_s\": {:.6}, \"req_per_s\": {:.3}, \
+             \"speedup_vs_1_thread\": {:.3}}}",
+            row.mode,
+            row.threads,
+            row.batch,
+            row.median_s,
+            row.p95_s,
+            row.req_per_s,
+            row.speedup_vs_1_thread
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = write_result("serving_scaling.json", json.as_bytes());
     eprintln!("wrote {}", path.display());
 }

@@ -1,0 +1,151 @@
+//! Minimal vendored micro-bench harness.
+//!
+//! The criterion benches under `benches/` are gated out of hermetic
+//! builds (`autobenches = false`, registry unreachable), so the
+//! throughput binaries use this stand-in instead: a fixed warmup, N
+//! timed iterations, and robust summary statistics (median / p95). It
+//! is deliberately tiny — wall-clock sampling with `Instant`, no
+//! outlier modelling — but it makes `cargo run --release`-style bins
+//! reproducible enough for scaling comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use igcn_bench::harness::BenchHarness;
+//!
+//! let stats = BenchHarness::new(1, 5).run(|| {
+//!     (0..10_000u64).sum::<u64>()
+//! });
+//! assert_eq!(stats.samples_s.len(), 5);
+//! assert!(stats.median_s() > 0.0);
+//! assert!(stats.p95_s() >= stats.median_s());
+//! ```
+
+use std::time::Instant;
+
+/// Warmup + N timed iterations of a closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchHarness {
+    /// Untimed warmup iterations (cache/allocator settling).
+    pub warmup: usize,
+    /// Timed iterations.
+    pub iters: usize,
+}
+
+impl BenchHarness {
+    /// Creates a harness with `warmup` untimed and `iters` timed
+    /// iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters == 0`.
+    pub fn new(warmup: usize, iters: usize) -> Self {
+        assert!(iters > 0, "at least one timed iteration is required");
+        BenchHarness { warmup, iters }
+    }
+
+    /// A smoke-run configuration: 1 warmup, 3 timed iterations.
+    pub fn quick() -> Self {
+        BenchHarness::new(1, 3)
+    }
+
+    /// Runs `f` warmup+iters times and returns the timed samples. The
+    /// closure's result is returned through a black-box sink so the
+    /// optimiser cannot elide the work.
+    pub fn run<R, F: FnMut() -> R>(&self, mut f: F) -> BenchStats {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut samples_s = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples_s.push(t0.elapsed().as_secs_f64());
+        }
+        BenchStats { samples_s }
+    }
+}
+
+/// Timed samples of one benchmark, with robust summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Per-iteration wall-clock seconds, in execution order.
+    pub samples_s: Vec<f64>,
+}
+
+impl BenchStats {
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.samples_s.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        s
+    }
+
+    /// Median sample (lower-middle for even counts).
+    pub fn median_s(&self) -> f64 {
+        let s = self.sorted();
+        s[(s.len() - 1) / 2]
+    }
+
+    /// 95th-percentile sample (nearest-rank).
+    pub fn p95_s(&self) -> f64 {
+        let s = self.sorted();
+        let rank = ((0.95 * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+
+    /// Arithmetic mean.
+    pub fn mean_s(&self) -> f64 {
+        self.samples_s.iter().sum::<f64>() / self.samples_s.len() as f64
+    }
+
+    /// Fastest sample.
+    pub fn min_s(&self) -> f64 {
+        self.sorted()[0]
+    }
+
+    /// Items/second at the median, for an iteration that processes
+    /// `items` items.
+    pub fn throughput(&self, items: usize) -> f64 {
+        items as f64 / self.median_s().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_exactly_iters_samples() {
+        let stats = BenchHarness::new(0, 7).run(|| 1 + 1);
+        assert_eq!(stats.samples_s.len(), 7);
+        assert!(stats.samples_s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn summaries_are_ordered() {
+        let stats = BenchStats { samples_s: vec![3.0, 1.0, 2.0, 10.0, 4.0] };
+        assert_eq!(stats.min_s(), 1.0);
+        assert_eq!(stats.median_s(), 3.0);
+        assert_eq!(stats.p95_s(), 10.0);
+        assert!((stats.mean_s() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p95_of_single_sample_is_that_sample() {
+        let stats = BenchStats { samples_s: vec![2.5] };
+        assert_eq!(stats.p95_s(), 2.5);
+        assert_eq!(stats.median_s(), 2.5);
+    }
+
+    #[test]
+    fn throughput_uses_median() {
+        let stats = BenchStats { samples_s: vec![0.5, 1.0, 2.0] };
+        assert!((stats.throughput(10) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timed iteration")]
+    fn zero_iters_panics() {
+        let _ = BenchHarness::new(1, 0);
+    }
+}

@@ -7,10 +7,12 @@
 //! CSV/PPM result output under `results/`.
 
 pub mod args;
+pub mod harness;
 pub mod suite;
 pub mod table;
 
 pub use args::HarnessArgs;
+pub use harness::{BenchHarness, BenchStats};
 pub use suite::{standard_suite, DatasetRun};
 pub use table::Table;
 

@@ -1,0 +1,292 @@
+//! Offline stand-in for a scoped thread pool.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so it vendors the small parallel-execution subset it needs
+//! instead of depending on `rayon`: a [`ThreadPool`] that fans closures
+//! across N workers with [`ThreadPool::scope`] (spawn-N workers feeding
+//! from a channel work queue, joined at scope exit) and the
+//! deterministic-order data-parallel helpers [`ThreadPool::par_chunks`]
+//! and [`ThreadPool::par_map`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism at the call site.** `par_chunks`/`par_map` return
+//!    results in input order no matter which worker computed what, so
+//!    callers that merge results sequentially behave identically at any
+//!    thread count.
+//! 2. **No `unsafe`.** Scoped borrows come from [`std::thread::scope`];
+//!    the work queue is an [`std::sync::mpsc`] channel behind a mutex.
+//!    Worker panics propagate to the caller at scope exit, exactly like
+//!    a panic in a sequential loop.
+//! 3. **No global state.** A pool is just a configured width; workers
+//!    are spawned per `scope`/`par_chunks` call and joined before the
+//!    call returns, so a pool can live inside any engine object without
+//!    holding OS resources between calls.
+//!
+//! With `threads == 1` every entry point degenerates to a plain inline
+//! loop on the calling thread — no threads are spawned at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+/// A fixed-width scoped thread pool.
+///
+/// # Example
+///
+/// ```
+/// use threadpool::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.par_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs work on up to `threads` OS threads
+    /// (including the calling thread, which always participates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a thread pool needs at least one thread");
+        ThreadPool { threads }
+    }
+
+    /// The configured width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`PoolScope`] that can spawn borrowed tasks onto
+    /// the pool; every spawned task completes before `scope` returns
+    /// (scoped join). Tasks are distributed over `threads - 1` worker
+    /// threads through a channel work queue; with `threads == 1` tasks
+    /// run inline at spawn time.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any spawned task at scope exit.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'env>) -> R,
+    {
+        if self.threads == 1 {
+            return f(&PoolScope { queue: None });
+        }
+        thread::scope(|s| {
+            let (tx, rx) = mpsc::channel::<Task<'env>>();
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..self.threads - 1 {
+                let rx = Arc::clone(&rx);
+                s.spawn(move || loop {
+                    // Hold the lock only while popping, not while running.
+                    let task = match rx.lock().expect("queue lock").recv() {
+                        Ok(task) => task,
+                        Err(_) => break, // senders dropped: scope is over
+                    };
+                    task();
+                });
+            }
+            let scope = PoolScope { queue: Some(tx) };
+            // `scope` (and its sender) drops at the end of this closure
+            // even when `f` unwinds, so the workers always drain and exit
+            // before the implicit join of `thread::scope`.
+            f(&scope)
+        })
+    }
+
+    /// Splits `items` into chunks of `chunk_size` and maps `f` over the
+    /// chunks in parallel, returning one result per chunk **in input
+    /// order**. `f` receives the chunk index and the chunk itself.
+    ///
+    /// Chunks are claimed dynamically (atomic counter), so imbalanced
+    /// chunk costs still fill all workers; the calling thread works too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`; re-raises task panics.
+    pub fn par_chunks<'data, T, R, F>(&self, items: &'data [T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &'data [T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.run_indexed(chunks.len(), |i| f(i, chunks[i]))
+    }
+
+    /// Maps `f` over `items` in parallel, one task per item, returning
+    /// results **in input order**. `f` receives the item index and the
+    /// item.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises task panics.
+    pub fn par_map<'data, T, R, F>(&self, items: &'data [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &'data T) -> R + Sync,
+    {
+        self.run_indexed(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// The shared dynamic-claim executor: runs `f(0..n)` across the pool
+    /// and collects the results in index order.
+    fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let r = f(i);
+            *slots[i].lock().expect("result slot lock") = Some(r);
+        };
+        thread::scope(|s| {
+            for _ in 0..(self.threads - 1).min(n.saturating_sub(1)) {
+                s.spawn(work);
+            }
+            work();
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("result slot lock").expect("every index was claimed")
+            })
+            .collect()
+    }
+}
+
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Handle for spawning borrowed tasks inside [`ThreadPool::scope`];
+/// `'env` is the lifetime of the environment tasks may borrow from.
+#[derive(Debug)]
+pub struct PoolScope<'env> {
+    /// `None` on single-threaded pools: spawn runs the task inline.
+    queue: Option<mpsc::Sender<Task<'env>>>,
+}
+
+impl<'env> PoolScope<'env> {
+    /// Enqueues `task` on the pool's work queue; it completes before the
+    /// enclosing [`ThreadPool::scope`] returns.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        match &self.queue {
+            Some(tx) => tx.send(Box::new(task)).expect("workers outlive the scope body"),
+            None => task(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let input: Vec<u64> = (0..97).collect();
+            let out = pool.par_map(&input, |i, &x| (i as u64) * 1000 + x);
+            let expect: Vec<u64> = (0..97).map(|x| x * 1000 + x).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_once() {
+        let pool = ThreadPool::new(4);
+        let input: Vec<u64> = (0..1000).collect();
+        let sums = pool.par_chunks(&input, 7, |_, chunk| chunk.iter().sum::<u64>());
+        assert_eq!(sums.len(), 1000usize.div_ceil(7));
+        assert_eq!(sums.iter().sum::<u64>(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_environment() {
+        let pool = ThreadPool::new(3);
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let main_id = thread::current().id();
+        pool.scope(|s| {
+            s.spawn(move || assert_eq!(thread::current().id(), main_id));
+        });
+        let out = pool.par_map(&[1, 2, 3], |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<u64> = pool.par_map(&[] as &[u64], |_, &x| x);
+        assert!(out.is_empty());
+        let chunks: Vec<u64> = pool.par_chunks(&[] as &[u64], 3, |_, c| c.len() as u64);
+        assert!(chunks.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(|| {
+            pool.par_map(&[0u32, 1, 2, 3], |_, &x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(result.is_err(), "task panic must reach the caller");
+    }
+}

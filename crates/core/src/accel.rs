@@ -95,6 +95,13 @@ pub struct ExecReport {
     /// Fraction of aggregation work pruned by redundancy removal
     /// (I-GCN backends only; 0 elsewhere).
     pub aggregation_pruning_rate: f64,
+    /// Modelled busy work-unit cycles per parallel worker (empty when
+    /// the backend has no parallel occupancy model — equivalent to one
+    /// fully utilised worker).
+    pub worker_busy_cycles: Vec<u64>,
+    /// Parallel worker utilisation in `[0, 1]` (1.0 when there is no
+    /// occupancy model or a single worker).
+    pub utilisation: f64,
 }
 
 impl ExecReport {
@@ -110,7 +117,15 @@ impl ExecReport {
             latency_s: 0.0,
             energy_j: 0.0,
             aggregation_pruning_rate: stats.aggregation_pruning_rate(),
+            worker_busy_cycles: stats.occupancy.worker_busy_cycles.clone(),
+            utilisation: stats.occupancy.utilisation(),
         }
+    }
+
+    /// Number of parallel workers the report models (1 without an
+    /// occupancy model).
+    pub fn num_workers(&self) -> usize {
+        self.worker_busy_cycles.len().max(1)
     }
 
     /// Latency in microseconds (the unit the paper's tables report).
@@ -136,11 +151,17 @@ impl ExecReport {
 }
 
 /// A batch of structural changes to an evolving graph: undirected edges
-/// to add, with optional node growth.
+/// to add and/or remove, with optional node growth.
+///
+/// Removals are applied before additions, so an edge listed in both
+/// vectors ends up present.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GraphUpdate {
     /// Undirected edges to add, as `(a, b)` node pairs.
     pub added_edges: Vec<(u32, u32)>,
+    /// Undirected edges to remove; every pair must currently be present
+    /// (in either orientation).
+    pub removed_edges: Vec<(u32, u32)>,
     /// New total node count, when the update also appends nodes. `None`
     /// keeps the current count (endpoints must then be in range).
     pub new_num_nodes: Option<usize>,
@@ -149,7 +170,25 @@ pub struct GraphUpdate {
 impl GraphUpdate {
     /// An update that adds `edges` between existing nodes.
     pub fn add_edges(edges: Vec<(u32, u32)>) -> Self {
-        GraphUpdate { added_edges: edges, new_num_nodes: None }
+        GraphUpdate { added_edges: edges, ..Default::default() }
+    }
+
+    /// An update that removes currently present `edges`.
+    pub fn remove_edges(edges: Vec<(u32, u32)>) -> Self {
+        GraphUpdate { removed_edges: edges, ..Default::default() }
+    }
+
+    /// Adds `edges` to whatever the update already carries.
+    pub fn and_add_edges(mut self, edges: Vec<(u32, u32)>) -> Self {
+        self.added_edges.extend(edges);
+        self
+    }
+
+    /// Removes `edges` in addition to whatever the update already
+    /// carries.
+    pub fn and_remove_edges(mut self, edges: Vec<(u32, u32)>) -> Self {
+        self.removed_edges.extend(edges);
+        self
     }
 
     /// Grows the graph to `n` nodes (appended at the end).
@@ -163,10 +202,15 @@ impl GraphUpdate {
 /// `IGcnEngine::apply_update`.
 #[derive(Debug, Clone)]
 pub struct UpdateReport {
-    /// Islands dissolved because an added edge touched them.
+    /// Islands dissolved because an added or removed edge touched them
+    /// (directly, or through a demoted hub they contact).
     pub dissolved_islands: usize,
-    /// Nodes reclassified (dissolved members plus appended nodes).
+    /// Nodes reclassified (dissolved members plus demoted hubs plus
+    /// appended nodes).
     pub reclassified_nodes: usize,
+    /// Hubs demoted because edge removals dropped their degree below
+    /// the hub floor.
+    pub demoted_hubs: usize,
     /// Node count after the update.
     pub num_nodes: usize,
     /// Locator statistics of the incremental rounds only — the runtime
@@ -367,6 +411,9 @@ impl Accelerator for CpuReference {
             latency_s: 0.0,
             energy_j: 0.0,
             aggregation_pruning_rate: 0.0,
+            // The single-threaded software pass has no occupancy model.
+            worker_busy_cycles: Vec::new(),
+            utilisation: 1.0,
         })
     }
 }

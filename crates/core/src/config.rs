@@ -141,6 +141,18 @@ impl IslandizationConfig {
         self.decay = decay;
         self
     }
+
+    /// The minimum loop-free degree a node must keep to remain a hub
+    /// when edges are *removed* (`apply_update` demotes hubs that fall
+    /// below it). This is the lowest threshold the configured
+    /// [`ThresholdInit`] can resolve to: the floor of `Absolute`, and 2
+    /// for `MaxDegreeFraction` (which never resolves lower).
+    pub fn hub_floor(&self) -> u32 {
+        match self.threshold_init {
+            ThresholdInit::Absolute(t) => t.max(1),
+            ThresholdInit::MaxDegreeFraction(_) => 2,
+        }
+    }
 }
 
 /// How pre-aggregation groups are materialised in the Island Consumer.
@@ -217,9 +229,89 @@ impl ConsumerConfig {
     }
 }
 
+/// Configuration of software parallel execution (thread-level fan-out
+/// of the island schedule and of request batches).
+///
+/// With `num_threads == 1` (the default) every path runs the original
+/// sequential code and is bit-for-bit identical to the pre-parallel
+/// engine. With more threads, outputs are still bit-identical at any
+/// thread count: island results merge in schedule order and per-request
+/// work is independent, so no floating-point reassociation depends on
+/// thread timing.
+///
+/// # Example
+///
+/// ```
+/// use igcn_core::ExecConfig;
+///
+/// let cfg = ExecConfig::default().with_threads(4).with_parallel_batch(false);
+/// assert_eq!(cfg.num_threads, 4);
+/// assert!(cfg.parallel_islands);
+/// assert!(!cfg.parallel_batch);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Worker threads available to the engine (including the calling
+    /// thread). 1 = fully sequential.
+    pub num_threads: usize,
+    /// Fan per-island aggregation work across the pool inside a single
+    /// inference.
+    pub parallel_islands: bool,
+    /// Fan `infer_batch` requests across the pool (each request then
+    /// executes its layers sequentially to avoid nested pools).
+    pub parallel_batch: bool,
+}
+
+impl Default for ExecConfig {
+    /// Sequential execution: one thread, both fan-out dimensions armed
+    /// for when the thread count is raised.
+    fn default() -> Self {
+        ExecConfig { num_threads: 1, parallel_islands: true, parallel_batch: true }
+    }
+}
+
+impl ExecConfig {
+    /// Sets the worker thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        assert!(num_threads > 0, "at least one thread is required");
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Enables or disables intra-request island fan-out.
+    pub fn with_parallel_islands(mut self, on: bool) -> Self {
+        self.parallel_islands = on;
+        self
+    }
+
+    /// Enables or disables cross-request batch fan-out.
+    pub fn with_parallel_batch(mut self, on: bool) -> Self {
+        self.parallel_batch = on;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_config_defaults_are_sequential() {
+        let cfg = ExecConfig::default();
+        assert_eq!(cfg.num_threads, 1);
+        assert!(cfg.parallel_islands);
+        assert!(cfg.parallel_batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = ExecConfig::default().with_threads(0);
+    }
 
     #[test]
     fn threshold_init_resolution() {

@@ -16,12 +16,16 @@ pub mod pe;
 pub mod ring;
 pub mod window;
 
+use std::collections::HashMap;
+
 use igcn_gnn::Activation;
 use igcn_graph::{CsrGraph, SparseFeatures};
 use igcn_linalg::{DenseMatrix, GcnNormalization};
+use threadpool::ThreadPool;
 
 use crate::config::ConsumerConfig;
 use crate::partition::IslandPartition;
+use crate::schedule::IslandSchedule;
 use crate::stats::LayerExecStats;
 
 /// The input features of one layer: the raw sparse feature matrix for
@@ -81,22 +85,30 @@ pub struct IslandConsumer<'a> {
     graph: &'a CsrGraph,
     partition: &'a IslandPartition,
     cfg: ConsumerConfig,
+    schedule: IslandSchedule,
 }
 
 impl<'a> IslandConsumer<'a> {
-    /// Creates a consumer over `graph` and its `partition`.
+    /// Creates a consumer over `graph` and its `partition`, materialising
+    /// the island issue schedule (waves of `num_pes` islands).
     ///
     /// # Panics
     ///
     /// Panics if the partition was produced for a different node count.
     pub fn new(graph: &'a CsrGraph, partition: &'a IslandPartition, cfg: ConsumerConfig) -> Self {
         assert_eq!(graph.num_nodes(), partition.num_nodes(), "partition does not match the graph");
-        IslandConsumer { graph, partition, cfg }
+        let schedule = IslandSchedule::new(graph, partition, cfg.num_pes);
+        IslandConsumer { graph, partition, cfg, schedule }
     }
 
     /// The consumer configuration.
     pub fn config(&self) -> &ConsumerConfig {
         &self.cfg
+    }
+
+    /// The materialised island issue schedule.
+    pub fn schedule(&self) -> &IslandSchedule {
+        &self.schedule
     }
 
     /// Executes one GraphCONV layer, returning the layer output and the
@@ -127,15 +139,19 @@ impl<'a> IslandConsumer<'a> {
         // Buffers.
         ctx.stats.traffic.weight_bytes += (weights.rows() * weights.cols() * 4) as u64;
 
-        // Island tasks, issued to PEs in waves of `num_pes`.
-        for (task_idx, island) in self.partition.islands().iter().enumerate() {
-            let pe_id = (task_idx % self.cfg.num_pes) as u32;
-            pe::execute_island_task(&mut ctx, self.graph, island, pe_id);
-            if (task_idx + 1) % self.cfg.num_pes == 0 {
-                ctx.flush_wave();
+        // Island tasks, issued to PEs wave by wave along the schedule.
+        for wave in self.schedule.waves() {
+            for task_idx in wave {
+                let pe_id = (task_idx % self.cfg.num_pes) as u32;
+                pe::execute_island_task(
+                    &mut ctx,
+                    self.graph,
+                    &self.partition.islands()[task_idx],
+                    pe_id,
+                );
             }
+            ctx.flush_wave();
         }
-        ctx.flush_wave();
         ctx.stats.island_tasks = self.partition.num_islands() as u64;
 
         // Inter-hub tasks in PUSH-outer-product order.
@@ -145,6 +161,83 @@ impl<'a> IslandConsumer<'a> {
         // Finalise hub outputs from their completed partial results.
         pe::finalize_hubs(&mut ctx, self.partition.hubs());
 
+        ctx.finish()
+    }
+
+    /// Executes one GraphCONV layer with per-island work fanned across
+    /// `pool`, producing output *and statistics* bit-identical to
+    /// [`IslandConsumer::execute_layer`] at any thread count.
+    ///
+    /// Three phases:
+    ///
+    /// 1. the hub XW table — every hub's combination vector, computed in
+    ///    parallel (the software analogue of the HUB Matrix XW Cache
+    ///    being filled once per layer);
+    /// 2. island tasks — pool workers run
+    ///    [`pe::run_island_task`] independently, producing finished
+    ///    island-node rows and hub partial contributions;
+    /// 3. a sequential merge in schedule order that replays all
+    ///    hub-shared state transitions (XW touches, DHUB-PRC
+    ///    accumulation, ring waves), so floating-point accumulation
+    ///    order and every statistic match the sequential path exactly.
+    ///
+    /// # Panics
+    ///
+    /// As [`IslandConsumer::execute_layer`].
+    pub fn execute_layer_parallel(
+        &self,
+        input: LayerInput<'_>,
+        weights: &DenseMatrix,
+        norm: &GcnNormalization,
+        activation: Activation,
+        pool: &ThreadPool,
+    ) -> (DenseMatrix, LayerExecStats) {
+        let n = self.graph.num_nodes();
+        assert_eq!(input.num_rows(), n, "input row count does not match the graph");
+        assert_eq!(
+            input.num_cols(),
+            weights.rows(),
+            "input width does not match the weight matrix"
+        );
+        assert_eq!(norm.len(), n, "normalisation does not match the graph");
+
+        // Phase 1: the hub XW table.
+        let hubs = self.partition.hubs();
+        let hub_vecs = pool.par_map(hubs, |_, &h| pe::combine_values(input, weights, norm, h));
+        let hub_y: HashMap<u32, Vec<f32>> = hubs.iter().copied().zip(hub_vecs).collect();
+
+        // Phase 2: independent island tasks across the pool.
+        let results = pool.par_map(self.partition.islands(), |_, island| {
+            pe::run_island_task(
+                self.graph, island, input, weights, norm, activation, self.cfg, &hub_y,
+            )
+        });
+
+        // Phase 3: sequential merge in schedule order. The context keeps
+        // serving hub vectors from the precomputed table, so the
+        // inter-hub and finalise phases below never recompute a
+        // combination on the merge thread either.
+        let mut ctx = pe::LayerContext::new(input, weights, norm, activation, self.cfg, n);
+        ctx.set_hub_table(&hub_y);
+        ctx.stats.traffic.weight_bytes += (weights.rows() * weights.cols() * 4) as u64;
+        let mut results = results.into_iter();
+        for wave in self.schedule.waves() {
+            for task_idx in wave {
+                let result = results.next().expect("one result per scheduled island");
+                let pe_id = (task_idx % self.cfg.num_pes) as u32;
+                pe::apply_island_task_result(
+                    &mut ctx,
+                    &self.partition.islands()[task_idx],
+                    result,
+                    pe_id,
+                );
+            }
+            ctx.flush_wave();
+        }
+        ctx.stats.island_tasks = self.partition.num_islands() as u64;
+        pe::execute_inter_hub_tasks(&mut ctx, self.partition.inter_hub_edges());
+        ctx.flush_wave();
+        pe::finalize_hubs(&mut ctx, self.partition.hubs());
         ctx.finish()
     }
 
@@ -162,14 +255,18 @@ impl<'a> IslandConsumer<'a> {
         assert_eq!(input.num_rows(), n, "input row count does not match the graph");
         let mut ctx = pe::AccountContext::new(input, out_dim, norm, self.cfg);
         ctx.stats.traffic.weight_bytes += (input.num_cols() * out_dim * 4) as u64;
-        for (task_idx, island) in self.partition.islands().iter().enumerate() {
-            let pe_id = (task_idx % self.cfg.num_pes) as u32;
-            pe::account_island_task(&mut ctx, self.graph, island, pe_id);
-            if (task_idx + 1) % self.cfg.num_pes == 0 {
-                ctx.flush_wave();
+        for wave in self.schedule.waves() {
+            for task_idx in wave {
+                let pe_id = (task_idx % self.cfg.num_pes) as u32;
+                pe::account_island_task(
+                    &mut ctx,
+                    self.graph,
+                    &self.partition.islands()[task_idx],
+                    pe_id,
+                );
             }
+            ctx.flush_wave();
         }
-        ctx.flush_wave();
         ctx.stats.island_tasks = self.partition.num_islands() as u64;
         pe::account_inter_hub_tasks(&mut ctx, self.partition.inter_hub_edges());
         ctx.flush_wave();
@@ -275,6 +372,70 @@ mod tests {
             consumer.execute_layer(LayerInput::Sparse(&x), &w, &norm, Activation::Relu);
         let accounted = consumer.account_layer(LayerInput::Sparse(&x), 6, &norm);
         assert_eq!(executed, accounted);
+    }
+
+    #[test]
+    fn parallel_layer_is_bit_identical_to_sequential() {
+        // Outputs AND statistics must match the sequential path exactly,
+        // at every thread count, for both sparse and dense inputs and
+        // for unit and non-unit self-weights (GCN vs GIN normalisation).
+        let (g, p, x) = setup(220, 0.08, 7);
+        for model in [GnnModel::gcn(12, 6, 4), GnnModel::gin(12, 6, 4, 0.3)] {
+            let w = ModelWeights::glorot(&model, 11);
+            let consumer = IslandConsumer::new(&g, &p, ConsumerConfig::default());
+            let norm = model.normalization(&g);
+            let (seq_out, seq_stats) =
+                consumer.execute_layer(LayerInput::Sparse(&x), w.layer(0), &norm, Activation::Relu);
+            for threads in [1, 2, 8] {
+                let pool = threadpool::ThreadPool::new(threads);
+                let (par_out, par_stats) = consumer.execute_layer_parallel(
+                    LayerInput::Sparse(&x),
+                    w.layer(0),
+                    &norm,
+                    Activation::Relu,
+                    &pool,
+                );
+                assert_eq!(
+                    par_out,
+                    seq_out,
+                    "{:?} output diverges at {threads} threads",
+                    model.kind()
+                );
+                assert_eq!(
+                    par_stats,
+                    seq_stats,
+                    "{:?} stats diverge at {threads} threads",
+                    model.kind()
+                );
+            }
+            // Dense (layer ≥ 1) input path.
+            let (l1_seq, l1_seq_stats) = consumer.execute_layer(
+                LayerInput::Dense(&seq_out),
+                w.layer(1),
+                &norm,
+                Activation::None,
+            );
+            let pool = threadpool::ThreadPool::new(4);
+            let (l1_par, l1_par_stats) = consumer.execute_layer_parallel(
+                LayerInput::Dense(&seq_out),
+                w.layer(1),
+                &norm,
+                Activation::None,
+                &pool,
+            );
+            assert_eq!(l1_par, l1_seq);
+            assert_eq!(l1_par_stats, l1_seq_stats);
+        }
+    }
+
+    #[test]
+    fn schedule_waves_match_pe_count() {
+        let (g, p, _) = setup(150, 0.0, 8);
+        let consumer = IslandConsumer::new(&g, &p, ConsumerConfig::default().with_pes(4));
+        let schedule = consumer.schedule();
+        assert_eq!(schedule.num_islands(), p.num_islands());
+        assert_eq!(schedule.wave_width(), 4);
+        assert_eq!(schedule.num_waves(), p.num_islands().div_ceil(4));
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct LayerContext<'l> {
     cfg: ConsumerConfig,
     out: DenseMatrix,
     xw_cache: HubXwCache,
+    /// Hub combination vectors precomputed by the parallel hub table;
+    /// when set, cache misses copy from here (charging the same cost)
+    /// instead of recomputing on the merge thread.
+    hub_table: Option<&'l HashMap<u32, Vec<f32>>>,
     prc: HubPartialCache,
     ring: RingAccountant,
     wave: Vec<(u32, u32, u32)>,
@@ -66,6 +70,7 @@ impl<'l> LayerContext<'l> {
             cfg,
             out: DenseMatrix::zeros(n, out_dim),
             xw_cache: HubXwCache::new(),
+            hub_table: None,
             prc: HubPartialCache::new(cfg.num_pes, out_dim),
             ring: RingAccountant::new(cfg.num_pes),
             wave: Vec::new(),
@@ -76,54 +81,40 @@ impl<'l> LayerContext<'l> {
     /// Combination of one node: `y_v = s_in(v) · (X_v · W)`, with exact
     /// operation and traffic accounting.
     fn combine_node(&mut self, v: u32) -> Vec<f32> {
-        let out_dim = self.weights.cols();
-        let mut y = vec![0.0f32; out_dim];
-        match self.input {
-            LayerInput::Sparse(x) => {
-                let (cols, vals) = x.row(NodeId::new(v));
-                for (&c, &xv) in cols.iter().zip(vals) {
-                    let w_row = self.weights.row(c as usize);
-                    for (o, &w) in y.iter_mut().zip(w_row) {
-                        *o += xv * w;
-                    }
-                }
-                self.stats.combination_ops.macs += (cols.len() * out_dim) as u64;
-                // The feature fetcher picks the cheaper row encoding:
-                // CSR (value + index per non-zero) or dense.
-                self.stats.traffic.feature_read_bytes += (cols.len() as u64
-                    * (F32_BYTES + IDX_BYTES))
-                    .min(x.num_cols() as u64 * F32_BYTES);
-            }
-            LayerInput::Dense(m) => {
-                let row = m.row(v as usize);
-                for (c, &xv) in row.iter().enumerate() {
-                    if xv == 0.0 {
-                        continue;
-                    }
-                    let w_row = self.weights.row(c);
-                    for (o, &w) in y.iter_mut().zip(w_row) {
-                        *o += xv * w;
-                    }
-                }
-                self.stats.combination_ops.macs += (row.len() * out_dim) as u64;
-                self.stats.traffic.feature_read_bytes += row.len() as u64 * F32_BYTES;
-            }
-        }
-        let s = self.norm.in_scale(NodeId::new(v));
-        if s != 1.0 {
-            for o in &mut y {
-                *o *= s;
-            }
-            self.stats.combination_ops.muls += out_dim as u64;
-        }
-        y
+        self.charge_combine_cost(v);
+        combine_values(self.input, self.weights, self.norm, v)
+    }
+
+    /// The operation/traffic charges of [`combine_values`] for node `v`,
+    /// without the floating-point work (used when the value itself was
+    /// computed elsewhere, e.g. by a pool worker or the hub XW table).
+    fn charge_combine_cost(&mut self, v: u32) {
+        let (macs, muls, feature_bytes) =
+            combine_cost(self.input, self.weights.cols(), self.norm, v);
+        self.stats.combination_ops.macs += macs;
+        self.stats.combination_ops.muls += muls;
+        self.stats.traffic.feature_read_bytes += feature_bytes;
+    }
+
+    /// Installs the precomputed hub XW table (parallel execution).
+    pub fn set_hub_table(&mut self, table: &'l HashMap<u32, Vec<f32>>) {
+        self.hub_table = Some(table);
     }
 
     /// The hub's pre-scaled combination result, served by the HUB Matrix
-    /// XW Cache (computed once per layer).
+    /// XW Cache (computed — or copied from the precomputed hub table —
+    /// once per layer; either way the first touch charges the
+    /// combination cost and later touches count as hits, so sequential
+    /// and parallel statistics agree).
     fn hub_y(&mut self, hub: u32) -> Vec<f32> {
         if self.xw_cache.get(hub).is_none() {
-            let y = self.combine_node(hub);
+            let y = match self.hub_table.and_then(|t| t.get(&hub)) {
+                Some(y) => {
+                    self.charge_combine_cost(hub);
+                    y.clone()
+                }
+                None => self.combine_node(hub),
+            };
             self.xw_cache.insert(hub, y);
         } else {
             self.xw_cache.record_hit();
@@ -323,6 +314,248 @@ pub fn finalize_hubs(ctx: &mut LayerContext<'_>, hubs: &[u32]) {
     }
 }
 
+/// The operation/traffic cost of combining node `v` as
+/// `(macs, muls, feature_read_bytes)` — the single source of truth for
+/// the combination cost model, shared by the execution context, the
+/// accounting context and the pool workers.
+fn combine_cost(
+    input: LayerInput<'_>,
+    out_dim: usize,
+    norm: &GcnNormalization,
+    v: u32,
+) -> (u64, u64, u64) {
+    let (macs, feature_bytes) = match input {
+        LayerInput::Sparse(x) => {
+            let nnz = x.row_nnz(NodeId::new(v)) as u64;
+            // The feature fetcher picks the cheaper row encoding: CSR
+            // (value + index per non-zero) or dense.
+            (
+                nnz * out_dim as u64,
+                (nnz * (F32_BYTES + IDX_BYTES)).min(x.num_cols() as u64 * F32_BYTES),
+            )
+        }
+        LayerInput::Dense(m) => ((m.cols() * out_dim) as u64, m.cols() as u64 * F32_BYTES),
+    };
+    let muls = if norm.in_scale(NodeId::new(v)) != 1.0 { out_dim as u64 } else { 0 };
+    (macs, muls, feature_bytes)
+}
+
+/// The pure combination arithmetic `y_v = s_in(v) · (X_v · W)` — the
+/// value half of [`LayerContext::combine_node`], shared with the pool
+/// workers so parallel execution produces bit-identical vectors.
+pub fn combine_values(
+    input: LayerInput<'_>,
+    weights: &DenseMatrix,
+    norm: &GcnNormalization,
+    v: u32,
+) -> Vec<f32> {
+    let out_dim = weights.cols();
+    let mut y = vec![0.0f32; out_dim];
+    match input {
+        LayerInput::Sparse(x) => {
+            let (cols, vals) = x.row(NodeId::new(v));
+            for (&c, &xv) in cols.iter().zip(vals) {
+                let w_row = weights.row(c as usize);
+                for (o, &w) in y.iter_mut().zip(w_row) {
+                    *o += xv * w;
+                }
+            }
+        }
+        LayerInput::Dense(m) => {
+            let row = m.row(v as usize);
+            for (c, &xv) in row.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let w_row = weights.row(c);
+                for (o, &w) in y.iter_mut().zip(w_row) {
+                    *o += xv * w;
+                }
+            }
+        }
+    }
+    let s = norm.in_scale(NodeId::new(v));
+    if s != 1.0 {
+        for o in &mut y {
+            *o *= s;
+        }
+    }
+    y
+}
+
+/// The output of one island task computed off the shared context by a
+/// pool worker: finished island-node rows, hub partial-result
+/// contributions in bitmap-row order, and the task's private statistics.
+///
+/// Everything hub-*shared* (XW-cache touches, DHUB-PRC accumulation,
+/// bank allocation, ring waves) is deliberately absent — the merge phase
+/// ([`apply_island_task_result`]) replays it in schedule order so the
+/// totals are identical to the sequential path.
+#[derive(Debug)]
+pub struct IslandTaskResult {
+    /// `(node, activated output row)` for each island-node row.
+    pub node_rows: Vec<(u32, Vec<f32>)>,
+    /// `(hub, aggregated partial)` for each hub row, in bitmap order.
+    pub hub_contribs: Vec<(u32, Vec<f32>)>,
+    /// Window-scan accounting of this task (no hub first-touch adds).
+    pub aggregation: AggregationStats,
+    /// Combination ops of the island-node members plus out-scale muls
+    /// (hub combination is charged at the merge's first touch).
+    pub combination_ops: igcn_linalg::OpCounter,
+    /// Feature bytes read for the island-node members.
+    pub feature_read_bytes: u64,
+    /// Output bytes written for the island-node rows.
+    pub output_write_bytes: u64,
+}
+
+/// Executes one island task without touching shared state — the pool
+/// worker's half of [`execute_island_task`], arithmetic-identical row by
+/// row. Hub combination vectors come from the precomputed `hub_y` table.
+///
+/// # Panics
+///
+/// Panics if a bitmap hub is missing from `hub_y`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_island_task(
+    graph: &CsrGraph,
+    island: &Island,
+    input: LayerInput<'_>,
+    weights: &DenseMatrix,
+    norm: &GcnNormalization,
+    activation: Activation,
+    cfg: ConsumerConfig,
+    hub_y: &HashMap<u32, Vec<f32>>,
+) -> IslandTaskResult {
+    let self_in_bitmap = norm.self_weight() == 1.0;
+    let bm = if self_in_bitmap { island.bitmap_with_self(graph) } else { island.bitmap(graph) };
+    let out_dim = weights.cols();
+    let k = cfg.k;
+    let dim = bm.dim();
+    let nh = bm.num_hubs();
+    let mut result = IslandTaskResult {
+        node_rows: Vec::with_capacity(dim - nh),
+        hub_contribs: Vec::with_capacity(nh),
+        aggregation: AggregationStats::default(),
+        combination_ops: igcn_linalg::OpCounter::default(),
+        feature_read_bytes: 0,
+        output_write_bytes: 0,
+    };
+
+    // --- Combination phase (hub vectors served from the shared table). ---
+    let mut y: Vec<Vec<f32>> = Vec::with_capacity(dim);
+    for (i, &m) in bm.members().iter().enumerate() {
+        if i < nh {
+            y.push(hub_y.get(&m).expect("hub table covers every hub").clone());
+        } else {
+            y.push(combine_values(input, weights, norm, m));
+            let (macs, muls, feature_bytes) = combine_cost(input, out_dim, norm, m);
+            result.combination_ops.macs += macs;
+            result.combination_ops.muls += muls;
+            result.feature_read_bytes += feature_bytes;
+        }
+    }
+
+    // --- Pre-aggregation of every k consecutive members. ---
+    let num_groups = dim.div_ceil(k);
+    let mut group_sums: Vec<Option<Vec<f32>>> = vec![None; num_groups];
+    if cfg.redundancy_removal && cfg.preagg == PreaggPolicy::Eager {
+        for g in 0..num_groups {
+            materialize_group(&mut group_sums, &y, g, k, dim, &mut result.aggregation);
+        }
+    }
+
+    // --- Aggregation: 1×k window scan over every bitmap row. ---
+    for r in 0..dim {
+        let mut acc = vec![0.0f32; out_dim];
+        for g in 0..num_groups {
+            let start = g * k;
+            let size = k.min(dim - start);
+            let mask = bm.window(r, start, k);
+            result.aggregation.unpruned_vector_ops += mask.count_ones() as u64;
+            match WindowDecision::decide(mask, size, cfg.redundancy_removal) {
+                WindowDecision::Skip => {
+                    result.aggregation.windows_skipped += 1;
+                }
+                WindowDecision::Direct { adds } => {
+                    result.aggregation.windows_direct += 1;
+                    result.aggregation.executed_vector_adds += adds as u64;
+                    for b in 0..size {
+                        if (mask >> b) & 1 == 1 {
+                            axpy(&mut acc, &y[start + b], 1.0);
+                        }
+                    }
+                }
+                WindowDecision::Reuse { subs } => {
+                    result.aggregation.windows_reused += 1;
+                    result.aggregation.executed_vector_adds += 1;
+                    result.aggregation.executed_vector_subs += subs as u64;
+                    materialize_group(&mut group_sums, &y, g, k, dim, &mut result.aggregation);
+                    let sum = group_sums[g].as_ref().expect("materialized above");
+                    axpy(&mut acc, sum, 1.0);
+                    for b in 0..size {
+                        if (mask >> b) & 1 == 0 {
+                            axpy(&mut acc, &y[start + b], -1.0);
+                        }
+                    }
+                }
+            }
+        }
+        let member = bm.member(r);
+        if r >= nh {
+            if !self_in_bitmap {
+                result.aggregation.unpruned_vector_ops += 1;
+                result.aggregation.executed_vector_adds += 1;
+                axpy(&mut acc, &y[r], norm.self_weight());
+            }
+            let os = norm.out_scale(NodeId::new(member));
+            if os != 1.0 {
+                result.combination_ops.muls += out_dim as u64;
+            }
+            for v in &mut acc {
+                *v = activation.apply(*v * os);
+            }
+            result.output_write_bytes += out_dim as u64 * F32_BYTES;
+            result.node_rows.push((member, acc));
+        } else {
+            result.hub_contribs.push((member, acc));
+        }
+    }
+    result
+}
+
+/// Merges one worker-computed [`IslandTaskResult`] into the shared layer
+/// context — the schedule-ordered replay of everything
+/// [`execute_island_task`] does to shared state: XW-cache touches of the
+/// island's hubs (bitmap order), island-node row writes, statistics
+/// accumulation, and DHUB-PRC updates with their ring-wave entries.
+pub fn apply_island_task_result(
+    ctx: &mut LayerContext<'_>,
+    island: &Island,
+    result: IslandTaskResult,
+    pe_id: u32,
+) {
+    for &h in &island.hubs {
+        // Same touch the sequential combination phase makes (first touch
+        // copies from the hub table and charges the combine cost).
+        let _ = ctx.hub_y(h);
+    }
+    for (member, row) in result.node_rows {
+        ctx.out.row_mut(member as usize).copy_from_slice(&row);
+    }
+    ctx.stats.aggregation.merge(&result.aggregation);
+    ctx.stats.combination_ops.merge(&result.combination_ops);
+    ctx.stats.traffic.feature_read_bytes += result.feature_read_bytes;
+    ctx.stats.traffic.output_write_bytes += result.output_write_bytes;
+    for (hub, acc) in result.hub_contribs {
+        let bank = ctx.prc.bank_of(hub);
+        let y_hub = ctx.xw_cache.get(hub).expect("touched above").to_vec();
+        ctx.ensure_hub_partial(hub, &y_hub);
+        ctx.prc.accumulate(hub, &acc);
+        ctx.stats.hub_path.hub_updates += 1;
+        ctx.wave.push((pe_id, bank, hub));
+    }
+}
+
 fn materialize_group(
     group_sums: &mut [Option<Vec<f32>>],
     y: &[Vec<f32>],
@@ -400,24 +633,10 @@ impl<'l> AccountContext<'l> {
     }
 
     fn combine_cost(&mut self, v: u32) {
-        match self.input {
-            LayerInput::Sparse(x) => {
-                let nnz = x.row_nnz(NodeId::new(v)) as u64;
-                self.stats.combination_ops.macs += nnz * self.out_dim as u64;
-                // Cheaper of CSR and dense row encodings, as in the
-                // execution path.
-                self.stats.traffic.feature_read_bytes +=
-                    (nnz * (F32_BYTES + IDX_BYTES)).min(x.num_cols() as u64 * F32_BYTES);
-            }
-            LayerInput::Dense(m) => {
-                let in_dim = m.cols() as u64;
-                self.stats.combination_ops.macs += in_dim * self.out_dim as u64;
-                self.stats.traffic.feature_read_bytes += in_dim * F32_BYTES;
-            }
-        }
-        if self.norm.in_scale(NodeId::new(v)) != 1.0 {
-            self.stats.combination_ops.muls += self.out_dim as u64;
-        }
+        let (macs, muls, feature_bytes) = combine_cost(self.input, self.out_dim, self.norm, v);
+        self.stats.combination_ops.macs += macs;
+        self.stats.combination_ops.muls += muls;
+        self.stats.traffic.feature_read_bytes += feature_bytes;
     }
 
     fn hub_cost(&mut self, hub: u32) {

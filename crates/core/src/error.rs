@@ -69,6 +69,23 @@ pub enum CoreError {
         /// Name of the backend that was not prepared.
         backend: String,
     },
+    /// The graph has no nodes or no edges — there is nothing to
+    /// islandize or aggregate, so the engine refuses to build rather
+    /// than panic deep inside the locator or consumer.
+    EmptyGraph {
+        /// Node count of the offending graph.
+        num_nodes: usize,
+        /// Directed edge count of the offending graph.
+        num_edges: usize,
+    },
+    /// A [`GraphUpdate`](crate::accel::GraphUpdate) asked to remove an
+    /// edge that is not present in the serving graph.
+    MissingEdge {
+        /// One endpoint of the missing edge.
+        from: u32,
+        /// The other endpoint.
+        to: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -103,6 +120,16 @@ impl fmt::Display for CoreError {
             }
             CoreError::NotPrepared { backend } => {
                 write!(f, "backend {backend} has no prepared model; call prepare() first")
+            }
+            CoreError::EmptyGraph { num_nodes, num_edges } => {
+                write!(
+                    f,
+                    "graph is empty ({num_nodes} nodes, {num_edges} directed edges); \
+                     the engine needs at least one node and one edge"
+                )
+            }
+            CoreError::MissingEdge { from, to } => {
+                write!(f, "edge ({from}, {to}) is not present in the graph and cannot be removed")
             }
         }
     }

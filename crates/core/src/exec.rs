@@ -6,15 +6,16 @@ use std::sync::Arc;
 use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::{CsrGraph, NodeId, SparseFeatures};
 use igcn_linalg::{DenseMatrix, GcnNormalization};
+use threadpool::ThreadPool;
 
 use crate::accel::{
     validate_request, validate_weights, Accelerator, ExecReport, GraphUpdate, InferenceRequest,
     InferenceResponse, UpdateReport,
 };
-use crate::config::{ConsumerConfig, IslandizationConfig};
+use crate::config::{ConsumerConfig, ExecConfig, IslandizationConfig};
 use crate::consumer::{IslandConsumer, LayerInput};
 use crate::error::CoreError;
-use crate::incremental::{apply_edges, incremental_islandize};
+use crate::incremental::{apply_edge_changes, incremental_update};
 use crate::locator::IslandLocator;
 use crate::partition::IslandPartition;
 use crate::stats::ExecStats;
@@ -60,6 +61,7 @@ pub struct IGcnEngine {
     graph: Arc<CsrGraph>,
     island_cfg: IslandizationConfig,
     consumer_cfg: ConsumerConfig,
+    exec_cfg: ExecConfig,
     partition: IslandPartition,
     locator_stats: crate::stats::LocatorStats,
     prepared: Option<(GnnModel, ModelWeights)>,
@@ -72,6 +74,7 @@ pub struct IGcnEngineBuilder {
     graph: Arc<CsrGraph>,
     island_cfg: IslandizationConfig,
     consumer_cfg: ConsumerConfig,
+    exec_cfg: ExecConfig,
 }
 
 impl IGcnEngineBuilder {
@@ -87,21 +90,32 @@ impl IGcnEngineBuilder {
         self
     }
 
+    /// Overrides the parallel-execution configuration (thread count and
+    /// fan-out dimensions). The default is fully sequential.
+    pub fn exec_config(mut self, cfg: ExecConfig) -> Self {
+        self.exec_cfg = cfg;
+        self
+    }
+
     /// Islandizes the graph and builds the engine.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::SelfLoops`] if the graph has self-loops
-    /// (the GCN self contribution is handled by the normalisation;
-    /// strip loops first), or [`CoreError::RoundLimitExceeded`] if the
-    /// locator fails to converge.
+    /// Returns [`CoreError::EmptyGraph`] if the graph has no nodes or no
+    /// edges (there is nothing to islandize or aggregate),
+    /// [`CoreError::SelfLoops`] if the graph has self-loops (the GCN
+    /// self contribution is handled by the normalisation; strip loops
+    /// first), or [`CoreError::RoundLimitExceeded`] if the locator fails
+    /// to converge.
     pub fn build(self) -> Result<IGcnEngine, CoreError> {
+        check_not_empty(&self.graph)?;
         check_loop_free(&self.graph)?;
         let (partition, locator_stats) = IslandLocator::new(&self.graph, &self.island_cfg).run()?;
         Ok(IGcnEngine {
             graph: self.graph,
             island_cfg: self.island_cfg,
             consumer_cfg: self.consumer_cfg,
+            exec_cfg: self.exec_cfg,
             partition,
             locator_stats,
             prepared: None,
@@ -119,6 +133,7 @@ impl IGcnEngine {
             graph: graph.into(),
             island_cfg: IslandizationConfig::default(),
             consumer_cfg: ConsumerConfig::default(),
+            exec_cfg: ExecConfig::default(),
         }
     }
 
@@ -150,32 +165,59 @@ impl IGcnEngine {
         self.consumer_cfg
     }
 
-    /// Applies a batch of structural changes to the serving graph,
-    /// incrementally re-islandizing only the disturbed neighborhood:
-    /// islands touched by an added edge dissolve and re-form; every
-    /// other island survives by the closure invariant (hubs never
-    /// dissolve — their degree only grew).
+    /// The parallel-execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_cfg
+    }
+
+    /// Replaces the parallel-execution configuration in place.
     ///
-    /// Subsequent inference runs on the updated graph. Edge *removals*
-    /// are not supported — removing an edge can only strengthen island
-    /// closure but may orphan hub status, so rebuild the engine for
-    /// deletions.
+    /// Unlike the island/consumer configurations, the thread count is a
+    /// pure runtime knob — it never changes outputs (bit-identical at
+    /// every setting) or the partition, so it can be retuned on a built
+    /// engine without re-islandizing.
+    pub fn set_exec_config(&mut self, cfg: ExecConfig) {
+        self.exec_cfg = cfg;
+    }
+
+    /// Worker count the island schedule is fanned across inside one
+    /// inference (1 when island-level parallelism is off).
+    fn island_workers(&self) -> usize {
+        if self.exec_cfg.num_threads > 1 && self.exec_cfg.parallel_islands {
+            self.exec_cfg.num_threads
+        } else {
+            1
+        }
+    }
+
+    /// Applies a batch of structural changes to the serving graph,
+    /// incrementally re-islandizing only the disturbed neighborhood.
+    ///
+    /// Added edges dissolve the islands they touch (hubs never dissolve
+    /// on additions — their degree only grew). Removed edges dissolve
+    /// the islands of their endpoints; a hub endpoint whose loop-free
+    /// degree falls below the configured hub floor is *demoted* back
+    /// into the unclassified pool along with every island it contacts,
+    /// and the locator rounds re-run over the disturbed region.
+    /// Subsequent inference runs on the updated graph.
     ///
     /// # Errors
     ///
     /// [`CoreError::ShapeMismatch`] if the update shrinks the graph or
     /// references nodes beyond its (new) size;
     /// [`CoreError::SelfLoops`] if an added edge is a self-loop;
+    /// [`CoreError::MissingEdge`] if a removed edge is not present;
     /// [`CoreError::RoundLimitExceeded`] if the incremental rounds fail
     /// to converge.
     pub fn apply_update(&mut self, update: GraphUpdate) -> Result<UpdateReport, CoreError> {
         let n_old = self.graph.num_nodes();
         let n_new = update.new_num_nodes.unwrap_or(n_old);
-        // `apply_edges` grows to max(n_new, n_old), which would silently
-        // ignore a shrink request — reject it here where the caller's
-        // intent is visible. Self-loops are checked here because only the
-        // engine forbids them (the free functions tolerate loop-y graphs);
-        // endpoint ranges are validated by `apply_edges` itself.
+        // `apply_edge_changes` grows to max(n_new, n_old), which would
+        // silently ignore a shrink request — reject it here where the
+        // caller's intent is visible. Self-loops are checked here because
+        // only the engine forbids them (the free functions tolerate
+        // loop-y graphs); endpoint ranges are validated by
+        // `apply_edge_changes` itself.
         if n_new < n_old {
             return Err(CoreError::ShapeMismatch {
                 what: "updated node count (graphs cannot shrink)".to_string(),
@@ -188,11 +230,13 @@ impl IGcnEngine {
                 return Err(CoreError::SelfLoops { node: a });
             }
         }
-        let new_graph = apply_edges(&self.graph, n_new, &update.added_edges)?;
-        let result = incremental_islandize(
+        let new_graph =
+            apply_edge_changes(&self.graph, n_new, &update.added_edges, &update.removed_edges)?;
+        let result = incremental_update(
             &new_graph,
             &self.partition,
             &update.added_edges,
+            &update.removed_edges,
             &self.island_cfg,
         )?;
         self.graph = Arc::new(new_graph);
@@ -204,6 +248,7 @@ impl IGcnEngine {
         Ok(UpdateReport {
             dissolved_islands: result.dissolved_islands,
             reclassified_nodes: result.reclassified_nodes,
+            demoted_hubs: result.demoted_hubs,
             num_nodes: self.graph.num_nodes(),
             locator_stats: result.stats,
         })
@@ -211,6 +256,47 @@ impl IGcnEngine {
 
     fn check_features(&self, features: &SparseFeatures, model: &GnnModel) -> Result<(), CoreError> {
         check_features_for(&self.graph, features, model)
+    }
+
+    /// Runs all model layers; `pool` carries the per-island fan-out
+    /// (`None` = sequential layers, the path batch-parallel requests use
+    /// to avoid nested pools).
+    fn execute_with(
+        &self,
+        consumer: &IslandConsumer<'_>,
+        norm: &GcnNormalization,
+        features: &SparseFeatures,
+        model: &GnnModel,
+        weights: &ModelWeights,
+        pool: Option<&ThreadPool>,
+    ) -> (DenseMatrix, ExecStats) {
+        let mut stats = ExecStats { locator: self.locator_stats.clone(), ..Default::default() };
+        stats.occupancy = consumer.schedule().occupancy(pool.map_or(1, ThreadPool::threads));
+        let mut current: Option<DenseMatrix> = None;
+        for (i, layer) in model.layers().iter().enumerate() {
+            let input = match &current {
+                None => LayerInput::Sparse(features),
+                Some(m) => LayerInput::Dense(m),
+            };
+            let (out, mut layer_stats) = match pool {
+                Some(pool) => consumer.execute_layer_parallel(
+                    input,
+                    weights.layer(i),
+                    norm,
+                    layer.activation,
+                    pool,
+                ),
+                None => consumer.execute_layer(input, weights.layer(i), norm, layer.activation),
+            };
+            if i == 0 {
+                // The locator's adjacency streaming is charged to layer 0
+                // (restructuring overlaps the first layer's consumption).
+                layer_stats.traffic.adjacency_bytes += self.locator_stats.adjacency_words_read * 4;
+            }
+            stats.layers.push(layer_stats);
+            current = Some(out);
+        }
+        (current.expect("models have at least one layer"), stats)
     }
 
     fn execute(
@@ -221,24 +307,9 @@ impl IGcnEngine {
         model: &GnnModel,
         weights: &ModelWeights,
     ) -> (DenseMatrix, ExecStats) {
-        let mut stats = ExecStats { locator: self.locator_stats.clone(), ..Default::default() };
-        let mut current: Option<DenseMatrix> = None;
-        for (i, layer) in model.layers().iter().enumerate() {
-            let input = match &current {
-                None => LayerInput::Sparse(features),
-                Some(m) => LayerInput::Dense(m),
-            };
-            let (out, mut layer_stats) =
-                consumer.execute_layer(input, weights.layer(i), norm, layer.activation);
-            if i == 0 {
-                // The locator's adjacency streaming is charged to layer 0
-                // (restructuring overlaps the first layer's consumption).
-                layer_stats.traffic.adjacency_bytes += self.locator_stats.adjacency_words_read * 4;
-            }
-            stats.layers.push(layer_stats);
-            current = Some(out);
-        }
-        (current.expect("models have at least one layer"), stats)
+        let workers = self.island_workers();
+        let pool = (workers > 1).then(|| ThreadPool::new(workers));
+        self.execute_with(consumer, norm, features, model, weights, pool.as_ref())
     }
 
     /// Runs full-model inference, returning the output features and the
@@ -284,6 +355,7 @@ impl IGcnEngine {
             &self.partition,
             &self.locator_stats,
             self.consumer_cfg,
+            self.island_workers(),
             features,
             model,
         ))
@@ -354,25 +426,50 @@ impl Accelerator for IGcnEngine {
         &self,
         requests: &[InferenceRequest],
     ) -> Result<Vec<InferenceResponse>, CoreError> {
+        // An empty batch asks for nothing; answer it without demanding a
+        // prepared model.
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
         let (model, weights) = self.prepared()?;
         // Amortise the per-call setup across the batch: the consumer's
         // island schedule and the Ã normalisation depend only on the
         // graph and model, not on the request.
         let consumer = IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg);
         let norm = model.normalization(&self.graph);
-        requests
-            .iter()
-            .map(|request| {
-                validate_request(&self.graph, model, request)?;
+        // Validate the whole batch up front (first failure aborts), so
+        // the parallel path never does work for a doomed batch.
+        for request in requests {
+            validate_request(&self.graph, model, request)?;
+        }
+        if self.exec_cfg.num_threads > 1 && self.exec_cfg.parallel_batch && requests.len() > 1 {
+            // Fan requests across the pool; each request executes its
+            // layers sequentially (no nested pools), which is exactly
+            // the computation a lone sequential `infer` would run, so
+            // batched outputs are bit-identical at any thread count.
+            let pool = ThreadPool::new(self.exec_cfg.num_threads);
+            return Ok(pool.par_map(requests, |_, request| {
                 let (output, stats) =
-                    self.execute(&consumer, &norm, &request.features, model, weights);
-                Ok(InferenceResponse {
+                    self.execute_with(&consumer, &norm, &request.features, model, weights, None);
+                InferenceResponse {
                     id: request.id,
                     output,
                     report: ExecReport::from_stats(self.name(), &stats),
-                })
+                }
+            }));
+        }
+        Ok(requests
+            .iter()
+            .map(|request| {
+                let (output, stats) =
+                    self.execute(&consumer, &norm, &request.features, model, weights);
+                InferenceResponse {
+                    id: request.id,
+                    output,
+                    report: ExecReport::from_stats(self.name(), &stats),
+                }
             })
-            .collect()
+            .collect())
     }
 
     fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError> {
@@ -381,6 +478,16 @@ impl Accelerator for IGcnEngine {
         let stats = self.account(&request.features, model)?;
         Ok(ExecReport::from_stats(self.name(), &stats))
     }
+}
+
+fn check_not_empty(graph: &CsrGraph) -> Result<(), CoreError> {
+    if graph.num_nodes() == 0 || graph.num_directed_edges() == 0 {
+        return Err(CoreError::EmptyGraph {
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_directed_edges(),
+        });
+    }
+    Ok(())
 }
 
 fn check_loop_free(graph: &CsrGraph) -> Result<(), CoreError> {
@@ -423,12 +530,14 @@ fn account_with(
     partition: &IslandPartition,
     locator_stats: &crate::stats::LocatorStats,
     consumer_cfg: ConsumerConfig,
+    island_workers: usize,
     features: &SparseFeatures,
     model: &GnnModel,
 ) -> ExecStats {
     let consumer = IslandConsumer::new(graph, partition, consumer_cfg);
     let norm = model.normalization(graph);
     let mut stats = ExecStats { locator: locator_stats.clone(), ..Default::default() };
+    stats.occupancy = consumer.schedule().occupancy(island_workers);
     // Dense layer inputs only matter for their width: reuse one dummy
     // per distinct hidden width.
     let mut dense_cache: std::collections::HashMap<usize, DenseMatrix> =
@@ -460,8 +569,10 @@ fn account_with(
 ///
 /// # Errors
 ///
-/// As [`IGcnEngineBuilder::build`] plus [`CoreError::ShapeMismatch`]
-/// for feature shapes that do not match the graph and model.
+/// As [`IGcnEngineBuilder::build`] (including [`CoreError::EmptyGraph`]
+/// for graphs with no nodes or no edges) plus
+/// [`CoreError::ShapeMismatch`] for feature shapes that do not match the
+/// graph and model.
 pub fn account_islandized(
     graph: &CsrGraph,
     island_cfg: IslandizationConfig,
@@ -469,10 +580,22 @@ pub fn account_islandized(
     features: &SparseFeatures,
     model: &GnnModel,
 ) -> Result<ExecStats, CoreError> {
+    check_not_empty(graph)?;
     check_loop_free(graph)?;
     check_features_for(graph, features, model)?;
     let (partition, locator_stats) = IslandLocator::new(graph, &island_cfg).run()?;
-    Ok(account_with(graph, &partition, &locator_stats, consumer_cfg, features, model))
+    // The borrowed path feeds hardware timing models, so occupancy is
+    // modelled over the *PEs* (the engine's own `run`/`account` model it
+    // over the configured software threads instead).
+    Ok(account_with(
+        graph,
+        &partition,
+        &locator_stats,
+        consumer_cfg,
+        consumer_cfg.num_pes,
+        features,
+        model,
+    ))
 }
 
 #[cfg(test)]
@@ -622,6 +745,138 @@ mod tests {
         let x = SparseFeatures::random(n + 2, 10, 0.4, 8);
         let diff = engine.verify(&x, &model, &w).unwrap();
         assert!(diff < 1e-3, "post-update inference diverged by {diff}");
+    }
+
+    #[test]
+    fn parallel_engine_outputs_are_bit_identical() {
+        let (g, _) = engine_setup(260, 0.05, 9);
+        let mut sequential = IGcnEngine::builder(g.clone()).build().unwrap();
+        let model = GnnModel::gcn(10, 8, 4);
+        let w = ModelWeights::glorot(&model, 12);
+        sequential.prepare(&model, &w).unwrap();
+        let requests: Vec<InferenceRequest> = (0..5)
+            .map(|i| {
+                InferenceRequest::new(SparseFeatures::random(260, 10, 0.4, 500 + i)).with_id(i)
+            })
+            .collect();
+        let baseline = sequential.infer_batch(&requests).unwrap();
+        for threads in [2, 8] {
+            let mut engine = IGcnEngine::builder(g.clone())
+                .exec_config(ExecConfig::default().with_threads(threads))
+                .build()
+                .unwrap();
+            engine.prepare(&model, &w).unwrap();
+            // Batch fan-out path.
+            let batched = engine.infer_batch(&requests).unwrap();
+            for (a, b) in baseline.iter().zip(&batched) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.output, b.output, "batch output diverges at {threads} threads");
+            }
+            // Island fan-out path (single infer).
+            let solo = engine.infer(&requests[0]).unwrap();
+            assert_eq!(solo.output, baseline[0].output, "island-parallel diverges at {threads}");
+            // Island fan-out inside infer_batch when batch fan-out is off.
+            let mut engine2 = IGcnEngine::builder(g.clone())
+                .exec_config(ExecConfig::default().with_threads(threads).with_parallel_batch(false))
+                .build()
+                .unwrap();
+            engine2.prepare(&model, &w).unwrap();
+            let islands_only = engine2.infer_batch(&requests).unwrap();
+            for (a, b) in baseline.iter().zip(&islands_only) {
+                assert_eq!(a.output, b.output, "island-parallel batch diverges at {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_account_matches_run_stats() {
+        let (g, x) = engine_setup(200, 0.05, 10);
+        let engine = IGcnEngine::builder(g)
+            .exec_config(ExecConfig::default().with_threads(4))
+            .build()
+            .unwrap();
+        let model = GnnModel::gcn(10, 8, 4);
+        let w = ModelWeights::glorot(&model, 13);
+        let (_, run_stats) = engine.run(&x, &model, &w).unwrap();
+        let acc_stats = engine.account(&x, &model).unwrap();
+        assert_eq!(run_stats, acc_stats);
+        assert_eq!(run_stats.occupancy.workers(), 4);
+        assert_eq!(
+            run_stats.occupancy.total_busy(),
+            run_stats.occupancy.worker_busy_cycles.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_graphs_are_an_error_not_a_panic() {
+        let no_nodes = CsrGraph::from_undirected_edges(0, &[]).unwrap();
+        assert!(matches!(
+            IGcnEngine::builder(no_nodes).build(),
+            Err(CoreError::EmptyGraph { num_nodes: 0, .. })
+        ));
+        let no_edges = CsrGraph::from_undirected_edges(5, &[]).unwrap();
+        assert!(matches!(
+            IGcnEngine::builder(no_edges.clone()).build(),
+            Err(CoreError::EmptyGraph { num_edges: 0, .. })
+        ));
+        let model = GnnModel::gcn(4, 4, 2);
+        let x = SparseFeatures::random(5, 4, 0.5, 1);
+        assert!(matches!(
+            account_islandized(
+                &no_edges,
+                IslandizationConfig::default(),
+                ConsumerConfig::default(),
+                &x,
+                &model,
+            ),
+            Err(CoreError::EmptyGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batches_are_accepted() {
+        let (g, _) = engine_setup(150, 0.0, 11);
+        let mut engine = IGcnEngine::builder(g).build().unwrap();
+        // Even before prepare: an empty batch asks for nothing.
+        assert_eq!(engine.infer_batch(&[]).unwrap(), Vec::new());
+        let model = GnnModel::gcn(10, 6, 3);
+        let w = ModelWeights::glorot(&model, 14);
+        engine.prepare(&model, &w).unwrap();
+        assert_eq!(engine.infer_batch(&[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn apply_update_supports_removals() {
+        let (g, _) = engine_setup(300, 0.01, 12);
+        let mut engine = IGcnEngine::builder(g).build().unwrap();
+        let model = GnnModel::gcn(10, 8, 4);
+        let w = ModelWeights::glorot(&model, 15);
+        engine.prepare(&model, &w).unwrap();
+
+        // Remove one existing island-internal or island-hub edge.
+        let island = engine.partition().islands().iter().find(|i| i.len() >= 2).unwrap();
+        let a = island.nodes[0];
+        let b = *engine
+            .graph()
+            .neighbors(NodeId::new(a))
+            .iter()
+            .find(|&&nb| nb != a)
+            .expect("island node has a neighbor");
+        let report = engine.apply_update(GraphUpdate::remove_edges(vec![(a, b)])).unwrap();
+        assert!(report.dissolved_islands >= 1, "the endpoint island must dissolve");
+        engine.partition().check_invariants(engine.graph()).unwrap();
+        assert!(!engine.graph().has_edge(NodeId::new(a), NodeId::new(b)));
+
+        let n = engine.graph().num_nodes();
+        let x = SparseFeatures::random(n, 10, 0.4, 16);
+        let diff = engine.verify(&x, &model, &w).unwrap();
+        assert!(diff < 1e-3, "post-removal inference diverged by {diff}");
+
+        // Removing a non-existent edge is an error.
+        assert!(matches!(
+            engine.apply_update(GraphUpdate::remove_edges(vec![(a, b)])),
+            Err(CoreError::MissingEdge { .. })
+        ));
     }
 
     #[test]

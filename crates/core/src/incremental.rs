@@ -21,8 +21,19 @@
 //! The result satisfies the same invariants as a from-scratch run
 //! (property-tested), at a cost proportional to the disturbed
 //! neighborhood rather than the whole graph.
+//!
+//! Edge *removals* ([`incremental_update`]) extend the same scheme:
+//! the islands of a removed edge's endpoints dissolve, and a hub
+//! endpoint whose loop-free degree falls below
+//! [`IslandizationConfig::hub_floor`] is **demoted** — it re-enters the
+//! unclassified pool together with every island it contacts (their
+//! closure relied on its hub status), and its inter-hub edges leave the
+//! map. The residual locator rounds then re-classify the disturbed
+//! region; a demoted node that still qualifies at some decayed threshold
+//! simply becomes a hub again, and TP-BFS's hub-seed handling re-records
+//! its hub–hub edges.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 use igcn_graph::{CsrGraph, NodeId};
 
@@ -43,29 +54,53 @@ pub struct IncrementalResult {
     pub stats: LocatorStats,
     /// Islands dissolved by the update.
     pub dissolved_islands: usize,
-    /// Nodes that had to be re-classified (dissolved members + new
-    /// nodes).
+    /// Hubs demoted because removals dropped their degree below the hub
+    /// floor.
+    pub demoted_hubs: usize,
+    /// Nodes that had to be re-classified (dissolved members + demoted
+    /// hubs + new nodes).
     pub reclassified_nodes: usize,
 }
 
-/// Applies a batch of added undirected edges to an existing partition.
+/// Applies a batch of added undirected edges to an existing partition
+/// (the additions-only convenience wrapper over
+/// [`incremental_update`]).
 ///
 /// `new_graph` must be the updated graph (old graph + `added_edges`,
 /// possibly with new nodes appended); `old` must be a valid partition of
-/// the pre-update graph. Edge *removals* are not supported — removing an
-/// edge can only strengthen island closure but may orphan hub status, so
-/// a full re-run is the safe path for deletions.
+/// the pre-update graph.
+///
+/// # Errors
+///
+/// As [`incremental_update`].
+pub fn incremental_islandize(
+    new_graph: &CsrGraph,
+    old: &IslandPartition,
+    added_edges: &[(u32, u32)],
+    cfg: &IslandizationConfig,
+) -> Result<IncrementalResult, CoreError> {
+    incremental_update(new_graph, old, added_edges, &[], cfg)
+}
+
+/// Applies a batch of added *and removed* undirected edges to an
+/// existing partition.
+///
+/// `new_graph` must be the updated graph (old graph − `removed_edges` +
+/// `added_edges`, possibly with new nodes appended — see
+/// [`apply_edge_changes`]); `old` must be a valid partition of the
+/// pre-update graph.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::RoundLimitExceeded`] if the incremental rounds
 /// fail to converge (mis-configured decay), or
-/// [`CoreError::ShapeMismatch`] if the graph shrank or `added_edges`
+/// [`CoreError::ShapeMismatch`] if the graph shrank or an edge batch
 /// references nodes beyond `new_graph`.
-pub fn incremental_islandize(
+pub fn incremental_update(
     new_graph: &CsrGraph,
     old: &IslandPartition,
     added_edges: &[(u32, u32)],
+    removed_edges: &[(u32, u32)],
     cfg: &IslandizationConfig,
 ) -> Result<IncrementalResult, CoreError> {
     let n_new = new_graph.num_nodes();
@@ -77,19 +112,28 @@ pub fn incremental_islandize(
             got: n_new,
         });
     }
-    for &(a, b) in added_edges {
+    for &(a, b) in added_edges.iter().chain(removed_edges) {
         if a as usize >= n_new || b as usize >= n_new {
             return Err(CoreError::ShapeMismatch {
-                what: "added edge endpoint vs updated graph".to_string(),
+                what: "edge endpoint vs updated graph".to_string(),
                 expected: n_new,
                 got: a.max(b) as usize,
             });
         }
     }
 
+    // --- Loop-free degrees of the updated graph (needed both for hub
+    // demotion and for the residual rounds below). ---
+    let mut degrees = new_graph.degrees();
+    for v in new_graph.iter_nodes() {
+        if new_graph.has_edge(v, v) {
+            degrees[v.index()] -= 1;
+        }
+    }
+
     // --- 1+2: carry over classifications, dissolving dirty islands. ---
     let mut dirty: BTreeSet<u32> = BTreeSet::new();
-    for &(a, b) in added_edges {
+    for &(a, b) in added_edges.iter().chain(removed_edges) {
         for v in [a, b] {
             if (v as usize) < n_old {
                 if let Some(idx) = old.island_of(NodeId::new(v)) {
@@ -98,9 +142,35 @@ pub fn incremental_islandize(
             }
         }
     }
+    // Hub endpoints of removed edges whose degree fell below the floor
+    // are demoted. Every island such a hub contacts relied on its hub
+    // status for closure, so those islands dissolve into the residual
+    // region along with the demoted hub itself.
+    let hub_floor = cfg.hub_floor();
+    let mut demoted: BTreeSet<u32> = BTreeSet::new();
+    for &(a, b) in removed_edges {
+        for v in [a, b] {
+            if (v as usize) < n_old
+                && old.class_of(NodeId::new(v)) == NodeClass::Hub
+                && degrees[v as usize] < hub_floor
+            {
+                demoted.insert(v);
+            }
+        }
+    }
+    for &d in &demoted {
+        for &nb in new_graph.neighbors(NodeId::new(d)) {
+            if (nb as usize) < n_old {
+                if let Some(idx) = old.island_of(NodeId::new(nb)) {
+                    dirty.insert(idx as u32);
+                }
+            }
+        }
+    }
+
     let mut node_class: Vec<NodeClass> = vec![NodeClass::Unclassified; n_new];
     let mut islands: Vec<Island> = Vec::with_capacity(old.num_islands());
-    let mut reclassified = n_new - n_old;
+    let mut reclassified = n_new - n_old + demoted.len();
     for (idx, island) in old.islands().iter().enumerate() {
         if dirty.contains(&(idx as u32)) {
             reclassified += island.len();
@@ -112,13 +182,21 @@ pub fn incremental_islandize(
         }
         islands.push(island.clone());
     }
-    let mut hubs: Vec<u32> = old.hubs().to_vec();
+    let mut hubs: Vec<u32> = old.hubs().iter().copied().filter(|h| !demoted.contains(h)).collect();
     for &h in &hubs {
         node_class[h as usize] = NodeClass::Hub;
     }
-    let mut inter_hub: BTreeSet<(u32, u32)> = old.inter_hub_edges().iter().copied().collect();
+    let mut inter_hub: BTreeSet<(u32, u32)> = old
+        .inter_hub_edges()
+        .iter()
+        .copied()
+        .filter(|&(a, b)| !demoted.contains(&a) && !demoted.contains(&b))
+        .collect();
 
-    // --- 4 (early): added hub–hub edges go straight to the map. ---
+    // --- 4 (early): hub–hub edge changes go straight to the map. ---
+    for &(a, b) in removed_edges {
+        inter_hub.remove(&(a.min(b), a.max(b)));
+    }
     for &(a, b) in added_edges {
         if node_class[a as usize] == NodeClass::Hub && node_class[b as usize] == NodeClass::Hub {
             inter_hub.insert((a.min(b), a.max(b)));
@@ -126,12 +204,6 @@ pub fn incremental_islandize(
     }
 
     // --- 3: locator rounds over the residual region. ---
-    let mut degrees = new_graph.degrees();
-    for v in new_graph.iter_nodes() {
-        if new_graph.has_edge(v, v) {
-            degrees[v.index()] -= 1;
-        }
-    }
     let mut remaining = node_class.iter().filter(|c| **c == NodeClass::Unclassified).count();
     let max_unclassified_degree = node_class
         .iter()
@@ -282,24 +354,63 @@ pub fn incremental_islandize(
         node_class,
         cfg.c_max,
     );
-    Ok(IncrementalResult { partition, stats, dissolved_islands, reclassified_nodes: reclassified })
+    Ok(IncrementalResult {
+        partition,
+        stats,
+        dissolved_islands,
+        demoted_hubs: demoted.len(),
+        reclassified_nodes: reclassified,
+    })
 }
 
 /// Builds the updated graph from the old one plus added undirected edges
-/// (convenience for callers that hold only edge batches).
+/// (the additions-only convenience wrapper over [`apply_edge_changes`]).
 ///
 /// # Errors
 ///
-/// [`CoreError::ShapeMismatch`] if an added edge references a node at or
-/// beyond `num_nodes` (after growing to at least the old node count).
+/// As [`apply_edge_changes`].
 pub fn apply_edges(
     old_graph: &CsrGraph,
     num_nodes: usize,
     added: &[(u32, u32)],
 ) -> Result<CsrGraph, CoreError> {
+    apply_edge_changes(old_graph, num_nodes, added, &[])
+}
+
+/// Builds the updated graph: the old one minus `removed` undirected
+/// edges plus `added` ones (removals first, so an edge in both batches
+/// ends up present).
+///
+/// # Errors
+///
+/// [`CoreError::MissingEdge`] if a removed edge is not present in
+/// `old_graph`; [`CoreError::ShapeMismatch`] if an added edge references
+/// a node at or beyond `num_nodes` (after growing to at least the old
+/// node count).
+pub fn apply_edge_changes(
+    old_graph: &CsrGraph,
+    num_nodes: usize,
+    added: &[(u32, u32)],
+    removed: &[(u32, u32)],
+) -> Result<CsrGraph, CoreError> {
     let n = num_nodes.max(old_graph.num_nodes());
-    let mut edges: Vec<(u32, u32)> =
-        old_graph.iter_edges().map(|(u, v)| (u.value(), v.value())).collect();
+    let n_old = old_graph.num_nodes();
+    let mut drop_set: HashSet<(u32, u32)> = HashSet::with_capacity(removed.len() * 2);
+    for &(a, b) in removed {
+        let present = (a as usize) < n_old
+            && (b as usize) < n_old
+            && old_graph.has_edge(NodeId::new(a), NodeId::new(b));
+        if !present {
+            return Err(CoreError::MissingEdge { from: a, to: b });
+        }
+        drop_set.insert((a, b));
+        drop_set.insert((b, a));
+    }
+    let mut edges: Vec<(u32, u32)> = old_graph
+        .iter_edges()
+        .map(|(u, v)| (u.value(), v.value()))
+        .filter(|e| !drop_set.contains(e))
+        .collect();
     for &(a, b) in added {
         if a as usize >= n || b as usize >= n {
             return Err(CoreError::ShapeMismatch {
@@ -423,6 +534,100 @@ mod tests {
         let cfg = IslandizationConfig::default();
         let err = incremental_islandize(&g, &p, &[(0, 9999)], &cfg).unwrap_err();
         assert!(matches!(err, CoreError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn removal_dissolves_endpoint_islands() {
+        let (g, p) = base(21);
+        // Pick an edge inside an island (member ↔ member or member ↔ hub).
+        let island = p.islands().iter().find(|i| i.len() >= 2).unwrap();
+        let a = island.nodes[0];
+        let b = *g.neighbors(NodeId::new(a)).iter().find(|&&nb| nb != a).unwrap();
+        let removed = vec![(a, b)];
+        let g2 = apply_edge_changes(&g, g.num_nodes(), &[], &removed).unwrap();
+        assert!(!g2.has_edge(NodeId::new(a), NodeId::new(b)));
+        let cfg = IslandizationConfig::default();
+        let result = incremental_update(&g2, &p, &[], &removed, &cfg).unwrap();
+        result.partition.check_invariants(&g2).unwrap();
+        assert!(result.dissolved_islands >= 1);
+    }
+
+    #[test]
+    fn removal_demotes_starved_hubs() {
+        // Star hub 0 over leaves {1, 2, 3} with an internal edge 1–2:
+        // with an absolute threshold of 3 only node 0 (degree 3) is a
+        // hub; {1, 2} and {3} close as islands against it. Removing 0–3
+        // drops the hub to degree 2 < floor 3 → demotion, dissolving the
+        // islands it contacts, and the residual re-run re-classifies
+        // everything while keeping the invariants.
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        let cfg = IslandizationConfig::default()
+            .with_threshold_init(crate::config::ThresholdInit::Absolute(3));
+        assert_eq!(cfg.hub_floor(), 3);
+        let (p, _) = IslandLocator::new(&g, &cfg).run().unwrap();
+        p.check_invariants(&g).unwrap();
+        assert_eq!(p.class_of(NodeId::new(0)), crate::partition::NodeClass::Hub);
+        assert_eq!(p.num_hubs(), 1);
+
+        let removed = vec![(0u32, 3u32)];
+        let g2 = apply_edge_changes(&g, g.num_nodes(), &[], &removed).unwrap();
+        let result = incremental_update(&g2, &p, &[], &removed, &cfg).unwrap();
+        result.partition.check_invariants(&g2).unwrap();
+        assert_eq!(result.demoted_hubs, 1, "hub 0 fell to degree 2 < floor 3");
+        // All four nodes were disturbed: the demoted hub, both islands it
+        // contacted, and nothing else exists.
+        assert_eq!(result.reclassified_nodes, 4);
+        // Node 3 is now isolated → singleton island, never a hub.
+        assert!(matches!(
+            result.partition.class_of(NodeId::new(3)),
+            crate::partition::NodeClass::Island(_)
+        ));
+    }
+
+    #[test]
+    fn removal_of_missing_edge_errors() {
+        let (g, _) = base(23);
+        let err = apply_edge_changes(&g, g.num_nodes(), &[], &[(0, 1_000_000)]).unwrap_err();
+        assert!(matches!(err, CoreError::MissingEdge { .. }));
+    }
+
+    #[test]
+    fn removed_hub_hub_edge_leaves_the_map() {
+        let (g, p) = base(25);
+        // Find an inter-hub edge whose endpoints keep enough degree.
+        let Some(&(h1, h2)) = p
+            .inter_hub_edges()
+            .iter()
+            .find(|&&(a, b)| g.degree(NodeId::new(a)) > 3 && g.degree(NodeId::new(b)) > 3)
+        else {
+            return; // seed produced no such edge
+        };
+        let removed = vec![(h1, h2)];
+        let g2 = apply_edge_changes(&g, g.num_nodes(), &[], &removed).unwrap();
+        let cfg = IslandizationConfig::default();
+        let result = incremental_update(&g2, &p, &[], &removed, &cfg).unwrap();
+        result.partition.check_invariants(&g2).unwrap();
+        assert!(!result.partition.inter_hub_edges().contains(&(h1.min(h2), h1.max(h2))));
+        assert_eq!(result.dissolved_islands, 0, "hub-hub removal only touches the map");
+    }
+
+    #[test]
+    fn mixed_add_and_remove_update_stays_valid() {
+        let (mut g, mut p) = base(27);
+        let cfg = IslandizationConfig::default();
+        for step in 0..4 {
+            let added = random_new_edges(&g, 4, 300 + step);
+            // Remove an existing edge far from anything special.
+            let island = p.islands().iter().find(|i| i.len() >= 2).unwrap();
+            let a = island.nodes[0];
+            let b = *g.neighbors(NodeId::new(a)).iter().find(|&&nb| nb != a).unwrap();
+            let removed = vec![(a, b)];
+            let g2 = apply_edge_changes(&g, g.num_nodes(), &added, &removed).unwrap();
+            let result = incremental_update(&g2, &p, &added, &removed, &cfg).unwrap();
+            result.partition.check_invariants(&g2).unwrap();
+            g = g2;
+            p = result.partition;
+        }
     }
 
     #[test]

@@ -45,17 +45,19 @@ pub mod incremental;
 pub mod island;
 pub mod locator;
 pub mod partition;
+pub mod schedule;
 pub mod stats;
 
 pub use accel::{
     Accelerator, CpuReference, ExecReport, GraphUpdate, InferenceRequest, InferenceResponse,
     UpdateReport,
 };
-pub use config::{ConsumerConfig, DecayPolicy, IslandizationConfig, ThresholdInit};
+pub use config::{ConsumerConfig, DecayPolicy, ExecConfig, IslandizationConfig, ThresholdInit};
 pub use error::CoreError;
 pub use exec::{IGcnEngine, IGcnEngineBuilder};
-pub use incremental::{incremental_islandize, IncrementalResult};
+pub use incremental::{incremental_islandize, incremental_update, IncrementalResult};
 pub use island::{Island, IslandBitmap};
 pub use locator::{islandize, IslandLocator};
 pub use partition::IslandPartition;
-pub use stats::{AggregationStats, ExecStats, LocatorStats, TrafficStats};
+pub use schedule::IslandSchedule;
+pub use stats::{AggregationStats, ExecStats, LocatorStats, OccupancyStats, TrafficStats};

@@ -1,0 +1,617 @@
+//! Multi-worker serving front-end over any [`Accelerator`] backend.
+//!
+//! The engine of `igcn-core` is `Send + Sync` and answers
+//! `infer`/`infer_batch` from shared references; this crate adds the
+//! piece a serving deployment needs on top: a [`ServingEngine`] that
+//! puts a **bounded request queue** and a **worker pool** in front of
+//! the backend.
+//!
+//! * [`ServingEngine::submit`] enqueues one request (blocking when the
+//!   queue is at capacity — backpressure, not unbounded memory) and
+//!   returns a [`Ticket`] the caller later [`Ticket::wait`]s on.
+//! * Workers **micro-batch**: each drains up to
+//!   [`ServingConfig::max_batch`] queued requests — waiting up to
+//!   [`ServingConfig::max_wait`] for stragglers — and answers them with
+//!   one [`Accelerator::infer_batch`] call, amortising the backend's
+//!   per-call setup exactly like the batched hardware interface.
+//! * [`ServingEngine::shutdown`] (and `Drop`) is **graceful**: no new
+//!   submissions are accepted, queued requests still complete, workers
+//!   join.
+//!
+//! Combined with `igcn-core`'s `ExecConfig`, this gives two composable
+//! parallelism axes: worker-level concurrency across micro-batches
+//! here, and island/request fan-out inside the backend.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use igcn_core::accel::{Accelerator, InferenceRequest};
+//! use igcn_core::IGcnEngine;
+//! use igcn_gnn::{GnnModel, ModelWeights};
+//! use igcn_graph::generate::HubIslandConfig;
+//! use igcn_graph::SparseFeatures;
+//! use igcn_serve::{ServingConfig, ServingEngine};
+//!
+//! let g = HubIslandConfig::new(200, 8).noise_fraction(0.0).generate(4);
+//! let mut engine = IGcnEngine::builder(g.graph).build()?;
+//! let model = GnnModel::gcn(16, 8, 3);
+//! let weights = ModelWeights::glorot(&model, 2);
+//! engine.prepare(&model, &weights)?;
+//!
+//! let serving = ServingEngine::start(Arc::new(engine), ServingConfig::default());
+//! let ticket = serving
+//!     .submit(InferenceRequest::new(SparseFeatures::random(200, 16, 0.3, 1)).with_id(7))
+//!     .expect("accepting");
+//! let response = ticket.wait().expect("backend answers");
+//! assert_eq!(response.id, 7);
+//! serving.shutdown();
+//! # Ok::<(), igcn_core::CoreError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use igcn_core::accel::{Accelerator, InferenceRequest, InferenceResponse};
+use igcn_core::CoreError;
+
+/// Configuration of the serving front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Worker threads pulling micro-batches off the queue.
+    pub num_workers: usize,
+    /// Bounded queue capacity; [`ServingEngine::submit`] blocks when the
+    /// queue is full (backpressure).
+    pub queue_capacity: usize,
+    /// Largest micro-batch a worker hands to one `infer_batch` call.
+    pub max_batch: usize,
+    /// How long a worker holding a non-full micro-batch waits for more
+    /// requests before running it anyway.
+    pub max_wait: Duration,
+}
+
+impl Default for ServingConfig {
+    /// Two workers, a 64-deep queue, micro-batches of up to 8 collected
+    /// for at most 2 ms.
+    fn default() -> Self {
+        ServingConfig {
+            num_workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Sets the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        self.num_workers = workers;
+        self
+    }
+
+    /// Sets the bounded queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the micro-batch size cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "micro-batches need at least one request");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the micro-batch collection window.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+}
+
+/// Errors of the serving front-end.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The backend rejected the request (shape mismatch, not prepared…).
+    Backend(CoreError),
+    /// The engine is shutting down and accepts no new submissions.
+    ShuttingDown,
+    /// The backend *panicked* while executing the micro-batch this
+    /// request rode in; the worker caught the unwind and stayed alive.
+    BackendPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backend(e) => write!(f, "backend error: {e}"),
+            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::BackendPanicked => {
+                write!(f, "backend panicked while executing the micro-batch")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Backend(e)
+    }
+}
+
+/// The pending result of one submitted request.
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Done(Result<InferenceResponse, ServeError>),
+}
+
+#[derive(Debug)]
+struct ResponseSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot { state: Mutex::new(SlotState::Pending), ready: Condvar::new() })
+    }
+
+    fn fulfill(&self, result: Result<InferenceResponse, ServeError>) {
+        *self.state.lock().expect("slot lock") = SlotState::Done(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Claim check for one submitted request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backend`] if the backend failed the micro-batch the
+    /// request rode in.
+    pub fn wait(self) -> Result<InferenceResponse, ServeError> {
+        let mut state = self.slot.state.lock().expect("slot lock");
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Pending) {
+                SlotState::Done(result) => return result,
+                SlotState::Pending => {
+                    state = self.slot.ready.wait(state).expect("slot lock");
+                }
+            }
+        }
+    }
+
+    /// Whether the response is already available (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        matches!(*self.slot.state.lock().expect("slot lock"), SlotState::Done(_))
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<(InferenceRequest, Arc<ResponseSlot>)>,
+    shutting_down: bool,
+    submitted: u64,
+    completed: u64,
+    batches_executed: u64,
+}
+
+struct Shared {
+    backend: Arc<dyn Accelerator>,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cfg: ServingConfig,
+}
+
+/// A bounded-queue, multi-worker, micro-batching serving engine over
+/// any [`Accelerator`] (see the crate docs for the full lifecycle).
+pub struct ServingEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServingEngine {
+    /// Spawns the worker pool over a prepared backend.
+    pub fn start(backend: Arc<dyn Accelerator>, cfg: ServingConfig) -> Self {
+        assert!(cfg.num_workers > 0, "at least one worker is required");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(cfg.max_batch > 0, "micro-batches need at least one request");
+        let shared = Arc::new(Shared {
+            backend,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(cfg.queue_capacity),
+                shutting_down: false,
+                submitted: 0,
+                completed: 0,
+                batches_executed: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cfg,
+        });
+        let workers = (0..cfg.num_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("igcn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        ServingEngine { shared, workers }
+    }
+
+    /// Enqueues one request, blocking while the queue is at capacity,
+    /// and returns the [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after [`ServingEngine::shutdown`]
+    /// has begun.
+    pub fn submit(&self, request: InferenceRequest) -> Result<Ticket, ServeError> {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        loop {
+            if state.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() < self.shared.cfg.queue_capacity {
+                break;
+            }
+            state = self.shared.not_full.wait(state).expect("queue lock");
+        }
+        let slot = ResponseSlot::new();
+        state.queue.push_back((request, Arc::clone(&slot)));
+        state.submitted += 1;
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Enqueues a batch of requests (one ticket per request, in order).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServingEngine::submit`]. The only failure mode is shutdown,
+    /// which aborts before enqueueing the remaining requests.
+    pub fn submit_batch(&self, requests: Vec<InferenceRequest>) -> Result<Vec<Ticket>, ServeError> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Requests waiting in the queue right now.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("queue lock").queue.len()
+    }
+
+    /// Requests accepted since start.
+    pub fn submitted(&self) -> u64 {
+        self.shared.state.lock().expect("queue lock").submitted
+    }
+
+    /// Requests completed since start.
+    pub fn completed(&self) -> u64 {
+        self.shared.state.lock().expect("queue lock").completed
+    }
+
+    /// Micro-batches executed since start (≤ completed; smaller means
+    /// batching amortised calls).
+    pub fn batches_executed(&self) -> u64 {
+        self.shared.state.lock().expect("queue lock").batches_executed
+    }
+
+    /// The served backend.
+    pub fn backend(&self) -> &Arc<dyn Accelerator> {
+        &self.shared.backend
+    }
+
+    /// Graceful shutdown: stops accepting submissions, lets the workers
+    /// drain every queued request, and joins them. Also performed by
+    /// `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.shutting_down = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("serving worker panicked");
+        }
+    }
+}
+
+impl Drop for ServingEngine {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_and_join();
+        }
+    }
+}
+
+impl fmt::Debug for ServingEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServingEngine")
+            .field("backend", &self.shared.backend.name())
+            .field("cfg", &self.shared.cfg)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("queue lock");
+            // Sleep until there is work or the engine drains + shuts down.
+            loop {
+                if !state.queue.is_empty() {
+                    break;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.not_empty.wait(state).expect("queue lock");
+            }
+            // Micro-batching: hold a non-full batch open for up to
+            // `max_wait` so co-arriving requests share one `infer_batch`
+            // call. Skipped during shutdown — drain fast.
+            if shared.cfg.max_wait > Duration::ZERO {
+                let deadline = Instant::now() + shared.cfg.max_wait;
+                while state.queue.len() < shared.cfg.max_batch && !state.shutting_down {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) =
+                        shared.not_empty.wait_timeout(state, deadline - now).expect("queue lock");
+                    state = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = state.queue.len().min(shared.cfg.max_batch);
+            state.queue.drain(..take).collect::<Vec<_>>()
+        };
+        shared.not_full.notify_all();
+        if batch.is_empty() {
+            continue;
+        }
+        let (requests, slots): (Vec<InferenceRequest>, Vec<Arc<ResponseSlot>>) =
+            batch.into_iter().unzip();
+        // Catch backend panics: a dead worker would leave every rider's
+        // ticket unfulfilled (waiters hang) and poison the join at
+        // shutdown. The slots themselves are only written after the call
+        // returns, so unwinding cannot leave them half-updated.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.backend.infer_batch(&requests)
+        }));
+        // Count the batch *before* waking any waiter, so a caller that
+        // observed its response never reads a stale completed() count.
+        {
+            let mut state = shared.state.lock().expect("queue lock");
+            state.completed += requests.len() as u64;
+            state.batches_executed += 1;
+        }
+        match result {
+            Ok(Ok(responses)) => {
+                debug_assert_eq!(responses.len(), slots.len());
+                for (slot, response) in slots.iter().zip(responses) {
+                    slot.fulfill(Ok(response));
+                }
+            }
+            Ok(Err(e)) => {
+                // The whole micro-batch failed; every rider learns why.
+                for slot in &slots {
+                    slot.fulfill(Err(ServeError::Backend(e.clone())));
+                }
+            }
+            Err(_panic) => {
+                for slot in &slots {
+                    slot.fulfill(Err(ServeError::BackendPanicked));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_core::IGcnEngine;
+    use igcn_gnn::{GnnModel, ModelWeights};
+    use igcn_graph::generate::HubIslandConfig;
+    use igcn_graph::SparseFeatures;
+
+    const N: usize = 180;
+    const DIM: usize = 12;
+
+    fn prepared_backend() -> Arc<dyn Accelerator> {
+        let g = HubIslandConfig::new(N, 8).noise_fraction(0.02).generate(17);
+        let mut engine = IGcnEngine::builder(g.graph).build().unwrap();
+        let model = GnnModel::gcn(DIM, 8, 4);
+        let weights = ModelWeights::glorot(&model, 3);
+        engine.prepare(&model, &weights).unwrap();
+        Arc::new(engine)
+    }
+
+    fn request(seed: u64) -> InferenceRequest {
+        InferenceRequest::new(SparseFeatures::random(N, DIM, 0.3, seed)).with_id(seed)
+    }
+
+    #[test]
+    fn round_trip_matches_direct_infer() {
+        let backend = prepared_backend();
+        let serving = ServingEngine::start(Arc::clone(&backend), ServingConfig::default());
+        let direct = backend.infer(&request(5)).unwrap();
+        let response = serving.submit(request(5)).unwrap().wait().unwrap();
+        assert_eq!(response.id, 5);
+        assert_eq!(response.output, direct.output);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn submit_batch_preserves_order() {
+        let backend = prepared_backend();
+        let serving = ServingEngine::start(Arc::clone(&backend), ServingConfig::default());
+        let requests: Vec<InferenceRequest> = (0..10).map(request).collect();
+        let tickets = serving.submit_batch(requests.clone()).unwrap();
+        for (ticket, req) in tickets.into_iter().zip(&requests) {
+            let response = ticket.wait().unwrap();
+            assert_eq!(response.id, req.id);
+            assert_eq!(response.output, backend.infer(req).unwrap().output);
+        }
+        assert_eq!(serving.completed(), 10);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn micro_batching_amortises_calls() {
+        let backend = prepared_backend();
+        // One worker with a generous window: co-submitted requests must
+        // share infer_batch calls.
+        let cfg = ServingConfig::default()
+            .with_workers(1)
+            .with_max_batch(16)
+            .with_max_wait(Duration::from_millis(50));
+        let serving = ServingEngine::start(backend, cfg);
+        let tickets = serving.submit_batch((0..12).map(request).collect()).unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(serving.completed(), 12);
+        assert!(
+            serving.batches_executed() < 12,
+            "expected micro-batching, got {} batches for 12 requests",
+            serving.batches_executed()
+        );
+        serving.shutdown();
+    }
+
+    #[test]
+    fn backend_errors_reach_every_rider() {
+        let backend = prepared_backend();
+        let serving = ServingEngine::start(backend, ServingConfig::default().with_workers(1));
+        // Wrong feature width → the backend rejects the batch.
+        let bad = InferenceRequest::new(SparseFeatures::random(N, DIM + 1, 0.3, 9));
+        let ticket = serving.submit(bad).unwrap();
+        assert!(matches!(ticket.wait(), Err(ServeError::Backend(CoreError::ShapeMismatch { .. }))));
+        serving.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let backend = prepared_backend();
+        let cfg = ServingConfig::default().with_workers(2).with_max_wait(Duration::ZERO);
+        let serving = ServingEngine::start(backend, cfg);
+        let tickets = serving.submit_batch((0..20).map(request).collect()).unwrap();
+        serving.shutdown(); // must not drop queued work
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().expect("queued request still answered");
+            assert_eq!(response.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn backend_panics_are_contained() {
+        // A panicking backend must not kill the worker: riders get an
+        // error, later requests still serve, shutdown joins cleanly.
+        struct Bomb {
+            graph: Arc<igcn_graph::CsrGraph>,
+            armed: std::sync::atomic::AtomicBool,
+        }
+        impl Accelerator for Bomb {
+            fn name(&self) -> String {
+                "bomb".to_string()
+            }
+            fn graph(&self) -> &igcn_graph::CsrGraph {
+                &self.graph
+            }
+            fn prepare(
+                &mut self,
+                _: &igcn_gnn::GnnModel,
+                _: &igcn_gnn::ModelWeights,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
+                if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    panic!("boom");
+                }
+                Ok(InferenceResponse {
+                    id: request.id,
+                    output: igcn_linalg::DenseMatrix::zeros(1, 1),
+                    report: Default::default(),
+                })
+            }
+            fn report(&self, _: &InferenceRequest) -> Result<igcn_core::ExecReport, CoreError> {
+                Ok(Default::default())
+            }
+        }
+        let g = igcn_graph::CsrGraph::from_undirected_edges(2, &[(0, 1)]).unwrap();
+        let backend =
+            Arc::new(Bomb { graph: Arc::new(g), armed: std::sync::atomic::AtomicBool::new(true) });
+        let serving = ServingEngine::start(
+            backend,
+            ServingConfig::default().with_workers(1).with_max_batch(1),
+        );
+        let first = serving.submit(request(1)).unwrap();
+        assert_eq!(first.wait(), Err(ServeError::BackendPanicked));
+        // The worker survived and keeps serving.
+        let second = serving.submit(request(2)).unwrap();
+        assert_eq!(second.wait().unwrap().id, 2);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn drop_is_a_graceful_shutdown() {
+        let backend = prepared_backend();
+        let ticket;
+        {
+            let serving = ServingEngine::start(backend, ServingConfig::default());
+            ticket = serving.submit(request(3)).unwrap();
+        } // drop joins the workers after draining
+        assert!(ticket.is_ready());
+        assert_eq!(ticket.wait().unwrap().id, 3);
+    }
+}

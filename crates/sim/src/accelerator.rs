@@ -149,6 +149,9 @@ impl IGcnAccelerator {
             total_ops,
             energy_j,
             graphs_per_kilojoule: self.energy.graphs_per_kilojoule(energy_j),
+            // Island-schedule occupancy over the consumer's PE count:
+            // how evenly island work units spread across the PEs.
+            worker_utilisation: stats.occupancy.utilisation(),
         }
     }
 }
@@ -194,6 +197,10 @@ mod tests {
         assert!(r.total_ops > 0);
         assert!(r.energy_j > 0.0);
         assert!(r.graphs_per_kilojoule > 0.0);
+        // PE occupancy of the island schedule: a real distribution, not
+        // the no-model placeholder, and still a valid fraction.
+        assert!(r.worker_utilisation > 0.0 && r.worker_utilisation <= 1.0);
+        assert!(r.worker_utilisation < 1.0, "island sizes vary; PEs cannot be perfectly even");
     }
 
     #[test]

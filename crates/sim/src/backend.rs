@@ -36,6 +36,8 @@ impl SimReport {
             latency_s: self.latency_s,
             energy_j: self.energy_j,
             aggregation_pruning_rate: 0.0,
+            worker_busy_cycles: Vec::new(),
+            utilisation: self.worker_utilisation,
         }
     }
 }

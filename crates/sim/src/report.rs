@@ -29,6 +29,9 @@ pub struct SimReport {
     pub energy_j: f64,
     /// Table 2's energy-efficiency metric.
     pub graphs_per_kilojoule: f64,
+    /// Parallel worker/PE utilisation in `[0, 1]` of the modelled
+    /// island schedule (1.0 for platforms without an occupancy model).
+    pub worker_utilisation: f64,
 }
 
 impl SimReport {
@@ -73,6 +76,7 @@ mod tests {
             total_ops: 0,
             energy_j: 0.0,
             graphs_per_kilojoule: 0.0,
+            worker_utilisation: 1.0,
         }
     }
 

@@ -3,8 +3,11 @@
 //! §1 of the paper: offline preprocessing (Rubik, GraphACT, lightweight
 //! reorderings) assumes the graph is fixed, but "real-world graphs are
 //! frequently updated (e.g., evolving graphs) or generated dynamically".
-//! This example simulates a growing social network: every step a batch of
-//! new friendships arrives and inference must run on the *new* graph.
+//! This example simulates a churning social network: every step a batch
+//! of new friendships arrives *and a few old ones dissolve*, and
+//! inference must run on the new graph. Removals exercise the full
+//! maintenance path: endpoint islands dissolve, and hubs starved below
+//! the hub floor are demoted and re-classified.
 //!
 //! Three structure-maintenance strategies are compared per step:
 //!
@@ -47,6 +50,18 @@ fn random_new_edges(graph: &CsrGraph, count: usize, seed: u64) -> Vec<(u32, u32)
     edges
 }
 
+/// Samples `count` distinct existing undirected edges to dissolve.
+fn random_existing_edges(graph: &CsrGraph, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let undirected: Vec<(u32, u32)> =
+        graph.iter_edges().map(|(u, v)| (u.value(), v.value())).filter(|&(u, v)| u < v).collect();
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < count.min(undirected.len()) {
+        picked.insert(undirected[rng.gen_range(0..undirected.len())]);
+    }
+    picked.into_iter().collect()
+}
+
 fn main() {
     let n = 4_000usize;
     let cfg = IslandizationConfig::default();
@@ -60,14 +75,15 @@ fn main() {
     engine.prepare(&model, &weights).unwrap();
 
     println!(
-        "step | dissolved | reclassified | incr cycles | full cycles | igcn sim (µs) | rabbit host (µs)"
+        "step | dissolved | demoted | reclassified | incr cycles | full cycles | igcn sim (µs) | rabbit host (µs)"
     );
     for step in 0..6u64 {
-        // A batch of 20 new friendships lands; the serving engine absorbs
-        // it in place.
+        // A batch of 20 new friendships lands and 5 old ones dissolve;
+        // the serving engine absorbs the churn in place.
         let added = random_new_edges(engine.graph(), 20, 1_000 + step);
+        let removed = random_existing_edges(engine.graph(), 5, 2_000 + step);
         let update = engine
-            .apply_update(GraphUpdate::add_edges(added))
+            .apply_update(GraphUpdate::add_edges(added).and_remove_edges(removed))
             .expect("incremental update succeeds");
         engine.partition().check_invariants(engine.graph()).expect("still a valid partition");
 
@@ -88,8 +104,9 @@ fn main() {
         let rabbit_us = t0.elapsed().as_secs_f64() * 1e6;
 
         println!(
-            "{step:>4} | {:>9} | {:>12} | {:>11} | {:>11} | {:>13.2} | {:>16.1}",
+            "{step:>4} | {:>9} | {:>7} | {:>12} | {:>11} | {:>11} | {:>13.2} | {:>16.1}",
             update.dissolved_islands,
+            update.demoted_hubs,
             update.reclassified_nodes,
             update.locator_stats.virtual_cycles,
             full_stats.virtual_cycles,

@@ -11,7 +11,8 @@
 //! | [`graph`] | `igcn-graph` | CSR graphs, synthetic datasets, statistics |
 //! | [`linalg`] | `igcn-linalg` | dense/sparse matrices, the four SpMM dataflows |
 //! | [`gnn`] | `igcn-gnn` | GCN/GraphSage/GIN models, reference forward pass |
-//! | [`core`] | `igcn-core` | **the contribution**: Island Locator + Island Consumer, the owned [`core::IGcnEngine`], and the unified [`core::accel::Accelerator`] serving trait |
+//! | [`core`] | `igcn-core` | **the contribution**: Island Locator + Island Consumer, the owned [`core::IGcnEngine`] with parallel execution ([`core::ExecConfig`], [`core::IslandSchedule`]), and the unified [`core::accel::Accelerator`] serving trait |
+//! | [`serve`] | `igcn-serve` | [`serve::ServingEngine`]: bounded request queue + worker pool + micro-batching over any backend |
 //! | [`sim`] | `igcn-sim` | cycle/energy/area models; [`sim::SimBackend`] lifts any simulator into the serving trait |
 //! | [`reorder`] | `igcn-reorder` | lightweight reordering baselines + quality metrics |
 //! | [`baselines`] | `igcn-baselines` | AWB-GCN, HyGCN, SIGMA, CPU/GPU models — all servable as `Accelerator` backends |
@@ -57,8 +58,11 @@
 //!
 //! Evolving graphs stay inside the same engine:
 //! `engine.apply_update(GraphUpdate::add_edges(batch))?` dissolves and
-//! re-forms only the islands the new edges touch, then serving
-//! continues on the updated graph.
+//! re-forms only the islands the touched edges disturb, then serving
+//! continues on the updated graph. Edge *removals* work too
+//! (`GraphUpdate::remove_edges`): the endpoints' islands dissolve, and
+//! a hub starved below the configured hub floor is demoted and its
+//! neighborhood re-islandized.
 //!
 //! Every execution backend — the engine itself, the
 //! [`core::CpuReference`] software pass, and (through
@@ -66,6 +70,85 @@
 //! SIGMA and CPU/GPU platform simulators — implements the same
 //! [`core::accel::Accelerator`] trait, so cross-platform harnesses and
 //! serving deployments iterate one `Vec<Box<dyn Accelerator>>`.
+//!
+//! # Parallel execution & serving
+//!
+//! Islandization exposes independent work: islands touch disjoint
+//! cache-resident neighborhoods, so island-granular execution
+//! parallelises with near-zero coordination. The engine materialises
+//! that structure as an explicit [`core::IslandSchedule`] — wavefronts
+//! of data-independent island tasks with per-island work estimates —
+//! and [`core::ExecConfig`] controls how the schedule maps onto
+//! software threads:
+//!
+//! * `num_threads` — worker threads (1 = the original sequential path,
+//!   bit-for-bit);
+//! * `parallel_islands` — fan per-island aggregation across the pool
+//!   *inside* one inference (island-node rows land in disjoint output
+//!   rows; hub partials merge back in schedule order, so outputs *and*
+//!   statistics are bit-identical at every thread count);
+//! * `parallel_batch` — fan `infer_batch` requests across the pool
+//!   (each request then runs its layers sequentially).
+//!
+//! ```
+//! use igcn::core::{ExecConfig, IGcnEngine};
+//! use igcn::graph::generate::HubIslandConfig;
+//!
+//! let g = HubIslandConfig::new(300, 12).noise_fraction(0.0).generate(7);
+//! let engine = IGcnEngine::builder(g.graph)
+//!     .exec_config(ExecConfig::default().with_threads(4))
+//!     .build()?;
+//! assert_eq!(engine.exec_config().num_threads, 4);
+//! # Ok::<(), igcn::core::CoreError>(())
+//! ```
+//!
+//! The execution report carries the modelled occupancy of that schedule
+//! (`worker_busy_cycles`, `utilisation` on [`core::ExecReport`]), and
+//! the timing model reports island-schedule PE utilisation.
+//!
+//! For a serving deployment, wrap any prepared backend in a
+//! [`serve::ServingEngine`]: a bounded request queue (backpressure) in
+//! front of a worker pool whose workers micro-batch co-arriving
+//! requests into single `infer_batch` calls, with graceful shutdown:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use igcn::core::accel::{Accelerator, InferenceRequest};
+//! use igcn::core::{ExecConfig, IGcnEngine};
+//! use igcn::gnn::{GnnModel, ModelWeights};
+//! use igcn::graph::generate::HubIslandConfig;
+//! use igcn::graph::SparseFeatures;
+//! use igcn::serve::{ServingConfig, ServingEngine};
+//!
+//! let g = HubIslandConfig::new(300, 12).noise_fraction(0.0).generate(9);
+//! let mut engine = IGcnEngine::builder(g.graph)
+//!     .exec_config(ExecConfig::default().with_threads(2))
+//!     .build()?;
+//! let model = GnnModel::gcn(16, 8, 4);
+//! let weights = ModelWeights::glorot(&model, 1);
+//! engine.prepare(&model, &weights)?;
+//!
+//! let serving = ServingEngine::start(
+//!     Arc::new(engine),
+//!     ServingConfig::default().with_workers(2).with_max_batch(8),
+//! );
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let request =
+//!             InferenceRequest::new(SparseFeatures::random(300, 16, 0.2, i)).with_id(i);
+//!         serving.submit(request).expect("accepting")
+//!     })
+//!     .collect();
+//! for (i, ticket) in tickets.into_iter().enumerate() {
+//!     assert_eq!(ticket.wait().expect("served").id, i as u64);
+//! }
+//! serving.shutdown(); // graceful: drains the queue, joins the workers
+//! # Ok::<(), igcn::core::CoreError>(())
+//! ```
+//!
+//! `cargo run --release -p igcn-bench --bin serving_batch` sweeps
+//! thread counts × batch sizes on a power-law graph and records the
+//! scaling in `results/serving_scaling.json`.
 //!
 //! # Migrating from the borrowed engine (pre-builder API)
 //!
@@ -100,4 +183,5 @@ pub use igcn_gnn as gnn;
 pub use igcn_graph as graph;
 pub use igcn_linalg as linalg;
 pub use igcn_reorder as reorder;
+pub use igcn_serve as serve;
 pub use igcn_sim as sim;

@@ -11,10 +11,11 @@ use std::sync::Arc;
 
 use igcn::baselines::{AwbGcn, HyGcn, Platform, PlatformKind, Sigma};
 use igcn::core::accel::{Accelerator, InferenceRequest};
-use igcn::core::{CoreError, CpuReference, IGcnEngine};
+use igcn::core::{CoreError, CpuReference, ExecConfig, IGcnEngine};
 use igcn::gnn::{reference_forward, GnnModel, ModelWeights};
 use igcn::graph::generate::HubIslandConfig;
 use igcn::graph::{CsrGraph, SparseFeatures};
+use igcn::serve::{ServingConfig, ServingEngine};
 use igcn::sim::{HardwareConfig, IGcnAccelerator, SimBackend};
 
 const N: usize = 250;
@@ -32,11 +33,14 @@ fn test_model() -> (GnnModel, ModelWeights) {
     (model, weights)
 }
 
-/// Every backend in the workspace, prepared over `graph`.
-fn all_backends(graph: &Arc<CsrGraph>) -> Vec<Box<dyn Accelerator>> {
+/// Every backend in the workspace, prepared over `graph`; the engine is
+/// built with `exec_cfg` so the whole suite can sweep thread counts.
+fn all_backends_with(graph: &Arc<CsrGraph>, exec_cfg: ExecConfig) -> Vec<Box<dyn Accelerator>> {
     let hw = HardwareConfig::paper_default();
-    let engine =
-        IGcnEngine::builder(Arc::clone(graph)).build().expect("conformance graph is loop-free");
+    let engine = IGcnEngine::builder(Arc::clone(graph))
+        .exec_config(exec_cfg)
+        .build()
+        .expect("conformance graph is loop-free");
     vec![
         Box::new(engine),
         Box::new(CpuReference::new(Arc::clone(graph))),
@@ -46,6 +50,11 @@ fn all_backends(graph: &Arc<CsrGraph>) -> Vec<Box<dyn Accelerator>> {
         Box::new(SimBackend::new(Sigma::paper_config(), Arc::clone(graph))),
         Box::new(SimBackend::new(Platform::new(PlatformKind::PygCpuE5_2680), Arc::clone(graph))),
     ]
+}
+
+/// Every backend with the default (sequential) execution configuration.
+fn all_backends(graph: &Arc<CsrGraph>) -> Vec<Box<dyn Accelerator>> {
+    all_backends_with(graph, ExecConfig::default())
 }
 
 #[test]
@@ -146,6 +155,101 @@ fn unprepared_backends_refuse_and_bad_shapes_are_errors() {
             "{name}: must reject wrong feature width"
         );
     }
+}
+
+#[test]
+fn thread_count_never_changes_any_backend_output() {
+    // The parallel-execution determinism contract: for every backend,
+    // the same graph + weights + requests produce bit-identical outputs
+    // whether the I-GCN engine runs with 1, 2 or 8 threads (the other
+    // backends have no thread knob and must simply stay identical).
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let requests: Vec<InferenceRequest> = (0..3)
+        .map(|i| {
+            InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.3, 600 + i)).with_id(i)
+        })
+        .collect();
+
+    let mut baseline: Option<Vec<Vec<igcn::linalg::DenseMatrix>>> = None;
+    for threads in [1usize, 2, 8] {
+        let exec_cfg = ExecConfig::default().with_threads(threads);
+        let mut per_backend = Vec::new();
+        for mut backend in all_backends_with(&graph, exec_cfg) {
+            backend.prepare(&model, &weights).expect("conformance weights match");
+            let solo = backend.infer(&requests[0]).expect("prepared backend answers");
+            let batched = backend.infer_batch(&requests).expect("batch answers");
+            assert_eq!(
+                solo.output,
+                batched[0].output,
+                "{}: batch vs single diverges at {threads} threads",
+                backend.name()
+            );
+            per_backend.push(batched.into_iter().map(|r| r.output).collect::<Vec<_>>());
+        }
+        match &baseline {
+            None => baseline = Some(per_backend),
+            Some(reference) => {
+                for (b, (exp, got)) in reference.iter().zip(&per_backend).enumerate() {
+                    for (i, (e, g)) in exp.iter().zip(got).enumerate() {
+                        assert_eq!(
+                            e, g,
+                            "backend #{b} request {i}: output changed at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serving_engine_is_order_stable_and_shuts_down_cleanly() {
+    // Concurrent submitters hammer one ServingEngine; every ticket must
+    // come back with its own request's id and the exact output a direct
+    // infer produces, then shutdown must drain cleanly.
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let mut engine = IGcnEngine::builder(Arc::clone(&graph))
+        .exec_config(ExecConfig::default().with_threads(2))
+        .build()
+        .unwrap();
+    engine.prepare(&model, &weights).unwrap();
+    let backend: Arc<dyn Accelerator> = Arc::new(engine);
+    let serving = Arc::new(ServingEngine::start(
+        Arc::clone(&backend),
+        ServingConfig::default().with_workers(2).with_max_batch(4),
+    ));
+
+    let submitters: Vec<_> = (0..4u64)
+        .map(|t| {
+            let serving = Arc::clone(&serving);
+            let backend = Arc::clone(&backend);
+            std::thread::spawn(move || {
+                for i in 0..5u64 {
+                    let id = t * 100 + i;
+                    let request =
+                        InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.25, id))
+                            .with_id(id);
+                    let expected = backend.infer(&request).expect("direct infer");
+                    let response = serving
+                        .submit(request)
+                        .expect("accepting while running")
+                        .wait()
+                        .expect("served");
+                    assert_eq!(response.id, id, "response correlated to the wrong request");
+                    assert_eq!(response.output, expected.output, "served output diverges");
+                }
+            })
+        })
+        .collect();
+    for handle in submitters {
+        handle.join().expect("submitter panicked");
+    }
+    assert_eq!(serving.completed(), 20);
+    assert_eq!(serving.pending(), 0);
+    let serving = Arc::into_inner(serving).expect("all submitters dropped their handles");
+    serving.shutdown(); // must join without hanging
 }
 
 #[test]

@@ -6,7 +6,8 @@
 //! edge exactly once — and the whole pipeline must stay lossless.
 
 use igcn::core::{
-    islandize, ConsumerConfig, IGcnEngine, IslandLocator, IslandizationConfig, ThresholdInit,
+    islandize, ConsumerConfig, CoreError, IGcnEngine, IslandLocator, IslandizationConfig,
+    ThresholdInit,
 };
 use igcn::gnn::{GnnModel, ModelWeights};
 use igcn::graph::generate::{barabasi_albert, erdos_renyi, HubIslandConfig};
@@ -75,6 +76,15 @@ fn islandization_is_deterministic() {
 fn execution_lossless_on_arbitrary_graphs() {
     for (i, graph) in graph_zoo().into_iter().enumerate() {
         let k = 2 + (i % 6); // sweep the pre-aggregation window 2..=7
+        if graph.num_directed_edges() == 0 {
+            // The zoo's degenerate corners: the engine refuses edgeless
+            // graphs with a typed error instead of executing vacuously.
+            assert!(matches!(
+                IGcnEngine::builder(graph).build(),
+                Err(CoreError::EmptyGraph { .. })
+            ));
+            continue;
+        }
         let engine = IGcnEngine::builder(graph)
             .consumer_config(ConsumerConfig::default().with_k(k))
             .build()
@@ -93,6 +103,9 @@ fn account_equals_run_for_any_config() {
     for (i, graph) in graph_zoo().into_iter().enumerate() {
         let k = 2 + (i % 4);
         let pes = 1 + (i % 7);
+        if graph.num_directed_edges() == 0 {
+            continue; // engine construction rejects edgeless graphs
+        }
         let engine = IGcnEngine::builder(graph)
             .consumer_config(ConsumerConfig::default().with_k(k).with_pes(pes))
             .build()
@@ -110,6 +123,9 @@ fn account_equals_run_for_any_config() {
 #[test]
 fn window_ops_never_exceed_unpruned_and_ablation_is_neutral() {
     for graph in graph_zoo() {
+        if graph.num_directed_edges() == 0 {
+            continue; // engine construction rejects edgeless graphs
+        }
         let engine = IGcnEngine::builder(graph.clone()).build().expect("loop-free");
         let n = graph.num_nodes();
         let x = SparseFeatures::random(n, 4, 0.5, 3);
