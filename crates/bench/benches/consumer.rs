@@ -1,48 +1,81 @@
-//! Criterion bench: Island Consumer layer execution.
+//! Island Consumer layer-execution bench on the vendored harness.
 //!
-//! Measures the software island-granular layer execution with and without
-//! redundancy removal, and across pre-aggregation window widths `k` — the
-//! ablations behind Figure 10 and the §3.3.1 design choice.
+//! Measures the software island-granular layer execution with and
+//! without redundancy removal, across pre-aggregation window widths
+//! `k`, against the accounting-only pass, and — the PR-3 headline —
+//! legacy vs physical-layout execution (the ablations behind Figure 10,
+//! the §3.3.1 design choice and the locality claim).
+//!
+//! Formerly a criterion bench (gated out of hermetic builds); now a
+//! plain `harness = false` main over `igcn_bench::harness`.
+//! Run: `cargo bench -p igcn-bench --bench consumer`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{BenchHarness, Table};
+use igcn_core::consumer::hotpath::{self, LayerScratch};
 use igcn_core::consumer::{IslandConsumer, LayerInput};
-use igcn_core::{islandize, ConsumerConfig, IslandizationConfig};
+use igcn_core::{islandize, ConsumerConfig, IslandLayout, IslandizationConfig};
 use igcn_gnn::Activation;
 use igcn_graph::generate::HubIslandConfig;
 use igcn_graph::SparseFeatures;
 use igcn_linalg::{DenseMatrix, GcnNormalization};
 
-fn bench_consumer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("island_consumer");
-    group.sample_size(20);
+fn main() {
+    let harness = BenchHarness::new(2, 10);
     let g = HubIslandConfig::new(4_000, 160).island_density(0.5).generate(6);
     let partition = islandize(&g.graph, &IslandizationConfig::default());
     let x = SparseFeatures::random(4_000, 64, 0.05, 7);
     let w = DenseMatrix::from_vec(64, 16, vec![0.1f32; 64 * 16]);
     let norm = GcnNormalization::symmetric(&g.graph);
 
+    let mut table = Table::new(vec!["case", "median (ms)", "p95 (ms)"]);
+    let mut record = |label: String, stats: igcn_bench::BenchStats| {
+        table.row(vec![label, fmt_sig(stats.median_s() * 1e3), fmt_sig(stats.p95_s() * 1e3)]);
+    };
+
     for redundancy in [true, false] {
         let cfg = ConsumerConfig::default().with_redundancy_removal(redundancy);
         let consumer = IslandConsumer::new(&g.graph, &partition, cfg);
-        let label = if redundancy { "with_reuse" } else { "no_reuse" };
-        group.bench_function(BenchmarkId::new("layer", label), |b| {
-            b.iter(|| consumer.execute_layer(LayerInput::Sparse(&x), &w, &norm, Activation::Relu))
-        });
+        let label = if redundancy { "layer/with_reuse" } else { "layer/no_reuse" };
+        let stats = harness
+            .run(|| consumer.execute_layer(LayerInput::Sparse(&x), &w, &norm, Activation::Relu));
+        record(label.to_string(), stats);
     }
     for k in [2usize, 4, 8] {
         let cfg = ConsumerConfig::default().with_k(k);
         let consumer = IslandConsumer::new(&g.graph, &partition, cfg);
-        group.bench_function(BenchmarkId::new("k", k), |b| {
-            b.iter(|| consumer.execute_layer(LayerInput::Sparse(&x), &w, &norm, Activation::Relu))
-        });
+        let stats = harness
+            .run(|| consumer.execute_layer(LayerInput::Sparse(&x), &w, &norm, Activation::Relu));
+        record(format!("layer/k={k}"), stats);
     }
-    group.bench_function("account_only", |b| {
+    {
         let consumer = IslandConsumer::new(&g.graph, &partition, ConsumerConfig::default());
-        b.iter(|| consumer.account_layer(LayerInput::Sparse(&x), 16, &norm))
-    });
-    group.finish();
-}
+        let stats = harness.run(|| consumer.account_layer(LayerInput::Sparse(&x), 16, &norm));
+        record("account_only".to_string(), stats);
+    }
+    {
+        // The zero-allocation hot path over the physical layout.
+        let cfg = ConsumerConfig::default();
+        let layout = IslandLayout::new(&g.graph, &partition, cfg.num_pes);
+        let hot_norm = GcnNormalization::symmetric(layout.graph());
+        let gathered = x.gather_rows(layout.gather_order());
+        let mut scratch = LayerScratch::new();
+        let mut out = vec![0.0f32; g.graph.num_nodes() * 16];
+        let stats = harness.run(|| {
+            hotpath::execute_layer(
+                &layout,
+                cfg,
+                LayerInput::Sparse(&gathered),
+                &w,
+                &hot_norm,
+                Activation::Relu,
+                &mut scratch,
+                &mut out,
+            )
+        });
+        record("layer/physical_layout".to_string(), stats);
+    }
 
-criterion_group!(benches, bench_consumer);
-criterion_main!(benches);
+    println!("\n# Island Consumer layer execution (4000 nodes, 64→16)\n");
+    println!("{}", table.to_markdown());
+}

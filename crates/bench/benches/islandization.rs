@@ -1,47 +1,45 @@
-//! Criterion bench: Island Locator throughput.
+//! Island Locator throughput bench on the vendored harness.
 //!
 //! Measures the software islandization pass (Algorithms 1–4 under
-//! deterministic lock-step) across graph sizes and community strengths —
-//! the cost the hardware pays once per graph and overlaps with layer 0.
+//! deterministic lock-step) across graph sizes, community strengths and
+//! TP-BFS engine counts — the cost the hardware pays once per graph and
+//! overlaps with layer 0.
+//!
+//! Formerly a criterion bench (gated out of hermetic builds); now a
+//! plain `harness = false` main over `igcn_bench::harness`.
+//! Run: `cargo bench -p igcn-bench --bench islandization`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{BenchHarness, Table};
 use igcn_core::{islandize, IslandizationConfig};
 use igcn_graph::generate::HubIslandConfig;
 
-fn bench_islandization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("islandization");
-    group.sample_size(20);
+fn main() {
+    let harness = BenchHarness::new(1, 7);
+    let mut table = Table::new(vec!["case", "median (ms)", "p95 (ms)"]);
+    let mut record = |label: String, stats: igcn_bench::BenchStats| {
+        table.row(vec![label, fmt_sig(stats.median_s() * 1e3), fmt_sig(stats.p95_s() * 1e3)]);
+    };
+
     for &n in &[1_000usize, 4_000, 16_000] {
         let g = HubIslandConfig::new(n, n / 25).noise_fraction(0.02).generate(7);
-        group.bench_with_input(BenchmarkId::new("hub_island", n), &g.graph, |b, graph| {
-            b.iter(|| islandize(graph, &IslandizationConfig::default()))
-        });
+        let stats = harness.run(|| islandize(&g.graph, &IslandizationConfig::default()));
+        record(format!("hub_island/n={n}"), stats);
     }
     // Community strength sweep at fixed size.
     for &noise in &[0.0f64, 0.1, 0.3] {
         let g = HubIslandConfig::new(4_000, 160).noise_fraction(noise).generate(9);
-        group.bench_with_input(
-            BenchmarkId::new("noise", format!("{noise:.1}")),
-            &g.graph,
-            |b, graph| b.iter(|| islandize(graph, &IslandizationConfig::default())),
-        );
+        let stats = harness.run(|| islandize(&g.graph, &IslandizationConfig::default()));
+        record(format!("noise={noise:.1}"), stats);
     }
-    group.finish();
-}
-
-fn bench_engine_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tpbfs_engines");
-    group.sample_size(20);
+    // TP-BFS engine scaling (modelled lock-step parallelism).
     let g = HubIslandConfig::new(8_000, 320).generate(11);
     for &engines in &[1usize, 8, 64] {
         let cfg = IslandizationConfig::default().with_engines(engines);
-        group.bench_with_input(BenchmarkId::from_parameter(engines), &cfg, |b, cfg| {
-            b.iter(|| islandize(&g.graph, cfg))
-        });
+        let stats = harness.run(|| islandize(&g.graph, &cfg));
+        record(format!("tpbfs_engines={engines}"), stats);
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_islandization, bench_engine_scaling);
-criterion_main!(benches);
+    println!("\n# Island Locator throughput\n");
+    println!("{}", table.to_markdown());
+}

@@ -1,26 +1,37 @@
-//! Criterion bench: reordering-algorithm cost (Figure 12's offline side).
+//! Reordering-algorithm cost bench (Figure 12's offline side) on the
+//! vendored harness.
+//!
+//! Formerly a criterion bench (gated out of hermetic builds); now a
+//! plain `harness = false` main over `igcn_bench::harness`.
+//! Run: `cargo bench -p igcn-bench --bench reorder`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{BenchHarness, Table};
 use igcn_graph::generate::HubIslandConfig;
 use igcn_reorder::{figure12_baselines, Rcm, Reorderer, SlashBurn};
 
-fn bench_reorderers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reorder");
-    group.sample_size(15);
+fn main() {
+    let harness = BenchHarness::new(1, 7);
     let g = HubIslandConfig::new(3_000, 120).generate(8);
-    for r in figure12_baselines() {
-        group.bench_function(BenchmarkId::from_parameter(r.name()), |b| {
-            b.iter(|| r.reorder(&g.graph))
-        });
-    }
-    group.bench_function("slashburn", |b| {
-        let r = SlashBurn::default();
-        b.iter(|| r.reorder(&g.graph))
-    });
-    group.bench_function("rcm", |b| b.iter(|| Rcm.reorder(&g.graph)));
-    group.finish();
-}
+    let mut table = Table::new(vec!["reorderer", "median (ms)", "p95 (ms)"]);
+    let mut record = |label: String, stats: igcn_bench::BenchStats| {
+        table.row(vec![label, fmt_sig(stats.median_s() * 1e3), fmt_sig(stats.p95_s() * 1e3)]);
+    };
 
-criterion_group!(benches, bench_reorderers);
-criterion_main!(benches);
+    for r in figure12_baselines() {
+        let stats = harness.run(|| r.reorder(&g.graph));
+        record(r.name().to_string(), stats);
+    }
+    {
+        let r = SlashBurn::default();
+        let stats = harness.run(|| r.reorder(&g.graph));
+        record("slashburn".to_string(), stats);
+    }
+    {
+        let stats = harness.run(|| Rcm.reorder(&g.graph));
+        record("rcm".to_string(), stats);
+    }
+
+    println!("\n# Reordering-algorithm cost (3000 nodes)\n");
+    println!("{}", table.to_markdown());
+}

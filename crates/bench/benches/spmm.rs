@@ -1,51 +1,46 @@
-//! Criterion bench: the four SpMM dataflows of Figure 2.
+//! The four SpMM dataflows of Figure 2 on the vendored harness.
 //!
 //! Same product, four loop orders — the software throughput difference
 //! echoes the locality argument of §2.2 (pull re-touches B rows, push
 //! re-touches result rows).
+//!
+//! Formerly a criterion bench (gated out of hermetic builds); now a
+//! plain `harness = false` main over `igcn_bench::harness`.
+//! Run: `cargo bench -p igcn-bench --bench spmm`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{BenchHarness, Table};
 use igcn_graph::generate::HubIslandConfig;
 use igcn_linalg::spmm::SpmmMethod;
 use igcn_linalg::{CsrMatrix, DenseMatrix, GcnNormalization};
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm");
-    group.sample_size(20);
+fn main() {
+    let harness = BenchHarness::new(1, 7);
+    let mut table = Table::new(vec!["dataflow", "median (ms)", "p95 (ms)"]);
+    let mut record = |label: String, stats: igcn_bench::BenchStats| {
+        table.row(vec![label, fmt_sig(stats.median_s() * 1e3), fmt_sig(stats.p95_s() * 1e3)]);
+    };
+
     let g = HubIslandConfig::new(4_000, 160).generate(3);
     let norm = GcnNormalization::symmetric(&g.graph);
     let a = norm.to_explicit_matrix(&g.graph);
     let b = DenseMatrix::from_vec(4_000, 32, vec![0.5f32; 4_000 * 32]);
     for method in SpmmMethod::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(method.name()),
-            &method,
-            |bench, m| bench.iter(|| m.run(&a, &b)),
-        );
+        let stats = harness.run(|| method.run(&a, &b));
+        record(method.name().to_string(), stats);
     }
-    group.finish();
-}
 
-fn bench_sparse_sparse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm_sparse_input");
-    group.sample_size(20);
-    let g = HubIslandConfig::new(4_000, 160).generate(4);
+    // Sparse-input first-layer combination X·W.
     let x = igcn_graph::SparseFeatures::random(4_000, 512, 0.01, 5);
     let xm = CsrMatrix::from(&x);
     let w = CsrMatrix::from_triplets(
         512,
         16,
-        &(0..512u32)
-            .flat_map(|r| (0..16u32).map(move |c| (r, c, 0.01)))
-            .collect::<Vec<_>>(),
+        &(0..512u32).flat_map(|r| (0..16u32).map(move |c| (r, c, 0.01))).collect::<Vec<_>>(),
     );
-    group.bench_function("sparse_x_times_w", |bench| {
-        bench.iter(|| igcn_linalg::spmm::sparse_sparse_dense(&xm, &w))
-    });
-    let _ = g;
-    group.finish();
-}
+    let stats = harness.run(|| igcn_linalg::spmm::sparse_sparse_dense(&xm, &w));
+    record("sparse_x_times_w".to_string(), stats);
 
-criterion_group!(benches, bench_spmm, bench_sparse_sparse);
-criterion_main!(benches);
+    println!("\n# SpMM dataflows (4000 nodes, width 32)\n");
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,149 @@
+//! Single-thread layer-throughput A/B of the physical island layout.
+//!
+//! PR 2's thread fan-out cannot show a speedup on a 1-CPU container;
+//! the physical-layout work can: it eliminates per-node allocations,
+//! hub hash tables and per-layer bitmap rebuilds, and executes over the
+//! schedule-ordered graph — a **single-thread** win that this harness
+//! measures and pins.
+//!
+//! On the 50k-node power-law bin (the `serving_batch` scaling graph),
+//! both engine configurations run the same full-model inference:
+//!
+//! * **old layout** — `ExecConfig::physical_layout = false`: the legacy
+//!   index-indirect execution over the original CSR order;
+//! * **new layout** — `physical_layout = true`: the schedule-ordered
+//!   layout + zero-allocation flat-arena core.
+//!
+//! Outputs **and** `ExecStats` are asserted bit-identical between the
+//! two before anything is timed (the optimisation must be free of
+//! semantic drift), then the vendored [`BenchHarness`] records
+//! median/p95 per-inference latency and the layer-throughput speedup to
+//! `results/locality_speedup.json`. The run aborts (non-zero exit) if
+//! the new layout is slower than the old one — the CI smoke contract.
+//!
+//! Run: `cargo run --release -p igcn-bench --bin layer_hotpath -- --quick`
+
+use std::fmt::Write as _;
+
+use igcn_bench::table::fmt_sig;
+use igcn_bench::{write_result, BenchHarness, HarnessArgs, Table};
+use igcn_core::{ExecConfig, IGcnEngine};
+use igcn_gnn::{GnnModel, ModelWeights};
+use igcn_graph::generate::barabasi_albert;
+use igcn_graph::SparseFeatures;
+
+struct Measured {
+    label: &'static str,
+    median_s: f64,
+    p95_s: f64,
+    layers_per_s: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // The 50k-node power-law bin of the serving scaling sweep.
+    let n = if args.quick { 4_000 } else { 50_000 };
+    let edges_per_node = 8;
+    let feature_dim = 32;
+    let density = 0.05;
+    let graph = barabasi_albert(n, edges_per_node, args.seed);
+    let model = GnnModel::gcn(feature_dim, 16, 8);
+    let num_layers = model.num_layers();
+    let weights = ModelWeights::glorot(&model, args.seed);
+    let x = SparseFeatures::random(n, feature_dim, density, args.seed + 1);
+
+    eprintln!("[hotpath] islandizing {n} nodes...");
+    let base = IGcnEngine::builder(graph).build().expect("BA graphs are loop-free");
+    let mut old_engine = base.clone();
+    old_engine.set_exec_config(ExecConfig::default().with_physical_layout(false));
+    let mut new_engine = base;
+    new_engine.set_exec_config(ExecConfig::default().with_physical_layout(true));
+
+    // Contract first: the layout is a pure locality optimisation —
+    // outputs and the complete execution statistics must be
+    // bit-identical before any timing is worth reporting.
+    eprintln!("[hotpath] checking bit-identity of outputs and stats...");
+    let (old_out, old_stats) = old_engine.run(&x, &model, &weights).expect("legacy path runs");
+    let (new_out, new_stats) = new_engine.run(&x, &model, &weights).expect("layout path runs");
+    assert_eq!(new_out, old_out, "layout on/off outputs must be bit-identical");
+    assert_eq!(new_stats, old_stats, "layout on/off ExecStats must be bit-identical");
+
+    let harness = if args.quick { BenchHarness::quick() } else { BenchHarness::new(1, 5) };
+    let mut rows: Vec<Measured> = Vec::new();
+    for (label, engine) in [("old_layout", &old_engine), ("new_layout", &new_engine)] {
+        eprintln!(
+            "[hotpath] timing {label} ({} warmup + {} iters)...",
+            harness.warmup, harness.iters
+        );
+        let stats = harness.run(|| engine.run(&x, &model, &weights).expect("engine runs"));
+        rows.push(Measured {
+            label,
+            median_s: stats.median_s(),
+            p95_s: stats.p95_s(),
+            layers_per_s: num_layers as f64 / stats.median_s().max(1e-12),
+        });
+    }
+    let old = &rows[0];
+    let new = &rows[1];
+    let speedup = old.median_s / new.median_s.max(1e-12);
+
+    let mut table =
+        Table::new(vec!["layout", "median (ms)", "p95 (ms)", "layers/s", "speedup vs old"]);
+    for row in &rows {
+        table.row(vec![
+            row.label.to_string(),
+            fmt_sig(row.median_s * 1e3),
+            fmt_sig(row.p95_s * 1e3),
+            fmt_sig(row.layers_per_s),
+            fmt_sig(old.median_s / row.median_s.max(1e-12)),
+        ]);
+    }
+    println!("\n# Single-thread layer hot path: physical layout A/B (power-law, {n} nodes)\n");
+    println!("{}", table.to_markdown());
+    println!("speedup (old median / new median): {speedup:.3}x");
+
+    // Hand-rolled JSON (the serde stand-in only keeps derives compiling).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\"kind\": \"barabasi_albert\", \"nodes\": {n}, \
+         \"edges_per_node\": {edges_per_node}, \"seed\": {}}},",
+        args.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"model\": {{\"kind\": \"gcn\", \"in_dim\": {feature_dim}, \"hidden\": 16, \
+         \"classes\": 8, \"layers\": {num_layers}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"harness\": {{\"warmup\": {}, \"iters\": {}, \"threads\": 1}},",
+        harness.warmup, harness.iters
+    );
+    let _ = writeln!(json, "  \"bit_identical_outputs_and_stats\": true,");
+    json.push_str("  \"measurements\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"layout\": \"{}\", \"median_s\": {:.6}, \"p95_s\": {:.6}, \
+             \"layers_per_s\": {:.3}}}",
+            row.label, row.median_s, row.p95_s, row.layers_per_s
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"single_thread_median_speedup\": {speedup:.3}");
+    json.push_str("}\n");
+    let path = write_result("locality_speedup.json", json.as_bytes());
+    eprintln!("wrote {}", path.display());
+
+    // The CI smoke contract: the new layout must not regress the old
+    // one (single-thread medians, valid on 1-CPU runners).
+    assert!(
+        new.median_s <= old.median_s,
+        "physical layout regressed the hot path: new median {:.6}s > old median {:.6}s",
+        new.median_s,
+        old.median_s
+    );
+}

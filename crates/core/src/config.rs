@@ -260,13 +260,25 @@ pub struct ExecConfig {
     /// Fan `infer_batch` requests across the pool (each request then
     /// executes its layers sequentially to avoid nested pools).
     pub parallel_batch: bool,
+    /// Execute over the islandized *physical* data layout: the
+    /// schedule-order permuted graph, prebuilt island bitmaps and the
+    /// zero-allocation flat-arena execution core
+    /// ([`crate::consumer::hotpath`]). Outputs and statistics are
+    /// bit-identical with this on or off — off preserves the legacy
+    /// index-indirect path for A/B measurement.
+    pub physical_layout: bool,
 }
 
 impl Default for ExecConfig {
-    /// Sequential execution: one thread, both fan-out dimensions armed
-    /// for when the thread count is raised.
+    /// Sequential execution over the physical layout: one thread, both
+    /// fan-out dimensions armed for when the thread count is raised.
     fn default() -> Self {
-        ExecConfig { num_threads: 1, parallel_islands: true, parallel_batch: true }
+        ExecConfig {
+            num_threads: 1,
+            parallel_islands: true,
+            parallel_batch: true,
+            physical_layout: true,
+        }
     }
 }
 
@@ -293,6 +305,14 @@ impl ExecConfig {
         self.parallel_batch = on;
         self
     }
+
+    /// Enables or disables the physical schedule-order layout (a pure
+    /// runtime knob: outputs and statistics are bit-identical either
+    /// way).
+    pub fn with_physical_layout(mut self, on: bool) -> Self {
+        self.physical_layout = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +325,8 @@ mod tests {
         assert_eq!(cfg.num_threads, 1);
         assert!(cfg.parallel_islands);
         assert!(cfg.parallel_batch);
+        assert!(cfg.physical_layout);
+        assert!(!cfg.with_physical_layout(false).physical_layout);
     }
 
     #[test]

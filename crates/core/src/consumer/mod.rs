@@ -11,6 +11,7 @@
 //! edges are handled by separate inter-hub tasks in PUSH-outer-product
 //! order, after which hub outputs are finalised.
 
+pub mod hotpath;
 pub mod hub_cache;
 pub mod pe;
 pub mod ring;
@@ -24,6 +25,7 @@ use igcn_linalg::{DenseMatrix, GcnNormalization};
 use threadpool::ThreadPool;
 
 use crate::config::ConsumerConfig;
+use crate::error::CoreError;
 use crate::partition::IslandPartition;
 use crate::schedule::IslandSchedule;
 use crate::stats::LayerExecStats;
@@ -181,6 +183,13 @@ impl<'a> IslandConsumer<'a> {
     ///    accumulation, ring waves), so floating-point accumulation
     ///    order and every statistic match the sequential path exactly.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::HubTableMiss`] if an island references a hub
+    /// missing from the phase-1 table (impossible for a partition that
+    /// matches the graph; surfaced as an error rather than a worker
+    /// panic for stale callers).
+    ///
     /// # Panics
     ///
     /// As [`IslandConsumer::execute_layer`].
@@ -191,7 +200,7 @@ impl<'a> IslandConsumer<'a> {
         norm: &GcnNormalization,
         activation: Activation,
         pool: &ThreadPool,
-    ) -> (DenseMatrix, LayerExecStats) {
+    ) -> Result<(DenseMatrix, LayerExecStats), CoreError> {
         let n = self.graph.num_nodes();
         assert_eq!(input.num_rows(), n, "input row count does not match the graph");
         assert_eq!(
@@ -207,11 +216,14 @@ impl<'a> IslandConsumer<'a> {
         let hub_y: HashMap<u32, Vec<f32>> = hubs.iter().copied().zip(hub_vecs).collect();
 
         // Phase 2: independent island tasks across the pool.
-        let results = pool.par_map(self.partition.islands(), |_, island| {
-            pe::run_island_task(
-                self.graph, island, input, weights, norm, activation, self.cfg, &hub_y,
-            )
-        });
+        let results = pool
+            .par_map(self.partition.islands(), |_, island| {
+                pe::run_island_task(
+                    self.graph, island, input, weights, norm, activation, self.cfg, &hub_y,
+                )
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, CoreError>>()?;
 
         // Phase 3: sequential merge in schedule order. The context keeps
         // serving hub vectors from the precomputed table, so the
@@ -238,7 +250,7 @@ impl<'a> IslandConsumer<'a> {
         pe::execute_inter_hub_tasks(&mut ctx, self.partition.inter_hub_edges());
         ctx.flush_wave();
         pe::finalize_hubs(&mut ctx, self.partition.hubs());
-        ctx.finish()
+        Ok(ctx.finish())
     }
 
     /// Computes the statistics [`IslandConsumer::execute_layer`] would
@@ -388,13 +400,15 @@ mod tests {
                 consumer.execute_layer(LayerInput::Sparse(&x), w.layer(0), &norm, Activation::Relu);
             for threads in [1, 2, 8] {
                 let pool = threadpool::ThreadPool::new(threads);
-                let (par_out, par_stats) = consumer.execute_layer_parallel(
-                    LayerInput::Sparse(&x),
-                    w.layer(0),
-                    &norm,
-                    Activation::Relu,
-                    &pool,
-                );
+                let (par_out, par_stats) = consumer
+                    .execute_layer_parallel(
+                        LayerInput::Sparse(&x),
+                        w.layer(0),
+                        &norm,
+                        Activation::Relu,
+                        &pool,
+                    )
+                    .unwrap();
                 assert_eq!(
                     par_out,
                     seq_out,
@@ -416,16 +430,41 @@ mod tests {
                 Activation::None,
             );
             let pool = threadpool::ThreadPool::new(4);
-            let (l1_par, l1_par_stats) = consumer.execute_layer_parallel(
-                LayerInput::Dense(&seq_out),
-                w.layer(1),
-                &norm,
-                Activation::None,
-                &pool,
-            );
+            let (l1_par, l1_par_stats) = consumer
+                .execute_layer_parallel(
+                    LayerInput::Dense(&seq_out),
+                    w.layer(1),
+                    &norm,
+                    Activation::None,
+                    &pool,
+                )
+                .unwrap();
             assert_eq!(l1_par, l1_seq);
             assert_eq!(l1_par_stats, l1_seq_stats);
         }
+    }
+
+    #[test]
+    fn stale_hub_table_is_a_typed_error_not_a_panic() {
+        // A hub table captured before a restructuring (or simply empty)
+        // must surface as `CoreError::HubTableMiss`, not crash a worker.
+        let (g, p, x) = setup(150, 0.0, 9);
+        let island = p.islands().iter().find(|i| !i.hubs.is_empty()).expect("hub-island graph");
+        let w = DenseMatrix::from_vec(12, 4, vec![0.1; 48]);
+        let norm = GcnNormalization::symmetric(&g);
+        let stale: HashMap<u32, Vec<f32>> = HashMap::new();
+        let err = pe::run_island_task(
+            &g,
+            island,
+            LayerInput::Sparse(&x),
+            &w,
+            &norm,
+            Activation::Relu,
+            ConsumerConfig::default(),
+            &stale,
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::error::CoreError::HubTableMiss { .. }), "got {err:?}");
     }
 
     #[test]

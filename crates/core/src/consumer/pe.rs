@@ -19,6 +19,7 @@ use igcn_graph::{CsrGraph, NodeId};
 use igcn_linalg::{DenseMatrix, GcnNormalization};
 
 use crate::config::{ConsumerConfig, PreaggPolicy};
+use crate::error::CoreError;
 use crate::island::{Island, IslandBitmap};
 use crate::stats::{AggregationStats, LayerExecStats};
 
@@ -317,8 +318,8 @@ pub fn finalize_hubs(ctx: &mut LayerContext<'_>, hubs: &[u32]) {
 /// The operation/traffic cost of combining node `v` as
 /// `(macs, muls, feature_read_bytes)` — the single source of truth for
 /// the combination cost model, shared by the execution context, the
-/// accounting context and the pool workers.
-fn combine_cost(
+/// accounting context, the pool workers and the layout hot path.
+pub(crate) fn combine_cost(
     input: LayerInput<'_>,
     out_dim: usize,
     norm: &GcnNormalization,
@@ -349,14 +350,34 @@ pub fn combine_values(
     norm: &GcnNormalization,
     v: u32,
 ) -> Vec<f32> {
-    let out_dim = weights.cols();
-    let mut y = vec![0.0f32; out_dim];
+    let mut y = vec![0.0f32; weights.cols()];
+    combine_values_into(input, weights, norm, v, &mut y);
+    y
+}
+
+/// Allocation-free twin of [`combine_values`]: writes
+/// `y_v = s_in(v) · (X_v · W)` into `out` (which must be `weights.cols()`
+/// long). [`combine_values`] delegates here, so both paths are
+/// arithmetic-identical by construction.
+///
+/// # Panics
+///
+/// Panics if `out.len() != weights.cols()`.
+pub fn combine_values_into(
+    input: LayerInput<'_>,
+    weights: &DenseMatrix,
+    norm: &GcnNormalization,
+    v: u32,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), weights.cols(), "combination output width mismatch");
+    out.fill(0.0);
     match input {
         LayerInput::Sparse(x) => {
             let (cols, vals) = x.row(NodeId::new(v));
             for (&c, &xv) in cols.iter().zip(vals) {
                 let w_row = weights.row(c as usize);
-                for (o, &w) in y.iter_mut().zip(w_row) {
+                for (o, &w) in out.iter_mut().zip(w_row) {
                     *o += xv * w;
                 }
             }
@@ -368,7 +389,7 @@ pub fn combine_values(
                     continue;
                 }
                 let w_row = weights.row(c);
-                for (o, &w) in y.iter_mut().zip(w_row) {
+                for (o, &w) in out.iter_mut().zip(w_row) {
                     *o += xv * w;
                 }
             }
@@ -376,11 +397,10 @@ pub fn combine_values(
     }
     let s = norm.in_scale(NodeId::new(v));
     if s != 1.0 {
-        for o in &mut y {
+        for o in out.iter_mut() {
             *o *= s;
         }
     }
-    y
 }
 
 /// The output of one island task computed off the shared context by a
@@ -412,9 +432,12 @@ pub struct IslandTaskResult {
 /// worker's half of [`execute_island_task`], arithmetic-identical row by
 /// row. Hub combination vectors come from the precomputed `hub_y` table.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a bitmap hub is missing from `hub_y`.
+/// Returns [`CoreError::HubTableMiss`] if a bitmap hub is missing from
+/// `hub_y` — a stale table (e.g. one captured before an `apply_update`
+/// promoted new hubs) surfaces as a typed error instead of a worker
+/// panic.
 #[allow(clippy::too_many_arguments)]
 pub fn run_island_task(
     graph: &CsrGraph,
@@ -425,7 +448,7 @@ pub fn run_island_task(
     activation: Activation,
     cfg: ConsumerConfig,
     hub_y: &HashMap<u32, Vec<f32>>,
-) -> IslandTaskResult {
+) -> Result<IslandTaskResult, CoreError> {
     let self_in_bitmap = norm.self_weight() == 1.0;
     let bm = if self_in_bitmap { island.bitmap_with_self(graph) } else { island.bitmap(graph) };
     let out_dim = weights.cols();
@@ -445,7 +468,7 @@ pub fn run_island_task(
     let mut y: Vec<Vec<f32>> = Vec::with_capacity(dim);
     for (i, &m) in bm.members().iter().enumerate() {
         if i < nh {
-            y.push(hub_y.get(&m).expect("hub table covers every hub").clone());
+            y.push(hub_y.get(&m).ok_or(CoreError::HubTableMiss { hub: m })?.clone());
         } else {
             y.push(combine_values(input, weights, norm, m));
             let (macs, muls, feature_bytes) = combine_cost(input, out_dim, norm, m);
@@ -520,7 +543,7 @@ pub fn run_island_task(
             result.hub_contribs.push((member, acc));
         }
     }
-    result
+    Ok(result)
 }
 
 /// Merges one worker-computed [`IslandTaskResult`] into the shared layer
@@ -580,7 +603,7 @@ fn materialize_group(
 }
 
 #[inline]
-fn axpy(acc: &mut [f32], x: &[f32], alpha: f32) {
+pub(crate) fn axpy(acc: &mut [f32], x: &[f32], alpha: f32) {
     for (a, &v) in acc.iter_mut().zip(x) {
         *a += alpha * v;
     }

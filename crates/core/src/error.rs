@@ -86,6 +86,14 @@ pub enum CoreError {
         /// The other endpoint.
         to: u32,
     },
+    /// A parallel island task referenced a hub absent from the
+    /// precomputed hub XW table — the table is stale (e.g. captured
+    /// before a graph update promoted new hubs). Rebuild the table for
+    /// the current partition and retry.
+    HubTableMiss {
+        /// The hub missing from the table.
+        hub: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -130,6 +138,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::MissingEdge { from, to } => {
                 write!(f, "edge ({from}, {to}) is not present in the graph and cannot be removed")
+            }
+            CoreError::HubTableMiss { hub } => {
+                write!(
+                    f,
+                    "hub {hub} is missing from the precomputed hub XW table; \
+                     the table is stale for the current partition"
+                )
             }
         }
     }

@@ -1,7 +1,7 @@
 //! End-to-end islandized GNN inference: the owned, serving-ready
 //! I-GCN engine.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::{CsrGraph, NodeId, SparseFeatures};
@@ -13,12 +13,87 @@ use crate::accel::{
     InferenceResponse, UpdateReport,
 };
 use crate::config::{ConsumerConfig, ExecConfig, IslandizationConfig};
+use crate::consumer::hotpath::{self, LayerScratch};
 use crate::consumer::{IslandConsumer, LayerInput};
 use crate::error::CoreError;
 use crate::incremental::{apply_edge_changes, incremental_update};
+use crate::layout::IslandLayout;
 use crate::locator::IslandLocator;
 use crate::partition::IslandPartition;
 use crate::stats::ExecStats;
+
+/// Per-request execution scratch: the layer arena plus the
+/// schedule-order feature buffer and the ping-pong layer activations.
+/// Pooled by the engine so repeated `infer` calls reuse steady-state
+/// buffers instead of reallocating per layer.
+struct ExecScratch {
+    layer: LayerScratch,
+    features: SparseFeatures,
+    ping: DenseMatrix,
+    pong: DenseMatrix,
+}
+
+impl Default for ExecScratch {
+    fn default() -> Self {
+        ExecScratch {
+            layer: LayerScratch::new(),
+            features: SparseFeatures::from_rows(0, 0, Vec::new()),
+            ping: DenseMatrix::zeros(0, 0),
+            pong: DenseMatrix::zeros(0, 0),
+        }
+    }
+}
+
+/// A small lock-guarded pool of [`ExecScratch`] arenas shared by all
+/// clones of one engine; concurrent requests each take a private arena
+/// and return it when done.
+struct ScratchPool {
+    inner: Arc<Mutex<Vec<ExecScratch>>>,
+}
+
+/// At most this many warm arenas are retained; beyond it (transient
+/// concurrency spikes) arenas are simply dropped.
+const SCRATCH_POOL_CAP: usize = 16;
+
+impl ScratchPool {
+    fn new() -> Self {
+        ScratchPool { inner: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    fn take(&self) -> ExecScratch {
+        self.inner.lock().expect("scratch pool lock").pop().unwrap_or_default()
+    }
+
+    fn put(&self, scratch: ExecScratch) {
+        let mut pool = self.inner.lock().expect("scratch pool lock");
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    }
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        ScratchPool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pooled = self.inner.lock().map(|p| p.len()).unwrap_or(0);
+        f.debug_struct("ScratchPool").field("pooled", &pooled).finish()
+    }
+}
+
+/// The per-model execution plan: what `infer`/`run` amortise across a
+/// batch. The layout plan executes the zero-allocation hot path over
+/// the physical layout; the legacy plan executes the original
+/// index-indirect path (kept for A/B measurement — outputs and
+/// statistics are bit-identical between the two).
+enum ExecPlan<'a> {
+    Layout { norm: GcnNormalization },
+    Legacy { consumer: IslandConsumer<'a>, norm: GcnNormalization },
+}
 
 /// The I-GCN engine: islandizes a graph once, then executes GNN layers
 /// at island granularity with shared-neighbor redundancy removal.
@@ -65,6 +140,13 @@ pub struct IGcnEngine {
     partition: IslandPartition,
     locator_stats: crate::stats::LocatorStats,
     prepared: Option<(GnnModel, ModelWeights)>,
+    /// The schedule-ordered physical layout (rebuilt by `apply_update`).
+    layout: Arc<IslandLayout>,
+    /// Persistent worker pool (present when `num_threads > 1`); clones
+    /// of the engine share the same workers.
+    pool: Option<ThreadPool>,
+    /// Warm per-request scratch arenas, shared across clones.
+    scratch: ScratchPool,
 }
 
 /// Configures and builds an [`IGcnEngine`]; created by
@@ -111,6 +193,10 @@ impl IGcnEngineBuilder {
         check_not_empty(&self.graph)?;
         check_loop_free(&self.graph)?;
         let (partition, locator_stats) = IslandLocator::new(&self.graph, &self.island_cfg).run()?;
+        let layout =
+            Arc::new(IslandLayout::new(&self.graph, &partition, self.consumer_cfg.num_pes));
+        let pool =
+            (self.exec_cfg.num_threads > 1).then(|| ThreadPool::new(self.exec_cfg.num_threads));
         Ok(IGcnEngine {
             graph: self.graph,
             island_cfg: self.island_cfg,
@@ -119,6 +205,9 @@ impl IGcnEngineBuilder {
             partition,
             locator_stats,
             prepared: None,
+            layout,
+            pool,
+            scratch: ScratchPool::new(),
         })
     }
 }
@@ -172,12 +261,23 @@ impl IGcnEngine {
 
     /// Replaces the parallel-execution configuration in place.
     ///
-    /// Unlike the island/consumer configurations, the thread count is a
-    /// pure runtime knob — it never changes outputs (bit-identical at
-    /// every setting) or the partition, so it can be retuned on a built
-    /// engine without re-islandizing.
+    /// Unlike the island/consumer configurations, the thread count and
+    /// the physical-layout switch are pure runtime knobs — they never
+    /// change outputs (bit-identical at every setting) or the
+    /// partition, so they can be retuned on a built engine without
+    /// re-islandizing. Changing the thread count replaces the
+    /// persistent worker pool.
     pub fn set_exec_config(&mut self, cfg: ExecConfig) {
+        if cfg.num_threads != self.exec_cfg.num_threads {
+            self.pool = (cfg.num_threads > 1).then(|| ThreadPool::new(cfg.num_threads));
+        }
         self.exec_cfg = cfg;
+    }
+
+    /// The physical data layout the engine executes over (schedule-order
+    /// permutation, permuted graph/partition, prebuilt bitmaps).
+    pub fn layout(&self) -> &IslandLayout {
+        &self.layout
     }
 
     /// Worker count the island schedule is fanned across inside one
@@ -187,6 +287,16 @@ impl IGcnEngine {
             self.exec_cfg.num_threads
         } else {
             1
+        }
+    }
+
+    /// The persistent pool used for island fan-out inside one inference
+    /// (`None` = sequential layers).
+    fn island_pool(&self) -> Option<&ThreadPool> {
+        if self.island_workers() > 1 {
+            self.pool.as_ref()
+        } else {
+            None
         }
     }
 
@@ -241,6 +351,14 @@ impl IGcnEngine {
         )?;
         self.graph = Arc::new(new_graph);
         self.partition = result.partition;
+        // Recompose the physical layout over the updated partition: the
+        // incremental rounds confined the restructuring to the
+        // disturbed neighborhood, and the layout refresh re-derives the
+        // schedule-order permutation, permuted graph and bitmaps from
+        // that partition so subsequent requests keep executing on a
+        // contiguous layout.
+        self.layout =
+            Arc::new(IslandLayout::new(&self.graph, &self.partition, self.consumer_cfg.num_pes));
         // The incremental rounds are the restructuring cost that
         // overlaps the *next* inference, replacing the build-time
         // locator pass in layer-0 traffic accounting.
@@ -258,10 +376,115 @@ impl IGcnEngine {
         check_features_for(&self.graph, features, model)
     }
 
-    /// Runs all model layers; `pool` carries the per-island fan-out
-    /// (`None` = sequential layers, the path batch-parallel requests use
-    /// to avoid nested pools).
-    fn execute_with(
+    /// Builds the per-model execution plan (consumer state +
+    /// normalisation) that `infer`/`infer_batch` amortise across a
+    /// batch. The normalisation is computed over the graph the plan
+    /// executes on; degrees are preserved by the layout permutation, so
+    /// both plans produce bitwise-identical scales.
+    fn plan(&self, model: &GnnModel) -> ExecPlan<'_> {
+        if self.exec_cfg.physical_layout {
+            ExecPlan::Layout { norm: model.normalization(self.layout.graph()) }
+        } else {
+            ExecPlan::Legacy {
+                consumer: IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg),
+                norm: model.normalization(&self.graph),
+            }
+        }
+    }
+
+    /// Runs all model layers under `plan`; `pool` carries the
+    /// per-island fan-out (`None` = sequential layers, the path
+    /// batch-parallel requests use to avoid nested pools).
+    fn execute_plan(
+        &self,
+        plan: &ExecPlan<'_>,
+        features: &SparseFeatures,
+        model: &GnnModel,
+        weights: &ModelWeights,
+        pool: Option<&ThreadPool>,
+    ) -> Result<(DenseMatrix, ExecStats), CoreError> {
+        match plan {
+            ExecPlan::Layout { norm } => self.execute_layout(norm, features, model, weights, pool),
+            ExecPlan::Legacy { consumer, norm } => {
+                self.execute_legacy(consumer, norm, features, model, weights, pool)
+            }
+        }
+    }
+
+    /// The zero-allocation hot path: gather features into schedule
+    /// order, run every layer over the physical layout with pooled
+    /// scratch arenas (ping-pong activations), scatter the final rows
+    /// back to original node IDs.
+    fn execute_layout(
+        &self,
+        norm: &GcnNormalization,
+        features: &SparseFeatures,
+        model: &GnnModel,
+        weights: &ModelWeights,
+        pool: Option<&ThreadPool>,
+    ) -> Result<(DenseMatrix, ExecStats), CoreError> {
+        assert!(!model.layers().is_empty(), "models have at least one layer");
+        let layout = &*self.layout;
+        let n = self.graph.num_nodes();
+        let mut stats = ExecStats { locator: self.locator_stats.clone(), ..Default::default() };
+        stats.occupancy = layout.schedule().occupancy(pool.map_or(1, ThreadPool::threads));
+
+        let mut scratch = self.scratch.take();
+        let ExecScratch { layer: layer_scratch, features: gathered, ping, pong } = &mut scratch;
+        features.gather_rows_into(layout.gather_order(), gathered);
+        let mut src: &mut DenseMatrix = ping;
+        let mut dst: &mut DenseMatrix = pong;
+        for (i, layer) in model.layers().iter().enumerate() {
+            let w = weights.layer(i);
+            dst.resize_in_place(n, w.cols());
+            let input =
+                if i == 0 { LayerInput::Sparse(gathered) } else { LayerInput::Dense(&*src) };
+            let mut layer_stats = match pool {
+                Some(pool) => hotpath::execute_layer_parallel(
+                    layout,
+                    self.consumer_cfg,
+                    input,
+                    w,
+                    norm,
+                    layer.activation,
+                    pool,
+                    layer_scratch,
+                    dst.as_mut_slice(),
+                ),
+                None => hotpath::execute_layer(
+                    layout,
+                    self.consumer_cfg,
+                    input,
+                    w,
+                    norm,
+                    layer.activation,
+                    layer_scratch,
+                    dst.as_mut_slice(),
+                ),
+            };
+            if i == 0 {
+                // The locator's adjacency streaming is charged to layer 0
+                // (restructuring overlaps the first layer's consumption).
+                layer_stats.traffic.adjacency_bytes += self.locator_stats.adjacency_words_read * 4;
+            }
+            stats.layers.push(layer_stats);
+            std::mem::swap(&mut src, &mut dst);
+        }
+
+        // Scatter the final layer's rows back to original node IDs —
+        // requests and responses always speak original IDs.
+        let mut out = DenseMatrix::zeros(n, src.cols());
+        for (old, &new) in layout.forward().iter().enumerate() {
+            out.row_mut(old).copy_from_slice(src.row(new as usize));
+        }
+        self.scratch.put(scratch);
+        Ok((out, stats))
+    }
+
+    /// The legacy index-indirect path over the original CSR layout —
+    /// preserved behind `ExecConfig::physical_layout = false` so the
+    /// locality win stays measurable (and testable) as an A/B pair.
+    fn execute_legacy(
         &self,
         consumer: &IslandConsumer<'_>,
         norm: &GcnNormalization,
@@ -269,7 +492,7 @@ impl IGcnEngine {
         model: &GnnModel,
         weights: &ModelWeights,
         pool: Option<&ThreadPool>,
-    ) -> (DenseMatrix, ExecStats) {
+    ) -> Result<(DenseMatrix, ExecStats), CoreError> {
         let mut stats = ExecStats { locator: self.locator_stats.clone(), ..Default::default() };
         stats.occupancy = consumer.schedule().occupancy(pool.map_or(1, ThreadPool::threads));
         let mut current: Option<DenseMatrix> = None;
@@ -285,7 +508,7 @@ impl IGcnEngine {
                     norm,
                     layer.activation,
                     pool,
-                ),
+                )?,
                 None => consumer.execute_layer(input, weights.layer(i), norm, layer.activation),
             };
             if i == 0 {
@@ -296,20 +519,17 @@ impl IGcnEngine {
             stats.layers.push(layer_stats);
             current = Some(out);
         }
-        (current.expect("models have at least one layer"), stats)
+        Ok((current.expect("models have at least one layer"), stats))
     }
 
     fn execute(
         &self,
-        consumer: &IslandConsumer<'_>,
-        norm: &GcnNormalization,
+        plan: &ExecPlan<'_>,
         features: &SparseFeatures,
         model: &GnnModel,
         weights: &ModelWeights,
-    ) -> (DenseMatrix, ExecStats) {
-        let workers = self.island_workers();
-        let pool = (workers > 1).then(|| ThreadPool::new(workers));
-        self.execute_with(consumer, norm, features, model, weights, pool.as_ref())
+    ) -> Result<(DenseMatrix, ExecStats), CoreError> {
+        self.execute_plan(plan, features, model, weights, self.island_pool())
     }
 
     /// Runs full-model inference, returning the output features and the
@@ -331,9 +551,8 @@ impl IGcnEngine {
     ) -> Result<(DenseMatrix, ExecStats), CoreError> {
         self.check_features(features, model)?;
         validate_weights(model, weights)?;
-        let consumer = IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg);
-        let norm = model.normalization(&self.graph);
-        Ok(self.execute(&consumer, &norm, features, model, weights))
+        let plan = self.plan(model);
+        self.execute(&plan, features, model, weights)
     }
 
     /// Computes the statistics [`IGcnEngine::run`] would produce
@@ -412,9 +631,8 @@ impl Accelerator for IGcnEngine {
     fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
         let (model, weights) = self.prepared()?;
         validate_request(&self.graph, model, request)?;
-        let consumer = IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg);
-        let norm = model.normalization(&self.graph);
-        let (output, stats) = self.execute(&consumer, &norm, &request.features, model, weights);
+        let plan = self.plan(model);
+        let (output, stats) = self.execute(&plan, &request.features, model, weights)?;
         Ok(InferenceResponse {
             id: request.id,
             output,
@@ -432,44 +650,47 @@ impl Accelerator for IGcnEngine {
             return Ok(Vec::new());
         }
         let (model, weights) = self.prepared()?;
-        // Amortise the per-call setup across the batch: the consumer's
-        // island schedule and the Ã normalisation depend only on the
-        // graph and model, not on the request.
-        let consumer = IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg);
-        let norm = model.normalization(&self.graph);
+        // Amortise the per-call setup across the batch: the plan's
+        // consumer state and Ã normalisation depend only on the graph
+        // and model, not on the request.
+        let plan = self.plan(model);
         // Validate the whole batch up front (first failure aborts), so
         // the parallel path never does work for a doomed batch.
         for request in requests {
             validate_request(&self.graph, model, request)?;
         }
         if self.exec_cfg.num_threads > 1 && self.exec_cfg.parallel_batch && requests.len() > 1 {
-            // Fan requests across the pool; each request executes its
-            // layers sequentially (no nested pools), which is exactly
-            // the computation a lone sequential `infer` would run, so
-            // batched outputs are bit-identical at any thread count.
-            let pool = ThreadPool::new(self.exec_cfg.num_threads);
-            return Ok(pool.par_map(requests, |_, request| {
-                let (output, stats) =
-                    self.execute_with(&consumer, &norm, &request.features, model, weights, None);
-                InferenceResponse {
-                    id: request.id,
-                    output,
-                    report: ExecReport::from_stats(self.name(), &stats),
-                }
-            }));
+            if let Some(pool) = &self.pool {
+                // Fan requests across the persistent pool; each request
+                // executes its layers sequentially (no nested pools),
+                // which is exactly the computation a lone sequential
+                // `infer` would run, so batched outputs are
+                // bit-identical at any thread count.
+                return pool
+                    .par_map(requests, |_, request| {
+                        let (output, stats) =
+                            self.execute_plan(&plan, &request.features, model, weights, None)?;
+                        Ok(InferenceResponse {
+                            id: request.id,
+                            output,
+                            report: ExecReport::from_stats(self.name(), &stats),
+                        })
+                    })
+                    .into_iter()
+                    .collect();
+            }
         }
-        Ok(requests
+        requests
             .iter()
             .map(|request| {
-                let (output, stats) =
-                    self.execute(&consumer, &norm, &request.features, model, weights);
-                InferenceResponse {
+                let (output, stats) = self.execute(&plan, &request.features, model, weights)?;
+                Ok(InferenceResponse {
                     id: request.id,
                     output,
                     report: ExecReport::from_stats(self.name(), &stats),
-                }
+                })
             })
-            .collect())
+            .collect()
     }
 
     fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError> {

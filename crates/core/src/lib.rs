@@ -43,6 +43,7 @@ pub mod error;
 pub mod exec;
 pub mod incremental;
 pub mod island;
+pub mod layout;
 pub mod locator;
 pub mod partition;
 pub mod schedule;
@@ -53,10 +54,12 @@ pub use accel::{
     UpdateReport,
 };
 pub use config::{ConsumerConfig, DecayPolicy, ExecConfig, IslandizationConfig, ThresholdInit};
+pub use consumer::hotpath::LayerScratch;
 pub use error::CoreError;
 pub use exec::{IGcnEngine, IGcnEngineBuilder};
 pub use incremental::{incremental_islandize, incremental_update, IncrementalResult};
 pub use island::{Island, IslandBitmap};
+pub use layout::IslandLayout;
 pub use locator::{islandize, IslandLocator};
 pub use partition::IslandPartition;
 pub use schedule::IslandSchedule;

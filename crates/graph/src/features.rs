@@ -139,6 +139,56 @@ impl SparseFeatures {
         out
     }
 
+    /// Builds a new matrix whose row `i` is this matrix's row
+    /// `order[i]` — the row-permutation primitive behind schedule-order
+    /// physical layouts (`order` lists source rows in their new
+    /// positions, e.g. a [`Permutation`]'s inverse forward map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `order` is out of range.
+    ///
+    /// [`Permutation`]: crate::Permutation
+    pub fn gather_rows(&self, order: &[u32]) -> SparseFeatures {
+        let mut out = SparseFeatures {
+            num_rows: 0,
+            num_cols: self.num_cols,
+            row_ptr: Vec::new(),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        };
+        self.gather_rows_into(order, &mut out);
+        out
+    }
+
+    /// In-place variant of [`SparseFeatures::gather_rows`]: rebuilds
+    /// `out` as the gathered matrix, reusing its buffers (no allocation
+    /// once the buffers have grown to the steady-state size — the
+    /// requirement of the zero-allocation serving hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `order` is out of range.
+    pub fn gather_rows_into(&self, order: &[u32], out: &mut SparseFeatures) {
+        out.num_rows = order.len();
+        out.num_cols = self.num_cols;
+        out.row_ptr.clear();
+        out.col_idx.clear();
+        out.values.clear();
+        out.row_ptr.reserve(order.len() + 1);
+        out.col_idx.reserve(self.col_idx.len());
+        out.values.reserve(self.values.len());
+        out.row_ptr.push(0);
+        for &src in order {
+            let r = src as usize;
+            assert!(r < self.num_rows, "row {src} out of range for {} rows", self.num_rows);
+            let range = self.row_ptr[r]..self.row_ptr[r + 1];
+            out.col_idx.extend_from_slice(&self.col_idx[range.clone()]);
+            out.values.extend_from_slice(&self.values[range]);
+            out.row_ptr.push(out.col_idx.len());
+        }
+    }
+
     /// Raw row-pointer array (length `num_rows + 1`).
     pub fn row_ptr(&self) -> &[usize] {
         &self.row_ptr
@@ -201,5 +251,59 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_column_panics() {
         let _ = SparseFeatures::from_rows(1, 2, vec![vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    fn gather_rows_reorders_and_duplicates() {
+        let x = SparseFeatures::from_rows(
+            3,
+            4,
+            vec![vec![(0, 1.0)], vec![(1, 2.0), (3, 3.0)], vec![(2, 4.0)]],
+        );
+        let g = x.gather_rows(&[2, 0, 1, 0]);
+        assert_eq!(g.num_rows(), 4);
+        assert_eq!(g.num_cols(), 4);
+        assert_eq!(g.row(NodeId::new(0)), x.row(NodeId::new(2)));
+        assert_eq!(g.row(NodeId::new(1)), x.row(NodeId::new(0)));
+        assert_eq!(g.row(NodeId::new(2)), x.row(NodeId::new(1)));
+        assert_eq!(g.row(NodeId::new(3)), x.row(NodeId::new(0)));
+    }
+
+    #[test]
+    fn gather_rows_roundtrips_through_permutation() {
+        let x = SparseFeatures::random(40, 16, 0.2, 5);
+        let perm = crate::Permutation::from_order(&(0..40u32).rev().collect::<Vec<_>>()).unwrap();
+        // order[new] = old: the inverse forward map.
+        let order = perm.inverse();
+        let permuted = x.gather_rows(order.as_forward());
+        for old in 0..40u32 {
+            let new = perm.map(NodeId::new(old));
+            assert_eq!(permuted.row(new), x.row(NodeId::new(old)));
+        }
+        // Gathering back with the forward map restores the original.
+        let back = permuted.gather_rows(perm.as_forward());
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn gather_rows_into_reuses_buffers() {
+        let x = SparseFeatures::random(30, 8, 0.3, 7);
+        let order: Vec<u32> = (0..30u32).rev().collect();
+        let mut out = x.gather_rows(&order);
+        let cap = (out.row_ptr.capacity(), out.col_idx.capacity(), out.values.capacity());
+        x.gather_rows_into(&order, &mut out);
+        assert_eq!(
+            (out.row_ptr.capacity(), out.col_idx.capacity(), out.values.capacity()),
+            cap,
+            "steady-state gather must not reallocate"
+        );
+        assert_eq!(out, x.gather_rows(&order));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rows_rejects_bad_index() {
+        let x = SparseFeatures::random(3, 4, 0.5, 1);
+        let _ = x.gather_rows(&[0, 9]);
     }
 }

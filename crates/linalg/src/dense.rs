@@ -94,6 +94,17 @@ impl DenseMatrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes the matrix in place to `rows × cols`, reusing the
+    /// existing buffer (no allocation once the buffer has grown to its
+    /// steady-state size). The contents are unspecified afterwards —
+    /// callers are expected to overwrite every row, as the islandized
+    /// layer execution does.
+    pub fn resize_in_place(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// The full row-major buffer.
     pub fn as_slice(&self) -> &[f32] {
         &self.data

@@ -106,6 +106,41 @@
 //! (`worker_busy_cycles`, `utilisation` on [`core::ExecReport`]), and
 //! the timing model reports island-schedule PE utilisation.
 //!
+//! # Memory layout & locality
+//!
+//! Islandization *discovers* which nodes are touched together; since
+//! PR 3 the engine also makes that locality **physical**. At build time
+//! (and after every `apply_update`) it composes the island schedule
+//! into a schedule-order permutation — hubs first in detection order,
+//! then islands back to back — and materialises an
+//! [`core::IslandLayout`]: the permuted CSR graph (each island's nodes
+//! and their intra-island neighbors contiguous in memory), the permuted
+//! partition whose hub IDs are the compact range `0..H`, prebuilt
+//! per-island adjacency bitmaps, and the inter-hub task list in legacy
+//! replay order.
+//!
+//! Execution over the layout uses the zero-allocation hot path
+//! ([`core::consumer::hotpath`]): one flat row-major
+//! [`core::LayerScratch`] arena per worker — pooled by the engine and
+//! reused across layers, islands, batch requests and `infer` calls —
+//! with hub XW vectors and hub partial results in dense slabs indexed
+//! by the compact hub IDs instead of `HashMap`s. On the 50k-node
+//! power-law serving bin this is a ~3.8× single-thread layer-throughput
+//! win (`results/locality_speedup.json`, reproducible with
+//! `cargo run --release -p igcn-bench --bin layer_hotpath`).
+//!
+//! **The ID remap contract:** requests and responses always speak
+//! *original* node IDs. Request features are gathered into schedule
+//! order on the way in (`SparseFeatures::gather_rows_into` with
+//! `IslandLayout::gather_order`), intermediate layers stay in layout
+//! order, and only the final layer's rows are scattered back
+//! (`IslandLayout::forward`). The layout is a pure locality
+//! optimisation: outputs and `ExecStats` are **bit-identical** with it
+//! on or off (`ExecConfig::physical_layout`, on by default) and at
+//! every thread count — pinned by the conformance suite's
+//! layout × thread sweep, with the legacy index-indirect path kept
+//! behind `physical_layout = false` for A/B measurement.
+//!
 //! For a serving deployment, wrap any prepared backend in a
 //! [`serve::ServingEngine`]: a bounded request queue (backpressure) in
 //! front of a worker pool whose workers micro-batch co-arriving

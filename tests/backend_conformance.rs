@@ -204,6 +204,105 @@ fn thread_count_never_changes_any_backend_output() {
 }
 
 #[test]
+fn physical_layout_and_thread_sweep_is_bit_identical() {
+    // The PR-3 contract: the physical schedule-order layout is a pure
+    // locality optimisation. Outputs AND the complete `ExecStats` must
+    // be bit-identical with the layout on or off, at 1, 2 and 8
+    // threads, on both the direct (`run`) and serving (`infer_batch`)
+    // paths.
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let x = SparseFeatures::random(N, FEATURE_DIM, 0.3, 91);
+    let requests: Vec<InferenceRequest> = (0..3)
+        .map(|i| {
+            InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.25, 700 + i)).with_id(i)
+        })
+        .collect();
+
+    // Outputs and per-layer/locator statistics are invariant across the
+    // whole sweep; the *full* ExecStats (including the occupancy model,
+    // which by design reflects the configured worker count) is compared
+    // between layout on/off at each fixed thread count.
+    let mut output_baseline: Option<(igcn::linalg::DenseMatrix, Vec<igcn::linalg::DenseMatrix>)> =
+        None;
+    let mut layer_stats_baseline: Option<igcn::core::ExecStats> = None;
+    for threads in [1usize, 2, 8] {
+        let mut stats_at_threads: Option<igcn::core::ExecStats> = None;
+        for physical_layout in [false, true] {
+            let exec_cfg =
+                ExecConfig::default().with_threads(threads).with_physical_layout(physical_layout);
+            let mut engine = IGcnEngine::builder(Arc::clone(&graph))
+                .exec_config(exec_cfg)
+                .build()
+                .expect("conformance graph is loop-free");
+            engine.prepare(&model, &weights).expect("conformance weights match");
+            let (out, stats) = engine.run(&x, &model, &weights).expect("direct run");
+            let batched: Vec<_> = engine
+                .infer_batch(&requests)
+                .expect("batch answers")
+                .into_iter()
+                .map(|r| r.output)
+                .collect();
+            let ctx = format!("layout={physical_layout} threads={threads}");
+            match &output_baseline {
+                None => output_baseline = Some((out, batched)),
+                Some((ref_out, ref_batched)) => {
+                    assert_eq!(&out, ref_out, "{ctx}: run output diverged");
+                    assert_eq!(&batched, ref_batched, "{ctx}: batched outputs diverged");
+                }
+            }
+            match &layer_stats_baseline {
+                None => layer_stats_baseline = Some(stats.clone()),
+                Some(reference) => {
+                    assert_eq!(stats.layers, reference.layers, "{ctx}: layer stats diverged");
+                    assert_eq!(stats.locator, reference.locator, "{ctx}: locator stats diverged");
+                }
+            }
+            match &stats_at_threads {
+                None => stats_at_threads = Some(stats),
+                Some(reference) => {
+                    // The layout on/off pair at one thread count: the
+                    // complete statistics, occupancy included, must be
+                    // bit-identical.
+                    assert_eq!(&stats, reference, "{ctx}: ExecStats diverged from layout off");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn layout_survives_graph_updates() {
+    // `apply_update` recomposes the physical layout; post-update
+    // inference must stay bit-identical between layout on and off.
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let mut with_layout = IGcnEngine::builder(Arc::clone(&graph))
+        .exec_config(ExecConfig::default().with_physical_layout(true))
+        .build()
+        .unwrap();
+    let mut without_layout = IGcnEngine::builder(Arc::clone(&graph))
+        .exec_config(ExecConfig::default().with_physical_layout(false))
+        .build()
+        .unwrap();
+    with_layout.prepare(&model, &weights).unwrap();
+    without_layout.prepare(&model, &weights).unwrap();
+
+    let n = graph.num_nodes() as u32;
+    let update =
+        igcn::core::GraphUpdate::add_edges(vec![(n, 0), (n + 1, n)]).with_num_nodes(n as usize + 2);
+    with_layout.apply_update(update.clone()).unwrap();
+    without_layout.apply_update(update).unwrap();
+
+    let x = SparseFeatures::random(n as usize + 2, FEATURE_DIM, 0.3, 17);
+    let (a, sa) = with_layout.run(&x, &model, &weights).unwrap();
+    let (b, sb) = without_layout.run(&x, &model, &weights).unwrap();
+    assert_eq!(a, b, "post-update outputs diverged between layout on/off");
+    assert_eq!(sa, sb, "post-update stats diverged between layout on/off");
+    with_layout.layout().partition().check_invariants(with_layout.layout().graph()).unwrap();
+}
+
+#[test]
 fn serving_engine_is_order_stable_and_shuts_down_cleanly() {
     // Concurrent submitters hammer one ServingEngine; every ticket must
     // come back with its own request's id and the exact output a direct

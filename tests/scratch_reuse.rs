@@ -1,0 +1,110 @@
+//! Scratch-reuse regression: repeated `infer` calls on the physical
+//! layout must not grow the heap.
+//!
+//! The engine pools its [`LayerScratch`] arenas, the schedule-order
+//! feature buffer and the ping-pong activation matrices, so after the
+//! first (warm-up) request every later request reuses steady-state
+//! buffers: live heap bytes return to the pre-call level and the bytes
+//! allocated per call are constant — no per-layer heap growth.
+//!
+//! The test instruments the global allocator, which is why it lives in
+//! its own integration-test binary with a single `#[test]` (no
+//! concurrent tests polluting the counters).
+//!
+//! [`LayerScratch`]: igcn::core::LayerScratch
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use igcn::core::accel::{Accelerator, InferenceRequest};
+use igcn::core::{ExecConfig, IGcnEngine};
+use igcn::gnn::{GnnModel, ModelWeights};
+use igcn::graph::generate::HubIslandConfig;
+use igcn::graph::SparseFeatures;
+
+/// Counts cumulative allocated bytes and live (outstanding) bytes.
+struct CountingAllocator;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::SeqCst);
+        LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::SeqCst);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::SeqCst);
+        LIVE_BYTES.fetch_add(new_size as isize - layout.size() as isize, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn repeated_infer_calls_do_not_grow_the_heap() {
+    const N: usize = 400;
+    const FEATURE_DIM: usize = 16;
+    let g = HubIslandConfig::new(N, 16).noise_fraction(0.02).generate(23);
+    let graph = Arc::new(g.graph);
+    let model = GnnModel::gcn(FEATURE_DIM, 8, 4);
+    let weights = ModelWeights::glorot(&model, 3);
+    let mut engine = IGcnEngine::builder(Arc::clone(&graph))
+        .exec_config(ExecConfig::default().with_physical_layout(true))
+        .build()
+        .expect("loop-free graph");
+    engine.prepare(&model, &weights).expect("weights match");
+    let request = InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.3, 5));
+
+    // First call: arenas and pools grow to their steady-state size.
+    let first_start = ALLOCATED_BYTES.load(Ordering::SeqCst);
+    let warm = engine.infer(&request).expect("prepared engine");
+    let first_call_bytes = ALLOCATED_BYTES.load(Ordering::SeqCst) - first_start;
+    drop(warm);
+    // One more warm-up: lets every lazily-grown buffer reach its final
+    // capacity before measurement.
+    drop(engine.infer(&request).expect("prepared engine"));
+
+    // Steady state: live bytes must return to the pre-call level after
+    // every request (zero heap growth), and the bytes allocated per
+    // call must be constant call over call (no per-layer accumulation).
+    // (Preallocated so the measurement loop's own bookkeeping never
+    // allocates inside the measured window.)
+    let mut per_call = Vec::with_capacity(8);
+    let live_before = LIVE_BYTES.load(Ordering::SeqCst);
+    for i in 0..5 {
+        let start = ALLOCATED_BYTES.load(Ordering::SeqCst);
+        let response = engine.infer(&request).expect("prepared engine");
+        assert_eq!(response.output.rows(), N);
+        drop(response);
+        per_call.push(ALLOCATED_BYTES.load(Ordering::SeqCst) - start);
+        assert_eq!(
+            LIVE_BYTES.load(Ordering::SeqCst),
+            live_before,
+            "call {i}: live heap bytes grew across infer calls"
+        );
+    }
+    assert!(
+        per_call.windows(2).all(|w| w[0] == w[1]),
+        "per-call allocation must be constant at steady state, got {per_call:?}"
+    );
+    // The steady-state per-call allocation (response payload + transient
+    // bookkeeping) must be well below the cold first call, which paid
+    // for the arenas.
+    assert!(
+        per_call[0] < first_call_bytes,
+        "steady-state calls ({} B) should allocate less than the cold call ({} B)",
+        per_call[0],
+        first_call_bytes
+    );
+}
