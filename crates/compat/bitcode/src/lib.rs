@@ -1,0 +1,509 @@
+//! Offline stand-in for the `bitcode` binary codec.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the snapshot subsystem (`igcn-store`) vendors the small
+//! codec subset it needs instead of depending on the real `bitcode`
+//! crate: an [`Encode`]/[`Decode`] trait pair over a compact
+//! little-endian wire format, with [`encode`]/[`decode`] entry points
+//! matching the upstream call shape (`bitcode::encode(&value)` /
+//! `bitcode::decode(&bytes)`).
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * no derive macros — callers implement the traits by hand on small
+//!   mirror structs (the snapshot subsystem keeps its wire structs
+//!   separate from the domain types anyway, so the format is an explicit
+//!   contract rather than whatever the struct layout happens to be);
+//! * no bit-packing — fixed-width little-endian primitives. Snapshots
+//!   are dominated by `u32`/`f32` arrays, where bit-packing buys little
+//!   and costs decode time;
+//! * decoding is **total**: every error path is a typed
+//!   [`CodecError`], never a panic, and corrupt length prefixes cannot
+//!   trigger pathological allocations (capacity is clamped to the bytes
+//!   actually remaining).
+//!
+//! # Wire format
+//!
+//! | type | encoding |
+//! |---|---|
+//! | `u8`/`u32`/`u64` | little-endian, fixed width |
+//! | `usize` | as `u64` |
+//! | `f32`/`f64` | IEEE-754 bits, little-endian |
+//! | `bool` | one byte, `0`/`1` (other values are a decode error) |
+//! | `String` | `u64` byte length + UTF-8 bytes |
+//! | `Vec<T>` | `u64` element count + elements |
+//! | `Option<T>` | one tag byte (`0`/`1`) + payload if `1` |
+//! | tuples | fields in order |
+//!
+//! # Example
+//!
+//! ```
+//! use bitcode::{decode, encode, Decode, Encode, Reader, Writer};
+//!
+//! struct Point { x: u32, y: u32 }
+//!
+//! impl Encode for Point {
+//!     fn encode(&self, w: &mut Writer) {
+//!         self.x.encode(w);
+//!         self.y.encode(w);
+//!     }
+//! }
+//!
+//! impl Decode for Point {
+//!     fn decode(r: &mut Reader<'_>) -> Result<Self, bitcode::CodecError> {
+//!         Ok(Point { x: u32::decode(r)?, y: u32::decode(r)? })
+//!     }
+//! }
+//!
+//! let bytes = encode(&Point { x: 3, y: 9 });
+//! let back: Point = decode(&bytes).unwrap();
+//! assert_eq!((back.x, back.y), (3, 9));
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while decoding a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The stream ended before a value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Decoding finished with unconsumed bytes (only raised by
+    /// [`decode`], which expects the value to span the whole slice).
+    TrailingBytes {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+    /// A value was syntactically readable but semantically invalid
+    /// (bad bool tag, invalid UTF-8, unknown enum discriminant…).
+    Invalid {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of stream: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "decoded value left {remaining} trailing bytes")
+            }
+            CodecError::Invalid { detail } => write!(f, "invalid encoding: {detail}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Append-only byte sink values encode into.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reserves space for `additional` more bytes (bulk writers call
+    /// this once instead of growing per element).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a byte slice values decode from.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u64` length prefix and sanity-checks it against the
+    /// bytes remaining: each counted element needs at least
+    /// `min_element_bytes` more bytes, so a corrupt length can be
+    /// rejected before any allocation happens.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if the prefix itself is truncated
+    /// or promises more elements than the stream can hold.
+    pub fn read_len(&mut self, min_element_bytes: usize) -> Result<usize, CodecError> {
+        let len = u64::decode(self)? as usize;
+        let needed = len.saturating_mul(min_element_bytes.max(1));
+        if needed > self.remaining() {
+            return Err(CodecError::UnexpectedEof { needed, remaining: self.remaining() });
+        }
+        Ok(len)
+    }
+}
+
+/// A value that can be appended to a [`Writer`].
+pub trait Encode {
+    /// Appends this value's wire representation.
+    fn encode(&self, w: &mut Writer);
+
+    /// Appends a whole slice (no length prefix — `Vec<T>`'s impl
+    /// writes that). The default loops; fixed-width primitives
+    /// override it with a single-reservation bulk write, which is what
+    /// makes multi-megabyte snapshot arrays cheap.
+    fn encode_slice(items: &[Self], w: &mut Writer)
+    where
+        Self: Sized,
+    {
+        for item in items {
+            item.encode(w);
+        }
+    }
+}
+
+/// A value that can be read back from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or invalid input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Reads `len` values (the caller read and sanity-checked the
+    /// length prefix). The default loops; fixed-width primitives
+    /// override it with one bounds check and a chunked bulk convert.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or invalid input.
+    fn decode_vec(r: &mut Reader<'_>, len: usize) -> Result<Vec<Self>, CodecError> {
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(Self::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes `value` into a fresh byte vector.
+pub fn encode<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes one value spanning the whole of `bytes`.
+///
+/// # Errors
+///
+/// [`CodecError`] on truncated or invalid input, including trailing
+/// bytes after the value.
+pub fn decode<T: Decode>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(CodecError::TrailingBytes { remaining: r.remaining() });
+    }
+    Ok(value)
+}
+
+macro_rules! impl_le_primitive {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, w: &mut Writer) {
+                w.write_bytes(&self.to_le_bytes());
+            }
+
+            fn encode_slice(items: &[$t], w: &mut Writer) {
+                w.reserve(items.len() * std::mem::size_of::<$t>());
+                for item in items {
+                    w.write_bytes(&item.to_le_bytes());
+                }
+            }
+        }
+
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("take returned the exact width")))
+            }
+
+            fn decode_vec(r: &mut Reader<'_>, len: usize) -> Result<Vec<$t>, CodecError> {
+                const WIDTH: usize = std::mem::size_of::<$t>();
+                let bytes = r.take(len.checked_mul(WIDTH).ok_or(CodecError::UnexpectedEof {
+                    needed: usize::MAX,
+                    remaining: 0,
+                })?)?;
+                Ok(bytes
+                    .chunks_exact(WIDTH)
+                    .map(|c| <$t>::from_le_bytes(c.try_into().expect("exact chunk width")))
+                    .collect())
+            }
+        }
+    )*};
+}
+
+impl_le_primitive!(u8, u16, u32, u64, i32, i64, f32, f64);
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        (*self as u64).encode(w);
+    }
+
+    fn encode_slice(items: &[usize], w: &mut Writer) {
+        w.reserve(items.len() * 8);
+        for &item in items {
+            w.write_bytes(&(item as u64).to_le_bytes());
+        }
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid {
+            detail: format!("length {v} does not fit this platform's usize"),
+        })
+    }
+
+    fn decode_vec(r: &mut Reader<'_>, len: usize) -> Result<Vec<usize>, CodecError> {
+        let bytes = r.take(
+            len.checked_mul(8)
+                .ok_or(CodecError::UnexpectedEof { needed: usize::MAX, remaining: 0 })?,
+        )?;
+        bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let v = u64::from_le_bytes(c.try_into().expect("exact chunk width"));
+                usize::try_from(v).map_err(|_| CodecError::Invalid {
+                    detail: format!("length {v} does not fit this platform's usize"),
+                })
+            })
+            .collect()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        (*self as u8).encode(w);
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Invalid { detail: format!("bad bool tag {other}") }),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        w.write_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.read_len(1)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::Invalid { detail: format!("invalid UTF-8 string: {e}") })
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        T::encode_slice(self, w);
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // Elements are at least one byte on the wire, so read_len(1)
+        // bounds the allocation by the remaining stream length.
+        let len = r.read_len(1)?;
+        T::decode_vec(r, len)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => 0u8.encode(w),
+            Some(v) => {
+                1u8.encode(w);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(CodecError::Invalid { detail: format!("bad Option tag {other}") }),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode(&value);
+        let back: T = decode(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(3.25f32);
+        round_trip(f64::MIN_POSITIVE);
+        round_trip(true);
+        round_trip(false);
+        round_trip(1234usize);
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let bytes = encode(&f32::NAN);
+        let back: f32 = decode(&bytes).unwrap();
+        assert_eq!(back.to_bits(), f32::NAN.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(9u32));
+        round_trip(Option::<u32>::None);
+        round_trip((7u32, vec![1.5f32, -2.5]));
+        round_trip("héllo".to_string());
+        round_trip(vec![(1u32, vec![2u32, 3]), (4, vec![])]);
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let bytes = encode(&vec![1u32, 2, 3]);
+        for cut in 0..bytes.len() {
+            let err = decode::<Vec<u32>>(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, CodecError::UnexpectedEof { .. }), "cut at {cut} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&5u32);
+        bytes.push(0);
+        assert!(matches!(decode::<u32>(&bytes), Err(CodecError::TrailingBytes { remaining: 1 })));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_demand_huge_allocation() {
+        // A length prefix of u64::MAX with no payload must error out
+        // before any element allocation happens.
+        let bytes = encode(&u64::MAX);
+        let err = decode::<Vec<u8>>(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn bad_tags_are_invalid() {
+        assert!(matches!(decode::<bool>(&[7]), Err(CodecError::Invalid { .. })));
+        assert!(matches!(decode::<Option<u8>>(&[2]), Err(CodecError::Invalid { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_invalid() {
+        let mut w = Writer::new();
+        2usize.encode(&mut w);
+        w.write_bytes(&[0xFF, 0xFE]);
+        assert!(matches!(decode::<String>(&w.into_bytes()), Err(CodecError::Invalid { .. })));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::UnexpectedEof { needed: 4, remaining: 1 };
+        assert!(e.to_string().contains("needed 4"));
+        assert!(CodecError::TrailingBytes { remaining: 3 }.to_string().contains('3'));
+    }
+}

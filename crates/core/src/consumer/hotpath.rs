@@ -65,6 +65,14 @@ pub struct LayerScratch {
     hub_bank: Vec<u32>,
     /// Pending ring wave (`(pe, bank, hub)` triples).
     wave: Vec<(u32, u32, u32)>,
+    /// Parallel-path hub contribution slab: one `width`-wide slot per
+    /// (island, contacted hub) pair, written by the island workers and
+    /// replayed by the sequential merge — replaces the per-island
+    /// `Vec<f32>` the parallel path used to allocate every layer.
+    hub_contrib_slab: Vec<f32>,
+    /// Prefix sums of per-island hub-contact counts: island `i`'s slots
+    /// are `island_hub_offsets[i]..island_hub_offsets[i + 1]`.
+    island_hub_offsets: Vec<usize>,
 }
 
 impl LayerScratch {
@@ -86,6 +94,8 @@ impl LayerScratch {
             + self.hub_partial_ready.capacity()
             + self.hub_bank.capacity() * 4
             + self.wave.capacity() * 12
+            + self.hub_contrib_slab.capacity() * 4
+            + self.island_hub_offsets.capacity() * 8
     }
 
     /// Prepares the hub slabs for a layer of `width`-wide vectors over
@@ -382,6 +392,7 @@ pub fn execute_layer(
         hub_partial_ready,
         hub_bank,
         wave,
+        ..
     } = scratch;
     let mut hubs = HubSlabs {
         width: env.width,
@@ -604,17 +615,15 @@ fn finish(mut stats: LayerExecStats, ring: RingAccountant, hubs: &HubSlabs<'_>) 
     stats
 }
 
-/// One island task's output from a pool worker: finished island-node
-/// rows and raw hub partial contributions, both flat — two allocations
-/// per island instead of two per *node*. Hub-shared state transitions
-/// are replayed by the sequential merge, exactly like the legacy
-/// parallel path.
-struct IslandTaskFlat {
-    /// Activated island-node rows in bitmap node order
-    /// (`(dim − nh) × width`).
-    node_rows: Vec<f32>,
-    /// Raw aggregation results of the hub rows (`nh × width`).
-    hub_contribs: Vec<f32>,
+/// One island task's statistics from a pool worker. The task's *data*
+/// no longer rides back in per-island buffers: island-node rows are
+/// written straight into the shared output slab (the layout makes every
+/// island's output range disjoint and contiguous) and hub contributions
+/// into the pooled `hub_contrib_slab`, so workers return only this
+/// `Copy` counter block. Hub-shared state transitions are replayed by
+/// the sequential merge, exactly like the legacy parallel path.
+#[derive(Clone, Copy, Default)]
+struct IslandTaskStats {
     aggregation: AggregationStats,
     combination_ops: igcn_linalg::OpCounter,
     feature_read_bytes: u64,
@@ -631,34 +640,34 @@ struct WorkerScratch {
 }
 
 /// The pure half of one island task: identical arithmetic to
-/// [`run_island`], with hub vectors read from the prefilled XW slab and
-/// hub contributions captured instead of applied.
+/// [`run_island`], with hub vectors read from the prefilled XW slab.
+/// Activated island-node rows land directly in `node_out` (the island's
+/// disjoint slice of the shared output slab) and raw hub-row
+/// aggregation results in `hub_out` (the island's slice of the pooled
+/// contribution slab) — no per-island allocation.
 #[allow(clippy::too_many_arguments)]
-fn run_island_pure(
+fn run_island_direct(
     env: &LayerEnv<'_>,
     bm: &IslandBitmap,
     hub_y: &[f32],
     ws: &mut WorkerScratch,
-) -> IslandTaskFlat {
+    node_out: &mut [f32],
+    hub_out: &mut [f32],
+) -> IslandTaskStats {
     let width = env.width;
     let k = env.cfg.k;
     let dim = bm.dim();
     let nh = bm.num_hubs();
     let num_groups = dim.div_ceil(k);
+    debug_assert_eq!(node_out.len(), (dim - nh) * width, "island output slice mismatch");
+    debug_assert_eq!(hub_out.len(), nh * width, "hub contribution slice mismatch");
     grow_f32(&mut ws.y, dim * width);
     grow_f32(&mut ws.group_sums, num_groups * width);
     if ws.group_ready.len() < num_groups {
         ws.group_ready.resize(num_groups, false);
     }
     grow_f32(&mut ws.acc, width);
-    let mut result = IslandTaskFlat {
-        node_rows: vec![0.0; (dim - nh) * width],
-        hub_contribs: vec![0.0; nh * width],
-        aggregation: AggregationStats::default(),
-        combination_ops: igcn_linalg::OpCounter::default(),
-        feature_read_bytes: 0,
-        output_write_bytes: 0,
-    };
+    let mut result = IslandTaskStats::default();
 
     // --- Combination (hub vectors served from the shared slab). ---
     for (i, &m) in bm.members().iter().enumerate() {
@@ -722,13 +731,13 @@ fn run_island_pure(
             if os != 1.0 {
                 result.combination_ops.muls += width as u64;
             }
-            let row = &mut result.node_rows[(r - nh) * width..][..width];
+            let row = &mut node_out[(r - nh) * width..][..width];
             for (o, &v) in row.iter_mut().zip(&ws.acc[..width]) {
                 *o = env.activation.apply(v * os);
             }
             result.output_write_bytes += width as u64 * F32_BYTES;
         } else {
-            result.hub_contribs[r * width..][..width].copy_from_slice(&ws.acc[..width]);
+            hub_out[r * width..][..width].copy_from_slice(&ws.acc[..width]);
         }
     }
     result
@@ -775,6 +784,8 @@ pub fn execute_layer_parallel(
         hub_partial_ready,
         hub_bank,
         wave,
+        hub_contrib_slab,
+        island_hub_offsets,
     } = scratch;
 
     // Phase 1: fill the hub XW slab in parallel (disjoint row chunks).
@@ -794,13 +805,71 @@ pub fn execute_layer_parallel(
     }
 
     // Phase 2: pure island tasks across the pool, worker-local arenas.
+    // Each task writes its island-node rows straight into the island's
+    // disjoint contiguous range of `out` and its hub contributions into
+    // the pooled slab — no per-island result buffers.
     let islands = layout.partition().islands();
+    island_hub_offsets.clear();
+    island_hub_offsets.push(0);
+    let mut hub_slots = 0usize;
+    for isl in islands {
+        hub_slots += isl.hubs.len();
+        island_hub_offsets.push(hub_slots);
+    }
+    grow_f32(hub_contrib_slab, hub_slots * width);
     let hub_slab: &[f32] = &hub_y[..num_hubs * width];
-    let results: Vec<IslandTaskFlat> =
-        pool.par_map_init(islands, WorkerScratch::default, |ws, idx, _island| {
-            let bm = layout.bitmap(idx, env.self_in_bitmap);
-            run_island_pure(&env, bm, hub_slab, ws)
+    let results: Vec<IslandTaskStats> = {
+        struct IslandSlot<'a> {
+            node_out: &'a mut [f32],
+            hub_out: &'a mut [f32],
+            stats: IslandTaskStats,
+        }
+        // Carve the disjoint per-island output and contribution slices.
+        // Island nodes tile `H..n` back to back in island order, so the
+        // split order below is exactly the layout's row order.
+        let (_, mut node_rest) = out.split_at_mut(num_hubs * width);
+        let mut hub_rest: &mut [f32] = &mut hub_contrib_slab[..hub_slots * width];
+        let slots: Vec<std::sync::Mutex<IslandSlot<'_>>> = islands
+            .iter()
+            .map(|isl| {
+                let (node_out, nr) =
+                    std::mem::take(&mut node_rest).split_at_mut(isl.nodes.len() * width);
+                node_rest = nr;
+                let (hub_out, hr) =
+                    std::mem::take(&mut hub_rest).split_at_mut(isl.hubs.len() * width);
+                hub_rest = hr;
+                std::sync::Mutex::new(IslandSlot {
+                    node_out,
+                    hub_out,
+                    stats: IslandTaskStats::default(),
+                })
+            })
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        // Dynamic claiming over the slot list (the atomic hands every
+        // index to exactly one worker, so the per-slot locks are never
+        // contended); each participating thread reuses one arena.
+        let worker = || {
+            let mut ws = WorkerScratch::default();
+            loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= islands.len() {
+                    break;
+                }
+                let mut slot = slots[i].lock().expect("island slot lock");
+                let IslandSlot { node_out, hub_out, stats } = &mut *slot;
+                let bm = layout.bitmap(i, env.self_in_bitmap);
+                *stats = run_island_direct(&env, bm, hub_slab, &mut ws, node_out, hub_out);
+            }
+        };
+        pool.scope(|s| {
+            for _ in 0..(pool.threads() - 1).min(islands.len().saturating_sub(1)) {
+                s.spawn(worker);
+            }
+            worker();
         });
+        slots.into_iter().map(|slot| slot.into_inner().expect("island slot lock").stats).collect()
+    };
 
     // Phase 3: sequential merge in schedule order — the replay of every
     // hub-shared transition, so totals match the sequential path.
@@ -817,30 +886,26 @@ pub fn execute_layer_parallel(
         xw_hits: 0,
         precomputed: true,
     };
-    let mut results = results.into_iter();
     for wave_range in layout.schedule().waves() {
         for task_idx in wave_range {
-            let result = results.next().expect("one result per scheduled island");
+            let result = &results[task_idx];
             let pe_id = (task_idx % cfg.num_pes) as u32;
             let island = &islands[task_idx];
             // Same touches the sequential combination phase makes
             // (first touch charges the combine cost; the slab already
-            // holds the value).
+            // holds the value). Island-node rows are already in `out`.
             for &h in &island.hubs {
                 hubs.touch(h, env.input, env.weights, env.norm, &mut stats);
-            }
-            for (j, &member) in island.nodes.iter().enumerate() {
-                out[member as usize * width..][..width]
-                    .copy_from_slice(&result.node_rows[j * width..][..width]);
             }
             stats.aggregation.merge(&result.aggregation);
             stats.combination_ops.merge(&result.combination_ops);
             stats.traffic.feature_read_bytes += result.feature_read_bytes;
             stats.traffic.output_write_bytes += result.output_write_bytes;
+            let base = island_hub_offsets[task_idx];
             for (j, &hub) in island.hubs.iter().enumerate() {
                 let bank = hubs.bank_of(hub);
                 hubs.ensure_partial(hub, env.norm.self_weight(), &mut stats);
-                hubs.accumulate(hub, &result.hub_contribs[j * width..][..width]);
+                hubs.accumulate(hub, &hub_contrib_slab[(base + j) * width..][..width]);
                 stats.hub_path.hub_updates += 1;
                 wave.push((pe_id, bank, hub));
             }

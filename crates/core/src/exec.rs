@@ -212,6 +212,84 @@ impl IGcnEngineBuilder {
     }
 }
 
+/// Pre-composed islandization state for a warm engine boot: everything
+/// [`IGcnEngineBuilder::build`] normally derives from the graph, loaded
+/// instead from a snapshot (see `igcn-store`).
+#[derive(Debug, Clone)]
+pub struct EngineParts {
+    /// The islandization partition over *original* node IDs.
+    pub partition: IslandPartition,
+    /// The locator statistics recorded when the partition was built.
+    pub locator_stats: crate::stats::LocatorStats,
+    /// The composed physical layout.
+    pub layout: Arc<IslandLayout>,
+}
+
+impl IGcnEngineBuilder {
+    /// Builds the engine from pre-composed islandization parts — the
+    /// **warm-start** path: the Island Locator pass and the layout
+    /// composition are both skipped, and only cheap structural checks
+    /// run (the parts must belong to this builder's graph).
+    ///
+    /// Snapshot loading (`igcn::store::from_snapshot`) is the intended
+    /// caller; the parts it supplies were validated structurally at
+    /// decode time by `IslandLayout::from_raw_parts` and
+    /// `IslandPartition::from_raw_parts`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyGraph`] / [`CoreError::SelfLoops`] as
+    /// [`IGcnEngineBuilder::build`], plus [`CoreError::ShapeMismatch`]
+    /// if the parts do not match the graph (node or edge counts).
+    pub fn build_from_parts(self, parts: EngineParts) -> Result<IGcnEngine, CoreError> {
+        check_not_empty(&self.graph)?;
+        check_loop_free(&self.graph)?;
+        let n = self.graph.num_nodes();
+        if parts.partition.num_nodes() != n {
+            return Err(CoreError::ShapeMismatch {
+                what: "warm-start partition vs graph nodes".to_string(),
+                expected: n,
+                got: parts.partition.num_nodes(),
+            });
+        }
+        if parts.layout.graph().num_nodes() != n {
+            return Err(CoreError::ShapeMismatch {
+                what: "warm-start layout vs graph nodes".to_string(),
+                expected: n,
+                got: parts.layout.graph().num_nodes(),
+            });
+        }
+        if parts.layout.graph().num_directed_edges() != self.graph.num_directed_edges() {
+            return Err(CoreError::ShapeMismatch {
+                what: "warm-start layout vs graph edges".to_string(),
+                expected: self.graph.num_directed_edges(),
+                got: parts.layout.graph().num_directed_edges(),
+            });
+        }
+        if parts.layout.partition().num_islands() != parts.partition.num_islands() {
+            return Err(CoreError::ShapeMismatch {
+                what: "warm-start layout islands vs partition islands".to_string(),
+                expected: parts.partition.num_islands(),
+                got: parts.layout.partition().num_islands(),
+            });
+        }
+        let pool =
+            (self.exec_cfg.num_threads > 1).then(|| ThreadPool::new(self.exec_cfg.num_threads));
+        Ok(IGcnEngine {
+            graph: self.graph,
+            island_cfg: self.island_cfg,
+            consumer_cfg: self.consumer_cfg,
+            exec_cfg: self.exec_cfg,
+            partition: parts.partition,
+            locator_stats: parts.locator_stats,
+            prepared: None,
+            layout: parts.layout,
+            pool,
+            scratch: ScratchPool::new(),
+        })
+    }
+}
+
 impl IGcnEngine {
     /// Starts building an engine over `graph`.
     ///
@@ -278,6 +356,19 @@ impl IGcnEngine {
     /// permutation, permuted graph/partition, prebuilt bitmaps).
     pub fn layout(&self) -> &IslandLayout {
         &self.layout
+    }
+
+    /// The layout behind its shared handle (free to clone; used by the
+    /// snapshot store to capture an engine image without copying).
+    pub fn layout_arc(&self) -> Arc<IslandLayout> {
+        Arc::clone(&self.layout)
+    }
+
+    /// The model and weights installed by [`Accelerator::prepare`], if
+    /// any (used by the snapshot store to persist a complete engine
+    /// image).
+    pub fn prepared_model(&self) -> Option<(&GnnModel, &ModelWeights)> {
+        self.prepared.as_ref().map(|(m, w)| (m, w))
     }
 
     /// Worker count the island schedule is fanned across inside one

@@ -131,9 +131,47 @@ impl IslandBitmap {
         IslandBitmap { dim, num_hubs, words_per_row, bits, members }
     }
 
+    /// Reassembles a bitmap from externally stored parts (the
+    /// deserialisation path of the snapshot store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (member count vs
+    /// hub count, bit-array length vs the row stride).
+    pub fn from_raw_parts(
+        num_hubs: usize,
+        members: Vec<u32>,
+        bits: Vec<u64>,
+    ) -> Result<Self, String> {
+        let dim = members.len();
+        if num_hubs > dim {
+            return Err(format!("bitmap claims {num_hubs} hubs but only {dim} members"));
+        }
+        let words_per_row = dim.div_ceil(64);
+        if bits.len() != dim * words_per_row {
+            return Err(format!(
+                "bitmap bit array has {} words, expected {} ({dim} rows × {words_per_row})",
+                bits.len(),
+                dim * words_per_row
+            ));
+        }
+        Ok(IslandBitmap { dim, num_hubs, words_per_row, bits, members })
+    }
+
     /// Side length of the (square) bitmap: hubs + island nodes.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// `u64` words per bitmap row (`ceil(dim / 64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The raw packed bit rows (`dim × words_per_row` words, row-major)
+    /// — the serialisation twin of [`IslandBitmap::from_raw_parts`].
+    pub fn bits(&self) -> &[u64] {
+        &self.bits
     }
 
     /// Number of leading rows/columns that are hubs.

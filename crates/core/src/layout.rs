@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use igcn_graph::{CsrGraph, Permutation};
 
+use crate::error::CoreError;
 use crate::island::{Island, IslandBitmap};
 use crate::partition::{IslandPartition, NodeClass};
 use crate::schedule::IslandSchedule;
@@ -160,6 +161,122 @@ impl IslandLayout {
             bitmaps_plain,
             inter_hub_tasks,
         }
+    }
+
+    /// Reassembles a layout from externally stored parts — the
+    /// deserialisation path of the snapshot store, which is what lets a
+    /// warm-started engine skip both the locator pass *and* this
+    /// module's composition work.
+    ///
+    /// Runs the cheap structural invariant check (O(nodes + islands),
+    /// no edge walks): the permutation, graph and partition must agree
+    /// on the node count, hub IDs must be the compact prefix `0..H`,
+    /// island member IDs must tile `H..n` contiguously in island order,
+    /// the schedule and both bitmap sets must have one entry per island
+    /// with matching dimensions, and inter-hub tasks may only reference
+    /// hubs.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] or
+    /// [`CoreError::ClassificationViolation`] naming the first violated
+    /// structural invariant.
+    pub fn from_raw_parts(
+        perm: Permutation,
+        graph: CsrGraph,
+        partition: IslandPartition,
+        schedule: IslandSchedule,
+        bitmaps_self: Vec<IslandBitmap>,
+        bitmaps_plain: Vec<IslandBitmap>,
+        inter_hub_tasks: Vec<(u32, Vec<u32>)>,
+    ) -> Result<Self, CoreError> {
+        let n = graph.num_nodes();
+        let mismatch = |what: &str, expected: usize, got: usize| CoreError::ShapeMismatch {
+            what: format!("layout {what}"),
+            expected,
+            got,
+        };
+        if perm.len() != n {
+            return Err(mismatch("permutation vs graph nodes", n, perm.len()));
+        }
+        if partition.num_nodes() != n {
+            return Err(mismatch("partition vs graph nodes", n, partition.num_nodes()));
+        }
+        let num_hubs = partition.num_hubs();
+        for (i, &h) in partition.hubs().iter().enumerate() {
+            if h as usize != i {
+                return Err(CoreError::ClassificationViolation {
+                    node: h,
+                    detail: format!("layout hub #{i} is {h}, not the compact prefix ID {i}"),
+                });
+            }
+        }
+        let mut next = num_hubs as u32;
+        for isl in partition.islands() {
+            for &v in &isl.nodes {
+                if v != next {
+                    return Err(CoreError::ClassificationViolation {
+                        node: v,
+                        detail: format!(
+                            "layout island node {v} breaks the contiguous range at {next}"
+                        ),
+                    });
+                }
+                next += 1;
+            }
+        }
+        if next as usize != n {
+            return Err(mismatch("island ranges vs graph nodes", n, next as usize));
+        }
+        let num_islands = partition.num_islands();
+        if schedule.num_islands() != num_islands {
+            return Err(mismatch(
+                "schedule islands vs partition",
+                num_islands,
+                schedule.num_islands(),
+            ));
+        }
+        if bitmaps_self.len() != num_islands {
+            return Err(mismatch("self-bitmap count vs islands", num_islands, bitmaps_self.len()));
+        }
+        if bitmaps_plain.len() != num_islands {
+            return Err(mismatch(
+                "plain-bitmap count vs islands",
+                num_islands,
+                bitmaps_plain.len(),
+            ));
+        }
+        for (idx, isl) in partition.islands().iter().enumerate() {
+            let dim = isl.hubs.len() + isl.nodes.len();
+            for bm in [&bitmaps_self[idx], &bitmaps_plain[idx]] {
+                if bm.dim() != dim || bm.num_hubs() != isl.hubs.len() {
+                    return Err(mismatch(&format!("bitmap {idx} dimension"), dim, bm.dim()));
+                }
+            }
+        }
+        for &(src, ref dests) in &inter_hub_tasks {
+            for &h in std::iter::once(&src).chain(dests) {
+                if h as usize >= num_hubs {
+                    return Err(CoreError::ClassificationViolation {
+                        node: h,
+                        detail: format!(
+                            "inter-hub task references non-hub ID {h} (H = {num_hubs})"
+                        ),
+                    });
+                }
+            }
+        }
+        let gather_order = perm.inverse().as_forward().to_vec();
+        Ok(IslandLayout {
+            perm,
+            gather_order,
+            graph,
+            partition,
+            schedule,
+            bitmaps_self,
+            bitmaps_plain,
+            inter_hub_tasks,
+        })
     }
 
     /// The schedule-order permutation (`forward[old] = new`).

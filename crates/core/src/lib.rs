@@ -56,7 +56,7 @@ pub use accel::{
 pub use config::{ConsumerConfig, DecayPolicy, ExecConfig, IslandizationConfig, ThresholdInit};
 pub use consumer::hotpath::LayerScratch;
 pub use error::CoreError;
-pub use exec::{IGcnEngine, IGcnEngineBuilder};
+pub use exec::{EngineParts, IGcnEngine, IGcnEngineBuilder};
 pub use incremental::{incremental_islandize, incremental_update, IncrementalResult};
 pub use island::{Island, IslandBitmap};
 pub use layout::IslandLayout;

@@ -56,6 +56,95 @@ impl IslandPartition {
         IslandPartition { num_nodes, islands, hubs, inter_hub_edges, node_class, c_max }
     }
 
+    /// Reassembles a partition from externally stored parts (the
+    /// deserialisation path of the snapshot store), validating the
+    /// graph-independent invariants: the class table covers every node
+    /// exactly once and agrees with the hub/island member lists.
+    ///
+    /// Graph-dependent invariants (closure, exact edge coverage) are
+    /// *not* checked here — run [`IslandPartition::check_invariants`]
+    /// for the full audit.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] if the class table length is wrong,
+    /// [`CoreError::ClassificationViolation`] if a node is missing,
+    /// duplicated, out of range, or disagrees with its class entry.
+    pub fn from_raw_parts(
+        num_nodes: usize,
+        islands: Vec<Island>,
+        hubs: Vec<u32>,
+        inter_hub_edges: Vec<(u32, u32)>,
+        node_class: Vec<NodeClass>,
+        c_max: usize,
+    ) -> Result<Self, CoreError> {
+        if node_class.len() != num_nodes {
+            return Err(CoreError::ShapeMismatch {
+                what: "node class table vs node count".to_string(),
+                expected: num_nodes,
+                got: node_class.len(),
+            });
+        }
+        let mut seen = vec![false; num_nodes];
+        let mut classify = |v: u32, expected: NodeClass| -> Result<(), CoreError> {
+            let i = v as usize;
+            if i >= num_nodes {
+                return Err(CoreError::ClassificationViolation {
+                    node: v,
+                    detail: format!("node out of range for {num_nodes} nodes"),
+                });
+            }
+            if seen[i] {
+                return Err(CoreError::ClassificationViolation {
+                    node: v,
+                    detail: "node classified more than once".to_string(),
+                });
+            }
+            seen[i] = true;
+            if node_class[i] != expected {
+                return Err(CoreError::ClassificationViolation {
+                    node: v,
+                    detail: "member list and node class disagree".to_string(),
+                });
+            }
+            Ok(())
+        };
+        for &h in &hubs {
+            classify(h, NodeClass::Hub)?;
+        }
+        for (idx, isl) in islands.iter().enumerate() {
+            for &v in &isl.nodes {
+                classify(v, NodeClass::Island(idx as u32))?;
+            }
+            if isl.len() > c_max {
+                return Err(CoreError::IslandTooLarge { island: idx, size: isl.len(), c_max });
+            }
+        }
+        if let Some(v) = seen.iter().position(|&s| !s) {
+            return Err(CoreError::ClassificationViolation {
+                node: v as u32,
+                detail: "node is neither hub nor island member".to_string(),
+            });
+        }
+        for &(a, b) in &inter_hub_edges {
+            let hubby =
+                |v: u32| (v as usize) < num_nodes && node_class[v as usize] == NodeClass::Hub;
+            if a >= b || !hubby(a) || !hubby(b) {
+                return Err(CoreError::ClassificationViolation {
+                    node: a,
+                    detail: format!("inter-hub edge ({a}, {b}) is not a (min, max) hub pair"),
+                });
+            }
+        }
+        Ok(IslandPartition { num_nodes, islands, hubs, inter_hub_edges, node_class, c_max })
+    }
+
+    /// The per-node classification table, indexable by node ID (the raw
+    /// twin of [`IslandPartition::class_of`], for serialisation).
+    pub fn node_classes(&self) -> &[NodeClass] {
+        &self.node_class
+    }
+
     /// Number of nodes in the underlying graph.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes

@@ -70,6 +70,20 @@ impl IslandSchedule {
         IslandSchedule { num_islands: partition.num_islands(), wave_width, work }
     }
 
+    /// Reassembles a schedule from externally stored parts (the
+    /// deserialisation path of the snapshot store): one work estimate
+    /// per island, issued in waves of `wave_width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the defect if `wave_width` is zero.
+    pub fn from_raw_parts(wave_width: usize, work: Vec<u64>) -> Result<Self, String> {
+        if wave_width == 0 {
+            return Err("schedule wave width must be positive".to_string());
+        }
+        Ok(IslandSchedule { num_islands: work.len(), wave_width, work })
+    }
+
     /// Number of scheduled islands.
     pub fn num_islands(&self) -> usize {
         self.num_islands

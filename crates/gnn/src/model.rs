@@ -153,6 +153,26 @@ impl GnnModel {
         }
     }
 
+    /// Builds a model from an explicit layer stack — the
+    /// deserialisation twin of [`GnnModel::layers`], for stores that
+    /// persist prepared models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or the layer widths do not chain
+    /// (`layer i` output width must equal `layer i+1` input width) —
+    /// mirror of [`ModelWeights::from_matrices`]'s contract; validate
+    /// upstream when the stack comes from untrusted bytes.
+    ///
+    /// [`ModelWeights::from_matrices`]: crate::ModelWeights::from_matrices
+    pub fn from_layers(kind: GnnKind, layers: Vec<LayerConfig>, epsilon: f32) -> Self {
+        assert!(!layers.is_empty(), "models have at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].out_dim, pair[1].in_dim, "layer widths do not chain between layers");
+        }
+        GnnModel { kind, layers, epsilon }
+    }
+
     /// Builds the model the paper evaluates for `(dataset, kind, config)`:
     /// layer dims from the dataset spec and the hidden-width convention.
     pub fn for_dataset(dataset: Dataset, kind: GnnKind, config: ModelConfig) -> Self {

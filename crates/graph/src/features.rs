@@ -63,6 +63,59 @@ impl SparseFeatures {
         SparseFeatures { num_rows, num_cols, row_ptr, col_idx, values }
     }
 
+    /// Rebuilds a feature matrix from raw CSR arrays — the
+    /// deserialisation twin of the raw accessors
+    /// ([`SparseFeatures::row_ptr`] and friends), validating instead of
+    /// panicking so corrupt stored bytes surface as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MalformedRowPtr`] if `row_ptr` has the wrong
+    /// length, is non-monotone, or does not end at `col_idx.len()`;
+    /// [`GraphError::NodeOutOfBounds`] if a column index is `>=
+    /// num_cols` (the node field carries the offending column).
+    pub fn from_raw_parts(
+        num_rows: usize,
+        num_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, crate::error::GraphError> {
+        use crate::error::GraphError;
+        if row_ptr.len() != num_rows + 1 {
+            return Err(GraphError::MalformedRowPtr {
+                detail: format!("expected {} entries, got {}", num_rows + 1, row_ptr.len()),
+            });
+        }
+        if row_ptr.first() != Some(&0) || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(GraphError::MalformedRowPtr {
+                detail: "row_ptr must start at 0 and end at col_idx.len()".to_string(),
+            });
+        }
+        if values.len() != col_idx.len() {
+            return Err(GraphError::MalformedRowPtr {
+                detail: format!(
+                    "values length {} does not match col_idx length {}",
+                    values.len(),
+                    col_idx.len()
+                ),
+            });
+        }
+        for w in row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(GraphError::MalformedRowPtr {
+                    detail: "row_ptr must be non-decreasing".to_string(),
+                });
+            }
+        }
+        for &c in &col_idx {
+            if c as usize >= num_cols {
+                return Err(GraphError::NodeOutOfBounds { node: c, num_nodes: num_cols });
+            }
+        }
+        Ok(SparseFeatures { num_rows, num_cols, row_ptr, col_idx, values })
+    }
+
     /// Generates a random sparse feature matrix with approximately the given
     /// density. Each row receives `round(density * num_cols)` distinct
     /// non-zero columns (at least one), with values uniform in `[0, 1)` —

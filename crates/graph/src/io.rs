@@ -1,6 +1,19 @@
 //! Textual graph I/O.
 //!
-//! A minimal self-describing edge-list format:
+//! Two ingestion paths:
+//!
+//! * [`read_edge_list`] — the crate's own self-describing format
+//!   (strict: exactly one `nodes <n>` header, then edges);
+//! * [`read_edge_list_flexible`] — streaming ingest of real-world
+//!   edge-list dumps (SNAP-style `.txt`, Matrix-Market-ish pair lines):
+//!   headerless files infer the node count, directed dumps can be
+//!   symmetrised on the fly, and lines are consumed one at a time from
+//!   any `BufRead` so arbitrarily large files never need to be held as
+//!   text. The snapshot tool (`igcn-bench`'s `snapshot_tool build
+//!   --edge-list`) feeds dataset dumps through this into binary
+//!   snapshots.
+//!
+//! The strict format:
 //!
 //! ```text
 //! # comment lines start with '#'
@@ -34,7 +47,32 @@ pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Re
     Ok(())
 }
 
-/// Reads a graph from the edge-list format.
+/// Parses one `<u> <v>` edge line.
+fn parse_edge(line: &str, lineno: usize) -> Result<(u32, u32), GraphError> {
+    let mut parts = line.split_whitespace();
+    let u = parts.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| GraphError::Parse {
+        line: lineno,
+        detail: "expected source node id".to_string(),
+    })?;
+    let v = parts.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| GraphError::Parse {
+        line: lineno,
+        detail: "expected destination node id".to_string(),
+    })?;
+    if parts.next().is_some() {
+        return Err(GraphError::Parse {
+            line: lineno,
+            detail: "trailing tokens after edge".to_string(),
+        });
+    }
+    Ok((u, v))
+}
+
+/// Reads a graph from the strict edge-list format.
+///
+/// The header is mandatory and unique: a missing `nodes <n>` line, an
+/// edge *before* the header, or a second (even identical) header are
+/// all rejected — a duplicated header is the signature of concatenated
+/// dumps, and silently keeping the last value would mis-size the graph.
 ///
 /// A `&mut` reference can be passed for `reader` since `BufRead` is
 /// implemented for `&mut R`.
@@ -55,6 +93,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("nodes ") {
+            if num_nodes.is_some() {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    detail: "duplicate `nodes <n>` header".to_string(),
+                });
+            }
             let n = rest.trim().parse::<usize>().map_err(|_| GraphError::Parse {
                 line: lineno,
                 detail: format!("invalid node count {rest:?}"),
@@ -62,23 +106,104 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
             num_nodes = Some(n);
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let u = parts.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| {
-            GraphError::Parse { line: lineno, detail: "expected source node id".to_string() }
-        })?;
-        let v = parts.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| {
-            GraphError::Parse { line: lineno, detail: "expected destination node id".to_string() }
-        })?;
-        if parts.next().is_some() {
+        if num_nodes.is_none() {
             return Err(GraphError::Parse {
                 line: lineno,
-                detail: "trailing tokens after edge".to_string(),
+                detail: "edge before the `nodes <n>` header".to_string(),
             });
         }
-        edges.push((u, v));
+        edges.push(parse_edge(line, lineno)?);
     }
     let num_nodes = num_nodes
         .ok_or(GraphError::Parse { line: 0, detail: "missing `nodes <n>` header".to_string() })?;
+    CsrGraph::from_directed_edges(num_nodes, &edges)
+}
+
+/// Options for [`read_edge_list_flexible`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeListOptions {
+    /// Insert the reverse of every edge (GCN adjacency must be
+    /// symmetric; most real-world dumps list each undirected edge
+    /// once).
+    pub symmetrize: bool,
+    /// Drop `(v, v)` lines instead of storing them (the I-GCN engine
+    /// rejects self-loops; many dumps contain a few).
+    pub drop_self_loops: bool,
+}
+
+impl Default for EdgeListOptions {
+    /// Symmetrise and drop self-loops — what an I-GCN serving graph
+    /// needs.
+    fn default() -> Self {
+        EdgeListOptions { symmetrize: true, drop_self_loops: true }
+    }
+}
+
+/// Streaming ingest of a real-world edge-list dump.
+///
+/// Consumes `reader` line by line: `#`/`%`-prefixed comments and blank
+/// lines are skipped, an optional `nodes <n>` header (ours) is honored
+/// if it appears *before* any edge (duplicates are rejected exactly as
+/// in [`read_edge_list`]), and otherwise the node count is inferred as
+/// `max endpoint + 1`. Endpoint pairs may be separated by any
+/// whitespace (SNAP dumps use tabs).
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] for malformed lines or a header appearing
+/// after edges; [`GraphError::NodeOutOfBounds`] if a declared header is
+/// smaller than an endpoint.
+pub fn read_edge_list_flexible<R: BufRead>(
+    reader: R,
+    opts: EdgeListOptions,
+) -> Result<CsrGraph, GraphError> {
+    let mut declared_nodes: Option<usize> = None;
+    let mut max_endpoint: Option<u32> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line
+            .map_err(|e| GraphError::Parse { line: lineno, detail: format!("i/o error: {e}") })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes ") {
+            if declared_nodes.is_some() {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    detail: "duplicate `nodes <n>` header".to_string(),
+                });
+            }
+            if !edges.is_empty() {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    detail: "`nodes <n>` header after edges".to_string(),
+                });
+            }
+            declared_nodes = Some(rest.trim().parse::<usize>().map_err(|_| GraphError::Parse {
+                line: lineno,
+                detail: format!("invalid node count {rest:?}"),
+            })?);
+            continue;
+        }
+        let (u, v) = parse_edge(line, lineno)?;
+        // Every mentioned endpoint sizes the graph — including the
+        // endpoints of dropped self-loop lines, which still name a
+        // node the dump considers present.
+        max_endpoint = Some(max_endpoint.map_or(u.max(v), |m| m.max(u).max(v)));
+        if u == v && opts.drop_self_loops {
+            continue;
+        }
+        edges.push((u, v));
+        if opts.symmetrize && u != v {
+            edges.push((v, u));
+        }
+    }
+    let num_nodes = match declared_nodes {
+        Some(n) => n,
+        None => max_endpoint.map_or(0, |m| m as usize + 1),
+    };
     CsrGraph::from_directed_edges(num_nodes, &edges)
 }
 
@@ -105,8 +230,26 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        let err = read_edge_list("0 1\n".as_bytes()).unwrap_err();
+        let err = read_edge_list("# only comments\n".as_bytes()).unwrap_err();
         assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        // Same value twice: still rejected (concatenated-dump signature).
+        let err = read_edge_list("nodes 3\nnodes 3\n0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        assert!(err.to_string().contains("duplicate"));
+        // Conflicting value: rejected, not silently last-wins.
+        let err = read_edge_list("nodes 3\n0 1\nnodes 9\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn edge_before_header_rejected() {
+        let err = read_edge_list("0 1\nnodes 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("before"));
     }
 
     #[test]
@@ -120,6 +263,70 @@ mod tests {
     #[test]
     fn out_of_bounds_edge_rejected() {
         let err = read_edge_list("nodes 2\n0 9\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn flexible_infers_nodes_and_symmetrizes() {
+        // SNAP-style: comments with '#', tabs, no header, one direction.
+        let text = "# Directed graph\n% another comment style\n0\t1\n1\t2\n4\t0\n";
+        let g = read_edge_list_flexible(text.as_bytes(), EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_undirected_edges(), 3);
+    }
+
+    #[test]
+    fn flexible_drops_self_loops_and_honors_header() {
+        let text = "nodes 6\n0 0\n0 1\n";
+        let g = read_edge_list_flexible(text.as_bytes(), EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.count_self_loops(), 0);
+        assert_eq!(g.num_undirected_edges(), 1);
+        // Raw mode keeps the dump as-is.
+        let raw = EdgeListOptions { symmetrize: false, drop_self_loops: false };
+        let g = read_edge_list_flexible(text.as_bytes(), raw).unwrap();
+        assert_eq!(g.count_self_loops(), 1);
+        assert_eq!(g.num_directed_edges(), 2);
+    }
+
+    #[test]
+    fn flexible_rejects_late_or_duplicate_header() {
+        let err = read_edge_list_flexible("0 1\nnodes 5\n".as_bytes(), EdgeListOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err =
+            read_edge_list_flexible("nodes 5\nnodes 5\n".as_bytes(), EdgeListOptions::default())
+                .unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn flexible_dropped_self_loops_still_size_the_graph() {
+        // The highest node ID appears only in a dropped self-loop
+        // line; the node must still exist in the inferred graph.
+        let text = "5 5\n0 1\n";
+        let g = read_edge_list_flexible(text.as_bytes(), EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.count_self_loops(), 0);
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn flexible_empty_input_is_an_empty_graph() {
+        let g =
+            read_edge_list_flexible("# nothing\n".as_bytes(), EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        // A declared header with no edges sizes the graph.
+        let g =
+            read_edge_list_flexible("nodes 7\n".as_bytes(), EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 7);
+    }
+
+    #[test]
+    fn flexible_undeclared_small_header_is_out_of_bounds() {
+        let err = read_edge_list_flexible("nodes 2\n0 5\n".as_bytes(), EdgeListOptions::default())
+            .unwrap_err();
         assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
     }
 }

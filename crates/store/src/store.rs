@@ -1,0 +1,165 @@
+//! [`EngineStore`]: one snapshot file + its write-ahead log, managed
+//! together.
+//!
+//! This is the durability loop of a serving node:
+//!
+//! 1. **first deployment** — build an engine cold, `checkpoint` it;
+//! 2. **serving** — route structural changes through
+//!    [`EngineStore::apply_update`] (WAL-first, so the change is on
+//!    disk before it is live);
+//! 3. **restart** — [`EngineStore::boot`] reads the snapshot, skips
+//!    islandization, replays the WAL, and serving resumes exactly where
+//!    it stopped;
+//! 4. **periodically** — `checkpoint` again to fold the WAL back into
+//!    the snapshot (the serving front-end's checkpoint hook calls
+//!    this).
+//!
+//! A checkpoint is crash-safe without any coordination: the new
+//! snapshot is renamed into place first, and the WAL's pairing header
+//! (see [`Wal`]) ties every log to the snapshot checksum it extends —
+//! a log orphaned by a crash between the two steps is recognised as
+//! stale at the next boot and discarded instead of double-applied.
+
+use std::path::{Path, PathBuf};
+
+use igcn_core::accel::UpdateReport;
+use igcn_core::{ExecConfig, GraphUpdate, IGcnEngine};
+
+use crate::error::StoreError;
+use crate::snapshot::Snapshot;
+use crate::wal::Wal;
+
+/// Outcome of [`EngineStore::boot`].
+#[derive(Debug)]
+pub struct BootOutcome {
+    /// The warm-started engine, WAL already replayed, model prepared
+    /// when the snapshot stored one.
+    pub engine: IGcnEngine,
+    /// Whether a model + weights pair was prepared from the snapshot.
+    pub prepared: bool,
+    /// WAL records replayed onto the engine.
+    pub replayed_updates: usize,
+    /// Bytes of a torn WAL tail that were discarded (crash mid-append).
+    pub torn_tail_bytes: u64,
+    /// Whether a stale WAL (from an interrupted checkpoint) was
+    /// ignored.
+    pub stale_wal_discarded: bool,
+    /// The snapshot's bundled default feature matrix, if any.
+    pub features: Option<igcn_graph::SparseFeatures>,
+}
+
+/// A snapshot file and its sidecar WAL (`<snapshot>.wal`), managed as
+/// one durable engine store.
+#[derive(Debug, Clone)]
+pub struct EngineStore {
+    snapshot_path: PathBuf,
+    wal_path: PathBuf,
+}
+
+impl EngineStore {
+    /// A store rooted at `snapshot_path`; the WAL lives next to it with
+    /// a `.wal` suffix appended.
+    pub fn at(snapshot_path: impl Into<PathBuf>) -> Self {
+        let snapshot_path = snapshot_path.into();
+        let mut wal_path = snapshot_path.clone().into_os_string();
+        wal_path.push(".wal");
+        EngineStore { snapshot_path, wal_path: PathBuf::from(wal_path) }
+    }
+
+    /// The snapshot file path.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+
+    /// The write-ahead log path.
+    pub fn wal_path(&self) -> &Path {
+        &self.wal_path
+    }
+
+    /// The WAL handle paired with the snapshot currently on disk.
+    /// Reads only the snapshot's 24-byte header — pairing a log record
+    /// must not cost a full scan of the snapshot payload.
+    ///
+    /// # Errors
+    ///
+    /// Header-read errors as [`Snapshot::read_header`].
+    pub fn wal(&self) -> Result<Wal, StoreError> {
+        let header = Snapshot::read_header(&self.snapshot_path)?;
+        Ok(Wal::paired(&self.wal_path, header.checksum))
+    }
+
+    /// Writes `snapshot` (atomic rename), then resets the WAL with the
+    /// new pairing header. A crash between the two steps leaves a
+    /// stale-paired log that the next boot discards.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn save(&self, snapshot: &Snapshot) -> Result<u64, StoreError> {
+        let bytes = snapshot.write(&self.snapshot_path)?;
+        self.wal()?.reset()?;
+        Ok(bytes)
+    }
+
+    /// Captures `engine` and [`EngineStore::save`]s it.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineStore::save`].
+    pub fn checkpoint(&self, engine: &IGcnEngine) -> Result<u64, StoreError> {
+        self.save(&Snapshot::capture(engine))
+    }
+
+    /// Warm-starts an engine: reads the snapshot (checksum + structural
+    /// validation, **no locator pass**), then replays every WAL record
+    /// through [`IGcnEngine::apply_update`].
+    ///
+    /// # Errors
+    ///
+    /// Snapshot errors as [`Snapshot::read`]; WAL errors as
+    /// [`Wal::replay`]; [`StoreError::Core`] if a logged update no
+    /// longer applies (the log and snapshot are out of sync in a way
+    /// the pairing header could not explain).
+    pub fn boot(&self, exec_cfg: ExecConfig) -> Result<BootOutcome, StoreError> {
+        let snapshot = Snapshot::read(&self.snapshot_path)?;
+        let mut engine = snapshot.warm_engine(exec_cfg)?;
+        let replay = self.wal()?.replay()?;
+        let replayed_updates = replay.updates.len();
+        for update in replay.updates {
+            engine.apply_update(update)?;
+        }
+        Ok(BootOutcome {
+            prepared: snapshot.model.is_some(),
+            features: snapshot.features,
+            engine,
+            replayed_updates,
+            torn_tail_bytes: replay.torn_tail_bytes,
+            stale_wal_discarded: replay.stale_discarded,
+        })
+    }
+
+    /// Applies `update` with write-ahead discipline: the record is
+    /// appended (and flushed) to the WAL *before* the in-memory
+    /// restructuring; if the engine rejects the update, the record is
+    /// rolled back off the log so a later boot will not replay it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on log failures; [`StoreError::Core`] with
+    /// the engine's rejection (the log is left exactly as before).
+    pub fn apply_update(
+        &self,
+        engine: &mut IGcnEngine,
+        update: GraphUpdate,
+    ) -> Result<UpdateReport, StoreError> {
+        let wal = self.wal()?;
+        let offset = wal.append(&update)?;
+        match engine.apply_update(update) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                wal.rollback_to(offset)?;
+                Err(StoreError::Core(e))
+            }
+        }
+    }
+}

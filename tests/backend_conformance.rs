@@ -303,6 +303,120 @@ fn layout_survives_graph_updates() {
 }
 
 #[test]
+fn snapshot_round_trip_is_bit_identical_across_layout_and_threads() {
+    // The PR-4 contract: an engine loaded via `from_snapshot` is the
+    // *same* engine — outputs AND the complete `ExecStats` are
+    // bit-identical to the cold-built original at every thread count,
+    // with the physical layout on or off, and the equality must
+    // survive WAL-replayed `GraphUpdate`s.
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let x = SparseFeatures::random(N, FEATURE_DIM, 0.3, 55);
+    let requests: Vec<InferenceRequest> = (0..3)
+        .map(|i| {
+            InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.25, 800 + i)).with_id(i)
+        })
+        .collect();
+
+    // One snapshot captured from a plainly-configured cold engine: the
+    // exec config is a runtime knob and must not be baked into the
+    // image.
+    let mut cold_origin = IGcnEngine::builder(Arc::clone(&graph)).build().unwrap();
+    cold_origin.prepare(&model, &weights).unwrap();
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("igcn-conformance-{}.snap", std::process::id()));
+    igcn::store::Snapshot::capture(&cold_origin).write(&snap_path).unwrap();
+
+    for physical_layout in [false, true] {
+        for threads in [1usize, 2, 8] {
+            let exec_cfg =
+                ExecConfig::default().with_threads(threads).with_physical_layout(physical_layout);
+            let mut cold =
+                IGcnEngine::builder(Arc::clone(&graph)).exec_config(exec_cfg).build().unwrap();
+            cold.prepare(&model, &weights).unwrap();
+            let warm =
+                igcn::store::from_snapshot(&snap_path).exec_config(exec_cfg).build().unwrap();
+            let ctx = format!("layout={physical_layout} threads={threads}");
+
+            let (cold_out, cold_stats) = cold.run(&x, &model, &weights).unwrap();
+            let (warm_out, warm_stats) = warm.run(&x, &model, &weights).unwrap();
+            assert_eq!(warm_out, cold_out, "{ctx}: warm run output diverged");
+            assert_eq!(warm_stats, cold_stats, "{ctx}: warm run stats diverged");
+
+            let cold_batch = cold.infer_batch(&requests).unwrap();
+            let warm_batch = warm.infer_batch(&requests).unwrap();
+            for (a, b) in cold_batch.iter().zip(&warm_batch) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(b.output, a.output, "{ctx}: warm batch output diverged");
+                assert_eq!(b.report, a.report, "{ctx}: warm batch report diverged");
+            }
+        }
+    }
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
+fn snapshot_boot_after_wal_replay_matches_live_engine() {
+    // EngineStore round trip: snapshot + WAL-first updates, then a boot
+    // that replays the log must serve bit-identically to the live
+    // engine that never restarted — at 1 and 8 threads, layout on/off.
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("igcn-conformance-wal-{}.snap", std::process::id()));
+    let store = igcn::store::EngineStore::at(&snap_path);
+
+    let mut live = IGcnEngine::builder(Arc::clone(&graph)).build().unwrap();
+    live.prepare(&model, &weights).unwrap();
+    store.checkpoint(&live).unwrap();
+
+    // Structural churn through the WAL: growth onto a hub, an edge
+    // between existing nodes, and a removal that dissolves an island.
+    let n = graph.num_nodes() as u32;
+    let hub = live.partition().hubs()[0];
+    store
+        .apply_update(
+            &mut live,
+            igcn::core::GraphUpdate::add_edges(vec![(n, hub), (n + 1, n)])
+                .with_num_nodes(n as usize + 2),
+        )
+        .unwrap();
+    let island = live.partition().islands().iter().find(|i| i.len() >= 2).unwrap();
+    let a = island.nodes[0];
+    let b = *live
+        .graph()
+        .neighbors(igcn::graph::NodeId::new(a))
+        .iter()
+        .find(|&&nb| nb != a)
+        .expect("island node has a neighbor");
+    store.apply_update(&mut live, igcn::core::GraphUpdate::remove_edges(vec![(a, b)])).unwrap();
+
+    let x = SparseFeatures::random(live.graph().num_nodes(), FEATURE_DIM, 0.3, 77);
+    let (live_out, live_stats) = live.run(&x, &model, &weights).unwrap();
+    for physical_layout in [false, true] {
+        for threads in [1usize, 8] {
+            let exec_cfg =
+                ExecConfig::default().with_threads(threads).with_physical_layout(physical_layout);
+            let boot = store.boot(exec_cfg).unwrap();
+            assert_eq!(boot.replayed_updates, 2);
+            assert!(boot.prepared, "snapshot carried the prepared model");
+            let ctx = format!("layout={physical_layout} threads={threads}");
+            let (boot_out, boot_stats) = boot.engine.run(&x, &model, &weights).unwrap();
+            assert_eq!(boot_out, live_out, "{ctx}: booted output diverged after WAL replay");
+            // The occupancy model reflects the configured worker count
+            // by design; everything else is invariant across the sweep.
+            assert_eq!(boot_stats.layers, live_stats.layers, "{ctx}: layer stats diverged");
+            assert_eq!(boot_stats.locator, live_stats.locator, "{ctx}: locator stats diverged");
+            if threads == 1 && physical_layout {
+                assert_eq!(boot_stats, live_stats, "{ctx}: full stats diverged at live config");
+            }
+        }
+    }
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(store.wal_path()).ok();
+}
+
+#[test]
 fn serving_engine_is_order_stable_and_shuts_down_cleanly() {
     // Concurrent submitters hammer one ServingEngine; every ticket must
     // come back with its own request's id and the exact output a direct

@@ -107,4 +107,27 @@ fn repeated_infer_calls_do_not_grow_the_heap() {
         per_call[0],
         first_call_bytes
     );
+
+    // The multi-thread island path: workers write island rows straight
+    // into the shared output slab and hub contributions into the pooled
+    // slab, so repeated parallel infers must not grow the live heap
+    // either. (Per-call *totals* are not compared here — dynamic island
+    // claiming makes the number of worker arenas grown per call
+    // schedule-dependent — but every transient buffer must be returned:
+    // live bytes pin steady state.)
+    engine.set_exec_config(ExecConfig::default().with_threads(2).with_physical_layout(true));
+    // Warm-up: spawn-once pool worker stacks, pooled arenas, slab growth.
+    drop(engine.infer(&request).expect("prepared engine"));
+    drop(engine.infer(&request).expect("prepared engine"));
+    let live_before_parallel = LIVE_BYTES.load(Ordering::SeqCst);
+    for i in 0..5 {
+        let response = engine.infer(&request).expect("prepared engine");
+        assert_eq!(response.output.rows(), N);
+        drop(response);
+        assert_eq!(
+            LIVE_BYTES.load(Ordering::SeqCst),
+            live_before_parallel,
+            "parallel call {i}: live heap bytes grew across infer calls"
+        );
+    }
 }
