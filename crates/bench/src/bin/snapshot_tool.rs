@@ -2,7 +2,7 @@
 //! benchmark warm-start boot against cold islandization.
 //!
 //! ```text
-//! snapshot_tool build   --out <path> (--bin <name> | --edge-list <file>) [--seed N] [--quick] [--no-model]
+//! snapshot_tool build   --out <path> (--bin <name> | --edge-list <file> [--features-csv <file>]) [--seed N] [--quick] [--no-model]
 //! snapshot_tool inspect --snapshot <path>
 //! snapshot_tool verify  --snapshot <path> [--deep]
 //! snapshot_tool bench   [--quick] [--seed N]
@@ -11,7 +11,10 @@
 //! * **build** — islandizes a dataset bin (`cora`, `citeseer`,
 //!   `pubmed`, `powerlaw50k`, `nell`) or a real-world edge-list dump
 //!   (streamed through `igcn_graph::io::read_edge_list_flexible`) and
-//!   writes the complete engine image.
+//!   writes the complete engine image. With `--features-csv <file>` the
+//!   dump's real feature matrix (CSV, one row per node) is ingested
+//!   instead of synthesising one; a row count that disagrees with the
+//!   graph is a typed `DimensionMismatch` error.
 //! * **inspect** — prints the header (version, payload size, checksum)
 //!   without decoding the payload.
 //! * **verify** — full read: checksum, payload decode, structural
@@ -33,7 +36,7 @@ use igcn_core::{Accelerator, IGcnEngine};
 use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::datasets::Dataset;
 use igcn_graph::generate::barabasi_albert;
-use igcn_graph::io::{read_edge_list_flexible, EdgeListOptions};
+use igcn_graph::io::{read_edge_list_flexible, read_features_csv, EdgeListOptions};
 use igcn_graph::{CsrGraph, SparseFeatures};
 use igcn_store::{from_snapshot, Snapshot, StoreError};
 
@@ -123,6 +126,7 @@ struct Flags {
     snapshot: Option<PathBuf>,
     bin: Option<String>,
     edge_list: Option<PathBuf>,
+    features_csv: Option<PathBuf>,
     seed: u64,
     quick: bool,
     no_model: bool,
@@ -136,6 +140,7 @@ impl Flags {
             snapshot: None,
             bin: None,
             edge_list: None,
+            features_csv: None,
             seed: 42,
             quick: false,
             no_model: false,
@@ -154,6 +159,9 @@ impl Flags {
                 "--snapshot" => flags.snapshot = Some(PathBuf::from(value("--snapshot"))),
                 "--bin" => flags.bin = Some(value("--bin").clone()),
                 "--edge-list" => flags.edge_list = Some(PathBuf::from(value("--edge-list"))),
+                "--features-csv" => {
+                    flags.features_csv = Some(PathBuf::from(value("--features-csv")))
+                }
                 "--seed" => {
                     flags.seed = value("--seed").parse().unwrap_or_else(|_| {
                         eprintln!("--seed value must be an integer");
@@ -166,7 +174,7 @@ impl Flags {
                 other => {
                     eprintln!(
                         "unknown flag {other}; supported: --out --snapshot --bin --edge-list \
-                         --seed --quick --no-model --deep"
+                         --features-csv --seed --quick --no-model --deep"
                     );
                     std::process::exit(2);
                 }
@@ -188,6 +196,10 @@ fn build(flags: &Flags) -> ExitCode {
         eprintln!("build requires --out <path>");
         return ExitCode::from(2);
     };
+    if flags.features_csv.is_some() && flags.edge_list.is_none() {
+        eprintln!("--features-csv accompanies --edge-list (dataset bins synthesise features)");
+        return ExitCode::from(2);
+    }
     let bin = match (&flags.edge_list, &flags.bin) {
         (Some(path), _) => {
             eprintln!("[build] streaming edge list {}...", path.display());
@@ -208,11 +220,33 @@ fn build(flags: &Flags) -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            // Dumps carry no features; synthesise a bag-of-words-like
-            // matrix so the snapshot is immediately servable.
-            let feature_dim = 32;
-            let features =
-                SparseFeatures::random(graph.num_nodes(), feature_dim, 0.05, flags.seed + 1);
+            // Real feature matrix when the dump ships one; otherwise
+            // synthesise a bag-of-words-like matrix so the snapshot is
+            // immediately servable.
+            let features = match &flags.features_csv {
+                Some(csv_path) => {
+                    eprintln!("[build] reading features {}...", csv_path.display());
+                    let file = match std::fs::File::open(csv_path) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("error: cannot open {}: {e}", csv_path.display());
+                            return ExitCode::from(2);
+                        }
+                    };
+                    match read_features_csv(std::io::BufReader::new(file), Some(graph.num_nodes()))
+                    {
+                        Ok(x) => x,
+                        Err(e) => {
+                            // Dimension mismatches surface typed, not as
+                            // a downstream shape panic.
+                            eprintln!("error: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                None => SparseFeatures::random(graph.num_nodes(), 32, 0.05, flags.seed + 1),
+            };
+            let feature_dim = features.num_cols();
             BinData { graph: Arc::new(graph), features, feature_dim }
         }
         (None, Some(name)) => generate_bin(name, flags.seed, flags.quick),
@@ -336,6 +370,29 @@ struct BenchRow {
     speedup: f64,
 }
 
+/// Bins below this node count are read-dominated: the snapshot file
+/// read itself can exceed the whole cold build, so warm ≈ cold there
+/// says nothing about the restart-time story and the speedup assertion
+/// is skipped (and the row labelled honestly in the JSON).
+const LOCATOR_DOMINATED_NODES: usize = 4000;
+
+impl BenchRow {
+    /// Which cost regime the bin is in — recorded in the JSON so the
+    /// result file carries the caveat, not just the prose around it.
+    fn regime(&self) -> &'static str {
+        if self.nodes >= LOCATOR_DOMINATED_NODES {
+            "islandization-dominated"
+        } else {
+            "read-dominated"
+        }
+    }
+
+    /// Whether the CI warm ≤ cold assertion applies to this bin.
+    fn speedup_asserted(&self) -> bool {
+        self.nodes >= LOCATOR_DOMINATED_NODES
+    }
+}
+
 fn bench(flags: &Flags) -> ExitCode {
     let harness = if flags.quick { BenchHarness::new(0, 2) } else { BenchHarness::new(0, 3) };
     let tmp_dir = std::env::temp_dir();
@@ -395,6 +452,7 @@ fn bench(flags: &Flags) -> ExitCode {
         "cold build (ms)",
         "warm boot (ms)",
         "speedup",
+        "regime",
         "snapshot (MiB)",
     ]);
     for row in &rows {
@@ -404,6 +462,7 @@ fn bench(flags: &Flags) -> ExitCode {
             fmt_sig(row.cold_median_s * 1e3),
             fmt_sig(row.warm_median_s * 1e3),
             fmt_sig(row.speedup),
+            row.regime().to_string(),
             fmt_sig(row.snapshot_bytes as f64 / (1024.0 * 1024.0)),
         ]);
     }
@@ -427,7 +486,8 @@ fn bench(flags: &Flags) -> ExitCode {
             "    {{\"bin\": \"{}\", \"nodes\": {}, \"undirected_edges\": {}, \
              \"snapshot_bytes\": {}, \"cold_build_median_s\": {:.6}, \
              \"cold_build_p95_s\": {:.6}, \"warm_boot_median_s\": {:.6}, \
-             \"warm_boot_p95_s\": {:.6}, \"warm_start_speedup\": {:.3}}}",
+             \"warm_boot_p95_s\": {:.6}, \"warm_start_speedup\": {:.3}, \
+             \"regime\": \"{}\", \"speedup_asserted\": {}}}",
             row.name,
             row.nodes,
             row.undirected_edges,
@@ -436,7 +496,9 @@ fn bench(flags: &Flags) -> ExitCode {
             row.cold_p95_s,
             row.warm_median_s,
             row.warm_p95_s,
-            row.speedup
+            row.speedup,
+            row.regime(),
+            row.speedup_asserted()
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -445,13 +507,11 @@ fn bench(flags: &Flags) -> ExitCode {
     eprintln!("wrote {}", path.display());
 
     // The CI contract: booting from the snapshot must not be slower
-    // than re-running islandization on any bin big enough for the
-    // locator pass to dominate (≥ 4000 generated nodes: the power-law
-    // bin under --quick; pubmed, powerlaw50k and nell in the full
-    // run). On the sub-millisecond toy bins the file read itself can
-    // exceed the whole cold build, which says nothing about the
-    // restart-time story this bench guards.
-    for row in rows.iter().filter(|r| r.nodes >= 4000) {
+    // than re-running islandization on any islandization-dominated bin
+    // (the power-law bin under --quick; pubmed, powerlaw50k and nell in
+    // the full run). Read-dominated bins are labelled as such in the
+    // JSON (`regime` / `speedup_asserted`) instead of asserted.
+    for row in rows.iter().filter(|r| r.speedup_asserted()) {
         assert!(
             row.warm_median_s <= row.cold_median_s,
             "{}: warm boot median {:.6}s exceeds cold build median {:.6}s",

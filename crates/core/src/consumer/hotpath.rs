@@ -919,6 +919,204 @@ pub fn execute_layer_parallel(
     finish(stats, ring, &hubs)
 }
 
+// ---------------------------------------------------------------------
+// Shard export hooks (`igcn-shard`)
+// ---------------------------------------------------------------------
+//
+// A sharded deployment splits the island schedule across engines: each
+// shard executes its islands locally (island closure makes island-node
+// rows shard-complete) and *exports* its per-island hub contributions;
+// a coordinator then replays the hub-shared state in global schedule
+// order — the distributed twin of `execute_layer_parallel`'s phase 2 +
+// phase 3 split, with shards in place of pool workers. The two hooks
+// below are those halves, kept in this module so the bit-identity
+// contract is pinned next to the code it mirrors.
+
+/// Worker-local arenas for shard-side island execution — the exported
+/// twin of the parallel path's per-worker scratch. One per shard,
+/// reused across layers and requests.
+#[derive(Default)]
+pub struct IslandArena {
+    ws: WorkerScratch,
+}
+
+impl IslandArena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        IslandArena::default()
+    }
+}
+
+/// Executes every island of `layout` with hub combination vectors
+/// served from the prefilled `hub_y` slab (`layout.num_hubs() × width`
+/// rows, broadcast by the coordinator), writing **activated island-node
+/// rows** into `node_out` (layout order, rows `H..n`, row-major) and
+/// raw per-(island, contacted-hub) aggregation results into
+/// `hub_contrib` (islands back to back; island `i`'s slots start at
+/// `hub_offsets[i]`, one `width`-wide slot per contacted hub in the
+/// island's first-contact hub order).
+///
+/// The arithmetic per island is `run_island_direct` — identical to
+/// what `execute_layer`/`execute_layer_parallel` run, so a coordinator
+/// that replays the exported contributions in global schedule order
+/// (see [`HubMergeState`]) reproduces the single-engine layer bit for
+/// bit.
+///
+/// # Panics
+///
+/// Panics if the input/weight/normalisation shapes do not match the
+/// layout or the output slices are mis-sized.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_islands_export(
+    layout: &IslandLayout,
+    cfg: ConsumerConfig,
+    input: LayerInput<'_>,
+    weights: &DenseMatrix,
+    norm: &GcnNormalization,
+    activation: Activation,
+    hub_y: &[f32],
+    arena: &mut IslandArena,
+    node_out: &mut [f32],
+    hub_contrib: &mut [f32],
+    hub_offsets: &[usize],
+) {
+    let env = LayerEnv::new(layout, cfg, input, weights, norm, activation);
+    let width = env.width;
+    let num_hubs = layout.num_hubs();
+    let islands = layout.partition().islands();
+    assert_eq!(hub_offsets.len(), islands.len() + 1, "hub offset table mismatch");
+    assert_eq!(hub_y.len(), num_hubs * width, "hub XW slab mismatch");
+    assert_eq!(
+        node_out.len(),
+        (layout.graph().num_nodes() - num_hubs) * width,
+        "island output slab mismatch"
+    );
+    assert_eq!(hub_contrib.len(), hub_offsets[islands.len()] * width, "contribution slab mismatch");
+
+    let mut node_rest: &mut [f32] = node_out;
+    let mut hub_rest: &mut [f32] = hub_contrib;
+    for (idx, isl) in islands.iter().enumerate() {
+        let (island_nodes, nr) =
+            std::mem::take(&mut node_rest).split_at_mut(isl.nodes.len() * width);
+        node_rest = nr;
+        let (island_hubs, hr) = std::mem::take(&mut hub_rest).split_at_mut(isl.hubs.len() * width);
+        hub_rest = hr;
+        let bm = layout.bitmap(idx, env.self_in_bitmap);
+        let _ = run_island_direct(&env, bm, hub_y, &mut arena.ws, island_nodes, island_hubs);
+    }
+}
+
+/// Coordinator-side hub state of one sharded layer: the value half of
+/// the hot path's `HubSlabs`, replayed over contributions pulled from
+/// the shards. The caller drives it in the exact single-engine order —
+/// islands in global schedule order (per island: [`ensure_partial`]
+/// then [`accumulate`] for each contacted hub, hub order preserved),
+/// then inter-hub tasks in the layout's legacy replay order, then
+/// [`finalize_into`] — and the resulting hub rows are bit-identical to
+/// `execute_layer`'s.
+///
+/// [`ensure_partial`]: HubMergeState::ensure_partial
+/// [`accumulate`]: HubMergeState::accumulate
+/// [`finalize_into`]: HubMergeState::finalize_into
+#[derive(Debug, Default)]
+pub struct HubMergeState {
+    width: usize,
+    /// Hub XW slab (`H × width`), filled by the coordinator once per
+    /// layer via [`HubMergeState::y_mut`].
+    y: Vec<f32>,
+    partial: Vec<f32>,
+    partial_ready: Vec<bool>,
+}
+
+impl HubMergeState {
+    /// Creates an empty merge state; slabs grow on first use.
+    pub fn new() -> Self {
+        HubMergeState::default()
+    }
+
+    /// Prepares the slabs for a layer of `width`-wide vectors over
+    /// `num_hubs` hubs.
+    pub fn begin_layer(&mut self, num_hubs: usize, width: usize) {
+        self.width = width;
+        self.y.resize(num_hubs * width, 0.0);
+        self.partial.resize(num_hubs * width, 0.0);
+        self.partial_ready.clear();
+        self.partial_ready.resize(num_hubs, false);
+    }
+
+    /// The hub XW slab, to be filled with `combine_values_into` rows
+    /// (hub `h`'s vector at `h * width`). This is the slab shards read
+    /// their halo hub vectors from.
+    pub fn y_mut(&mut self) -> &mut [f32] {
+        &mut self.y
+    }
+
+    /// The filled hub XW slab.
+    pub fn y(&self) -> &[f32] {
+        &self.y
+    }
+
+    /// Initialises hub `hub`'s partial row with its self contribution
+    /// `self_weight · y_hub` on first touch — the exact transition of
+    /// the hot path's `HubSlabs::ensure_partial`.
+    pub fn ensure_partial(&mut self, hub: u32, self_weight: f32) {
+        let i = hub as usize;
+        if self.partial_ready[i] {
+            return;
+        }
+        let (partial, y) = (&mut self.partial, &self.y);
+        let row = &mut partial[i * self.width..][..self.width];
+        row.fill(0.0);
+        axpy(row, &y[i * self.width..][..self.width], self_weight);
+        self.partial_ready[i] = true;
+    }
+
+    /// Accumulates an exported island contribution into the hub's
+    /// partial row.
+    pub fn accumulate(&mut self, hub: u32, delta: &[f32]) {
+        let row = &mut self.partial[hub as usize * self.width..][..self.width];
+        for (p, &d) in row.iter_mut().zip(delta) {
+            *p += d;
+        }
+    }
+
+    /// Accumulates hub `src`'s XW vector into hub `dst`'s partial row
+    /// (the inter-hub PUSH step).
+    pub fn accumulate_from_y(&mut self, dst: u32, src: u32) {
+        let y = &self.y[src as usize * self.width..][..self.width];
+        let row = &mut self.partial[dst as usize * self.width..][..self.width];
+        for (p, &d) in row.iter_mut().zip(y) {
+            *p += d;
+        }
+    }
+
+    /// Finalises every hub row exactly like the hot path's
+    /// `finalize_hubs` — untouched hubs get their self contribution,
+    /// every row is post-scaled and activated — writing the activated
+    /// rows into `hub_out` (`H × width`, hub-ID order; `norm` must be
+    /// indexed so hub `h` is node `h`, i.e. the layout-order
+    /// normalisation).
+    pub fn finalize_into(
+        &mut self,
+        norm: &GcnNormalization,
+        activation: Activation,
+        hub_out: &mut [f32],
+    ) {
+        let width = self.width;
+        let num_hubs = self.partial_ready.len();
+        assert_eq!(hub_out.len(), num_hubs * width, "hub output slab mismatch");
+        for h in 0..num_hubs {
+            self.ensure_partial(h as u32, norm.self_weight());
+            let os = norm.out_scale(NodeId::new(h as u32));
+            let partial = &self.partial[h * width..][..width];
+            let out_row = &mut hub_out[h * width..][..width];
+            for (o, &v) in out_row.iter_mut().zip(partial) {
+                *o = activation.apply(v * os);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1076,6 +1274,110 @@ mod tests {
             );
             assert_eq!(par1, seq1);
             assert_eq!(par1_stats, seq1_stats);
+        }
+    }
+
+    #[test]
+    fn export_and_merge_hooks_reproduce_the_layer_bitwise() {
+        // The shard contract: islands executed through the export hook
+        // plus a schedule-order merge of the exported hub contributions
+        // must equal `execute_layer` bit for bit (values; the hooks do
+        // no statistics work). Exercised here with the whole layout as
+        // one "shard".
+        for (noise, seed) in [(0.0, 21), (0.1, 22)] {
+            let (g, p, x) = setup(240, noise, seed);
+            let cfg = ConsumerConfig::default();
+            let layout = IslandLayout::new(&g, &p, cfg.num_pes);
+            for model in [GnnModel::gcn(12, 7, 3), GnnModel::gin(12, 7, 3, 0.3)] {
+                let w = ModelWeights::glorot(&model, seed + 5);
+                let norm = model.normalization(layout.graph());
+                let gathered = x.gather_rows(layout.gather_order());
+                let n = g.num_nodes();
+                let num_hubs = layout.num_hubs();
+                let width = w.layer(0).cols();
+
+                let mut reference = vec![0.0f32; n * width];
+                let mut scratch = LayerScratch::new();
+                execute_layer(
+                    &layout,
+                    cfg,
+                    LayerInput::Sparse(&gathered),
+                    w.layer(0),
+                    &norm,
+                    Activation::Relu,
+                    &mut scratch,
+                    &mut reference,
+                );
+
+                // Coordinator: prefill the hub XW slab.
+                let mut merge = HubMergeState::new();
+                merge.begin_layer(num_hubs, width);
+                for h in 0..num_hubs as u32 {
+                    combine_values_into(
+                        LayerInput::Sparse(&gathered),
+                        w.layer(0),
+                        &norm,
+                        h,
+                        &mut merge.y_mut()[h as usize * width..][..width],
+                    );
+                }
+
+                // Shard: islands through the export hook.
+                let islands = layout.partition().islands();
+                let mut offsets = vec![0usize];
+                for isl in islands {
+                    offsets.push(offsets.last().unwrap() + isl.hubs.len());
+                }
+                let mut node_out = vec![0.0f32; (n - num_hubs) * width];
+                let mut contrib = vec![0.0f32; offsets[islands.len()] * width];
+                let mut arena = IslandArena::new();
+                let hub_y = merge.y().to_vec();
+                execute_islands_export(
+                    &layout,
+                    cfg,
+                    LayerInput::Sparse(&gathered),
+                    w.layer(0),
+                    &norm,
+                    Activation::Relu,
+                    &hub_y,
+                    &mut arena,
+                    &mut node_out,
+                    &mut contrib,
+                    &offsets,
+                );
+
+                // Coordinator: schedule-order merge + inter-hub + finalise.
+                for wave in layout.schedule().waves() {
+                    for idx in wave {
+                        let base = offsets[idx];
+                        for (j, &hub) in islands[idx].hubs.iter().enumerate() {
+                            merge.ensure_partial(hub, norm.self_weight());
+                            merge.accumulate(hub, &contrib[(base + j) * width..][..width]);
+                        }
+                    }
+                }
+                for (src, dests) in layout.inter_hub_tasks() {
+                    for &d in dests {
+                        merge.ensure_partial(d, norm.self_weight());
+                        merge.accumulate_from_y(d, *src);
+                    }
+                }
+                let mut hub_rows = vec![0.0f32; num_hubs * width];
+                merge.finalize_into(&norm, Activation::Relu, &mut hub_rows);
+
+                assert_eq!(
+                    &node_out[..],
+                    &reference[num_hubs * width..],
+                    "{:?} noise={noise}: exported island rows diverged",
+                    model.kind()
+                );
+                assert_eq!(
+                    &hub_rows[..],
+                    &reference[..num_hubs * width],
+                    "{:?} noise={noise}: merged hub rows diverged",
+                    model.kind()
+                );
+            }
         }
     }
 

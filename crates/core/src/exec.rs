@@ -16,7 +16,7 @@ use crate::config::{ConsumerConfig, ExecConfig, IslandizationConfig};
 use crate::consumer::hotpath::{self, LayerScratch};
 use crate::consumer::{IslandConsumer, LayerInput};
 use crate::error::CoreError;
-use crate::incremental::{apply_edge_changes, incremental_update};
+use crate::incremental::apply_update_structural;
 use crate::layout::IslandLayout;
 use crate::locator::IslandLocator;
 use crate::partition::IslandPartition;
@@ -411,56 +411,56 @@ impl IGcnEngine {
     /// [`CoreError::RoundLimitExceeded`] if the incremental rounds fail
     /// to converge.
     pub fn apply_update(&mut self, update: GraphUpdate) -> Result<UpdateReport, CoreError> {
-        let n_old = self.graph.num_nodes();
-        let n_new = update.new_num_nodes.unwrap_or(n_old);
-        // `apply_edge_changes` grows to max(n_new, n_old), which would
-        // silently ignore a shrink request — reject it here where the
-        // caller's intent is visible. Self-loops are checked here because
-        // only the engine forbids them (the free functions tolerate
-        // loop-y graphs); endpoint ranges are validated by
-        // `apply_edge_changes` itself.
-        if n_new < n_old {
-            return Err(CoreError::ShapeMismatch {
-                what: "updated node count (graphs cannot shrink)".to_string(),
-                expected: n_old,
-                got: n_new,
+        let mut reports = self.apply_updates_batched(std::slice::from_ref(&update))?;
+        Ok(reports.pop().expect("one update yields one report"))
+    }
+
+    /// Applies a whole batch of [`GraphUpdate`]s, recomposing the
+    /// physical layout **once** at the end instead of once per update —
+    /// the boot-time replay path of `igcn-store`'s write-ahead log,
+    /// where a long log would otherwise pay the O(n + m) layout
+    /// composition per record.
+    ///
+    /// The observable result (graph, partition, locator statistics,
+    /// layout, and the returned [`UpdateReport`]s) is identical to
+    /// calling [`IGcnEngine::apply_update`] once per update in order.
+    /// On error the engine is left exactly as before the call — no
+    /// prefix of the batch is applied.
+    ///
+    /// # Errors
+    ///
+    /// As [`IGcnEngine::apply_update`], for the first failing update.
+    pub fn apply_updates_batched(
+        &mut self,
+        updates: &[GraphUpdate],
+    ) -> Result<Vec<UpdateReport>, CoreError> {
+        if updates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut graph = Arc::clone(&self.graph);
+        let mut partition = self.partition.clone();
+        let mut stats = self.locator_stats.clone();
+        let mut reports = Vec::with_capacity(updates.len());
+        for update in updates {
+            let (new_graph, result) =
+                apply_update_structural(&graph, &partition, &self.island_cfg, update)?;
+            graph = Arc::new(new_graph);
+            partition = result.partition;
+            stats = result.stats.clone();
+            reports.push(UpdateReport {
+                dissolved_islands: result.dissolved_islands,
+                reclassified_nodes: result.reclassified_nodes,
+                demoted_hubs: result.demoted_hubs,
+                num_nodes: graph.num_nodes(),
+                locator_stats: result.stats,
             });
         }
-        for &(a, b) in &update.added_edges {
-            if a == b {
-                return Err(CoreError::SelfLoops { node: a });
-            }
-        }
-        let new_graph =
-            apply_edge_changes(&self.graph, n_new, &update.added_edges, &update.removed_edges)?;
-        let result = incremental_update(
-            &new_graph,
-            &self.partition,
-            &update.added_edges,
-            &update.removed_edges,
-            &self.island_cfg,
-        )?;
-        self.graph = Arc::new(new_graph);
-        self.partition = result.partition;
-        // Recompose the physical layout over the updated partition: the
-        // incremental rounds confined the restructuring to the
-        // disturbed neighborhood, and the layout refresh re-derives the
-        // schedule-order permutation, permuted graph and bitmaps from
-        // that partition so subsequent requests keep executing on a
-        // contiguous layout.
-        self.layout =
-            Arc::new(IslandLayout::new(&self.graph, &self.partition, self.consumer_cfg.num_pes));
-        // The incremental rounds are the restructuring cost that
-        // overlaps the *next* inference, replacing the build-time
-        // locator pass in layer-0 traffic accounting.
-        self.locator_stats = result.stats.clone();
-        Ok(UpdateReport {
-            dissolved_islands: result.dissolved_islands,
-            reclassified_nodes: result.reclassified_nodes,
-            demoted_hubs: result.demoted_hubs,
-            num_nodes: self.graph.num_nodes(),
-            locator_stats: result.stats,
-        })
+        // Commit: one layout recomposition for the whole batch.
+        self.layout = Arc::new(IslandLayout::new(&graph, &partition, self.consumer_cfg.num_pes));
+        self.graph = graph;
+        self.partition = partition;
+        self.locator_stats = stats;
+        Ok(reports)
     }
 
     fn check_features(&self, features: &SparseFeatures, model: &GnnModel) -> Result<(), CoreError> {
@@ -660,7 +660,7 @@ impl IGcnEngine {
         model: &GnnModel,
     ) -> Result<ExecStats, CoreError> {
         self.check_features(features, model)?;
-        Ok(account_with(
+        Ok(account_partitioned(
             &self.graph,
             &self.partition,
             &self.locator_stats,
@@ -837,7 +837,19 @@ fn check_features_for(
 /// The accounting pass shared by [`IGcnEngine::account`] and
 /// [`account_islandized`]: one `account_layer` per model layer, with
 /// the locator's adjacency streaming charged to layer 0.
-fn account_with(
+///
+/// Public because it defines the *canonical* statistics of the logical
+/// computation independent of how it is executed: `IGcnEngine::run`
+/// produces exactly these numbers (pinned by the `account_matches_run`
+/// tests), and a multi-engine front-end (`igcn-shard`'s
+/// `ShardedEngine`) distributes the same logical work, so it reports
+/// the same statistics through this pass over the global structures.
+///
+/// # Panics
+///
+/// Panics if `partition` or `features` do not match `graph` (callers
+/// validate shapes first).
+pub fn account_partitioned(
     graph: &CsrGraph,
     partition: &IslandPartition,
     locator_stats: &crate::stats::LocatorStats,
@@ -899,7 +911,7 @@ pub fn account_islandized(
     // The borrowed path feeds hardware timing models, so occupancy is
     // modelled over the *PEs* (the engine's own `run`/`account` model it
     // over the configured software threads instead).
-    Ok(account_with(
+    Ok(account_partitioned(
         graph,
         &partition,
         &locator_stats,
@@ -1189,6 +1201,80 @@ mod tests {
             engine.apply_update(GraphUpdate::remove_edges(vec![(a, b)])),
             Err(CoreError::MissingEdge { .. })
         ));
+    }
+
+    #[test]
+    fn batched_updates_match_sequential_replay() {
+        // The WAL-replay contract: applying a batch with one final
+        // layout recomposition must land in exactly the state (graph,
+        // partition, locator stats, outputs, reports) that per-update
+        // replay produces.
+        let (g, _) = engine_setup(320, 0.02, 20);
+        let model = GnnModel::gcn(10, 8, 4);
+        let w = ModelWeights::glorot(&model, 21);
+        let mut sequential = IGcnEngine::builder(g.clone()).build().unwrap();
+        let mut batched = IGcnEngine::builder(g).build().unwrap();
+        sequential.prepare(&model, &w).unwrap();
+        batched.prepare(&model, &w).unwrap();
+
+        let n = sequential.graph().num_nodes() as u32;
+        let hub = sequential.partition().hubs()[0];
+        let island = sequential.partition().islands().iter().find(|i| i.len() >= 2).unwrap();
+        let a = island.nodes[0];
+        let b = *sequential
+            .graph()
+            .neighbors(NodeId::new(a))
+            .iter()
+            .find(|&&nb| nb != a)
+            .expect("island node has a neighbor");
+        let updates = vec![
+            GraphUpdate::add_edges(vec![(n, hub), (n + 1, n)]).with_num_nodes(n as usize + 2),
+            GraphUpdate::remove_edges(vec![(a, b)]),
+            GraphUpdate::add_edges(vec![(a, n + 1)]),
+        ];
+
+        let mut seq_reports = Vec::new();
+        for u in &updates {
+            seq_reports.push(sequential.apply_update(u.clone()).unwrap());
+        }
+        let batch_reports = batched.apply_updates_batched(&updates).unwrap();
+
+        assert_eq!(seq_reports.len(), batch_reports.len());
+        for (s, b) in seq_reports.iter().zip(&batch_reports) {
+            assert_eq!(s.dissolved_islands, b.dissolved_islands);
+            assert_eq!(s.reclassified_nodes, b.reclassified_nodes);
+            assert_eq!(s.demoted_hubs, b.demoted_hubs);
+            assert_eq!(s.num_nodes, b.num_nodes);
+            assert_eq!(s.locator_stats, b.locator_stats);
+        }
+        assert_eq!(sequential.graph(), batched.graph());
+        assert_eq!(sequential.partition(), batched.partition());
+        assert_eq!(sequential.locator_stats(), batched.locator_stats());
+        assert_eq!(sequential.layout(), batched.layout());
+
+        let x = SparseFeatures::random(sequential.graph().num_nodes(), 10, 0.4, 22);
+        let (so, ss) = sequential.run(&x, &model, &w).unwrap();
+        let (bo, bs) = batched.run(&x, &model, &w).unwrap();
+        assert_eq!(so, bo, "batched replay output diverged");
+        assert_eq!(ss, bs, "batched replay stats diverged");
+    }
+
+    #[test]
+    fn batched_updates_abort_atomically() {
+        let (g, _) = engine_setup(200, 0.0, 23);
+        let mut engine = IGcnEngine::builder(g).build().unwrap();
+        let before_graph = engine.graph().clone();
+        let before_partition = engine.partition().clone();
+        // Second update is invalid (self-loop): nothing may apply.
+        let updates =
+            vec![GraphUpdate::add_edges(vec![(0, 5)]), GraphUpdate::add_edges(vec![(3, 3)])];
+        assert!(matches!(
+            engine.apply_updates_batched(&updates),
+            Err(CoreError::SelfLoops { node: 3 })
+        ));
+        assert_eq!(engine.graph(), &before_graph, "batch must not partially apply");
+        assert_eq!(engine.partition(), &before_partition);
+        assert!(engine.apply_updates_batched(&[]).unwrap().is_empty());
     }
 
     #[test]

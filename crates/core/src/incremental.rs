@@ -363,6 +363,48 @@ pub fn incremental_update(
     })
 }
 
+/// Validates one [`GraphUpdate`] against an existing graph + partition
+/// and applies it structurally: shrink/self-loop validation,
+/// [`apply_edge_changes`], then the incremental locator rounds. Returns
+/// the updated graph and the [`IncrementalResult`]; the caller decides
+/// when to commit them (and when to recompose any derived layout) —
+/// this is the single shared prologue of `IGcnEngine::apply_update`,
+/// `IGcnEngine::apply_updates_batched` and `igcn-shard`'s routed
+/// updates, so a validation rule added here reaches all three.
+///
+/// [`GraphUpdate`]: crate::accel::GraphUpdate
+///
+/// # Errors
+///
+/// As [`incremental_update`], plus [`CoreError::ShapeMismatch`] for a
+/// shrinking node count and [`CoreError::SelfLoops`] for a self-loop
+/// addition.
+pub fn apply_update_structural(
+    graph: &CsrGraph,
+    partition: &IslandPartition,
+    cfg: &IslandizationConfig,
+    update: &crate::accel::GraphUpdate,
+) -> Result<(CsrGraph, IncrementalResult), CoreError> {
+    let n_old = graph.num_nodes();
+    let n_new = update.new_num_nodes.unwrap_or(n_old);
+    if n_new < n_old {
+        return Err(CoreError::ShapeMismatch {
+            what: "updated node count (graphs cannot shrink)".to_string(),
+            expected: n_old,
+            got: n_new,
+        });
+    }
+    for &(a, b) in &update.added_edges {
+        if a == b {
+            return Err(CoreError::SelfLoops { node: a });
+        }
+    }
+    let new_graph = apply_edge_changes(graph, n_new, &update.added_edges, &update.removed_edges)?;
+    let result =
+        incremental_update(&new_graph, partition, &update.added_edges, &update.removed_edges, cfg)?;
+    Ok((new_graph, result))
+}
+
 /// Builds the updated graph from the old one plus added undirected edges
 /// (the additions-only convenience wrapper over [`apply_edge_changes`]).
 ///

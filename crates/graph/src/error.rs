@@ -40,6 +40,17 @@ pub enum GraphError {
         /// Human-readable description of the defect.
         detail: String,
     },
+    /// A parsed artefact's dimensions disagree with what the caller
+    /// declared (e.g. a feature CSV whose row count does not match the
+    /// graph's node count, or a ragged row).
+    DimensionMismatch {
+        /// What was being matched.
+        what: String,
+        /// The expected extent.
+        expected: usize,
+        /// The extent actually found.
+        got: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -59,6 +70,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, detail } => {
                 write!(f, "parse error at line {line}: {detail}")
+            }
+            GraphError::DimensionMismatch { what, expected, got } => {
+                write!(f, "dimension mismatch: {what} expected {expected}, got {got}")
             }
         }
     }

@@ -29,6 +29,7 @@ use std::io::{BufRead, Write};
 
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
+use crate::features::SparseFeatures;
 
 /// Writes a graph in the edge-list format.
 ///
@@ -207,6 +208,76 @@ pub fn read_edge_list_flexible<R: BufRead>(
     CsrGraph::from_directed_edges(num_nodes, &edges)
 }
 
+/// Reads a dense feature matrix from CSV: one row per node,
+/// comma-separated floats, all rows the same width. `#`-prefixed
+/// comments and blank lines are skipped. Zero entries are not stored
+/// (the result is a [`SparseFeatures`] matrix, which is what bag-of-
+/// words feature dumps amount to).
+///
+/// When `expected_rows` is given (the node count of the graph the
+/// features belong to), a row-count disagreement is a typed
+/// [`GraphError::DimensionMismatch`] instead of a downstream shape
+/// failure — the contract `snapshot_tool build --features-csv` relies
+/// on.
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] for unparseable values,
+/// [`GraphError::DimensionMismatch`] for ragged rows or a row count
+/// that disagrees with `expected_rows`.
+pub fn read_features_csv<R: BufRead>(
+    reader: R,
+    expected_rows: Option<usize>,
+) -> Result<SparseFeatures, GraphError> {
+    let mut rows: Vec<Vec<(u32, f32)>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line
+            .map_err(|e| GraphError::Parse { line: lineno, detail: format!("i/o error: {e}") })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row: Vec<(u32, f32)> = Vec::new();
+        let mut cols = 0usize;
+        for (c, tok) in line.split(',').enumerate() {
+            let v: f32 = tok.trim().parse().map_err(|_| GraphError::Parse {
+                line: lineno,
+                detail: format!("invalid feature value {:?} in column {c}", tok.trim()),
+            })?;
+            if v != 0.0 {
+                row.push((c as u32, v));
+            }
+            cols = c + 1;
+        }
+        match width {
+            None => width = Some(cols),
+            Some(w) if w != cols => {
+                return Err(GraphError::DimensionMismatch {
+                    what: format!("feature CSV row {lineno} width"),
+                    expected: w,
+                    got: cols,
+                });
+            }
+            Some(_) => {}
+        }
+        rows.push(row);
+    }
+    if let Some(expected) = expected_rows {
+        if rows.len() != expected {
+            return Err(GraphError::DimensionMismatch {
+                what: "feature CSV rows vs graph nodes".to_string(),
+                expected,
+                got: rows.len(),
+            });
+        }
+    }
+    let num_rows = rows.len();
+    let num_cols = width.unwrap_or(0);
+    Ok(SparseFeatures::from_rows(num_rows, num_cols, rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +381,37 @@ mod tests {
         assert_eq!(g.num_nodes(), 6);
         assert_eq!(g.count_self_loops(), 0);
         assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn features_csv_parses_and_sparsifies() {
+        let text = "# id-less dense rows\n1.0, 0.0, 2.5\n0, 3, 0\n0.5,0.5,0.5\n";
+        let x = read_features_csv(text.as_bytes(), Some(3)).unwrap();
+        assert_eq!(x.num_rows(), 3);
+        assert_eq!(x.num_cols(), 3);
+        assert_eq!(x.nnz(), 6);
+        let (cols, vals) = x.row(crate::NodeId::new(0));
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[1.0, 2.5]);
+    }
+
+    #[test]
+    fn features_csv_row_count_mismatch_is_typed() {
+        let err = read_features_csv("1,2\n3,4\n".as_bytes(), Some(5)).unwrap_err();
+        assert!(matches!(err, GraphError::DimensionMismatch { expected: 5, got: 2, .. }));
+        assert!(err.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    fn features_csv_ragged_row_is_typed() {
+        let err = read_features_csv("1,2,3\n4,5\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(err, GraphError::DimensionMismatch { expected: 3, got: 2, .. }));
+    }
+
+    #[test]
+    fn features_csv_bad_value_is_a_parse_error() {
+        let err = read_features_csv("1,zebra\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
     }
 
     #[test]

@@ -103,6 +103,37 @@ impl GcnNormalization {
         self.self_weight
     }
 
+    /// Builds the normalisation of a node subset: entry `i` of the
+    /// result carries the scales of node `order[i]`, bit-for-bit. This
+    /// is the row-gather twin of `SparseFeatures::gather_rows`, used by
+    /// sharded execution to hand each shard the *global*-degree scales
+    /// of its local nodes (a shard subgraph truncates replicated-hub
+    /// degrees, so recomputing scales locally would change values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `order` is out of range.
+    pub fn gather(&self, order: &[u32]) -> GcnNormalization {
+        let pick = |scales: &[f32]| -> Vec<f32> {
+            order
+                .iter()
+                .map(|&v| {
+                    assert!(
+                        (v as usize) < scales.len(),
+                        "node {v} out of range for {} scales",
+                        scales.len()
+                    );
+                    scales[v as usize]
+                })
+                .collect()
+        };
+        GcnNormalization {
+            in_scale: pick(&self.in_scale),
+            out_scale: pick(&self.out_scale),
+            self_weight: self.self_weight,
+        }
+    }
+
     /// Materialises the explicit normalised adjacency
     /// `ã_ij = out(i)·in(j)` for every edge plus
     /// `ã_ii = out(i)·in(i)·self_weight` — the reference operand the
@@ -179,6 +210,24 @@ mod tests {
             let sum: f32 = vals.iter().sum();
             assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
         }
+    }
+
+    #[test]
+    fn gather_picks_scales_bitwise() {
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 3)]).unwrap();
+        let n = GcnNormalization::symmetric(&g);
+        let sub = n.gather(&[3, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.in_scale(NodeId::new(0)), n.in_scale(NodeId::new(3)));
+        assert_eq!(sub.out_scale(NodeId::new(1)), n.out_scale(NodeId::new(1)));
+        assert_eq!(sub.self_weight(), n.self_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rejects_bad_index() {
+        let g = triangle();
+        let _ = GcnNormalization::symmetric(&g).gather(&[0, 9]);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Typed errors of the sharded serving subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+use igcn_core::CoreError;
+use igcn_graph::GraphError;
+use igcn_store::StoreError;
+
+/// Errors of shard construction, manifest-driven fleet boot, and
+/// sharded execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ShardError {
+    /// An engine-level failure (structural validation, update
+    /// rejection, shape mismatch).
+    Core(CoreError),
+    /// A persistence failure (snapshot or manifest I/O, checksum,
+    /// decode).
+    Store(StoreError),
+    /// A graph-level failure while assembling a shard subgraph.
+    Graph(GraphError),
+    /// The requested shard count cannot be honored (zero shards).
+    InvalidShardCount {
+        /// The requested number of shards.
+        requested: usize,
+    },
+    /// A shard's subgraph cannot host an engine (for example a shard of
+    /// isolated singleton islands with no edges at all) — lower the
+    /// shard count.
+    ShardUnservable {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A manifest and the snapshots it references disagree (island
+    /// counts, hub maps, node maps) — the fleet cannot be assembled.
+    ManifestMismatch {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Core(e) => write!(f, "shard engine error: {e}"),
+            ShardError::Store(e) => write!(f, "shard persistence error: {e}"),
+            ShardError::Graph(e) => write!(f, "shard subgraph error: {e}"),
+            ShardError::InvalidShardCount { requested } => {
+                write!(f, "invalid shard count {requested} (need at least 1)")
+            }
+            ShardError::ShardUnservable { shard, detail } => {
+                write!(f, "shard {shard} cannot host an engine: {detail}")
+            }
+            ShardError::ManifestMismatch { detail } => {
+                write!(f, "manifest does not match its snapshots: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ShardError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShardError::Core(e) => Some(e),
+            ShardError::Store(e) => Some(e),
+            ShardError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ShardError {
+    fn from(e: CoreError) -> Self {
+        ShardError::Core(e)
+    }
+}
+
+impl From<StoreError> for ShardError {
+    fn from(e: StoreError) -> Self {
+        ShardError::Store(e)
+    }
+}
+
+impl From<GraphError> for ShardError {
+    fn from(e: GraphError) -> Self {
+        ShardError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ShardError::InvalidShardCount { requested: 0 };
+        assert!(e.to_string().contains("shard count 0"));
+        let e = ShardError::ManifestMismatch { detail: "boom".to_string() };
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardError>();
+    }
+}

@@ -1,0 +1,349 @@
+//! Island-aware shard assignment.
+//!
+//! Islandization already did the hard part of partitioning: islands are
+//! *closed* — an island node's neighbors are in-island or hubs — so the
+//! only structure a shard cut can sever is hub adjacency. The sharder
+//! therefore assigns **whole islands** to shards and replicates each
+//! shard's contacted hubs into it as the halo; the objective is to
+//! minimise that replication (equivalently, the hub-side edge cut)
+//! while keeping per-shard work balanced.
+//!
+//! The algorithm is a deterministic greedy pass in the spirit of
+//! communication-aware multi-unit GCN partitioning (COIN, Mandal et
+//! al. 2022): islands in descending work-estimate order, each placed on
+//! the shard sharing the most contact hubs with it (ties: least loaded,
+//! then lowest index), under a load cap that keeps the heaviest shard
+//! within a constant factor of the mean.
+
+use igcn_core::{IslandPartition, IslandSchedule};
+
+/// Load-balance slack of the greedy pass: a shard may exceed the ideal
+/// mean load by this factor before hub affinity stops being allowed to
+/// pile more islands onto it.
+const BALANCE_SLACK: f64 = 1.15;
+
+/// The outcome of island→shard assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Global island indices per shard, ascending within each shard
+    /// (i.e. in global schedule order restricted to the shard).
+    pub shards: Vec<Vec<u32>>,
+    /// `island_shard[island] = shard`.
+    pub island_shard: Vec<u32>,
+}
+
+impl ShardAssignment {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Assigns every island of `partition` (in layout ID space: hubs are
+/// `0..H`) to one of `num_shards` shards.
+///
+/// `prefer[island]`, when given, names the shard the island should stay
+/// on if the load cap allows — the affinity hook `apply_update` uses to
+/// keep undisturbed islands on their current shard so a structural
+/// update only moves data for the disturbed region.
+///
+/// # Panics
+///
+/// Panics if `num_shards == 0` or greater than the island count, or if
+/// `prefer` is non-empty and not one entry per island (callers validate
+/// first).
+pub fn assign_islands(
+    partition: &IslandPartition,
+    schedule: &IslandSchedule,
+    num_shards: usize,
+    prefer: Option<&[Option<u32>]>,
+) -> ShardAssignment {
+    let num_islands = partition.num_islands();
+    assert!(num_shards >= 1, "need at least one shard");
+    assert!(num_shards <= num_islands, "more shards than islands");
+    if let Some(p) = prefer {
+        assert_eq!(p.len(), num_islands, "one preference entry per island");
+    }
+    let work = schedule.work();
+    let total_work: u64 = work.iter().sum();
+    let cap = ((total_work as f64 / num_shards as f64) * BALANCE_SLACK).ceil() as u64;
+    let num_hubs = partition.num_hubs();
+
+    // Islands in descending work, ties by ascending index (stable).
+    let mut order: Vec<u32> = (0..num_islands as u32).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(work[i as usize]), i));
+
+    let mut load = vec![0u64; num_shards];
+    let mut hub_present = vec![false; num_shards * num_hubs];
+    let mut island_shard = vec![u32::MAX; num_islands];
+    let mut shards: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+
+    for &idx in &order {
+        let isl = &partition.islands()[idx as usize];
+        let w = work[idx as usize];
+        let pick = |s: usize| -> (usize, u64) {
+            let overlap =
+                isl.hubs.iter().filter(|&&h| hub_present[s * num_hubs + h as usize]).count();
+            (overlap, load[s])
+        };
+        // Honor the affinity preference when it fits under the cap.
+        let preferred = prefer
+            .and_then(|p| p[idx as usize])
+            .map(|s| s as usize)
+            .filter(|&s| s < num_shards && load[s] + w <= cap);
+        let chosen = preferred.unwrap_or_else(|| {
+            let mut best: Option<(usize, usize, u64)> = None; // (shard, overlap, load)
+            for s in 0..num_shards {
+                if load[s] + w > cap && load.iter().any(|&l| l + w <= cap) {
+                    continue; // respect the cap while any shard still fits
+                }
+                let (overlap, l) = pick(s);
+                let better = match best {
+                    None => true,
+                    Some((_, bo, bl)) => overlap > bo || (overlap == bo && l < bl),
+                };
+                if better {
+                    best = Some((s, overlap, l));
+                }
+            }
+            best.expect("at least one shard considered").0
+        });
+        island_shard[idx as usize] = chosen as u32;
+        load[chosen] += w;
+        for &h in &isl.hubs {
+            hub_present[chosen * num_hubs + h as usize] = true;
+        }
+        shards[chosen].push(idx);
+    }
+
+    // No shard may end up empty (each shard must host an engine): move
+    // the lightest island off the shard with the most islands.
+    while let Some(empty) = shards.iter().position(Vec::is_empty) {
+        let donor = (0..num_shards)
+            .filter(|&s| shards[s].len() > 1)
+            .max_by_key(|&s| (shards[s].len(), std::cmp::Reverse(s)))
+            .expect("num_shards <= num_islands guarantees a donor");
+        let (pos, &lightest) = shards[donor]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| (work[i as usize], i))
+            .expect("donor has islands");
+        shards[donor].remove(pos);
+        shards[empty].push(lightest);
+        island_shard[lightest as usize] = empty as u32;
+        load[donor] -= work[lightest as usize];
+        load[empty] += work[lightest as usize];
+    }
+
+    for s in &mut shards {
+        s.sort_unstable();
+    }
+    ShardAssignment { shards, island_shard }
+}
+
+/// Per-shard structural summary of one assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Islands owned.
+    pub islands: usize,
+    /// Island nodes owned.
+    pub nodes: usize,
+    /// Hubs replicated into the shard (the halo rows).
+    pub replicated_hubs: usize,
+    /// Schedule work units owned.
+    pub work: u64,
+}
+
+/// Cut and replication metrics of one assignment — the honest
+/// communication-cost story `shard_tool bench` records (distinct from
+/// the bit-identical `ExecStats`, which describe the *logical*
+/// single-engine computation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardingReport {
+    /// Per-shard summaries.
+    pub per_shard: Vec<ShardSummary>,
+    /// Global hub count.
+    pub total_hubs: usize,
+    /// Total replicated hub rows across shards (`Σ |halo_s|`).
+    pub replicated_hub_slots: usize,
+    /// `replicated_hub_slots / total_hubs`. 1.0 means every hub lives
+    /// on exactly one shard; above 1.0 is genuine replication; below
+    /// 1.0 is possible when some hubs have only hub–hub edges and are
+    /// contacted by no island (they live on the coordinator alone).
+    pub replication_factor: f64,
+    /// Undirected edges whose endpoints live on different shards, with
+    /// each hub homed on the shard holding most of its island contacts
+    /// (inter-hub edges cut when their homes differ).
+    pub cut_edges: u64,
+    /// Total undirected loop-free edges.
+    pub total_undirected_edges: u64,
+    /// `cut_edges / total_undirected_edges`.
+    pub cut_fraction: f64,
+}
+
+/// Computes the [`ShardingReport`] of `assignment` over the layout
+/// partition (`graph` is the layout-order graph the partition belongs
+/// to).
+pub fn sharding_report(
+    graph: &igcn_graph::CsrGraph,
+    partition: &IslandPartition,
+    schedule: &IslandSchedule,
+    assignment: &ShardAssignment,
+) -> ShardingReport {
+    let num_shards = assignment.num_shards();
+    let num_hubs = partition.num_hubs();
+
+    // Island↔hub undirected contact-edge counts per (hub, shard).
+    let mut contacts = vec![0u64; num_hubs * num_shards];
+    let mut per_shard: Vec<ShardSummary> = (0..num_shards)
+        .map(|_| ShardSummary { islands: 0, nodes: 0, replicated_hubs: 0, work: 0 })
+        .collect();
+    let mut halo = vec![false; num_hubs * num_shards];
+    for (idx, isl) in partition.islands().iter().enumerate() {
+        let s = assignment.island_shard[idx] as usize;
+        per_shard[s].islands += 1;
+        per_shard[s].nodes += isl.nodes.len();
+        per_shard[s].work += schedule.work()[idx];
+        for &h in &isl.hubs {
+            halo[h as usize * num_shards + s] = true;
+        }
+        for &v in &isl.nodes {
+            for &nb in graph.neighbors(igcn_graph::NodeId::new(v)) {
+                if (nb as usize) < num_hubs {
+                    contacts[nb as usize * num_shards + s] += 1;
+                }
+            }
+        }
+    }
+    for h in 0..num_hubs {
+        for s in 0..num_shards {
+            if halo[h * num_shards + s] {
+                per_shard[s].replicated_hubs += 1;
+            }
+        }
+    }
+
+    // Home shard of each hub: most contact edges, ties → lowest shard.
+    let home: Vec<usize> = (0..num_hubs)
+        .map(|h| {
+            (0..num_shards)
+                .max_by_key(|&s| (contacts[h * num_shards + s], std::cmp::Reverse(s)))
+                .expect("at least one shard")
+        })
+        .collect();
+
+    // Cut: island–hub contact edges whose island shard != hub home,
+    // plus inter-hub edges whose homes differ.
+    let mut cut = 0u64;
+    for h in 0..num_hubs {
+        for s in 0..num_shards {
+            if s != home[h] {
+                cut += contacts[h * num_shards + s];
+            }
+        }
+    }
+    for &(a, b) in partition.inter_hub_edges() {
+        if home[a as usize] != home[b as usize] {
+            cut += 1;
+        }
+    }
+
+    let total_undirected_edges = (graph.iter_edges().filter(|(u, v)| u != v).count() / 2) as u64;
+    let replicated_hub_slots: usize = per_shard.iter().map(|s| s.replicated_hubs).sum();
+    ShardingReport {
+        per_shard,
+        total_hubs: num_hubs,
+        replicated_hub_slots,
+        replication_factor: if num_hubs == 0 {
+            1.0
+        } else {
+            replicated_hub_slots as f64 / num_hubs as f64
+        },
+        cut_edges: cut,
+        total_undirected_edges,
+        cut_fraction: if total_undirected_edges == 0 {
+            0.0
+        } else {
+            cut as f64 / total_undirected_edges as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_core::{islandize, ConsumerConfig, IslandLayout, IslandizationConfig};
+    use igcn_graph::generate::HubIslandConfig;
+
+    fn layout() -> IslandLayout {
+        let g = HubIslandConfig::new(400, 16).noise_fraction(0.02).generate(13);
+        let p = islandize(&g.graph, &IslandizationConfig::default());
+        IslandLayout::new(&g.graph, &p, ConsumerConfig::default().num_pes)
+    }
+
+    #[test]
+    fn every_island_assigned_exactly_once() {
+        let layout = layout();
+        for k in [1, 2, 4, 7] {
+            let a = assign_islands(layout.partition(), layout.schedule(), k, None);
+            assert_eq!(a.num_shards(), k);
+            let mut seen = vec![false; layout.partition().num_islands()];
+            for (s, islands) in a.shards.iter().enumerate() {
+                assert!(!islands.is_empty(), "shard {s} is empty at k={k}");
+                for &i in islands {
+                    assert!(!seen[i as usize], "island {i} assigned twice");
+                    seen[i as usize] = true;
+                    assert_eq!(a.island_shard[i as usize], s as u32);
+                }
+            }
+            assert!(seen.iter().all(|&x| x));
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_roughly_balanced() {
+        let layout = layout();
+        let a = assign_islands(layout.partition(), layout.schedule(), 4, None);
+        let b = assign_islands(layout.partition(), layout.schedule(), 4, None);
+        assert_eq!(a, b);
+        let work = layout.schedule().work();
+        let loads: Vec<u64> = a
+            .shards
+            .iter()
+            .map(|islands| islands.iter().map(|&i| work[i as usize]).sum())
+            .collect();
+        let total: u64 = loads.iter().sum();
+        let max = *loads.iter().max().unwrap();
+        assert!((max as f64) < (total as f64 / 4.0) * 1.6, "load imbalance: {loads:?}");
+    }
+
+    #[test]
+    fn affinity_preference_is_honored_when_feasible() {
+        let layout = layout();
+        let base = assign_islands(layout.partition(), layout.schedule(), 3, None);
+        let prefer: Vec<Option<u32>> = base.island_shard.iter().map(|&s| Some(s)).collect();
+        let again = assign_islands(layout.partition(), layout.schedule(), 3, Some(&prefer));
+        // A feasible full preference reproduces the assignment.
+        assert_eq!(again.island_shard, base.island_shard);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let layout = layout();
+        let a = assign_islands(layout.partition(), layout.schedule(), 3, None);
+        let r = sharding_report(layout.graph(), layout.partition(), layout.schedule(), &a);
+        assert_eq!(r.per_shard.len(), 3);
+        let nodes: usize = r.per_shard.iter().map(|s| s.nodes).sum();
+        assert_eq!(nodes, layout.partition().num_island_nodes());
+        assert!(r.replication_factor > 0.0);
+        assert!(
+            r.replicated_hub_slots >= r.per_shard.iter().map(|s| s.replicated_hubs).max().unwrap()
+        );
+        assert!(r.cut_edges <= r.total_undirected_edges);
+        // One shard: nothing is cut, nothing is replicated twice.
+        let one = assign_islands(layout.partition(), layout.schedule(), 1, None);
+        let r1 = sharding_report(layout.graph(), layout.partition(), layout.schedule(), &one);
+        assert_eq!(r1.cut_edges, 0);
+        assert!(r1.replication_factor <= 1.0);
+    }
+}

@@ -58,6 +58,7 @@
 //! [`GraphUpdate`]: igcn_core::GraphUpdate
 
 pub mod error;
+pub mod manifest;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -68,6 +69,9 @@ use std::path::PathBuf;
 use igcn_core::{ExecConfig, IGcnEngine};
 
 pub use error::StoreError;
+pub use manifest::{
+    ManifestEntry, ManifestInfo, ShardEntry, ShardManifest, MANIFEST_MAGIC, MANIFEST_VERSION,
+};
 pub use snapshot::{Snapshot, SnapshotHeader, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use store::{BootOutcome, EngineStore};
 pub use wal::{Wal, WalReplay};
@@ -120,9 +124,10 @@ impl SnapshotBuilder {
             // header-only read avoids re-reading the whole payload.
             let header = Snapshot::read_header(&self.path)?;
             let replay = Wal::paired(wal_path, header.checksum).replay()?;
-            for update in replay.updates {
-                engine.apply_update(update)?;
-            }
+            // Batched replay: every update applied structurally, one
+            // layout recomposition at the end (identical end state to
+            // per-update replay).
+            engine.apply_updates_batched(&replay.updates)?;
         }
         Ok(engine)
     }

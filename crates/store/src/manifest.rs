@@ -1,0 +1,400 @@
+//! The sharded-deployment manifest: one versioned, checksummed file
+//! that describes a fleet of per-shard snapshots plus the coordinator
+//! image, so a multi-engine deployment cold-starts from object storage
+//! with nothing but this file and the snapshots it names.
+//!
+//! ```text
+//! +---------+---------+-------------+-------------+================+
+//! | "IGSM"  | version | payload_len | payload_sum |    payload     |
+//! | 4 bytes | u32 LE  | u64 LE      | u64 LE FNV  | bitcode bytes  |
+//! +---------+---------+-------------+-------------+================+
+//! ```
+//!
+//! The payload lists, per member, the snapshot **file name** (resolved
+//! relative to the manifest's own directory — a manifest plus its
+//! snapshots move as one directory) and the snapshot's payload
+//! **checksum**, pairing the manifest to the exact images it was
+//! written with: a swapped or re-built snapshot fails
+//! [`ShardManifest::verify_files`] before any engine is constructed.
+//! Shard entries additionally carry the routing metadata a coordinator
+//! needs without decoding every shard image: the global island indices
+//! the shard owns, the shard's replicated-hub map (local hub slot →
+//! global layout hub ID) and the local→original node ID map.
+//!
+//! **Versioning policy.** Same contract as snapshots: readers accept
+//! exactly [`MANIFEST_VERSION`]; any layout-affecting change bumps the
+//! number and older manifests fail fast with
+//! [`StoreError::UnsupportedVersion`] (a manifest is derived data —
+//! re-partition from the coordinator snapshot or the source graph).
+
+use std::path::{Path, PathBuf};
+
+use bitcode::{CodecError, Decode, Encode, Reader, Writer};
+
+use crate::error::{io_err, StoreError};
+use crate::snapshot::{framed_payload, inspect_framed, write_framed, Snapshot};
+
+/// Leading magic bytes of every shard-manifest file.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"IGSM";
+
+/// The manifest format version this build reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Header size in bytes: magic + version + payload length + checksum.
+pub const MANIFEST_HEADER_BYTES: usize = 4 + 4 + 8 + 8;
+
+/// One referenced snapshot: its file name (relative to the manifest)
+/// and the payload checksum recorded when the manifest was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Snapshot file name, relative to the manifest's directory.
+    pub file: String,
+    /// The snapshot's payload checksum (FNV-1a 64) at manifest time.
+    pub checksum: u64,
+}
+
+/// One shard of the fleet: its snapshot plus the routing metadata the
+/// coordinator rebuilds its plan from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The shard's engine snapshot.
+    pub snapshot: ManifestEntry,
+    /// Global island indices owned by this shard, in the shard's local
+    /// island order.
+    pub islands: Vec<u32>,
+    /// Local hub slot → global layout hub ID (`0..H`), ascending — the
+    /// shard's replicated-hub (halo) map.
+    pub hub_global: Vec<u32>,
+    /// Local node ID → *original* global node ID (hubs first, then
+    /// island nodes), the per-shard feature-gather map.
+    pub gather_original: Vec<u32>,
+}
+
+/// A complete sharded-deployment description: the coordinator image
+/// (global graph + partition + layout, exactly a standard [`Snapshot`])
+/// and one [`ShardEntry`] per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// The coordinator snapshot (global engine image).
+    pub coordinator: ManifestEntry,
+    /// Per-shard snapshots + routing metadata.
+    pub shards: Vec<ShardEntry>,
+}
+
+/// Header metadata of a manifest file, readable without decoding the
+/// payload (`shard_tool inspect`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestInfo {
+    /// Format version recorded in the file.
+    pub version: u32,
+    /// Payload length in bytes.
+    pub payload_bytes: u64,
+    /// FNV-1a 64 checksum recorded in the header.
+    pub checksum: u64,
+    /// Whether the payload bytes on disk hash to the recorded checksum.
+    pub checksum_ok: bool,
+}
+
+impl ShardManifest {
+    /// Number of shards described.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Serialises the manifest (header + checksummed payload) to
+    /// `path`, write-then-rename like snapshots. Returns total bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
+        let payload = bitcode::encode(&RawManifest::from_manifest(self));
+        write_framed(path.as_ref(), MANIFEST_MAGIC, MANIFEST_VERSION, &payload)
+            .map(|(bytes, _)| bytes)
+    }
+
+    /// Reads, verifies (magic, version, length, checksum) and decodes a
+    /// manifest. The referenced snapshot files are *not* opened — run
+    /// [`ShardManifest::verify_files`] for that.
+    ///
+    /// # Errors
+    ///
+    /// The [`StoreError`] taxonomy: I/O, magic/version/length/checksum
+    /// failures, codec errors, and structural inconsistencies.
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let payload = framed_payload(&bytes, MANIFEST_MAGIC, MANIFEST_VERSION)?;
+        let raw: RawManifest = bitcode::decode(payload)?;
+        raw.into_manifest()
+    }
+
+    /// Reads only the header of a manifest file, verifying the payload
+    /// checksum without decoding.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`], [`StoreError::BadMagic`] or
+    /// [`StoreError::Truncated`]; version and checksum mismatches are
+    /// reported in the returned [`ManifestInfo`].
+    pub fn inspect(path: impl AsRef<Path>) -> Result<ManifestInfo, StoreError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let info = inspect_framed(&bytes, MANIFEST_MAGIC)?;
+        Ok(ManifestInfo {
+            version: info.version,
+            payload_bytes: info.payload_bytes,
+            checksum: info.checksum,
+            checksum_ok: info.checksum_ok,
+        })
+    }
+
+    /// Resolves a member's snapshot path against the manifest's
+    /// directory.
+    pub fn resolve(manifest_path: &Path, entry: &ManifestEntry) -> PathBuf {
+        match manifest_path.parent() {
+            Some(dir) => dir.join(&entry.file),
+            None => PathBuf::from(&entry.file),
+        }
+    }
+
+    /// Verifies that every referenced snapshot exists and its header
+    /// checksum matches the one recorded at manifest time — the cheap
+    /// (header-only) fleet integrity check a cold start runs before
+    /// decoding megabytes of payload.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] for a missing file,
+    /// [`StoreError::ChecksumMismatch`] for a snapshot that was
+    /// replaced or rebuilt since the manifest was written.
+    pub fn verify_files(&self, manifest_path: &Path) -> Result<(), StoreError> {
+        for entry in
+            std::iter::once(&self.coordinator).chain(self.shards.iter().map(|s| &s.snapshot))
+        {
+            let path = Self::resolve(manifest_path, entry);
+            let header = Snapshot::read_header(&path)?;
+            if header.checksum != entry.checksum {
+                return Err(StoreError::ChecksumMismatch {
+                    expected: entry.checksum,
+                    computed: header.checksum,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire mirrors
+// ---------------------------------------------------------------------
+
+struct RawEntry {
+    file: String,
+    checksum: u64,
+}
+
+impl Encode for RawEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.file.encode(w);
+        self.checksum.encode(w);
+    }
+}
+
+impl Decode for RawEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RawEntry { file: String::decode(r)?, checksum: u64::decode(r)? })
+    }
+}
+
+struct RawShardEntry {
+    snapshot: RawEntry,
+    islands: Vec<u32>,
+    hub_global: Vec<u32>,
+    gather_original: Vec<u32>,
+}
+
+impl Encode for RawShardEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.snapshot.encode(w);
+        self.islands.encode(w);
+        self.hub_global.encode(w);
+        self.gather_original.encode(w);
+    }
+}
+
+impl Decode for RawShardEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RawShardEntry {
+            snapshot: RawEntry::decode(r)?,
+            islands: Vec::decode(r)?,
+            hub_global: Vec::decode(r)?,
+            gather_original: Vec::decode(r)?,
+        })
+    }
+}
+
+struct RawManifest {
+    coordinator: RawEntry,
+    shards: Vec<RawShardEntry>,
+}
+
+impl RawManifest {
+    fn from_manifest(m: &ShardManifest) -> Self {
+        RawManifest {
+            coordinator: RawEntry {
+                file: m.coordinator.file.clone(),
+                checksum: m.coordinator.checksum,
+            },
+            shards: m
+                .shards
+                .iter()
+                .map(|s| RawShardEntry {
+                    snapshot: RawEntry {
+                        file: s.snapshot.file.clone(),
+                        checksum: s.snapshot.checksum,
+                    },
+                    islands: s.islands.clone(),
+                    hub_global: s.hub_global.clone(),
+                    gather_original: s.gather_original.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn into_manifest(self) -> Result<ShardManifest, StoreError> {
+        if self.shards.is_empty() {
+            return Err(StoreError::Corrupt {
+                detail: "manifest describes zero shards".to_string(),
+            });
+        }
+        let shards: Vec<ShardEntry> = self
+            .shards
+            .into_iter()
+            .map(|s| ShardEntry {
+                snapshot: ManifestEntry { file: s.snapshot.file, checksum: s.snapshot.checksum },
+                islands: s.islands,
+                hub_global: s.hub_global,
+                gather_original: s.gather_original,
+            })
+            .collect();
+        // Every global island must be owned by exactly one shard.
+        let mut owned: Vec<u32> = shards.iter().flat_map(|s| s.islands.iter().copied()).collect();
+        let total = owned.len();
+        owned.sort_unstable();
+        owned.dedup();
+        if owned.len() != total {
+            return Err(StoreError::Corrupt {
+                detail: "manifest assigns an island to more than one shard".to_string(),
+            });
+        }
+        Ok(ShardManifest {
+            coordinator: ManifestEntry {
+                file: self.coordinator.file,
+                checksum: self.coordinator.checksum,
+            },
+            shards,
+        })
+    }
+}
+
+impl Encode for RawManifest {
+    fn encode(&self, w: &mut Writer) {
+        self.coordinator.encode(w);
+        self.shards.encode(w);
+    }
+}
+
+impl Decode for RawManifest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RawManifest { coordinator: RawEntry::decode(r)?, shards: Vec::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let n = UNIQUE.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!("igcn-manifest-{}-{tag}-{n}.igsm", std::process::id()))
+    }
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            coordinator: ManifestEntry { file: "global.snap".to_string(), checksum: 11 },
+            shards: vec![
+                ShardEntry {
+                    snapshot: ManifestEntry { file: "shard0.snap".to_string(), checksum: 22 },
+                    islands: vec![0, 2],
+                    hub_global: vec![0, 1, 3],
+                    gather_original: vec![5, 9, 1, 2, 3],
+                },
+                ShardEntry {
+                    snapshot: ManifestEntry { file: "shard1.snap".to_string(), checksum: 33 },
+                    islands: vec![1],
+                    hub_global: vec![1],
+                    gather_original: vec![9, 4],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let path = temp_path("roundtrip");
+        let m = sample();
+        let bytes = m.write(&path).unwrap();
+        assert!(bytes > MANIFEST_HEADER_BYTES as u64);
+        let back = ShardManifest::read(&path).unwrap();
+        assert_eq!(back, m);
+        let info = ShardManifest::inspect(&path).unwrap();
+        assert_eq!(info.version, MANIFEST_VERSION);
+        assert!(info.checksum_ok);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_manifest_fails_typed() {
+        let path = temp_path("corrupt");
+        sample().write(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = MANIFEST_HEADER_BYTES + (bytes.len() - MANIFEST_HEADER_BYTES) / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(ShardManifest::read(&path), Err(StoreError::ChecksumMismatch { .. })));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ShardManifest::read(&path),
+            Err(StoreError::UnsupportedVersion { found: 9, .. })
+        ));
+        std::fs::write(&path, b"nope").unwrap();
+        assert!(matches!(ShardManifest::read(&path), Err(StoreError::Truncated { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_island_ownership_rejected() {
+        let path = temp_path("dup");
+        let mut m = sample();
+        m.shards[1].islands = vec![0]; // island 0 already owned by shard 0
+        m.write(&path).unwrap();
+        assert!(matches!(ShardManifest::read(&path), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn verify_files_checks_snapshot_pairing() {
+        // A manifest naming a missing snapshot fails with Io.
+        let path = temp_path("pairing");
+        let m = sample();
+        m.write(&path).unwrap();
+        assert!(matches!(m.verify_files(&path), Err(StoreError::Io { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+}

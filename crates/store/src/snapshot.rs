@@ -145,18 +145,19 @@ impl Snapshot {
     ///
     /// [`StoreError::Io`] on filesystem failures.
     pub fn write(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
-        let path = path.as_ref();
+        self.write_with_checksum(path).map(|(bytes, _)| bytes)
+    }
+
+    /// As [`Snapshot::write`], additionally returning the payload
+    /// checksum that was written — what manifest writers record without
+    /// re-reading the file they just produced.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn write_with_checksum(&self, path: impl AsRef<Path>) -> Result<(u64, u64), StoreError> {
         let payload = bitcode::encode(&self.to_raw());
-        let mut file = Vec::with_capacity(HEADER_BYTES + payload.len());
-        file.extend_from_slice(&SNAPSHOT_MAGIC);
-        file.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        file.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
-        file.extend_from_slice(&payload);
-        let tmp = path.with_extension("tmp");
-        write_durable(&tmp, &file)?;
-        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
-        Ok(file.len() as u64)
+        write_framed(path.as_ref(), SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &payload)
     }
 
     /// Reads, verifies (magic, version, length, checksum) and decodes a
@@ -188,21 +189,7 @@ impl Snapshot {
     pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, StoreError> {
         let path = path.as_ref();
         let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
-        if bytes.len() < HEADER_BYTES {
-            return Err(StoreError::Truncated {
-                needed: HEADER_BYTES as u64,
-                got: bytes.len() as u64,
-            });
-        }
-        if bytes[..4] != SNAPSHOT_MAGIC {
-            return Err(StoreError::BadMagic { found: bytes[..4].try_into().expect("four bytes") });
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("four bytes"));
-        let payload_bytes = u64::from_le_bytes(bytes[8..16].try_into().expect("eight bytes"));
-        let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("eight bytes"));
-        let body = &bytes[HEADER_BYTES..];
-        let checksum_ok = body.len() as u64 == payload_bytes && fnv1a64(body) == checksum;
-        Ok(SnapshotInfo { version, payload_bytes, checksum, checksum_ok })
+        inspect_framed(&bytes, SNAPSHOT_MAGIC)
     }
 
     /// Reads just the 24-byte header — the recorded checksum *without*
@@ -324,15 +311,55 @@ pub(crate) fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), StoreError>
 /// Validates magic, version, length and checksum; returns the payload
 /// slice.
 fn verified_payload(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    framed_payload(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)
+}
+
+// ---------------------------------------------------------------------
+// The shared `magic | version | len | checksum | payload` framing —
+// one implementation for every file format in this crate (snapshots
+// and shard manifests differ only in their magic and version).
+// ---------------------------------------------------------------------
+
+/// Writes `payload` framed under `magic`/`version` (write-then-rename,
+/// fsynced); returns `(total bytes, payload checksum)`.
+pub(crate) fn write_framed(
+    path: &Path,
+    magic: [u8; 4],
+    version: u32,
+    payload: &[u8],
+) -> Result<(u64, u64), StoreError> {
+    let checksum = fnv1a64(payload);
+    let mut file = Vec::with_capacity(HEADER_BYTES + payload.len());
+    file.extend_from_slice(&magic);
+    file.extend_from_slice(&version.to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(&checksum.to_le_bytes());
+    file.extend_from_slice(payload);
+    let tmp = path.with_extension("tmp");
+    write_durable(&tmp, &file)?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    Ok((file.len() as u64, checksum))
+}
+
+/// Validates the framing (magic, exact version, length, checksum) and
+/// returns the payload slice.
+pub(crate) fn framed_payload(
+    bytes: &[u8],
+    magic: [u8; 4],
+    supported_version: u32,
+) -> Result<&[u8], StoreError> {
     if bytes.len() < HEADER_BYTES {
         return Err(StoreError::Truncated { needed: HEADER_BYTES as u64, got: bytes.len() as u64 });
     }
-    if bytes[..4] != SNAPSHOT_MAGIC {
+    if bytes[..4] != magic {
         return Err(StoreError::BadMagic { found: bytes[..4].try_into().expect("four bytes") });
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("four bytes"));
-    if version != SNAPSHOT_VERSION {
-        return Err(StoreError::UnsupportedVersion { found: version, supported: SNAPSHOT_VERSION });
+    if version != supported_version {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: supported_version,
+        });
     }
     let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("eight bytes"));
     let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("eight bytes"));
@@ -345,4 +372,21 @@ fn verified_payload(bytes: &[u8]) -> Result<&[u8], StoreError> {
         return Err(StoreError::ChecksumMismatch { expected: checksum, computed });
     }
     Ok(body)
+}
+
+/// Reads the framing fields without requiring a supported version, and
+/// verifies the checksum — the `inspect` path of both formats.
+pub(crate) fn inspect_framed(bytes: &[u8], magic: [u8; 4]) -> Result<SnapshotInfo, StoreError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(StoreError::Truncated { needed: HEADER_BYTES as u64, got: bytes.len() as u64 });
+    }
+    if bytes[..4] != magic {
+        return Err(StoreError::BadMagic { found: bytes[..4].try_into().expect("four bytes") });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("four bytes"));
+    let payload_bytes = u64::from_le_bytes(bytes[8..16].try_into().expect("eight bytes"));
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("eight bytes"));
+    let body = &bytes[HEADER_BYTES..];
+    let checksum_ok = body.len() as u64 == payload_bytes && fnv1a64(body) == checksum;
+    Ok(SnapshotInfo { version, payload_bytes, checksum, checksum_ok })
 }

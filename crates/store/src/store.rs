@@ -112,7 +112,12 @@ impl EngineStore {
 
     /// Warm-starts an engine: reads the snapshot (checksum + structural
     /// validation, **no locator pass**), then replays every WAL record
-    /// through [`IGcnEngine::apply_update`].
+    /// through [`IGcnEngine::apply_updates_batched`] — the whole log is
+    /// applied structurally and the physical layout is recomposed
+    /// **once** at the end, so a long log does not pay the O(n + m)
+    /// layout composition per record. The booted state is identical to
+    /// per-record replay (pinned by the batched-replay equivalence
+    /// test).
     ///
     /// # Errors
     ///
@@ -125,9 +130,7 @@ impl EngineStore {
         let mut engine = snapshot.warm_engine(exec_cfg)?;
         let replay = self.wal()?.replay()?;
         let replayed_updates = replay.updates.len();
-        for update in replay.updates {
-            engine.apply_update(update)?;
-        }
+        engine.apply_updates_batched(&replay.updates)?;
         Ok(BootOutcome {
             prepared: snapshot.model.is_some(),
             features: snapshot.features,

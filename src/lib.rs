@@ -13,7 +13,8 @@
 //! | [`gnn`] | `igcn-gnn` | GCN/GraphSage/GIN models, reference forward pass |
 //! | [`core`] | `igcn-core` | **the contribution**: Island Locator + Island Consumer, the owned [`core::IGcnEngine`] with parallel execution ([`core::ExecConfig`], [`core::IslandSchedule`]), and the unified [`core::accel::Accelerator`] serving trait |
 //! | [`serve`] | `igcn-serve` | [`serve::ServingEngine`]: bounded request queue + worker pool + micro-batching over any backend, with periodic/shutdown checkpointing |
-//! | [`store`] | `igcn-store` | persistent snapshots: versioned, checksummed binary engine images, the graph-update WAL, and warm-start boot ([`store::from_snapshot`]) |
+//! | [`shard`] | `igcn-shard` | [`shard::ShardedEngine`]: partitioned multi-engine serving — island-aware sharding, deterministic halo exchange, manifest-driven fleet boot |
+//! | [`store`] | `igcn-store` | persistent snapshots: versioned, checksummed binary engine images, the graph-update WAL, warm-start boot ([`store::from_snapshot`]) and the sharded-fleet [`store::ShardManifest`] |
 //! | [`sim`] | `igcn-sim` | cycle/energy/area models; [`sim::SimBackend`] lifts any simulator into the serving trait |
 //! | [`reorder`] | `igcn-reorder` | lightweight reordering baselines + quality metrics |
 //! | [`baselines`] | `igcn-baselines` | AWB-GCN, HyGCN, SIGMA, CPU/GPU models — all servable as `Accelerator` backends |
@@ -240,7 +241,11 @@
 //! *before* the in-memory restructuring (rolling the record back if
 //! the engine rejects it), and `store.boot(exec_cfg)` replays the log
 //! over the warm-started image in append order — arriving at exactly
-//! the serving state the process went down with. A torn final record
+//! the serving state the process went down with. Replay is **batched**
+//! ([`core::IGcnEngine::apply_updates_batched`]): every record applies
+//! structurally and the physical layout is recomposed once at the end,
+//! so long logs do not pay the O(n + m) layout composition per record
+//! (end state pinned identical to per-record replay). A torn final record
 //! (crash mid-append) is discarded and reported; the log is paired to
 //! its snapshot by checksum, so a checkpoint interrupted between
 //! writing the new snapshot and resetting the log can never
@@ -263,6 +268,81 @@
 //! (`igcn::graph::io::read_edge_list_flexible`), print header
 //! metadata, and audit a file (checksum, structural validation,
 //! `--deep` cold-rebuild comparison).
+//!
+//! # Sharded serving
+//!
+//! Graphs that exceed one engine's memory shard along the structure
+//! islandization already discovered ([`shard`] / `igcn-shard`):
+//!
+//! * **The island-aware cut.** Whole islands are assigned to K shards
+//!   by a deterministic greedy pass that groups islands sharing hubs
+//!   (minimising the hub-side edge cut — the only cut islandized graphs
+//!   have, since islands are closed) under a work-balance cap;
+//!   [`shard::ShardingReport`] records the per-shard balance, cut
+//!   fraction and hub replication of the chosen assignment.
+//!
+//! * **The halo / replication contract.** Each shard replicates the
+//!   hubs its islands contact (ascending global hub order) and owns a
+//!   complete [`core::IGcnEngine`] over that subgraph — independently
+//!   servable, snapshot-able, and structurally valid (its partition
+//!   passes the full islandization invariants). Per layer, the
+//!   coordinator broadcasts the hub XW rows (the halo payload), shards
+//!   compute their islands locally, and the coordinator merges the
+//!   exported per-island hub contributions. Normalisation scales always
+//!   come from *global* degrees (the halo truncates replicated-hub
+//!   degrees, so shards never recompute scales locally).
+//!
+//! * **The determinism guarantee.** Shard-local IDs are
+//!   order-isomorphic to the global layout IDs and the merge replays
+//!   contributions in the global schedule order — the exact seam the
+//!   single engine's thread-parallel path already uses — so outputs
+//!   *and* `ExecStats` are **bit-identical** to a single engine at
+//!   every shard count and thread count, before and after routed
+//!   [`core::GraphUpdate`]s, and after a manifest round trip (pinned by
+//!   the conformance suite's shard sweep). `apply_update` restructures
+//!   the disturbed region globally, keeps undisturbed islands on their
+//!   shard via an affinity pass, and refreshes every shard's halo.
+//!
+//! * **Manifest format & versioning.** A fleet persists as one
+//!   standard snapshot per shard plus the coordinator image and a
+//!   [`store::ShardManifest`] (`magic "IGSM" | version | length |
+//!   FNV-1a-64 checksum | payload`) listing each member's file name and
+//!   snapshot checksum — a swapped or rebuilt snapshot fails the
+//!   pairing check before any engine is constructed. Readers accept
+//!   exactly [`store::MANIFEST_VERSION`]; older manifests fail fast
+//!   with a typed error (a manifest is derived data — re-partition from
+//!   the coordinator snapshot). [`shard::ShardedEngine::from_manifest`]
+//!   cold-starts the whole fleet with no locator pass anywhere.
+//!
+//! ```
+//! use igcn::core::{Accelerator, IGcnEngine, InferenceRequest};
+//! use igcn::gnn::{GnnModel, ModelWeights};
+//! use igcn::graph::generate::HubIslandConfig;
+//! use igcn::graph::SparseFeatures;
+//! use igcn::shard::ShardedEngine;
+//!
+//! let g = HubIslandConfig::new(400, 16).noise_fraction(0.02).generate(11);
+//! let mut single = IGcnEngine::builder(g.graph).build()?;
+//! let model = GnnModel::gcn(16, 8, 4);
+//! let weights = ModelWeights::glorot(&model, 1);
+//! single.prepare(&model, &weights)?;
+//!
+//! let sharded = ShardedEngine::from_engine(&single, 2).expect("shardable");
+//! let request = InferenceRequest::new(SparseFeatures::random(400, 16, 0.2, 3));
+//! assert_eq!(
+//!     sharded.infer(&request)?.output,
+//!     single.infer(&request)?.output, // bit-identical
+//! );
+//! # Ok::<(), igcn::core::CoreError>(())
+//! ```
+//!
+//! `cargo run --release -p igcn-bench --bin shard_tool -- bench`
+//! sweeps shard counts over the dataset bins and records the balance /
+//! cut / halo structure in `results/shard_scaling.json`;
+//! `shard_tool partition|inspect|verify` build a fleet from a dataset
+//! bin or edge-list dump, print manifest metadata, and audit a fleet
+//! end to end (cold start + bit-identity against the coordinator
+//! engine).
 //!
 //! # Migrating from the borrowed engine (pre-builder API)
 //!
@@ -298,5 +378,6 @@ pub use igcn_graph as graph;
 pub use igcn_linalg as linalg;
 pub use igcn_reorder as reorder;
 pub use igcn_serve as serve;
+pub use igcn_shard as shard;
 pub use igcn_sim as sim;
 pub use igcn_store as store;

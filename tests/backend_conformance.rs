@@ -417,6 +417,123 @@ fn snapshot_boot_after_wal_replay_matches_live_engine() {
 }
 
 #[test]
+fn sharded_engine_is_bit_identical_across_shards_and_threads() {
+    // The PR-5 contract: a `ShardedEngine` is a *distributed execution
+    // of the same computation DAG* — outputs AND the complete
+    // `ExecStats` are bit-identical to the single-engine reference for
+    // {1, 2, 4} shards at every tested thread count, on a citation bin
+    // and a power-law bin, including after routed `apply_update`s and
+    // after a manifest save/load round-trip.
+    use igcn::shard::ShardedEngine;
+
+    let cora = igcn::graph::datasets::Dataset::Cora.generate_scaled(0.12, 41);
+    let pl_n = 900;
+    let powerlaw = igcn::graph::generate::barabasi_albert(pl_n, 6, 42);
+    let bins: Vec<(&str, Arc<CsrGraph>, usize)> = vec![
+        ("citation", Arc::new(cora.graph), cora.features.num_cols()),
+        ("powerlaw", Arc::new(powerlaw), 24),
+    ];
+
+    for (bin, graph, feature_dim) in bins {
+        let n = graph.num_nodes();
+        let model = GnnModel::gcn(feature_dim, 8, 4);
+        let weights = ModelWeights::glorot(&model, 7);
+        let x = SparseFeatures::random(n, feature_dim, 0.05, 99);
+        let requests: Vec<InferenceRequest> = (0..2)
+            .map(|i| {
+                InferenceRequest::new(SparseFeatures::random(n, feature_dim, 0.05, 900 + i))
+                    .with_id(i)
+            })
+            .collect();
+
+        for threads in [1usize, 2] {
+            let exec_cfg = ExecConfig::default().with_threads(threads);
+            let mut reference = IGcnEngine::builder(Arc::clone(&graph))
+                .exec_config(exec_cfg)
+                .build()
+                .expect("conformance bins are loop-free");
+            reference.prepare(&model, &weights).unwrap();
+            let (ref_out, ref_stats) = reference.run(&x, &model, &weights).unwrap();
+            let ref_batch = reference.infer_batch(&requests).unwrap();
+
+            for shards in [1usize, 2, 4] {
+                let ctx = format!("{bin} shards={shards} threads={threads}");
+                let sharded =
+                    ShardedEngine::from_engine(&reference, shards).expect("conformance bins shard");
+                assert_eq!(sharded.num_shards(), shards, "{ctx}");
+                let (out, stats) = sharded.run(&x, &model, &weights).unwrap();
+                assert_eq!(out, ref_out, "{ctx}: run output diverged");
+                assert_eq!(stats, ref_stats, "{ctx}: run stats diverged");
+                let batch = sharded.infer_batch(&requests).unwrap();
+                for (a, b) in ref_batch.iter().zip(&batch) {
+                    assert_eq!(a.id, b.id, "{ctx}");
+                    assert_eq!(b.output, a.output, "{ctx}: batch output diverged");
+                }
+            }
+        }
+
+        // Routed updates: growth onto a hub plus an island-dissolving
+        // removal, applied through both paths, then the sweep again.
+        let mut reference = IGcnEngine::builder(Arc::clone(&graph)).build().unwrap();
+        reference.prepare(&model, &weights).unwrap();
+        let mut sharded = ShardedEngine::from_engine(&reference, 2).unwrap();
+        let n0 = reference.graph().num_nodes() as u32;
+        let hub = reference.partition().hubs()[0];
+        let growth = igcn::core::GraphUpdate::add_edges(vec![(n0, hub), (n0 + 1, n0)])
+            .with_num_nodes(n0 as usize + 2);
+        reference.apply_update(growth.clone()).unwrap();
+        sharded.apply_update(growth).unwrap();
+        // Any island node with an incident edge works (the islands of
+        // sparse citation bins can all be small, so don't assume a
+        // 2-node island exists).
+        let (a, b) = reference
+            .partition()
+            .islands()
+            .iter()
+            .flat_map(|i| i.nodes.iter())
+            .find_map(|&v| {
+                reference
+                    .graph()
+                    .neighbors(igcn::graph::NodeId::new(v))
+                    .iter()
+                    .find(|&&nb| nb != v)
+                    .map(|&nb| (v, nb))
+            })
+            .expect("some island node has a neighbor");
+        let removal = igcn::core::GraphUpdate::remove_edges(vec![(a, b)]);
+        reference.apply_update(removal.clone()).unwrap();
+        sharded.apply_update(removal).unwrap();
+
+        let x2 = SparseFeatures::random(reference.graph().num_nodes(), feature_dim, 0.05, 101);
+        let (ref_out, ref_stats) = reference.run(&x2, &model, &weights).unwrap();
+        let (out, stats) = sharded.run(&x2, &model, &weights).unwrap();
+        assert_eq!(out, ref_out, "{bin}: post-update output diverged");
+        assert_eq!(stats, ref_stats, "{bin}: post-update stats diverged");
+
+        // Manifest round trip: the cold-started fleet must still match.
+        let dir = std::env::temp_dir()
+            .join(format!("igcn-conformance-shard-{}-{bin}", std::process::id()));
+        let manifest = sharded.save_manifest(&dir, "fleet").unwrap();
+        for threads in [1usize, 2] {
+            let booted = ShardedEngine::from_manifest(
+                &manifest,
+                ExecConfig::default().with_threads(threads),
+            )
+            .unwrap();
+            let (out, stats) = booted.run(&x2, &model, &weights).unwrap();
+            let ctx = format!("{bin} booted threads={threads}");
+            assert_eq!(out, ref_out, "{ctx}: output diverged after manifest round trip");
+            assert_eq!(stats.layers, ref_stats.layers, "{ctx}: layer stats diverged");
+            assert_eq!(stats.locator, ref_stats.locator, "{ctx}: locator stats diverged");
+            if threads == 1 {
+                assert_eq!(stats, ref_stats, "{ctx}: full stats diverged");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
 fn serving_engine_is_order_stable_and_shuts_down_cleanly() {
     // Concurrent submitters hammer one ServingEngine; every ticket must
     // come back with its own request's id and the exact output a direct
