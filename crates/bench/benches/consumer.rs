@@ -73,7 +73,7 @@ fn main() {
                 &mut out,
             )
         });
-        record("layer/physical_layout".to_string(), stats);
+        record("layer/hotpath".to_string(), stats);
     }
 
     println!("\n# Island Consumer layer execution (4000 nodes, 64→16)\n");

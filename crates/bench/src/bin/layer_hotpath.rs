@@ -1,47 +1,66 @@
-//! Single-thread layer-throughput A/B of the physical island layout.
+//! Single-thread layer-throughput pin of the physical-layout hot path.
 //!
-//! PR 2's thread fan-out cannot show a speedup on a 1-CPU container;
-//! the physical-layout work can: it eliminates per-node allocations,
-//! hub hash tables and per-layer bitmap rebuilds, and executes over the
-//! schedule-ordered graph — a **single-thread** win that this harness
-//! measures and pins.
+//! PR 3 made the schedule-ordered physical layout the only execution
+//! path and PR 6 deleted the legacy index-indirect code it had beaten.
+//! A live A/B is therefore no longer possible; instead this harness
+//! times the hot path and reports it against the **stored** legacy
+//! baseline in `results/locality_baseline.json`, captured at commit
+//! `eedd04e` immediately before the legacy path was removed (same
+//! graph generator, model, seed and iteration counts).
 //!
-//! On the 50k-node power-law bin (the `serving_batch` scaling graph),
-//! both engine configurations run the same full-model inference:
+//! Wall-clock numbers do not transfer between machines, so the stored
+//! comparison is reported, not asserted. What *is* asserted — the CI
+//! smoke contract — is what holds everywhere:
 //!
-//! * **old layout** — `ExecConfig::physical_layout = false`: the legacy
-//!   index-indirect execution over the original CSR order;
-//! * **new layout** — `physical_layout = true`: the schedule-ordered
-//!   layout + zero-allocation flat-arena core.
-//!
-//! Outputs **and** `ExecStats` are asserted bit-identical between the
-//! two before anything is timed (the optimisation must be free of
-//! semantic drift), then the vendored [`BenchHarness`] records
-//! median/p95 per-inference latency and the layer-throughput speedup to
-//! `results/locality_speedup.json`. The run aborts (non-zero exit) if
-//! the new layout is slower than the old one — the CI smoke contract.
+//! * the timed inference produces **bit-identical** outputs and
+//!   `ExecStats` across repeated runs (the hot path is deterministic);
+//! * the measured median is finite and non-zero (the harness really
+//!   timed work).
 //!
 //! Run: `cargo run --release -p igcn-bench --bin layer_hotpath -- --quick`
 
-use std::fmt::Write as _;
-
 use igcn_bench::table::fmt_sig;
-use igcn_bench::{write_result, BenchHarness, HarnessArgs, Table};
-use igcn_core::{ExecConfig, IGcnEngine};
+use igcn_bench::{results_dir, write_result, BenchHarness, HarnessArgs, Table};
+use igcn_core::IGcnEngine;
 use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::generate::barabasi_albert;
 use igcn_graph::SparseFeatures;
+use serde::json::{obj, JsonValue};
 
-struct Measured {
-    label: &'static str,
-    median_s: f64,
-    p95_s: f64,
-    layers_per_s: f64,
+/// The stored legacy measurement matching this run's `--quick` flag.
+struct Baseline {
+    nodes: u64,
+    legacy_median_s: f64,
+    legacy_p95_s: f64,
+}
+
+fn load_baseline(quick: bool) -> Baseline {
+    let path = results_dir().join("locality_baseline.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let doc =
+        JsonValue::parse(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    let rows = doc.get("rows").and_then(|r| r.as_array()).expect("baseline has rows");
+    let row = rows
+        .iter()
+        .find(|r| r.get("quick").and_then(JsonValue::as_bool) == Some(quick))
+        .unwrap_or_else(|| panic!("no baseline row with quick={quick}"));
+    let f = |key: &str| {
+        row.get(key)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("baseline row lacks {key}"))
+    };
+    Baseline {
+        nodes: row.get("nodes").and_then(JsonValue::as_u64).expect("baseline row lacks nodes"),
+        legacy_median_s: f("legacy_median_s"),
+        legacy_p95_s: f("legacy_p95_s"),
+    }
 }
 
 fn main() {
     let args = HarnessArgs::parse();
-    // The 50k-node power-law bin of the serving scaling sweep.
+    // The 50k-node power-law bin of the serving scaling sweep — the
+    // same shape the stored legacy baseline was captured on.
     let n = if args.quick { 4_000 } else { 50_000 };
     let edges_per_node = 8;
     let feature_dim = 32;
@@ -52,98 +71,101 @@ fn main() {
     let weights = ModelWeights::glorot(&model, args.seed);
     let x = SparseFeatures::random(n, feature_dim, density, args.seed + 1);
 
-    eprintln!("[hotpath] islandizing {n} nodes...");
-    let base = IGcnEngine::builder(graph).build().expect("BA graphs are loop-free");
-    let mut old_engine = base.clone();
-    old_engine.set_exec_config(ExecConfig::default().with_physical_layout(false));
-    let mut new_engine = base;
-    new_engine.set_exec_config(ExecConfig::default().with_physical_layout(true));
+    let baseline = load_baseline(args.quick);
+    assert_eq!(
+        baseline.nodes, n as u64,
+        "stored baseline row was captured on a different graph size"
+    );
 
-    // Contract first: the layout is a pure locality optimisation —
-    // outputs and the complete execution statistics must be
-    // bit-identical before any timing is worth reporting.
-    eprintln!("[hotpath] checking bit-identity of outputs and stats...");
-    let (old_out, old_stats) = old_engine.run(&x, &model, &weights).expect("legacy path runs");
-    let (new_out, new_stats) = new_engine.run(&x, &model, &weights).expect("layout path runs");
-    assert_eq!(new_out, old_out, "layout on/off outputs must be bit-identical");
-    assert_eq!(new_stats, old_stats, "layout on/off ExecStats must be bit-identical");
+    eprintln!("[hotpath] islandizing {n} nodes...");
+    let engine = IGcnEngine::builder(graph).build().expect("BA graphs are loop-free");
+
+    // The CI smoke contract, part 1: repeated runs of the hot path are
+    // bit-identical in both outputs and the complete ExecStats.
+    eprintln!("[hotpath] checking run-to-run bit-identity...");
+    let (out_a, stats_a) = engine.run(&x, &model, &weights).expect("hot path runs");
+    let (out_b, stats_b) = engine.run(&x, &model, &weights).expect("hot path runs");
+    assert_eq!(out_a, out_b, "hot-path outputs must be bit-identical across runs");
+    assert_eq!(stats_a, stats_b, "hot-path ExecStats must be bit-identical across runs");
 
     let harness = if args.quick { BenchHarness::quick() } else { BenchHarness::new(1, 5) };
-    let mut rows: Vec<Measured> = Vec::new();
-    for (label, engine) in [("old_layout", &old_engine), ("new_layout", &new_engine)] {
-        eprintln!(
-            "[hotpath] timing {label} ({} warmup + {} iters)...",
-            harness.warmup, harness.iters
-        );
-        let stats = harness.run(|| engine.run(&x, &model, &weights).expect("engine runs"));
-        rows.push(Measured {
-            label,
-            median_s: stats.median_s(),
-            p95_s: stats.p95_s(),
-            layers_per_s: num_layers as f64 / stats.median_s().max(1e-12),
-        });
-    }
-    let old = &rows[0];
-    let new = &rows[1];
-    let speedup = old.median_s / new.median_s.max(1e-12);
+    eprintln!("[hotpath] timing hot path ({} warmup + {} iters)...", harness.warmup, harness.iters);
+    let timed = harness.run(|| engine.run(&x, &model, &weights).expect("engine runs"));
+    let median_s = timed.median_s();
+    let p95_s = timed.p95_s();
+    let layers_per_s = num_layers as f64 / median_s.max(1e-12);
+    let vs_stored_legacy = baseline.legacy_median_s / median_s.max(1e-12);
 
-    let mut table =
-        Table::new(vec!["layout", "median (ms)", "p95 (ms)", "layers/s", "speedup vs old"]);
-    for row in &rows {
-        table.row(vec![
-            row.label.to_string(),
-            fmt_sig(row.median_s * 1e3),
-            fmt_sig(row.p95_s * 1e3),
-            fmt_sig(row.layers_per_s),
-            fmt_sig(old.median_s / row.median_s.max(1e-12)),
-        ]);
-    }
-    println!("\n# Single-thread layer hot path: physical layout A/B (power-law, {n} nodes)\n");
+    let mut table = Table::new(vec!["path", "median (ms)", "p95 (ms)", "layers/s"]);
+    table.row(vec![
+        "hot path (live)".to_string(),
+        fmt_sig(median_s * 1e3),
+        fmt_sig(p95_s * 1e3),
+        fmt_sig(layers_per_s),
+    ]);
+    table.row(vec![
+        "legacy (stored)".to_string(),
+        fmt_sig(baseline.legacy_median_s * 1e3),
+        fmt_sig(baseline.legacy_p95_s * 1e3),
+        fmt_sig(num_layers as f64 / baseline.legacy_median_s.max(1e-12)),
+    ]);
+    println!("\n# Single-thread layer hot path vs stored legacy baseline (power-law, {n} nodes)\n");
     println!("{}", table.to_markdown());
-    println!("speedup (old median / new median): {speedup:.3}x");
+    println!(
+        "live median vs stored legacy median: {vs_stored_legacy:.3}x \
+         (informational — baseline captured on a different run of this container class)"
+    );
 
-    // Hand-rolled JSON (the serde stand-in only keeps derives compiling).
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(
-        json,
-        "  \"graph\": {{\"kind\": \"barabasi_albert\", \"nodes\": {n}, \
-         \"edges_per_node\": {edges_per_node}, \"seed\": {}}},",
-        args.seed
-    );
-    let _ = writeln!(
-        json,
-        "  \"model\": {{\"kind\": \"gcn\", \"in_dim\": {feature_dim}, \"hidden\": 16, \
-         \"classes\": 8, \"layers\": {num_layers}}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"harness\": {{\"warmup\": {}, \"iters\": {}, \"threads\": 1}},",
-        harness.warmup, harness.iters
-    );
-    let _ = writeln!(json, "  \"bit_identical_outputs_and_stats\": true,");
-    json.push_str("  \"measurements\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"layout\": \"{}\", \"median_s\": {:.6}, \"p95_s\": {:.6}, \
-             \"layers_per_s\": {:.3}}}",
-            row.label, row.median_s, row.p95_s, row.layers_per_s
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"single_thread_median_speedup\": {speedup:.3}");
-    json.push_str("}\n");
-    let path = write_result("locality_speedup.json", json.as_bytes());
+    let result = obj([
+        (
+            "note",
+            JsonValue::Str(
+                "live hot-path timing against the stored legacy baseline in \
+                 locality_baseline.json; recorded on a 1-CPU container, and the baseline was \
+                 captured in a separate run, so the ratio is informational, not asserted"
+                    .to_string(),
+            ),
+        ),
+        (
+            "graph",
+            obj([
+                ("kind", JsonValue::Str("barabasi_albert".to_string())),
+                ("nodes", JsonValue::Uint(n as u64)),
+                ("edges_per_node", JsonValue::Uint(edges_per_node as u64)),
+                ("seed", JsonValue::Uint(args.seed)),
+            ]),
+        ),
+        (
+            "model",
+            obj([
+                ("kind", JsonValue::Str("gcn".to_string())),
+                ("in_dim", JsonValue::Uint(feature_dim as u64)),
+                ("hidden", JsonValue::Uint(16)),
+                ("classes", JsonValue::Uint(8)),
+                ("layers", JsonValue::Uint(num_layers as u64)),
+            ]),
+        ),
+        (
+            "harness",
+            obj([
+                ("warmup", JsonValue::Uint(harness.warmup as u64)),
+                ("iters", JsonValue::Uint(harness.iters as u64)),
+                ("threads", JsonValue::Uint(1)),
+            ]),
+        ),
+        ("bit_identical_across_runs", JsonValue::Bool(true)),
+        ("median_s", JsonValue::from_f64_rounded(median_s)),
+        ("p95_s", JsonValue::from_f64_rounded(p95_s)),
+        ("layers_per_s", JsonValue::from_f64_rounded(layers_per_s)),
+        ("stored_legacy_median_s", JsonValue::from_f64_rounded(baseline.legacy_median_s)),
+        ("vs_stored_legacy", JsonValue::from_f64_rounded(vs_stored_legacy)),
+    ]);
+    let path = write_result("locality_speedup.json", result.encode_pretty().as_bytes());
     eprintln!("wrote {}", path.display());
 
-    // The CI smoke contract: the new layout must not regress the old
-    // one (single-thread medians, valid on 1-CPU runners).
+    // The CI smoke contract, part 2: the harness measured real work.
     assert!(
-        new.median_s <= old.median_s,
-        "physical layout regressed the hot path: new median {:.6}s > old median {:.6}s",
-        new.median_s,
-        old.median_s
+        median_s.is_finite() && median_s > 0.0,
+        "hot-path median must be a positive finite time, got {median_s}"
     );
 }

@@ -20,7 +20,6 @@
 //!
 //! Run: `cargo run --release -p igcn-bench --bin serving_batch -- --quick`
 
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,6 +32,7 @@ use igcn_graph::datasets::Dataset;
 use igcn_graph::generate::barabasi_albert;
 use igcn_graph::SparseFeatures;
 use igcn_serve::{ServingConfig, ServingEngine};
+use serde::json::{obj, JsonValue};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -304,44 +304,49 @@ fn scaling_sweep(args: &HarnessArgs) {
         );
     }
 
-    // Hand-rolled JSON (the serde stand-in only keeps derives compiling).
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
-    let _ = writeln!(
-        json,
-        "  \"graph\": {{\"kind\": \"barabasi_albert\", \"nodes\": {n}, \
-         \"edges_per_node\": {edges_per_node}, \"seed\": {}}},",
-        args.seed
-    );
-    let _ = writeln!(
-        json,
-        "  \"model\": {{\"kind\": \"gcn\", \"in_dim\": {feature_dim}, \"hidden\": 16, \
-         \"classes\": 8}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"harness\": {{\"warmup\": {}, \"iters\": {}}},",
-        harness.warmup, harness.iters
-    );
-    json.push_str("  \"sweep\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"mode\": \"{}\", \"threads\": {}, \"batch\": {}, \
-             \"median_s\": {:.6}, \"p95_s\": {:.6}, \"req_per_s\": {:.3}, \
-             \"speedup_vs_1_thread\": {:.3}}}",
-            row.mode,
-            row.threads,
-            row.batch,
-            row.median_s,
-            row.p95_s,
-            row.req_per_s,
-            row.speedup_vs_1_thread
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    let path = write_result("serving_scaling.json", json.as_bytes());
+    let sweep: Vec<JsonValue> = rows
+        .iter()
+        .map(|row| {
+            obj([
+                ("mode", JsonValue::Str(row.mode.to_string())),
+                ("threads", JsonValue::Uint(row.threads as u64)),
+                ("batch", JsonValue::Uint(row.batch as u64)),
+                ("median_s", JsonValue::from_f64_rounded(row.median_s)),
+                ("p95_s", JsonValue::from_f64_rounded(row.p95_s)),
+                ("req_per_s", JsonValue::from_f64_rounded(row.req_per_s)),
+                ("speedup_vs_1_thread", JsonValue::from_f64_rounded(row.speedup_vs_1_thread)),
+            ])
+        })
+        .collect();
+    let result = obj([
+        ("host_cpus", JsonValue::Uint(host_cpus as u64)),
+        (
+            "graph",
+            obj([
+                ("kind", JsonValue::Str("barabasi_albert".to_string())),
+                ("nodes", JsonValue::Uint(n as u64)),
+                ("edges_per_node", JsonValue::Uint(edges_per_node as u64)),
+                ("seed", JsonValue::Uint(args.seed)),
+            ]),
+        ),
+        (
+            "model",
+            obj([
+                ("kind", JsonValue::Str("gcn".to_string())),
+                ("in_dim", JsonValue::Uint(feature_dim as u64)),
+                ("hidden", JsonValue::Uint(16)),
+                ("classes", JsonValue::Uint(8)),
+            ]),
+        ),
+        (
+            "harness",
+            obj([
+                ("warmup", JsonValue::Uint(harness.warmup as u64)),
+                ("iters", JsonValue::Uint(harness.iters as u64)),
+            ]),
+        ),
+        ("sweep", JsonValue::Array(sweep)),
+    ]);
+    let path = write_result("serving_scaling.json", result.encode_pretty().as_bytes());
     eprintln!("wrote {}", path.display());
 }

@@ -39,6 +39,7 @@ use igcn_graph::io::{read_edge_list_flexible, EdgeListOptions};
 use igcn_graph::{CsrGraph, SparseFeatures};
 use igcn_shard::{ShardError, ShardedEngine};
 use igcn_store::{ShardManifest, Snapshot};
+use serde::json::{obj, JsonValue};
 
 /// The dataset bins of the shard sweep (a citation bin, the serving
 /// power-law bin, and the NELL-sized stand-in).
@@ -463,52 +464,53 @@ fn bench(flags: &Flags) -> ExitCode {
     println!("\n# Sharded execution sweep (bit-identical outputs at every shard count)\n");
     println!("{}", table.to_markdown());
 
-    // Hand-rolled JSON (the serde stand-in only keeps derives
-    // compiling).
-    use std::fmt::Write as _;
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(
-        json,
-        "  \"harness\": {{\"warmup\": {}, \"iters\": {}, \"quick\": {}, \"seed\": {}}},",
-        harness.warmup, harness.iters, flags.quick, flags.seed
-    );
-    json.push_str(
-        "  \"note\": \"recorded on a 1-CPU container: shards execute sequentially, so \
-         wall-clock speedup is ~1x by construction; the per-shard work/cut/halo columns \
-         are the portable structural result — re-record on multi-core hardware for \
-         wall-clock scaling\",\n",
-    );
-    json.push_str("  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"bin\": \"{}\", \"nodes\": {}, \"shards\": {}, \
-             \"infer_median_s\": {:.6}, \"infer_p95_s\": {:.6}, \
-             \"single_engine_median_s\": {:.6}, \"max_shard_work\": {}, \
-             \"total_work\": {}, \"work_balance\": {:.4}, \"cut_fraction\": {:.6}, \
-             \"hub_replication_factor\": {:.4}, \"halo_bytes_per_inference\": {}}}",
-            row.bin,
-            row.nodes,
-            row.shards,
-            row.infer_median_s,
-            row.infer_p95_s,
-            row.single_median_s,
-            row.max_shard_work,
-            row.total_work,
-            if row.max_shard_work == 0 {
+    let json_rows: Vec<JsonValue> = rows
+        .iter()
+        .map(|row| {
+            let balance = if row.max_shard_work == 0 {
                 1.0
             } else {
                 row.total_work as f64 / (row.max_shard_work as f64 * row.shards as f64)
-            },
-            row.cut_fraction,
-            row.replication_factor,
-            row.halo_bytes
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    let path = write_result("shard_scaling.json", json.as_bytes());
+            };
+            obj([
+                ("bin", JsonValue::Str(row.bin.to_string())),
+                ("nodes", JsonValue::Uint(row.nodes as u64)),
+                ("shards", JsonValue::Uint(row.shards as u64)),
+                ("infer_median_s", JsonValue::from_f64_rounded(row.infer_median_s)),
+                ("infer_p95_s", JsonValue::from_f64_rounded(row.infer_p95_s)),
+                ("single_engine_median_s", JsonValue::from_f64_rounded(row.single_median_s)),
+                ("max_shard_work", JsonValue::Uint(row.max_shard_work)),
+                ("total_work", JsonValue::Uint(row.total_work)),
+                ("work_balance", JsonValue::from_f64_rounded(balance)),
+                ("cut_fraction", JsonValue::from_f64_rounded(row.cut_fraction)),
+                ("hub_replication_factor", JsonValue::from_f64_rounded(row.replication_factor)),
+                ("halo_bytes_per_inference", JsonValue::Uint(row.halo_bytes)),
+            ])
+        })
+        .collect();
+    let result = obj([
+        (
+            "harness",
+            obj([
+                ("warmup", JsonValue::Uint(harness.warmup as u64)),
+                ("iters", JsonValue::Uint(harness.iters as u64)),
+                ("quick", JsonValue::Bool(flags.quick)),
+                ("seed", JsonValue::Uint(flags.seed)),
+            ]),
+        ),
+        (
+            "note",
+            JsonValue::Str(
+                "recorded on a 1-CPU container: shards execute sequentially, so wall-clock \
+                 speedup is ~1x by construction; the per-shard work/cut/halo columns are the \
+                 portable structural result — re-record on multi-core hardware for wall-clock \
+                 scaling"
+                    .to_string(),
+            ),
+        ),
+        ("rows", JsonValue::Array(json_rows)),
+    ]);
+    let path = write_result("shard_scaling.json", result.encode_pretty().as_bytes());
     eprintln!("wrote {}", path.display());
     ExitCode::SUCCESS
 }

@@ -39,6 +39,7 @@ use igcn_graph::generate::barabasi_albert;
 use igcn_graph::io::{read_edge_list_flexible, read_features_csv, EdgeListOptions};
 use igcn_graph::{CsrGraph, SparseFeatures};
 use igcn_store::{from_snapshot, Snapshot, StoreError};
+use serde::json::{obj, JsonValue};
 
 /// The five dataset bins of the warm-start evaluation: the three
 /// citation stand-ins, the 50k-node power-law serving bin, and the
@@ -469,41 +470,37 @@ fn bench(flags: &Flags) -> ExitCode {
     println!("\n# Warm-start boot vs cold islandization (five dataset bins)\n");
     println!("{}", table.to_markdown());
 
-    // Hand-rolled JSON (the serde stand-in only keeps derives
-    // compiling).
-    use std::fmt::Write as _;
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(
-        json,
-        "  \"harness\": {{\"warmup\": {}, \"iters\": {}, \"quick\": {}, \"seed\": {}}},",
-        harness.warmup, harness.iters, flags.quick, flags.seed
-    );
-    json.push_str("  \"bins\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"bin\": \"{}\", \"nodes\": {}, \"undirected_edges\": {}, \
-             \"snapshot_bytes\": {}, \"cold_build_median_s\": {:.6}, \
-             \"cold_build_p95_s\": {:.6}, \"warm_boot_median_s\": {:.6}, \
-             \"warm_boot_p95_s\": {:.6}, \"warm_start_speedup\": {:.3}, \
-             \"regime\": \"{}\", \"speedup_asserted\": {}}}",
-            row.name,
-            row.nodes,
-            row.undirected_edges,
-            row.snapshot_bytes,
-            row.cold_median_s,
-            row.cold_p95_s,
-            row.warm_median_s,
-            row.warm_p95_s,
-            row.speedup,
-            row.regime(),
-            row.speedup_asserted()
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    let path = write_result("warm_start.json", json.as_bytes());
+    let bins: Vec<JsonValue> = rows
+        .iter()
+        .map(|row| {
+            obj([
+                ("bin", JsonValue::Str(row.name.to_string())),
+                ("nodes", JsonValue::Uint(row.nodes as u64)),
+                ("undirected_edges", JsonValue::Uint(row.undirected_edges as u64)),
+                ("snapshot_bytes", JsonValue::Uint(row.snapshot_bytes)),
+                ("cold_build_median_s", JsonValue::from_f64_rounded(row.cold_median_s)),
+                ("cold_build_p95_s", JsonValue::from_f64_rounded(row.cold_p95_s)),
+                ("warm_boot_median_s", JsonValue::from_f64_rounded(row.warm_median_s)),
+                ("warm_boot_p95_s", JsonValue::from_f64_rounded(row.warm_p95_s)),
+                ("warm_start_speedup", JsonValue::from_f64_rounded(row.speedup)),
+                ("regime", JsonValue::Str(row.regime().to_string())),
+                ("speedup_asserted", JsonValue::Bool(row.speedup_asserted())),
+            ])
+        })
+        .collect();
+    let result = obj([
+        (
+            "harness",
+            obj([
+                ("warmup", JsonValue::Uint(harness.warmup as u64)),
+                ("iters", JsonValue::Uint(harness.iters as u64)),
+                ("quick", JsonValue::Bool(flags.quick)),
+                ("seed", JsonValue::Uint(flags.seed)),
+            ]),
+        ),
+        ("bins", JsonValue::Array(bins)),
+    ]);
+    let path = write_result("warm_start.json", result.encode_pretty().as_bytes());
     eprintln!("wrote {}", path.display());
 
     // The CI contract: booting from the snapshot must not be slower

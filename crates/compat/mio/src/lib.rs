@@ -1,0 +1,614 @@
+//! Offline stand-in for the `mio` readiness API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so — like the vendored `threadpool` — it vendors the small
+//! event-loop subset the gateway needs instead of depending on the real
+//! `mio`: [`Poll`] / [`Events`] / [`Token`] / [`Interest`] over
+//! [`net::TcpListener`] and [`net::TcpStream`] wrappers around
+//! `std::net` sockets in nonblocking mode.
+//!
+//! # How readiness is emulated
+//!
+//! The real mio asks the OS selector (epoll/kqueue) which sockets are
+//! ready. The standard library exposes no selector, so this stand-in
+//! *probes*:
+//!
+//! * a **stream** is readable when a nonblocking one-byte
+//!   `peek` returns `Ok(n)` — `n > 0` means buffered payload, `n == 0`
+//!   means EOF, and both must wake the consumer; `WouldBlock` means not
+//!   ready;
+//! * a **listener** is readable when a nonblocking `accept` succeeds —
+//!   the accepted connection is stashed inside the wrapper, and the
+//!   caller's next [`net::TcpListener::accept`] returns it;
+//! * **writability** is reported whenever `WRITABLE` interest is
+//!   registered: there is no portable probe for send-buffer space, so
+//!   write paths must tolerate `WouldBlock` and retry on the next tick
+//!   (which all level-triggered mio consumers do anyway).
+//!
+//! [`Poll::poll`] scans every registered source; when nothing is ready
+//! it sleeps ~1 ms between scans until the timeout elapses. That bounds
+//! wake-up latency at milliseconds instead of microseconds — adequate
+//! for the serving gateway, whose micro-batching window is of the same
+//! magnitude — and costs a low idle duty cycle instead of a blocked
+//! syscall. Semantics are **level-triggered** ([`Interest`]s stay armed
+//! until deregistered), the subset that is identical between mio's and
+//! this stand-in's contract.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Granularity of the idle sleep between readiness scans.
+const SCAN_SLEEP: Duration = Duration::from_millis(1);
+
+/// Caller-chosen identifier attached to a registered source and
+/// reported back on its [`Event`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// Combines two interests (named for real-mio API compatibility).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether read readiness is requested.
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether write readiness is requested.
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+/// One readiness event: which token, and which directions are ready.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+}
+
+impl Event {
+    /// The registered token of the ready source.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (data buffered, EOF, or a pending accept).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Write readiness (always reported while `WRITABLE` interest is
+    /// registered; see the module docs).
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// Buffer of events filled by [`Poll::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    events: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates a buffer that holds at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { events: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates over the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Whether the last poll produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// A source's probe result for one scan.
+#[derive(Debug, Clone, Copy, Default)]
+struct Readiness {
+    readable: bool,
+    writable: bool,
+}
+
+/// What the registry keeps per registered source: the probe handle (a
+/// cheap clone of the source's shared inner) and its interests.
+struct Entry {
+    source: SourceHandle,
+    token: Token,
+    interest: Interest,
+}
+
+#[doc(hidden)]
+pub enum SourceHandle {
+    Listener(Arc<ListenerInner>),
+    Stream(Arc<StreamInner>),
+}
+
+impl SourceHandle {
+    fn probe(&self, interest: Interest) -> Readiness {
+        let readable = interest.is_readable()
+            && match self {
+                SourceHandle::Listener(inner) => inner.probe_accept(),
+                SourceHandle::Stream(inner) => inner.probe_readable(),
+            };
+        // No portable probe for send-buffer space: report writable
+        // whenever asked (module docs).
+        Readiness { readable, writable: interest.is_writable() }
+    }
+}
+
+/// Registration handle: register/reregister/deregister sources.
+pub struct Registry {
+    entries: Arc<Mutex<HashMap<usize, Entry>>>,
+}
+
+impl Registry {
+    /// Registers `source` under `token` with `interest`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the source is already registered with this
+    /// poll.
+    pub fn register(
+        &self,
+        source: &mut impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let id = source.source_id();
+        let mut entries = self.entries.lock().expect("registry lock");
+        if entries.contains_key(&id) {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "source already registered"));
+        }
+        entries.insert(id, Entry { source: source.handle(), token, interest });
+        Ok(())
+    }
+
+    /// Replaces the token/interest of an already registered source.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the source was never registered.
+    pub fn reregister(
+        &self,
+        source: &mut impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let id = source.source_id();
+        let mut entries = self.entries.lock().expect("registry lock");
+        match entries.get_mut(&id) {
+            Some(entry) => {
+                entry.token = token;
+                entry.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "source not registered")),
+        }
+    }
+
+    /// Removes a source from the poll.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the source was never registered.
+    pub fn deregister(&self, source: &mut impl Source) -> io::Result<()> {
+        let id = source.source_id();
+        match self.entries.lock().expect("registry lock").remove(&id) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "source not registered")),
+        }
+    }
+}
+
+/// A source registrable with a [`Poll`] (sealed: the two `net` types).
+pub trait Source: sealed::Sealed {
+    #[doc(hidden)]
+    fn source_id(&self) -> usize;
+    #[doc(hidden)]
+    fn handle(&self) -> SourceHandle;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::net::TcpListener {}
+    impl Sealed for super::net::TcpStream {}
+}
+
+/// The poller: scans registered sources for readiness.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a poller.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in (`io::Result` mirrors mio's API).
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll { registry: Registry { entries: Arc::new(Mutex::new(HashMap::new())) } })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Fills `events` with ready sources, blocking up to `timeout`
+    /// (`None` = until something is ready). Events are capped at the
+    /// buffer's capacity; remaining readiness is reported by the next
+    /// call (level-triggered).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in (probe errors surface as readiness,
+    /// so the owner reads/accepts and observes the error there).
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        events.events.clear();
+        loop {
+            {
+                let entries = self.registry.entries.lock().expect("registry lock");
+                for entry in entries.values() {
+                    let readiness = entry.source.probe(entry.interest);
+                    if readiness.readable || readiness.writable {
+                        events.events.push(Event {
+                            token: entry.token,
+                            readable: readiness.readable,
+                            writable: readiness.writable,
+                        });
+                        if events.events.len() >= events.capacity {
+                            break;
+                        }
+                    }
+                }
+            }
+            if !events.events.is_empty() {
+                return Ok(());
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Ok(());
+                    }
+                    std::thread::sleep(SCAN_SLEEP.min(d - now));
+                }
+                None => std::thread::sleep(SCAN_SLEEP),
+            }
+        }
+    }
+}
+
+/// Unique source ids (address-independent, clone-stable).
+static NEXT_SOURCE_ID: AtomicUsize = AtomicUsize::new(1);
+
+fn next_source_id() -> usize {
+    NEXT_SOURCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[doc(hidden)]
+pub struct ListenerInner {
+    id: usize,
+    listener: std::net::TcpListener,
+    /// Connection accepted by a readiness probe, handed to the next
+    /// `accept` call.
+    pending: Mutex<Vec<(std::net::TcpStream, std::net::SocketAddr)>>,
+}
+
+impl ListenerInner {
+    fn probe_accept(&self) -> bool {
+        let mut pending = self.pending.lock().expect("listener stash lock");
+        if !pending.is_empty() {
+            return true;
+        }
+        match self.listener.accept() {
+            Ok(conn) => {
+                pending.push(conn);
+                true
+            }
+            // WouldBlock: nothing queued. Any *real* error is also
+            // "readable" so the owner's accept() observes it.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+            Err(_) => true,
+        }
+    }
+}
+
+#[doc(hidden)]
+pub struct StreamInner {
+    id: usize,
+    stream: std::net::TcpStream,
+}
+
+impl StreamInner {
+    fn probe_readable(&self) -> bool {
+        let mut probe = [0u8; 1];
+        match self.stream.peek(&mut probe) {
+            // Data buffered (n > 0) or orderly EOF (n == 0).
+            Ok(_) => true,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+            // Real errors are readable: the owner's read reports them.
+            Err(_) => true,
+        }
+    }
+}
+
+/// Nonblocking TCP types shaped like `mio::net`.
+pub mod net {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+
+    /// A nonblocking TCP listener registrable with [`Poll`](super::Poll).
+    pub struct TcpListener {
+        inner: Arc<ListenerInner>,
+    }
+
+    impl TcpListener {
+        /// Binds a nonblocking listener to `addr`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates bind/configuration errors of the OS socket.
+        pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            let listener = std::net::TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            Ok(TcpListener {
+                inner: Arc::new(ListenerInner {
+                    id: next_source_id(),
+                    listener,
+                    pending: Mutex::new(Vec::new()),
+                }),
+            })
+        }
+
+        /// Accepts a queued connection (nonblocking; `WouldBlock` when
+        /// none is pending). Connections stashed by a readiness probe
+        /// are returned first.
+        ///
+        /// # Errors
+        ///
+        /// `WouldBlock` when no connection is pending; otherwise the OS
+        /// accept error.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let stashed = self.inner.pending.lock().expect("listener stash lock").pop();
+            let (stream, addr) = match stashed {
+                Some(conn) => conn,
+                None => self.inner.listener.accept()?,
+            };
+            stream.set_nonblocking(true)?;
+            stream.set_nodelay(true).ok();
+            Ok((TcpStream { inner: Arc::new(StreamInner { id: next_source_id(), stream }) }, addr))
+        }
+
+        /// The bound local address.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the OS `getsockname` error.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.listener.local_addr()
+        }
+    }
+
+    impl super::Source for TcpListener {
+        fn source_id(&self) -> usize {
+            self.inner.id
+        }
+        fn handle(&self) -> SourceHandle {
+            SourceHandle::Listener(Arc::clone(&self.inner))
+        }
+    }
+
+    /// A nonblocking TCP stream registrable with [`Poll`](super::Poll).
+    pub struct TcpStream {
+        inner: Arc<StreamInner>,
+    }
+
+    impl TcpStream {
+        /// The peer's address.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the OS `getpeername` error.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.stream.peer_addr()
+        }
+
+        /// Shuts down one or both directions.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the OS `shutdown` error.
+        pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+            self.inner.stream.shutdown(how)
+        }
+    }
+
+    impl super::Source for TcpStream {
+        fn source_id(&self) -> usize {
+            self.inner.id
+        }
+        fn handle(&self) -> SourceHandle {
+            SourceHandle::Stream(Arc::clone(&self.inner))
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner.stream).read(buf)
+        }
+    }
+
+    impl Read for &TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner.stream).read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner.stream).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner.stream).flush()
+        }
+    }
+
+    impl Write for &TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner.stream).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner.stream).flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+
+    #[test]
+    fn listener_reports_pending_accepts_and_hands_them_over() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let mut listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry().register(&mut listener, LISTENER, Interest::READABLE).unwrap();
+
+        // Nothing connected: a short poll returns no events.
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty(), "spurious readiness with no client");
+
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let event = events.iter().next().expect("accept readiness");
+        assert_eq!(event.token(), LISTENER);
+        assert!(event.is_readable());
+        let (server_side, _) = listener.accept().unwrap();
+        drop(client);
+        drop(server_side);
+    }
+
+    #[test]
+    fn stream_readiness_tracks_data_and_eof() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let mut listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry().register(&mut listener, LISTENER, Interest::READABLE).unwrap();
+
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        poll.registry()
+            .register(&mut server_side, CLIENT, Interest::READABLE.add(Interest::WRITABLE))
+            .unwrap();
+
+        // No payload yet: the stream reports only writability.
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        for event in &events {
+            if event.token() == CLIENT {
+                assert!(!event.is_readable(), "readable before any payload");
+                assert!(event.is_writable());
+            }
+        }
+
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        'outer: loop {
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            for event in &events {
+                if event.token() == CLIENT && event.is_readable() {
+                    let mut buf = [0u8; 16];
+                    let n = server_side.read(&mut buf).unwrap();
+                    got.extend_from_slice(&buf[..n]);
+                    if got == b"ping" {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // EOF must also wake the consumer (read returns 0).
+        drop(client);
+        loop {
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            if let Some(event) = events.iter().find(|e| e.token() == CLIENT && e.is_readable()) {
+                assert_eq!(event.token(), CLIENT);
+                let mut buf = [0u8; 16];
+                if server_side.read(&mut buf).unwrap() == 0 {
+                    break;
+                }
+            }
+        }
+        poll.registry().deregister(&mut server_side).unwrap();
+        poll.registry().deregister(&mut listener).unwrap();
+    }
+
+    #[test]
+    fn registry_rejects_double_register_and_unknown_deregister() {
+        let poll = Poll::new().unwrap();
+        let mut listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        poll.registry().register(&mut listener, LISTENER, Interest::READABLE).unwrap();
+        let err = poll.registry().register(&mut listener, CLIENT, Interest::READABLE).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        poll.registry().reregister(&mut listener, CLIENT, Interest::READABLE).unwrap();
+        poll.registry().deregister(&mut listener).unwrap();
+        let err = poll.registry().deregister(&mut listener).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let mut other = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = poll.registry().reregister(&mut other, CLIENT, Interest::READABLE).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn poll_timeout_returns_empty_in_time() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(15), "returned early: {elapsed:?}");
+        assert!(elapsed < Duration::from_secs(2), "overslept: {elapsed:?}");
+    }
+}

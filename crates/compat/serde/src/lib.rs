@@ -9,6 +9,13 @@
 //! providing marker traits and no-op derive macros.
 //!
 //! The `#[serde(...)]` helper attributes are accepted and ignored.
+//!
+//! Beyond the markers, [`json`] is a real, hand-rolled JSON
+//! encoder/decoder shared by the gateway's HTTP bodies and the
+//! workspace's `results/*.json` writers — the one place in the
+//! workspace that serializes at runtime.
+
+pub mod json;
 
 /// Marker for types declared serializable.
 ///

@@ -260,25 +260,13 @@ pub struct ExecConfig {
     /// Fan `infer_batch` requests across the pool (each request then
     /// executes its layers sequentially to avoid nested pools).
     pub parallel_batch: bool,
-    /// Execute over the islandized *physical* data layout: the
-    /// schedule-order permuted graph, prebuilt island bitmaps and the
-    /// zero-allocation flat-arena execution core
-    /// ([`crate::consumer::hotpath`]). Outputs and statistics are
-    /// bit-identical with this on or off — off preserves the legacy
-    /// index-indirect path for A/B measurement.
-    pub physical_layout: bool,
 }
 
 impl Default for ExecConfig {
     /// Sequential execution over the physical layout: one thread, both
     /// fan-out dimensions armed for when the thread count is raised.
     fn default() -> Self {
-        ExecConfig {
-            num_threads: 1,
-            parallel_islands: true,
-            parallel_batch: true,
-            physical_layout: true,
-        }
+        ExecConfig { num_threads: 1, parallel_islands: true, parallel_batch: true }
     }
 }
 
@@ -305,14 +293,6 @@ impl ExecConfig {
         self.parallel_batch = on;
         self
     }
-
-    /// Enables or disables the physical schedule-order layout (a pure
-    /// runtime knob: outputs and statistics are bit-identical either
-    /// way).
-    pub fn with_physical_layout(mut self, on: bool) -> Self {
-        self.physical_layout = on;
-        self
-    }
 }
 
 #[cfg(test)]
@@ -325,8 +305,6 @@ mod tests {
         assert_eq!(cfg.num_threads, 1);
         assert!(cfg.parallel_islands);
         assert!(cfg.parallel_batch);
-        assert!(cfg.physical_layout);
-        assert!(!cfg.with_physical_layout(false).physical_layout);
     }
 
     #[test]

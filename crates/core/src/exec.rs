@@ -85,16 +85,6 @@ impl std::fmt::Debug for ScratchPool {
     }
 }
 
-/// The per-model execution plan: what `infer`/`run` amortise across a
-/// batch. The layout plan executes the zero-allocation hot path over
-/// the physical layout; the legacy plan executes the original
-/// index-indirect path (kept for A/B measurement — outputs and
-/// statistics are bit-identical between the two).
-enum ExecPlan<'a> {
-    Layout { norm: GcnNormalization },
-    Legacy { consumer: IslandConsumer<'a>, norm: GcnNormalization },
-}
-
 /// The I-GCN engine: islandizes a graph once, then executes GNN layers
 /// at island granularity with shared-neighbor redundancy removal.
 ///
@@ -339,12 +329,11 @@ impl IGcnEngine {
 
     /// Replaces the parallel-execution configuration in place.
     ///
-    /// Unlike the island/consumer configurations, the thread count and
-    /// the physical-layout switch are pure runtime knobs — they never
-    /// change outputs (bit-identical at every setting) or the
-    /// partition, so they can be retuned on a built engine without
-    /// re-islandizing. Changing the thread count replaces the
-    /// persistent worker pool.
+    /// Unlike the island/consumer configurations, the thread count is a
+    /// pure runtime knob — it never changes outputs (bit-identical at
+    /// every setting) or the partition, so it can be retuned on a built
+    /// engine without re-islandizing. Changing the thread count
+    /// replaces the persistent worker pool.
     pub fn set_exec_config(&mut self, cfg: ExecConfig) {
         if cfg.num_threads != self.exec_cfg.num_threads {
             self.pool = (cfg.num_threads > 1).then(|| ThreadPool::new(cfg.num_threads));
@@ -467,45 +456,21 @@ impl IGcnEngine {
         check_features_for(&self.graph, features, model)
     }
 
-    /// Builds the per-model execution plan (consumer state +
-    /// normalisation) that `infer`/`infer_batch` amortise across a
-    /// batch. The normalisation is computed over the graph the plan
-    /// executes on; degrees are preserved by the layout permutation, so
-    /// both plans produce bitwise-identical scales.
-    fn plan(&self, model: &GnnModel) -> ExecPlan<'_> {
-        if self.exec_cfg.physical_layout {
-            ExecPlan::Layout { norm: model.normalization(self.layout.graph()) }
-        } else {
-            ExecPlan::Legacy {
-                consumer: IslandConsumer::new(&self.graph, &self.partition, self.consumer_cfg),
-                norm: model.normalization(&self.graph),
-            }
-        }
-    }
-
-    /// Runs all model layers under `plan`; `pool` carries the
-    /// per-island fan-out (`None` = sequential layers, the path
-    /// batch-parallel requests use to avoid nested pools).
-    fn execute_plan(
-        &self,
-        plan: &ExecPlan<'_>,
-        features: &SparseFeatures,
-        model: &GnnModel,
-        weights: &ModelWeights,
-        pool: Option<&ThreadPool>,
-    ) -> Result<(DenseMatrix, ExecStats), CoreError> {
-        match plan {
-            ExecPlan::Layout { norm } => self.execute_layout(norm, features, model, weights, pool),
-            ExecPlan::Legacy { consumer, norm } => {
-                self.execute_legacy(consumer, norm, features, model, weights, pool)
-            }
-        }
+    /// Computes the Ã normalisation `infer`/`infer_batch` amortise
+    /// across a batch. It is computed over the layout-permuted graph
+    /// the hot path executes on; degrees are preserved by the layout
+    /// permutation, so the scales equal the original-order ones
+    /// bitwise.
+    fn plan(&self, model: &GnnModel) -> GcnNormalization {
+        model.normalization(self.layout.graph())
     }
 
     /// The zero-allocation hot path: gather features into schedule
     /// order, run every layer over the physical layout with pooled
     /// scratch arenas (ping-pong activations), scatter the final rows
-    /// back to original node IDs.
+    /// back to original node IDs. `pool` carries the per-island
+    /// fan-out (`None` = sequential layers, the path batch-parallel
+    /// requests use to avoid nested pools).
     fn execute_layout(
         &self,
         norm: &GcnNormalization,
@@ -572,55 +537,14 @@ impl IGcnEngine {
         Ok((out, stats))
     }
 
-    /// The legacy index-indirect path over the original CSR layout —
-    /// preserved behind `ExecConfig::physical_layout = false` so the
-    /// locality win stays measurable (and testable) as an A/B pair.
-    fn execute_legacy(
+    fn execute(
         &self,
-        consumer: &IslandConsumer<'_>,
         norm: &GcnNormalization,
         features: &SparseFeatures,
         model: &GnnModel,
         weights: &ModelWeights,
-        pool: Option<&ThreadPool>,
     ) -> Result<(DenseMatrix, ExecStats), CoreError> {
-        let mut stats = ExecStats { locator: self.locator_stats.clone(), ..Default::default() };
-        stats.occupancy = consumer.schedule().occupancy(pool.map_or(1, ThreadPool::threads));
-        let mut current: Option<DenseMatrix> = None;
-        for (i, layer) in model.layers().iter().enumerate() {
-            let input = match &current {
-                None => LayerInput::Sparse(features),
-                Some(m) => LayerInput::Dense(m),
-            };
-            let (out, mut layer_stats) = match pool {
-                Some(pool) => consumer.execute_layer_parallel(
-                    input,
-                    weights.layer(i),
-                    norm,
-                    layer.activation,
-                    pool,
-                )?,
-                None => consumer.execute_layer(input, weights.layer(i), norm, layer.activation),
-            };
-            if i == 0 {
-                // The locator's adjacency streaming is charged to layer 0
-                // (restructuring overlaps the first layer's consumption).
-                layer_stats.traffic.adjacency_bytes += self.locator_stats.adjacency_words_read * 4;
-            }
-            stats.layers.push(layer_stats);
-            current = Some(out);
-        }
-        Ok((current.expect("models have at least one layer"), stats))
-    }
-
-    fn execute(
-        &self,
-        plan: &ExecPlan<'_>,
-        features: &SparseFeatures,
-        model: &GnnModel,
-        weights: &ModelWeights,
-    ) -> Result<(DenseMatrix, ExecStats), CoreError> {
-        self.execute_plan(plan, features, model, weights, self.island_pool())
+        self.execute_layout(norm, features, model, weights, self.island_pool())
     }
 
     /// Runs full-model inference, returning the output features and the
@@ -741,9 +665,9 @@ impl Accelerator for IGcnEngine {
             return Ok(Vec::new());
         }
         let (model, weights) = self.prepared()?;
-        // Amortise the per-call setup across the batch: the plan's
-        // consumer state and Ã normalisation depend only on the graph
-        // and model, not on the request.
+        // Amortise the per-call setup across the batch: the Ã
+        // normalisation depends only on the graph and model, not on
+        // the request.
         let plan = self.plan(model);
         // Validate the whole batch up front (first failure aborts), so
         // the parallel path never does work for a doomed batch.
@@ -760,7 +684,7 @@ impl Accelerator for IGcnEngine {
                 return pool
                     .par_map(requests, |_, request| {
                         let (output, stats) =
-                            self.execute_plan(&plan, &request.features, model, weights, None)?;
+                            self.execute_layout(&plan, &request.features, model, weights, None)?;
                         Ok(InferenceResponse {
                             id: request.id,
                             output,

@@ -1,0 +1,200 @@
+//! Blocking clients for both gateway wire protocols.
+//!
+//! [`HttpClient`] speaks the JSON-over-HTTP/1.1 protocol and
+//! [`BinaryClient`] the length-prefixed binary protocol; both keep one
+//! connection alive across requests and run one request at a time
+//! (send, then block for the reply). They exist so the integration
+//! tests, the load generator and `examples/gateway_client.rs` all
+//! exercise the exact bytes a real client would send.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use igcn_graph::SparseFeatures;
+use igcn_linalg::DenseMatrix;
+use serde::json::JsonValue;
+
+use crate::http;
+use crate::wire::{self, Frame};
+
+/// The gateway's answer to one inference request, protocol-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferReply {
+    /// Success: the echoed correlation id and the output matrix.
+    Output {
+        /// The request's correlation id.
+        id: u64,
+        /// Dense output, row-major — bit-identical to a direct
+        /// `Accelerator::infer` on the served backend.
+        output: DenseMatrix,
+    },
+    /// Load shed at admission (HTTP 429 / binary `Shed`): retry later.
+    Shed,
+    /// The deadline expired before dispatch (HTTP 504 / binary
+    /// `Deadline`).
+    DeadlineExceeded,
+    /// The request failed (HTTP 4xx/5xx / binary `Err`).
+    Error(String),
+}
+
+fn proto_err(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// A blocking keep-alive client for the HTTP/1.1 protocol.
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to a gateway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(HttpClient { stream })
+    }
+
+    /// Runs one inference: `POST /v1/infer` and block for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed responses; application-level
+    /// failures (shed, deadline, backend error) come back as
+    /// [`InferReply`] variants instead.
+    pub fn infer(
+        &mut self,
+        id: u64,
+        deadline_ms: Option<u64>,
+        features: &SparseFeatures,
+    ) -> io::Result<InferReply> {
+        self.stream.write_all(&http::infer_request_bytes(id, deadline_ms, features))?;
+        let (status, body) = self.read_response()?;
+        match status {
+            200 => {
+                let doc = JsonValue::parse(&body).map_err(|e| proto_err(e.to_string()))?;
+                let (id, output) = http::infer_ok_from_json(&doc).map_err(proto_err)?;
+                Ok(InferReply::Output { id, output })
+            }
+            429 => Ok(InferReply::Shed),
+            504 => Ok(InferReply::DeadlineExceeded),
+            _ => Ok(InferReply::Error(format!("HTTP {status}: {body}"))),
+        }
+    }
+
+    /// Issues a `GET` (for `/healthz` and `/stats`) and returns
+    /// `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed responses.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.stream.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 8192];
+        loop {
+            if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&buf[..head_end])
+                    .map_err(|_| proto_err("response head is not UTF-8"))?;
+                let status: u16 = head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| proto_err(format!("bad status line in {head:?}")))?;
+                let content_length: usize = head
+                    .split("\r\n")
+                    .filter_map(|l| l.split_once(':'))
+                    .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                    .and_then(|(_, v)| v.trim().parse().ok())
+                    .unwrap_or(0);
+                let body_start = head_end + 4;
+                while buf.len() < body_start + content_length {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(proto_err("connection closed mid-body"));
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
+                    .map_err(|_| proto_err("response body is not UTF-8"))?;
+                return Ok((status, body));
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(proto_err("connection closed before a full response head"));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// A blocking keep-alive client for the binary protocol.
+pub struct BinaryClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl BinaryClient {
+    /// Connects to a gateway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BinaryClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(BinaryClient { stream, buf: Vec::new() })
+    }
+
+    /// Runs one inference: send an `Infer` frame, block for the reply
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and corrupt frames; application-level
+    /// failures come back as [`InferReply`] variants.
+    pub fn infer(
+        &mut self,
+        id: u64,
+        deadline_ms: Option<u64>,
+        features: &SparseFeatures,
+    ) -> io::Result<InferReply> {
+        let frame =
+            Frame::Infer { id, deadline_ms: deadline_ms.unwrap_or(0), features: features.clone() };
+        self.stream.write_all(&wire::encode(&frame))?;
+        match self.read_frame()? {
+            Frame::Ok { id, output } => Ok(InferReply::Output { id, output }),
+            Frame::Err { message, .. } => Ok(InferReply::Error(message)),
+            Frame::Shed { .. } => Ok(InferReply::Shed),
+            Frame::Deadline { .. } => Ok(InferReply::DeadlineExceeded),
+            Frame::Infer { .. } => Err(proto_err("server sent an Infer frame")),
+        }
+    }
+
+    fn read_frame(&mut self) -> io::Result<Frame> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match wire::decode(&self.buf) {
+                wire::Decoded::Frame(frame, consumed) => {
+                    self.buf.drain(..consumed);
+                    return Ok(frame);
+                }
+                wire::Decoded::Corrupt(msg) => return Err(proto_err(msg)),
+                wire::Decoded::NeedMore => {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(proto_err("connection closed mid-frame"));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+}

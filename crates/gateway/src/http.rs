@@ -1,0 +1,374 @@
+//! Minimal HTTP/1.1: request parsing, response building, and the JSON
+//! body codecs shared by the server and [`crate::HttpClient`].
+//!
+//! Only what the gateway serves is implemented: `POST /v1/infer`,
+//! `GET /healthz`, `GET /stats`, keep-alive, and `Content-Length`
+//! bodies (no chunked encoding, no `Expect: 100-continue`). Bodies are
+//! JSON via the workspace's hand-rolled `serde::json`, whose `f32`
+//! encoding is shortest-round-trip and therefore **bit-exact**: an
+//! output matrix fetched over HTTP equals a direct
+//! `Accelerator::infer` bit for bit.
+//!
+//! # Request body grammar (`POST /v1/infer`)
+//!
+//! ```json
+//! {
+//!   "id": 7,
+//!   "deadline_ms": 250,
+//!   "features": {"rows": N, "cols": D, "row_ptr": [...], "col_idx": [...], "values": [...]}
+//! }
+//! ```
+//!
+//! `id` and `deadline_ms` are optional (default 0 / no deadline). The
+//! success response is `{"id": 7, "output": {"rows": N, "cols": K,
+//! "data": [...]}}` with `data` row-major.
+
+use igcn_graph::SparseFeatures;
+use igcn_linalg::DenseMatrix;
+use serde::json::{self, obj, JsonValue};
+
+/// Largest accepted request head (request line + headers).
+pub(crate) const MAX_HEAD: usize = 16 << 10;
+
+/// Largest accepted request body.
+pub(crate) const MAX_BODY: usize = 256 << 20;
+
+/// One parsed gateway request.
+#[derive(Debug)]
+pub(crate) enum HttpRequest {
+    /// `POST /v1/infer`.
+    Infer { id: u64, deadline_ms: Option<u64>, features: SparseFeatures, keep_alive: bool },
+    /// `GET /healthz`.
+    Healthz { keep_alive: bool },
+    /// `GET /stats`.
+    Stats { keep_alive: bool },
+}
+
+/// Outcome of trying to parse one request off the front of a buffer.
+#[derive(Debug)]
+pub(crate) enum HttpParse {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// One complete request and how many bytes it consumed.
+    Request(HttpRequest, usize),
+    /// A malformed or unsupported request: respond with `status` and
+    /// close the connection (framing may be lost).
+    Error { status: u16, message: String },
+}
+
+pub(crate) fn parse(buf: &[u8]) -> HttpParse {
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None if buf.len() > MAX_HEAD => {
+            return HttpParse::Error {
+                status: 431,
+                message: format!("request head exceeds {MAX_HEAD} bytes"),
+            }
+        }
+        None => return HttpParse::NeedMore,
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(head) => head,
+        Err(_) => {
+            return HttpParse::Error { status: 400, message: "request head is not UTF-8".into() }
+        }
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m, p, v),
+        _ => {
+            return HttpParse::Error {
+                status: 400,
+                message: format!("malformed request line {request_line:?}"),
+            }
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return HttpParse::Error { status: 505, message: format!("unsupported version {version}") };
+    }
+    let mut content_length = 0usize;
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return HttpParse::Error {
+                        status: 400,
+                        message: format!("bad Content-Length {value:?}"),
+                    }
+                }
+            };
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close")
+                && (keep_alive || value.eq_ignore_ascii_case("keep-alive"));
+        }
+    }
+    if content_length > MAX_BODY {
+        return HttpParse::Error {
+            status: 413,
+            message: format!("request body of {content_length} bytes exceeds {MAX_BODY}"),
+        };
+    }
+    let body_end = head_end + 4 + content_length;
+    if buf.len() < body_end {
+        return HttpParse::NeedMore;
+    }
+    let body = &buf[head_end + 4..body_end];
+    match (method, path) {
+        ("GET", "/healthz") => HttpParse::Request(HttpRequest::Healthz { keep_alive }, body_end),
+        ("GET", "/stats") => HttpParse::Request(HttpRequest::Stats { keep_alive }, body_end),
+        ("POST", "/v1/infer") => match parse_infer_body(body) {
+            Ok((id, deadline_ms, features)) => HttpParse::Request(
+                HttpRequest::Infer { id, deadline_ms, features, keep_alive },
+                body_end,
+            ),
+            Err(message) => HttpParse::Error { status: 400, message },
+        },
+        ("POST" | "GET", _) => {
+            HttpParse::Error { status: 404, message: format!("no route for {method} {path}") }
+        }
+        _ => HttpParse::Error { status: 405, message: format!("method {method} not allowed") },
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).take(MAX_HEAD).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_infer_body(body: &[u8]) -> Result<(u64, Option<u64>, SparseFeatures), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let id = match doc.get("id") {
+        Some(v) => v.as_u64().ok_or("\"id\" must be a u64")?,
+        None => 0,
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        Some(v) => Some(v.as_u64().ok_or("\"deadline_ms\" must be a u64")?),
+        None => None,
+    };
+    let features = features_from_json(doc.get("features").ok_or("missing \"features\" object")?)?;
+    Ok((id, deadline_ms, features))
+}
+
+/// Encodes a sparse feature matrix as the `"features"` object.
+pub(crate) fn features_to_json(features: &SparseFeatures) -> JsonValue {
+    obj([
+        ("rows", JsonValue::Uint(features.num_rows() as u64)),
+        ("cols", JsonValue::Uint(features.num_cols() as u64)),
+        ("row_ptr", json::usize_array(features.row_ptr())),
+        ("col_idx", json::u32_array(features.col_idx())),
+        ("values", json::f32_array(features.values())),
+    ])
+}
+
+/// Decodes (and validates) a `"features"` object.
+pub(crate) fn features_from_json(v: &JsonValue) -> Result<SparseFeatures, String> {
+    let field = |k: &str| v.get(k).ok_or_else(|| format!("features missing {k:?}"));
+    let rows = field("rows")?.as_u64().ok_or("features rows must be a u64")? as usize;
+    let cols = field("cols")?.as_u64().ok_or("features cols must be a u64")? as usize;
+    let row_ptr = json::parse_usize_array(field("row_ptr")?)
+        .ok_or("features row_ptr must be an array of u64")?;
+    let col_idx = json::parse_u32_array(field("col_idx")?)
+        .ok_or("features col_idx must be an array of u32")?;
+    let values = json::parse_f32_array(field("values")?)
+        .ok_or("features values must be an array of numbers")?;
+    SparseFeatures::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+        .map_err(|e| format!("invalid sparse features: {e}"))
+}
+
+/// Encodes a success body: `{"id": ..., "output": {...}}`.
+pub(crate) fn infer_ok_body(id: u64, output: &DenseMatrix) -> JsonValue {
+    obj([
+        ("id", JsonValue::Uint(id)),
+        (
+            "output",
+            obj([
+                ("rows", JsonValue::Uint(output.rows() as u64)),
+                ("cols", JsonValue::Uint(output.cols() as u64)),
+                ("data", json::f32_array(output.as_slice())),
+            ]),
+        ),
+    ])
+}
+
+/// Decodes a success body back into `(id, output)`.
+pub(crate) fn infer_ok_from_json(doc: &JsonValue) -> Result<(u64, DenseMatrix), String> {
+    let id = doc.get("id").and_then(|v| v.as_u64()).ok_or("response missing \"id\"")?;
+    let out = doc.get("output").ok_or("response missing \"output\"")?;
+    let rows = out.get("rows").and_then(|v| v.as_u64()).ok_or("output missing \"rows\"")? as usize;
+    let cols = out.get("cols").and_then(|v| v.as_u64()).ok_or("output missing \"cols\"")? as usize;
+    let data = json::parse_f32_array(out.get("data").ok_or("output missing \"data\"")?)
+        .ok_or("output data must be an array of numbers")?;
+    if data.len() != rows * cols {
+        return Err(format!("output data has {} entries, expected {rows}×{cols}", data.len()));
+    }
+    Ok((id, DenseMatrix::from_vec(rows, cols, data)))
+}
+
+/// Builds the full infer request bytes the client sends (also used by
+/// tests to drive the server byte-for-byte).
+pub(crate) fn infer_request_bytes(
+    id: u64,
+    deadline_ms: Option<u64>,
+    features: &SparseFeatures,
+) -> Vec<u8> {
+    let mut fields = vec![("id".to_string(), JsonValue::Uint(id))];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".to_string(), JsonValue::Uint(ms)));
+    }
+    fields.push(("features".to_string(), features_to_json(features)));
+    let body = JsonValue::Object(fields).encode();
+    let mut out = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Builds a complete response with a JSON body.
+pub(crate) fn response(status: u16, body: &JsonValue, keep_alive: bool) -> Vec<u8> {
+    let body = body.encode();
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Builds an error response (`{"error": message}`).
+pub(crate) fn error_response(status: u16, message: &str, keep_alive: bool) -> Vec<u8> {
+    response(status, &obj([("error", JsonValue::Str(message.to_string()))]), keep_alive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features() -> SparseFeatures {
+        SparseFeatures::from_raw_parts(
+            2,
+            3,
+            vec![0, 1, 3],
+            vec![2, 0, 1],
+            vec![0.5, -1.25, f32::MIN_POSITIVE],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn infer_request_round_trips_bit_exactly() {
+        let bytes = infer_request_bytes(42, Some(250), &features());
+        match parse(&bytes) {
+            HttpParse::Request(
+                HttpRequest::Infer { id, deadline_ms, features: parsed, keep_alive },
+                consumed,
+            ) => {
+                assert_eq!(consumed, bytes.len());
+                assert_eq!(id, 42);
+                assert_eq!(deadline_ms, Some(250));
+                assert!(keep_alive);
+                assert_eq!(parsed, features());
+                let bits: Vec<u32> = parsed.values().iter().map(|v| v.to_bits()).collect();
+                let expected: Vec<u32> = features().values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits, expected);
+            }
+            other => panic!("expected an infer request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_requests_ask_for_more() {
+        let bytes = infer_request_bytes(1, None, &features());
+        assert!(matches!(parse(&bytes[..10]), HttpParse::NeedMore));
+        assert!(matches!(parse(&bytes[..bytes.len() - 1]), HttpParse::NeedMore));
+    }
+
+    #[test]
+    fn get_routes_parse() {
+        let req = b"GET /healthz HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::Healthz { keep_alive: true }, n) if n == req.len()
+        ));
+        let req = b"GET /stats HTTP/1.0\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::Stats { keep_alive: false }, _)
+        ));
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let req = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::Healthz { keep_alive: false }, _)
+        ));
+    }
+
+    #[test]
+    fn bad_routes_and_bodies_are_rejected() {
+        assert!(matches!(
+            parse(b"GET /nope HTTP/1.1\r\n\r\n"),
+            HttpParse::Error { status: 404, .. }
+        ));
+        assert!(matches!(
+            parse(b"DELETE /v1/infer HTTP/1.1\r\n\r\n"),
+            HttpParse::Error { status: 405, .. }
+        ));
+        assert!(matches!(
+            parse(b"POST /v1/infer HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}"),
+            HttpParse::Error { status: 400, .. }
+        ));
+        assert!(matches!(
+            parse(b"GET /healthz HTTP/0.9\r\n\r\n"),
+            HttpParse::Error { status: 505, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected() {
+        let req = format!("POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse(req.as_bytes()), HttpParse::Error { status: 413, .. }));
+    }
+
+    #[test]
+    fn ok_body_round_trips_bit_exactly() {
+        let output = DenseMatrix::from_vec(2, 2, vec![1.0e-30, -0.0, 123.456, f32::MAX]);
+        let body = infer_ok_body(9, &output);
+        let parsed = JsonValue::parse(&body.encode()).unwrap();
+        let (id, decoded) = infer_ok_from_json(&parsed).unwrap();
+        assert_eq!(id, 9);
+        let bits = |m: &DenseMatrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&decoded), bits(&output));
+    }
+}

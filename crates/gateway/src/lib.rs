@@ -1,0 +1,1077 @@
+//! `igcn-gateway`: the hermetic network serving edge.
+//!
+//! Everything below `igcn-serve` is a library type; this crate is the
+//! piece that listens on a socket. One TCP listener serves **two wire
+//! protocols**, sniffed from the first byte of each connection:
+//!
+//! * **HTTP/1.1** (`POST /v1/infer`, `GET /healthz`, `GET /stats`)
+//!   with hand-rolled JSON bodies via `serde::json` — human-debuggable,
+//!   `curl`-able, and still bit-exact (shortest-round-trip `f32`
+//!   encoding);
+//! * **length-prefixed binary** ([`wire`]) — the same
+//!   magic/version/length/FNV-checksum framing conventions as
+//!   `igcn-store` snapshots, raw IEEE-754 bits on the wire. Its magic
+//!   starts with `0x89`, which no HTTP request can begin with.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌────────────── io threads (IGCN_IO_THREADS) ──────────────┐
+//! clients ──▶│ compat-mio poll loop: read, sniff, parse, write replies  │
+//!            └──────────────┬────────────────────────────▲──────────────┘
+//!                    admit / shed                  poll tickets
+//!            ┌──────────────▼──────────────┐             │
+//!            │ bounded admission queue     │             │
+//!            └──────────────┬──────────────┘             │
+//!                 dispatcher: deadline check             │
+//!            ┌──────────────▼──────────────────────────────────────────┐
+//!            │ igcn-serve ServingEngine (IGCN_WORKER_THREADS workers,  │
+//!            │ micro-batching over any Accelerator)                    │
+//!            └─────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Admission** is bounded and non-blocking: when the gateway queue
+//!   is at capacity, or the EWMA-estimated wait exceeds
+//!   [`GatewayConfig::max_estimated_wait`], the request is **shed**
+//!   immediately (HTTP 429 / binary `Shed`) instead of queueing — the
+//!   IO threads never block on a full system.
+//! * **Deadlines cancel before dispatch**: the dispatcher re-checks
+//!   each request's deadline at the moment it would hand it to the
+//!   serving queue; an expired request is answered with HTTP 504 /
+//!   binary `Deadline` *without ever reaching the backend*. Once
+//!   dispatched, a request runs to completion (its response may arrive
+//!   after the deadline — the caller decides what to do with it).
+//! * **Shutdown drains**: in-flight requests complete and their
+//!   responses are flushed before the threads exit; only unparsed
+//!   bytes are dropped.
+//!
+//! The IO side runs on the vendored `crates/compat/mio` event loop
+//! (readiness by probing over `std::net` nonblocking sockets), so the
+//! whole edge builds with zero network dependencies.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use igcn_core::accel::{Accelerator, InferenceRequest, InferenceResponse};
+use igcn_serve::{QueueStats, ServeError, ServingConfig, ServingEngine, Ticket};
+use mio::net::{TcpListener, TcpStream};
+use mio::{Events, Interest, Poll, Token};
+use serde::json::{obj, JsonValue};
+
+mod client;
+pub(crate) mod http;
+pub mod wire;
+
+pub use client::{BinaryClient, HttpClient, InferReply};
+
+/// Configuration of the gateway front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// IO threads running poll loops (connections are spread across
+    /// them round-robin).
+    pub io_threads: usize,
+    /// Bounded admission queue capacity; requests beyond it are shed.
+    pub admission_capacity: usize,
+    /// Estimated-wait shedding budget: when `EWMA service time ×
+    /// pending requests / workers` exceeds this, new requests are shed
+    /// even though the queue has space.
+    pub max_estimated_wait: Duration,
+    /// The serving tier behind the gateway (worker count, serving
+    /// queue, micro-batch shape).
+    pub serving: ServingConfig,
+}
+
+impl Default for GatewayConfig {
+    /// One IO thread, a 128-deep admission queue, a 1 s estimated-wait
+    /// budget, default `ServingConfig`.
+    fn default() -> Self {
+        GatewayConfig {
+            io_threads: 1,
+            admission_capacity: 128,
+            max_estimated_wait: Duration::from_secs(1),
+            serving: ServingConfig::default(),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Sets the IO thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_threads == 0`.
+    pub fn with_io_threads(mut self, io_threads: usize) -> Self {
+        assert!(io_threads > 0, "at least one IO thread is required");
+        self.io_threads = io_threads;
+        self
+    }
+
+    /// Sets the admission queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_admission_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "admission capacity must be positive");
+        self.admission_capacity = capacity;
+        self
+    }
+
+    /// Sets the estimated-wait shedding budget.
+    pub fn with_max_estimated_wait(mut self, budget: Duration) -> Self {
+        self.max_estimated_wait = budget;
+        self
+    }
+
+    /// Replaces the serving-tier configuration.
+    pub fn with_serving(mut self, serving: ServingConfig) -> Self {
+        self.serving = serving;
+        self
+    }
+
+    /// Defaults, overridden by the environment: `IGCN_IO_THREADS` sets
+    /// the IO thread count and `IGCN_WORKER_THREADS` the serving worker
+    /// count (both must parse as positive integers; anything else is
+    /// ignored).
+    pub fn from_env() -> Self {
+        let mut cfg = GatewayConfig::default();
+        if let Some(n) = env_usize("IGCN_IO_THREADS") {
+            cfg.io_threads = n;
+        }
+        if let Some(n) = env_usize("IGCN_WORKER_THREADS") {
+            cfg.serving.num_workers = n;
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok().filter(|&n| n > 0)
+}
+
+/// One consistent snapshot of the gateway's counters plus the serving
+/// tier's [`QueueStats`] (served on `GET /stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Requests handed to the serving tier (≤ admitted; the difference
+    /// in terminal states is deadline expiries).
+    pub dispatched: u64,
+    /// Successful responses delivered.
+    pub completed: u64,
+    /// Requests that failed in the backend or serving tier.
+    pub failed: u64,
+    /// Requests shed at admission (queue full or estimated wait over
+    /// budget).
+    pub shed: u64,
+    /// Requests whose deadline expired before dispatch (never reached
+    /// the backend).
+    pub deadline_expired: u64,
+    /// Malformed requests / corrupt frames (the connection is closed).
+    pub protocol_errors: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Requests sitting in the admission queue right now.
+    pub admission_depth: usize,
+    /// The configured admission capacity.
+    pub admission_capacity: usize,
+    /// EWMA of admission-to-completion service time, microseconds.
+    pub ewma_service_us: u64,
+    /// The serving tier's queue counters.
+    pub serving: QueueStats,
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    dispatched: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    protocol_errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Where one admitted request currently is.
+enum ReplyState {
+    /// In the admission queue, not yet dispatched.
+    Queued,
+    /// Handed to the serving tier; the ticket is polled by the IO loop.
+    Dispatched(Ticket),
+    /// Terminal: the serving tier answered (or refused).
+    Finished(Result<InferenceResponse, ServeError>),
+    /// Terminal: the deadline expired before dispatch.
+    DeadlineExpired,
+}
+
+struct RequestSlot {
+    state: Mutex<ReplyState>,
+    admitted_at: Instant,
+}
+
+/// A terminal outcome the IO loop turns into response bytes.
+enum Resolution {
+    Response(Box<InferenceResponse>),
+    Failed(String),
+    DeadlineExpired,
+}
+
+/// Non-blocking: takes the slot's outcome if it is terminal (polling
+/// the serving ticket along the way), leaves it in place otherwise.
+fn resolve(slot: &RequestSlot) -> Option<Resolution> {
+    let mut state = slot.state.lock().expect("slot lock");
+    match std::mem::replace(&mut *state, ReplyState::Queued) {
+        ReplyState::Queued => None,
+        ReplyState::Dispatched(ticket) => match ticket.try_take() {
+            Ok(Ok(response)) => Some(Resolution::Response(Box::new(response))),
+            Ok(Err(e)) => Some(Resolution::Failed(e.to_string())),
+            Err(ticket) => {
+                *state = ReplyState::Dispatched(ticket);
+                None
+            }
+        },
+        ReplyState::Finished(Ok(response)) => Some(Resolution::Response(Box::new(response))),
+        ReplyState::Finished(Err(e)) => Some(Resolution::Failed(e.to_string())),
+        ReplyState::DeadlineExpired => Some(Resolution::DeadlineExpired),
+    }
+}
+
+struct Job {
+    request: InferenceRequest,
+    deadline: Option<Instant>,
+    slot: Arc<RequestSlot>,
+}
+
+enum AdmitOutcome {
+    Admitted(Arc<RequestSlot>),
+    Shed,
+}
+
+struct Inner {
+    backend_name: String,
+    serving: ServingEngine,
+    cfg: GatewayConfig,
+    admission: Mutex<VecDeque<Job>>,
+    admission_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    /// EWMA of admission→completion latency, nanoseconds (0 = no
+    /// sample yet). Plain store — a lost race only skews the estimate
+    /// by one sample.
+    ewma_service_ns: AtomicU64,
+}
+
+impl Inner {
+    fn admit(&self, request: InferenceRequest, deadline: Option<Instant>) -> AdmitOutcome {
+        // Estimated-wait shedding: how long would this request sit
+        // behind everything already admitted?
+        let ewma = self.ewma_service_ns.load(Ordering::Relaxed);
+        let qs = self.serving.queue_stats();
+        let mut queue = self.admission.lock().expect("admission lock");
+        if queue.len() >= self.cfg.admission_capacity {
+            drop(queue);
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return AdmitOutcome::Shed;
+        }
+        if ewma > 0 {
+            let pending = queue.len() as u64 + qs.submitted.saturating_sub(qs.completed);
+            let estimated_ns = ewma.saturating_mul(pending + 1) / qs.workers.max(1) as u64;
+            if estimated_ns > self.cfg.max_estimated_wait.as_nanos() as u64 {
+                drop(queue);
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return AdmitOutcome::Shed;
+            }
+        }
+        let slot = Arc::new(RequestSlot {
+            state: Mutex::new(ReplyState::Queued),
+            admitted_at: Instant::now(),
+        });
+        queue.push_back(Job { request, deadline, slot: Arc::clone(&slot) });
+        drop(queue);
+        self.admission_cv.notify_one();
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        AdmitOutcome::Admitted(slot)
+    }
+
+    fn record_service_sample(&self, elapsed: Duration) {
+        let sample = elapsed.as_nanos() as u64;
+        let old = self.ewma_service_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { sample } else { (old * 7 + sample) / 8 };
+        self.ewma_service_ns.store(new, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> GatewayStats {
+        let c = &self.counters;
+        GatewayStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            dispatched: c.dispatched.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            connections: c.connections.load(Ordering::Relaxed),
+            admission_depth: self.admission.lock().expect("admission lock").len(),
+            admission_capacity: self.cfg.admission_capacity,
+            ewma_service_us: self.ewma_service_ns.load(Ordering::Relaxed) / 1_000,
+            serving: self.serving.queue_stats(),
+        }
+    }
+
+    fn stats_json(&self) -> JsonValue {
+        let s = self.stats();
+        obj([
+            (
+                "gateway",
+                obj([
+                    ("admitted", JsonValue::Uint(s.admitted)),
+                    ("dispatched", JsonValue::Uint(s.dispatched)),
+                    ("completed", JsonValue::Uint(s.completed)),
+                    ("failed", JsonValue::Uint(s.failed)),
+                    ("shed", JsonValue::Uint(s.shed)),
+                    ("deadline_expired", JsonValue::Uint(s.deadline_expired)),
+                    ("protocol_errors", JsonValue::Uint(s.protocol_errors)),
+                    ("connections", JsonValue::Uint(s.connections)),
+                    ("admission_depth", JsonValue::Uint(s.admission_depth as u64)),
+                    ("admission_capacity", JsonValue::Uint(s.admission_capacity as u64)),
+                    ("ewma_service_us", JsonValue::Uint(s.ewma_service_us)),
+                    ("io_threads", JsonValue::Uint(self.cfg.io_threads as u64)),
+                ]),
+            ),
+            (
+                "serving",
+                obj([
+                    ("depth", JsonValue::Uint(s.serving.depth as u64)),
+                    ("capacity", JsonValue::Uint(s.serving.capacity as u64)),
+                    ("workers", JsonValue::Uint(s.serving.workers as u64)),
+                    ("submitted", JsonValue::Uint(s.serving.submitted)),
+                    ("completed", JsonValue::Uint(s.serving.completed)),
+                    ("batches_executed", JsonValue::Uint(s.serving.batches_executed)),
+                    ("shutting_down", JsonValue::Bool(s.serving.shutting_down)),
+                ]),
+            ),
+            ("backend", JsonValue::Str(self.backend_name.clone())),
+        ])
+    }
+}
+
+/// The dispatcher: pops admitted jobs, enforces the deadline *at the
+/// moment of dispatch*, and hands survivors to the serving tier
+/// (blocking on a full serving queue — that backpressure is what makes
+/// the admission queue's depth meaningful).
+fn dispatcher_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.admission.lock().expect("admission lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.admission_cv.wait(queue).expect("admission lock");
+            }
+        };
+        // Cancellation before dispatch: an expired request never
+        // reaches the serving queue or the backend.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            *job.slot.state.lock().expect("slot lock") = ReplyState::DeadlineExpired;
+            inner.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        match inner.serving.submit(job.request) {
+            Ok(ticket) => {
+                *job.slot.state.lock().expect("slot lock") = ReplyState::Dispatched(ticket);
+                inner.counters.dispatched.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                *job.slot.state.lock().expect("slot lock") = ReplyState::Finished(Err(e));
+            }
+        }
+    }
+}
+
+const LISTENER: Token = Token(usize::MAX);
+const TICK: Duration = Duration::from_millis(2);
+const DRAIN_BUDGET: Duration = Duration::from_secs(10);
+const READ_CHUNK: usize = 64 << 10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Protocol {
+    Unknown,
+    Http,
+    Binary,
+}
+
+struct InFlight {
+    wire_id: u64,
+    slot: Arc<RequestSlot>,
+    keep_alive: bool,
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    protocol: Protocol,
+    in_flight: Vec<InFlight>,
+    /// Close once the outbuf is flushed (protocol error or
+    /// `Connection: close`).
+    closing: bool,
+    peer_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            protocol: Protocol::Unknown,
+            in_flight: Vec::new(),
+            closing: false,
+            peer_closed: false,
+        }
+    }
+
+    /// Drains the socket into `inbuf`. Returns `false` on a fatal
+    /// transport error (drop the connection).
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return true;
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Flushes `outbuf`. Returns `false` on a fatal transport error.
+    fn flush(&mut self) -> bool {
+        while !self.outbuf.is_empty() {
+            match (&self.stream).write(&self.outbuf) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    fn idle(&self) -> bool {
+        self.in_flight.is_empty() && self.outbuf.is_empty()
+    }
+}
+
+struct IoShared {
+    inner: Arc<Inner>,
+    /// Per-IO-thread handoff queues for accepted connections.
+    inboxes: Vec<Mutex<Vec<TcpStream>>>,
+}
+
+#[allow(clippy::too_many_lines)] // one readable poll-loop, deliberately linear
+fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoShared>) {
+    let inner = &shared.inner;
+    let mut poll = Poll::new().expect("poll creation");
+    let mut events = Events::with_capacity(64);
+    if let Some(listener) = listener.as_mut() {
+        poll.registry()
+            .register(listener, LISTENER, Interest::READABLE)
+            .expect("listener registers");
+    }
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = 0usize;
+    let mut next_target = 0usize;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let shutting = inner.shutdown.load(Ordering::SeqCst);
+        if shutting && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + DRAIN_BUDGET);
+        }
+
+        poll.poll(&mut events, Some(TICK)).expect("poll");
+
+        // Accept (thread 0 owns the listener) and spread connections
+        // round-robin across the IO threads.
+        if !shutting {
+            if let Some(listener) = listener.as_mut() {
+                if events.iter().any(|e| e.token() == LISTENER) {
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _addr)) => {
+                                inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+                                let target = next_target % shared.inboxes.len();
+                                next_target = next_target.wrapping_add(1);
+                                if target == thread_idx {
+                                    let mut conn = Conn::new(stream);
+                                    poll.registry()
+                                        .register(
+                                            &mut conn.stream,
+                                            Token(next_token),
+                                            Interest::READABLE,
+                                        )
+                                        .expect("conn registers");
+                                    conns.insert(next_token, conn);
+                                    next_token += 1;
+                                } else {
+                                    shared.inboxes[target].lock().expect("inbox lock").push(stream);
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+        }
+
+        // Adopt connections handed over by the accepting thread.
+        for stream in shared.inboxes[thread_idx].lock().expect("inbox lock").drain(..) {
+            let mut conn = Conn::new(stream);
+            poll.registry()
+                .register(&mut conn.stream, Token(next_token), Interest::READABLE)
+                .expect("conn registers");
+            conns.insert(next_token, conn);
+            next_token += 1;
+        }
+
+        // Read every connection the poll flagged.
+        let mut dead: Vec<usize> = Vec::new();
+        for event in &events {
+            let Token(id) = event.token();
+            if id == LISTENER.0 {
+                continue;
+            }
+            if let Some(conn) = conns.get_mut(&id) {
+                if !conn.fill() {
+                    dead.push(id);
+                }
+            }
+        }
+
+        // Parse, admit, resolve and flush every connection each tick.
+        for (&id, conn) in conns.iter_mut() {
+            if dead.contains(&id) {
+                continue;
+            }
+            if !shutting {
+                process_input(conn, inner);
+            }
+            build_responses(conn, inner);
+            if !conn.flush() {
+                dead.push(id);
+                continue;
+            }
+            let finished = (conn.closing || conn.peer_closed) && conn.idle();
+            let forced = shutting && conn.idle();
+            if finished || forced {
+                dead.push(id);
+            }
+        }
+
+        for id in dead {
+            if let Some(mut conn) = conns.remove(&id) {
+                let _ = poll.registry().deregister(&mut conn.stream);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+
+        if shutting {
+            let drained = conns.values().all(Conn::idle);
+            let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if (drained && conns.is_empty()) || expired {
+                return;
+            }
+        }
+    }
+}
+
+/// Parses as many complete requests as the connection's input buffer
+/// holds, admitting each (or shedding / failing it immediately).
+fn process_input(conn: &mut Conn, inner: &Inner) {
+    loop {
+        if conn.closing {
+            return;
+        }
+        if conn.protocol == Protocol::Unknown {
+            match conn.inbuf.first() {
+                None => return,
+                Some(&first) => {
+                    conn.protocol = if first == wire::WIRE_MAGIC[0] {
+                        Protocol::Binary
+                    } else {
+                        Protocol::Http
+                    };
+                }
+            }
+        }
+        match conn.protocol {
+            Protocol::Http => {
+                // HTTP/1.1 without pipelining: one request outstanding
+                // per connection; later bytes wait in the buffer.
+                if !conn.in_flight.is_empty() {
+                    return;
+                }
+                match http::parse(&conn.inbuf) {
+                    http::HttpParse::NeedMore => return,
+                    http::HttpParse::Request(request, consumed) => {
+                        conn.inbuf.drain(..consumed);
+                        handle_http_request(conn, inner, request);
+                    }
+                    http::HttpParse::Error { status, message } => {
+                        inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.outbuf
+                            .extend_from_slice(&http::error_response(status, &message, false));
+                        conn.closing = true;
+                        conn.inbuf.clear();
+                        return;
+                    }
+                }
+            }
+            Protocol::Binary => match wire::decode(&conn.inbuf) {
+                wire::Decoded::NeedMore => return,
+                wire::Decoded::Frame(frame, consumed) => {
+                    conn.inbuf.drain(..consumed);
+                    handle_frame(conn, inner, frame);
+                }
+                wire::Decoded::Corrupt(message) => {
+                    inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    conn.outbuf
+                        .extend_from_slice(&wire::encode(&wire::Frame::Err { id: 0, message }));
+                    conn.closing = true;
+                    conn.inbuf.clear();
+                    return;
+                }
+            },
+            Protocol::Unknown => unreachable!("sniffed above"),
+        }
+    }
+}
+
+fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpRequest) {
+    match request {
+        http::HttpRequest::Healthz { keep_alive } => {
+            let body = obj([
+                ("status", JsonValue::Str("ok".to_string())),
+                ("backend", JsonValue::Str(inner.backend_name.clone())),
+            ]);
+            conn.outbuf.extend_from_slice(&http::response(200, &body, keep_alive));
+            conn.closing |= !keep_alive;
+        }
+        http::HttpRequest::Stats { keep_alive } => {
+            conn.outbuf.extend_from_slice(&http::response(200, &inner.stats_json(), keep_alive));
+            conn.closing |= !keep_alive;
+        }
+        http::HttpRequest::Infer { id, deadline_ms, features, keep_alive } => {
+            let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+            let request = InferenceRequest::new(features).with_id(id);
+            match inner.admit(request, deadline) {
+                AdmitOutcome::Admitted(slot) => {
+                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive });
+                }
+                AdmitOutcome::Shed => {
+                    conn.outbuf.extend_from_slice(&http::error_response(
+                        429,
+                        "shed: gateway is at capacity, retry later",
+                        keep_alive,
+                    ));
+                    conn.closing |= !keep_alive;
+                }
+            }
+        }
+    }
+}
+
+fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame) {
+    match frame {
+        wire::Frame::Infer { id, deadline_ms, features } => {
+            let deadline =
+                (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+            let request = InferenceRequest::new(features).with_id(id);
+            match inner.admit(request, deadline) {
+                AdmitOutcome::Admitted(slot) => {
+                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive: true });
+                }
+                AdmitOutcome::Shed => {
+                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Shed { id }));
+                }
+            }
+        }
+        other => {
+            // Clients may only send Infer frames.
+            inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let id = match other {
+                wire::Frame::Ok { id, .. }
+                | wire::Frame::Err { id, .. }
+                | wire::Frame::Shed { id }
+                | wire::Frame::Deadline { id } => id,
+                wire::Frame::Infer { .. } => unreachable!("matched above"),
+            };
+            conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Err {
+                id,
+                message: "clients may only send Infer frames".to_string(),
+            }));
+            conn.closing = true;
+        }
+    }
+}
+
+/// Turns terminal request slots into response bytes (binary replies go
+/// out in completion order; HTTP connections have one outstanding
+/// request by construction).
+fn build_responses(conn: &mut Conn, inner: &Inner) {
+    let is_http = conn.protocol == Protocol::Http;
+    let mut i = 0;
+    while i < conn.in_flight.len() {
+        let Some(resolution) = resolve(&conn.in_flight[i].slot) else {
+            i += 1;
+            continue;
+        };
+        let entry = conn.in_flight.remove(i);
+        match resolution {
+            Resolution::Response(response) => {
+                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                inner.record_service_sample(entry.slot.admitted_at.elapsed());
+                if is_http {
+                    let body = http::infer_ok_body(response.id, &response.output);
+                    conn.outbuf.extend_from_slice(&http::response(200, &body, entry.keep_alive));
+                } else {
+                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Ok {
+                        id: response.id,
+                        output: response.output,
+                    }));
+                }
+            }
+            Resolution::Failed(message) => {
+                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                if is_http {
+                    conn.outbuf.extend_from_slice(&http::error_response(
+                        500,
+                        &message,
+                        entry.keep_alive,
+                    ));
+                } else {
+                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Err {
+                        id: entry.wire_id,
+                        message,
+                    }));
+                }
+            }
+            Resolution::DeadlineExpired => {
+                // Counted by the dispatcher, which is the only writer
+                // of that state.
+                if is_http {
+                    conn.outbuf.extend_from_slice(&http::error_response(
+                        504,
+                        "deadline expired before dispatch",
+                        entry.keep_alive,
+                    ));
+                } else {
+                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Deadline {
+                        id: entry.wire_id,
+                    }));
+                }
+            }
+        }
+        if is_http && !entry.keep_alive {
+            conn.closing = true;
+        }
+    }
+}
+
+/// A running gateway: the listener, its IO threads, the dispatcher and
+/// the serving tier. Dropping the handle (or calling
+/// [`Gateway::shutdown`]) drains gracefully.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    io_threads: Vec<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Gateway {
+    /// Binds `addr` and starts serving `backend` (which must already be
+    /// `prepare`d).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn serve<A: ToSocketAddrs>(
+        backend: Arc<dyn Accelerator>,
+        addr: A,
+        cfg: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        assert!(cfg.io_threads > 0, "at least one IO thread is required");
+        assert!(cfg.admission_capacity > 0, "admission capacity must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let backend_name = backend.name();
+        let serving = ServingEngine::start(backend, cfg.serving);
+        let inner = Arc::new(Inner {
+            backend_name,
+            serving,
+            cfg,
+            admission: Mutex::new(VecDeque::new()),
+            admission_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            ewma_service_ns: AtomicU64::new(0),
+        });
+        let shared = Arc::new(IoShared {
+            inner: Arc::clone(&inner),
+            inboxes: (0..cfg.io_threads).map(|_| Mutex::new(Vec::new())).collect(),
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("igcn-gw-dispatch".to_string())
+                .spawn(move || dispatcher_loop(&inner))
+                .expect("dispatcher spawns")
+        };
+        let mut listener = Some(listener);
+        let io_threads = (0..cfg.io_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let listener = listener.take(); // thread 0 owns it
+                std::thread::Builder::new()
+                    .name(format!("igcn-gw-io-{i}"))
+                    .spawn(move || io_loop(i, listener, shared))
+                    .expect("io thread spawns")
+            })
+            .collect();
+        Ok(Gateway { inner, io_threads, dispatcher: Some(dispatcher), local_addr })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A consistent snapshot of the gateway and serving counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.inner.stats()
+    }
+
+    /// Graceful shutdown: stop accepting and parsing new requests,
+    /// dispatch everything already admitted, flush every in-flight
+    /// response, then join all threads and drain the serving tier.
+    /// Also performed by `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.admission_cv.notify_all();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            dispatcher.join().expect("dispatcher panicked");
+        }
+        for handle in self.io_threads.drain(..) {
+            handle.join().expect("io thread panicked");
+        }
+        // `self.inner` is dropped with the handle; the last reference
+        // drops the ServingEngine, whose Drop drains and joins its
+        // workers (the queue is already empty here).
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        if self.dispatcher.is_some() || !self.io_threads.is_empty() {
+            self.shutdown_and_join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("addr", &self.local_addr)
+            .field("backend", &self.inner.backend_name)
+            .field("cfg", &self.inner.cfg)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igcn_core::IGcnEngine;
+    use igcn_gnn::{GnnModel, ModelWeights};
+    use igcn_graph::generate::HubIslandConfig;
+    use igcn_graph::SparseFeatures;
+
+    const N: usize = 150;
+    const DIM: usize = 10;
+
+    fn backend() -> Arc<dyn Accelerator> {
+        let g = HubIslandConfig::new(N, 7).noise_fraction(0.02).generate(11);
+        let mut engine = IGcnEngine::builder(g.graph).build().unwrap();
+        let model = GnnModel::gcn(DIM, 8, 5);
+        let weights = ModelWeights::glorot(&model, 2);
+        engine.prepare(&model, &weights).unwrap();
+        Arc::new(engine)
+    }
+
+    fn features(seed: u64) -> SparseFeatures {
+        SparseFeatures::random(N, DIM, 0.3, seed)
+    }
+
+    #[test]
+    fn both_protocols_round_trip_bit_identically() {
+        let backend = backend();
+        let gateway =
+            Gateway::serve(Arc::clone(&backend), "127.0.0.1:0", GatewayConfig::default()).unwrap();
+        let addr = gateway.local_addr();
+        let direct = backend.infer(&InferenceRequest::new(features(3)).with_id(42)).unwrap();
+
+        let mut http = HttpClient::connect(addr).unwrap();
+        match http.infer(42, None, &features(3)).unwrap() {
+            InferReply::Output { id, output } => {
+                assert_eq!(id, 42);
+                assert_eq!(output, direct.output, "HTTP output must be bit-identical");
+            }
+            other => panic!("expected output, got {other:?}"),
+        }
+
+        let mut binary = BinaryClient::connect(addr).unwrap();
+        match binary.infer(43, None, &features(3)).unwrap() {
+            InferReply::Output { id, output } => {
+                assert_eq!(id, 43);
+                assert_eq!(output, direct.output, "binary output must be bit-identical");
+            }
+            other => panic!("expected output, got {other:?}"),
+        }
+
+        let stats = gateway.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.shed, 0);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let gateway = Gateway::serve(backend(), "127.0.0.1:0", GatewayConfig::default()).unwrap();
+        let mut client = HttpClient::connect(gateway.local_addr()).unwrap();
+        let (status, body) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        let doc = JsonValue::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+
+        let _ = client.infer(1, None, &features(1)).unwrap();
+        let (status, body) = client.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        let doc = JsonValue::parse(&body).unwrap();
+        let admitted = doc.get("gateway").and_then(|g| g.get("admitted")).and_then(|v| v.as_u64());
+        assert_eq!(admitted, Some(1));
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn http_protocol_errors_close_with_4xx() {
+        let gateway = Gateway::serve(backend(), "127.0.0.1:0", GatewayConfig::default()).unwrap();
+        let mut stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
+        stream.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap(); // server closes
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 404"), "got {text}");
+        assert_eq!(gateway.stats().protocol_errors, 1);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn corrupt_binary_frames_close_with_err() {
+        let gateway = Gateway::serve(backend(), "127.0.0.1:0", GatewayConfig::default()).unwrap();
+        let mut stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
+        let mut bad =
+            wire::encode(&wire::Frame::Infer { id: 1, deadline_ms: 0, features: features(1) });
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // breaks the checksum
+        stream.write_all(&bad).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        match wire::decode(&response) {
+            wire::Decoded::Frame(wire::Frame::Err { message, .. }, _) => {
+                assert!(message.contains("checksum"), "got {message}");
+            }
+            other => panic!("expected an Err frame, got {other:?}"),
+        }
+        assert_eq!(gateway.stats().protocol_errors, 1);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn from_env_reads_thread_knobs() {
+        // Serialised by being the only env test in this crate.
+        std::env::set_var("IGCN_IO_THREADS", "3");
+        std::env::set_var("IGCN_WORKER_THREADS", "5");
+        let cfg = GatewayConfig::from_env();
+        assert_eq!(cfg.io_threads, 3);
+        assert_eq!(cfg.serving.num_workers, 5);
+        std::env::set_var("IGCN_IO_THREADS", "zero");
+        std::env::set_var("IGCN_WORKER_THREADS", "0");
+        let cfg = GatewayConfig::from_env();
+        assert_eq!(cfg.io_threads, 1, "unparseable values are ignored");
+        assert_eq!(cfg.serving.num_workers, ServingConfig::default().num_workers);
+        std::env::remove_var("IGCN_IO_THREADS");
+        std::env::remove_var("IGCN_WORKER_THREADS");
+    }
+
+    #[test]
+    fn multiple_io_threads_serve_concurrent_clients() {
+        let backend = backend();
+        let cfg = GatewayConfig::default().with_io_threads(2);
+        let gateway = Gateway::serve(Arc::clone(&backend), "127.0.0.1:0", cfg).unwrap();
+        let addr = gateway.local_addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let backend = Arc::clone(&backend);
+                std::thread::spawn(move || {
+                    let seed = 20 + i;
+                    let direct = backend
+                        .infer(&InferenceRequest::new(features(seed)).with_id(seed))
+                        .unwrap();
+                    let mut client = if i % 2 == 0 {
+                        let mut c = HttpClient::connect(addr).unwrap();
+                        return match c.infer(seed, None, &features(seed)).unwrap() {
+                            InferReply::Output { output, .. } => output == direct.output,
+                            _ => false,
+                        };
+                    } else {
+                        BinaryClient::connect(addr).unwrap()
+                    };
+                    match client.infer(seed, None, &features(seed)).unwrap() {
+                        InferReply::Output { output, .. } => output == direct.output,
+                        _ => false,
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert!(handle.join().unwrap(), "a client saw a non-identical output");
+        }
+        assert_eq!(gateway.stats().completed, 4);
+        gateway.shutdown();
+    }
+}

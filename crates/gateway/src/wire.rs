@@ -1,0 +1,387 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Framing follows the `igcn-store` snapshot conventions — magic,
+//! little-endian version, little-endian payload length, FNV-1a-64
+//! checksum ([`igcn_store::snapshot::fnv1a64`]), then the payload:
+//!
+//! ```text
+//! magic(4) | version(u32 LE) | payload_len(u64 LE) | checksum(u64 LE) | payload
+//! ```
+//!
+//! The magic's first byte is `0x89` — not a valid leading byte of any
+//! HTTP method — which is how the gateway sniffs the protocol from the
+//! first byte of a fresh connection. The payload is
+//! `kind(u8) | id(u64 LE) | body`; see [`Frame`] for the per-kind body
+//! layouts. All floats travel as raw little-endian IEEE-754 bits, so
+//! the binary protocol is bit-exact by construction (NaN payloads
+//! included).
+
+use igcn_graph::SparseFeatures;
+use igcn_linalg::DenseMatrix;
+use igcn_store::snapshot::fnv1a64;
+
+/// Frame magic: `0x89` (never a printable HTTP byte) then `IGW`.
+pub const WIRE_MAGIC: [u8; 4] = [0x89, b'I', b'G', b'W'];
+
+/// Wire format version. Bumped on any layout change; the server
+/// rejects frames with a different version rather than guessing.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + payload_len + checksum.
+pub const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Hard cap on a frame payload (defence against corrupt or hostile
+/// length fields).
+pub const MAX_PAYLOAD: u64 = 256 << 20;
+
+const KIND_INFER: u8 = 1;
+const KIND_OK: u8 = 2;
+const KIND_ERR: u8 = 3;
+const KIND_SHED: u8 = 4;
+const KIND_DEADLINE: u8 = 5;
+
+/// One decoded frame of the binary protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: run one inference.
+    ///
+    /// Body: `deadline_ms(u64, 0 = none) | rows(u64) | cols(u64) |
+    /// nnz(u64) | row_ptr((rows+1)×u64) | col_idx(nnz×u32) |
+    /// values(nnz×f32)`.
+    Infer {
+        /// Correlation id, echoed on the response frame.
+        id: u64,
+        /// Relative deadline budget in milliseconds (0 = no deadline).
+        deadline_ms: u64,
+        /// The request's sparse feature matrix.
+        features: SparseFeatures,
+    },
+    /// Server → client: the inference output.
+    ///
+    /// Body: `rows(u64) | cols(u64) | data(rows·cols×f32)`.
+    Ok {
+        /// The request's correlation id.
+        id: u64,
+        /// Dense output, row-major.
+        output: DenseMatrix,
+    },
+    /// Server → client: the request failed (backend or protocol error).
+    ///
+    /// Body: `len(u64) | utf8 message`.
+    Err {
+        /// The request's correlation id (0 when the failure predates a
+        /// parsed id).
+        id: u64,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Server → client: load shed at admission — retry later.
+    Shed {
+        /// The request's correlation id.
+        id: u64,
+    },
+    /// Server → client: the deadline expired before dispatch.
+    Deadline {
+        /// The request's correlation id.
+        id: u64,
+    },
+}
+
+/// Outcome of [`decode`] on a byte buffer.
+#[derive(Debug)]
+pub enum Decoded {
+    /// The buffer does not yet hold a complete frame.
+    NeedMore,
+    /// One complete frame, and how many bytes it consumed.
+    Frame(Frame, usize),
+    /// The stream is unrecoverable (bad magic/version/checksum/layout);
+    /// the connection must be closed.
+    Corrupt(String),
+}
+
+/// Encodes one frame, header included.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Infer { id, deadline_ms, features } => {
+            payload.push(KIND_INFER);
+            put_u64(&mut payload, *id);
+            put_u64(&mut payload, *deadline_ms);
+            put_u64(&mut payload, features.num_rows() as u64);
+            put_u64(&mut payload, features.num_cols() as u64);
+            put_u64(&mut payload, features.nnz() as u64);
+            for &p in features.row_ptr() {
+                put_u64(&mut payload, p as u64);
+            }
+            for &c in features.col_idx() {
+                payload.extend_from_slice(&c.to_le_bytes());
+            }
+            for &v in features.values() {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Frame::Ok { id, output } => {
+            payload.push(KIND_OK);
+            put_u64(&mut payload, *id);
+            put_u64(&mut payload, output.rows() as u64);
+            put_u64(&mut payload, output.cols() as u64);
+            for &v in output.as_slice() {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Frame::Err { id, message } => {
+            payload.push(KIND_ERR);
+            put_u64(&mut payload, *id);
+            put_u64(&mut payload, message.len() as u64);
+            payload.extend_from_slice(message.as_bytes());
+        }
+        Frame::Shed { id } => {
+            payload.push(KIND_SHED);
+            put_u64(&mut payload, *id);
+        }
+        Frame::Deadline { id } => {
+            payload.push(KIND_DEADLINE);
+            put_u64(&mut payload, *id);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Tries to decode one frame from the front of `buf`.
+pub fn decode(buf: &[u8]) -> Decoded {
+    if buf.len() < HEADER_LEN {
+        return Decoded::NeedMore;
+    }
+    if buf[..4] != WIRE_MAGIC {
+        return Decoded::Corrupt("bad frame magic".to_string());
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if version != WIRE_VERSION {
+        return Decoded::Corrupt(format!(
+            "unsupported wire version {version} (this gateway speaks {WIRE_VERSION})"
+        ));
+    }
+    let payload_len = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Decoded::Corrupt(format!(
+            "frame payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+        ));
+    }
+    let checksum = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+    let total = HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Decoded::NeedMore;
+    }
+    let payload = &buf[HEADER_LEN..total];
+    if fnv1a64(payload) != checksum {
+        return Decoded::Corrupt("frame checksum mismatch".to_string());
+    }
+    match decode_payload(payload) {
+        Ok(frame) => Decoded::Frame(frame, total),
+        Err(msg) => Decoded::Corrupt(msg),
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Frame, String> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let kind = r.u8()?;
+    let id = r.u64()?;
+    let frame = match kind {
+        KIND_INFER => {
+            let deadline_ms = r.u64()?;
+            let rows = r.len_field("rows")?;
+            let cols = r.len_field("cols")?;
+            let nnz = r.len_field("nnz")?;
+            let mut row_ptr = Vec::with_capacity(rows + 1);
+            for _ in 0..=rows {
+                row_ptr.push(r.len_field("row_ptr entry")?);
+            }
+            let mut col_idx = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                col_idx.push(r.u32()?);
+            }
+            let mut values = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                values.push(f32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes")));
+            }
+            let features = SparseFeatures::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+                .map_err(|e| format!("invalid sparse features: {e}"))?;
+            Frame::Infer { id, deadline_ms, features }
+        }
+        KIND_OK => {
+            let rows = r.len_field("rows")?;
+            let cols = r.len_field("cols")?;
+            let n =
+                rows.checked_mul(cols).ok_or_else(|| "output rows×cols overflows".to_string())?;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(f32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes")));
+            }
+            Frame::Ok { id, output: DenseMatrix::from_vec(rows, cols, data) }
+        }
+        KIND_ERR => {
+            let len = r.len_field("message length")?;
+            let bytes = r.bytes(len)?;
+            let message = std::str::from_utf8(bytes)
+                .map_err(|_| "error message is not UTF-8".to_string())?
+                .to_string();
+            Frame::Err { id, message }
+        }
+        KIND_SHED => Frame::Shed { id },
+        KIND_DEADLINE => Frame::Deadline { id },
+        other => return Err(format!("unknown frame kind {other}")),
+    };
+    if r.pos != payload.len() {
+        return Err(format!(
+            "frame payload has {} trailing bytes after kind {kind}",
+            payload.len() - r.pos
+        ));
+    }
+    Ok(frame)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err("frame payload truncated".to_string());
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A u64 length/count field that must also fit the *remaining*
+    /// payload (a cheap plausibility bound that rejects hostile counts
+    /// before any allocation).
+    fn len_field(&mut self, what: &str) -> Result<usize, String> {
+        let v = self.u64()?;
+        if v > MAX_PAYLOAD {
+            return Err(format!("{what} of {v} is implausibly large"));
+        }
+        Ok(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features() -> SparseFeatures {
+        SparseFeatures::from_raw_parts(
+            3,
+            4,
+            vec![0, 2, 2, 3],
+            vec![0, 3, 1],
+            vec![1.5, -0.25, f32::MIN_POSITIVE],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_frame_kinds_round_trip() {
+        let frames = [
+            Frame::Infer { id: u64::MAX, deadline_ms: 250, features: features() },
+            Frame::Ok {
+                id: 7,
+                output: DenseMatrix::from_vec(2, 2, vec![0.1, -0.0, f32::NAN, 3.25]),
+            },
+            Frame::Err { id: 9, message: "backend error: späße".to_string() },
+            Frame::Shed { id: 1 },
+            Frame::Deadline { id: 2 },
+        ];
+        for frame in &frames {
+            let bytes = encode(frame);
+            match decode(&bytes) {
+                Decoded::Frame(decoded, consumed) => {
+                    assert_eq!(consumed, bytes.len());
+                    // NaN != NaN under PartialEq; compare bits instead.
+                    match (&decoded, frame) {
+                        (Frame::Ok { output: a, .. }, Frame::Ok { output: b, .. }) => {
+                            let bits = |m: &DenseMatrix| {
+                                m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                            };
+                            assert_eq!(bits(a), bits(b));
+                        }
+                        _ => assert_eq!(&decoded, frame),
+                    }
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_buffers_ask_for_more() {
+        let bytes = encode(&Frame::Shed { id: 3 });
+        for cut in 0..bytes.len() {
+            assert!(matches!(decode(&bytes[..cut]), Decoded::NeedMore), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bad_magic = encode(&Frame::Shed { id: 3 });
+        bad_magic[0] = b'G'; // looks like the start of "GET ..."
+        assert!(matches!(decode(&bad_magic), Decoded::Corrupt(_)));
+
+        let mut bad_version = encode(&Frame::Shed { id: 3 });
+        bad_version[4] = 0xFF;
+        assert!(matches!(decode(&bad_version), Decoded::Corrupt(_)));
+
+        let mut bad_payload = encode(&Frame::Err { id: 3, message: "x".to_string() });
+        let last = bad_payload.len() - 1;
+        bad_payload[last] ^= 0x01;
+        assert!(
+            matches!(decode(&bad_payload), Decoded::Corrupt(msg) if msg.contains("checksum")),
+            "flipped payload bit must fail the checksum"
+        );
+    }
+
+    #[test]
+    fn hostile_length_fields_are_rejected_before_allocation() {
+        let mut huge = encode(&Frame::Shed { id: 3 });
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode(&huge), Decoded::Corrupt(msg) if msg.contains("cap")));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_an_error() {
+        let mut payload = vec![KIND_SHED];
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        payload.push(0xAB); // stray byte
+        let mut out = Vec::new();
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        assert!(matches!(decode(&out), Decoded::Corrupt(msg) if msg.contains("trailing")));
+    }
+}

@@ -182,6 +182,10 @@ pub enum ServeError {
     /// The backend *panicked* while executing the micro-batch this
     /// request rode in; the worker caught the unwind and stayed alive.
     BackendPanicked,
+    /// [`ServingEngine::try_submit`] found the queue at capacity — the
+    /// non-blocking admission path's backpressure signal (the gateway
+    /// turns it into an HTTP 429 / binary `Shed` frame).
+    QueueFull,
 }
 
 impl fmt::Display for ServeError {
@@ -192,6 +196,7 @@ impl fmt::Display for ServeError {
             ServeError::BackendPanicked => {
                 write!(f, "backend panicked while executing the micro-batch")
             }
+            ServeError::QueueFull => write!(f, "serving queue is at capacity"),
         }
     }
 }
@@ -264,6 +269,30 @@ impl Ticket {
     pub fn is_ready(&self) -> bool {
         matches!(*self.slot.state.lock().expect("slot lock"), SlotState::Done(_))
     }
+
+    /// Redeems the ticket without blocking: the response if it is
+    /// ready, the ticket itself otherwise (poll again later). The
+    /// gateway's IO loops drive pending responses with this — they
+    /// must never park on a single request's condvar.
+    ///
+    /// # Errors
+    ///
+    /// The `Ok` payload carries the same error cases as
+    /// [`Ticket::wait`].
+    #[allow(clippy::result_large_err)] // Err *is* the ticket, by design
+    pub fn try_take(self) -> Result<Result<InferenceResponse, ServeError>, Ticket> {
+        let mut state = self.slot.state.lock().expect("slot lock");
+        match std::mem::replace(&mut *state, SlotState::Pending) {
+            SlotState::Done(result) => {
+                drop(state);
+                Ok(result)
+            }
+            SlotState::Pending => {
+                drop(state);
+                Err(self)
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -298,6 +327,26 @@ impl Shared {
             }
         }
     }
+}
+
+/// One consistent snapshot of the serving queue's counters, taken
+/// under a single lock acquisition by [`ServingEngine::queue_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests waiting in the queue right now.
+    pub depth: usize,
+    /// The configured queue capacity.
+    pub capacity: usize,
+    /// The configured worker count.
+    pub workers: usize,
+    /// Requests accepted since start.
+    pub submitted: u64,
+    /// Requests completed since start.
+    pub completed: u64,
+    /// Micro-batches executed since start.
+    pub batches_executed: u64,
+    /// Whether shutdown has begun.
+    pub shutting_down: bool,
 }
 
 /// A bounded-queue, multi-worker, micro-batching serving engine over
@@ -388,6 +437,31 @@ impl ServingEngine {
         Ok(Ticket { slot })
     }
 
+    /// Enqueues one request without blocking: where [`ServingEngine::submit`]
+    /// would wait for space, this returns [`ServeError::QueueFull`] so
+    /// the caller can shed load explicitly — the gateway's admission
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the queue is at capacity;
+    /// [`ServeError::ShuttingDown`] after shutdown has begun.
+    pub fn try_submit(&self, request: InferenceRequest) -> Result<Ticket, ServeError> {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        if state.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.cfg.queue_capacity {
+            return Err(ServeError::QueueFull);
+        }
+        let slot = ResponseSlot::new();
+        state.queue.push_back((request, Arc::clone(&slot)));
+        state.submitted += 1;
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(Ticket { slot })
+    }
+
     /// Enqueues a batch of requests (one ticket per request, in order).
     ///
     /// # Errors
@@ -424,6 +498,22 @@ impl ServingEngine {
     /// [`ServingEngine::start_with_checkpoint`].
     pub fn checkpoints_taken(&self) -> u64 {
         self.shared.state.lock().expect("queue lock").checkpoints_taken
+    }
+
+    /// One consistent snapshot of the queue counters (single lock
+    /// acquisition — the gateway's `/stats` endpoint and its
+    /// estimated-wait shedding both read this on the request path).
+    pub fn queue_stats(&self) -> QueueStats {
+        let state = self.shared.state.lock().expect("queue lock");
+        QueueStats {
+            depth: state.queue.len(),
+            capacity: self.shared.cfg.queue_capacity,
+            workers: self.shared.cfg.num_workers,
+            submitted: state.submitted,
+            completed: state.completed,
+            batches_executed: state.batches_executed,
+            shutting_down: state.shutting_down,
+        }
     }
 
     /// The served backend.
@@ -567,6 +657,7 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use igcn_core::accel::ExecReport;
     use igcn_core::IGcnEngine;
     use igcn_gnn::{GnnModel, ModelWeights};
     use igcn_graph::generate::HubIslandConfig;
@@ -659,6 +750,146 @@ mod tests {
             let response = ticket.wait().expect("queued request still answered");
             assert_eq!(response.id, i as u64);
         }
+    }
+
+    /// Wraps a backend so every `infer`/`infer_batch` blocks until the
+    /// test opens the gate — makes queue-occupancy tests deterministic.
+    struct Gated {
+        inner: Arc<dyn Accelerator>,
+        open: std::sync::Mutex<bool>,
+        changed: std::sync::Condvar,
+        entered: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Gated {
+        fn new(inner: Arc<dyn Accelerator>) -> Arc<Self> {
+            Arc::new(Gated {
+                inner,
+                open: std::sync::Mutex::new(false),
+                changed: std::sync::Condvar::new(),
+                entered: std::sync::atomic::AtomicUsize::new(0),
+            })
+        }
+
+        fn open_gate(&self) {
+            *self.open.lock().unwrap() = true;
+            self.changed.notify_all();
+        }
+
+        fn wait_entered(&self, n: usize) {
+            while self.entered.load(std::sync::atomic::Ordering::SeqCst) < n {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        fn block_until_open(&self) {
+            self.entered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.changed.wait(open).unwrap();
+            }
+        }
+    }
+
+    impl Accelerator for Gated {
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+        fn graph(&self) -> &igcn_graph::CsrGraph {
+            self.inner.graph()
+        }
+        fn prepare(
+            &mut self,
+            _: &igcn_gnn::GnnModel,
+            _: &igcn_gnn::ModelWeights,
+        ) -> Result<(), CoreError> {
+            Ok(())
+        }
+        fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
+            self.block_until_open();
+            self.inner.infer(request)
+        }
+        fn infer_batch(
+            &self,
+            requests: &[InferenceRequest],
+        ) -> Result<Vec<InferenceResponse>, CoreError> {
+            self.block_until_open();
+            self.inner.infer_batch(requests)
+        }
+        fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError> {
+            self.inner.report(request)
+        }
+    }
+
+    #[test]
+    fn try_submit_sheds_instead_of_blocking_and_stats_are_consistent() {
+        let gated = Gated::new(prepared_backend());
+        let cfg = ServingConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_max_batch(1)
+            .with_max_wait(Duration::ZERO);
+        let serving = ServingEngine::start(gated.clone() as Arc<dyn Accelerator>, cfg);
+
+        // r1 is picked up by the (gated) worker, r2 occupies the queue.
+        let t1 = serving.try_submit(request(1)).unwrap();
+        gated.wait_entered(1);
+        let t2 = serving.try_submit(request(2)).unwrap();
+        let stats = serving.queue_stats();
+        assert_eq!(stats.depth, 1);
+        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.submitted, 2);
+        assert!(!stats.shutting_down);
+
+        // The queue is full: try_submit must return immediately with
+        // QueueFull, not block like submit.
+        assert!(matches!(serving.try_submit(request(3)), Err(ServeError::QueueFull)));
+
+        gated.open_gate();
+        assert_eq!(t1.wait().unwrap().id, 1);
+        assert_eq!(t2.wait().unwrap().id, 2);
+        assert_eq!(serving.queue_stats().completed, 2);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn ticket_try_take_polls_without_blocking() {
+        let gated = Gated::new(prepared_backend());
+        let serving = ServingEngine::start(
+            gated.clone() as Arc<dyn Accelerator>,
+            ServingConfig::default().with_workers(1),
+        );
+        let mut ticket = serving.try_submit(request(7)).unwrap();
+        gated.wait_entered(1);
+        // Still executing: the ticket comes back unredeemed.
+        ticket = match ticket.try_take() {
+            Err(t) => t,
+            Ok(_) => panic!("response before the gate opened"),
+        };
+        gated.open_gate();
+        let response = loop {
+            match ticket.try_take() {
+                Ok(result) => break result.unwrap(),
+                Err(t) => {
+                    ticket = t;
+                    thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
+        assert_eq!(response.id, 7);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn try_submit_refuses_after_shutdown() {
+        let backend = prepared_backend();
+        let serving = ServingEngine::start(Arc::clone(&backend), ServingConfig::default());
+        let shared = Arc::clone(&serving.shared);
+        serving.shutdown();
+        let probe = ServingEngine { shared, workers: Vec::new() };
+        assert!(matches!(probe.try_submit(request(1)), Err(ServeError::ShuttingDown)));
+        assert!(probe.queue_stats().shutting_down);
     }
 
     #[test]

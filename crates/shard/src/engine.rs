@@ -109,6 +109,13 @@ impl Shard {
         self.num_nodes() - self.num_hubs()
     }
 
+    /// Local node ID → original global node ID: the map that gathers a
+    /// global feature matrix down to this shard's rows (halo hubs
+    /// first, then owned island nodes in schedule order).
+    pub fn gather_original(&self) -> &[u32] {
+        &self.gather_original
+    }
+
     /// Exported contribution slots (one per island×contacted-hub pair)
     /// — the shard's per-layer upstream halo traffic in rows.
     fn contrib_slots(&self) -> usize {
@@ -141,6 +148,24 @@ pub struct ShardUpdateReport {
     /// Islands placed on a different shard than their affinity
     /// preference (0 when the disturbed region re-formed in place).
     pub moved_islands: usize,
+    /// Post-commit structural stats per shard, in shard-index order.
+    pub shard_structure: Vec<ShardStructure>,
+}
+
+/// Structural shape of one shard after (re)assembly — what it owns,
+/// what it replicates, and what it exports per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStructure {
+    /// Owned (whole) islands.
+    pub islands: usize,
+    /// Owned island nodes — excludes the replicated halo.
+    pub owned_nodes: usize,
+    /// Replicated halo hubs: each one's XW row is recomputed (or, on a
+    /// real fleet, received) locally every layer.
+    pub halo_hubs: usize,
+    /// Exported per-(island, hub) contribution slots — the shard's
+    /// upstream halo rows per layer.
+    pub contrib_slots: usize,
 }
 
 /// Per-request, per-shard scratch of the layer driver.
@@ -156,6 +181,72 @@ struct ShardRunState {
     /// This shard's halo slice of the hub XW slab.
     hub_y: Vec<f32>,
     arena: IslandArena,
+}
+
+impl ShardRunState {
+    fn empty() -> ShardRunState {
+        ShardRunState {
+            gathered: SparseFeatures::from_raw_parts(0, 0, vec![0], Vec::new(), Vec::new())
+                .expect("empty features are well-formed"),
+            ping: DenseMatrix::zeros(0, 0),
+            pong: DenseMatrix::zeros(0, 0),
+            contrib: Vec::new(),
+            hub_y: Vec::new(),
+            arena: IslandArena::new(),
+        }
+    }
+}
+
+/// At most this many per-request state sets are pooled; concurrent
+/// requests beyond the cap allocate fresh and are dropped on return.
+const SHARD_STATE_POOL_CAP: usize = 8;
+
+/// Pools complete per-request shard-state sets (one [`ShardRunState`]
+/// per shard) so steady-state serving reallocates nothing per inference
+/// — the fleet counterpart of the single engine's `ScratchPool`. The
+/// driver re-gathers `gathered` and resizes every buffer in place each
+/// request, so pooled capacity is shape-agnostic; the pool is still
+/// cleared at every [`ShardedEngine::apply_update`] commit so stale
+/// capacity does not outlive a resharding. Shared (`Arc`) across engine
+/// clones, like the thread pool.
+struct ShardStatePool {
+    sets: Mutex<Vec<Vec<ShardRunState>>>,
+}
+
+impl ShardStatePool {
+    fn new() -> ShardStatePool {
+        ShardStatePool { sets: Mutex::new(Vec::new()) }
+    }
+
+    /// Takes a pooled set matching the fleet width, if any.
+    fn take(&self, num_shards: usize) -> Option<Vec<ShardRunState>> {
+        let mut sets = self.sets.lock().expect("shard state pool lock");
+        let at = sets.iter().position(|set| set.len() == num_shards)?;
+        Some(sets.swap_remove(at))
+    }
+
+    fn put(&self, set: Vec<ShardRunState>) {
+        let mut sets = self.sets.lock().expect("shard state pool lock");
+        if sets.len() < SHARD_STATE_POOL_CAP {
+            sets.push(set);
+        }
+    }
+
+    fn clear(&self) {
+        self.sets.lock().expect("shard state pool lock").clear();
+    }
+
+    #[cfg(test)]
+    fn pooled(&self) -> usize {
+        self.sets.lock().expect("shard state pool lock").len()
+    }
+}
+
+impl std::fmt::Debug for ShardStatePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pooled = self.sets.lock().map(|s| s.len()).unwrap_or(0);
+        f.debug_struct("ShardStatePool").field("pooled_sets", &pooled).finish()
+    }
 }
 
 /// K engines behind one [`Accelerator`]: island-aware sharding with
@@ -201,6 +292,7 @@ pub struct ShardedEngine {
     island_home: Vec<(u32, u32)>,
     prepared: Option<Prepared>,
     pool: Option<ThreadPool>,
+    state_pool: Arc<ShardStatePool>,
 }
 
 impl ShardedEngine {
@@ -265,6 +357,7 @@ impl ShardedEngine {
             island_home,
             prepared: None,
             pool,
+            state_pool: Arc::new(ShardStatePool::new()),
         };
         if let Some((m, w)) = model {
             engine.prepare_internal(&m, &w)?;
@@ -296,6 +389,12 @@ impl ShardedEngine {
     /// Number of shards in the fleet.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Pooled per-request state sets currently idle (test hook).
+    #[cfg(test)]
+    pub(crate) fn pooled_state_sets(&self) -> usize {
+        self.state_pool.pooled()
     }
 
     /// The shards, in shard-index order.
@@ -455,18 +554,16 @@ impl ShardedEngine {
         let hub_feats = features.gather_rows(&layout.gather_order()[..num_hubs]);
         let mut hub_acts = DenseMatrix::zeros(0, 0);
         let mut merge = HubMergeState::new();
+        // Pooled per-shard states: only `gathered` carries request data
+        // into a layer (everything else is cleared or fully overwritten
+        // per layer), so re-gathering it is all a reused set needs.
         let mut states: Vec<ShardRunState> = self
-            .shards
-            .iter()
-            .map(|shard| ShardRunState {
-                gathered: features.gather_rows(&shard.gather_original),
-                ping: DenseMatrix::zeros(0, 0),
-                pong: DenseMatrix::zeros(0, 0),
-                contrib: Vec::new(),
-                hub_y: Vec::new(),
-                arena: IslandArena::new(),
-            })
-            .collect();
+            .state_pool
+            .take(self.shards.len())
+            .unwrap_or_else(|| self.shards.iter().map(|_| ShardRunState::empty()).collect());
+        for (shard, st) in self.shards.iter().zip(states.iter_mut()) {
+            features.gather_rows_into(&shard.gather_original, &mut st.gathered);
+        }
 
         for (li, layer) in model.layers().iter().enumerate() {
             let w = weights.layer(li);
@@ -587,6 +684,7 @@ impl ShardedEngine {
                 out.row_mut(orig).copy_from_slice(st.ping.row(l));
             }
         }
+        self.state_pool.put(states);
         out
     }
 
@@ -690,6 +788,7 @@ impl ShardedEngine {
         self.layout = new_layout;
         self.shards = shards;
         self.island_home = island_home;
+        self.state_pool.clear();
         if let Some(p) = self.prepared.take() {
             let norm = p.model.normalization(self.layout.graph());
             let shard_norms: Vec<GcnNormalization> =
@@ -708,7 +807,53 @@ impl ShardedEngine {
             },
             resharded: changed.iter().enumerate().filter_map(|(s, &c)| c.then_some(s)).collect(),
             moved_islands,
+            shard_structure: self.shard_structure(),
         })
+    }
+
+    /// Structural stats per shard, in shard-index order — the same rows
+    /// [`apply_update`] reports after a commit.
+    ///
+    /// [`apply_update`]: ShardedEngine::apply_update
+    pub fn shard_structure(&self) -> Vec<ShardStructure> {
+        self.shards
+            .iter()
+            .map(|shard| ShardStructure {
+                islands: shard.islands.len(),
+                owned_nodes: shard.num_owned_nodes(),
+                halo_hubs: shard.num_hubs(),
+                contrib_slots: shard.contrib_slots(),
+            })
+            .collect()
+    }
+
+    /// Measured per-shard [`ExecStats`] for `request`, in shard-index
+    /// order: each shard's own engine accounts its local subgraph,
+    /// **including the replicated halo** — a hub contacted by islands
+    /// on `r` shards has its XW row recomputed (or, on a real fleet,
+    /// received) `r` times, and each of those recomputes shows up in
+    /// the owning shard's combination ops. The rows therefore do *not*
+    /// sum to [`Accelerator::report`]'s canonical logical cost: halo
+    /// replication adds work, while coordinator-only hub work (hubs no
+    /// island contacts, and inter-hub edges whose endpoints are never
+    /// co-replicated) lives outside every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPrepared`] before [`prepare`], or the request
+    /// validation failures of [`Accelerator::report`].
+    ///
+    /// [`prepare`]: Accelerator::prepare
+    pub fn shard_reports(&self, request: &InferenceRequest) -> Result<Vec<ExecStats>, CoreError> {
+        let prepared = self.prepared()?;
+        validate_request(&self.graph, &prepared.model, request)?;
+        self.shards
+            .iter()
+            .map(|shard| {
+                let local = request.features.gather_rows(&shard.gather_original);
+                shard.engine.account(&local, &prepared.model)
+            })
+            .collect()
     }
 
     // -----------------------------------------------------------------
@@ -865,6 +1010,7 @@ impl ShardedEngine {
             island_home,
             prepared: None,
             pool,
+            state_pool: Arc::new(ShardStatePool::new()),
         };
         if let Some((model, weights)) = &coordinator.model {
             engine.prepare_internal(model, weights)?;

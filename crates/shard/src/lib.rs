@@ -45,7 +45,7 @@ pub mod engine;
 pub mod error;
 pub mod sharder;
 
-pub use engine::{Shard, ShardUpdateReport, ShardedEngine};
+pub use engine::{Shard, ShardStructure, ShardUpdateReport, ShardedEngine};
 pub use error::ShardError;
 pub use sharder::{assign_islands, sharding_report, ShardAssignment, ShardingReport};
 
@@ -211,6 +211,104 @@ mod tests {
         std::fs::write(&shard0, &bytes).unwrap();
         assert!(ShardedEngine::from_manifest(&manifest_path, ExecConfig::default()).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pooled_states_are_reused_and_stay_bit_identical() {
+        let (graph, model, weights, x) = setup(21);
+        let reference = single(&graph, &model, &weights);
+        let sharded = ShardedEngine::from_engine(&reference, 3).unwrap();
+        assert_eq!(sharded.pooled_state_sets(), 0);
+
+        let expected = reference.infer(&InferenceRequest::new(x.clone()).with_id(0)).unwrap();
+        let first = sharded.infer(&InferenceRequest::new(x.clone()).with_id(0)).unwrap();
+        assert_eq!(first.output, expected.output);
+        assert_eq!(sharded.pooled_state_sets(), 1, "the state set returns to the pool");
+
+        // The second request reuses the pooled set (still one set idle
+        // afterwards, none leaked) and stays bit-identical — including
+        // with *different* features, which stress the re-gather.
+        let second = sharded.infer(&InferenceRequest::new(x.clone()).with_id(1)).unwrap();
+        assert_eq!(second.output, expected.output, "pooled re-run diverged");
+        assert_eq!(sharded.pooled_state_sets(), 1);
+
+        let y = SparseFeatures::random(N, DIM, 0.35, 99);
+        let expected_y = reference.infer(&InferenceRequest::new(y.clone())).unwrap();
+        let got_y = sharded.infer(&InferenceRequest::new(y)).unwrap();
+        assert_eq!(got_y.output, expected_y.output, "pooled run with new features diverged");
+        assert_eq!(sharded.pooled_state_sets(), 1);
+    }
+
+    #[test]
+    fn update_commit_clears_the_state_pool_and_reports_structure() {
+        let (graph, model, weights, x) = setup(23);
+        let reference = single(&graph, &model, &weights);
+        let mut sharded = ShardedEngine::from_engine(&reference, 2).unwrap();
+        sharded.infer(&InferenceRequest::new(x)).unwrap();
+        assert_eq!(sharded.pooled_state_sets(), 1);
+
+        let n = graph.num_nodes() as u32;
+        let hub = reference.partition().hubs()[0];
+        let update = GraphUpdate::add_edges(vec![(n, hub)]).with_num_nodes(n as usize + 1);
+        let report = sharded.apply_update(update).unwrap();
+        assert_eq!(sharded.pooled_state_sets(), 0, "commit must drop pooled capacity");
+
+        // The per-shard structural stats line up with the live fleet
+        // and partition the owned node set exactly.
+        assert_eq!(report.shard_structure, sharded.shard_structure());
+        assert_eq!(report.shard_structure.len(), sharded.num_shards());
+        let owned: usize = report.shard_structure.iter().map(|s| s.owned_nodes).sum();
+        assert_eq!(owned, sharded.partition().num_island_nodes());
+        let lp = sharded.layout().partition();
+        for (shard, s) in sharded.shards().iter().zip(&report.shard_structure) {
+            assert_eq!(s.islands, shard.islands().len());
+            assert_eq!(s.halo_hubs, shard.num_hubs());
+            let expected_slots: usize =
+                shard.islands().iter().map(|&gi| lp.islands()[gi as usize].hubs.len()).sum();
+            assert_eq!(s.contrib_slots, expected_slots);
+        }
+    }
+
+    #[test]
+    fn shard_reports_expose_the_replication_overhead() {
+        let (graph, model, weights, x) = setup(25);
+        let reference = single(&graph, &model, &weights);
+        let request = InferenceRequest::new(x);
+
+        let fleet = ShardedEngine::from_engine(&reference, 3).unwrap();
+        let per_shard = fleet.shard_reports(&request).unwrap();
+        assert_eq!(per_shard.len(), fleet.num_shards());
+        for stats in &per_shard {
+            assert!(stats.total_scalar_ops() > 0, "every shard does real work");
+        }
+
+        // Replicated hubs (hubs contacted from more than one shard)
+        // recompute their XW rows once per contacting shard, so total
+        // fleet *combination* work strictly exceeds the same fleet
+        // collapsed to one shard, where every contacted hub exists
+        // exactly once. (Total ops are not comparable — aggregation
+        // pruning sees different windows — but combination work counts
+        // rows, and replication adds rows.)
+        assert!(fleet.sharding_report().replicated_hub_slots > 0, "the cut replicates hubs");
+        let solo = ShardedEngine::from_engine(&reference, 1).unwrap();
+        let comb = |reports: &[igcn_core::stats::ExecStats]| -> u64 {
+            reports.iter().flat_map(|s| s.layers.iter()).map(|l| l.combination_ops.total()).sum()
+        };
+        let fleet_comb = comb(&per_shard);
+        let solo_comb = comb(&solo.shard_reports(&request).unwrap());
+        assert!(
+            fleet_comb > solo_comb,
+            "3-shard combination work {fleet_comb} should exceed 1-shard {solo_comb} by the halo \
+             XW recomputes"
+        );
+
+        // Unprepared fleets refuse.
+        let bare = IGcnEngine::builder(Arc::clone(&graph)).build().unwrap();
+        let unprepared = ShardedEngine::from_engine(&bare, 2).unwrap();
+        assert!(matches!(
+            unprepared.shard_reports(&request),
+            Err(igcn_core::CoreError::NotPrepared { .. })
+        ));
     }
 
     #[test]

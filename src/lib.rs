@@ -14,6 +14,7 @@
 //! | [`core`] | `igcn-core` | **the contribution**: Island Locator + Island Consumer, the owned [`core::IGcnEngine`] with parallel execution ([`core::ExecConfig`], [`core::IslandSchedule`]), and the unified [`core::accel::Accelerator`] serving trait |
 //! | [`serve`] | `igcn-serve` | [`serve::ServingEngine`]: bounded request queue + worker pool + micro-batching over any backend, with periodic/shutdown checkpointing |
 //! | [`shard`] | `igcn-shard` | [`shard::ShardedEngine`]: partitioned multi-engine serving — island-aware sharding, deterministic halo exchange, manifest-driven fleet boot |
+//! | [`gateway`] | `igcn-gateway` | [`gateway::Gateway`]: the hermetic TCP serving edge — HTTP/1.1 + length-prefixed binary on one listener, deadlines, load shedding |
 //! | [`store`] | `igcn-store` | persistent snapshots: versioned, checksummed binary engine images, the graph-update WAL, warm-start boot ([`store::from_snapshot`]) and the sharded-fleet [`store::ShardManifest`] |
 //! | [`sim`] | `igcn-sim` | cycle/energy/area models; [`sim::SimBackend`] lifts any simulator into the serving trait |
 //! | [`reorder`] | `igcn-reorder` | lightweight reordering baselines + quality metrics |
@@ -137,11 +138,13 @@
 //! `IslandLayout::gather_order`), intermediate layers stay in layout
 //! order, and only the final layer's rows are scattered back
 //! (`IslandLayout::forward`). The layout is a pure locality
-//! optimisation: outputs and `ExecStats` are **bit-identical** with it
-//! on or off (`ExecConfig::physical_layout`, on by default) and at
-//! every thread count — pinned by the conformance suite's
-//! layout × thread sweep, with the legacy index-indirect path kept
-//! behind `physical_layout = false` for A/B measurement.
+//! optimisation: outputs and `ExecStats` are **bit-identical** at every
+//! thread count — pinned by the conformance suite's thread sweep, with
+//! the sequential `IslandConsumer` kept as the layer-level oracle in
+//! the hotpath tests. (The legacy index-indirect *engine* path it used
+//! to power was retired in PR 6 after soaking since PR 3; its timings
+//! live on in `results/locality_baseline.json`, which `layer_hotpath`
+//! now reports against instead of a live A/B.)
 //!
 //! For a serving deployment, wrap any prepared backend in a
 //! [`serve::ServingEngine`]: a bounded request queue (backpressure) in
@@ -344,6 +347,91 @@
 //! end to end (cold start + bit-identity against the coordinator
 //! engine).
 //!
+//! # Network serving
+//!
+//! [`gateway`] (`igcn-gateway`) puts any prepared
+//! [`core::accel::Accelerator`] — a single engine, a warm-started
+//! snapshot, or a whole [`shard::ShardedEngine`] fleet — on a TCP
+//! socket, with **zero network dependencies**: the event loop is the
+//! vendored `crates/compat/mio` readiness poller over non-blocking
+//! `std::net` sockets.
+//!
+//! One listener speaks **two wire protocols**, sniffed from the first
+//! byte of each connection:
+//!
+//! * **HTTP/1.1** — `POST /v1/infer` with a JSON body
+//!   `{"id": u64, "deadline_ms": u64?, "features": {"rows": .., "cols": ..,
+//!   "indptr": [..], "indices": [..], "values": [..]}}`, answering
+//!   `200` with the dense output matrix (shortest-round-trip `f32`
+//!   encoding, so the JSON round trip is still bit-exact), plus
+//!   `GET /healthz` and `GET /stats` for probes and dashboards. Errors
+//!   map onto status codes: `429` shed, `504` deadline expired, `4xx`
+//!   malformed, `500` backend failure.
+//! * **Length-prefixed binary** ([`gateway::wire`]) — `magic | version |
+//!   kind | length | FNV-1a-64 checksum | payload` frames carrying raw
+//!   IEEE-754 bits, the same framing conventions as `igcn-store`
+//!   snapshots. Readers accept exactly [`gateway::wire::WIRE_VERSION`];
+//!   a corrupt or mis-versioned frame is answered with a typed `Err`
+//!   frame and the connection closes. The magic's first byte (`0x89`)
+//!   can never begin an HTTP request, which is what makes the sniff
+//!   unambiguous.
+//!
+//! Flow control is explicit and non-blocking at the edge:
+//!
+//! * **Bounded admission + load shedding** — a full admission queue
+//!   ([`gateway::GatewayConfig::admission_capacity`]) or an
+//!   EWMA-estimated wait beyond
+//!   [`gateway::GatewayConfig::max_estimated_wait`] sheds the request
+//!   *immediately* (HTTP `429` / binary `Shed`); IO threads never
+//!   block on a saturated backend.
+//! * **Deadline cancellation before dispatch** — `deadline_ms` is
+//!   re-checked at the moment the dispatcher would hand the request to
+//!   the serving tier; an expired request is answered (`504` / binary
+//!   `Deadline`) without ever reaching the backend.
+//! * **Graceful drain** — shutdown completes in-flight requests and
+//!   flushes their responses before the threads exit.
+//!
+//! Sizing knobs: `IGCN_IO_THREADS` (poll loops) and
+//! `IGCN_WORKER_THREADS` (serving workers behind the queue) override
+//! the defaults via [`gateway::GatewayConfig::from_env`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use igcn::core::{Accelerator, IGcnEngine};
+//! use igcn::gateway::{Gateway, GatewayConfig, HttpClient, InferReply};
+//! use igcn::gnn::{GnnModel, ModelWeights};
+//! use igcn::graph::generate::HubIslandConfig;
+//! use igcn::graph::SparseFeatures;
+//!
+//! let g = HubIslandConfig::new(300, 12).noise_fraction(0.0).generate(5);
+//! let mut engine = IGcnEngine::builder(g.graph).build()?;
+//! let model = GnnModel::gcn(16, 8, 4);
+//! let weights = ModelWeights::glorot(&model, 1);
+//! engine.prepare(&model, &weights)?;
+//!
+//! let gateway = Gateway::serve(
+//!     Arc::new(engine),
+//!     "127.0.0.1:0", // port 0: pick any free port
+//!     GatewayConfig::from_env(),
+//! )?;
+//! let mut client = HttpClient::connect(gateway.local_addr())?;
+//! let features = SparseFeatures::random(300, 16, 0.2, 9);
+//! match client.infer(1, Some(250), &features)? {
+//!     InferReply::Output { output, .. } => assert_eq!(output.rows(), 300),
+//!     other => panic!("request refused: {other:?}"),
+//! }
+//! gateway.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! `examples/gateway_client.rs` runs the full loop — boot, serve, query
+//! over both protocols, read `/stats` — and
+//! `cargo run --release -p igcn-bench --bin gateway_tool` serves a
+//! snapshot or shard manifest from the command line (`serve`) or drives
+//! a served gateway with an open-loop load generator (`load`),
+//! recording RPS and latency percentiles in
+//! `results/gateway_load.json`.
+//!
 //! # Migrating from the borrowed engine (pre-builder API)
 //!
 //! The old engine borrowed its graph and panicked on shape errors:
@@ -373,6 +461,7 @@
 
 pub use igcn_baselines as baselines;
 pub use igcn_core as core;
+pub use igcn_gateway as gateway;
 pub use igcn_gnn as gnn;
 pub use igcn_graph as graph;
 pub use igcn_linalg as linalg;

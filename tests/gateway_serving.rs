@@ -1,0 +1,373 @@
+//! End-to-end gateway serving: both wire protocols against both boot
+//! paths, plus the gateway's flow-control contracts.
+//!
+//! * **Bit-identity** — an inference answered over HTTP/1.1 and over
+//!   the binary framing must be bit-identical to a direct
+//!   [`Accelerator::infer`] call on the same backend, whether that
+//!   backend was warm-started from a single-engine snapshot or
+//!   cold-started as a sharded fleet from a [`ShardManifest`].
+//! * **Deadline cancellation** — a request whose deadline expires
+//!   while it waits in the admission queue is answered 504 / binary
+//!   `Deadline` and is *never dispatched* to the serving tier (the
+//!   `dispatched` counter proves it).
+//! * **Shed, not block** — when the worker, the serving queue, the
+//!   dispatcher and the admission queue are all occupied, a new
+//!   request is refused immediately (HTTP 429 / binary `Shed`)
+//!   instead of blocking the IO thread.
+//! * **Graceful drain** — `Gateway::shutdown` waits for in-flight
+//!   requests to complete and flushes their responses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use igcn_core::accel::{Accelerator, ExecReport, InferenceRequest, InferenceResponse};
+use igcn_core::{CoreError, ExecConfig, IGcnEngine};
+use igcn_gateway::{BinaryClient, Gateway, GatewayConfig, HttpClient, InferReply};
+use igcn_gnn::{GnnModel, ModelWeights};
+use igcn_graph::generate::HubIslandConfig;
+use igcn_graph::SparseFeatures;
+use igcn_serve::ServingConfig;
+use igcn_shard::ShardedEngine;
+use igcn_store::Snapshot;
+
+const N: usize = 220;
+const DIM: usize = 12;
+
+fn prepared_engine() -> IGcnEngine {
+    let data = HubIslandConfig::new(N, 9).noise_fraction(0.02).generate(31);
+    let mut engine =
+        IGcnEngine::builder(data.graph).build().expect("generated graphs are loop-free");
+    let model = GnnModel::gcn(DIM, 8, 6);
+    let weights = ModelWeights::glorot(&model, 7);
+    engine.prepare(&model, &weights).expect("weights match the model");
+    engine
+}
+
+fn features(seed: u64) -> SparseFeatures {
+    SparseFeatures::random(N, DIM, 0.25, seed)
+}
+
+/// A scratch directory under the target-adjacent tmp, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("igcn-gwtest-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the two clients against `gateway` and asserts both replies are
+/// bit-identical to `direct`.
+fn assert_both_protocols_match(gateway: &Gateway, direct: &InferenceResponse, seed: u64) {
+    let addr = gateway.local_addr();
+    let mut http = HttpClient::connect(addr).expect("http connect");
+    match http.infer(direct.id, None, &features(seed)).expect("http infer") {
+        InferReply::Output { id, output } => {
+            assert_eq!(id, direct.id);
+            assert_eq!(output, direct.output, "HTTP reply must be bit-identical");
+        }
+        other => panic!("expected an output over HTTP, got {other:?}"),
+    }
+    let mut binary = BinaryClient::connect(addr).expect("binary connect");
+    match binary.infer(direct.id, None, &features(seed)).expect("binary infer") {
+        InferReply::Output { id, output } => {
+            assert_eq!(id, direct.id);
+            assert_eq!(output, direct.output, "binary reply must be bit-identical");
+        }
+        other => panic!("expected an output over the wire, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_booted_backend_serves_both_protocols_bit_identically() {
+    let dir = TempDir::new("snap");
+    let engine = prepared_engine();
+    let snap_path = dir.0.join("engine.snap");
+    Snapshot::capture(&engine).write_with_checksum(&snap_path).expect("snapshot writes");
+
+    // Boot the serving backend from the snapshot alone.
+    let warmed = Snapshot::read(&snap_path)
+        .expect("snapshot reads")
+        .warm_engine(ExecConfig::default())
+        .expect("warm boot");
+    let direct = warmed.infer(&InferenceRequest::new(features(101)).with_id(5)).expect("prepared");
+
+    let gateway = Gateway::serve(Arc::new(warmed), "127.0.0.1:0", GatewayConfig::default())
+        .expect("gateway binds");
+    assert_both_protocols_match(&gateway, &direct, 101);
+    let stats = gateway.stats();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.dispatched, 2);
+    gateway.shutdown();
+}
+
+#[test]
+fn manifest_booted_fleet_serves_both_protocols_bit_identically() {
+    let dir = TempDir::new("fleet");
+    let engine = prepared_engine();
+    let direct = engine.infer(&InferenceRequest::new(features(202)).with_id(9)).expect("prepared");
+
+    // Partition into a 3-shard fleet, persist it, cold-start from the
+    // manifest alone, and serve the fleet through the gateway.
+    let sharded = ShardedEngine::from_engine(&engine, 3).expect("partitions");
+    let manifest = sharded.save_manifest(&dir.0, "fleet").expect("manifest writes");
+    drop(sharded);
+    let fleet =
+        ShardedEngine::from_manifest(&manifest, ExecConfig::default()).expect("fleet boots");
+
+    let gateway = Gateway::serve(Arc::new(fleet), "127.0.0.1:0", GatewayConfig::default())
+        .expect("gateway binds");
+    assert_both_protocols_match(&gateway, &direct, 202);
+    assert_eq!(gateway.stats().completed, 2);
+    gateway.shutdown();
+}
+
+/// An `Accelerator` whose `infer` blocks until the gate opens —
+/// deterministic worker occupancy for the flow-control tests.
+struct GatedBackend {
+    inner: IGcnEngine,
+    open: Mutex<bool>,
+    cv: Condvar,
+    infer_calls: AtomicU64,
+}
+
+impl GatedBackend {
+    fn new(inner: IGcnEngine) -> Arc<GatedBackend> {
+        Arc::new(GatedBackend {
+            inner,
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            infer_calls: AtomicU64::new(0),
+        })
+    }
+
+    fn open_gate(&self) {
+        *self.open.lock().expect("gate lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_for_gate(&self) {
+        let mut open = self.open.lock().expect("gate lock");
+        while !*open {
+            open = self.cv.wait(open).expect("gate lock");
+        }
+    }
+}
+
+impl Accelerator for GatedBackend {
+    fn name(&self) -> String {
+        format!("gated({})", self.inner.name())
+    }
+
+    fn graph(&self) -> &igcn_graph::CsrGraph {
+        self.inner.graph()
+    }
+
+    fn prepare(&mut self, model: &GnnModel, weights: &ModelWeights) -> Result<(), CoreError> {
+        self.inner.prepare(model, weights)
+    }
+
+    fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
+        self.infer_calls.fetch_add(1, Ordering::SeqCst);
+        self.wait_for_gate();
+        self.inner.infer(request)
+    }
+
+    fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError> {
+        self.inner.report(request)
+    }
+}
+
+/// A serving tier with exactly one slot everywhere: one worker, a
+/// one-deep serving queue, micro-batches of one.
+fn single_slot_serving() -> ServingConfig {
+    ServingConfig {
+        num_workers: 1,
+        queue_capacity: 1,
+        max_batch: 1,
+        max_wait: Duration::from_millis(1),
+    }
+}
+
+/// Sends one binary inference on its own thread and returns the reply.
+fn spawn_infer(
+    addr: std::net::SocketAddr,
+    id: u64,
+    deadline_ms: Option<u64>,
+    seed: u64,
+) -> std::thread::JoinHandle<InferReply> {
+    std::thread::spawn(move || {
+        let mut client = BinaryClient::connect(addr).expect("binary connect");
+        client.infer(id, deadline_ms, &features(seed)).expect("wire round-trip")
+    })
+}
+
+#[test]
+fn expired_deadlines_are_answered_without_dispatch() {
+    let backend = GatedBackend::new(prepared_engine());
+    let cfg = GatewayConfig::default().with_serving(single_slot_serving());
+    let gateway = Gateway::serve(
+        Arc::<GatedBackend>::clone(&backend) as Arc<dyn Accelerator>,
+        "127.0.0.1:0",
+        cfg,
+    )
+    .expect("gateway binds");
+    let addr = gateway.local_addr();
+    let settle = Duration::from_millis(150);
+
+    // Occupy every stage in order: A blocks in the worker, B fills the
+    // one-deep serving queue, C parks the dispatcher inside a blocking
+    // `submit`. D then sits in the admission queue with a deadline that
+    // expires long before the dispatcher could reach it.
+    let a = spawn_infer(addr, 1, None, 301);
+    while backend.infer_calls.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let b = spawn_infer(addr, 2, None, 302);
+    std::thread::sleep(settle);
+    let c = spawn_infer(addr, 3, None, 303);
+    std::thread::sleep(settle);
+    let d = spawn_infer(addr, 4, Some(50), 304);
+
+    // Let D's deadline lapse while the pipeline is still wedged, then
+    // release the backend.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        gateway.stats().dispatched,
+        2,
+        "only the worker's and the queued request may be dispatched while the gate is shut"
+    );
+    backend.open_gate();
+
+    for handle in [a, b, c] {
+        match handle.join().expect("client thread") {
+            InferReply::Output { .. } => {}
+            other => panic!("expected an output, got {other:?}"),
+        }
+    }
+    match d.join().expect("client thread") {
+        InferReply::DeadlineExceeded => {}
+        other => panic!("expected a deadline reply, got {other:?}"),
+    }
+
+    let stats = gateway.stats();
+    assert_eq!(stats.admitted, 4);
+    assert_eq!(stats.deadline_expired, 1, "exactly one request expired in the admission queue");
+    assert_eq!(stats.dispatched, 3, "the expired request never reached the serving tier");
+    assert_eq!(stats.completed, 3);
+    assert_eq!(backend.infer_calls.load(Ordering::SeqCst), 3, "the backend never saw request D");
+    gateway.shutdown();
+}
+
+#[test]
+fn saturated_gateway_sheds_immediately_instead_of_blocking() {
+    let backend = GatedBackend::new(prepared_engine());
+    let cfg = GatewayConfig::default()
+        .with_serving(single_slot_serving())
+        .with_admission_capacity(1)
+        .with_max_estimated_wait(Duration::from_secs(3600));
+    let gateway = Gateway::serve(
+        Arc::<GatedBackend>::clone(&backend) as Arc<dyn Accelerator>,
+        "127.0.0.1:0",
+        cfg,
+    )
+    .expect("gateway binds");
+    let addr = gateway.local_addr();
+    let settle = Duration::from_millis(150);
+
+    // Wedge the whole pipeline: worker, serving queue, dispatcher, and
+    // the one-slot admission queue.
+    let blocked: Vec<_> = (0..4)
+        .map(|i| {
+            let handle = spawn_infer(addr, 10 + i, None, 400 + i);
+            if i == 0 {
+                while backend.infer_calls.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            } else {
+                std::thread::sleep(settle);
+            }
+            handle
+        })
+        .collect();
+
+    // A full system answers instantly on both protocols — shed, not
+    // queued behind the wedge.
+    let t0 = Instant::now();
+    let mut binary = BinaryClient::connect(addr).expect("binary connect");
+    match binary.infer(99, None, &features(500)).expect("wire round-trip") {
+        InferReply::Shed => {}
+        other => panic!("expected a binary shed, got {other:?}"),
+    }
+    let mut http = HttpClient::connect(addr).expect("http connect");
+    match http.infer(98, None, &features(501)).expect("http round-trip") {
+        InferReply::Shed => {}
+        other => panic!("expected an HTTP 429, got {other:?}"),
+    }
+    let shed_latency = t0.elapsed();
+    assert!(
+        shed_latency < Duration::from_secs(2),
+        "shedding must not wait for the wedged pipeline (took {shed_latency:?})"
+    );
+    assert_eq!(gateway.stats().shed, 2);
+
+    backend.open_gate();
+    for handle in blocked {
+        match handle.join().expect("client thread") {
+            InferReply::Output { .. } => {}
+            other => panic!("expected an output after the gate opened, got {other:?}"),
+        }
+    }
+    assert_eq!(gateway.stats().completed, 4);
+    gateway.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let backend = GatedBackend::new(prepared_engine());
+    let direct_engine = prepared_engine();
+    let direct =
+        direct_engine.infer(&InferenceRequest::new(features(600)).with_id(77)).expect("prepared");
+    let cfg = GatewayConfig::default().with_serving(single_slot_serving());
+    let gateway = Gateway::serve(
+        Arc::<GatedBackend>::clone(&backend) as Arc<dyn Accelerator>,
+        "127.0.0.1:0",
+        cfg,
+    )
+    .expect("gateway binds");
+    let addr = gateway.local_addr();
+
+    // One request wedged in the worker, then shut down while it is
+    // still running; open the gate shortly after so the drain has
+    // something to wait for.
+    let client = spawn_infer(addr, 77, None, 600);
+    while backend.infer_calls.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let opener = {
+        let backend = Arc::clone(&backend);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(250));
+            backend.open_gate();
+        })
+    };
+    gateway.shutdown(); // blocks until the in-flight response is flushed
+
+    match client.join().expect("client thread") {
+        InferReply::Output { id, output } => {
+            assert_eq!(id, 77);
+            assert_eq!(output, direct.output, "drained reply must still be bit-identical");
+        }
+        other => panic!("expected the drained output, got {other:?}"),
+    }
+    opener.join().expect("opener thread");
+}

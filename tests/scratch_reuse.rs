@@ -59,10 +59,7 @@ fn repeated_infer_calls_do_not_grow_the_heap() {
     let graph = Arc::new(g.graph);
     let model = GnnModel::gcn(FEATURE_DIM, 8, 4);
     let weights = ModelWeights::glorot(&model, 3);
-    let mut engine = IGcnEngine::builder(Arc::clone(&graph))
-        .exec_config(ExecConfig::default().with_physical_layout(true))
-        .build()
-        .expect("loop-free graph");
+    let mut engine = IGcnEngine::builder(Arc::clone(&graph)).build().expect("loop-free graph");
     engine.prepare(&model, &weights).expect("weights match");
     let request = InferenceRequest::new(SparseFeatures::random(N, FEATURE_DIM, 0.3, 5));
 
@@ -115,7 +112,7 @@ fn repeated_infer_calls_do_not_grow_the_heap() {
     // claiming makes the number of worker arenas grown per call
     // schedule-dependent — but every transient buffer must be returned:
     // live bytes pin steady state.)
-    engine.set_exec_config(ExecConfig::default().with_threads(2).with_physical_layout(true));
+    engine.set_exec_config(ExecConfig::default().with_threads(2));
     // Warm-up: spawn-once pool worker stacks, pooled arenas, slab growth.
     drop(engine.infer(&request).expect("prepared engine"));
     drop(engine.infer(&request).expect("prepared engine"));
