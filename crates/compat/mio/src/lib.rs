@@ -16,7 +16,11 @@
 //! * a **stream** is readable when a nonblocking one-byte
 //!   `peek` returns `Ok(n)` — `n > 0` means buffered payload, `n == 0`
 //!   means EOF, and both must wake the consumer; `WouldBlock` means not
-//!   ready;
+//!   ready. An EOF is only readable until the owner's `read` has
+//!   returned `Ok(0)` once — a drained, peer-closed socket peeks
+//!   `Ok(0)` forever, and re-reporting it would busy-spin the poll
+//!   loop while responses to already-read requests are still in
+//!   flight;
 //! * a **listener** is readable when a nonblocking `accept` succeeds —
 //!   the accepted connection is stashed inside the wrapper, and the
 //!   caller's next [`net::TcpListener::accept`] returns it;
@@ -351,18 +355,34 @@ impl ListenerInner {
 pub struct StreamInner {
     id: usize,
     stream: std::net::TcpStream,
+    /// Set once an owner `read` returned `Ok(0)`: the EOF has been
+    /// delivered, so further peeks at it are no longer "readable" —
+    /// otherwise a half-closed connection with responses still in
+    /// flight would make every poll return immediately and busy-spin
+    /// the IO loop until the backend finishes.
+    eof_observed: std::sync::atomic::AtomicBool,
 }
 
 impl StreamInner {
     fn probe_readable(&self) -> bool {
         let mut probe = [0u8; 1];
         match self.stream.peek(&mut probe) {
-            // Data buffered (n > 0) or orderly EOF (n == 0).
+            // Orderly EOF: readable until the owner consumes it once.
+            Ok(0) => !self.eof_observed.load(Ordering::Relaxed),
+            // Buffered payload.
             Ok(_) => true,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
             // Real errors are readable: the owner's read reports them.
             Err(_) => true,
         }
+    }
+
+    fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = io::Read::read(&mut (&self.stream), buf)?;
+        if n == 0 && !buf.is_empty() {
+            self.eof_observed.store(true, Ordering::Relaxed);
+        }
+        Ok(n)
     }
 }
 
@@ -411,7 +431,12 @@ pub mod net {
             };
             stream.set_nonblocking(true)?;
             stream.set_nodelay(true).ok();
-            Ok((TcpStream { inner: Arc::new(StreamInner { id: next_source_id(), stream }) }, addr))
+            let inner = Arc::new(StreamInner {
+                id: next_source_id(),
+                stream,
+                eof_observed: std::sync::atomic::AtomicBool::new(false),
+            });
+            Ok((TcpStream { inner }, addr))
         }
 
         /// The bound local address.
@@ -469,13 +494,13 @@ pub mod net {
 
     impl Read for TcpStream {
         fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            (&self.inner.stream).read(buf)
+            self.inner.read(buf)
         }
     }
 
     impl Read for &TcpStream {
         fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            (&self.inner.stream).read(buf)
+            self.inner.read(buf)
         }
     }
 
@@ -580,6 +605,15 @@ mod tests {
                 }
             }
         }
+
+        // Once the EOF has been consumed, the stream must stop
+        // reporting readable — otherwise the poll loop busy-spins on
+        // half-closed connections (only writability remains).
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(
+            !events.iter().any(|e| e.token() == CLIENT && e.is_readable()),
+            "consumed EOF re-reported as readable"
+        );
         poll.registry().deregister(&mut server_side).unwrap();
         poll.registry().deregister(&mut listener).unwrap();
     }

@@ -3,7 +3,8 @@
 //!
 //! Only what the gateway serves is implemented: `POST /v1/infer`,
 //! `GET /healthz`, `GET /stats`, keep-alive, and `Content-Length`
-//! bodies (no chunked encoding, no `Expect: 100-continue`). Bodies are
+//! bodies (`Transfer-Encoding` is rejected with 501 rather than
+//! misread, no `Expect: 100-continue`). Bodies are
 //! JSON via the workspace's hand-rolled `serde::json`, whose `f32`
 //! encoding is shortest-round-trip and therefore **bit-exact**: an
 //! output matrix fetched over HTTP equals a direct
@@ -88,14 +89,23 @@ pub(crate) fn parse(buf: &[u8]) -> HttpParse {
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return HttpParse::Error { status: 505, message: format!("unsupported version {version}") };
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // HTTP/1.0 defaults to close, 1.1 to keep-alive.
     let mut keep_alive = version == "HTTP/1.1";
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let value = value.trim();
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            // No chunked decoding here: treating a chunked body as
+            // Content-Length 0 would desync the connection, so refuse
+            // outright.
+            return HttpParse::Error {
+                status: 501,
+                message: format!("Transfer-Encoding {value:?} is not supported"),
+            };
+        }
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = match value.parse() {
+            let n = match value.parse() {
                 Ok(n) => n,
                 Err(_) => {
                     return HttpParse::Error {
@@ -104,11 +114,19 @@ pub(crate) fn parse(buf: &[u8]) -> HttpParse {
                     }
                 }
             };
+            if content_length.is_some_and(|prev| prev != n) {
+                return HttpParse::Error {
+                    status: 400,
+                    message: "conflicting duplicate Content-Length headers".to_string(),
+                };
+            }
+            content_length = Some(n);
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close")
                 && (keep_alive || value.eq_ignore_ascii_case("keep-alive"));
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return HttpParse::Error {
             status: 413,
@@ -243,6 +261,7 @@ fn status_reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
@@ -353,6 +372,23 @@ mod tests {
             parse(b"GET /healthz HTTP/0.9\r\n\r\n"),
             HttpParse::Error { status: 505, .. }
         ));
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_not_misread() {
+        // A chunked body must not be silently treated as length 0 (its
+        // bytes would desync into the next request line).
+        let req = b"POST /v1/infer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\n{}\r\n0\r\n\r\n";
+        assert!(matches!(parse(req), HttpParse::Error { status: 501, .. }));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let req = b"POST /v1/infer HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n{}x";
+        assert!(matches!(parse(&req[..]), HttpParse::Error { status: 400, .. }));
+        // Agreeing duplicates stay accepted (lenient).
+        let req = b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 0\r\n\r\n";
+        assert!(matches!(parse(&req[..]), HttpParse::Request(HttpRequest::Healthz { .. }, _)));
     }
 
     #[test]

@@ -41,6 +41,14 @@
 //!   binary `Deadline` *without ever reaching the backend*. Once
 //!   dispatched, a request runs to completion (its response may arrive
 //!   after the deadline — the caller decides what to do with it).
+//! * **Connection buffers are bounded**: each connection's input and
+//!   output buffer is capped at [`GatewayConfig::max_conn_buffer`].
+//!   A peer that floods pipelined requests or stops draining
+//!   responses has its socket reads suspended (TCP backpressure)
+//!   until the buffers drain; a single request too large to ever fit
+//!   the budget is rejected (HTTP 413 / binary `Err`) and the
+//!   connection closed. One hostile or stalled client cannot grow
+//!   gateway memory without bound.
 //! * **Shutdown drains**: in-flight requests complete and their
 //!   responses are flushed before the threads exit; only unparsed
 //!   bytes are dropped.
@@ -81,6 +89,14 @@ pub struct GatewayConfig {
     /// pending requests / workers` exceeds this, new requests are shed
     /// even though the queue has space.
     pub max_estimated_wait: Duration,
+    /// Per-connection buffer budget in bytes, applied separately to
+    /// the input and the output buffer. A connection whose peer floods
+    /// pipelined requests or stops draining responses is paused (its
+    /// socket is no longer read, so TCP pushes back) once either
+    /// buffer exceeds this; an incomplete request that can never fit
+    /// is rejected and the connection closed. Must be at least the
+    /// largest request a client may legally send.
+    pub max_conn_buffer: usize,
     /// The serving tier behind the gateway (worker count, serving
     /// queue, micro-batch shape).
     pub serving: ServingConfig,
@@ -88,12 +104,14 @@ pub struct GatewayConfig {
 
 impl Default for GatewayConfig {
     /// One IO thread, a 128-deep admission queue, a 1 s estimated-wait
-    /// budget, default `ServingConfig`.
+    /// budget, a connection buffer budget sized to one maximal request
+    /// (body cap plus head slack), default `ServingConfig`.
     fn default() -> Self {
         GatewayConfig {
             io_threads: 1,
             admission_capacity: 128,
             max_estimated_wait: Duration::from_secs(1),
+            max_conn_buffer: http::MAX_BODY + http::MAX_HEAD,
             serving: ServingConfig::default(),
         }
     }
@@ -125,6 +143,17 @@ impl GatewayConfig {
     /// Sets the estimated-wait shedding budget.
     pub fn with_max_estimated_wait(mut self, budget: Duration) -> Self {
         self.max_estimated_wait = budget;
+        self
+    }
+
+    /// Sets the per-connection buffer budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn with_max_conn_buffer(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "connection buffer budget must be positive");
+        self.max_conn_buffer = bytes;
         self
     }
 
@@ -181,7 +210,8 @@ pub struct GatewayStats {
     pub admission_depth: usize,
     /// The configured admission capacity.
     pub admission_capacity: usize,
-    /// EWMA of admission-to-completion service time, microseconds.
+    /// EWMA of dispatch-to-completion service time (queue wait
+    /// excluded), microseconds.
     pub ewma_service_us: u64,
     /// The serving tier's queue counters.
     pub serving: QueueStats,
@@ -204,7 +234,7 @@ enum ReplyState {
     /// In the admission queue, not yet dispatched.
     Queued,
     /// Handed to the serving tier; the ticket is polled by the IO loop.
-    Dispatched(Ticket),
+    Dispatched { ticket: Ticket, dispatched_at: Instant },
     /// Terminal: the serving tier answered (or refused).
     Finished(Result<InferenceResponse, ServeError>),
     /// Terminal: the deadline expired before dispatch.
@@ -213,12 +243,16 @@ enum ReplyState {
 
 struct RequestSlot {
     state: Mutex<ReplyState>,
-    admitted_at: Instant,
 }
 
 /// A terminal outcome the IO loop turns into response bytes.
 enum Resolution {
-    Response(Box<InferenceResponse>),
+    /// `service` is the dispatch-to-completion time — pure service,
+    /// no admission-queue wait — so the EWMA it feeds composes with
+    /// the pending count in [`Inner::admit`] without double-counting
+    /// queueing delay. `None` when the request never went through the
+    /// dispatcher's happy path.
+    Response { response: Box<InferenceResponse>, service: Option<Duration> },
     Failed(String),
     DeadlineExpired,
 }
@@ -229,15 +263,20 @@ fn resolve(slot: &RequestSlot) -> Option<Resolution> {
     let mut state = slot.state.lock().expect("slot lock");
     match std::mem::replace(&mut *state, ReplyState::Queued) {
         ReplyState::Queued => None,
-        ReplyState::Dispatched(ticket) => match ticket.try_take() {
-            Ok(Ok(response)) => Some(Resolution::Response(Box::new(response))),
+        ReplyState::Dispatched { ticket, dispatched_at } => match ticket.try_take() {
+            Ok(Ok(response)) => Some(Resolution::Response {
+                response: Box::new(response),
+                service: Some(dispatched_at.elapsed()),
+            }),
             Ok(Err(e)) => Some(Resolution::Failed(e.to_string())),
             Err(ticket) => {
-                *state = ReplyState::Dispatched(ticket);
+                *state = ReplyState::Dispatched { ticket, dispatched_at };
                 None
             }
         },
-        ReplyState::Finished(Ok(response)) => Some(Resolution::Response(Box::new(response))),
+        ReplyState::Finished(Ok(response)) => {
+            Some(Resolution::Response { response: Box::new(response), service: None })
+        }
         ReplyState::Finished(Err(e)) => Some(Resolution::Failed(e.to_string())),
         ReplyState::DeadlineExpired => Some(Resolution::DeadlineExpired),
     }
@@ -262,9 +301,12 @@ struct Inner {
     admission_cv: Condvar,
     shutdown: AtomicBool,
     counters: Counters,
-    /// EWMA of admission→completion latency, nanoseconds (0 = no
-    /// sample yet). Plain store — a lost race only skews the estimate
-    /// by one sample.
+    /// EWMA of dispatch→completion service time, nanoseconds (0 = no
+    /// sample yet). Queue wait is deliberately excluded: `admit`
+    /// multiplies this by the pending depth, so a sample that already
+    /// contained queueing delay would double-count it and over-shed.
+    /// Plain store — a lost race only skews the estimate by one
+    /// sample.
     ewma_service_ns: AtomicU64,
 }
 
@@ -289,10 +331,7 @@ impl Inner {
                 return AdmitOutcome::Shed;
             }
         }
-        let slot = Arc::new(RequestSlot {
-            state: Mutex::new(ReplyState::Queued),
-            admitted_at: Instant::now(),
-        });
+        let slot = Arc::new(RequestSlot { state: Mutex::new(ReplyState::Queued) });
         queue.push_back(Job { request, deadline, slot: Arc::clone(&slot) });
         drop(queue);
         self.admission_cv.notify_one();
@@ -389,7 +428,8 @@ fn dispatcher_loop(inner: &Inner) {
         }
         match inner.serving.submit(job.request) {
             Ok(ticket) => {
-                *job.slot.state.lock().expect("slot lock") = ReplyState::Dispatched(ticket);
+                *job.slot.state.lock().expect("slot lock") =
+                    ReplyState::Dispatched { ticket, dispatched_at: Instant::now() };
                 inner.counters.dispatched.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => {
@@ -427,6 +467,10 @@ struct Conn {
     /// `Connection: close`).
     closing: bool,
     peer_closed: bool,
+    /// Reads are suspended (deregistered from the poll) because a
+    /// buffer is over [`GatewayConfig::max_conn_buffer`]; resumed once
+    /// both drain back under budget.
+    paused: bool,
 }
 
 impl Conn {
@@ -439,14 +483,18 @@ impl Conn {
             in_flight: Vec::new(),
             closing: false,
             peer_closed: false,
+            paused: false,
         }
     }
 
-    /// Drains the socket into `inbuf`. Returns `false` on a fatal
-    /// transport error (drop the connection).
-    fn fill(&mut self) -> bool {
+    /// Drains the socket into `inbuf`, stopping once the buffer is
+    /// over `budget` bytes (the caller then pauses reads until it
+    /// drains — unread bytes stay in the kernel buffer and TCP pushes
+    /// back on the peer). Returns `false` on a fatal transport error
+    /// (drop the connection).
+    fn fill(&mut self, budget: usize) -> bool {
         let mut chunk = [0u8; READ_CHUNK];
-        loop {
+        while self.inbuf.len() <= budget {
             match (&self.stream).read(&mut chunk) {
                 Ok(0) => {
                     self.peer_closed = true;
@@ -458,6 +506,7 @@ impl Conn {
                 Err(_) => return false,
             }
         }
+        true
     }
 
     /// Flushes `outbuf`. Returns `false` on a fatal transport error.
@@ -562,24 +611,73 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
                 continue;
             }
             if let Some(conn) = conns.get_mut(&id) {
-                if !conn.fill() {
+                if !conn.fill(inner.cfg.max_conn_buffer) {
                     dead.push(id);
                 }
             }
         }
 
         // Parse, admit, resolve and flush every connection each tick.
+        let buf_cap = inner.cfg.max_conn_buffer;
         for (&id, conn) in conns.iter_mut() {
             if dead.contains(&id) {
                 continue;
             }
-            if !shutting {
+            // Stop parsing (and therefore admitting) while the peer is
+            // not draining responses: a write backlog over budget must
+            // not keep growing from fresh pipelined requests.
+            if !shutting && conn.outbuf.len() <= buf_cap {
                 process_input(conn, inner);
             }
             build_responses(conn, inner);
             if !conn.flush() {
                 dead.push(id);
                 continue;
+            }
+            // An over-budget input buffer with nothing in flight and
+            // nothing left to flush holds one incomplete request that
+            // can never complete within the budget: reject it.
+            if conn.inbuf.len() > buf_cap
+                && conn.in_flight.is_empty()
+                && conn.outbuf.is_empty()
+                && !conn.closing
+            {
+                inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = if conn.protocol == Protocol::Binary {
+                    wire::encode(&wire::Frame::Err {
+                        id: 0,
+                        message: format!("frame exceeds the {buf_cap}-byte connection buffer"),
+                    })
+                } else {
+                    http::error_response(
+                        413,
+                        &format!("request exceeds the {buf_cap}-byte connection buffer"),
+                        false,
+                    )
+                };
+                conn.outbuf.extend_from_slice(&reply);
+                conn.closing = true;
+                conn.inbuf.clear();
+                if !conn.flush() {
+                    dead.push(id);
+                    continue;
+                }
+            }
+            // Backpressure: suspend socket reads while either buffer
+            // is over budget (the kernel buffer fills and TCP pushes
+            // back on the peer); resume once both drain.
+            let over = conn.inbuf.len() > buf_cap || conn.outbuf.len() > buf_cap;
+            if over != conn.paused {
+                if over {
+                    let _ = poll.registry().deregister(&mut conn.stream);
+                } else {
+                    let _ = poll.registry().register(
+                        &mut conn.stream,
+                        Token(id),
+                        Interest::READABLE,
+                    );
+                }
+                conn.paused = over;
             }
             let finished = (conn.closing || conn.peer_closed) && conn.idle();
             let forced = shutting && conn.idle();
@@ -748,9 +846,11 @@ fn build_responses(conn: &mut Conn, inner: &Inner) {
         };
         let entry = conn.in_flight.remove(i);
         match resolution {
-            Resolution::Response(response) => {
+            Resolution::Response { response, service } => {
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-                inner.record_service_sample(entry.slot.admitted_at.elapsed());
+                if let Some(service) = service {
+                    inner.record_service_sample(service);
+                }
                 if is_http {
                     let body = http::infer_ok_body(response.id, &response.output);
                     conn.outbuf.extend_from_slice(&http::response(200, &body, entry.keep_alive));
@@ -1018,6 +1118,119 @@ mod tests {
             other => panic!("expected an Err frame, got {other:?}"),
         }
         assert_eq!(gateway.stats().protocol_errors, 1);
+        gateway.shutdown();
+    }
+
+    /// Reads until one complete binary frame is buffered (tolerating a
+    /// reset once the server has closed its side).
+    fn read_one_frame(stream: &mut std::net::TcpStream) -> wire::Frame {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let wire::Decoded::Frame(frame, _) = wire::decode(&buf) {
+                return frame;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => panic!("connection ended before a frame arrived"),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_incomplete_requests_are_rejected_not_buffered() {
+        let cfg = GatewayConfig::default().with_max_conn_buffer(1024);
+        let gateway = Gateway::serve(backend(), "127.0.0.1:0", cfg).unwrap();
+
+        // Binary: a frame header declaring a 100 kB payload that will
+        // never fit the 1 kB budget, followed by enough bytes to cross
+        // it — the server must answer with Err and close, not buffer.
+        let mut stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&wire::WIRE_MAGIC);
+        bytes.extend_from_slice(&wire::WIRE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&100_000u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum (frame never completes)
+        bytes.resize(bytes.len() + 2048, 0);
+        stream.write_all(&bytes).unwrap();
+        match read_one_frame(&mut stream) {
+            wire::Frame::Err { message, .. } => {
+                assert!(message.contains("connection buffer"), "got {message}");
+            }
+            other => panic!("expected an Err frame, got {other:?}"),
+        }
+
+        // HTTP: same story, via Content-Length.
+        let mut stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
+        let mut bytes =
+            b"POST /v1/infer HTTP/1.1\r\nContent-Length: 100000\r\n\r\n".to_vec();
+        bytes.resize(bytes.len() + 2048, b'x');
+        stream.write_all(&bytes).unwrap();
+        let mut response = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => response.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 413"), "got {text}");
+
+        assert_eq!(gateway.stats().protocol_errors, 2);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn pipelined_flood_is_backpressured_within_the_buffer_budget() {
+        const REQS: u64 = 20;
+        let backend = backend();
+        let cfg = GatewayConfig::default().with_max_conn_buffer(16 << 10);
+        let gateway = Gateway::serve(Arc::clone(&backend), "127.0.0.1:0", cfg).unwrap();
+        let direct = backend.infer(&InferenceRequest::new(features(5)).with_id(0)).unwrap();
+
+        let stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
+        let mut blob = Vec::new();
+        for id in 0..REQS {
+            blob.extend_from_slice(&wire::encode(&wire::Frame::Infer {
+                id,
+                deadline_ms: 0,
+                features: features(5),
+            }));
+        }
+        assert!(blob.len() > 16 << 10, "the flood must exceed the buffer budget");
+        // Write from a second thread so the reply stream drains while
+        // the flood is still being pushed (a single-threaded
+        // write-then-read peer that never drains is exactly what the
+        // budget defends against).
+        let writer = {
+            let mut stream = stream.try_clone().unwrap();
+            std::thread::spawn(move || stream.write_all(&blob).unwrap())
+        };
+        let mut stream = stream;
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut got = std::collections::HashSet::new();
+        while got.len() < REQS as usize {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed before all replies arrived");
+            buf.extend_from_slice(&chunk[..n]);
+            loop {
+                match wire::decode(&buf) {
+                    wire::Decoded::Frame(wire::Frame::Ok { id, output }, used) => {
+                        assert_eq!(output, direct.output, "reply {id} must be bit-identical");
+                        assert!(got.insert(id), "duplicate reply for id {id}");
+                        buf.drain(..used);
+                    }
+                    wire::Decoded::Frame(other, _) => panic!("unexpected frame {other:?}"),
+                    wire::Decoded::NeedMore => break,
+                    wire::Decoded::Corrupt(msg) => panic!("corrupt reply stream: {msg}"),
+                }
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(gateway.stats().completed, REQS);
+        assert_eq!(gateway.stats().protocol_errors, 0);
         gateway.shutdown();
     }
 

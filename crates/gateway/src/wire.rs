@@ -195,12 +195,15 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, String> {
     let frame = match kind {
         KIND_INFER => {
             let deadline_ms = r.u64()?;
-            let rows = r.len_field("rows")?;
-            let cols = r.len_field("cols")?;
-            let nnz = r.len_field("nnz")?;
+            // rows drives (rows+1)×u64 row_ptr reads, nnz drives
+            // nnz×u32 + nnz×f32 reads: both bounded by what the
+            // payload actually holds before any reserve.
+            let rows = r.count_field("rows", 8)?;
+            let cols = r.dim_field("cols")?;
+            let nnz = r.count_field("nnz", 8)?;
             let mut row_ptr = Vec::with_capacity(rows + 1);
             for _ in 0..=rows {
-                row_ptr.push(r.len_field("row_ptr entry")?);
+                row_ptr.push(r.dim_field("row_ptr entry")?);
             }
             let mut col_idx = Vec::with_capacity(nnz);
             for _ in 0..nnz {
@@ -215,10 +218,16 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, String> {
             Frame::Infer { id, deadline_ms, features }
         }
         KIND_OK => {
-            let rows = r.len_field("rows")?;
-            let cols = r.len_field("cols")?;
+            let rows = r.dim_field("rows")?;
+            let cols = r.dim_field("cols")?;
             let n =
                 rows.checked_mul(cols).ok_or_else(|| "output rows×cols overflows".to_string())?;
+            if n > r.remaining() / 4 {
+                return Err(format!(
+                    "output of {rows}×{cols} f32s cannot fit the frame's remaining {} payload bytes",
+                    r.remaining()
+                ));
+            }
             let mut data = Vec::with_capacity(n);
             for _ in 0..n {
                 data.push(f32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes")));
@@ -226,7 +235,7 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, String> {
             Frame::Ok { id, output: DenseMatrix::from_vec(rows, cols, data) }
         }
         KIND_ERR => {
-            let len = r.len_field("message length")?;
+            let len = r.count_field("message length", 1)?;
             let bytes = r.bytes(len)?;
             let message = std::str::from_utf8(bytes)
                 .map_err(|_| "error message is not UTF-8".to_string())?
@@ -277,13 +286,32 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
     }
 
-    /// A u64 length/count field that must also fit the *remaining*
-    /// payload (a cheap plausibility bound that rejects hostile counts
-    /// before any allocation).
-    fn len_field(&mut self, what: &str) -> Result<usize, String> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// A u64 scalar (dimension or pointer) field that never drives an
+    /// allocation by itself: only sanity-capped so the `usize`
+    /// conversion and later arithmetic stay well-behaved.
+    fn dim_field(&mut self, what: &str) -> Result<usize, String> {
         let v = self.u64()?;
         if v > MAX_PAYLOAD {
             return Err(format!("{what} of {v} is implausibly large"));
+        }
+        Ok(v as usize)
+    }
+
+    /// A u64 element-count field whose elements occupy `elem_bytes`
+    /// each: rejected unless the *remaining* payload can actually hold
+    /// that many elements, so a hostile count in a tiny frame is
+    /// refused before any `Vec` is reserved.
+    fn count_field(&mut self, what: &str, elem_bytes: usize) -> Result<usize, String> {
+        let v = self.u64()?;
+        let remaining = self.remaining() as u64;
+        if v > remaining / elem_bytes as u64 {
+            return Err(format!(
+                "{what} of {v} cannot fit the frame's remaining {remaining} payload bytes"
+            ));
         }
         Ok(v as usize)
     }
@@ -364,6 +392,18 @@ mod tests {
         );
     }
 
+    /// Wraps a raw payload in a valid header (correct checksum), the
+    /// way a hostile client would.
+    fn raw_frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
     #[test]
     fn hostile_length_fields_are_rejected_before_allocation() {
         let mut huge = encode(&Frame::Shed { id: 3 });
@@ -372,16 +412,54 @@ mod tests {
     }
 
     #[test]
+    fn hostile_count_fields_are_rejected_before_allocation() {
+        // A tiny valid-checksum Ok frame claiming a 2^28×2^28 output:
+        // each dimension passes the MAX_PAYLOAD scalar cap, but the
+        // product must be refused against the (empty) remaining payload
+        // before any Vec is reserved.
+        let mut ok = vec![KIND_OK];
+        ok.extend_from_slice(&1u64.to_le_bytes()); // id
+        ok.extend_from_slice(&(1u64 << 28).to_le_bytes()); // rows
+        ok.extend_from_slice(&(1u64 << 28).to_le_bytes()); // cols
+        assert!(
+            matches!(decode(&raw_frame(&ok)), Decoded::Corrupt(msg) if msg.contains("cannot fit")),
+            "hostile Ok dimensions must be refused"
+        );
+
+        // An Infer frame claiming huge rows / nnz with no data behind
+        // them: the counts must be bounded by the remaining bytes.
+        for (rows, nnz) in [(1u64 << 28, 0u64), (0, 1 << 28)] {
+            let mut infer = vec![KIND_INFER];
+            infer.extend_from_slice(&1u64.to_le_bytes()); // id
+            infer.extend_from_slice(&0u64.to_le_bytes()); // deadline
+            infer.extend_from_slice(&rows.to_le_bytes());
+            infer.extend_from_slice(&4u64.to_le_bytes()); // cols
+            infer.extend_from_slice(&nnz.to_le_bytes());
+            assert!(
+                matches!(decode(&raw_frame(&infer)), Decoded::Corrupt(msg) if msg.contains("cannot fit")),
+                "hostile Infer counts (rows {rows}, nnz {nnz}) must be refused"
+            );
+        }
+
+        // An Err frame whose message length overruns the payload.
+        let mut err = vec![KIND_ERR];
+        err.extend_from_slice(&1u64.to_le_bytes()); // id
+        err.extend_from_slice(&(1u64 << 20).to_le_bytes()); // message len
+        err.push(b'x');
+        assert!(matches!(
+            decode(&raw_frame(&err)),
+            Decoded::Corrupt(msg) if msg.contains("cannot fit")
+        ));
+    }
+
+    #[test]
     fn trailing_payload_bytes_are_an_error() {
         let mut payload = vec![KIND_SHED];
         payload.extend_from_slice(&3u64.to_le_bytes());
         payload.push(0xAB); // stray byte
-        let mut out = Vec::new();
-        out.extend_from_slice(&WIRE_MAGIC);
-        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        assert!(matches!(decode(&out), Decoded::Corrupt(msg) if msg.contains("trailing")));
+        assert!(matches!(
+            decode(&raw_frame(&payload)),
+            Decoded::Corrupt(msg) if msg.contains("trailing")
+        ));
     }
 }

@@ -388,6 +388,13 @@
 //!   re-checked at the moment the dispatcher would hand the request to
 //!   the serving tier; an expired request is answered (`504` / binary
 //!   `Deadline`) without ever reaching the backend.
+//! * **Bounded connection buffers** — each connection's input and
+//!   output buffer is capped at
+//!   [`gateway::GatewayConfig::max_conn_buffer`]; a peer that floods
+//!   pipelined requests or stops draining responses is paused via TCP
+//!   backpressure (and a single over-budget request is rejected with
+//!   `413` / binary `Err`), so one hostile client cannot grow gateway
+//!   memory without bound.
 //! * **Graceful drain** — shutdown completes in-flight requests and
 //!   flushes their responses before the threads exit.
 //!
