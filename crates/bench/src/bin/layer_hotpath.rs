@@ -14,8 +14,15 @@
 //!
 //! * the timed inference produces **bit-identical** outputs and
 //!   `ExecStats` across repeated runs (the hot path is deterministic);
+//! * forcing the scalar kernel fallback (`igcn_simd::force_scalar`)
+//!   reproduces the SIMD run **bit for bit** — the end-to-end form of
+//!   the per-kernel identity contract;
 //! * the measured median is finite and non-zero (the harness really
 //!   timed work).
+//!
+//! The SIMD-vs-scalar wall-clock ratio is reported alongside the
+//! stored-legacy comparison (informational on a 1-CPU container, where
+//! the scalar loops auto-vectorize).
 //!
 //! Run: `cargo run --release -p igcn-bench --bin layer_hotpath -- --quick`
 
@@ -88,6 +95,17 @@ fn main() {
     assert_eq!(out_a, out_b, "hot-path outputs must be bit-identical across runs");
     assert_eq!(stats_a, stats_b, "hot-path ExecStats must be bit-identical across runs");
 
+    // Part 1b: the scalar-fallback kernels are the *same function* in
+    // different clothes — forcing them must not move a single bit of
+    // either the outputs or the statistics (the SIMD bit-identity
+    // contract, end to end rather than per kernel).
+    eprintln!("[hotpath] checking SIMD-vs-scalar bit-identity...");
+    igcn_simd::force_scalar(true);
+    let (out_s, stats_s) = engine.run(&x, &model, &weights).expect("scalar fallback runs");
+    igcn_simd::force_scalar(false);
+    assert_eq!(out_a, out_s, "scalar-fallback outputs must match the SIMD path bit for bit");
+    assert_eq!(stats_a, stats_s, "scalar-fallback ExecStats must match the SIMD path");
+
     let harness = if args.quick { BenchHarness::quick() } else { BenchHarness::new(1, 5) };
     eprintln!("[hotpath] timing hot path ({} warmup + {} iters)...", harness.warmup, harness.iters);
     let timed = harness.run(|| engine.run(&x, &model, &weights).expect("engine runs"));
@@ -96,12 +114,29 @@ fn main() {
     let layers_per_s = num_layers as f64 / median_s.max(1e-12);
     let vs_stored_legacy = baseline.legacy_median_s / median_s.max(1e-12);
 
+    // End-to-end A/B against the forced-scalar fallback. Reported, not
+    // asserted: on the 1-CPU container the scalar loops auto-vectorize,
+    // so this ratio hovers near 1x by construction (kernel_bench owns
+    // the per-kernel non-regression assert).
+    eprintln!("[hotpath] timing scalar fallback for the end-to-end A/B...");
+    igcn_simd::force_scalar(true);
+    let timed_scalar = harness.run(|| engine.run(&x, &model, &weights).expect("engine runs"));
+    igcn_simd::force_scalar(false);
+    let scalar_median_s = timed_scalar.median_s();
+    let simd_vs_scalar = scalar_median_s / median_s.max(1e-12);
+
     let mut table = Table::new(vec!["path", "median (ms)", "p95 (ms)", "layers/s"]);
     table.row(vec![
         "hot path (live)".to_string(),
         fmt_sig(median_s * 1e3),
         fmt_sig(p95_s * 1e3),
         fmt_sig(layers_per_s),
+    ]);
+    table.row(vec![
+        "scalar fallback (live)".to_string(),
+        fmt_sig(scalar_median_s * 1e3),
+        fmt_sig(timed_scalar.p95_s() * 1e3),
+        fmt_sig(num_layers as f64 / scalar_median_s.max(1e-12)),
     ]);
     table.row(vec![
         "legacy (stored)".to_string(),
@@ -114,6 +149,10 @@ fn main() {
     println!(
         "live median vs stored legacy median: {vs_stored_legacy:.3}x \
          (informational — baseline captured on a different run of this container class)"
+    );
+    println!(
+        "SIMD vs forced-scalar end to end: {simd_vs_scalar:.3}x \
+         (informational — scalar loops auto-vectorize on this container)"
     );
 
     let result = obj([
@@ -154,9 +193,12 @@ fn main() {
             ]),
         ),
         ("bit_identical_across_runs", JsonValue::Bool(true)),
+        ("bit_identical_simd_vs_scalar", JsonValue::Bool(true)),
         ("median_s", JsonValue::from_f64_rounded(median_s)),
         ("p95_s", JsonValue::from_f64_rounded(p95_s)),
         ("layers_per_s", JsonValue::from_f64_rounded(layers_per_s)),
+        ("scalar_median_s", JsonValue::from_f64_rounded(scalar_median_s)),
+        ("simd_vs_scalar", JsonValue::from_f64_rounded(simd_vs_scalar)),
         ("stored_legacy_median_s", JsonValue::from_f64_rounded(baseline.legacy_median_s)),
         ("vs_stored_legacy", JsonValue::from_f64_rounded(vs_stored_legacy)),
     ]);

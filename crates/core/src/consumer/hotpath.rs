@@ -73,6 +73,9 @@ pub struct LayerScratch {
     /// Prefix sums of per-island hub-contact counts: island `i`'s slots
     /// are `island_hub_offsets[i]..island_hub_offsets[i + 1]`.
     island_hub_offsets: Vec<usize>,
+    /// Per-row window decisions `(group, mask, decision)` recorded by
+    /// the scan's decision pass and replayed per feature-column block.
+    decisions: Vec<(u32, u64, WindowDecision)>,
 }
 
 impl LayerScratch {
@@ -96,6 +99,7 @@ impl LayerScratch {
             + self.wave.capacity() * 12
             + self.hub_contrib_slab.capacity() * 4
             + self.island_hub_offsets.capacity() * 8
+            + self.decisions.capacity() * std::mem::size_of::<(u32, u64, WindowDecision)>()
     }
 
     /// Prepares the hub slabs for a layer of `width`-wide vectors over
@@ -226,6 +230,29 @@ impl HubSlabs<'_> {
     }
 }
 
+/// Longest-processing-time assignment of `costs.len()` rows to
+/// `buckets` bins: rows are visited in descending cost (ties by
+/// ascending index) and each goes to the currently lightest bin (ties
+/// to the lowest bin index). Returns the bin of each row; every row is
+/// assigned to exactly one bin.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`.
+fn lpt_assign(costs: &[u64], buckets: usize) -> Vec<usize> {
+    assert!(buckets > 0, "at least one bucket is required");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut load = vec![0u64; buckets];
+    let mut assignment = vec![0usize; costs.len()];
+    for i in order {
+        let b = (0..buckets).min_by_key(|&b| load[b]).expect("buckets > 0");
+        assignment[i] = b;
+        load[b] += costs[i];
+    }
+    assignment
+}
+
 fn flush_wave(ring: &mut RingAccountant, wave: &mut Vec<(u32, u32, u32)>) {
     if !wave.is_empty() {
         ring.record_wave(wave);
@@ -262,8 +289,24 @@ fn materialize_group_flat(
     group_ready[g] = true;
 }
 
+/// Feature-column block width of the aggregation replay. The scan
+/// decides every window once, then replays the arithmetic one column
+/// block at a time so the accumulator slice and the touched `y` row
+/// segments of a block stay cache-resident across all of the row's
+/// windows (islands are contiguous rows, so the same `y` rows recur
+/// window after window).
+const SCAN_COL_BLOCK: usize = 64;
+
 /// The `1×k` window scan of one bitmap row into `acc` — shared by the
 /// sequential hot path and the parallel island workers.
+///
+/// Runs in two passes over `decisions` scratch: the decision pass
+/// charges statistics and materialises reused group sums in group
+/// order (the exact transitions of the historical fused loop), then
+/// the arithmetic replays per [`SCAN_COL_BLOCK`]-column window. Per
+/// output element the accumulation order over (window, member) is
+/// unchanged — column blocking only reorders across *independent*
+/// columns — so results are bit-identical to the fused form.
 #[allow(clippy::too_many_arguments)]
 fn scan_row(
     bm: &IslandBitmap,
@@ -276,41 +319,64 @@ fn scan_row(
     group_sums: &mut [f32],
     group_ready: &mut [bool],
     acc: &mut [f32],
+    decisions: &mut Vec<(u32, u64, WindowDecision)>,
     agg: &mut AggregationStats,
 ) {
     let dim = bm.dim();
     acc.fill(0.0);
+    decisions.clear();
     for g in 0..num_groups {
         let start = g * k;
         let size = k.min(dim - start);
         let mask = bm.window(r, start, k);
         agg.unpruned_vector_ops += mask.count_ones() as u64;
-        match WindowDecision::decide(mask, size, redundancy_removal) {
+        let decision = WindowDecision::decide(mask, size, redundancy_removal);
+        match decision {
             WindowDecision::Skip => {
                 agg.windows_skipped += 1;
             }
             WindowDecision::Direct { adds } => {
                 agg.windows_direct += 1;
                 agg.executed_vector_adds += adds as u64;
-                for b in 0..size {
-                    if (mask >> b) & 1 == 1 {
-                        axpy(acc, &y[(start + b) * width..][..width], 1.0);
-                    }
-                }
+                decisions.push((g as u32, mask, decision));
             }
             WindowDecision::Reuse { subs } => {
                 agg.windows_reused += 1;
                 agg.executed_vector_adds += 1;
                 agg.executed_vector_subs += subs as u64;
                 materialize_group_flat(group_sums, group_ready, y, g, k, dim, width, agg);
-                axpy(acc, &group_sums[g * width..][..width], 1.0);
-                for b in 0..size {
-                    if (mask >> b) & 1 == 0 {
-                        axpy(acc, &y[(start + b) * width..][..width], -1.0);
+                decisions.push((g as u32, mask, decision));
+            }
+        }
+    }
+    let mut col = 0;
+    while col < width {
+        let block = SCAN_COL_BLOCK.min(width - col);
+        for &(g, mask, decision) in decisions.iter() {
+            let g = g as usize;
+            let start = g * k;
+            let size = k.min(dim - start);
+            let dst = &mut acc[col..col + block];
+            match decision {
+                WindowDecision::Skip => {}
+                WindowDecision::Direct { .. } => {
+                    for b in 0..size {
+                        if (mask >> b) & 1 == 1 {
+                            axpy(dst, &y[(start + b) * width + col..][..block], 1.0);
+                        }
+                    }
+                }
+                WindowDecision::Reuse { .. } => {
+                    axpy(dst, &group_sums[g * width + col..][..block], 1.0);
+                    for b in 0..size {
+                        if (mask >> b) & 1 == 0 {
+                            axpy(dst, &y[(start + b) * width + col..][..block], -1.0);
+                        }
                     }
                 }
             }
         }
+        col += block;
     }
 }
 
@@ -392,6 +458,7 @@ pub fn execute_layer(
         hub_partial_ready,
         hub_bank,
         wave,
+        decisions,
         ..
     } = scratch;
     let mut hubs = HubSlabs {
@@ -433,6 +500,7 @@ pub fn execute_layer(
                 group_sums,
                 group_ready,
                 acc,
+                decisions,
                 out,
                 wave,
                 &mut stats,
@@ -461,6 +529,7 @@ fn run_island(
     group_sums: &mut [f32],
     group_ready: &mut [bool],
     acc: &mut [f32],
+    decisions: &mut Vec<(u32, u64, WindowDecision)>,
     out: &mut [f32],
     wave: &mut Vec<(u32, u32, u32)>,
     stats: &mut LayerExecStats,
@@ -515,6 +584,7 @@ fn run_island(
             group_sums,
             group_ready,
             &mut acc[..width],
+            decisions,
             &mut stats.aggregation,
         );
         let member = bm.member(r);
@@ -637,6 +707,7 @@ struct WorkerScratch {
     group_sums: Vec<f32>,
     group_ready: Vec<bool>,
     acc: Vec<f32>,
+    decisions: Vec<(u32, u64, WindowDecision)>,
 }
 
 /// The pure half of one island task: identical arithmetic to
@@ -718,6 +789,7 @@ fn run_island_direct(
             &mut ws.group_sums,
             &mut ws.group_ready,
             &mut ws.acc[..width],
+            &mut ws.decisions,
             &mut result.aggregation,
         );
         let member = bm.member(r);
@@ -786,18 +858,36 @@ pub fn execute_layer_parallel(
         wave,
         hub_contrib_slab,
         island_hub_offsets,
+        decisions: _,
     } = scratch;
 
-    // Phase 1: fill the hub XW slab in parallel (disjoint row chunks).
+    // Phase 1: fill the hub XW slab in parallel. A hub's combination
+    // cost is proportional to its feature-row nnz, which varies wildly
+    // across hubs, so rows are binned by cost — longest-processing-time
+    // assignment into one bucket per worker — instead of being chunked
+    // uniformly. Rows are independent (each worker owns disjoint slab
+    // rows), so the bucket shape cannot change a bit of any output; the
+    // inter-hub *replay* later in the layer keeps its legacy pinned
+    // order regardless of how the prefill was binned.
     {
         let slab = &mut hub_y[..num_hubs * width];
-        let chunk_rows = num_hubs.div_ceil(pool.threads() * 4).max(1);
+        let costs: Vec<u64> = (0..num_hubs as u32)
+            .map(|h| match input {
+                LayerInput::Sparse(x) => x.row_nnz(NodeId::new(h)) as u64 + 1,
+                LayerInput::Dense(_) => 1,
+            })
+            .collect();
+        let buckets = pool.threads().min(num_hubs).max(1);
+        let assignment = lpt_assign(&costs, buckets);
+        let mut bins: Vec<Vec<(u32, &mut [f32])>> = (0..buckets).map(|_| Vec::new()).collect();
+        for (h, row) in slab.chunks_mut(width).enumerate() {
+            bins[assignment[h]].push((h as u32, row));
+        }
         pool.scope(|s| {
-            for (ci, rows) in slab.chunks_mut(chunk_rows * width).enumerate() {
-                let base = (ci * chunk_rows) as u32;
+            for bin in bins {
                 s.spawn(move || {
-                    for (i, row) in rows.chunks_mut(width).enumerate() {
-                        combine_values_into(input, weights, norm, base + i as u32, row);
+                    for (h, row) in bin {
+                        combine_values_into(input, weights, norm, h, row);
                     }
                 });
             }
@@ -1176,7 +1266,11 @@ mod tests {
         for (noise, seed) in [(0.0, 1), (0.08, 2), (0.2, 3)] {
             let (g, p, x) = setup(220, noise, seed);
             let layout = IslandLayout::new(&g, &p, ConsumerConfig::default().num_pes);
-            for model in [GnnModel::gcn(12, 7, 3), GnnModel::gin(12, 7, 3, 0.3)] {
+            // 70-wide hidden layer exercises the multi-block column
+            // replay (width > SCAN_COL_BLOCK).
+            for model in
+                [GnnModel::gcn(12, 7, 3), GnnModel::gin(12, 7, 3, 0.3), GnnModel::gcn(12, 70, 3)]
+            {
                 let w = ModelWeights::glorot(&model, seed + 10);
                 let norm = model.normalization(&g);
                 let consumer = IslandConsumer::new(&g, &p, ConsumerConfig::default());
@@ -1416,6 +1510,28 @@ mod tests {
                 "scratch arenas must not grow after warm-up"
             );
         }
+    }
+
+    #[test]
+    fn lpt_assignment_covers_every_row_exactly_once() {
+        let costs = [9u64, 1, 7, 3, 3, 1, 8, 2];
+        let total: u64 = costs.iter().sum();
+        for buckets in [1usize, 2, 3, 8, 16] {
+            let a = lpt_assign(&costs, buckets);
+            assert_eq!(a.len(), costs.len());
+            assert!(a.iter().all(|&b| b < buckets), "{buckets} buckets: {a:?}");
+            let mut load = vec![0u64; buckets];
+            for (i, &b) in a.iter().enumerate() {
+                load[b] += costs[i];
+            }
+            // Coverage: the loads account for every row's cost exactly once.
+            assert_eq!(load.iter().sum::<u64>(), total, "{buckets} buckets");
+            // The LPT guarantee: no bin exceeds the ideal share by more
+            // than the largest single item.
+            let ideal = total.div_ceil(buckets as u64);
+            assert!(*load.iter().max().unwrap() <= ideal + 9, "{buckets} buckets: {load:?}");
+        }
+        assert!(lpt_assign(&[], 3).is_empty());
     }
 
     #[test]

@@ -372,14 +372,15 @@ pub fn combine_values_into(
 ) {
     assert_eq!(out.len(), weights.cols(), "combination output width mismatch");
     out.fill(0.0);
+    // Column-vectorized kernels: `axpy_f32` accumulates one weight row at a
+    // time in feature-column order with non-fused multiply + add, so the
+    // per-element accumulation order (and hence every bit of the result)
+    // matches the historical scalar loops on every SIMD backend.
     match input {
         LayerInput::Sparse(x) => {
             let (cols, vals) = x.row(NodeId::new(v));
             for (&c, &xv) in cols.iter().zip(vals) {
-                let w_row = weights.row(c as usize);
-                for (o, &w) in out.iter_mut().zip(w_row) {
-                    *o += xv * w;
-                }
+                igcn_linalg::kernels::axpy_f32(out, weights.row(c as usize), xv);
             }
         }
         LayerInput::Dense(m) => {
@@ -388,18 +389,13 @@ pub fn combine_values_into(
                 if xv == 0.0 {
                     continue;
                 }
-                let w_row = weights.row(c);
-                for (o, &w) in out.iter_mut().zip(w_row) {
-                    *o += xv * w;
-                }
+                igcn_linalg::kernels::axpy_f32(out, weights.row(c), xv);
             }
         }
     }
     let s = norm.in_scale(NodeId::new(v));
     if s != 1.0 {
-        for o in out.iter_mut() {
-            *o *= s;
-        }
+        igcn_linalg::kernels::scale_f32(out, s);
     }
 }
 
@@ -602,11 +598,12 @@ fn materialize_group(
     group_sums[g] = Some(sum);
 }
 
+/// `acc += alpha · x` over the SIMD backend — bit-identical to the scalar
+/// loop `*a += alpha * v` because the kernel uses non-fused multiply + add
+/// on independent lanes (see `igcn_simd`).
 #[inline]
 pub(crate) fn axpy(acc: &mut [f32], x: &[f32], alpha: f32) {
-    for (a, &v) in acc.iter_mut().zip(x) {
-        *a += alpha * v;
-    }
+    igcn_linalg::kernels::axpy_f32(acc, x, alpha);
 }
 
 // ---------------------------------------------------------------------

@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::{CsrGraph, NodeId, SparseFeatures};
-use igcn_linalg::{DenseMatrix, GcnNormalization};
+use igcn_linalg::{DenseMatrix, GcnNormalization, QuantizedFeatures};
 use threadpool::ThreadPool;
 
 use crate::accel::{
@@ -31,6 +31,9 @@ struct ExecScratch {
     features: SparseFeatures,
     ping: DenseMatrix,
     pong: DenseMatrix,
+    /// Int8 feature staging of the quantized path
+    /// (`ExecConfig::quantized_features`); empty otherwise.
+    quant: QuantizedFeatures,
 }
 
 impl Default for ExecScratch {
@@ -40,6 +43,7 @@ impl Default for ExecScratch {
             features: SparseFeatures::from_rows(0, 0, Vec::new()),
             ping: DenseMatrix::zeros(0, 0),
             pong: DenseMatrix::zeros(0, 0),
+            quant: QuantizedFeatures::default(),
         }
     }
 }
@@ -486,8 +490,23 @@ impl IGcnEngine {
         stats.occupancy = layout.schedule().occupancy(pool.map_or(1, ThreadPool::threads));
 
         let mut scratch = self.scratch.take();
-        let ExecScratch { layer: layer_scratch, features: gathered, ping, pong } = &mut scratch;
-        features.gather_rows_into(layout.gather_order(), gathered);
+        let ExecScratch { layer: layer_scratch, features: gathered, ping, pong, quant } =
+            &mut scratch;
+        if self.exec_cfg.quantized_features {
+            // Int8 feature path: quantize, then gather *dequantized*
+            // rows so every downstream kernel still accumulates in f32.
+            // The CSR structure is preserved bit for bit, so the
+            // statistics (and `account`) are unaffected; only the
+            // values carry the documented bounded error.
+            quant.quantize_from(features);
+            debug_assert!(
+                quant.max_abs_error(features) <= quant.error_bound(),
+                "quantization error exceeds the documented bound"
+            );
+            quant.gather_rows_into(layout.gather_order(), gathered);
+        } else {
+            features.gather_rows_into(layout.gather_order(), gathered);
+        }
         let mut src: &mut DenseMatrix = ping;
         let mut dst: &mut DenseMatrix = pong;
         for (i, layer) in model.layers().iter().enumerate() {
@@ -1053,6 +1072,47 @@ mod tests {
             run_stats.occupancy.total_busy(),
             run_stats.occupancy.worker_busy_cycles.iter().sum::<u64>()
         );
+    }
+
+    #[test]
+    fn quantized_feature_path_is_bounded_and_stats_exact() {
+        let (g, x) = engine_setup(220, 0.05, 11);
+        let model = GnnModel::gcn(10, 8, 4);
+        let w = ModelWeights::glorot(&model, 14);
+        let exact_engine = IGcnEngine::builder(g.clone()).build().unwrap();
+        let (exact, exact_stats) = exact_engine.run(&x, &model, &w).unwrap();
+
+        let qengine = IGcnEngine::builder(g)
+            .exec_config(ExecConfig::default().with_quantized_features(true))
+            .build()
+            .unwrap();
+        let (qout, qstats) = qengine.run(&x, &model, &w).unwrap();
+
+        // Quantization preserves the CSR structure bit for bit, so every
+        // statistic — and the value-free `account` twin — is unchanged.
+        assert_eq!(qstats, exact_stats, "quantization must not move a single statistic");
+        assert_eq!(qengine.account(&x, &model).unwrap(), qstats);
+
+        // Deterministic: a second quantized run is bit-identical.
+        let (qout2, _) = qengine.run(&x, &model, &w).unwrap();
+        assert_eq!(qout, qout2);
+
+        // The values carry a bounded error. The per-value input bound is
+        // `max_scale/2` ≤ 0.004 for these [0, 1) features; three GCN
+        // layers of glorot weights and degree-normalised aggregation
+        // amplify it by far less than 25× on this graph, so 0.1 is a
+        // comfortable ceiling — while exact equality would mean the knob
+        // did nothing.
+        let input_bound = igcn_linalg::QuantizedFeatures::quantize(&x).error_bound();
+        assert!(input_bound <= 0.004, "input bound {input_bound} implausibly loose");
+        assert_ne!(qout, exact, "quantized path produced bit-identical outputs");
+        let worst = qout
+            .as_slice()
+            .iter()
+            .zip(exact.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst <= 0.1, "quantized output diverged by {worst}");
     }
 
     #[test]

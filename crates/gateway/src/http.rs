@@ -378,7 +378,8 @@ mod tests {
     fn transfer_encoding_is_rejected_not_misread() {
         // A chunked body must not be silently treated as length 0 (its
         // bytes would desync into the next request line).
-        let req = b"POST /v1/infer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\n{}\r\n0\r\n\r\n";
+        let req =
+            b"POST /v1/infer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\n{}\r\n0\r\n\r\n";
         assert!(matches!(parse(req), HttpParse::Error { status: 501, .. }));
     }
 

@@ -252,7 +252,10 @@ enum Resolution {
     /// the pending count in [`Inner::admit`] without double-counting
     /// queueing delay. `None` when the request never went through the
     /// dispatcher's happy path.
-    Response { response: Box<InferenceResponse>, service: Option<Duration> },
+    Response {
+        response: Box<InferenceResponse>,
+        service: Option<Duration>,
+    },
     Failed(String),
     DeadlineExpired,
 }
@@ -671,11 +674,8 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
                 if over {
                     let _ = poll.registry().deregister(&mut conn.stream);
                 } else {
-                    let _ = poll.registry().register(
-                        &mut conn.stream,
-                        Token(id),
-                        Interest::READABLE,
-                    );
+                    let _ =
+                        poll.registry().register(&mut conn.stream, Token(id), Interest::READABLE);
                 }
                 conn.paused = over;
             }
@@ -1162,8 +1162,7 @@ mod tests {
 
         // HTTP: same story, via Content-Length.
         let mut stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
-        let mut bytes =
-            b"POST /v1/infer HTTP/1.1\r\nContent-Length: 100000\r\n\r\n".to_vec();
+        let mut bytes = b"POST /v1/infer HTTP/1.1\r\nContent-Length: 100000\r\n\r\n".to_vec();
         bytes.resize(bytes.len() + 2048, b'x');
         stream.write_all(&bytes).unwrap();
         let mut response = Vec::new();

@@ -120,12 +120,57 @@ impl DenseMatrix {
         self.data
     }
 
-    /// Dense-dense product `self × rhs`.
+    /// Dense-dense product `self × rhs` through the cache-blocked SIMD
+    /// GEMM ([`crate::kernels::gemm_blocked_into`]).
+    ///
+    /// Bit-identical to the historical branchy triple loop for finite
+    /// operands: the old `a == 0.0` skip only elided `±0.0` products,
+    /// which can never change an accumulator's bits (pinned by
+    /// `matmul_agrees_with_sparse_aware_bitwise`). Inputs with
+    /// infinities or NaNs in the *rhs* rows behind a zero lhs entry
+    /// should use [`DenseMatrix::matmul_sparse_aware`], which preserves
+    /// the skip.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Allocation-free `out = self × rhs`: resizes `out` in place
+    /// (reusing its buffer at steady state — e.g. an engine scratch
+    /// slab) and runs the cache-blocked SIMD GEMM into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        out.resize_in_place(self.rows, rhs.cols);
+        crate::kernels::gemm_blocked_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Sparse-aware dense product: the historical scalar triple loop
+    /// with the `a == 0.0` row-entry skip. Same bits as
+    /// [`DenseMatrix::matmul`] for finite operands (zero products never
+    /// flip accumulator bits); prefer it only when the lhs is mostly
+    /// zeros **and** the rhs may carry non-finite values the skip must
+    /// shield.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_sparse_aware(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
         let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
         for r in 0..self.rows {
@@ -144,15 +189,21 @@ impl DenseMatrix {
         out
     }
 
-    /// Scales every element of row `r` by `s`.
+    /// Scales every element of row `r` by `s` (SIMD elementwise —
+    /// bit-identical to the scalar loop).
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
     pub fn scale_row(&mut self, r: usize, s: f32) {
-        for v in self.row_mut(r) {
-            *v *= s;
-        }
+        crate::kernels::scale_f32(self.row_mut(r), s);
+    }
+
+    /// Scales every element of the whole matrix by `s` (SIMD
+    /// elementwise) — the vectorized fast path for what
+    /// [`DenseMatrix::map_inplace`] with a multiply closure would do.
+    pub fn scale_inplace(&mut self, s: f32) {
+        crate::kernels::scale_f32(&mut self.data, s);
     }
 
     /// Applies `f` to every element in place.
@@ -235,5 +286,75 @@ mod tests {
     #[should_panic(expected = "buffer length mismatch")]
     fn from_vec_wrong_len_panics() {
         let _ = DenseMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    fn pseudo_matrix(seed: u64, rows: usize, cols: usize, zero_every: u64) -> DenseMatrix {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if zero_every != 0 && s.is_multiple_of(zero_every) {
+                    0.0
+                } else {
+                    ((s >> 11) as f32 / (1u64 << 53) as f32) * 2.0 - 1.0
+                }
+            })
+            .collect();
+        DenseMatrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn matmul_agrees_with_sparse_aware_bitwise() {
+        // The zero-skip regression pin: the blocked SIMD path and the
+        // historical branchy loop must agree bit for bit, including on
+        // inputs riddled with exact zeros and with widths off the
+        // 8-lane grid.
+        for &(m, k, n, zero_every) in
+            &[(5, 7, 9, 3), (8, 16, 8, 2), (1, 1, 1, 0), (13, 300, 19, 4), (4, 32, 33, 5)]
+        {
+            let a = pseudo_matrix(m as u64 * 31 + n as u64, m, k, zero_every);
+            let b = pseudo_matrix(k as u64 * 17 + 5, k, n, 0);
+            let fast = a.matmul(&b);
+            let skip = a.matmul_sparse_aware(&b);
+            assert_eq!(fast.rows(), skip.rows());
+            assert_eq!(fast.cols(), skip.cols());
+            for (x, y) in fast.as_slice().iter().zip(skip.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} zero_every={zero_every}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = pseudo_matrix(1, 6, 10, 3);
+        let b = pseudo_matrix(2, 10, 4, 0);
+        let mut out = DenseMatrix::zeros(6, 4);
+        let cap = out.data.capacity();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data.capacity(), cap, "steady-state matmul_into must not reallocate");
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn scale_row_matches_scalar_loop_bitwise() {
+        let mut simd = pseudo_matrix(3, 4, 37, 5);
+        let mut scalar = simd.clone();
+        for r in 0..4 {
+            let s = 0.1 * (r as f32 + 1.0);
+            simd.scale_row(r, s);
+            for v in scalar.row_mut(r) {
+                *v *= s;
+            }
+        }
+        for (x, y) in simd.as_slice().iter().zip(scalar.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        simd.scale_inplace(-2.5);
+        scalar.map_inplace(|v| v * -2.5);
+        for (x, y) in simd.as_slice().iter().zip(scalar.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

@@ -190,6 +190,56 @@
 //! thread counts × batch sizes on a power-law graph and records the
 //! scaling in `results/serving_scaling.json`.
 //!
+//! # Kernels & SIMD
+//!
+//! Below the hot path sit explicit SIMD kernels: [`simd`]
+//! (`crates/compat/simd`, vendored, dependency-free) provides `f32x8` /
+//! `i32x8` value types and whole-slice kernels with three backends —
+//! portable scalar (always available, the reference semantics), AVX2
+//! (`x86_64`) and NEON (`aarch64`). **Dispatch policy:** the backend is
+//! probed once per process (`std::arch` feature detection, cached in an
+//! atomic) and chosen *per kernel call*, so the hot loops themselves
+//! live inside `#[target_feature]` functions with no per-element
+//! branching; `igcn::simd::force_scalar(true)` pins the scalar path at
+//! runtime (the conformance suite's fallback sweep runs both and
+//! asserts equality). [`linalg::kernels`] builds the engine's kernels
+//! on top: `axpy_f32`, `scale_f32`, and the register-tiled,
+//! cache-blocked GEMM `gemm_blocked_into` that now powers
+//! [`linalg::DenseMatrix::matmul`].
+//!
+//! **Why vectorization preserves bit-identity:** every kernel
+//! vectorizes across *feature columns* — independent output elements —
+//! and uses non-fused multiply-then-add (never FMA), so the per-element
+//! sequence of f32 roundings is exactly the scalar loop's sequence; no
+//! reduction is ever re-associated. The same argument covers the island
+//! aggregation's column-blocked replay and the GEMM's k-blocking (both
+//! reorder only across independent columns or keep per-element k-order).
+//! Outputs and `ExecStats` are therefore bit-identical across scalar /
+//! AVX2 / NEON, at every thread and shard count — pinned by unit tests
+//! in `igcn-simd`/`igcn-linalg` and the conformance fallback sweep.
+//!
+//! **Quantized features** ([`linalg::QuantizedFeatures`],
+//! `ExecConfig::with_quantized_features`): request features can be
+//! staged as per-column symmetric int8 (`scale_c = max|v|/127`),
+//! dequantized to f32 before any arithmetic. The CSR structure is
+//! preserved bit for bit — every statistic and `account()` are
+//! unchanged — while values carry absolute error at most
+//! `max_c scale_c / 2` (≈ 0.004 for `[0, 1)` features), with the bound
+//! debug-asserted on every quantized request. Default **off**; enable
+//! it when the 4×-smaller feature value stream matters more than exact
+//! f32 inputs (bandwidth-bound first layers on sparse real-world
+//! features).
+//!
+//! `cargo run --release -p igcn-bench --bin kernel_bench` records
+//! scalar-vs-SIMD-vs-blocked A/B medians per kernel and size bin to
+//! `results/kernel_speedup.json`: a `kernels` array of
+//! `{kernel, bin, n, scalar_median_ns, simd_median_ns, speedup}` rows
+//! plus a `quantization` block (`max_abs_error`, `error_bound`,
+//! `value_bytes` / `f32_value_bytes`) and a `caveats` note — medians are
+//! measured on whatever machine ran the bench (the CI container is
+//! 1-CPU, where the "scalar" loops autovectorize and ratios hover
+//! around 1×; see the JSON's own caveat field).
+//!
 //! # Persistence & warm start
 //!
 //! Islandization runs at runtime — but not *every* runtime:
@@ -476,4 +526,5 @@ pub use igcn_reorder as reorder;
 pub use igcn_serve as serve;
 pub use igcn_shard as shard;
 pub use igcn_sim as sim;
+pub use igcn_simd as simd;
 pub use igcn_store as store;

@@ -261,6 +261,70 @@ fn hot_path_thread_sweep_is_bit_identical() {
 }
 
 #[test]
+fn simd_scalar_fallback_sweep_is_bit_identical() {
+    // The PR-7 contract: the SIMD kernels (AVX2/NEON when detected) and
+    // the portable scalar fallback produce bit-identical outputs AND
+    // `ExecStats`, across thread counts and shard counts. The fallback
+    // is pinned at runtime with the `igcn::simd::force_scalar` test
+    // hook; the flag is process-global, which is safe to flip here
+    // precisely *because* of the equality this test asserts — any other
+    // test running concurrently computes the same bits either way.
+    use igcn::shard::ShardedEngine;
+
+    struct ScalarGuard;
+    impl ScalarGuard {
+        fn pin() -> Self {
+            igcn::simd::force_scalar(true);
+            ScalarGuard
+        }
+    }
+    impl Drop for ScalarGuard {
+        fn drop(&mut self) {
+            igcn::simd::force_scalar(false);
+        }
+    }
+
+    let graph = test_graph();
+    let (model, weights) = test_model();
+    let x = SparseFeatures::random(N, FEATURE_DIM, 0.3, 83);
+    const SHARDS: [usize; 3] = [1, 2, 4];
+
+    for threads in [1usize, 2, 8] {
+        let exec_cfg = ExecConfig::default().with_threads(threads);
+        let mut engine =
+            IGcnEngine::builder(Arc::clone(&graph)).exec_config(exec_cfg).build().unwrap();
+        engine.prepare(&model, &weights).unwrap();
+
+        // Native (detected) backend reference, single-engine + sharded.
+        let (native_out, native_stats) = engine.run(&x, &model, &weights).unwrap();
+        let native_sharded: Vec<_> = SHARDS
+            .iter()
+            .map(|&s| {
+                ShardedEngine::from_engine(&engine, s)
+                    .expect("conformance graph shards")
+                    .run(&x, &model, &weights)
+                    .unwrap()
+            })
+            .collect();
+
+        // Same engine, scalar kernels pinned.
+        let _guard = ScalarGuard::pin();
+        assert!(igcn::simd::scalar_forced(), "test hook did not engage");
+        let ctx = format!("threads={threads}");
+        let (scalar_out, scalar_stats) = engine.run(&x, &model, &weights).unwrap();
+        assert_eq!(scalar_out, native_out, "{ctx}: scalar fallback changed the output");
+        assert_eq!(scalar_stats, native_stats, "{ctx}: scalar fallback changed ExecStats");
+        for (&shards, native) in SHARDS.iter().zip(&native_sharded) {
+            let sctx = format!("{ctx} shards={shards}");
+            let sharded = ShardedEngine::from_engine(&engine, shards).unwrap();
+            let (out, stats) = sharded.run(&x, &model, &weights).unwrap();
+            assert_eq!(out, native.0, "{sctx}: scalar fallback changed the output");
+            assert_eq!(stats, native.1, "{sctx}: scalar fallback changed ExecStats");
+        }
+    }
+}
+
+#[test]
 fn layout_survives_graph_updates() {
     // `apply_update` recomposes the physical layout; the post-update
     // engine must still agree with the software reference on the
