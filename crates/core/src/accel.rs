@@ -281,6 +281,42 @@ pub trait Accelerator: Send + Sync {
     ///
     /// As [`Accelerator::infer`].
     fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError>;
+
+    /// The backend's live health. The default is [`BackendHealth::Ready`]
+    /// — a backend with no internal failure domains is healthy exactly
+    /// when it exists. Composite backends (shard fleets, serving tiers)
+    /// override this to report contained component failures; serving
+    /// edges poll it to publish readiness.
+    fn health(&self) -> BackendHealth {
+        BackendHealth::Ready
+    }
+}
+
+/// Live health of an [`Accelerator`], as reported by
+/// [`Accelerator::health`].
+///
+/// `Degraded` means the backend still *exists* but some internal
+/// component has failed (a shard is down, a worker is wedged):
+/// requests may be rejected with typed errors until the component is
+/// repaired. It is a reporting state, not an error — the decision of
+/// whether to keep routing traffic belongs to the serving edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendHealth {
+    /// Every component is serving.
+    Ready,
+    /// One or more components have failed; requests may be rejected
+    /// until repair.
+    Degraded {
+        /// Human-readable summary of what is down.
+        detail: String,
+    },
+}
+
+impl BackendHealth {
+    /// `true` exactly for [`BackendHealth::Ready`].
+    pub fn is_ready(&self) -> bool {
+        matches!(self, BackendHealth::Ready)
+    }
 }
 
 /// Checks that `weights` matches `model` layer by layer (shared by

@@ -94,6 +94,17 @@ pub enum CoreError {
         /// The hub missing from the table.
         hub: u32,
     },
+    /// A component of the backend (a shard of a fleet, a worker…)
+    /// failed mid-request — typically a contained panic. The request
+    /// was not served; the backend reports
+    /// [`BackendHealth::Degraded`](crate::accel::BackendHealth) until
+    /// the component is repaired (e.g. `ShardedEngine::heal`).
+    BackendFailed {
+        /// Name of the failed component, e.g. `"shard 2"`.
+        backend: String,
+        /// Human-readable failure description (panic message).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -145,6 +156,9 @@ impl fmt::Display for CoreError {
                     "hub {hub} is missing from the precomputed hub XW table; \
                      the table is stale for the current partition"
                 )
+            }
+            CoreError::BackendFailed { backend, detail } => {
+                write!(f, "backend component {backend} failed: {detail}")
             }
         }
     }

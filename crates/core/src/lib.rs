@@ -50,8 +50,8 @@ pub mod schedule;
 pub mod stats;
 
 pub use accel::{
-    Accelerator, CpuReference, ExecReport, GraphUpdate, InferenceRequest, InferenceResponse,
-    UpdateReport,
+    Accelerator, BackendHealth, CpuReference, ExecReport, GraphUpdate, InferenceRequest,
+    InferenceResponse, UpdateReport,
 };
 pub use config::{ConsumerConfig, DecayPolicy, ExecConfig, IslandizationConfig, ThresholdInit};
 pub use consumer::hotpath::LayerScratch;

@@ -9,13 +9,105 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use igcn_graph::SparseFeatures;
 use igcn_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::json::JsonValue;
 
 use crate::http;
-use crate::wire::{self, Frame};
+use crate::wire::{self, Frame, HealthState};
+
+/// Bounded retry with exponential backoff and **seeded** jitter, for
+/// the two transient client-visible failures: connect refused (the
+/// gateway is restarting) and shed (HTTP 429 / binary `Shed` — the
+/// gateway is momentarily over capacity and explicitly said "retry
+/// later"). Nothing else is retried: a malformed response means the
+/// peer is not a healthy gateway, and resending is how retry storms
+/// corrupt incidents.
+///
+/// Attempt `k` (0-based) sleeps a uniformly jittered duration in
+/// `[base·2ᵏ/2, base·2ᵏ]`, capped at [`RetryPolicy::max_delay`]. The
+/// jitter is drawn from a generator seeded with `seed + k`, so a given
+/// policy produces one fixed, reproducible delay schedule — chaos
+/// campaigns and tests can assert on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Backoff base: the first retry waits at most this long.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Jitter seed; equal seeds give equal delay schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 10 ms base, 500 ms cap, seed 0.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the backoff base delay.
+    pub fn with_base_delay(mut self, base: Duration) -> Self {
+        self.base_delay = base;
+        self
+    }
+
+    /// Sets the backoff cap.
+    pub fn with_max_delay(mut self, cap: Duration) -> Self {
+        self.max_delay = cap;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff sleep before retry `attempt` (0-based): exponential
+    /// with seeded jitter in `[half, full]`, capped at `max_delay`.
+    /// Deterministic — calling this twice gives the same duration.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let exp =
+            self.base_delay.saturating_mul(1u32 << attempt.min(20)).min(self.max_delay).as_nanos()
+                as u64;
+        if exp == 0 {
+            return Duration::ZERO;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(u64::from(attempt)));
+        Duration::from_nanos(rng.gen_range(exp / 2..=exp))
+    }
+
+    /// Whether a connect error is worth retrying (the gateway may be
+    /// mid-restart) rather than a permanent condition.
+    fn transient_connect(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::TimedOut
+        )
+    }
+}
 
 /// The gateway's answer to one inference request, protocol-agnostic.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +150,23 @@ impl HttpClient {
         Ok(HttpClient { stream })
     }
 
+    /// Connects with bounded, seeded-backoff retries on transient
+    /// connect failures (refused/reset/aborted/timed out — the gateway
+    /// may be mid-restart). Permanent errors are returned immediately.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once the retry budget is exhausted.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        policy: &RetryPolicy,
+    ) -> io::Result<HttpClient> {
+        retry_connect(policy, || TcpStream::connect(&addr)).map(|stream| {
+            stream.set_nodelay(true).ok();
+            HttpClient { stream }
+        })
+    }
+
     /// Runs one inference: `POST /v1/infer` and block for the reply.
     ///
     /// # Errors
@@ -83,6 +192,54 @@ impl HttpClient {
             504 => Ok(InferReply::DeadlineExceeded),
             _ => Ok(InferReply::Error(format!("HTTP {status}: {body}"))),
         }
+    }
+
+    /// Runs one inference, retrying **only** shed replies (HTTP 429)
+    /// under `policy` — the gateway explicitly said "retry later".
+    /// Transport errors and malformed responses are returned
+    /// immediately (never retried), as are all other reply kinds. If
+    /// every attempt is shed, the final [`InferReply::Shed`] is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::infer`].
+    pub fn infer_with_retry(
+        &mut self,
+        id: u64,
+        deadline_ms: Option<u64>,
+        features: &SparseFeatures,
+        policy: &RetryPolicy,
+    ) -> io::Result<InferReply> {
+        for attempt in 0..policy.max_retries {
+            match self.infer(id, deadline_ms, features)? {
+                InferReply::Shed => std::thread::sleep(policy.backoff_delay(attempt)),
+                reply => return Ok(reply),
+            }
+        }
+        self.infer(id, deadline_ms, features)
+    }
+
+    /// Queries `/healthz` and parses the health model reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed responses.
+    pub fn health(&mut self) -> io::Result<(HealthState, String)> {
+        let (_status, body) = self.get("/healthz")?;
+        let doc = JsonValue::parse(&body).map_err(|e| proto_err(e.to_string()))?;
+        let label = doc
+            .get("status")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| proto_err("healthz body missing \"status\""))?;
+        let state = match label {
+            "ready" => HealthState::Ready,
+            "degraded" => HealthState::Degraded,
+            "draining" => HealthState::Draining,
+            other => return Err(proto_err(format!("unknown health status {other:?}"))),
+        };
+        let detail = doc.get("detail").and_then(|v| v.as_str()).unwrap_or_default().to_string();
+        Ok((state, detail))
     }
 
     /// Issues a `GET` (for `/healthz` and `/stats`) and returns
@@ -153,6 +310,22 @@ impl BinaryClient {
         Ok(BinaryClient { stream, buf: Vec::new() })
     }
 
+    /// Connects with bounded, seeded-backoff retries on transient
+    /// connect failures (see [`HttpClient::connect_with_retry`]).
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once the retry budget is exhausted.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        policy: &RetryPolicy,
+    ) -> io::Result<BinaryClient> {
+        retry_connect(policy, || TcpStream::connect(&addr)).map(|stream| {
+            stream.set_nodelay(true).ok();
+            BinaryClient { stream, buf: Vec::new() }
+        })
+    }
+
     /// Runs one inference: send an `Infer` frame, block for the reply
     /// frame.
     ///
@@ -174,7 +347,46 @@ impl BinaryClient {
             Frame::Err { message, .. } => Ok(InferReply::Error(message)),
             Frame::Shed { .. } => Ok(InferReply::Shed),
             Frame::Deadline { .. } => Ok(InferReply::DeadlineExceeded),
-            Frame::Infer { .. } => Err(proto_err("server sent an Infer frame")),
+            other @ (Frame::Infer { .. } | Frame::HealthCheck { .. } | Frame::Health { .. }) => {
+                Err(proto_err(format!("unexpected reply frame {other:?}")))
+            }
+        }
+    }
+
+    /// Runs one inference, retrying **only** `Shed` frames under
+    /// `policy`. Transport errors and corrupt frames are returned
+    /// immediately — never retried. If every attempt is shed, the
+    /// final [`InferReply::Shed`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// As [`BinaryClient::infer`].
+    pub fn infer_with_retry(
+        &mut self,
+        id: u64,
+        deadline_ms: Option<u64>,
+        features: &SparseFeatures,
+        policy: &RetryPolicy,
+    ) -> io::Result<InferReply> {
+        for attempt in 0..policy.max_retries {
+            match self.infer(id, deadline_ms, features)? {
+                InferReply::Shed => std::thread::sleep(policy.backoff_delay(attempt)),
+                reply => return Ok(reply),
+            }
+        }
+        self.infer(id, deadline_ms, features)
+    }
+
+    /// Sends a `HealthCheck` frame and blocks for the `Health` reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, corrupt frames, and unexpected frame kinds.
+    pub fn health(&mut self) -> io::Result<(HealthState, String)> {
+        self.stream.write_all(&wire::encode(&Frame::HealthCheck { id: 0 }))?;
+        match self.read_frame()? {
+            Frame::Health { state, detail, .. } => Ok((state, detail)),
+            other => Err(proto_err(format!("expected a Health frame, got {other:?}"))),
         }
     }
 
@@ -196,5 +408,103 @@ impl BinaryClient {
                 }
             }
         }
+    }
+}
+
+/// Shared connect-retry loop: transient errors consume retry budget
+/// with backoff, anything else returns immediately.
+fn retry_connect(
+    policy: &RetryPolicy,
+    mut connect: impl FnMut() -> io::Result<TcpStream>,
+) -> io::Result<TcpStream> {
+    for attempt in 0..policy.max_retries {
+        match connect() {
+            Ok(stream) => return Ok(stream),
+            Err(e) if RetryPolicy::transient_connect(&e) => {
+                std::thread::sleep(policy.backoff_delay(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    connect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_schedule_is_seeded_deterministic_and_capped() {
+        let policy = RetryPolicy::default()
+            .with_base_delay(Duration::from_millis(8))
+            .with_max_delay(Duration::from_millis(100))
+            .with_seed(42);
+        let schedule: Vec<Duration> = (0..8).map(|k| policy.backoff_delay(k)).collect();
+        // Same seed → the exact same schedule, call after call.
+        let again: Vec<Duration> = (0..8).map(|k| policy.backoff_delay(k)).collect();
+        assert_eq!(schedule, again);
+        // A different seed jitters differently somewhere.
+        let other = policy.with_seed(43);
+        assert!((0..8).any(|k| other.backoff_delay(k) != schedule[k as usize]));
+        for (k, &d) in schedule.iter().enumerate() {
+            // Jitter stays within [half, full] of the capped exponential.
+            let exp =
+                Duration::from_millis(8).saturating_mul(1 << k).min(Duration::from_millis(100));
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {k}: {d:?} outside [{:?}, {exp:?}]",
+                exp / 2
+            );
+        }
+        // Exponential growth with [half, full] jitter never decreases:
+        // the cap freezes it at [50, 100] ms.
+        for w in schedule.windows(2) {
+            assert!(w[1] >= w[0] / 2, "schedule collapsed: {schedule:?}");
+        }
+    }
+
+    #[test]
+    fn connect_refused_is_retried_a_bounded_number_of_times() {
+        // Grab a port the kernel just freed: connecting to it is
+        // refused (nothing listens), which is the transient class.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let policy = RetryPolicy::default()
+            .with_max_retries(2)
+            .with_base_delay(Duration::from_millis(1))
+            .with_max_delay(Duration::from_millis(2));
+        let counted = Arc::clone(&attempts);
+        let result = retry_connect(&policy, move || {
+            counted.fetch_add(1, Ordering::SeqCst);
+            TcpStream::connect(addr)
+        });
+        assert!(result.is_err(), "nothing listens on {addr}");
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            3,
+            "max_retries=2 must mean exactly 3 attempts"
+        );
+
+        // The public entry points go through the same loop.
+        assert!(HttpClient::connect_with_retry(addr, &policy).is_err());
+        assert!(BinaryClient::connect_with_retry(addr, &policy).is_err());
+    }
+
+    #[test]
+    fn permanent_connect_errors_are_not_retried() {
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&attempts);
+        let policy = RetryPolicy::default().with_base_delay(Duration::from_millis(1));
+        let result = retry_connect(&policy, move || {
+            counted.fetch_add(1, Ordering::SeqCst);
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts.load(Ordering::SeqCst), 1, "permission denied must not be retried");
     }
 }

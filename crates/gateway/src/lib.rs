@@ -75,7 +75,8 @@ mod client;
 pub(crate) mod http;
 pub mod wire;
 
-pub use client::{BinaryClient, HttpClient, InferReply};
+pub use client::{BinaryClient, HttpClient, InferReply, RetryPolicy};
+pub use wire::HealthState;
 
 /// Configuration of the gateway front-end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,6 +264,8 @@ enum Resolution {
 /// Non-blocking: takes the slot's outcome if it is terminal (polling
 /// the serving ticket along the way), leaves it in place otherwise.
 fn resolve(slot: &RequestSlot) -> Option<Resolution> {
+    // invariant: slot-state lock holders only assign enum values and
+    // never run code that can panic, so the lock cannot be poisoned.
     let mut state = slot.state.lock().expect("slot lock");
     match std::mem::replace(&mut *state, ReplyState::Queued) {
         ReplyState::Queued => None,
@@ -303,6 +306,11 @@ struct Inner {
     admission: Mutex<VecDeque<Job>>,
     admission_cv: Condvar,
     shutdown: AtomicBool,
+    /// Drain mode ([`Gateway::begin_drain`]): health reports draining,
+    /// new inference requests are shed, in-flight work still completes
+    /// and `/healthz`+`/stats` still answer — the pre-shutdown window a
+    /// load balancer needs to take the replica out of rotation.
+    draining: AtomicBool,
     counters: Counters,
     /// EWMA of dispatch→completion service time, nanoseconds (0 = no
     /// sample yet). Queue wait is deliberately excluded: `admit`
@@ -315,10 +323,19 @@ struct Inner {
 
 impl Inner {
     fn admit(&self, request: InferenceRequest, deadline: Option<Instant>) -> AdmitOutcome {
+        // A draining (or shutting-down) gateway refuses new work the
+        // same way it sheds: the client sees a retryable signal and
+        // goes to another replica.
+        if self.draining.load(Ordering::SeqCst) || self.shutdown.load(Ordering::SeqCst) {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return AdmitOutcome::Shed;
+        }
         // Estimated-wait shedding: how long would this request sit
         // behind everything already admitted?
         let ewma = self.ewma_service_ns.load(Ordering::Relaxed);
         let qs = self.serving.queue_stats();
+        // invariant: admission-lock holders only touch the VecDeque and
+        // plain arithmetic — no panicking code — so it is never poisoned.
         let mut queue = self.admission.lock().expect("admission lock");
         if queue.len() >= self.cfg.admission_capacity {
             drop(queue);
@@ -342,6 +359,50 @@ impl Inner {
         AdmitOutcome::Admitted(slot)
     }
 
+    /// The live health model, folded from the lifecycle flag, the
+    /// serving tier ([`igcn_serve::ServingEngine::health`], which
+    /// itself folds in [`Accelerator::health`]) and shed pressure:
+    ///
+    /// * **draining** — [`Gateway::begin_drain`] was called (or
+    ///   shutdown began): in-flight work finishes, new work is shed;
+    /// * **degraded** — the backend is wedged or degraded (dead
+    ///   shards), or the estimated queue wait exceeds the shedding
+    ///   budget so new requests are being shed;
+    /// * **ready** — serving normally.
+    fn health(&self) -> (wire::HealthState, String) {
+        if self.draining.load(Ordering::SeqCst) || self.shutdown.load(Ordering::SeqCst) {
+            return (
+                wire::HealthState::Draining,
+                "draining: finishing in-flight requests, refusing new work".to_string(),
+            );
+        }
+        if let igcn_core::BackendHealth::Degraded { detail } = self.serving.health() {
+            return (wire::HealthState::Degraded, detail);
+        }
+        // Shed pressure: the same estimate `admit` sheds on. Sustained
+        // over-budget wait means new requests are being refused even
+        // though the backend itself is healthy.
+        let ewma = self.ewma_service_ns.load(Ordering::Relaxed);
+        if ewma > 0 {
+            let qs = self.serving.queue_stats();
+            // invariant: see admit() — the admission lock is never poisoned.
+            let depth = self.admission.lock().expect("admission lock").len();
+            let pending = depth as u64 + qs.submitted.saturating_sub(qs.completed);
+            let estimated_ns = ewma.saturating_mul(pending + 1) / qs.workers.max(1) as u64;
+            if estimated_ns > self.cfg.max_estimated_wait.as_nanos() as u64 {
+                return (
+                    wire::HealthState::Degraded,
+                    format!(
+                        "shedding: estimated queue wait {} ms exceeds the {} ms budget",
+                        estimated_ns / 1_000_000,
+                        self.cfg.max_estimated_wait.as_millis()
+                    ),
+                );
+            }
+        }
+        (wire::HealthState::Ready, "serving".to_string())
+    }
+
     fn record_service_sample(&self, elapsed: Duration) {
         let sample = elapsed.as_nanos() as u64;
         let old = self.ewma_service_ns.load(Ordering::Relaxed);
@@ -360,6 +421,7 @@ impl Inner {
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             connections: c.connections.load(Ordering::Relaxed),
+            // invariant: see admit() — the admission lock is never poisoned.
             admission_depth: self.admission.lock().expect("admission lock").len(),
             admission_capacity: self.cfg.admission_capacity,
             ewma_service_us: self.ewma_service_ns.load(Ordering::Relaxed) / 1_000,
@@ -411,6 +473,8 @@ impl Inner {
 fn dispatcher_loop(inner: &Inner) {
     loop {
         let job = {
+            // invariant: admission-lock holders never panic (see admit()),
+            // so neither lock() nor the condvar wait() can see poison.
             let mut queue = inner.admission.lock().expect("admission lock");
             loop {
                 if let Some(job) = queue.pop_front() {
@@ -424,6 +488,7 @@ fn dispatcher_loop(inner: &Inner) {
         };
         // Cancellation before dispatch: an expired request never
         // reaches the serving queue or the backend.
+        // invariant: slot-state lock holders never panic (see resolve()).
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
             *job.slot.state.lock().expect("slot lock") = ReplyState::DeadlineExpired;
             inner.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
@@ -542,6 +607,9 @@ struct IoShared {
 #[allow(clippy::too_many_lines)] // one readable poll-loop, deliberately linear
 fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoShared>) {
     let inner = &shared.inner;
+    // invariant: poll creation/registration fail only when the process
+    // is out of file descriptors; an IO thread cannot run without its
+    // poller, so it panics deliberately and shutdown surfaces the panic.
     let mut poll = Poll::new().expect("poll creation");
     let mut events = Events::with_capacity(64);
     if let Some(listener) = listener.as_mut() {
@@ -560,6 +628,8 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
             drain_deadline = Some(Instant::now() + DRAIN_BUDGET);
         }
 
+        // invariant: poll() on a live poller fails only on fd exhaustion
+        // or EINTR (mio retries EINTR internally) — see above.
         poll.poll(&mut events, Some(TICK)).expect("poll");
 
         // Accept (thread 0 owns the listener) and spread connections
@@ -575,6 +645,9 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
                                 next_target = next_target.wrapping_add(1);
                                 if target == thread_idx {
                                     let mut conn = Conn::new(stream);
+                                    // invariant: registering a fresh socket
+                                    // fails only on fd exhaustion — see the
+                                    // poller comment above.
                                     poll.registry()
                                         .register(
                                             &mut conn.stream,
@@ -585,6 +658,8 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
                                     conns.insert(next_token, conn);
                                     next_token += 1;
                                 } else {
+                                    // invariant: inbox-lock holders only push
+                                    // to / drain a Vec, so no poisoning.
                                     shared.inboxes[target].lock().expect("inbox lock").push(stream);
                                 }
                             }
@@ -597,6 +672,8 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
         }
 
         // Adopt connections handed over by the accepting thread.
+        // invariant: inbox lock (Vec ops only) and socket registration
+        // (fd exhaustion only) — both justified above.
         for stream in shared.inboxes[thread_idx].lock().expect("inbox lock").drain(..) {
             let mut conn = Conn::new(stream);
             poll.registry()
@@ -768,11 +845,17 @@ fn process_input(conn: &mut Conn, inner: &Inner) {
 fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpRequest) {
     match request {
         http::HttpRequest::Healthz { keep_alive } => {
+            // 200 only when ready: load balancers treat any non-2xx as
+            // "take this replica out of rotation", which is exactly
+            // what degraded and draining mean.
+            let (state, detail) = inner.health();
+            let status = if state == wire::HealthState::Ready { 200 } else { 503 };
             let body = obj([
-                ("status", JsonValue::Str("ok".to_string())),
+                ("status", JsonValue::Str(state.label().to_string())),
+                ("detail", JsonValue::Str(detail)),
                 ("backend", JsonValue::Str(inner.backend_name.clone())),
             ]);
-            conn.outbuf.extend_from_slice(&http::response(200, &body, keep_alive));
+            conn.outbuf.extend_from_slice(&http::response(status, &body, keep_alive));
             conn.closing |= !keep_alive;
         }
         http::HttpRequest::Stats { keep_alive } => {
@@ -814,19 +897,30 @@ fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame) {
                 }
             }
         }
+        wire::Frame::HealthCheck { id } => {
+            let (state, detail) = inner.health();
+            conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Health {
+                id,
+                state,
+                detail,
+            }));
+        }
         other => {
-            // Clients may only send Infer frames.
+            // Clients may only send Infer and HealthCheck frames.
             inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
             let id = match other {
                 wire::Frame::Ok { id, .. }
                 | wire::Frame::Err { id, .. }
                 | wire::Frame::Shed { id }
-                | wire::Frame::Deadline { id } => id,
-                wire::Frame::Infer { .. } => unreachable!("matched above"),
+                | wire::Frame::Deadline { id }
+                | wire::Frame::Health { id, .. } => id,
+                wire::Frame::Infer { .. } | wire::Frame::HealthCheck { .. } => {
+                    unreachable!("matched above")
+                }
             };
             conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Err {
                 id,
-                message: "clients may only send Infer frames".to_string(),
+                message: "clients may only send Infer and HealthCheck frames".to_string(),
             }));
             conn.closing = true;
         }
@@ -933,6 +1027,7 @@ impl Gateway {
             admission: Mutex::new(VecDeque::new()),
             admission_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             counters: Counters::default(),
             ewma_service_ns: AtomicU64::new(0),
         });
@@ -940,24 +1035,35 @@ impl Gateway {
             inner: Arc::clone(&inner),
             inboxes: (0..cfg.io_threads).map(|_| Mutex::new(Vec::new())).collect(),
         });
+        // Spawn failures (hitting the OS thread limit) are reachable in
+        // a loaded process, so they surface as `io::Error` rather than a
+        // panic. On partial startup the shutdown flag makes any thread
+        // that did spawn exit on its next tick.
         let dispatcher = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("igcn-gw-dispatch".to_string())
-                .spawn(move || dispatcher_loop(&inner))
-                .expect("dispatcher spawns")
+                .spawn(move || dispatcher_loop(&inner))?
         };
         let mut listener = Some(listener);
-        let io_threads = (0..cfg.io_threads)
+        let io_threads: io::Result<Vec<_>> = (0..cfg.io_threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let listener = listener.take(); // thread 0 owns it
                 std::thread::Builder::new()
                     .name(format!("igcn-gw-io-{i}"))
                     .spawn(move || io_loop(i, listener, shared))
-                    .expect("io thread spawns")
             })
             .collect();
+        let io_threads = match io_threads {
+            Ok(threads) => threads,
+            Err(e) => {
+                inner.shutdown.store(true, Ordering::SeqCst);
+                inner.admission_cv.notify_all();
+                let _ = dispatcher.join();
+                return Err(e);
+            }
+        };
         Ok(Gateway { inner, io_threads, dispatcher: Some(dispatcher), local_addr })
     }
 
@@ -971,6 +1077,22 @@ impl Gateway {
         self.inner.stats()
     }
 
+    /// The gateway's live health: ready, degraded (with why), or
+    /// draining — the same model `/healthz` and the binary
+    /// [`wire::Frame::Health`] reply report.
+    pub fn health(&self) -> (HealthState, String) {
+        self.inner.health()
+    }
+
+    /// Enters drain mode: health flips to draining (`/healthz` → 503),
+    /// new inference requests are shed, but in-flight requests finish
+    /// and their responses are flushed, and `/healthz` + `/stats` keep
+    /// answering. Call [`Gateway::shutdown`] once the load balancer
+    /// has stopped sending traffic.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
     /// Graceful shutdown: stop accepting and parsing new requests,
     /// dispatch everything already admitted, flush every in-flight
     /// response, then join all threads and drain the serving tier.
@@ -982,6 +1104,9 @@ impl Gateway {
     fn shutdown_and_join(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.admission_cv.notify_all();
+        // invariant: join() errs only if the thread panicked; repanicking
+        // here deliberately propagates a gateway-thread crash to the
+        // owner instead of swallowing it during shutdown.
         if let Some(dispatcher) = self.dispatcher.take() {
             dispatcher.join().expect("dispatcher panicked");
         }
@@ -1076,7 +1201,7 @@ mod tests {
         let (status, body) = client.get("/healthz").unwrap();
         assert_eq!(status, 200);
         let doc = JsonValue::parse(&body).unwrap();
-        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ready"));
 
         let _ = client.infer(1, None, &features(1)).unwrap();
         let (status, body) = client.get("/stats").unwrap();
@@ -1231,6 +1356,184 @@ mod tests {
         assert_eq!(gateway.stats().completed, REQS);
         assert_eq!(gateway.stats().protocol_errors, 0);
         gateway.shutdown();
+    }
+
+    /// An accelerator that fails every request — a wedged backend as
+    /// the gateway's serving tier sees it.
+    struct Wedged {
+        graph: Arc<igcn_graph::CsrGraph>,
+    }
+
+    impl Accelerator for Wedged {
+        fn name(&self) -> String {
+            "wedged".to_string()
+        }
+        fn graph(&self) -> &igcn_graph::CsrGraph {
+            &self.graph
+        }
+        fn prepare(
+            &mut self,
+            _: &igcn_gnn::GnnModel,
+            _: &igcn_gnn::ModelWeights,
+        ) -> Result<(), igcn_core::CoreError> {
+            Ok(())
+        }
+        fn infer(&self, _: &InferenceRequest) -> Result<InferenceResponse, igcn_core::CoreError> {
+            Err(igcn_core::CoreError::BackendFailed {
+                backend: "wedged".to_string(),
+                detail: "simulated wedge".to_string(),
+            })
+        }
+        fn report(
+            &self,
+            _: &InferenceRequest,
+        ) -> Result<igcn_core::ExecReport, igcn_core::CoreError> {
+            Ok(Default::default())
+        }
+    }
+
+    #[test]
+    fn health_model_reports_ready_degraded_and_draining_on_both_protocols() {
+        let g = igcn_graph::CsrGraph::from_undirected_edges(2, &[(0, 1)]).unwrap();
+        let cfg = GatewayConfig::default().with_serving(
+            ServingConfig::default()
+                .with_workers(1)
+                .with_max_batch(1)
+                .with_max_wait(Duration::ZERO)
+                .with_failure_threshold(1),
+        );
+        let gateway =
+            Gateway::serve(Arc::new(Wedged { graph: Arc::new(g) }), "127.0.0.1:0", cfg).unwrap();
+        let addr = gateway.local_addr();
+
+        // Ready: /healthz answers 200 and the Health frame echoes it.
+        let mut http = HttpClient::connect(addr).unwrap();
+        let (status, body) = http.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        let doc = JsonValue::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ready"));
+        assert_eq!(http.health().unwrap().0, HealthState::Ready);
+        let mut binary = BinaryClient::connect(addr).unwrap();
+        assert_eq!(binary.health().unwrap().0, HealthState::Ready);
+        assert_eq!(gateway.health().0, HealthState::Ready);
+
+        // One failed micro-batch crosses the threshold of 1: degraded.
+        match http.infer(1, None, &features(1)).unwrap() {
+            InferReply::Error(message) => assert!(message.contains("wedged"), "got {message}"),
+            other => panic!("expected an error from the wedged backend, got {other:?}"),
+        }
+        let (status, body) = http.get("/healthz").unwrap();
+        assert_eq!(status, 503, "degraded must be non-2xx for load balancers");
+        let doc = JsonValue::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("degraded"));
+        let (state, detail) = binary.health().unwrap();
+        assert_eq!(state, HealthState::Degraded);
+        assert!(detail.contains("wedged"), "detail: {detail}");
+
+        // Draining trumps everything; infer requests are shed while
+        // health and stats keep answering.
+        gateway.begin_drain();
+        let (state, _) = binary.health().unwrap();
+        assert_eq!(state, HealthState::Draining);
+        let (status, body) = http.get("/healthz").unwrap();
+        assert_eq!(status, 503);
+        let doc = JsonValue::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("draining"));
+        assert_eq!(binary.infer(2, None, &features(1)).unwrap(), InferReply::Shed);
+        assert_eq!(http.infer(3, None, &features(1)).unwrap(), InferReply::Shed);
+        let (status, _) = http.get("/stats").unwrap();
+        assert_eq!(status, 200, "stats must stay observable during a drain");
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn shed_replies_are_retried_a_bounded_number_of_times() {
+        let gateway = Gateway::serve(backend(), "127.0.0.1:0", GatewayConfig::default()).unwrap();
+        let addr = gateway.local_addr();
+        // Drain mode sheds every inference deterministically, so the
+        // shed counter counts the client's attempts exactly.
+        gateway.begin_drain();
+        let policy = RetryPolicy::default()
+            .with_max_retries(2)
+            .with_base_delay(Duration::from_millis(1))
+            .with_max_delay(Duration::from_millis(2))
+            .with_seed(7);
+
+        let mut binary = BinaryClient::connect(addr).unwrap();
+        let reply = binary.infer_with_retry(1, None, &features(1), &policy).unwrap();
+        assert_eq!(reply, InferReply::Shed, "budget exhausted: the final shed is returned");
+        assert_eq!(gateway.stats().shed, 3, "max_retries=2 must mean exactly 3 attempts");
+
+        let mut http = HttpClient::connect(addr).unwrap();
+        let reply = http.infer_with_retry(2, None, &features(1), &policy).unwrap();
+        assert_eq!(reply, InferReply::Shed);
+        assert_eq!(gateway.stats().shed, 6);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn malformed_responses_are_never_retried() {
+        use std::sync::atomic::AtomicUsize;
+        // A fake "gateway" that answers every request with garbage.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let requests = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&requests);
+        let server = std::thread::spawn(move || {
+            // One HTTP client, then one binary client. Requests are
+            // reassembled with the real parsers so a body split across
+            // reads still counts as one request.
+            for (garbage, is_http) in [
+                (&b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nzzz"[..], true),
+                // Longer than a frame header so the client sees the bad
+                // magic instead of waiting for more header bytes.
+                (&b"\x00\x01\x02garbage-not-a-wire-frame-at-all"[..], false),
+            ] {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 65536];
+                loop {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => break, // client gave up: no retry arrived
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    loop {
+                        let consumed = if is_http {
+                            match http::parse(&buf) {
+                                http::HttpParse::Request(_, consumed) => Some(consumed),
+                                _ => None,
+                            }
+                        } else {
+                            match wire::decode(&buf) {
+                                wire::Decoded::Frame(_, consumed) => Some(consumed),
+                                _ => None,
+                            }
+                        };
+                        let Some(consumed) = consumed else { break };
+                        buf.drain(..consumed);
+                        counted.fetch_add(1, Ordering::SeqCst);
+                        stream.write_all(garbage).unwrap();
+                    }
+                }
+            }
+        });
+        let policy =
+            RetryPolicy::default().with_max_retries(5).with_base_delay(Duration::from_millis(1));
+
+        let mut http = HttpClient::connect(addr).unwrap();
+        let err = http.infer_with_retry(1, None, &features(1), &policy).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        drop(http); // EOF tells the server this client sent everything it ever will
+        let mut binary = BinaryClient::connect(addr).unwrap();
+        let err = binary.infer_with_retry(2, None, &features(1), &policy).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        drop(binary);
+        server.join().unwrap();
+        assert_eq!(
+            requests.load(Ordering::SeqCst),
+            2,
+            "one request per client call: malformed replies must not be retried"
+        );
     }
 
     #[test]

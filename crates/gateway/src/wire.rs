@@ -39,6 +39,56 @@ const KIND_OK: u8 = 2;
 const KIND_ERR: u8 = 3;
 const KIND_SHED: u8 = 4;
 const KIND_DEADLINE: u8 = 5;
+const KIND_HEALTH_CHECK: u8 = 6;
+const KIND_HEALTH: u8 = 7;
+
+/// The gateway's live health, as reported on `GET /healthz` and the
+/// binary [`Frame::Health`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving normally: admit away.
+    Ready,
+    /// Still serving, but impaired (wedged backend, dead shards, or
+    /// sustained shed pressure) — a load balancer should prefer other
+    /// replicas.
+    Degraded,
+    /// Draining: in-flight requests finish, new work is refused.
+    Draining,
+}
+
+impl HealthState {
+    /// The wire byte for this state.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Ready => 0,
+            HealthState::Degraded => 1,
+            HealthState::Draining => 2,
+        }
+    }
+
+    /// Parses a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown bytes.
+    pub fn from_u8(v: u8) -> Result<HealthState, String> {
+        match v {
+            0 => Ok(HealthState::Ready),
+            1 => Ok(HealthState::Degraded),
+            2 => Ok(HealthState::Draining),
+            other => Err(format!("unknown health state byte {other}")),
+        }
+    }
+
+    /// The lowercase label used in the `/healthz` JSON body.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Ready => "ready",
+            HealthState::Degraded => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+}
 
 /// One decoded frame of the binary protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +134,23 @@ pub enum Frame {
     Deadline {
         /// The request's correlation id.
         id: u64,
+    },
+    /// Client → server: report your health (the binary-protocol
+    /// equivalent of `GET /healthz`). Body: empty.
+    HealthCheck {
+        /// Correlation id, echoed on the [`Frame::Health`] reply.
+        id: u64,
+    },
+    /// Server → client: the gateway's live health.
+    ///
+    /// Body: `state(u8) | len(u64) | utf8 detail`.
+    Health {
+        /// The request's correlation id.
+        id: u64,
+        /// Ready / degraded / draining.
+        state: HealthState,
+        /// Human-readable explanation (why degraded, what is draining).
+        detail: String,
     },
 }
 
@@ -142,6 +209,17 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         Frame::Deadline { id } => {
             payload.push(KIND_DEADLINE);
             put_u64(&mut payload, *id);
+        }
+        Frame::HealthCheck { id } => {
+            payload.push(KIND_HEALTH_CHECK);
+            put_u64(&mut payload, *id);
+        }
+        Frame::Health { id, state, detail } => {
+            payload.push(KIND_HEALTH);
+            put_u64(&mut payload, *id);
+            payload.push(state.as_u8());
+            put_u64(&mut payload, detail.len() as u64);
+            payload.extend_from_slice(detail.as_bytes());
         }
     }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -244,6 +322,16 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, String> {
         }
         KIND_SHED => Frame::Shed { id },
         KIND_DEADLINE => Frame::Deadline { id },
+        KIND_HEALTH_CHECK => Frame::HealthCheck { id },
+        KIND_HEALTH => {
+            let state = HealthState::from_u8(r.u8()?)?;
+            let len = r.count_field("detail length", 1)?;
+            let bytes = r.bytes(len)?;
+            let detail = std::str::from_utf8(bytes)
+                .map_err(|_| "health detail is not UTF-8".to_string())?
+                .to_string();
+            Frame::Health { id, state, detail }
+        }
         other => return Err(format!("unknown frame kind {other}")),
     };
     if r.pos != payload.len() {
@@ -343,6 +431,12 @@ mod tests {
             Frame::Err { id: 9, message: "backend error: späße".to_string() },
             Frame::Shed { id: 1 },
             Frame::Deadline { id: 2 },
+            Frame::HealthCheck { id: 4 },
+            Frame::Health {
+                id: 4,
+                state: HealthState::Degraded,
+                detail: "2/3 shards down".to_string(),
+            },
         ];
         for frame in &frames {
             let bytes = encode(frame);

@@ -57,7 +57,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use igcn_core::accel::{Accelerator, InferenceRequest, InferenceResponse};
-use igcn_core::CoreError;
+use igcn_core::{BackendHealth, CoreError};
 
 /// Configuration of the serving front-end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,12 @@ pub struct ServingConfig {
     /// How long a worker holding a non-full micro-batch waits for more
     /// requests before running it anyway.
     pub max_wait: Duration,
+    /// Consecutive failed micro-batches (backend errors or contained
+    /// panics, with no success in between) after which
+    /// [`ServingEngine::health`] reports the tier degraded — the
+    /// wedged-backend detector. One successful micro-batch resets the
+    /// streak; `0` disables the threshold.
+    pub failure_threshold: u32,
 }
 
 impl Default for ServingConfig {
@@ -83,6 +89,7 @@ impl Default for ServingConfig {
             queue_capacity: 64,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            failure_threshold: 3,
         }
     }
 }
@@ -167,6 +174,13 @@ impl ServingConfig {
     /// Sets the micro-batch collection window.
     pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
         self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the consecutive-failure threshold for
+    /// [`ServingEngine::health`] (0 disables it).
+    pub fn with_failure_threshold(mut self, threshold: u32) -> Self {
+        self.failure_threshold = threshold;
         self
     }
 }
@@ -303,6 +317,10 @@ struct QueueState {
     completed: u64,
     batches_executed: u64,
     checkpoints_taken: u64,
+    /// Failed micro-batches since the last success — the wedged-backend
+    /// streak that [`ServingEngine::health`] compares against
+    /// [`ServingConfig::failure_threshold`].
+    consecutive_failures: u64,
 }
 
 struct Shared {
@@ -345,6 +363,9 @@ pub struct QueueStats {
     pub completed: u64,
     /// Micro-batches executed since start.
     pub batches_executed: u64,
+    /// Failed micro-batches since the last successful one (the
+    /// wedged-backend streak behind [`ServingEngine::health`]).
+    pub consecutive_failures: u64,
     /// Whether shutdown has begun.
     pub shutting_down: bool,
 }
@@ -393,6 +414,7 @@ impl ServingEngine {
                 completed: 0,
                 batches_executed: 0,
                 checkpoints_taken: 0,
+                consecutive_failures: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -512,8 +534,29 @@ impl ServingEngine {
             submitted: state.submitted,
             completed: state.completed,
             batches_executed: state.batches_executed,
+            consecutive_failures: state.consecutive_failures,
             shutting_down: state.shutting_down,
         }
+    }
+
+    /// Live health of the serving tier: degraded when the last
+    /// [`ServingConfig::failure_threshold`] micro-batches *all* failed
+    /// (the backend looks wedged — erroring or panicking on everything
+    /// it is handed), otherwise whatever the backend itself reports via
+    /// [`Accelerator::health`]. A single successful micro-batch resets
+    /// the streak. The gateway folds this into `/healthz`.
+    pub fn health(&self) -> BackendHealth {
+        let streak = self.shared.state.lock().expect("queue lock").consecutive_failures;
+        let threshold = self.shared.cfg.failure_threshold;
+        if threshold > 0 && streak >= u64::from(threshold) {
+            return BackendHealth::Degraded {
+                detail: format!(
+                    "{streak} consecutive micro-batch failures (threshold {threshold}): \
+                     the backend looks wedged"
+                ),
+            };
+        }
+        self.shared.backend.health()
     }
 
     /// The served backend.
@@ -615,11 +658,18 @@ fn worker_loop(shared: &Shared) {
             shared.backend.infer_batch(&requests)
         }));
         // Count the batch *before* waking any waiter, so a caller that
-        // observed its response never reads a stale completed() count.
+        // observed its response never reads a stale completed() count
+        // (and health() already reflects the batch its ticket reported).
+        let batch_failed = !matches!(&result, Ok(Ok(_)));
         let checkpoint_due = {
             let mut state = shared.state.lock().expect("queue lock");
             state.completed += requests.len() as u64;
             state.batches_executed += 1;
+            if batch_failed {
+                state.consecutive_failures += 1;
+            } else {
+                state.consecutive_failures = 0;
+            }
             match &shared.checkpoint {
                 Some((policy, _)) if policy.every_batches > 0 => {
                     state.batches_executed.is_multiple_of(policy.every_batches)
@@ -997,6 +1047,130 @@ mod tests {
         assert_eq!(serving.completed(), 3);
         assert_eq!(serving.checkpoints_taken(), 0, "failed checkpoints are not counted");
         serving.shutdown(); // the shutdown hook panic is contained too
+    }
+
+    #[test]
+    fn wedged_backend_flips_health_degraded_until_a_success_resets_it() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Fails every request while armed — the "wedged" backend: alive
+        // enough to answer, wrong every time.
+        struct Wedged {
+            graph: Arc<igcn_graph::CsrGraph>,
+            wedged: AtomicBool,
+        }
+        impl Accelerator for Wedged {
+            fn name(&self) -> String {
+                "wedged".to_string()
+            }
+            fn graph(&self) -> &igcn_graph::CsrGraph {
+                &self.graph
+            }
+            fn prepare(
+                &mut self,
+                _: &igcn_gnn::GnnModel,
+                _: &igcn_gnn::ModelWeights,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
+                if self.wedged.load(Ordering::SeqCst) {
+                    return Err(CoreError::BackendFailed {
+                        backend: "wedged".to_string(),
+                        detail: "simulated wedge".to_string(),
+                    });
+                }
+                Ok(InferenceResponse {
+                    id: request.id,
+                    output: igcn_linalg::DenseMatrix::zeros(1, 1),
+                    report: Default::default(),
+                })
+            }
+            fn report(&self, _: &InferenceRequest) -> Result<ExecReport, CoreError> {
+                Ok(Default::default())
+            }
+        }
+        let g = igcn_graph::CsrGraph::from_undirected_edges(2, &[(0, 1)]).unwrap();
+        let backend = Arc::new(Wedged { graph: Arc::new(g), wedged: AtomicBool::new(true) });
+        let serving = ServingEngine::start(
+            Arc::clone(&backend) as Arc<dyn Accelerator>,
+            ServingConfig::default()
+                .with_workers(1)
+                .with_max_batch(1)
+                .with_max_wait(Duration::ZERO)
+                .with_failure_threshold(3),
+        );
+
+        // Two failures: under the threshold, still ready. The streak is
+        // committed before the ticket wakes, so waiting is enough.
+        for seed in 0..2 {
+            assert!(serving.submit(request(seed)).unwrap().wait().is_err());
+        }
+        assert!(serving.health().is_ready(), "streak of 2 is under the threshold");
+        assert_eq!(serving.queue_stats().consecutive_failures, 2);
+
+        // The third consecutive failure crosses it.
+        assert!(serving.submit(request(2)).unwrap().wait().is_err());
+        match serving.health() {
+            BackendHealth::Degraded { detail } => {
+                assert!(detail.contains("3 consecutive"), "detail: {detail}");
+                assert!(detail.contains("wedged"), "detail: {detail}");
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+
+        // One success resets the streak and the tier is ready again.
+        backend.wedged.store(false, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(serving.submit(request(3)).unwrap().wait().unwrap().id, 3);
+        assert!(serving.health().is_ready());
+        assert_eq!(serving.queue_stats().consecutive_failures, 0);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn health_delegates_to_the_backend_when_the_streak_is_clear() {
+        struct SickBackend {
+            graph: Arc<igcn_graph::CsrGraph>,
+        }
+        impl Accelerator for SickBackend {
+            fn name(&self) -> String {
+                "sick".to_string()
+            }
+            fn graph(&self) -> &igcn_graph::CsrGraph {
+                &self.graph
+            }
+            fn prepare(
+                &mut self,
+                _: &igcn_gnn::GnnModel,
+                _: &igcn_gnn::ModelWeights,
+            ) -> Result<(), CoreError> {
+                Ok(())
+            }
+            fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
+                Ok(InferenceResponse {
+                    id: request.id,
+                    output: igcn_linalg::DenseMatrix::zeros(1, 1),
+                    report: Default::default(),
+                })
+            }
+            fn report(&self, _: &InferenceRequest) -> Result<ExecReport, CoreError> {
+                Ok(Default::default())
+            }
+            fn health(&self) -> BackendHealth {
+                BackendHealth::Degraded { detail: "2/3 shards down".to_string() }
+            }
+        }
+        let g = igcn_graph::CsrGraph::from_undirected_edges(2, &[(0, 1)]).unwrap();
+        let serving = ServingEngine::start(
+            Arc::new(SickBackend { graph: Arc::new(g) }),
+            ServingConfig::default(),
+        );
+        // No failures at the serving tier, but the backend itself says
+        // it is degraded — the tier must not mask that.
+        match serving.health() {
+            BackendHealth::Degraded { detail } => assert!(detail.contains("shards down")),
+            other => panic!("expected backend degradation to surface, got {other:?}"),
+        }
+        serving.shutdown();
     }
 
     #[test]

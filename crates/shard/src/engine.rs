@@ -34,9 +34,10 @@
 //! igcn_core::consumer::hotpath::execute_islands_export
 //! [`hotpath::HubMergeState`]: igcn_core::consumer::hotpath::HubMergeState
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use igcn_core::accel::{validate_request, validate_weights, UpdateReport};
 use igcn_core::consumer::hotpath::{execute_islands_export, HubMergeState, IslandArena};
@@ -47,9 +48,9 @@ use igcn_core::incremental::apply_update_structural;
 use igcn_core::partition::NodeClass;
 use igcn_core::stats::{ExecStats, LocatorStats};
 use igcn_core::{
-    Accelerator, ConsumerConfig, CoreError, EngineParts, ExecConfig, ExecReport, GraphUpdate,
-    IGcnEngine, InferenceRequest, InferenceResponse, Island, IslandLayout, IslandPartition,
-    IslandizationConfig,
+    Accelerator, BackendHealth, ConsumerConfig, CoreError, EngineParts, ExecConfig, ExecReport,
+    GraphUpdate, IGcnEngine, InferenceRequest, InferenceResponse, Island, IslandLayout,
+    IslandPartition, IslandizationConfig,
 };
 use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::{CsrGraph, NodeId, SparseFeatures};
@@ -119,6 +120,8 @@ impl Shard {
     /// Exported contribution slots (one per island×contacted-hub pair)
     /// — the shard's per-layer upstream halo traffic in rows.
     fn contrib_slots(&self) -> usize {
+        // invariant: the offsets vector is built starting from a single 0
+        // entry, so `last()` always exists.
         *self.island_hub_offsets.last().expect("offsets have a final entry")
     }
 }
@@ -186,6 +189,8 @@ struct ShardRunState {
 impl ShardRunState {
     fn empty() -> ShardRunState {
         ShardRunState {
+            // invariant: the 0×0 CSR with offsets [0] is structurally
+            // valid by construction; `from_raw_parts` cannot reject it.
             gathered: SparseFeatures::from_raw_parts(0, 0, vec![0], Vec::new(), Vec::new())
                 .expect("empty features are well-formed"),
             ping: DenseMatrix::zeros(0, 0),
@@ -210,6 +215,10 @@ const SHARD_STATE_POOL_CAP: usize = 8;
 /// capacity does not outlive a resharding. Shared (`Arc`) across engine
 /// clones, like the thread pool.
 struct ShardStatePool {
+    // invariant: this lock is only ever held across plain Vec
+    // operations (no user code, no panics mid-critical-section), so it
+    // cannot be poisoned; the `expect`s below document that rather than
+    // guard a reachable failure.
     sets: Mutex<Vec<Vec<ShardRunState>>>,
 }
 
@@ -249,6 +258,103 @@ impl std::fmt::Debug for ShardStatePool {
     }
 }
 
+/// Live status of one shard, as reported by
+/// [`ShardedEngine::shard_health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard serves.
+    Up,
+    /// The shard's execution panicked mid-request and was contained;
+    /// the fleet fails fast with [`ShardError::ShardFailed`] until
+    /// [`ShardedEngine::heal`] rebuilds it.
+    Down {
+        /// The contained panic message.
+        detail: String,
+    },
+}
+
+/// Shared per-shard health: written from worker threads when a panic is
+/// contained at the fan-out seam, read on every request as a fail-fast
+/// gate. The `any_down` flag keeps the healthy hot path to one relaxed
+/// atomic load.
+#[derive(Debug)]
+struct HealthBoard {
+    any_down: AtomicBool,
+    status: Mutex<Vec<ShardHealth>>,
+}
+
+impl HealthBoard {
+    fn new(num_shards: usize) -> HealthBoard {
+        HealthBoard {
+            any_down: AtomicBool::new(false),
+            status: Mutex::new(vec![ShardHealth::Up; num_shards]),
+        }
+    }
+
+    /// The board never holds its lock across a panic, but a worker
+    /// thread aborting between lock and unlock would poison it; health
+    /// reporting must survive that, so recover the data either way.
+    fn lock(&self) -> MutexGuard<'_, Vec<ShardHealth>> {
+        self.status.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn mark_down(&self, shard: usize, detail: &str) {
+        self.lock()[shard] = ShardHealth::Down { detail: detail.to_string() };
+        self.any_down.store(true, Ordering::Release);
+    }
+
+    fn mark_up(&self, shard: usize) {
+        let mut status = self.lock();
+        status[shard] = ShardHealth::Up;
+        let all_up = status.iter().all(|s| *s == ShardHealth::Up);
+        if all_up {
+            self.any_down.store(false, Ordering::Release);
+        }
+    }
+
+    fn reset(&self, num_shards: usize) {
+        *self.lock() = vec![ShardHealth::Up; num_shards];
+        self.any_down.store(false, Ordering::Release);
+    }
+
+    fn any_down(&self) -> bool {
+        self.any_down.load(Ordering::Acquire)
+    }
+
+    fn snapshot(&self) -> Vec<ShardHealth> {
+        self.lock().clone()
+    }
+
+    fn down_shards(&self) -> Vec<usize> {
+        self.lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, ShardHealth::Down { .. }).then_some(i))
+            .collect()
+    }
+
+    /// An independent board with the same statuses (for
+    /// [`ShardedEngine::clone`] — clones are independent fleets).
+    fn duplicate(&self) -> HealthBoard {
+        let status = self.snapshot();
+        HealthBoard {
+            any_down: AtomicBool::new(status.iter().any(|s| matches!(s, ShardHealth::Down { .. }))),
+            status: Mutex::new(status),
+        }
+    }
+}
+
+/// Renders a contained panic payload for health reports.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// K engines behind one [`Accelerator`]: island-aware sharding with
 /// hubs replicated as the halo, a deterministic per-layer halo
 /// exchange, and outputs + `ExecStats` **bit-identical** to a single
@@ -278,7 +384,7 @@ impl std::fmt::Debug for ShardStatePool {
 /// assert_eq!(a.output, b.output); // bit-identical
 /// # Ok::<(), igcn_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedEngine {
     graph: Arc<CsrGraph>,
     partition: IslandPartition,
@@ -293,6 +399,31 @@ pub struct ShardedEngine {
     prepared: Option<Prepared>,
     pool: Option<ThreadPool>,
     state_pool: Arc<ShardStatePool>,
+    health: Arc<HealthBoard>,
+}
+
+impl Clone for ShardedEngine {
+    /// A clone is an independent fleet: it gets its own health board
+    /// (copying current statuses) so marking a shard down in one fleet
+    /// never fails requests in the other. The state pool is shared — it
+    /// is a cache of request-scoped buffers, not fleet state.
+    fn clone(&self) -> Self {
+        ShardedEngine {
+            graph: Arc::clone(&self.graph),
+            partition: self.partition.clone(),
+            locator_stats: self.locator_stats.clone(),
+            layout: Arc::clone(&self.layout),
+            island_cfg: self.island_cfg,
+            consumer_cfg: self.consumer_cfg,
+            exec_cfg: self.exec_cfg,
+            shards: self.shards.clone(),
+            island_home: self.island_home.clone(),
+            prepared: self.prepared.clone(),
+            pool: self.pool.clone(),
+            state_pool: Arc::clone(&self.state_pool),
+            health: Arc::new(self.health.duplicate()),
+        }
+    }
 }
 
 impl ShardedEngine {
@@ -345,6 +476,7 @@ impl ShardedEngine {
         let (shards, island_home, _) =
             build_fleet_for(&layout, island_cfg, consumer_cfg, num_shards, prefer)?;
         let pool = (exec_cfg.num_threads > 1).then(|| ThreadPool::new(exec_cfg.num_threads));
+        let num_shards = shards.len();
         let mut engine = ShardedEngine {
             graph,
             partition,
@@ -358,6 +490,7 @@ impl ShardedEngine {
             prepared: None,
             pool,
             state_pool: Arc::new(ShardStatePool::new()),
+            health: Arc::new(HealthBoard::new(num_shards)),
         };
         if let Some((m, w)) = model {
             engine.prepare_internal(&m, &w)?;
@@ -518,7 +651,9 @@ impl ShardedEngine {
     /// # Errors
     ///
     /// [`CoreError::ShapeMismatch`] if feature or weight shapes do not
-    /// match the graph and model.
+    /// match the graph and model; [`CoreError::BackendFailed`] if a
+    /// shard panicked mid-request (contained; see
+    /// [`ShardedEngine::heal`]).
     pub fn run(
         &self,
         features: &SparseFeatures,
@@ -530,12 +665,102 @@ impl ShardedEngine {
         let norm = model.normalization(self.layout.graph());
         let shard_norms: Vec<GcnNormalization> =
             self.shards.iter().map(|s| norm.gather(&s.local_to_layout)).collect();
-        let out = self.execute(features, model, weights, &norm, &shard_norms, self.shard_pool());
+        let out = self
+            .execute(features, model, weights, &norm, &shard_norms, self.shard_pool())
+            .map_err(|e| self.failure_to_core(e))?;
         Ok((out, self.stats(features, model)))
+    }
+
+    /// Maps an execution-seam failure into the [`Accelerator`]-level
+    /// error vocabulary.
+    fn failure_to_core(&self, e: ShardError) -> CoreError {
+        match e {
+            ShardError::ShardFailed { shard, detail } => {
+                CoreError::BackendFailed { backend: format!("shard {shard}"), detail }
+            }
+            // invariant: execute() only fails with ShardFailed; keep
+            // the information if that ever changes.
+            other => CoreError::BackendFailed { backend: self.name(), detail: other.to_string() },
+        }
+    }
+
+    /// Per-shard live health, in shard-index order.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.health.snapshot()
+    }
+
+    /// Indices of shards currently down, ascending.
+    pub fn down_shards(&self) -> Vec<usize> {
+        self.health.down_shards()
+    }
+
+    /// Rebuilds shard `shard` from the global layout — the same pure
+    /// reassembly a fresh fleet construction uses, touching **only**
+    /// this shard: healthy shards keep their engines, and the routing
+    /// table is unchanged because the island assignment is. The rebuilt
+    /// shard is re-prepared with the fleet's model and marked
+    /// [`ShardHealth::Up`].
+    ///
+    /// # Panics
+    ///
+    /// If `shard` is out of range (caller bug, like slice indexing).
+    ///
+    /// # Errors
+    ///
+    /// The construction failures of fleet assembly
+    /// ([`ShardError::ShardUnservable`], wrapped core/graph errors). On
+    /// error the old shard stays in place and stays down.
+    pub fn rebuild_shard(&mut self, shard: usize) -> Result<(), ShardError> {
+        assert!(
+            shard < self.shards.len(),
+            "rebuild_shard({shard}): fleet has {} shards",
+            self.shards.len()
+        );
+        let islands = self.shards[shard].islands.clone();
+        let mut rebuilt = build_shard(&self.layout, self.island_cfg, self.consumer_cfg, &islands)
+            .map_err(|e| annotate_shard(e, shard))?;
+        if let Some(p) = &self.prepared {
+            rebuilt.engine.prepare(&p.model, &p.weights)?;
+        }
+        self.shards[shard] = rebuilt;
+        // Pooled state sets may hold buffers sized by the dead shard's
+        // torn run; drop them all rather than reason about which are
+        // safe.
+        self.state_pool.clear();
+        self.health.mark_up(shard);
+        Ok(())
+    }
+
+    /// Rebuilds every [`ShardHealth::Down`] shard
+    /// ([`ShardedEngine::rebuild_shard`]) and returns the indices
+    /// healed. After a successful heal the fleet serves again and its
+    /// outputs are bit-identical to an undamaged fleet — the rebuild
+    /// reassembles the exact same shard from the exact same layout.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedEngine::rebuild_shard`]; shards healed before the
+    /// failing one stay healed.
+    pub fn heal(&mut self) -> Result<Vec<usize>, ShardError> {
+        let down = self.health.down_shards();
+        for &shard in &down {
+            self.rebuild_shard(shard)?;
+        }
+        Ok(down)
     }
 
     /// The per-layer driver: hub XW broadcast → shard-local islands →
     /// global schedule-order merge → hub finalise.
+    ///
+    /// Shard execution is the fleet's failure domain: each
+    /// `run_shard_layer` call runs under `catch_unwind`, so a panicking
+    /// shard (a bug, a poisoned buffer, an injected fault) is contained
+    /// at this seam — the shard is marked [`ShardHealth::Down`], the
+    /// request fails with [`ShardError::ShardFailed`], and subsequent
+    /// requests fail fast on the health gate until
+    /// [`ShardedEngine::heal`] rebuilds the dead shard. The torn
+    /// per-request state set is discarded (never returned to the pool),
+    /// so no later request can observe half-written activations.
     fn execute(
         &self,
         features: &SparseFeatures,
@@ -544,7 +769,19 @@ impl ShardedEngine {
         norm: &GcnNormalization,
         shard_norms: &[GcnNormalization],
         pool: Option<&ThreadPool>,
-    ) -> DenseMatrix {
+    ) -> Result<DenseMatrix, ShardError> {
+        if self.health.any_down() {
+            let down = self.health.down_shards();
+            // invariant: any_down implies a non-empty down list — both
+            // are written under the board lock.
+            let shard = down.first().copied().unwrap_or(0);
+            return Err(ShardError::ShardFailed {
+                shard,
+                detail: format!(
+                    "shard(s) {down:?} are down from an earlier contained failure; call heal()"
+                ),
+            });
+        }
         let layout = &*self.layout;
         let num_hubs = layout.num_hubs();
         let lp = layout.partition();
@@ -591,29 +828,48 @@ impl ShardedEngine {
                 let first_layer = li == 0;
                 let activation = layer.activation;
                 let consumer_cfg = self.consumer_cfg;
+                // Contained shard failures for this layer: (shard,
+                // panic message). AssertUnwindSafe is justified because
+                // a panicking shard's state set is discarded wholesale
+                // below — torn &mut state never escapes.
+                let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
                 match pool {
                     Some(pool) if self.shards.len() > 1 => {
                         let slots: Vec<Mutex<&mut ShardRunState>> =
                             states.iter_mut().map(Mutex::new).collect();
                         let next = AtomicUsize::new(0);
                         let shards = &self.shards;
+                        let failures = &failures;
                         let worker = || loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= slots.len() {
                                 break;
                             }
+                            // invariant: each slot is claimed by exactly
+                            // one worker (the fetch_add hands out unique
+                            // indices) and shard panics are caught below
+                            // *inside* the guard's scope, so the lock is
+                            // never contended and never poisoned.
                             let mut st = slots[i].lock().expect("shard slot lock");
-                            run_shard_layer(
-                                &shards[i],
-                                &mut st,
-                                first_layer,
-                                w,
-                                &shard_norms[i],
-                                activation,
-                                hub_slab,
-                                width,
-                                consumer_cfg,
-                            );
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                run_shard_layer(
+                                    &shards[i],
+                                    &mut st,
+                                    first_layer,
+                                    w,
+                                    &shard_norms[i],
+                                    activation,
+                                    hub_slab,
+                                    width,
+                                    consumer_cfg,
+                                );
+                            }));
+                            if let Err(payload) = outcome {
+                                failures
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .push((i, panic_message(payload)));
+                            }
                         };
                         pool.scope(|s| {
                             for _ in 0..(pool.threads() - 1).min(slots.len() - 1) {
@@ -624,19 +880,38 @@ impl ShardedEngine {
                     }
                     _ => {
                         for (i, st) in states.iter_mut().enumerate() {
-                            run_shard_layer(
-                                &self.shards[i],
-                                st,
-                                first_layer,
-                                w,
-                                &shard_norms[i],
-                                activation,
-                                hub_slab,
-                                width,
-                                consumer_cfg,
-                            );
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                run_shard_layer(
+                                    &self.shards[i],
+                                    st,
+                                    first_layer,
+                                    w,
+                                    &shard_norms[i],
+                                    activation,
+                                    hub_slab,
+                                    width,
+                                    consumer_cfg,
+                                );
+                            }));
+                            if let Err(payload) = outcome {
+                                failures
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .push((i, panic_message(payload)));
+                            }
                         }
                     }
+                }
+                let mut failed = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+                if !failed.is_empty() {
+                    failed.sort_unstable_by_key(|&(i, _)| i);
+                    for (i, detail) in &failed {
+                        self.health.mark_down(*i, detail);
+                    }
+                    let (shard, detail) = failed.swap_remove(0);
+                    // `states` is dropped here, not returned to the
+                    // pool: a torn state set must never be reused.
+                    return Err(ShardError::ShardFailed { shard, detail });
                 }
             }
 
@@ -685,7 +960,7 @@ impl ShardedEngine {
             }
         }
         self.state_pool.put(states);
-        out
+        Ok(out)
     }
 
     /// Routes a structural update through the fleet: the global
@@ -701,6 +976,17 @@ impl ShardedEngine {
     /// [`ShardError::ShardUnservable`] if the new structure cannot be
     /// sharded at the current shard count.
     pub fn apply_update(&mut self, update: GraphUpdate) -> Result<ShardUpdateReport, ShardError> {
+        // A degraded fleet must heal before restructuring: the affinity
+        // pass votes with current ownership, and resharding around a
+        // dead shard would silently launder its Down status.
+        if self.health.any_down() {
+            let down = self.health.down_shards();
+            let shard = down.first().copied().unwrap_or(0);
+            return Err(ShardError::ShardFailed {
+                shard,
+                detail: format!("shard(s) {down:?} are down; call heal() before apply_update"),
+            });
+        }
         // Stage everything; `self` is only mutated at the commit point
         // below, so a failing update (including an unshardable new
         // structure) leaves the fleet exactly as it was.
@@ -736,6 +1022,8 @@ impl ShardedEngine {
                         votes[s as usize] += 1;
                     }
                 }
+                // invariant: `k >= 1` (InvalidShardCount is rejected at
+                // construction), so the votes vector is never empty.
                 let (best, &count) = votes
                     .iter()
                     .enumerate()
@@ -789,6 +1077,9 @@ impl ShardedEngine {
         self.shards = shards;
         self.island_home = island_home;
         self.state_pool.clear();
+        // The fleet may have shrunk (shard count clamps to the island
+        // count); size the health board to the committed fleet.
+        self.health.reset(self.shards.len());
         if let Some(p) = self.prepared.take() {
             let norm = p.model.normalization(self.layout.graph());
             let shard_norms: Vec<GcnNormalization> =
@@ -973,7 +1264,8 @@ impl ShardedEngine {
                 }
                 island_home[gi as usize] = (s as u32, j as u32);
                 local_to_layout.extend(gisl.nodes.iter().copied());
-                offsets.push(offsets.last().unwrap() + gisl.hubs.len());
+                // invariant: offsets starts as vec![0], so last() exists.
+                offsets.push(offsets.last().expect("offsets seeded with 0") + gisl.hubs.len());
             }
             for (li, &lid) in local_to_layout.iter().enumerate() {
                 let expected = layout.gather_order()[lid as usize];
@@ -998,6 +1290,7 @@ impl ShardedEngine {
         }
 
         let pool = (exec_cfg.num_threads > 1).then(|| ThreadPool::new(exec_cfg.num_threads));
+        let num_shards = shards.len();
         let mut engine = ShardedEngine {
             graph: Arc::clone(&coordinator.graph),
             partition: coordinator.partition.clone(),
@@ -1011,6 +1304,7 @@ impl ShardedEngine {
             prepared: None,
             pool,
             state_pool: Arc::new(ShardStatePool::new()),
+            health: Arc::new(HealthBoard::new(num_shards)),
         };
         if let Some((model, weights)) = &coordinator.model {
             engine.prepare_internal(model, weights)?;
@@ -1035,14 +1329,16 @@ impl Accelerator for ShardedEngine {
     fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
         let prepared = self.prepared()?;
         validate_request(&self.graph, &prepared.model, request)?;
-        let output = self.execute(
-            &request.features,
-            &prepared.model,
-            &prepared.weights,
-            &prepared.norm,
-            &prepared.shard_norms,
-            self.shard_pool(),
-        );
+        let output = self
+            .execute(
+                &request.features,
+                &prepared.model,
+                &prepared.weights,
+                &prepared.norm,
+                &prepared.shard_norms,
+                self.shard_pool(),
+            )
+            .map_err(|e| self.failure_to_core(e))?;
         let stats = self.stats(&request.features, &prepared.model);
         Ok(InferenceResponse {
             id: request.id,
@@ -1062,21 +1358,25 @@ impl Accelerator for ShardedEngine {
         for request in requests {
             validate_request(&self.graph, &prepared.model, request)?;
         }
-        let respond = |request: &InferenceRequest, pool: Option<&ThreadPool>| {
-            let output = self.execute(
-                &request.features,
-                &prepared.model,
-                &prepared.weights,
-                &prepared.norm,
-                &prepared.shard_norms,
-                pool,
-            );
+        let respond = |request: &InferenceRequest,
+                       pool: Option<&ThreadPool>|
+         -> Result<InferenceResponse, CoreError> {
+            let output = self
+                .execute(
+                    &request.features,
+                    &prepared.model,
+                    &prepared.weights,
+                    &prepared.norm,
+                    &prepared.shard_norms,
+                    pool,
+                )
+                .map_err(|e| self.failure_to_core(e))?;
             let stats = self.stats(&request.features, &prepared.model);
-            InferenceResponse {
+            Ok(InferenceResponse {
                 id: request.id,
                 output,
                 report: ExecReport::from_stats(self.name(), &stats),
-            }
+            })
         };
         if self.exec_cfg.num_threads > 1 && self.exec_cfg.parallel_batch && requests.len() > 1 {
             if let Some(pool) = &self.pool {
@@ -1085,10 +1385,13 @@ impl Accelerator for ShardedEngine {
                 // computation a lone sequential infer performs, so
                 // batched outputs are bit-identical at any thread
                 // count.
-                return Ok(pool.par_map(requests, |_, request| respond(request, None)));
+                return pool
+                    .par_map(requests, |_, request| respond(request, None))
+                    .into_iter()
+                    .collect();
             }
         }
-        Ok(requests.iter().map(|request| respond(request, self.shard_pool())).collect())
+        requests.iter().map(|request| respond(request, self.shard_pool())).collect()
     }
 
     fn report(&self, request: &InferenceRequest) -> Result<ExecReport, CoreError> {
@@ -1096,6 +1399,21 @@ impl Accelerator for ShardedEngine {
         validate_request(&self.graph, &prepared.model, request)?;
         let stats = self.stats(&request.features, &prepared.model);
         Ok(ExecReport::from_stats(self.name(), &stats))
+    }
+
+    fn health(&self) -> BackendHealth {
+        let down = self.health.down_shards();
+        if down.is_empty() {
+            BackendHealth::Ready
+        } else {
+            BackendHealth::Degraded {
+                detail: format!(
+                    "{}/{} shards down ({down:?}); call heal() to rebuild",
+                    down.len(),
+                    self.shards.len()
+                ),
+            }
+        }
     }
 }
 
@@ -1114,6 +1432,9 @@ fn run_shard_layer(
     width: usize,
     consumer_cfg: ConsumerConfig,
 ) {
+    // Chaos seam: `panic`-action injections here simulate a shard
+    // dying mid-layer; the fan-out above contains the unwind.
+    igcn_fail::fail_point!("shard::run_layer");
     let hs = shard.num_hubs();
     let n_local = shard.num_nodes();
     // Halo broadcast: this shard's replicated hub XW rows.
@@ -1225,7 +1546,8 @@ fn build_shard(
             local_to_layout.push(v);
         }
         let hubs_local: Vec<u32> = gisl.hubs.iter().map(|&h| layout_to_local[h as usize]).collect();
-        offsets.push(offsets.last().unwrap() + hubs_local.len());
+        // invariant: offsets starts as vec![0], so last() exists.
+        offsets.push(offsets.last().expect("offsets seeded with 0") + hubs_local.len());
         islands_local.push(Island {
             nodes: nodes_local,
             hubs: hubs_local,

@@ -40,6 +40,19 @@ pub enum ShardError {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// A shard's execution panicked mid-request (contained at the
+    /// fan-out seam) or the shard was already marked down by an earlier
+    /// failure. The fleet serves degraded — requests fail fast with
+    /// this error — until [`ShardedEngine::heal`] rebuilds the dead
+    /// shard.
+    ///
+    /// [`ShardedEngine::heal`]: crate::ShardedEngine::heal
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// The contained panic message, or why the shard is down.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -56,6 +69,9 @@ impl fmt::Display for ShardError {
             }
             ShardError::ManifestMismatch { detail } => {
                 write!(f, "manifest does not match its snapshots: {detail}")
+            }
+            ShardError::ShardFailed { shard, detail } => {
+                write!(f, "shard {shard} failed: {detail}")
             }
         }
     }

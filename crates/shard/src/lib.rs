@@ -45,9 +45,15 @@ pub mod engine;
 pub mod error;
 pub mod sharder;
 
-pub use engine::{Shard, ShardStructure, ShardUpdateReport, ShardedEngine};
+pub use engine::{Shard, ShardHealth, ShardStructure, ShardUpdateReport, ShardedEngine};
 pub use error::ShardError;
 pub use sharder::{assign_islands, sharding_report, ShardAssignment, ShardingReport};
+
+/// Every failpoint this crate evaluates, for the chaos harness to
+/// enumerate. `shard::run_layer` sits inside the per-shard, per-layer
+/// execution seam: a `panic` action there simulates a shard dying
+/// mid-request and must be contained by the fleet.
+pub const FAILPOINTS: &[&str] = &["shard::run_layer"];
 
 #[cfg(test)]
 mod tests {

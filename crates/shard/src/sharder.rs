@@ -106,6 +106,9 @@ pub fn assign_islands(
                     best = Some((s, overlap, l));
                 }
             }
+            // invariant: `num_shards >= 1` and the cap-respecting skip
+            // only fires while some other shard still fits, so at least
+            // one candidate always survives the loop.
             best.expect("at least one shard considered").0
         });
         island_shard[idx as usize] = chosen as u32;
@@ -119,10 +122,13 @@ pub fn assign_islands(
     // No shard may end up empty (each shard must host an engine): move
     // the lightest island off the shard with the most islands.
     while let Some(empty) = shards.iter().position(Vec::is_empty) {
+        // invariant: callers clamp `num_shards <= num_islands`, so while
+        // any shard is empty some other shard holds >= 2 islands.
         let donor = (0..num_shards)
             .filter(|&s| shards[s].len() > 1)
             .max_by_key(|&s| (shards[s].len(), std::cmp::Reverse(s)))
             .expect("num_shards <= num_islands guarantees a donor");
+        // invariant: the donor was selected for len() > 1 just above.
         let (pos, &lightest) = shards[donor]
             .iter()
             .enumerate()
@@ -226,6 +232,7 @@ pub fn sharding_report(
     // Home shard of each hub: most contact edges, ties → lowest shard.
     let home: Vec<usize> = (0..num_hubs)
         .map(|h| {
+            // invariant: `num_shards >= 1`, so the range is non-empty.
             (0..num_shards)
                 .max_by_key(|&s| (contacts[h * num_shards + s], std::cmp::Reverse(s)))
                 .expect("at least one shard")

@@ -77,6 +77,19 @@ pub enum StoreError {
         /// Human-readable description.
         detail: String,
     },
+    /// Boot found the current snapshot corrupt or missing, quarantined
+    /// it when there was a file to quarantine, and the previous
+    /// checkpoint generation could not be loaded either — there is
+    /// nothing to serve from. Rebuild the snapshot from the source
+    /// graph.
+    NoUsableSnapshot {
+        /// Where the corrupt snapshot was moved
+        /// (`<snapshot>.quarantine`); `None` when it was missing
+        /// outright.
+        quarantined: Option<PathBuf>,
+        /// Why the current and previous generations were both rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -115,6 +128,14 @@ impl fmt::Display for StoreError {
             StoreError::WalCorrupt { offset, detail } => {
                 write!(f, "write-ahead log damaged at byte {offset}: {detail}")
             }
+            StoreError::NoUsableSnapshot { quarantined, detail } => match quarantined {
+                Some(q) => write!(
+                    f,
+                    "no usable snapshot generation (corrupt image quarantined at {}): {detail}",
+                    q.display()
+                ),
+                None => write!(f, "no usable snapshot generation: {detail}"),
+            },
         }
     }
 }

@@ -58,11 +58,26 @@
 //! [`GraphUpdate`]: igcn_core::GraphUpdate
 
 pub mod error;
+mod io;
 pub mod manifest;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 mod wire;
+
+/// Every failpoint this crate's I/O and durability paths evaluate —
+/// the chaos harness iterates this list to guarantee each registered
+/// point gets injected at least once per campaign. Grammar and actions:
+/// see the `igcn-fail` crate docs.
+pub const FAILPOINTS: &[&str] = &[
+    "store::io::write",
+    "store::io::read",
+    "store::io::rename",
+    "store::snapshot::publish",
+    "store::wal::append",
+    "store::wal::reset",
+    "store::checkpoint::rotated",
+];
 
 use std::path::PathBuf;
 

@@ -123,7 +123,7 @@ impl ShardManifest {
     /// failures, codec errors, and structural inconsistencies.
     pub fn read(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let bytes = crate::io::read(path).map_err(|e| io_err(path, e))?;
         let payload = framed_payload(&bytes, MANIFEST_MAGIC, MANIFEST_VERSION)?;
         let raw: RawManifest = bitcode::decode(payload)?;
         raw.into_manifest()
@@ -139,7 +139,7 @@ impl ShardManifest {
     /// reported in the returned [`ManifestInfo`].
     pub fn inspect(path: impl AsRef<Path>) -> Result<ManifestInfo, StoreError> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let bytes = crate::io::read(path).map_err(|e| io_err(path, e))?;
         let info = inspect_framed(&bytes, MANIFEST_MAGIC)?;
         Ok(ManifestInfo {
             version: info.version,

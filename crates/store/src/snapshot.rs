@@ -171,7 +171,7 @@ impl Snapshot {
     /// failures.
     pub fn read(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let bytes = crate::io::read(path).map_err(|e| io_err(path, e))?;
         let payload = verified_payload(&bytes)?;
         let raw: RawSnapshot = bitcode::decode(payload)?;
         Self::from_raw(raw)
@@ -188,7 +188,7 @@ impl Snapshot {
     /// so `inspect` can describe any intact header.
     pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, StoreError> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let bytes = crate::io::read(path).map_err(|e| io_err(path, e))?;
         inspect_framed(&bytes, SNAPSHOT_MAGIC)
     }
 
@@ -213,6 +213,8 @@ impl Snapshot {
             }
             _ => io_err(path, e),
         })?;
+        // invariant: `bytes` is a [u8; HEADER_BYTES] array — every
+        // fixed-width slice below exists by construction.
         if bytes[..4] != SNAPSHOT_MAGIC {
             return Err(StoreError::BadMagic { found: bytes[..4].try_into().expect("four bytes") });
         }
@@ -297,17 +299,6 @@ impl Snapshot {
     }
 }
 
-/// Writes `bytes` to `path` and fsyncs before returning — the
-/// durability half of every write-then-rename in this crate (a rename
-/// only orders metadata; without the fsync a crash can publish a name
-/// pointing at unwritten data).
-pub(crate) fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
-    use std::io::Write;
-    let mut file = std::fs::File::create(path).map_err(|e| io_err(path, e))?;
-    file.write_all(bytes).map_err(|e| io_err(path, e))?;
-    file.sync_all().map_err(|e| io_err(path, e))
-}
-
 /// Validates magic, version, length and checksum; returns the payload
 /// slice.
 fn verified_payload(bytes: &[u8]) -> Result<&[u8], StoreError> {
@@ -336,8 +327,24 @@ pub(crate) fn write_framed(
     file.extend_from_slice(&checksum.to_le_bytes());
     file.extend_from_slice(payload);
     let tmp = path.with_extension("tmp");
-    write_durable(&tmp, &file)?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    crate::io::write_durable(&tmp, &file)?;
+    // Failpoint `store::snapshot::publish`: `return` dies between the
+    // durable temp write and the rename (temp orphaned, target intact —
+    // the window atomicity must cover); `truncate(K)` simulates a
+    // *torn publish* — the first K bytes of the frame land on the final
+    // path, the state a non-atomic writer or sector loss at power-off
+    // leaves behind, which boot must quarantine.
+    match igcn_fail::eval("store::snapshot::publish") {
+        Some(igcn_fail::Action::ReturnErr) => {
+            return Err(crate::io::injected(path, "store::snapshot::publish"))
+        }
+        Some(igcn_fail::Action::Truncate(k)) => {
+            let _ = crate::io::write_durable(path, &file[..k.min(file.len())]);
+            return Err(crate::io::injected(path, "store::snapshot::publish"));
+        }
+        _ => {}
+    }
+    crate::io::rename(&tmp, path)?;
     Ok((file.len() as u64, checksum))
 }
 
@@ -351,6 +358,8 @@ pub(crate) fn framed_payload(
     if bytes.len() < HEADER_BYTES {
         return Err(StoreError::Truncated { needed: HEADER_BYTES as u64, got: bytes.len() as u64 });
     }
+    // invariant: bytes.len() >= HEADER_BYTES was just checked — the
+    // fixed-width header slices below cannot fail.
     if bytes[..4] != magic {
         return Err(StoreError::BadMagic { found: bytes[..4].try_into().expect("four bytes") });
     }
@@ -380,6 +389,7 @@ pub(crate) fn inspect_framed(bytes: &[u8], magic: [u8; 4]) -> Result<SnapshotInf
     if bytes.len() < HEADER_BYTES {
         return Err(StoreError::Truncated { needed: HEADER_BYTES as u64, got: bytes.len() as u64 });
     }
+    // invariant: bytes.len() >= HEADER_BYTES was just checked.
     if bytes[..4] != magic {
         return Err(StoreError::BadMagic { found: bytes[..4].try_into().expect("four bytes") });
     }

@@ -14,18 +14,25 @@
 //!    the snapshot (the serving front-end's checkpoint hook calls
 //!    this).
 //!
-//! A checkpoint is crash-safe without any coordination: the new
-//! snapshot is renamed into place first, and the WAL's pairing header
-//! (see [`Wal`]) ties every log to the snapshot checksum it extends —
-//! a log orphaned by a crash between the two steps is recognised as
-//! stale at the next boot and discarded instead of double-applied.
+//! A checkpoint is crash-safe without any coordination: the outgoing
+//! snapshot is first rotated aside to `<snapshot>.prev`, the new one is
+//! written temp-file-then-rename (fsync-ordered), and the WAL's pairing
+//! header (see [`Wal`]) ties every log to the snapshot checksum it
+//! extends — a log orphaned by a crash between the steps is recognised
+//! as stale at the next boot and discarded instead of double-applied.
+//! If the *published* snapshot itself turns out corrupt (torn by a
+//! non-atomic writer, sector loss, bit rot), [`EngineStore::boot`]
+//! quarantines it to `<snapshot>.quarantine` and falls back to the
+//! previous generation plus the WAL — which still pairs with it, so no
+//! acknowledged update is lost (pinned by the chaos campaign's
+//! tear-offset sweep).
 
 use std::path::{Path, PathBuf};
 
 use igcn_core::accel::UpdateReport;
 use igcn_core::{ExecConfig, GraphUpdate, IGcnEngine};
 
-use crate::error::StoreError;
+use crate::error::{io_err, StoreError};
 use crate::snapshot::Snapshot;
 use crate::wal::Wal;
 
@@ -46,6 +53,14 @@ pub struct BootOutcome {
     pub stale_wal_discarded: bool,
     /// The snapshot's bundled default feature matrix, if any.
     pub features: Option<igcn_graph::SparseFeatures>,
+    /// Whether boot fell back to the previous checkpoint generation
+    /// (`<snapshot>.prev`) because the current snapshot was corrupt,
+    /// torn, or missing after an interrupted checkpoint.
+    pub recovered_from_previous: bool,
+    /// Where a corrupt current snapshot was quarantined
+    /// (`<snapshot>.quarantine`), for post-mortem inspection. `None`
+    /// when the snapshot booted cleanly or was missing outright.
+    pub quarantined_snapshot: Option<PathBuf>,
 }
 
 /// A snapshot file and its sidecar WAL (`<snapshot>.wal`), managed as
@@ -76,6 +91,26 @@ impl EngineStore {
         &self.wal_path
     }
 
+    /// Where the previous checkpoint generation is kept
+    /// (`<snapshot>.prev`) — the fallback image when the current
+    /// snapshot is found corrupt at boot.
+    pub fn previous_snapshot_path(&self) -> PathBuf {
+        self.suffixed(".prev")
+    }
+
+    /// Where a corrupt snapshot is moved at boot
+    /// (`<snapshot>.quarantine`) so it stays available for post-mortem
+    /// inspection instead of being overwritten by the next checkpoint.
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.suffixed(".quarantine")
+    }
+
+    fn suffixed(&self, suffix: &str) -> PathBuf {
+        let mut path = self.snapshot_path.clone().into_os_string();
+        path.push(suffix);
+        PathBuf::from(path)
+    }
+
     /// The WAL handle paired with the snapshot currently on disk.
     /// Reads only the snapshot's 24-byte header — pairing a log record
     /// must not cost a full scan of the snapshot payload.
@@ -88,16 +123,40 @@ impl EngineStore {
         Ok(Wal::paired(&self.wal_path, header.checksum))
     }
 
-    /// Writes `snapshot` (atomic rename), then resets the WAL with the
-    /// new pairing header. A crash between the two steps leaves a
-    /// stale-paired log that the next boot discards.
+    /// Writes `snapshot` crash-safely in three ordered steps: rotate
+    /// the current snapshot to [`EngineStore::previous_snapshot_path`],
+    /// write the new one (temp file + rename, fsync-ordered), then
+    /// reset the WAL with the new pairing header.
+    ///
+    /// Every crash window is recoverable by [`EngineStore::boot`]:
+    /// after the rotation the previous generation plus the still-paired
+    /// WAL reconstruct the exact pre-checkpoint state; after the
+    /// publish the WAL is stale-paired and discarded (its updates are
+    /// folded into the new snapshot); and a *torn* publish is
+    /// quarantined and falls back to the previous generation.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] on filesystem failures.
+    /// [`StoreError::Io`] on filesystem failures. On error the store
+    /// may be left rotated (previous generation only); it still boots
+    /// to the exact pre-checkpoint state.
     pub fn save(&self, snapshot: &Snapshot) -> Result<u64, StoreError> {
-        let bytes = snapshot.write(&self.snapshot_path)?;
-        self.wal()?.reset()?;
+        let prev = self.previous_snapshot_path();
+        match std::fs::rename(&self.snapshot_path, &prev) {
+            Ok(()) => {}
+            // First checkpoint ever: nothing to rotate.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&self.snapshot_path, e)),
+        }
+        // Failpoint `store::checkpoint::rotated`: dies between the
+        // rotation and the publish — boot must recover from
+        // `.prev` + WAL with no acknowledged update lost.
+        igcn_fail::fail_point!("store::checkpoint::rotated", |_| Err(crate::io::injected(
+            &self.snapshot_path,
+            "store::checkpoint::rotated"
+        )));
+        let (bytes, checksum) = snapshot.write_with_checksum(&self.snapshot_path)?;
+        Wal::paired(&self.wal_path, checksum).reset()?;
         Ok(bytes)
     }
 
@@ -119,16 +178,26 @@ impl EngineStore {
     /// per-record replay (pinned by the batched-replay equivalence
     /// test).
     ///
+    /// A corrupt or torn current snapshot does **not** fail the boot:
+    /// it is renamed to [`EngineStore::quarantine_path`] (preserved for
+    /// post-mortem) and the previous checkpoint generation is loaded
+    /// instead — the WAL still pairs with it, so replay reconstructs
+    /// every acknowledged update. Only when no generation is usable
+    /// does boot fail, with [`StoreError::NoUsableSnapshot`].
+    ///
     /// # Errors
     ///
-    /// Snapshot errors as [`Snapshot::read`]; WAL errors as
+    /// [`StoreError::NoUsableSnapshot`] when the current snapshot is
+    /// corrupt/missing and no previous generation can be loaded;
+    /// transient I/O and version-skew errors as [`Snapshot::read`]
+    /// (never quarantined — the file may be fine); WAL errors as
     /// [`Wal::replay`]; [`StoreError::Core`] if a logged update no
     /// longer applies (the log and snapshot are out of sync in a way
     /// the pairing header could not explain).
     pub fn boot(&self, exec_cfg: ExecConfig) -> Result<BootOutcome, StoreError> {
-        let snapshot = Snapshot::read(&self.snapshot_path)?;
+        let (snapshot, paired_checksum, quarantined, recovered) = self.load_with_fallback()?;
         let mut engine = snapshot.warm_engine(exec_cfg)?;
-        let replay = self.wal()?.replay()?;
+        let replay = Wal::paired(&self.wal_path, paired_checksum).replay()?;
         let replayed_updates = replay.updates.len();
         engine.apply_updates_batched(&replay.updates)?;
         Ok(BootOutcome {
@@ -138,7 +207,52 @@ impl EngineStore {
             replayed_updates,
             torn_tail_bytes: replay.torn_tail_bytes,
             stale_wal_discarded: replay.stale_discarded,
+            recovered_from_previous: recovered,
+            quarantined_snapshot: quarantined,
         })
+    }
+
+    /// Loads the current snapshot, or — when it is corrupt (quarantined
+    /// first) or missing — the previous checkpoint generation. Returns
+    /// the snapshot, the checksum the WAL must pair with, the
+    /// quarantine path if one was produced, and whether fallback
+    /// happened.
+    #[allow(clippy::type_complexity)]
+    fn load_with_fallback(&self) -> Result<(Snapshot, u64, Option<PathBuf>, bool), StoreError> {
+        let current_err = match Snapshot::read(&self.snapshot_path) {
+            Ok(snapshot) => {
+                let checksum = Snapshot::read_header(&self.snapshot_path)?.checksum;
+                return Ok((snapshot, checksum, None, false));
+            }
+            Err(e) => e,
+        };
+        let quarantined = if self.snapshot_path.exists() {
+            if !corruption_class(&current_err) {
+                // Version skew, permission failures, transient I/O: the
+                // file may be perfectly good — surface the error rather
+                // than destroy the primary image.
+                return Err(current_err);
+            }
+            let quarantine = self.quarantine_path();
+            std::fs::rename(&self.snapshot_path, &quarantine)
+                .map_err(|e| io_err(&self.snapshot_path, e))?;
+            Some(quarantine)
+        } else {
+            // Missing outright: a checkpoint died between rotating the
+            // old generation aside and publishing the new one.
+            None
+        };
+        let prev = self.previous_snapshot_path();
+        match Snapshot::read(&prev) {
+            Ok(snapshot) => {
+                let checksum = Snapshot::read_header(&prev)?.checksum;
+                Ok((snapshot, checksum, quarantined, true))
+            }
+            Err(prev_err) => Err(StoreError::NoUsableSnapshot {
+                quarantined,
+                detail: format!("current snapshot: {current_err}; previous generation: {prev_err}"),
+            }),
+        }
     }
 
     /// Applies `update` with write-ahead discipline: the record is
@@ -165,4 +279,21 @@ impl EngineStore {
             }
         }
     }
+}
+
+/// Whether a snapshot-read failure means the *file content* is damaged
+/// (quarantine + fall back) as opposed to an environmental or
+/// compatibility failure (surface to the operator; the bytes may be
+/// fine).
+fn corruption_class(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::BadMagic { .. }
+            | StoreError::Truncated { .. }
+            | StoreError::ChecksumMismatch { .. }
+            | StoreError::Codec(_)
+            | StoreError::Corrupt { .. }
+            | StoreError::Core(_)
+            | StoreError::Graph(_)
+    )
 }

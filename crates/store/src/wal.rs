@@ -97,12 +97,19 @@ impl Wal {
     ///
     /// [`StoreError::Io`] on filesystem failures.
     pub fn reset(&self) -> Result<(), StoreError> {
+        // Failpoint `store::wal::reset`: dies before the log is reset —
+        // the checkpoint crash window the pairing header closes (the
+        // stale log names the old snapshot and is discarded at boot).
+        igcn_fail::fail_point!("store::wal::reset", |_| Err(crate::io::injected(
+            &self.path,
+            "store::wal::reset"
+        )));
         let mut header = Vec::with_capacity(WAL_HEADER_BYTES);
         header.extend_from_slice(&WAL_MAGIC);
         header.extend_from_slice(&self.paired_checksum.to_le_bytes());
         let tmp = self.path.with_extension("wal.tmp");
-        crate::snapshot::write_durable(&tmp, &header)?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))
+        crate::io::write_durable(&tmp, &header)?;
+        crate::io::rename(&tmp, &self.path)
     }
 
     /// Reads the pairing header, if the file exists and has one.
@@ -125,6 +132,7 @@ impl Wal {
                 detail: format!("bad WAL magic {:02x?}", &bytes[..4]),
             });
         }
+        // invariant: `bytes` is a fixed [u8; WAL_HEADER_BYTES] array.
         Ok(Some(u64::from_le_bytes(bytes[4..].try_into().expect("eight bytes"))))
     }
 
@@ -162,6 +170,21 @@ impl Wal {
             .open(&self.path)
             .map_err(|e| io_err(&self.path, e))?;
         let offset = file.metadata().map_err(|e| io_err(&self.path, e))?.len();
+        // Failpoint `store::wal::append`: `return` dies before any byte
+        // of the record reaches the log; `truncate(K)` appends only the
+        // record's first K bytes — a torn tail replay must discard.
+        match igcn_fail::eval("store::wal::append") {
+            Some(igcn_fail::Action::ReturnErr) => {
+                return Err(crate::io::injected(&self.path, "store::wal::append"))
+            }
+            Some(igcn_fail::Action::Truncate(k)) => {
+                file.write_all(&record[..k.min(record.len())])
+                    .map_err(|e| io_err(&self.path, e))?;
+                file.sync_all().map_err(|e| io_err(&self.path, e))?;
+                return Err(crate::io::injected(&self.path, "store::wal::append"));
+            }
+            _ => {}
+        }
         file.write_all(&record).map_err(|e| io_err(&self.path, e))?;
         // `flush` is a no-op on `File`; only fsync makes the record
         // survive power loss, which is the whole point of logging it
@@ -195,7 +218,7 @@ impl Wal {
     /// failure of a complete record. A torn final record is tolerated
     /// and reported, not an error.
     pub fn replay(&self) -> Result<WalReplay, StoreError> {
-        let bytes = match std::fs::read(&self.path) {
+        let bytes = match crate::io::read(&self.path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReplay::default()),
             Err(e) => return Err(io_err(&self.path, e)),
@@ -210,6 +233,7 @@ impl Wal {
                 detail: format!("bad WAL magic {:02x?}", &bytes[..4]),
             });
         }
+        // invariant: bytes.len() >= WAL_HEADER_BYTES was checked above.
         let paired = u64::from_le_bytes(bytes[4..12].try_into().expect("eight bytes"));
         if paired != self.paired_checksum {
             return Ok(WalReplay { stale_discarded: true, ..Default::default() });
@@ -222,6 +246,8 @@ impl Wal {
                 replay.torn_tail_bytes = remaining as u64;
                 break;
             }
+            // invariant: remaining >= RECORD_HEADER_BYTES was just
+            // checked — both header slices exist.
             let len =
                 u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("four bytes")) as usize;
             let checksum =

@@ -18,6 +18,7 @@
 //! | [`store`] | `igcn-store` | persistent snapshots: versioned, checksummed binary engine images, the graph-update WAL, warm-start boot ([`store::from_snapshot`]) and the sharded-fleet [`store::ShardManifest`] |
 //! | [`sim`] | `igcn-sim` | cycle/energy/area models; [`sim::SimBackend`] lifts any simulator into the serving trait |
 //! | [`reorder`] | `igcn-reorder` | lightweight reordering baselines + quality metrics |
+//! | [`fail`] | `igcn-fail` | named failpoints for chaos testing — zero-cost when disabled, deterministic triggers and fault actions |
 //! | [`baselines`] | `igcn-baselines` | AWB-GCN, HyGCN, SIGMA, CPU/GPU models — all servable as `Accelerator` backends |
 //!
 //! # Quick start
@@ -489,6 +490,42 @@
 //! recording RPS and latency percentiles in
 //! `results/gateway_load.json`.
 //!
+//! # Failure modes & recovery
+//!
+//! Every layer treats faults as first-class inputs: failures surface
+//! as typed errors, recovery paths are deterministic, and each one is
+//! pinned by failpoint-driven tests ([`fail`] / `igcn-fail`: named
+//! failpoints with deterministic `always` / `once` / `nth(N)` /
+//! `prob(P,SEED)` triggers and return-error / truncate-write / panic /
+//! delay actions — one relaxed atomic load when disabled, so the
+//! instrumentation ships in production builds). The registered points
+//! are enumerated in `igcn::store::FAILPOINTS` and
+//! `igcn::shard::FAILPOINTS`, and
+//! `cargo run --release -p igcn-bench --bin chaos_tool` drives seeded
+//! campaigns (hundreds of injections, `results/chaos.json`) that
+//! require 100% recovery with bit-identical outputs and `ExecStats`.
+//!
+//! | fault | detected by | surfaces as | recovery | pinned by |
+//! |---|---|---|---|---|
+//! | corrupt / torn snapshot at boot | checksum + structural validation | — | quarantined to `<snapshot>.quarantine`, boot falls back to `<snapshot>.prev` + WAL replay | `igcn-store` failpoint suite, chaos campaign |
+//! | crash mid-checkpoint (rotated but not published) | current snapshot missing | `Err` from the interrupted `save` | boot loads the previous generation; the WAL still pairs with it, so **no acknowledged update is lost** | `store::checkpoint::rotated` / `store::snapshot::publish` plans |
+//! | crash mid-WAL-append (torn record) | record length + FNV-1a checksum | torn tail discarded, reported in [`store::BootOutcome`] | replay stops at the tear; the torn update was never acknowledged | tear-at-every-byte-offset sweep in `igcn-store` |
+//! | stale WAL after an interrupted reset | snapshot-checksum pairing header | `stale_wal_discarded` in [`store::BootOutcome`] | discarded, never double-applied | `igcn-store` failpoint suite |
+//! | engine rejects a logged update | typed [`core::CoreError`] | `Err` from [`store::EngineStore::apply_update`] | the WAL record is rolled back; the log matches memory exactly | `igcn-store` unit tests |
+//! | shard panic mid-layer | `catch_unwind` at the fan-out seam | [`core::CoreError::BackendFailed`], [`shard::ShardHealth::Down`] | fleet degrades + fails fast; [`shard::ShardedEngine::heal`] rebuilds only the dead shards, restoring bit-identity | `igcn-shard` failpoint suite, chaos campaign |
+//! | wedged serving backend | consecutive micro-batch failure streak | [`core::BackendHealth::Degraded`] from [`serve::ServingEngine::health`] | one successful batch resets the streak; `/healthz` answers `503` meanwhile | `igcn-serve` wedged-backend test |
+//! | gateway overload | bounded admission queue + EWMA wait estimate | HTTP `429` / binary `Shed`, health `degraded` | clients retry shed replies under a bounded, **seeded** backoff ([`gateway::RetryPolicy`]) | `igcn-gateway` retry tests |
+//! | gateway restarting | transient connect errors (refused/reset/aborted/timed out) | `io::Error` | bounded seeded-backoff reconnect (`connect_with_retry`) | `igcn-gateway` client tests |
+//! | malformed gateway reply | response/frame parsers | `io::ErrorKind::InvalidData` | **never retried** — resending into a broken peer is how retry storms start | `malformed_responses_are_never_retried` |
+//! | planned restart | [`gateway::Gateway::begin_drain`] | health `draining`, `/healthz` `503`, new work shed | in-flight requests finish; the load balancer rotates traffic away before `shutdown` | `igcn-gateway` health-model test |
+//!
+//! The live health model ties it together: `/healthz` (HTTP) and the
+//! binary `HealthCheck`/`Health` frames report
+//! `ready` / `degraded` / `draining` with a human-readable detail
+//! string, folding backend health ([`core::accel::Accelerator::health`])
+//! with the gateway's own shed-pressure estimate — `200` only when
+//! `ready`, so a probe needs no JSON parsing to rotate a node out.
+//!
 //! # Migrating from the borrowed engine (pre-builder API)
 //!
 //! The old engine borrowed its graph and panicked on shape errors:
@@ -518,6 +555,7 @@
 
 pub use igcn_baselines as baselines;
 pub use igcn_core as core;
+pub use igcn_fail as fail;
 pub use igcn_gateway as gateway;
 pub use igcn_gnn as gnn;
 pub use igcn_graph as graph;

@@ -195,6 +195,7 @@ fn single_slot_serving() -> ServingConfig {
         queue_capacity: 1,
         max_batch: 1,
         max_wait: Duration::from_millis(1),
+        ..ServingConfig::default()
     }
 }
 
