@@ -30,6 +30,12 @@
 //!   per call; the armed-registry cost is recorded alongside for
 //!   scale.
 //!
+//! Both campaigns also reconcile the telemetry layer against their own
+//! fault tallies: `shard_contained_panics` must tick once per shard
+//! observed Down, `store_wal_rollbacks` once per observed engine
+//! rejection, and no registry counter may go backwards across a
+//! `heal()` or a recovery boot.
+//!
 //! Results land in `results/chaos.json`. The committed numbers come
 //! from a 1-CPU container: injection counts and recovery rates are
 //! machine-independent, the overhead timings are not.
@@ -45,7 +51,7 @@ use igcn_gnn::{GnnModel, ModelWeights};
 use igcn_graph::generate::HubIslandConfig;
 use igcn_graph::SparseFeatures;
 use igcn_shard::ShardedEngine;
-use igcn_store::EngineStore;
+use igcn_store::{EngineStore, StoreError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::json::{obj, JsonValue};
@@ -96,6 +102,17 @@ fn engine_with_model(n: usize, seed: u64) -> IGcnEngine {
     let weights = ModelWeights::glorot(&model, seed + 1);
     engine.prepare(&model, &weights).expect("weights match the model");
     engine
+}
+
+/// Asserts no registry counter went backwards since `before` — the
+/// telemetry contract across recovery: heal/boot may reset engines,
+/// never metrics.
+fn assert_counters_monotonic(before: &[(String, u64)], context: &str) {
+    let now = igcn_obs::snapshot().counters;
+    for (name, was) in before {
+        let is = now.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v);
+        assert!(is >= *was, "{context}: counter {name} went backwards ({was} -> {is})");
+    }
 }
 
 fn assert_bit_identical(a: &IGcnEngine, b: &IGcnEngine, seed: u64, context: &str) {
@@ -161,6 +178,11 @@ fn store_campaign(dir: &std::path::Path, seed: u64, target: u64) -> Tally {
     let mut engine = engine_with_model(220, seed);
     let mut shadow = engine_with_model(220, seed);
     store.checkpoint(&engine).expect("initial checkpoint");
+    // Telemetry reconciliation: every engine rejection the campaign
+    // observes must tick `store_wal_rollbacks` exactly once (injected
+    // I/O faults fail *before* the engine apply, so they must not).
+    let rollbacks_before = igcn_obs::counter("store_wal_rollbacks").get();
+    let mut observed_rejections: u64 = 0;
 
     let mut tally = Tally::default();
     let mut plan_idx = 0usize;
@@ -194,10 +216,14 @@ fn store_campaign(dir: &std::path::Path, seed: u64, target: u64) -> Tally {
         match op {
             StoreOp::Churn => {
                 let update = next_update(&engine, &mut rng);
-                if store.apply_update(&mut engine, update.clone()).is_ok() {
+                match store.apply_update(&mut engine, update.clone()) {
                     // Acknowledged despite the armed point (e.g. the
                     // fault was spent elsewhere): the shadow keeps it.
-                    shadow.apply_update(update).expect("shadow applies");
+                    Ok(_) => shadow.apply_update(update).map(|_| ()).expect("shadow applies"),
+                    // Engine rejection: the WAL record was rolled back.
+                    Err(StoreError::Core(_)) => observed_rejections += 1,
+                    // Injected I/O fault: died before the engine apply.
+                    Err(_) => {}
                 }
             }
             StoreOp::Checkpoint => {
@@ -213,15 +239,23 @@ fn store_campaign(dir: &std::path::Path, seed: u64, target: u64) -> Tally {
         igcn_fail::remove(point);
 
         // Crash-restart: the recovered node must hold exactly the
-        // acknowledged state, bit for bit.
+        // acknowledged state, bit for bit — and recovery must never
+        // rewind a metric.
+        let counters = igcn_obs::snapshot().counters;
         let boot = store.boot(ExecConfig::default()).expect("recovery boot succeeds");
         assert_bit_identical(&boot.engine, &shadow, rng.gen(), &format!("{point} [{spec}]"));
+        assert_counters_monotonic(&counters, &format!("{point} [{spec}] recovery boot"));
         engine = boot.engine;
         tally.recoveries += 1;
         // Repair the store like a restarted node would, so the next
         // round starts from a healthy generation pair.
         store.checkpoint(&engine).expect("post-recovery checkpoint");
     }
+    assert_eq!(
+        igcn_obs::counter("store_wal_rollbacks").get() - rollbacks_before,
+        observed_rejections,
+        "store_wal_rollbacks must tick once per observed engine rejection"
+    );
     igcn_fail::teardown();
     tally
 }
@@ -294,6 +328,13 @@ fn shard_campaign(seed: u64, target: u64) -> Tally {
     let want_report_pooled = pristine.infer(&request).expect("pristine fleet serves").report;
     let mut fleet = ShardedEngine::from_engine(&reference, 3).expect("fleet partitions");
 
+    // Telemetry reconciliation: the fan-out seam counts one
+    // `shard_contained_panics` per shard it marks Down, and the fleet
+    // fails fast while degraded — so the counter delta must equal the
+    // campaign's own tally of downed shards, exactly.
+    let panics_before = igcn_obs::counter("shard_contained_panics").get();
+    let mut observed_down: u64 = 0;
+
     let mut tally = Tally::default();
     let mut spec_idx = 0usize;
     while tally.injections < target {
@@ -337,8 +378,11 @@ fn shard_campaign(seed: u64, target: u64) -> Tally {
                 fleet.infer(&request).is_err(),
                 "{spec}: a degraded fleet must fail fast, not serve through a dead shard"
             );
+            observed_down += down.len() as u64;
+            let counters = igcn_obs::snapshot().counters;
             let healed = fleet.heal().expect("heal rebuilds the dead shards");
             assert_eq!(healed, down, "{spec}: heal must rebuild exactly the dead shards");
+            assert_counters_monotonic(&counters, &format!("{spec}: heal"));
             tally.recoveries += 1;
         }
         assert!(fleet.health().is_ready(), "{spec}: fleet must be ready after the round");
@@ -347,6 +391,11 @@ fn shard_campaign(seed: u64, target: u64) -> Tally {
         assert_eq!(got.output, want.output, "{spec}: post-heal output is not bit-identical");
         assert_eq!(&got.report, want_report, "{spec}: post-heal ExecStats diverged");
     }
+    assert_eq!(
+        igcn_obs::counter("shard_contained_panics").get() - panics_before,
+        observed_down,
+        "shard_contained_panics must tick once per shard the campaign saw go down"
+    );
     igcn_fail::teardown();
     tally
 }
@@ -429,6 +478,22 @@ fn main() {
                 ("disabled_ns_per_call", JsonValue::from_f64_rounded(disabled_ns)),
                 ("armed_ns_per_call", JsonValue::from_f64_rounded(armed_ns)),
                 ("probe_iters", JsonValue::Uint(probe_iters)),
+            ]),
+        ),
+        (
+            // Reconciled against the campaigns' own fault tallies (and
+            // checked monotonic across every heal/boot) — asserted
+            // above, recorded here.
+            "telemetry",
+            obj([
+                (
+                    "shard_contained_panics",
+                    JsonValue::Uint(igcn_obs::counter("shard_contained_panics").get()),
+                ),
+                (
+                    "store_wal_rollbacks",
+                    JsonValue::Uint(igcn_obs::counter("store_wal_rollbacks").get()),
+                ),
             ]),
         ),
         (

@@ -290,6 +290,16 @@ pub trait Accelerator: Send + Sync {
     fn health(&self) -> BackendHealth {
         BackendHealth::Ready
     }
+
+    /// Per-component health, for backends with internal failure
+    /// domains: one `(component name, health)` pair per domain (e.g.
+    /// one per shard for a sharded fleet). The default is empty — a
+    /// monolithic backend has no components to enumerate. Serving
+    /// edges surface this on `/healthz` and `/stats` so an operator
+    /// can see *which* shard is down, not just that one is.
+    fn component_health(&self) -> Vec<(String, BackendHealth)> {
+        Vec::new()
+    }
 }
 
 /// Live health of an [`Accelerator`], as reported by

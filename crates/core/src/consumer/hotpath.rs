@@ -873,7 +873,9 @@ pub fn execute_layer_parallel(
         let slab = &mut hub_y[..num_hubs * width];
         let costs: Vec<u64> = (0..num_hubs as u32)
             .map(|h| match input {
-                LayerInput::Sparse(x) => x.row_nnz(NodeId::new(h)) as u64 + 1,
+                LayerInput::Sparse(x) | LayerInput::SparseInt8(x) => {
+                    x.row_nnz(NodeId::new(h)) as u64 + 1
+                }
                 LayerInput::Dense(_) => 1,
             })
             .collect();

@@ -30,6 +30,7 @@ use super::LayerInput;
 
 const F32_BYTES: u64 = 4;
 const IDX_BYTES: u64 = 4;
+const INT8_BYTES: u64 = 1;
 
 /// Mutable state of one layer's execution across all PEs.
 #[derive(Debug)]
@@ -335,6 +336,18 @@ pub(crate) fn combine_cost(
                 (nnz * (F32_BYTES + IDX_BYTES)).min(x.num_cols() as u64 * F32_BYTES),
             )
         }
+        LayerInput::SparseInt8(x) => {
+            // Int8-quantized value stream: the stored element is one
+            // byte (per-column scales are a width-sized constant the
+            // model ignores, matching the f32 path's treatment of
+            // weights elsewhere). Same MAC count — the kernels run on
+            // dequantized f32 rows.
+            let nnz = x.row_nnz(NodeId::new(v)) as u64;
+            (
+                nnz * out_dim as u64,
+                (nnz * (INT8_BYTES + IDX_BYTES)).min(x.num_cols() as u64 * INT8_BYTES),
+            )
+        }
         LayerInput::Dense(m) => ((m.cols() * out_dim) as u64, m.cols() as u64 * F32_BYTES),
     };
     let muls = if norm.in_scale(NodeId::new(v)) != 1.0 { out_dim as u64 } else { 0 };
@@ -377,7 +390,7 @@ pub fn combine_values_into(
     // per-element accumulation order (and hence every bit of the result)
     // matches the historical scalar loops on every SIMD backend.
     match input {
-        LayerInput::Sparse(x) => {
+        LayerInput::Sparse(x) | LayerInput::SparseInt8(x) => {
             let (cols, vals) = x.row(NodeId::new(v));
             for (&c, &xv) in cols.iter().zip(vals) {
                 igcn_linalg::kernels::axpy_f32(out, weights.row(c as usize), xv);

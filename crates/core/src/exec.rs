@@ -512,8 +512,21 @@ impl IGcnEngine {
         for (i, layer) in model.layers().iter().enumerate() {
             let w = weights.layer(i);
             dst.resize_in_place(n, w.cols());
-            let input =
-                if i == 0 { LayerInput::Sparse(gathered) } else { LayerInput::Dense(&*src) };
+            let input = if i == 0 {
+                if self.exec_cfg.quantized_features {
+                    // The gathered rows are dequantized f32 (identical
+                    // arithmetic), but the value stream behind them is
+                    // int8 — the traffic model charges 1-byte elements.
+                    LayerInput::SparseInt8(gathered)
+                } else {
+                    LayerInput::Sparse(gathered)
+                }
+            } else {
+                LayerInput::Dense(&*src)
+            };
+            // Stage timing only — statistics and outputs are produced
+            // identically whether telemetry is enabled or not.
+            let _layer_span = igcn_obs::Span::enter(igcn_obs::stage::LAYER_EXECUTE);
             let mut layer_stats = match pool {
                 Some(pool) => hotpath::execute_layer_parallel(
                     layout,
@@ -609,6 +622,7 @@ impl IGcnEngine {
             &self.locator_stats,
             self.consumer_cfg,
             self.island_workers(),
+            self.exec_cfg.quantized_features,
             features,
             model,
         ))
@@ -792,12 +806,14 @@ fn check_features_for(
 ///
 /// Panics if `partition` or `features` do not match `graph` (callers
 /// validate shapes first).
+#[allow(clippy::too_many_arguments)]
 pub fn account_partitioned(
     graph: &CsrGraph,
     partition: &IslandPartition,
     locator_stats: &crate::stats::LocatorStats,
     consumer_cfg: ConsumerConfig,
     island_workers: usize,
+    quantized_features: bool,
     features: &SparseFeatures,
     model: &GnnModel,
 ) -> ExecStats {
@@ -811,7 +827,15 @@ pub fn account_partitioned(
         std::collections::HashMap::new();
     for (i, layer) in model.layers().iter().enumerate() {
         let mut layer_stats = if i == 0 {
-            consumer.account_layer(LayerInput::Sparse(features), layer.out_dim, &norm)
+            // Mirror the execution path's layer-0 encoding: the int8
+            // staging changes the value-stream width, and `account`
+            // must price exactly what `run` streams.
+            let input = if quantized_features {
+                LayerInput::SparseInt8(features)
+            } else {
+                LayerInput::Sparse(features)
+            };
+            consumer.account_layer(input, layer.out_dim, &norm)
         } else {
             let dense = dense_cache
                 .entry(layer.in_dim)
@@ -860,6 +884,8 @@ pub fn account_islandized(
         &locator_stats,
         consumer_cfg,
         consumer_cfg.num_pes,
+        // The borrowed path feeds f32 timing models; no int8 staging.
+        false,
         features,
         model,
     ))
@@ -1081,17 +1107,43 @@ mod tests {
         let w = ModelWeights::glorot(&model, 14);
         let exact_engine = IGcnEngine::builder(g.clone()).build().unwrap();
         let (exact, exact_stats) = exact_engine.run(&x, &model, &w).unwrap();
+        // `account` == `run`, f32 mode.
+        assert_eq!(exact_engine.account(&x, &model).unwrap(), exact_stats);
 
         let qengine = IGcnEngine::builder(g)
             .exec_config(ExecConfig::default().with_quantized_features(true))
             .build()
             .unwrap();
         let (qout, qstats) = qengine.run(&x, &model, &w).unwrap();
-
-        // Quantization preserves the CSR structure bit for bit, so every
-        // statistic — and the value-free `account` twin — is unchanged.
-        assert_eq!(qstats, exact_stats, "quantization must not move a single statistic");
+        // `account` == `run`, int8 mode: the value-free accounting twin
+        // prices the same 1-byte value stream the execution streamed.
         assert_eq!(qengine.account(&x, &model).unwrap(), qstats);
+
+        // Quantization preserves the CSR structure bit for bit, so
+        // every *operation* statistic is unchanged — but the traffic
+        // model now charges 1-byte value elements on layer 0, so its
+        // feature-read bytes must strictly drop while every other
+        // traffic stream and all deeper layers stay identical.
+        assert!(
+            qstats.layers[0].traffic.feature_read_bytes
+                < exact_stats.layers[0].traffic.feature_read_bytes,
+            "int8 staging must shrink the layer-0 value stream"
+        );
+        for (q, e) in qstats.layers.iter().zip(&exact_stats.layers) {
+            assert_eq!(q.combination_ops, e.combination_ops);
+            assert_eq!(q.aggregation, e.aggregation);
+            assert_eq!(q.traffic.adjacency_bytes, e.traffic.adjacency_bytes);
+            assert_eq!(q.traffic.output_write_bytes, e.traffic.output_write_bytes);
+            assert_eq!(q.traffic.weight_bytes, e.traffic.weight_bytes);
+        }
+        assert_eq!(
+            qstats.layers[1..].iter().map(|l| l.traffic.feature_read_bytes).collect::<Vec<_>>(),
+            exact_stats.layers[1..]
+                .iter()
+                .map(|l| l.traffic.feature_read_bytes)
+                .collect::<Vec<_>>(),
+            "layers >= 1 stream dense f32 activations in both modes"
+        );
 
         // Deterministic: a second quantized run is bit-identical.
         let (qout2, _) = qengine.run(&x, &model, &w).unwrap();

@@ -180,18 +180,36 @@ impl HttpClient {
         deadline_ms: Option<u64>,
         features: &SparseFeatures,
     ) -> io::Result<InferReply> {
-        self.stream.write_all(&http::infer_request_bytes(id, deadline_ms, features))?;
-        let (status, body) = self.read_response()?;
-        match status {
+        self.infer_traced(id, deadline_ms, features, 0).map(|(reply, _)| reply)
+    }
+
+    /// As [`HttpClient::infer`], sending `trace` as the `X-IGCN-Trace`
+    /// request header (0 = let the gateway mint one) and returning the
+    /// trace id echoed on the response alongside the reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::infer`].
+    pub fn infer_traced(
+        &mut self,
+        id: u64,
+        deadline_ms: Option<u64>,
+        features: &SparseFeatures,
+        trace: u64,
+    ) -> io::Result<(InferReply, u64)> {
+        self.stream.write_all(&http::infer_request_bytes(id, deadline_ms, features, trace))?;
+        let (status, body, echoed) = self.read_response_traced()?;
+        let reply = match status {
             200 => {
                 let doc = JsonValue::parse(&body).map_err(|e| proto_err(e.to_string()))?;
                 let (id, output) = http::infer_ok_from_json(&doc).map_err(proto_err)?;
-                Ok(InferReply::Output { id, output })
+                InferReply::Output { id, output }
             }
-            429 => Ok(InferReply::Shed),
-            504 => Ok(InferReply::DeadlineExceeded),
-            _ => Ok(InferReply::Error(format!("HTTP {status}: {body}"))),
-        }
+            429 => InferReply::Shed,
+            504 => InferReply::DeadlineExceeded,
+            _ => InferReply::Error(format!("HTTP {status}: {body}")),
+        };
+        Ok((reply, echoed))
     }
 
     /// Runs one inference, retrying **only** shed replies (HTTP 429)
@@ -250,10 +268,23 @@ impl HttpClient {
     /// Transport failures and malformed responses.
     pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
         self.stream.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())?;
-        self.read_response()
+        self.read_response_traced().map(|(status, body, _)| (status, body))
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, String)> {
+    /// As [`HttpClient::get`], sending `trace` as the `X-IGCN-Trace`
+    /// header and returning the echoed trace id with the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed responses.
+    pub fn get_traced(&mut self, path: &str, trace: u64) -> io::Result<(u16, String, u64)> {
+        let trace_line =
+            if trace != 0 { format!("X-IGCN-Trace: {trace:016x}\r\n") } else { String::new() };
+        self.stream.write_all(format!("GET {path} HTTP/1.1\r\n{trace_line}\r\n").as_bytes())?;
+        self.read_response_traced()
+    }
+
+    fn read_response_traced(&mut self) -> io::Result<(u16, String, u64)> {
         let mut buf = Vec::new();
         let mut chunk = [0u8; 8192];
         loop {
@@ -271,6 +302,12 @@ impl HttpClient {
                     .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
                     .and_then(|(_, v)| v.trim().parse().ok())
                     .unwrap_or(0);
+                let trace: u64 = head
+                    .split("\r\n")
+                    .filter_map(|l| l.split_once(':'))
+                    .find(|(k, _)| k.eq_ignore_ascii_case("x-igcn-trace"))
+                    .and_then(|(_, v)| u64::from_str_radix(v.trim(), 16).ok())
+                    .unwrap_or(0);
                 let body_start = head_end + 4;
                 while buf.len() < body_start + content_length {
                     let n = self.stream.read(&mut chunk)?;
@@ -281,7 +318,7 @@ impl HttpClient {
                 }
                 let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
                     .map_err(|_| proto_err("response body is not UTF-8"))?;
-                return Ok((status, body));
+                return Ok((status, body, trace));
             }
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
@@ -339,18 +376,37 @@ impl BinaryClient {
         deadline_ms: Option<u64>,
         features: &SparseFeatures,
     ) -> io::Result<InferReply> {
+        self.infer_traced(id, deadline_ms, features, 0).map(|(reply, _)| reply)
+    }
+
+    /// As [`BinaryClient::infer`], stamping `trace` into the request
+    /// frame's header trace field (0 = let the gateway mint one) and
+    /// returning the trace id echoed on the reply frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`BinaryClient::infer`].
+    pub fn infer_traced(
+        &mut self,
+        id: u64,
+        deadline_ms: Option<u64>,
+        features: &SparseFeatures,
+        trace: u64,
+    ) -> io::Result<(InferReply, u64)> {
         let frame =
             Frame::Infer { id, deadline_ms: deadline_ms.unwrap_or(0), features: features.clone() };
-        self.stream.write_all(&wire::encode(&frame))?;
-        match self.read_frame()? {
-            Frame::Ok { id, output } => Ok(InferReply::Output { id, output }),
-            Frame::Err { message, .. } => Ok(InferReply::Error(message)),
-            Frame::Shed { .. } => Ok(InferReply::Shed),
-            Frame::Deadline { .. } => Ok(InferReply::DeadlineExceeded),
+        self.stream.write_all(&wire::encode_traced(&frame, trace))?;
+        let (frame, echoed) = self.read_frame_traced()?;
+        let reply = match frame {
+            Frame::Ok { id, output } => InferReply::Output { id, output },
+            Frame::Err { message, .. } => InferReply::Error(message),
+            Frame::Shed { .. } => InferReply::Shed,
+            Frame::Deadline { .. } => InferReply::DeadlineExceeded,
             other @ (Frame::Infer { .. } | Frame::HealthCheck { .. } | Frame::Health { .. }) => {
-                Err(proto_err(format!("unexpected reply frame {other:?}")))
+                return Err(proto_err(format!("unexpected reply frame {other:?}")))
             }
-        }
+        };
+        Ok((reply, echoed))
     }
 
     /// Runs one inference, retrying **only** `Shed` frames under
@@ -384,19 +440,19 @@ impl BinaryClient {
     /// Transport failures, corrupt frames, and unexpected frame kinds.
     pub fn health(&mut self) -> io::Result<(HealthState, String)> {
         self.stream.write_all(&wire::encode(&Frame::HealthCheck { id: 0 }))?;
-        match self.read_frame()? {
+        match self.read_frame_traced()?.0 {
             Frame::Health { state, detail, .. } => Ok((state, detail)),
             other => Err(proto_err(format!("expected a Health frame, got {other:?}"))),
         }
     }
 
-    fn read_frame(&mut self) -> io::Result<Frame> {
+    fn read_frame_traced(&mut self) -> io::Result<(Frame, u64)> {
         let mut chunk = [0u8; 8192];
         loop {
             match wire::decode(&self.buf) {
-                wire::Decoded::Frame(frame, consumed) => {
+                wire::Decoded::Frame(frame, trace, consumed) => {
                     self.buf.drain(..consumed);
-                    return Ok(frame);
+                    return Ok((frame, trace));
                 }
                 wire::Decoded::Corrupt(msg) => return Err(proto_err(msg)),
                 wire::Decoded::NeedMore => {

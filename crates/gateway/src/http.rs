@@ -34,15 +34,30 @@ pub(crate) const MAX_HEAD: usize = 16 << 10;
 /// Largest accepted request body.
 pub(crate) const MAX_BODY: usize = 256 << 20;
 
-/// One parsed gateway request.
+/// The request/response header carrying the end-to-end trace id, as
+/// 16 lowercase hex digits. Requests without it (or with an
+/// unparseable value) get a server-minted id; responses always echo
+/// the request's effective id.
+pub(crate) const TRACE_HEADER: &str = "X-IGCN-Trace";
+
+/// One parsed gateway request. `trace` is the request's
+/// [`TRACE_HEADER`] value (0 when absent — the server mints one).
 #[derive(Debug)]
 pub(crate) enum HttpRequest {
     /// `POST /v1/infer`.
-    Infer { id: u64, deadline_ms: Option<u64>, features: SparseFeatures, keep_alive: bool },
+    Infer {
+        id: u64,
+        deadline_ms: Option<u64>,
+        features: SparseFeatures,
+        keep_alive: bool,
+        trace: u64,
+    },
     /// `GET /healthz`.
-    Healthz { keep_alive: bool },
+    Healthz { keep_alive: bool, trace: u64 },
     /// `GET /stats`.
-    Stats { keep_alive: bool },
+    Stats { keep_alive: bool, trace: u64 },
+    /// `GET /metrics` (Prometheus text exposition).
+    Metrics { keep_alive: bool, trace: u64 },
 }
 
 /// Outcome of trying to parse one request off the front of a buffer.
@@ -92,9 +107,15 @@ pub(crate) fn parse(buf: &[u8]) -> HttpParse {
     let mut content_length: Option<usize> = None;
     // HTTP/1.0 defaults to close, 1.1 to keep-alive.
     let mut keep_alive = version == "HTTP/1.1";
+    let mut trace = 0u64;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let value = value.trim();
+        if name.eq_ignore_ascii_case(TRACE_HEADER) {
+            // A malformed trace id is not worth failing the request
+            // over: treat it as absent and mint a fresh one.
+            trace = u64::from_str_radix(value, 16).unwrap_or(0);
+        }
         if name.eq_ignore_ascii_case("transfer-encoding") {
             // No chunked decoding here: treating a chunked body as
             // Content-Length 0 would desync the connection, so refuse
@@ -139,11 +160,16 @@ pub(crate) fn parse(buf: &[u8]) -> HttpParse {
     }
     let body = &buf[head_end + 4..body_end];
     match (method, path) {
-        ("GET", "/healthz") => HttpParse::Request(HttpRequest::Healthz { keep_alive }, body_end),
-        ("GET", "/stats") => HttpParse::Request(HttpRequest::Stats { keep_alive }, body_end),
+        ("GET", "/healthz") => {
+            HttpParse::Request(HttpRequest::Healthz { keep_alive, trace }, body_end)
+        }
+        ("GET", "/stats") => HttpParse::Request(HttpRequest::Stats { keep_alive, trace }, body_end),
+        ("GET", "/metrics") => {
+            HttpParse::Request(HttpRequest::Metrics { keep_alive, trace }, body_end)
+        }
         ("POST", "/v1/infer") => match parse_infer_body(body) {
             Ok((id, deadline_ms, features)) => HttpParse::Request(
-                HttpRequest::Infer { id, deadline_ms, features, keep_alive },
+                HttpRequest::Infer { id, deadline_ms, features, keep_alive, trace },
                 body_end,
             ),
             Err(message) => HttpParse::Error { status: 400, message },
@@ -230,11 +256,13 @@ pub(crate) fn infer_ok_from_json(doc: &JsonValue) -> Result<(u64, DenseMatrix), 
 }
 
 /// Builds the full infer request bytes the client sends (also used by
-/// tests to drive the server byte-for-byte).
+/// tests to drive the server byte-for-byte). A nonzero `trace` rides
+/// along as the [`TRACE_HEADER`].
 pub(crate) fn infer_request_bytes(
     id: u64,
     deadline_ms: Option<u64>,
     features: &SparseFeatures,
+    trace: u64,
 ) -> Vec<u8> {
     let mut fields = vec![("id".to_string(), JsonValue::Uint(id))];
     if let Some(ms) = deadline_ms {
@@ -242,8 +270,10 @@ pub(crate) fn infer_request_bytes(
     }
     fields.push(("features".to_string(), features_to_json(features)));
     let body = JsonValue::Object(fields).encode();
+    let trace_line =
+        if trace != 0 { format!("{TRACE_HEADER}: {trace:016x}\r\n") } else { String::new() };
     let mut out = format!(
-        "POST /v1/infer HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        "POST /v1/infer HTTP/1.1\r\nContent-Type: application/json\r\n{trace_line}Content-Length: {}\r\n\r\n",
         body.len()
     )
     .into_bytes();
@@ -269,23 +299,37 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Builds a complete response with a JSON body.
-pub(crate) fn response(status: u16, body: &JsonValue, keep_alive: bool) -> Vec<u8> {
-    let body = body.encode();
+/// Builds a complete response with a JSON body, echoing a nonzero
+/// `trace` as the [`TRACE_HEADER`].
+pub(crate) fn response(status: u16, body: &JsonValue, keep_alive: bool, trace: u64) -> Vec<u8> {
+    raw_response(status, "application/json", body.encode().as_bytes(), keep_alive, trace)
+}
+
+/// Builds a complete response with an arbitrary body (used by
+/// `GET /metrics`, whose Prometheus exposition is `text/plain`).
+pub(crate) fn raw_response(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    trace: u64,
+) -> Vec<u8> {
+    let trace_line =
+        if trace != 0 { format!("{TRACE_HEADER}: {trace:016x}\r\n") } else { String::new() };
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n{trace_line}Content-Length: {}\r\nConnection: {}\r\n\r\n",
         status_reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )
     .into_bytes();
-    out.extend_from_slice(body.as_bytes());
+    out.extend_from_slice(body);
     out
 }
 
 /// Builds an error response (`{"error": message}`).
-pub(crate) fn error_response(status: u16, message: &str, keep_alive: bool) -> Vec<u8> {
-    response(status, &obj([("error", JsonValue::Str(message.to_string()))]), keep_alive)
+pub(crate) fn error_response(status: u16, message: &str, keep_alive: bool, trace: u64) -> Vec<u8> {
+    response(status, &obj([("error", JsonValue::Str(message.to_string()))]), keep_alive, trace)
 }
 
 #[cfg(test)]
@@ -305,16 +349,17 @@ mod tests {
 
     #[test]
     fn infer_request_round_trips_bit_exactly() {
-        let bytes = infer_request_bytes(42, Some(250), &features());
+        let bytes = infer_request_bytes(42, Some(250), &features(), 0xABCD);
         match parse(&bytes) {
             HttpParse::Request(
-                HttpRequest::Infer { id, deadline_ms, features: parsed, keep_alive },
+                HttpRequest::Infer { id, deadline_ms, features: parsed, keep_alive, trace },
                 consumed,
             ) => {
                 assert_eq!(consumed, bytes.len());
                 assert_eq!(id, 42);
                 assert_eq!(deadline_ms, Some(250));
                 assert!(keep_alive);
+                assert_eq!(trace, 0xABCD, "the trace header must survive the round trip");
                 assert_eq!(parsed, features());
                 let bits: Vec<u32> = parsed.values().iter().map(|v| v.to_bits()).collect();
                 let expected: Vec<u32> = features().values().iter().map(|v| v.to_bits()).collect();
@@ -326,7 +371,7 @@ mod tests {
 
     #[test]
     fn partial_requests_ask_for_more() {
-        let bytes = infer_request_bytes(1, None, &features());
+        let bytes = infer_request_bytes(1, None, &features(), 0);
         assert!(matches!(parse(&bytes[..10]), HttpParse::NeedMore));
         assert!(matches!(parse(&bytes[..bytes.len() - 1]), HttpParse::NeedMore));
     }
@@ -336,12 +381,17 @@ mod tests {
         let req = b"GET /healthz HTTP/1.1\r\n\r\n";
         assert!(matches!(
             parse(req),
-            HttpParse::Request(HttpRequest::Healthz { keep_alive: true }, n) if n == req.len()
+            HttpParse::Request(HttpRequest::Healthz { keep_alive: true, trace: 0 }, n) if n == req.len()
         ));
         let req = b"GET /stats HTTP/1.0\r\n\r\n";
         assert!(matches!(
             parse(req),
-            HttpParse::Request(HttpRequest::Stats { keep_alive: false }, _)
+            HttpParse::Request(HttpRequest::Stats { keep_alive: false, .. }, _)
+        ));
+        let req = b"GET /metrics HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::Metrics { keep_alive: true, .. }, _)
         ));
     }
 
@@ -350,8 +400,36 @@ mod tests {
         let req = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
         assert!(matches!(
             parse(req),
-            HttpParse::Request(HttpRequest::Healthz { keep_alive: false }, _)
+            HttpParse::Request(HttpRequest::Healthz { keep_alive: false, .. }, _)
         ));
+    }
+
+    #[test]
+    fn trace_header_parses_and_survives_garbage() {
+        let req = b"GET /healthz HTTP/1.1\r\nX-IGCN-Trace: 00000000deadbeef\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::Healthz { trace: 0xDEAD_BEEF, .. }, _)
+        ));
+        // Case-insensitive header name, like every other header.
+        let req = b"GET /healthz HTTP/1.1\r\nx-igcn-trace: ff\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::Healthz { trace: 0xFF, .. }, _)
+        ));
+        // An unparseable value means "mint one", never a 400.
+        let req = b"GET /healthz HTTP/1.1\r\nX-IGCN-Trace: not-hex\r\n\r\n";
+        assert!(matches!(parse(req), HttpParse::Request(HttpRequest::Healthz { trace: 0, .. }, _)));
+    }
+
+    #[test]
+    fn responses_echo_the_trace_header() {
+        let bytes = response(200, &obj([("ok", JsonValue::Bool(true))]), true, 0x1234_5678_9ABC);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("X-IGCN-Trace: 0000123456789abc\r\n"), "got {text}");
+        // Trace 0 (unassigned) omits the header rather than lying.
+        let bytes = response(200, &obj([("ok", JsonValue::Bool(true))]), true, 0);
+        assert!(!String::from_utf8(bytes).unwrap().contains("X-IGCN-Trace"));
     }
 
     #[test]

@@ -235,7 +235,7 @@ enum ReplyState {
     /// In the admission queue, not yet dispatched.
     Queued,
     /// Handed to the serving tier; the ticket is polled by the IO loop.
-    Dispatched { ticket: Ticket, dispatched_at: Instant },
+    Dispatched { ticket: Ticket, dispatched_at: Instant, queue_wait: Duration },
     /// Terminal: the serving tier answered (or refused).
     Finished(Result<InferenceResponse, ServeError>),
     /// Terminal: the deadline expired before dispatch.
@@ -256,6 +256,7 @@ enum Resolution {
     Response {
         response: Box<InferenceResponse>,
         service: Option<Duration>,
+        queue_wait: Option<Duration>,
     },
     Failed(String),
     DeadlineExpired,
@@ -269,20 +270,23 @@ fn resolve(slot: &RequestSlot) -> Option<Resolution> {
     let mut state = slot.state.lock().expect("slot lock");
     match std::mem::replace(&mut *state, ReplyState::Queued) {
         ReplyState::Queued => None,
-        ReplyState::Dispatched { ticket, dispatched_at } => match ticket.try_take() {
+        ReplyState::Dispatched { ticket, dispatched_at, queue_wait } => match ticket.try_take() {
             Ok(Ok(response)) => Some(Resolution::Response {
                 response: Box::new(response),
                 service: Some(dispatched_at.elapsed()),
+                queue_wait: Some(queue_wait),
             }),
             Ok(Err(e)) => Some(Resolution::Failed(e.to_string())),
             Err(ticket) => {
-                *state = ReplyState::Dispatched { ticket, dispatched_at };
+                *state = ReplyState::Dispatched { ticket, dispatched_at, queue_wait };
                 None
             }
         },
-        ReplyState::Finished(Ok(response)) => {
-            Some(Resolution::Response { response: Box::new(response), service: None })
-        }
+        ReplyState::Finished(Ok(response)) => Some(Resolution::Response {
+            response: Box::new(response),
+            service: None,
+            queue_wait: None,
+        }),
         ReplyState::Finished(Err(e)) => Some(Resolution::Failed(e.to_string())),
         ReplyState::DeadlineExpired => Some(Resolution::DeadlineExpired),
     }
@@ -292,6 +296,7 @@ struct Job {
     request: InferenceRequest,
     deadline: Option<Instant>,
     slot: Arc<RequestSlot>,
+    admitted_at: Instant,
 }
 
 enum AdmitOutcome {
@@ -352,7 +357,12 @@ impl Inner {
             }
         }
         let slot = Arc::new(RequestSlot { state: Mutex::new(ReplyState::Queued) });
-        queue.push_back(Job { request, deadline, slot: Arc::clone(&slot) });
+        queue.push_back(Job {
+            request,
+            deadline,
+            slot: Arc::clone(&slot),
+            admitted_at: Instant::now(),
+        });
         drop(queue);
         self.admission_cv.notify_one();
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
@@ -429,6 +439,110 @@ impl Inner {
         }
     }
 
+    /// Per-component (per-shard, for a sharded fleet) backend health
+    /// as JSON rows; empty for monolithic backends.
+    fn components_json(&self) -> JsonValue {
+        JsonValue::Array(
+            self.serving
+                .backend()
+                .component_health()
+                .into_iter()
+                .map(|(component, health)| {
+                    let (state, detail) = match health {
+                        igcn_core::BackendHealth::Ready => ("ready", String::new()),
+                        igcn_core::BackendHealth::Degraded { detail } => ("degraded", detail),
+                    };
+                    obj([
+                        ("component", JsonValue::Str(component)),
+                        ("state", JsonValue::Str(state.to_string())),
+                        ("detail", JsonValue::Str(detail)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Per-stage latency summaries from the process-global telemetry
+    /// registry: one row per declared stage that has recorded samples.
+    fn stages_json() -> JsonValue {
+        let mut rows = Vec::new();
+        for &stage in igcn_obs::stage::ALL {
+            let snap = igcn_obs::stage_histogram(stage).snapshot();
+            if snap.count() == 0 {
+                continue;
+            }
+            rows.push((
+                stage.to_string(),
+                obj([
+                    ("count", JsonValue::Uint(snap.count())),
+                    ("p50_ns", JsonValue::Uint(snap.quantile(0.50))),
+                    ("p90_ns", JsonValue::Uint(snap.quantile(0.90))),
+                    ("p99_ns", JsonValue::Uint(snap.quantile(0.99))),
+                    ("max_ns", JsonValue::Uint(snap.max)),
+                ]),
+            ));
+        }
+        JsonValue::Object(rows)
+    }
+
+    /// The Prometheus text exposition served on `GET /metrics`: the
+    /// process-global registry (counters, gauges, stage summaries)
+    /// followed by this gateway instance's own counters — instance
+    /// counters stay per-[`Gateway`] (tests and multi-gateway
+    /// processes rely on that), so they are rendered here rather than
+    /// mirrored into the global registry.
+    fn metrics_text(&self) -> String {
+        let mut out = igcn_obs::render_prometheus();
+        let s = self.stats();
+        let mut line = |name: &str, help: &str, kind: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP igcn_gateway_{name} {help}\n# TYPE igcn_gateway_{name} {kind}\nigcn_gateway_{name} {value}\n"
+            ));
+        };
+        line(
+            "admitted_total",
+            "Requests accepted into the admission queue.",
+            "counter",
+            s.admitted,
+        );
+        line("dispatched_total", "Requests handed to the serving tier.", "counter", s.dispatched);
+        line("completed_total", "Successful responses delivered.", "counter", s.completed);
+        line(
+            "failed_total",
+            "Requests failed in the backend or serving tier.",
+            "counter",
+            s.failed,
+        );
+        line("shed_total", "Requests shed at admission.", "counter", s.shed);
+        line(
+            "deadline_expired_total",
+            "Requests whose deadline expired before dispatch.",
+            "counter",
+            s.deadline_expired,
+        );
+        line(
+            "protocol_errors_total",
+            "Malformed requests or corrupt frames.",
+            "counter",
+            s.protocol_errors,
+        );
+        line("connections_total", "Connections accepted since start.", "counter", s.connections);
+        line(
+            "admission_depth",
+            "Requests in the admission queue right now.",
+            "gauge",
+            s.admission_depth as u64,
+        );
+        line(
+            "ewma_service_us",
+            "EWMA of dispatch-to-completion service time.",
+            "gauge",
+            s.ewma_service_us,
+        );
+        line("serving_depth", "Serving-tier queue depth.", "gauge", s.serving.depth as u64);
+        out
+    }
+
     fn stats_json(&self) -> JsonValue {
         let s = self.stats();
         obj([
@@ -461,6 +575,8 @@ impl Inner {
                     ("shutting_down", JsonValue::Bool(s.serving.shutting_down)),
                 ]),
             ),
+            ("stages", Self::stages_json()),
+            ("shards", self.components_json()),
             ("backend", JsonValue::Str(self.backend_name.clone())),
         ])
     }
@@ -486,6 +602,11 @@ fn dispatcher_loop(inner: &Inner) {
                 queue = inner.admission_cv.wait(queue).expect("admission lock");
             }
         };
+        // How long the job sat in the admission queue, whatever its
+        // fate — the queue_wait stage histogram feeds capacity
+        // planning for shed tuning.
+        let queue_wait = job.admitted_at.elapsed();
+        igcn_obs::record_stage_ns(igcn_obs::stage::QUEUE_WAIT, queue_wait.as_nanos() as u64);
         // Cancellation before dispatch: an expired request never
         // reaches the serving queue or the backend.
         // invariant: slot-state lock holders never panic (see resolve()).
@@ -497,7 +618,7 @@ fn dispatcher_loop(inner: &Inner) {
         match inner.serving.submit(job.request) {
             Ok(ticket) => {
                 *job.slot.state.lock().expect("slot lock") =
-                    ReplyState::Dispatched { ticket, dispatched_at: Instant::now() };
+                    ReplyState::Dispatched { ticket, dispatched_at: Instant::now(), queue_wait };
                 inner.counters.dispatched.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => {
@@ -523,6 +644,10 @@ struct InFlight {
     wire_id: u64,
     slot: Arc<RequestSlot>,
     keep_alive: bool,
+    /// The request's end-to-end trace id (server-minted when the
+    /// client sent none): echoed on the reply, attached to the flight
+    /// recorder entry and any slow-request log line.
+    trace: u64,
 }
 
 struct Conn {
@@ -733,6 +858,7 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
                         413,
                         &format!("request exceeds the {buf_cap}-byte connection buffer"),
                         false,
+                        0,
                     )
                 };
                 conn.outbuf.extend_from_slice(&reply);
@@ -806,45 +932,72 @@ fn process_input(conn: &mut Conn, inner: &Inner) {
                 if !conn.in_flight.is_empty() {
                     return;
                 }
+                let span = igcn_obs::Span::enter(igcn_obs::stage::GATEWAY_DECODE_HTTP);
                 match http::parse(&conn.inbuf) {
-                    http::HttpParse::NeedMore => return,
+                    http::HttpParse::NeedMore => {
+                        // An incomplete buffer is not a decode; the
+                        // stage only measures requests that parsed.
+                        span.cancel();
+                        return;
+                    }
                     http::HttpParse::Request(request, consumed) => {
+                        drop(span);
                         conn.inbuf.drain(..consumed);
                         handle_http_request(conn, inner, request);
                     }
                     http::HttpParse::Error { status, message } => {
+                        span.cancel();
                         inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         conn.outbuf
-                            .extend_from_slice(&http::error_response(status, &message, false));
+                            .extend_from_slice(&http::error_response(status, &message, false, 0));
                         conn.closing = true;
                         conn.inbuf.clear();
                         return;
                     }
                 }
             }
-            Protocol::Binary => match wire::decode(&conn.inbuf) {
-                wire::Decoded::NeedMore => return,
-                wire::Decoded::Frame(frame, consumed) => {
-                    conn.inbuf.drain(..consumed);
-                    handle_frame(conn, inner, frame);
+            Protocol::Binary => {
+                let span = igcn_obs::Span::enter(igcn_obs::stage::GATEWAY_DECODE_BINARY);
+                match wire::decode(&conn.inbuf) {
+                    wire::Decoded::NeedMore => {
+                        span.cancel();
+                        return;
+                    }
+                    wire::Decoded::Frame(frame, trace, consumed) => {
+                        drop(span);
+                        conn.inbuf.drain(..consumed);
+                        handle_frame(conn, inner, frame, trace);
+                    }
+                    wire::Decoded::Corrupt(message) => {
+                        span.cancel();
+                        inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.outbuf
+                            .extend_from_slice(&wire::encode(&wire::Frame::Err { id: 0, message }));
+                        conn.closing = true;
+                        conn.inbuf.clear();
+                        return;
+                    }
                 }
-                wire::Decoded::Corrupt(message) => {
-                    inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    conn.outbuf
-                        .extend_from_slice(&wire::encode(&wire::Frame::Err { id: 0, message }));
-                    conn.closing = true;
-                    conn.inbuf.clear();
-                    return;
-                }
-            },
+            }
             Protocol::Unknown => unreachable!("sniffed above"),
         }
     }
 }
 
+/// A request's effective trace id: the client's, or a freshly minted
+/// one when the client sent none (0).
+fn effective_trace(trace: u64) -> u64 {
+    if trace != 0 {
+        trace
+    } else {
+        igcn_obs::next_trace_id()
+    }
+}
+
 fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpRequest) {
     match request {
-        http::HttpRequest::Healthz { keep_alive } => {
+        http::HttpRequest::Healthz { keep_alive, trace } => {
+            let trace = effective_trace(trace);
             // 200 only when ready: load balancers treat any non-2xx as
             // "take this replica out of rotation", which is exactly
             // what degraded and draining mean.
@@ -853,27 +1006,47 @@ fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpReques
             let body = obj([
                 ("status", JsonValue::Str(state.label().to_string())),
                 ("detail", JsonValue::Str(detail)),
+                ("shards", inner.components_json()),
                 ("backend", JsonValue::Str(inner.backend_name.clone())),
             ]);
-            conn.outbuf.extend_from_slice(&http::response(status, &body, keep_alive));
+            conn.outbuf.extend_from_slice(&http::response(status, &body, keep_alive, trace));
             conn.closing |= !keep_alive;
         }
-        http::HttpRequest::Stats { keep_alive } => {
-            conn.outbuf.extend_from_slice(&http::response(200, &inner.stats_json(), keep_alive));
+        http::HttpRequest::Stats { keep_alive, trace } => {
+            let trace = effective_trace(trace);
+            conn.outbuf.extend_from_slice(&http::response(
+                200,
+                &inner.stats_json(),
+                keep_alive,
+                trace,
+            ));
             conn.closing |= !keep_alive;
         }
-        http::HttpRequest::Infer { id, deadline_ms, features, keep_alive } => {
+        http::HttpRequest::Metrics { keep_alive, trace } => {
+            let trace = effective_trace(trace);
+            conn.outbuf.extend_from_slice(&http::raw_response(
+                200,
+                "text/plain; version=0.0.4",
+                inner.metrics_text().as_bytes(),
+                keep_alive,
+                trace,
+            ));
+            conn.closing |= !keep_alive;
+        }
+        http::HttpRequest::Infer { id, deadline_ms, features, keep_alive, trace } => {
+            let trace = effective_trace(trace);
             let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
             let request = InferenceRequest::new(features).with_id(id);
             match inner.admit(request, deadline) {
                 AdmitOutcome::Admitted(slot) => {
-                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive });
+                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive, trace });
                 }
                 AdmitOutcome::Shed => {
                     conn.outbuf.extend_from_slice(&http::error_response(
                         429,
                         "shed: gateway is at capacity, retry later",
                         keep_alive,
+                        trace,
                     ));
                     conn.closing |= !keep_alive;
                 }
@@ -882,7 +1055,8 @@ fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpReques
     }
 }
 
-fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame) {
+fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame, trace: u64) {
+    let trace = effective_trace(trace);
     match frame {
         wire::Frame::Infer { id, deadline_ms, features } => {
             let deadline =
@@ -890,20 +1064,40 @@ fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame) {
             let request = InferenceRequest::new(features).with_id(id);
             match inner.admit(request, deadline) {
                 AdmitOutcome::Admitted(slot) => {
-                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive: true });
+                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive: true, trace });
                 }
                 AdmitOutcome::Shed => {
-                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Shed { id }));
+                    conn.outbuf
+                        .extend_from_slice(&wire::encode_traced(&wire::Frame::Shed { id }, trace));
                 }
             }
         }
         wire::Frame::HealthCheck { id } => {
-            let (state, detail) = inner.health();
-            conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Health {
-                id,
-                state,
-                detail,
-            }));
+            let (state, mut detail) = inner.health();
+            // Per-shard detail rides the aggregate string so the
+            // binary Health frame reports the same component view as
+            // the `/healthz` JSON body, with no frame layout change.
+            let components = inner.serving.backend().component_health();
+            if !components.is_empty() {
+                detail.push_str("; shards: ");
+                for (i, (name, health)) in components.iter().enumerate() {
+                    if i > 0 {
+                        detail.push_str(", ");
+                    }
+                    match health {
+                        igcn_core::BackendHealth::Ready => {
+                            detail.push_str(&format!("{name}=ready"));
+                        }
+                        igcn_core::BackendHealth::Degraded { detail: why } => {
+                            detail.push_str(&format!("{name}=degraded({why})"));
+                        }
+                    }
+                }
+            }
+            conn.outbuf.extend_from_slice(&wire::encode_traced(
+                &wire::Frame::Health { id, state, detail },
+                trace,
+            ));
         }
         other => {
             // Clients may only send Infer and HealthCheck frames.
@@ -918,12 +1112,52 @@ fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame) {
                     unreachable!("matched above")
                 }
             };
-            conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Err {
-                id,
-                message: "clients may only send Infer and HealthCheck frames".to_string(),
-            }));
+            conn.outbuf.extend_from_slice(&wire::encode_traced(
+                &wire::Frame::Err {
+                    id,
+                    message: "clients may only send Infer and HealthCheck frames".to_string(),
+                },
+                trace,
+            ));
             conn.closing = true;
         }
+    }
+}
+
+/// Requests whose dispatch-to-completion service time exceeds this get
+/// a log line with their trace id — the hook for correlating a slow
+/// request across clients, gateway and backend.
+const SLOW_REQUEST: Duration = Duration::from_millis(500);
+
+/// Records one finished request in the flight recorder (and the slow
+/// log when over [`SLOW_REQUEST`]).
+fn record_flight(
+    entry: &InFlight,
+    protocol: &'static str,
+    status: &'static str,
+    queue_wait: Option<Duration>,
+    service: Option<Duration>,
+) {
+    let mut stages: Vec<(&'static str, u64)> = Vec::new();
+    if let Some(wait) = queue_wait {
+        stages.push((igcn_obs::stage::QUEUE_WAIT, wait.as_nanos() as u64));
+    }
+    if let Some(service) = service {
+        stages.push((igcn_obs::stage::DISPATCH, service.as_nanos() as u64));
+    }
+    igcn_obs::flight_record(igcn_obs::FlightEntry {
+        trace_id: entry.trace,
+        request_id: entry.wire_id,
+        protocol,
+        status,
+        stages,
+    });
+    if service.is_some_and(|s| s >= SLOW_REQUEST) {
+        let ms = service.map(|s| s.as_millis()).unwrap_or(0);
+        eprintln!(
+            "[igcn-gateway] slow request: trace={:016x} id={} protocol={protocol} service_ms={ms}",
+            entry.trace, entry.wire_id
+        );
     }
 }
 
@@ -932,6 +1166,12 @@ fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame) {
 /// request by construction).
 fn build_responses(conn: &mut Conn, inner: &Inner) {
     let is_http = conn.protocol == Protocol::Http;
+    let protocol = if is_http { "http" } else { "binary" };
+    let encode_stage = if is_http {
+        igcn_obs::stage::RESPONSE_ENCODE_HTTP
+    } else {
+        igcn_obs::stage::RESPONSE_ENCODE_BINARY
+    };
     let mut i = 0;
     while i < conn.in_flight.len() {
         let Some(resolution) = resolve(&conn.in_flight[i].slot) else {
@@ -940,49 +1180,62 @@ fn build_responses(conn: &mut Conn, inner: &Inner) {
         };
         let entry = conn.in_flight.remove(i);
         match resolution {
-            Resolution::Response { response, service } => {
+            Resolution::Response { response, service, queue_wait } => {
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
                 if let Some(service) = service {
                     inner.record_service_sample(service);
+                    igcn_obs::record_stage_ns(igcn_obs::stage::DISPATCH, service.as_nanos() as u64);
                 }
+                record_flight(&entry, protocol, "ok", queue_wait, service);
+                let _span = igcn_obs::Span::enter(encode_stage);
                 if is_http {
                     let body = http::infer_ok_body(response.id, &response.output);
-                    conn.outbuf.extend_from_slice(&http::response(200, &body, entry.keep_alive));
+                    conn.outbuf.extend_from_slice(&http::response(
+                        200,
+                        &body,
+                        entry.keep_alive,
+                        entry.trace,
+                    ));
                 } else {
-                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Ok {
-                        id: response.id,
-                        output: response.output,
-                    }));
+                    conn.outbuf.extend_from_slice(&wire::encode_traced(
+                        &wire::Frame::Ok { id: response.id, output: response.output },
+                        entry.trace,
+                    ));
                 }
             }
             Resolution::Failed(message) => {
                 inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                record_flight(&entry, protocol, "failed", None, None);
                 if is_http {
                     conn.outbuf.extend_from_slice(&http::error_response(
                         500,
                         &message,
                         entry.keep_alive,
+                        entry.trace,
                     ));
                 } else {
-                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Err {
-                        id: entry.wire_id,
-                        message,
-                    }));
+                    conn.outbuf.extend_from_slice(&wire::encode_traced(
+                        &wire::Frame::Err { id: entry.wire_id, message },
+                        entry.trace,
+                    ));
                 }
             }
             Resolution::DeadlineExpired => {
                 // Counted by the dispatcher, which is the only writer
                 // of that state.
+                record_flight(&entry, protocol, "deadline", None, None);
                 if is_http {
                     conn.outbuf.extend_from_slice(&http::error_response(
                         504,
                         "deadline expired before dispatch",
                         entry.keep_alive,
+                        entry.trace,
                     ));
                 } else {
-                    conn.outbuf.extend_from_slice(&wire::encode(&wire::Frame::Deadline {
-                        id: entry.wire_id,
-                    }));
+                    conn.outbuf.extend_from_slice(&wire::encode_traced(
+                        &wire::Frame::Deadline { id: entry.wire_id },
+                        entry.trace,
+                    ));
                 }
             }
         }
@@ -1016,6 +1269,10 @@ impl Gateway {
     ) -> io::Result<Gateway> {
         assert!(cfg.io_threads > 0, "at least one IO thread is required");
         assert!(cfg.admission_capacity > 0, "admission capacity must be positive");
+        // A process that serves traffic wants its stage histograms and
+        // flight recorder live; everything else (bare engines, batch
+        // tools) keeps the ~1 ns disabled fast path unless it opts in.
+        igcn_obs::set_enabled(true);
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let backend_name = backend.name();
@@ -1213,6 +1470,82 @@ mod tests {
     }
 
     #[test]
+    fn trace_ids_propagate_end_to_end_on_both_protocols() {
+        let gateway = Gateway::serve(backend(), "127.0.0.1:0", GatewayConfig::default()).unwrap();
+        let addr = gateway.local_addr();
+
+        // HTTP: a client-supplied trace id comes back verbatim in the
+        // X-IGCN-Trace response header.
+        let mut http = HttpClient::connect(addr).unwrap();
+        let (reply, echoed) = http.infer_traced(1, None, &features(1), 0xFACE).unwrap();
+        assert!(matches!(reply, InferReply::Output { .. }), "got {reply:?}");
+        assert_eq!(echoed, 0xFACE, "HTTP must echo the client's trace id");
+        // Without one, the gateway mints a nonzero id, fresh per request.
+        let (_, t1) = http.infer_traced(2, None, &features(1), 0).unwrap();
+        let (_, t2) = http.infer_traced(3, None, &features(1), 0).unwrap();
+        assert_ne!(t1, 0, "the gateway must mint a trace id");
+        assert_ne!(t2, 0);
+        assert_ne!(t1, t2, "minted trace ids must be unique per request");
+
+        // Binary: the same contract through the frame header field.
+        let mut binary = BinaryClient::connect(addr).unwrap();
+        let (reply, echoed) = binary.infer_traced(4, None, &features(1), 0xBEE5).unwrap();
+        assert!(matches!(reply, InferReply::Output { .. }), "got {reply:?}");
+        assert_eq!(echoed, 0xBEE5, "binary must echo the client's trace id");
+        let (_, t3) = binary.infer_traced(5, None, &features(1), 0).unwrap();
+        let (_, t4) = binary.infer_traced(6, None, &features(1), 0).unwrap();
+        assert_ne!(t3, 0);
+        assert_ne!(t4, 0);
+        assert_ne!(t3, t4);
+
+        // Error replies echo too: drain mode sheds deterministically,
+        // and the shed reply must still carry the request's trace.
+        gateway.begin_drain();
+        let (reply, echoed) = http.infer_traced(7, None, &features(1), 0x7707).unwrap();
+        assert_eq!(reply, InferReply::Shed);
+        assert_eq!(echoed, 0x7707, "HTTP shed replies must echo the trace id");
+        let (reply, echoed) = binary.infer_traced(8, None, &features(1), 0x8808).unwrap();
+        assert_eq!(reply, InferReply::Shed);
+        assert_eq!(echoed, 0x8808, "binary shed replies must echo the trace id");
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_stats_expose_stage_telemetry() {
+        let gateway = Gateway::serve(backend(), "127.0.0.1:0", GatewayConfig::default()).unwrap();
+        let mut client = HttpClient::connect(gateway.local_addr()).unwrap();
+        let _ = client.infer(1, None, &features(2)).unwrap();
+
+        let (status, body) = client.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("# TYPE igcn_stage_ns summary"),
+            "the global stage summary family must be exposed"
+        );
+        assert!(
+            body.contains("igcn_gateway_admitted_total"),
+            "gateway instance counters must be appended"
+        );
+        // Every non-comment line is `name[{labels}] value`.
+        for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (_, value) = line.rsplit_once(' ').expect("metric lines end in a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable metric line {line:?}");
+        }
+
+        let (status, body) = client.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        let doc = JsonValue::parse(&body).unwrap();
+        let stages = doc.get("stages").expect("stats must report per-stage histograms");
+        let queue_wait = stages
+            .get(igcn_obs::stage::QUEUE_WAIT)
+            .expect("the dispatcher records queue_wait for every dispatched request");
+        assert!(queue_wait.get("count").and_then(|v| v.as_u64()).unwrap() >= 1);
+        assert!(queue_wait.get("p99_ns").and_then(|v| v.as_u64()).is_some());
+        assert!(doc.get("shards").is_some(), "stats must carry the per-shard health array");
+        gateway.shutdown();
+    }
+
+    #[test]
     fn http_protocol_errors_close_with_4xx() {
         let gateway = Gateway::serve(backend(), "127.0.0.1:0", GatewayConfig::default()).unwrap();
         let mut stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
@@ -1237,7 +1570,7 @@ mod tests {
         let mut response = Vec::new();
         stream.read_to_end(&mut response).unwrap();
         match wire::decode(&response) {
-            wire::Decoded::Frame(wire::Frame::Err { message, .. }, _) => {
+            wire::Decoded::Frame(wire::Frame::Err { message, .. }, _, _) => {
                 assert!(message.contains("checksum"), "got {message}");
             }
             other => panic!("expected an Err frame, got {other:?}"),
@@ -1252,7 +1585,7 @@ mod tests {
         let mut buf = Vec::new();
         let mut chunk = [0u8; 4096];
         loop {
-            if let wire::Decoded::Frame(frame, _) = wire::decode(&buf) {
+            if let wire::Decoded::Frame(frame, _, _) = wire::decode(&buf) {
                 return frame;
             }
             match stream.read(&mut chunk) {
@@ -1341,12 +1674,12 @@ mod tests {
             buf.extend_from_slice(&chunk[..n]);
             loop {
                 match wire::decode(&buf) {
-                    wire::Decoded::Frame(wire::Frame::Ok { id, output }, used) => {
+                    wire::Decoded::Frame(wire::Frame::Ok { id, output }, _, used) => {
                         assert_eq!(output, direct.output, "reply {id} must be bit-identical");
                         assert!(got.insert(id), "duplicate reply for id {id}");
                         buf.drain(..used);
                     }
-                    wire::Decoded::Frame(other, _) => panic!("unexpected frame {other:?}"),
+                    wire::Decoded::Frame(other, _, _) => panic!("unexpected frame {other:?}"),
                     wire::Decoded::NeedMore => break,
                     wire::Decoded::Corrupt(msg) => panic!("corrupt reply stream: {msg}"),
                 }
@@ -1505,7 +1838,7 @@ mod tests {
                             }
                         } else {
                             match wire::decode(&buf) {
-                                wire::Decoded::Frame(_, consumed) => Some(consumed),
+                                wire::Decoded::Frame(_, _, consumed) => Some(consumed),
                                 _ => None,
                             }
                         };

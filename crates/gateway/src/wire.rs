@@ -2,11 +2,20 @@
 //!
 //! Framing follows the `igcn-store` snapshot conventions — magic,
 //! little-endian version, little-endian payload length, FNV-1a-64
-//! checksum ([`igcn_store::snapshot::fnv1a64`]), then the payload:
+//! checksum ([`igcn_store::snapshot::fnv1a64`]), a trace id, then the
+//! payload:
 //!
 //! ```text
-//! magic(4) | version(u32 LE) | payload_len(u64 LE) | checksum(u64 LE) | payload
+//! magic(4) | version(u32 LE) | payload_len(u64 LE) | checksum(u64 LE) | trace_id(u64 LE) | payload
 //! ```
+//!
+//! The trace id correlates a request across the gateway's telemetry
+//! (flight recorder, slow-request log lines) and is echoed verbatim on
+//! every reply frame; `0` means "unassigned" and makes the server mint
+//! one. It lives in the header — not the payload — so it is readable
+//! even on frames whose payload fails to parse, and it is deliberately
+//! excluded from the checksum's coverage (the checksum guards the
+//! payload, exactly as in version 1).
 //!
 //! The magic's first byte is `0x89` — not a valid leading byte of any
 //! HTTP method — which is how the gateway sniffs the protocol from the
@@ -25,10 +34,13 @@ pub const WIRE_MAGIC: [u8; 4] = [0x89, b'I', b'G', b'W'];
 
 /// Wire format version. Bumped on any layout change; the server
 /// rejects frames with a different version rather than guessing.
-pub const WIRE_VERSION: u32 = 1;
+/// Version 2 added the header `trace_id` field (version 1 had a
+/// 24-byte header ending at the checksum).
+pub const WIRE_VERSION: u32 = 2;
 
-/// Fixed header size: magic + version + payload_len + checksum.
-pub const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+/// Fixed header size: magic + version + payload_len + checksum +
+/// trace_id.
+pub const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 
 /// Hard cap on a frame payload (defence against corrupt or hostile
 /// length fields).
@@ -159,15 +171,22 @@ pub enum Frame {
 pub enum Decoded {
     /// The buffer does not yet hold a complete frame.
     NeedMore,
-    /// One complete frame, and how many bytes it consumed.
-    Frame(Frame, usize),
+    /// One complete frame: the frame, its header trace id (0 when the
+    /// client sent none), and how many bytes it consumed.
+    Frame(Frame, u64, usize),
     /// The stream is unrecoverable (bad magic/version/checksum/layout);
     /// the connection must be closed.
     Corrupt(String),
 }
 
-/// Encodes one frame, header included.
+/// Encodes one frame with an unassigned (zero) trace id.
 pub fn encode(frame: &Frame) -> Vec<u8> {
+    encode_traced(frame, 0)
+}
+
+/// Encodes one frame, header included, stamping `trace_id` into the
+/// header's trace field.
+pub fn encode_traced(frame: &Frame, trace_id: u64) -> Vec<u8> {
     let mut payload = Vec::new();
     match frame {
         Frame::Infer { id, deadline_ms, features } => {
@@ -227,6 +246,7 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&trace_id.to_le_bytes());
     out.extend_from_slice(&payload);
     out
 }
@@ -252,6 +272,7 @@ pub fn decode(buf: &[u8]) -> Decoded {
         ));
     }
     let checksum = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+    let trace_id = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
     let total = HEADER_LEN + payload_len as usize;
     if buf.len() < total {
         return Decoded::NeedMore;
@@ -261,7 +282,7 @@ pub fn decode(buf: &[u8]) -> Decoded {
         return Decoded::Corrupt("frame checksum mismatch".to_string());
     }
     match decode_payload(payload) {
-        Ok(frame) => Decoded::Frame(frame, total),
+        Ok(frame) => Decoded::Frame(frame, trace_id, total),
         Err(msg) => Decoded::Corrupt(msg),
     }
 }
@@ -441,8 +462,9 @@ mod tests {
         for frame in &frames {
             let bytes = encode(frame);
             match decode(&bytes) {
-                Decoded::Frame(decoded, consumed) => {
+                Decoded::Frame(decoded, trace, consumed) => {
                     assert_eq!(consumed, bytes.len());
+                    assert_eq!(trace, 0, "plain encode stamps an unassigned trace id");
                     // NaN != NaN under PartialEq; compare bits instead.
                     match (&decoded, frame) {
                         (Frame::Ok { output: a, .. }, Frame::Ok { output: b, .. }) => {
@@ -457,6 +479,45 @@ mod tests {
                 other => panic!("expected a frame, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn trace_id_rides_the_header_round_trip() {
+        let frame = Frame::Infer { id: 11, deadline_ms: 0, features: features() };
+        let bytes = encode_traced(&frame, 0xDEAD_BEEF_CAFE_F00D);
+        match decode(&bytes) {
+            Decoded::Frame(decoded, trace, consumed) => {
+                assert_eq!(consumed, bytes.len());
+                assert_eq!(trace, 0xDEAD_BEEF_CAFE_F00D);
+                assert_eq!(decoded, frame);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // The trace id is outside the checksum's coverage: restamping
+        // it must not invalidate the frame.
+        let mut restamped = bytes;
+        restamped[24..32].copy_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(decode(&restamped), Decoded::Frame(_, 7, _)));
+    }
+
+    #[test]
+    fn version_1_frames_are_cleanly_rejected() {
+        // A byte-faithful version-1 frame: 24-byte header with no
+        // trace field. The v2 decoder must refuse it with a version
+        // message — not misparse the payload's first 8 bytes as a
+        // trace id.
+        let mut payload = vec![KIND_SHED];
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&WIRE_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        v1.extend_from_slice(&payload);
+        assert!(
+            matches!(decode(&v1), Decoded::Corrupt(msg) if msg.contains("version 1")),
+            "a v1 frame must be rejected by version, not misparsed"
+        );
     }
 
     #[test]
@@ -494,6 +555,7 @@ mod tests {
         out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes()); // trace id
         out.extend_from_slice(payload);
         out
     }

@@ -638,6 +638,12 @@ impl ShardedEngine {
             &self.locator_stats,
             self.consumer_cfg,
             self.island_workers(),
+            // The fleet's shard fan-out always streams f32 features —
+            // int8 staging is a single-engine scratch optimisation the
+            // halo exchange does not use — so the canonical accounting
+            // prices f32 regardless of any `quantized_features` flag in
+            // this engine's exec config.
+            false,
             features,
             model,
         )
@@ -807,6 +813,13 @@ impl ShardedEngine {
             let width = w.cols();
             merge.begin_layer(num_hubs, width);
 
+            // Stage timing only — the halo_exchange span covers the
+            // hub slab build plus the shard fan-out (the work that
+            // produces each shard's halo contributions), halo_merge
+            // the schedule-order collect and hub finalise. Outputs are
+            // identical whether telemetry is enabled or not.
+            let exchange_span = igcn_obs::Span::enter(igcn_obs::stage::HALO_EXCHANGE);
+
             // 1. Hub XW slab from the merged hub activations.
             {
                 let input = if li == 0 {
@@ -907,6 +920,10 @@ impl ShardedEngine {
                     failed.sort_unstable_by_key(|&(i, _)| i);
                     for (i, detail) in &failed {
                         self.health.mark_down(*i, detail);
+                        // One count per shard taken down, so recovery
+                        // campaigns can reconcile observed Down shards
+                        // against contained panics exactly.
+                        igcn_obs::counter("shard_contained_panics").inc();
                     }
                     let (shard, detail) = failed.swap_remove(0);
                     // `states` is dropped here, not returned to the
@@ -914,6 +931,9 @@ impl ShardedEngine {
                     return Err(ShardError::ShardFailed { shard, detail });
                 }
             }
+
+            drop(exchange_span);
+            let _merge_span = igcn_obs::Span::enter(igcn_obs::stage::HALO_MERGE);
 
             // 3. Halo collect: replay every island's hub contributions
             // in global schedule order, then the inter-hub tasks —
@@ -1415,6 +1435,21 @@ impl Accelerator for ShardedEngine {
             }
         }
     }
+
+    fn component_health(&self) -> Vec<(String, BackendHealth)> {
+        self.health
+            .snapshot()
+            .into_iter()
+            .enumerate()
+            .map(|(i, status)| {
+                let health = match status {
+                    ShardHealth::Up => BackendHealth::Ready,
+                    ShardHealth::Down { detail } => BackendHealth::Degraded { detail },
+                };
+                (format!("shard{i}"), health)
+            })
+            .collect()
+    }
 }
 
 /// One shard's half of a layer: receive the halo (hub XW rows), run the
@@ -1451,6 +1486,10 @@ fn run_shard_layer(
     let ShardRunState { gathered, ping, pong, contrib, hub_y, arena } = st;
     let input = if first_layer { LayerInput::Sparse(gathered) } else { LayerInput::Dense(ping) };
     let node_out = &mut pong.as_mut_slice()[hs * width..];
+    // The fleet's local layer compute is this call, not
+    // `IGcnEngine::execute` — record the same stage the single-engine
+    // path does so `layer_execute` covers both serving shapes.
+    let _layer_span = igcn_obs::Span::enter(igcn_obs::stage::LAYER_EXECUTE);
     execute_islands_export(
         shard.engine.layout(),
         consumer_cfg,

@@ -141,6 +141,7 @@ impl EngineStore {
     /// may be left rotated (previous generation only); it still boots
     /// to the exact pre-checkpoint state.
     pub fn save(&self, snapshot: &Snapshot) -> Result<u64, StoreError> {
+        let _span = igcn_obs::Span::enter(igcn_obs::stage::CHECKPOINT);
         let prev = self.previous_snapshot_path();
         match std::fs::rename(&self.snapshot_path, &prev) {
             Ok(()) => {}
@@ -274,6 +275,10 @@ impl EngineStore {
         match engine.apply_update(update) {
             Ok(report) => Ok(report),
             Err(e) => {
+                // Rejections are rare enough that each one is worth a
+                // counter tick: a climbing rate means callers are
+                // feeding structurally invalid updates.
+                igcn_obs::counter("store_wal_rollbacks").inc();
                 wal.rollback_to(offset)?;
                 Err(StoreError::Core(e))
             }

@@ -152,6 +152,7 @@ impl Wal {
     /// [`StoreError::Io`] on filesystem failures;
     /// [`StoreError::WalCorrupt`] if the existing file is not a WAL.
     pub fn append(&self, update: &GraphUpdate) -> Result<u64, StoreError> {
+        let _span = igcn_obs::Span::enter(igcn_obs::stage::WAL_APPEND);
         match self.read_header()? {
             Some(paired) if paired == self.paired_checksum => {}
             _ => self.reset()?,

@@ -19,6 +19,7 @@
 //! | [`sim`] | `igcn-sim` | cycle/energy/area models; [`sim::SimBackend`] lifts any simulator into the serving trait |
 //! | [`reorder`] | `igcn-reorder` | lightweight reordering baselines + quality metrics |
 //! | [`fail`] | `igcn-fail` | named failpoints for chaos testing — zero-cost when disabled, deterministic triggers and fault actions |
+//! | [`obs`] | `igcn-obs` | process-global metrics registry (counters, gauges, log₂-bucket histograms), RAII stage spans, trace IDs, the flight recorder |
 //! | [`baselines`] | `igcn-baselines` | AWB-GCN, HyGCN, SIGMA, CPU/GPU models — all servable as `Accelerator` backends |
 //!
 //! # Quick start
@@ -415,17 +416,23 @@
 //!   "indptr": [..], "indices": [..], "values": [..]}}`, answering
 //!   `200` with the dense output matrix (shortest-round-trip `f32`
 //!   encoding, so the JSON round trip is still bit-exact), plus
-//!   `GET /healthz` and `GET /stats` for probes and dashboards. Errors
-//!   map onto status codes: `429` shed, `504` deadline expired, `4xx`
-//!   malformed, `500` backend failure.
+//!   `GET /healthz`, `GET /stats` and `GET /metrics` for probes and
+//!   dashboards. Errors map onto status codes: `429` shed, `504`
+//!   deadline expired, `4xx` malformed, `500` backend failure. An
+//!   `X-IGCN-Trace` request header carries the request's trace ID (see
+//!   *Observability* below); every response echoes it.
 //! * **Length-prefixed binary** ([`gateway::wire`]) — `magic | version |
-//!   kind | length | FNV-1a-64 checksum | payload` frames carrying raw
-//!   IEEE-754 bits, the same framing conventions as `igcn-store`
-//!   snapshots. Readers accept exactly [`gateway::wire::WIRE_VERSION`];
-//!   a corrupt or mis-versioned frame is answered with a typed `Err`
-//!   frame and the connection closes. The magic's first byte (`0x89`)
-//!   can never begin an HTTP request, which is what makes the sniff
-//!   unambiguous.
+//!   payload length | FNV-1a-64 checksum | trace id | payload` frames
+//!   carrying raw IEEE-754 bits, the same framing conventions as
+//!   `igcn-store` snapshots. Readers accept exactly
+//!   [`gateway::wire::WIRE_VERSION`] (**2** since the trace-id header
+//!   field — version-1 frames fail fast with a typed message, per the
+//!   same compatibility policy as snapshots); a corrupt or
+//!   mis-versioned frame is answered with a typed `Err` frame and the
+//!   connection closes. The trace id rides the *header*, outside
+//!   checksum coverage, so it is readable even when the payload is
+//!   rejected. The magic's first byte (`0x89`) can never begin an HTTP
+//!   request, which is what makes the sniff unambiguous.
 //!
 //! Flow control is explicit and non-blocking at the edge:
 //!
@@ -526,6 +533,59 @@
 //! with the gateway's own shed-pressure estimate — `200` only when
 //! `ready`, so a probe needs no JSON parsing to rotate a node out.
 //!
+//! # Observability
+//!
+//! [`obs`] (`igcn-obs`, `crates/compat/telemetry` — vendored,
+//! dependency-free) is the workspace's telemetry layer: a
+//! process-global metrics registry, RAII stage timing, end-to-end
+//! trace IDs, and a flight recorder, all lock-free on the record path.
+//!
+//! * **Registry.** `obs::counter("name")` / `obs::gauge("name")` /
+//!   `obs::histogram("name")` intern `&'static` handles on first use
+//!   (atomic increments thereafter — safe from any thread, including
+//!   pool workers mid-inference). Histograms bucket values into 64
+//!   log₂ bins, so recording is a few atomic ops and snapshots report
+//!   p50/p90/p99/max with bit-stable bucket upper bounds.
+//! * **Stage spans.** The request path is instrumented with named
+//!   stages ([`obs::stage`]): gateway decode, queue wait, dispatch,
+//!   layer execute (both the single-engine and the sharded fleet's
+//!   local layer compute), halo exchange/merge, WAL append,
+//!   checkpoint, response encode. `obs::Span::enter(stage)` times a
+//!   scope into `stage_ns/<stage>`; telemetry is **off by default**
+//!   and a disabled span is one relaxed atomic load (≤ 5 ns, pinned by
+//!   `obs_tool`'s probe), so the spans ship unconditionally —
+//!   [`gateway::Gateway::serve`] flips the switch for serving
+//!   processes. Instrumentation is *bit-neutral*: outputs and
+//!   `ExecStats` are identical on/off (asserted every CI run).
+//! * **Trace IDs.** Every request carries a `u64` trace end to end:
+//!   clients supply one (`X-IGCN-Trace` header / the binary frame's
+//!   header field) or the gateway mints one; every reply — including
+//!   shed, deadline and error replies — echoes it, and slow-request
+//!   log lines (> 500 ms service) carry it, so one grep follows a
+//!   request across layers.
+//! * **Flight recorder.** The last [`obs::FLIGHT_CAPACITY`] (256)
+//!   completed requests keep a per-stage breakdown
+//!   ([`obs::FlightEntry`]: trace ID, protocol, terminal status,
+//!   `(stage, ns)` pairs) in a bounded ring — the first thing to read
+//!   after a latency incident.
+//! * **Scrape endpoints.** `GET /metrics` renders Prometheus text
+//!   (counters as `igcn_<name>_total`, gauges as `igcn_<name>`, stage
+//!   histograms as an `igcn_stage_ns` summary family, plus per-gateway
+//!   `igcn_gateway_*` lines); `GET /stats` serves the same as JSON
+//!   with queue depth, per-stage quantiles and per-shard health
+//!   ([`core::accel::Accelerator::component_health`] — `/healthz` and
+//!   the binary `Health` frame carry the same per-shard detail).
+//!
+//! `cargo run --release -p igcn-bench --bin obs_tool` walks the whole
+//! contract — overhead probe, bit-neutrality, trace echo over both
+//! protocols, stage coverage, scrape parsing — and records per-stage
+//! p50/p99 per protocol in `results/telemetry.json` (1-CPU container:
+//! stage *ratios* transfer, absolute nanoseconds do not). The chaos
+//! campaigns additionally reconcile error counters against their own
+//! fault tallies (`shard_contained_panics`, `store_wal_rollbacks`) and
+//! assert no counter ever goes backwards across a heal or recovery
+//! boot.
+//!
 //! # Migrating from the borrowed engine (pre-builder API)
 //!
 //! The old engine borrowed its graph and panicked on shape errors:
@@ -560,6 +620,7 @@ pub use igcn_gateway as gateway;
 pub use igcn_gnn as gnn;
 pub use igcn_graph as graph;
 pub use igcn_linalg as linalg;
+pub use igcn_obs as obs;
 pub use igcn_reorder as reorder;
 pub use igcn_serve as serve;
 pub use igcn_shard as shard;
