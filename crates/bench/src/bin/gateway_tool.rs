@@ -237,11 +237,11 @@ fn drive(mut client: LoadClient, idx: u64, interval: Duration, until: Instant, x
             Ok(InferReply::Shed) => tally.shed += 1,
             Ok(InferReply::DeadlineExceeded) => tally.deadline += 1,
             Ok(InferReply::Error(e)) => {
-                eprintln!("[load] client {idx}: server error: {e}");
+                igcn_log::warn!("gateway_tool", "server error: {e}", client = idx);
                 tally.errors += 1;
             }
             Err(e) => {
-                eprintln!("[load] client {idx}: transport error: {e}");
+                igcn_log::warn!("gateway_tool", "transport error: {e}", client = idx);
                 tally.errors += 1;
                 break;
             }

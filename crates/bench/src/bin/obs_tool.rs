@@ -169,10 +169,25 @@ fn store_campaign(dir: &std::path::Path, seed: u64, updates: u64) {
 }
 
 /// Every non-comment `/metrics` line must be `name[ {labels}] value`
-/// with a parseable numeric value — the Prometheus text contract.
+/// with a parseable numeric value — the Prometheus text contract —
+/// and every `# TYPE` family must be introduced by a `# HELP` line.
 fn assert_prometheus_parses(text: &str) {
     let mut samples = 0usize;
+    let mut last_help: Option<&str> = None;
     for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            last_help = rest.split(' ').next();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split(' ').next().unwrap_or("");
+            assert_eq!(
+                last_help,
+                Some(family),
+                "# TYPE {family} must be preceded by its # HELP line"
+            );
+            continue;
+        }
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -181,8 +196,14 @@ fn assert_prometheus_parses(text: &str) {
         samples += 1;
     }
     assert!(samples > 0, "/metrics rendered no samples");
-    for family in ["igcn_stage_ns", "igcn_gateway_admitted_total", "igcn_gateway_connections_total"]
-    {
+    for family in [
+        "igcn_stage_ns",
+        "igcn_gateway_admitted_total",
+        "igcn_gateway_connections_total",
+        "igcn_gateway_queue_depth",
+        "igcn_gateway_inflight",
+        "igcn_gateway_shed_reason_total{reason=\"queue_full\"}",
+    ] {
         assert!(text.contains(family), "/metrics is missing the {family} family");
     }
 }
@@ -274,6 +295,13 @@ fn main() {
     for key in ["\"stages\"", "\"queue_wait\"", "\"shards\""] {
         assert!(stats_body.contains(key), "/stats is missing {key}");
     }
+    let (status, flight_body, _) =
+        http.get_traced("/debug/flight", 0).expect("/debug/flight round-trips");
+    assert_eq!(status, 200, "/debug/flight must serve 200");
+    assert!(
+        flight_body.contains("\"entries\"") && flight_body.contains("\"stages_us\""),
+        "/debug/flight must serve the flight-recorder ring as JSON"
+    );
     let flights = igcn_obs::flight_entries();
     assert!(!flights.is_empty(), "flight recorder must hold the driven requests");
     assert!(flights.len() <= igcn_obs::FLIGHT_CAPACITY, "flight recorder overflowed its ring");

@@ -1,0 +1,106 @@
+//! CI perf gate: diffs committed `results/*.json` metrics against
+//! `results/perf_baseline.json` and fails on regression.
+//!
+//! ```text
+//! perf_gate [--results DIR] [--baseline FILE] [--no-history]
+//! ```
+//!
+//! Only machine-independent metrics are gated (see the baseline
+//! file's own notes): recovery rates, bit-identity flags, structural
+//! partition quality, error counts and the disabled-span budget.
+//! Wall-clock timings are deliberately absent — CI re-records the
+//! results files on arbitrary containers. Every run's verdict is
+//! appended to `results/perf_history.json` (bounded ring), so the
+//! observatory keeps a trail of what moved and when. Exit status: 0
+//! when every gate passes, 1 otherwise, 2 on usage/baseline errors.
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use igcn_bench::perf;
+use serde::json::JsonValue;
+
+struct Args {
+    results: PathBuf,
+    baseline: Option<PathBuf>,
+    history: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { results: PathBuf::from("results"), baseline: None, history: true };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> PathBuf {
+            it.next().map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("{name} needs a path value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--results" => args.results = value("--results"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--no-history" => args.history = false,
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}; usage: perf_gate [--results DIR] \
+                     [--baseline FILE] [--no-history]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn read_json(path: &Path) -> Option<JsonValue> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match JsonValue::parse(&text) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
+            eprintln!("warning: {} does not parse as JSON: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline_path =
+        args.baseline.clone().unwrap_or_else(|| args.results.join("perf_baseline.json"));
+    let Some(baseline) = read_json(&baseline_path) else {
+        eprintln!("error: cannot read baseline {}", baseline_path.display());
+        std::process::exit(2);
+    };
+    let gates = match perf::parse_gates(&baseline) {
+        Ok(gates) => gates,
+        Err(e) => {
+            eprintln!("error: malformed baseline {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        }
+    };
+
+    let results = args.results.clone();
+    let outcomes = perf::evaluate(&gates, &mut |file| read_json(&results.join(file)));
+    for outcome in &outcomes {
+        eprintln!("[perf_gate] {}", outcome.describe());
+    }
+    let failed = outcomes.iter().filter(|o| !o.pass).count();
+
+    if args.history {
+        let history_path = args.results.join("perf_history.json");
+        let unix_ts =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+        let updated = perf::append_history(read_json(&history_path), unix_ts, &outcomes);
+        if let Err(e) = std::fs::write(&history_path, updated.encode_pretty()) {
+            eprintln!("warning: cannot write {}: {e}", history_path.display());
+        } else {
+            eprintln!("[perf_gate] appended verdict to {}", history_path.display());
+        }
+    }
+
+    if failed > 0 {
+        eprintln!("[perf_gate] {failed}/{} gates FAILED", outcomes.len());
+        std::process::exit(1);
+    }
+    eprintln!("[perf_gate] all {} gates pass", outcomes.len());
+}

@@ -8,6 +8,7 @@
 
 pub mod args;
 pub mod harness;
+pub mod perf;
 pub mod suite;
 pub mod table;
 

@@ -1,0 +1,367 @@
+//! Perf-regression observatory: gates committed `results/*.json`
+//! metrics against `results/perf_baseline.json`.
+//!
+//! The baseline file declares the gated metrics — only
+//! machine-independent ones (recovery rates, bit-identity booleans,
+//! structural partition quality, error counts, the disabled-span
+//! budget), never wall-clock timings, because CI re-records the
+//! results files on whatever container it gets. Each gate names a
+//! file, a dotted metric path, a direction, a baseline value and a
+//! relative tolerance; [`evaluate`] loads the current value and
+//! passes it iff it has not regressed past the tolerance band.
+//!
+//! The `perf_gate` binary drives this module over the real results
+//! directory, appends the verdict to `results/perf_history.json`
+//! (bounded to [`HISTORY_CAP`] entries) and exits nonzero on any
+//! failed gate — the CI hook.
+
+use serde::json::{obj, JsonValue};
+
+/// Whether a larger or a smaller current value is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Regression means dropping below `baseline * (1 - rel_tol)`.
+    Higher,
+    /// Regression means rising above `baseline * (1 + rel_tol)`.
+    Lower,
+}
+
+impl Better {
+    fn parse(s: &str) -> Option<Better> {
+        match s {
+            "higher" => Some(Better::Higher),
+            "lower" => Some(Better::Lower),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        }
+    }
+}
+
+/// One gated metric, as declared in `perf_baseline.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Results file the metric lives in, relative to the results dir.
+    pub file: String,
+    /// Dotted path into the document; a numeric segment indexes an
+    /// array (`rows.1.work_balance`).
+    pub metric: String,
+    pub better: Better,
+    pub baseline: f64,
+    /// Relative tolerance band around the baseline (0.05 = 5%).
+    pub rel_tol: f64,
+    /// Why this metric is gated — carried into reports.
+    pub note: String,
+}
+
+/// The verdict for one gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    pub gate: Gate,
+    /// The value currently in the results file; `None` when the file
+    /// is missing, unparseable, or the path resolves to nothing
+    /// numeric — all of which fail the gate.
+    pub current: Option<f64>,
+    pub pass: bool,
+}
+
+impl GateOutcome {
+    /// One human line: `PASS chaos.json store.recovery_rate 1 (>= 1)`.
+    pub fn describe(&self) -> String {
+        let verdict = if self.pass { "PASS" } else { "FAIL" };
+        let current = match self.current {
+            Some(v) => format!("{v}"),
+            None => "missing".to_string(),
+        };
+        let (cmp, bound) = match self.gate.better {
+            Better::Higher => (">=", self.gate.baseline * (1.0 - self.gate.rel_tol)),
+            Better::Lower => ("<=", self.gate.baseline * (1.0 + self.gate.rel_tol)),
+        };
+        format!(
+            "{verdict} {}:{} = {current} (want {cmp} {bound})",
+            self.gate.file, self.gate.metric
+        )
+    }
+
+    fn to_json(&self) -> JsonValue {
+        obj([
+            ("file", JsonValue::Str(self.gate.file.clone())),
+            ("metric", JsonValue::Str(self.gate.metric.clone())),
+            ("baseline", JsonValue::from_f64_rounded(self.gate.baseline)),
+            (
+                "current",
+                match self.current {
+                    Some(v) => JsonValue::from_f64_rounded(v),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("pass", JsonValue::Bool(self.pass)),
+        ])
+    }
+}
+
+/// Follows a dotted path through objects and arrays (numeric segments
+/// index arrays).
+pub fn lookup<'a>(doc: &'a JsonValue, path: &str) -> Option<&'a JsonValue> {
+    let mut cur = doc;
+    for seg in path.split('.') {
+        cur = match (cur, seg.parse::<usize>()) {
+            (JsonValue::Array(items), Ok(idx)) => items.get(idx)?,
+            (other, _) => other.get(seg)?,
+        };
+    }
+    Some(cur)
+}
+
+/// A metric as a number: integers and floats as themselves, booleans
+/// as 1/0 (bit-identity flags gate as exact numbers).
+pub fn as_number(v: &JsonValue) -> Option<f64> {
+    match *v {
+        JsonValue::Bool(b) => Some(if b { 1.0 } else { 0.0 }),
+        JsonValue::Uint(u) => Some(u as f64),
+        JsonValue::Int(i) => Some(i as f64),
+        JsonValue::Float(f) => Some(f),
+        _ => None,
+    }
+}
+
+/// Parses the `gates` array of a baseline document.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed gate entry.
+pub fn parse_gates(baseline: &JsonValue) -> Result<Vec<Gate>, String> {
+    let rows = baseline
+        .get("gates")
+        .and_then(JsonValue::as_array)
+        .ok_or("baseline document has no \"gates\" array")?;
+    let mut gates = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let field = |key: &str| row.get(key).ok_or_else(|| format!("gate {i} is missing {key:?}"));
+        let text = |key: &str| -> Result<String, String> {
+            match field(key)? {
+                JsonValue::Str(s) => Ok(s.clone()),
+                other => Err(format!("gate {i} field {key:?} must be a string, got {other:?}")),
+            }
+        };
+        let number = |key: &str| -> Result<f64, String> {
+            as_number(field(key)?).ok_or_else(|| format!("gate {i} field {key:?} must be numeric"))
+        };
+        let better = text("better")?;
+        gates.push(Gate {
+            file: text("file")?,
+            metric: text("metric")?,
+            better: Better::parse(&better).ok_or_else(|| {
+                format!("gate {i} direction must be higher|lower, got {better:?}")
+            })?,
+            baseline: number("baseline")?,
+            rel_tol: number("rel_tol")?,
+            note: text("note").unwrap_or_default(),
+        });
+    }
+    if gates.is_empty() {
+        return Err("baseline declares no gates".to_string());
+    }
+    Ok(gates)
+}
+
+/// Evaluates every gate. `load` maps a results file name to its parsed
+/// document (`None` when absent — which fails that gate); injecting it
+/// keeps the logic testable without touching the filesystem.
+pub fn evaluate(
+    gates: &[Gate],
+    load: &mut dyn FnMut(&str) -> Option<JsonValue>,
+) -> Vec<GateOutcome> {
+    gates
+        .iter()
+        .map(|gate| {
+            let current = load(&gate.file)
+                .as_ref()
+                .and_then(|doc| lookup(doc, &gate.metric))
+                .and_then(as_number);
+            let pass = current.is_some_and(|v| match gate.better {
+                Better::Higher => v >= gate.baseline * (1.0 - gate.rel_tol),
+                Better::Lower => v <= gate.baseline * (1.0 + gate.rel_tol),
+            });
+            GateOutcome { gate: gate.clone(), current, pass }
+        })
+        .collect()
+}
+
+/// Upper bound on `perf_history.json` entries; the oldest fall off.
+pub const HISTORY_CAP: usize = 200;
+
+/// Appends one run's verdict to a history document (creating the
+/// shape when `history` is `None` or malformed), dropping the oldest
+/// entries beyond [`HISTORY_CAP`].
+pub fn append_history(
+    history: Option<JsonValue>,
+    unix_ts: u64,
+    outcomes: &[GateOutcome],
+) -> JsonValue {
+    let mut runs: Vec<JsonValue> = history
+        .as_ref()
+        .and_then(|h| h.get("runs"))
+        .and_then(JsonValue::as_array)
+        .map(<[JsonValue]>::to_vec)
+        .unwrap_or_default();
+    let entry = obj([
+        ("unix_ts", JsonValue::Uint(unix_ts)),
+        ("pass", JsonValue::Bool(outcomes.iter().all(|o| o.pass))),
+        ("gates", JsonValue::Array(outcomes.iter().map(GateOutcome::to_json).collect())),
+    ]);
+    runs.push(entry);
+    if runs.len() > HISTORY_CAP {
+        let excess = runs.len() - HISTORY_CAP;
+        runs.drain(..excess);
+    }
+    obj([
+        (
+            "note",
+            JsonValue::Str(
+                "append-only perf_gate verdicts, oldest first, bounded to the last 200 runs"
+                    .to_string(),
+            ),
+        ),
+        ("runs", JsonValue::Array(runs)),
+    ])
+}
+
+/// Renders a baseline document from gates — used to seed
+/// `perf_baseline.json` and by tests to round-trip the format.
+pub fn baseline_json(note: &str, gates: &[Gate]) -> JsonValue {
+    let rows = gates
+        .iter()
+        .map(|g| {
+            obj([
+                ("file", JsonValue::Str(g.file.clone())),
+                ("metric", JsonValue::Str(g.metric.clone())),
+                ("better", JsonValue::Str(g.better.as_str().to_string())),
+                ("baseline", JsonValue::from_f64_rounded(g.baseline)),
+                ("rel_tol", JsonValue::from_f64_rounded(g.rel_tol)),
+                ("note", JsonValue::Str(g.note.clone())),
+            ])
+        })
+        .collect();
+    obj([("note", JsonValue::Str(note.to_string())), ("gates", JsonValue::Array(rows))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(metric: &str, better: Better, baseline: f64, rel_tol: f64) -> Gate {
+        Gate {
+            file: "r.json".to_string(),
+            metric: metric.to_string(),
+            better,
+            baseline,
+            rel_tol,
+            note: String::new(),
+        }
+    }
+
+    fn doc() -> JsonValue {
+        JsonValue::parse(
+            r#"{"rate": 1.0, "bit_identical": true, "errors": 0,
+                "rows": [{"balance": 0.9}, {"balance": 0.88}]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_walks_objects_and_arrays() {
+        let d = doc();
+        assert_eq!(as_number(lookup(&d, "rows.1.balance").unwrap()), Some(0.88));
+        assert_eq!(as_number(lookup(&d, "bit_identical").unwrap()), Some(1.0));
+        assert!(lookup(&d, "rows.7.balance").is_none());
+        assert!(lookup(&d, "rate.deeper").is_none());
+    }
+
+    #[test]
+    fn healthy_metrics_pass() {
+        let gates = vec![
+            gate("rate", Better::Higher, 1.0, 0.0),
+            gate("bit_identical", Better::Higher, 1.0, 0.0),
+            gate("errors", Better::Lower, 0.0, 0.0),
+            gate("rows.1.balance", Better::Higher, 0.9, 0.05),
+        ];
+        let outcomes = evaluate(&gates, &mut |_| Some(doc()));
+        assert!(outcomes.iter().all(|o| o.pass), "{outcomes:?}");
+    }
+
+    #[test]
+    fn injected_regression_fails() {
+        // The regression: recovery rate dips, an error count appears,
+        // and the balance falls out of its 5% band.
+        let worse = JsonValue::parse(
+            r#"{"rate": 0.97, "bit_identical": false, "errors": 2,
+                "rows": [{"balance": 0.9}, {"balance": 0.80}]}"#,
+        )
+        .unwrap();
+        let gates = vec![
+            gate("rate", Better::Higher, 1.0, 0.0),
+            gate("bit_identical", Better::Higher, 1.0, 0.0),
+            gate("errors", Better::Lower, 0.0, 0.0),
+            gate("rows.1.balance", Better::Higher, 0.88, 0.05),
+        ];
+        let outcomes = evaluate(&gates, &mut |_| Some(worse.clone()));
+        assert!(outcomes.iter().all(|o| !o.pass), "{outcomes:?}");
+        // The same gates pass on the healthy document, proving the
+        // gate (not the fixture) is what failed.
+        assert!(evaluate(&gates, &mut |_| Some(doc())).iter().all(|o| o.pass));
+    }
+
+    #[test]
+    fn missing_file_or_metric_fails() {
+        let gates = vec![gate("rate", Better::Higher, 1.0, 0.0)];
+        assert!(!evaluate(&gates, &mut |_| None)[0].pass);
+        let gates = vec![gate("no.such.path", Better::Higher, 1.0, 0.0)];
+        assert!(!evaluate(&gates, &mut |_| Some(doc()))[0].pass);
+    }
+
+    #[test]
+    fn tolerance_band_is_directional() {
+        // 5% band around 1.0: 0.96 is inside it, 0.94 and 1.06 are out.
+        let d = JsonValue::parse(r#"{"in_low": 0.96, "in_high": 1.04, "low": 0.94, "high": 1.06}"#)
+            .unwrap();
+        let pass = |metric: &str, better| {
+            evaluate(&[gate(metric, better, 1.0, 0.05)], &mut |_| Some(d.clone()))[0].pass
+        };
+        assert!(pass("in_low", Better::Higher));
+        assert!(pass("in_high", Better::Lower));
+        assert!(!pass("low", Better::Higher));
+        assert!(!pass("high", Better::Lower));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let gates = vec![
+            gate("rate", Better::Higher, 1.0, 0.0),
+            gate("rows.1.balance", Better::Higher, 0.88, 0.05),
+        ];
+        let encoded = baseline_json("test", &gates).encode_pretty();
+        let parsed = parse_gates(&JsonValue::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(parsed, gates);
+    }
+
+    #[test]
+    fn history_appends_and_stays_bounded() {
+        let gates = vec![gate("rate", Better::Higher, 1.0, 0.0)];
+        let outcomes = evaluate(&gates, &mut |_| Some(doc()));
+        let mut history = None;
+        for ts in 0..(HISTORY_CAP as u64 + 10) {
+            history = Some(append_history(history, ts, &outcomes));
+        }
+        let runs = history.as_ref().unwrap().get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), HISTORY_CAP);
+        // Oldest entries fell off: the first retained run is ts=10.
+        assert_eq!(runs[0].get("unix_ts"), Some(&JsonValue::Uint(10)));
+        assert_eq!(runs[0].get("pass"), Some(&JsonValue::Bool(true)));
+    }
+}

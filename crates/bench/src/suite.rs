@@ -36,14 +36,15 @@ pub fn standard_suite(args: &HarnessArgs) -> Vec<DatasetRun> {
         .filter(|d| args.wants(d.id()))
         .map(|&dataset| {
             let scale = default_scale(dataset, args);
-            eprintln!("[suite] generating {dataset} at scale {scale} (seed {})...", args.seed);
+            igcn_log::info!("suite", "generating {dataset} at scale {scale}", seed = args.seed,);
             let data = dataset.generate_scaled(scale, args.seed);
-            eprintln!(
-                "[suite]   {} nodes, {} undirected edges, {} feature dims (nnz {})",
-                data.graph.num_nodes(),
-                data.graph.num_undirected_edges(),
-                data.features.num_cols(),
-                data.features.nnz()
+            igcn_log::info!(
+                "suite",
+                "dataset ready",
+                nodes = data.graph.num_nodes(),
+                edges = data.graph.num_undirected_edges(),
+                feature_dims = data.features.num_cols(),
+                nnz = data.features.nnz(),
             );
             DatasetRun { dataset, data }
         })

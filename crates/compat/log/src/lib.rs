@@ -1,0 +1,475 @@
+//! Vendored structured logging, in the same hermetic spirit as
+//! `igcn-obs` and `igcn-fail`: no dependencies, one process-global
+//! level switch, and emission cheap enough to leave compiled into
+//! serving paths.
+//!
+//! Every emitted line is one JSON object on stderr:
+//!
+//! ```text
+//! {"ts_ms":1791234567890,"level":"warn","target":"gateway","msg":"slow request",
+//!  "trace":"00000b50aa000001","service_ms":612,"shards":4}
+//! ```
+//!
+//! * `ts_ms` — wall-clock milliseconds since the Unix epoch.
+//! * `level` — `debug` | `info` | `warn` | `error`.
+//! * `target` — the emitting subsystem (`"gateway"`, `"serve"`…).
+//! * `msg` — the human message, JSON-escaped.
+//! * `trace` — the correlated trace id as 16 hex digits; present only
+//!   when a trace is installed via [`with_trace`] at the emission site
+//!   (the gateway installs the request's id around its per-request
+//!   logging, so log lines join trace trees and flight-recorder rows
+//!   without every call site threading an id).
+//! * `suppressed` — present when per-callsite rate limiting dropped
+//!   lines since this callsite last emitted.
+//! * every `key = value` field from the macro call, with values that
+//!   format as plain JSON numbers emitted unquoted and everything else
+//!   as an escaped JSON string.
+//!
+//! The [`debug!`]/[`info!`]/[`warn!`]/[`error!`] macros gate on the
+//! global minimum level (one relaxed atomic load when the line is
+//! filtered), then on a **per-callsite rate limiter**: each macro
+//! expansion owns a static window counter allowing
+//! [`MAX_PER_SEC_PER_SITE`] lines per second, so a hot error path
+//! cannot flood stderr — dropped lines are counted and surface in the
+//! `suppressed` field of the site's next emitted line.
+//!
+//! The default minimum level is `info`, overridable with
+//! `IGCN_LOG=debug|info|warn|error|off` or [`set_min_level`]. Tests
+//! capture lines in-process with [`capture`] instead of scraping
+//! stderr.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Per-callsite emission budget per one-second window; lines beyond it
+/// are dropped and counted into the site's `suppressed` field.
+pub const MAX_PER_SEC_PER_SITE: u32 = 50;
+
+/// Log severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Diagnostic chatter, off by default.
+    Debug = 0,
+    /// Normal operational events.
+    Info = 1,
+    /// Something degraded but handled (contained panic, slow request).
+    Warn = 2,
+    /// Something failed.
+    Error = 3,
+}
+
+impl Level {
+    /// The lowercase level name used on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// `Level::Error as u8 + 1`: the "off" sentinel for the level switch.
+const LEVEL_OFF: u8 = 4;
+
+fn min_level_atomic() -> &'static AtomicU8 {
+    static MIN: OnceLock<AtomicU8> = OnceLock::new();
+    MIN.get_or_init(|| {
+        let initial = match std::env::var("IGCN_LOG").as_deref().map(str::trim) {
+            Ok("debug") => Level::Debug as u8,
+            Ok("info") => Level::Info as u8,
+            Ok("warn") => Level::Warn as u8,
+            Ok("error") => Level::Error as u8,
+            Ok("off") => LEVEL_OFF,
+            _ => Level::Info as u8,
+        };
+        AtomicU8::new(initial)
+    })
+}
+
+/// Sets the process-global minimum level (`None` disables logging).
+pub fn set_min_level(level: Option<Level>) {
+    min_level_atomic().store(level.map_or(LEVEL_OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether a line at `level` would currently be emitted (before rate
+/// limiting). One relaxed load — the macros call this first.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    // LEVEL_OFF is above Error, so "off" filters every level with the
+    // same single comparison.
+    (level as u8) >= min_level_atomic().load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Trace correlation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_TRACE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Restores the previously installed trace id on drop.
+pub struct TraceGuard {
+    prev: u64,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs `trace_id` as this thread's log-correlation id for the
+/// guard's lifetime: every line emitted on this thread carries it as
+/// the `trace` field. Installing 0 clears correlation for the scope.
+pub fn with_trace(trace_id: u64) -> TraceGuard {
+    TraceGuard { prev: CURRENT_TRACE.with(|c| c.replace(trace_id)) }
+}
+
+/// This thread's installed trace id (0 = none).
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(std::cell::Cell::get)
+}
+
+// ---------------------------------------------------------------------------
+// Per-callsite rate limiting
+// ---------------------------------------------------------------------------
+
+/// One macro expansion's rate-limit state. Public because the macros
+/// expand a `static CallSite` at every call site; not for direct use.
+pub struct CallSite {
+    window_start_ms: AtomicU64,
+    in_window: AtomicU32,
+    suppressed: AtomicU64,
+}
+
+impl CallSite {
+    /// A fresh call-site record (used by the macro expansion).
+    pub const fn new() -> CallSite {
+        CallSite {
+            window_start_ms: AtomicU64::new(0),
+            in_window: AtomicU32::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits or drops one line under the per-second budget; dropped
+    /// lines are counted for the `suppressed` field.
+    pub fn admit(&self) -> bool {
+        let now = now_ms();
+        let start = self.window_start_ms.load(Ordering::Relaxed);
+        if now.saturating_sub(start) >= 1_000 {
+            // New window. One winner resets the count; racers in the
+            // same millisecond just charge the fresh window.
+            if self
+                .window_start_ms
+                .compare_exchange(start, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.in_window.store(0, Ordering::Relaxed);
+            }
+        }
+        if self.in_window.fetch_add(1, Ordering::Relaxed) < MAX_PER_SEC_PER_SITE {
+            true
+        } else {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Takes the suppressed-line count accumulated since the last
+    /// emitted line.
+    pub fn take_suppressed(&self) -> u64 {
+        self.suppressed.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl Default for CallSite {
+    fn default() -> Self {
+        CallSite::new()
+    }
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn capture_sink() -> &'static Mutex<Option<Vec<String>>> {
+    static SINK: OnceLock<Mutex<Option<Vec<String>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Redirects emission into an in-process buffer for the guard's
+/// lifetime and returns the captured lines on [`Capture::take`] /
+/// drop-and-retake. Test use; capture is process-global, so tests
+/// using it must serialise themselves.
+pub struct Capture {
+    _private: (),
+}
+
+impl Capture {
+    /// The lines captured so far (draining).
+    pub fn take(&self) -> Vec<String> {
+        capture_sink()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        *capture_sink().lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
+    }
+}
+
+/// Starts capturing emitted lines in-process instead of writing stderr.
+pub fn capture() -> Capture {
+    *capture_sink().lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(Vec::new());
+    Capture { _private: () }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Whether a `Display`-formatted value is already a legal JSON number
+/// (so the encoder can emit it unquoted).
+fn is_json_number(s: &str) -> bool {
+    let rest = s.strip_prefix('-').unwrap_or(s);
+    if rest.is_empty() || !rest.as_bytes()[0].is_ascii_digit() {
+        return false;
+    }
+    // Leading zeros are illegal in JSON ("007"); lone "0" and "0.5" are fine.
+    if rest.len() > 1 && rest.starts_with('0') && !rest.starts_with("0.") {
+        return false;
+    }
+    s.parse::<f64>().map(f64::is_finite).unwrap_or(false)
+}
+
+/// Formats and writes one line. Called by the macros after the level
+/// gate and the rate limiter admitted it; not for direct use.
+pub fn emit(
+    level: Level,
+    target: &str,
+    msg: &std::fmt::Arguments<'_>,
+    fields: &[(&str, &dyn std::fmt::Display)],
+    suppressed: u64,
+) {
+    let mut line = String::with_capacity(96 + fields.len() * 24);
+    line.push_str(&format!(
+        "{{\"ts_ms\":{},\"level\":\"{}\",\"target\":\"",
+        now_ms(),
+        level.as_str()
+    ));
+    escape_into(&mut line, target);
+    line.push_str("\",\"msg\":\"");
+    escape_into(&mut line, &msg.to_string());
+    line.push('"');
+    let trace = current_trace();
+    if trace != 0 {
+        line.push_str(&format!(",\"trace\":\"{trace:016x}\""));
+    }
+    if suppressed > 0 {
+        line.push_str(&format!(",\"suppressed\":{suppressed}"));
+    }
+    for (key, value) in fields {
+        line.push_str(",\"");
+        escape_into(&mut line, key);
+        line.push_str("\":");
+        let rendered = value.to_string();
+        if is_json_number(&rendered) {
+            line.push_str(&rendered);
+        } else {
+            line.push('"');
+            escape_into(&mut line, &rendered);
+            line.push('"');
+        }
+    }
+    line.push('}');
+    let mut sink = capture_sink().lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(buf) = sink.as_mut() {
+        buf.push(line);
+    } else {
+        drop(sink);
+        let stderr = std::io::stderr();
+        let mut handle = stderr.lock();
+        let _ = writeln!(handle, "{line}");
+    }
+}
+
+/// The workhorse macro: `log!(Level::Warn, "gateway", "slow request",
+/// service_ms = ms, shards = k)`. Prefer the level-named wrappers.
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $target:expr, $fmt:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        if $crate::level_enabled($level) {
+            static SITE: $crate::CallSite = $crate::CallSite::new();
+            if SITE.admit() {
+                $crate::emit(
+                    $level,
+                    $target,
+                    &format_args!($fmt),
+                    &[$((stringify!($key), &$value as &dyn ::std::fmt::Display)),*],
+                    SITE.take_suppressed(),
+                );
+            }
+        }
+    }};
+}
+
+/// Emits at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $fmt:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::log!($crate::Level::Debug, $target, $fmt $(, $key = $value)*)
+    };
+}
+
+/// Emits at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $fmt:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::log!($crate::Level::Info, $target, $fmt $(, $key = $value)*)
+    };
+}
+
+/// Emits at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $fmt:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::log!($crate::Level::Warn, $target, $fmt $(, $key = $value)*)
+    };
+}
+
+/// Emits at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $fmt:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::log!($crate::Level::Error, $target, $fmt $(, $key = $value)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests: the capture sink and level switch are
+    /// process-global.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn line_schema_and_field_encoding() {
+        let _s = serial();
+        let cap = capture();
+        set_min_level(Some(Level::Info));
+        crate::warn!("gateway", "slow request", service_ms = 612, peer = "10.0.0.1:99");
+        let lines = cap.take();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"ts_ms\":"), "bad line start: {line}");
+        assert!(line.contains("\"level\":\"warn\""));
+        assert!(line.contains("\"target\":\"gateway\""));
+        assert!(line.contains("\"msg\":\"slow request\""));
+        assert!(line.contains("\"service_ms\":612"), "numbers emit unquoted: {line}");
+        assert!(line.contains("\"peer\":\"10.0.0.1:99\""), "strings emit quoted: {line}");
+        assert!(!line.contains("\"trace\""), "no trace installed, no trace field");
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn level_switch_filters() {
+        let _s = serial();
+        let cap = capture();
+        set_min_level(Some(Level::Warn));
+        crate::info!("test", "filtered");
+        crate::error!("test", "kept");
+        set_min_level(None);
+        crate::error!("test", "off drops everything");
+        set_min_level(Some(Level::Info));
+        let lines = cap.take();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"msg\":\"kept\""));
+    }
+
+    #[test]
+    fn trace_correlation_is_scoped() {
+        let _s = serial();
+        let cap = capture();
+        set_min_level(Some(Level::Info));
+        {
+            let _g = with_trace(0xB50A_A001);
+            crate::info!("test", "inside");
+            assert_eq!(current_trace(), 0xB50A_A001);
+        }
+        crate::info!("test", "outside");
+        let lines = cap.take();
+        assert!(lines[0].contains("\"trace\":\"00000000b50aa001\""), "{}", lines[0]);
+        assert!(!lines[1].contains("\"trace\""), "{}", lines[1]);
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn per_callsite_rate_limit_suppresses_and_reports() {
+        let _s = serial();
+        let cap = capture();
+        set_min_level(Some(Level::Info));
+        for i in 0..(MAX_PER_SEC_PER_SITE + 20) {
+            crate::info!("test", "hot line", i = i);
+        }
+        let lines = cap.take();
+        assert_eq!(lines.len(), MAX_PER_SEC_PER_SITE as usize, "budget is per callsite per second");
+        // The suppressed count surfaces on the *next* admitted line
+        // from the same site — force a fresh window by emitting from
+        // another site first (same window: still suppressed), then
+        // check the counter accumulated.
+        crate::info!("test", "other site still emits");
+        assert_eq!(cap.take().len(), 1, "rate limit is per-site, not global");
+    }
+
+    #[test]
+    fn escaping_and_number_detection() {
+        let _s = serial();
+        let cap = capture();
+        set_min_level(Some(Level::Info));
+        crate::info!("test", "quote\" and \\ and\nnewline", odd = "007", neg = -1.5);
+        let lines = cap.take();
+        let line = &lines[0];
+        assert!(line.contains("quote\\\" and \\\\ and\\nnewline"), "{line}");
+        assert!(line.contains("\"odd\":\"007\""), "leading-zero stays a string: {line}");
+        assert!(line.contains("\"neg\":-1.5"), "{line}");
+        assert!(is_json_number("0"));
+        assert!(is_json_number("0.5"));
+        assert!(is_json_number("-12"));
+        assert!(!is_json_number(""));
+        assert!(!is_json_number("1e"));
+        assert!(!is_json_number("NaN"));
+        assert!(!is_json_number("0x10"));
+    }
+}

@@ -41,6 +41,10 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod trace;
+
+pub use trace::TraceCtx;
+
 /// Master switch. Disabled by default: every [`Span::enter`] is one
 /// relaxed load, and [`flight_record`] drops entries.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -113,6 +117,7 @@ struct Registry {
     counters: HashMap<String, &'static Counter>,
     gauges: HashMap<String, &'static Gauge>,
     histograms: HashMap<String, &'static Histogram>,
+    descriptions: HashMap<String, &'static str>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -154,6 +159,15 @@ pub fn histogram(name: &str) -> &'static Histogram {
     }
     let mut reg = lock();
     reg.histograms.entry(name.to_string()).or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// Registers help text for the metric named `name`, emitted as the
+/// `# HELP` line in [`render_prometheus`]. First registration wins;
+/// metrics without one get a generic per-kind default. Help must be a
+/// single line (exposition-format comments cannot span lines).
+pub fn describe(name: &str, help: &'static str) {
+    debug_assert!(!help.contains('\n'), "metric help must be a single line");
+    lock().descriptions.entry(name.to_string()).or_insert(help);
 }
 
 /// Zeroes every registered metric and clears the flight recorder.
@@ -614,21 +628,35 @@ fn prom_name(name: &str) -> String {
 /// counters as `igcn_<name>_total`, gauges as `igcn_<name>`, stage
 /// histograms as one `igcn_stage_ns` summary family labelled by stage
 /// (`quantile` ∈ {0.5, 0.9, 0.99} plus `_sum`/`_count` and a `_max`
-/// gauge), other histograms as their own summary family.
+/// gauge), other histograms as their own summary family. Every family
+/// carries a `# HELP` line: text registered via [`describe`], or a
+/// per-kind default naming the metric.
 pub fn render_prometheus() -> String {
     let snap = snapshot();
+    let descriptions: HashMap<String, &'static str> = lock().descriptions.clone();
+    let help_for = |name: &str, default: String| -> String {
+        descriptions.get(name).map_or(default, |h| (*h).to_string())
+    };
     let mut out = String::new();
     for (name, value) in &snap.counters {
         let base = prom_name(name);
-        out.push_str(&format!("# TYPE {base}_total counter\n{base}_total {value}\n"));
+        let help = help_for(name, format!("Monotonic event counter {name}."));
+        out.push_str(&format!(
+            "# HELP {base}_total {help}\n# TYPE {base}_total counter\n{base}_total {value}\n"
+        ));
     }
     for (name, value) in &snap.gauges {
         let base = prom_name(name);
-        out.push_str(&format!("# TYPE {base} gauge\n{base} {value}\n"));
+        let help = help_for(name, format!("Instantaneous level {name}."));
+        out.push_str(&format!("# HELP {base} {help}\n# TYPE {base} gauge\n{base} {value}\n"));
     }
     let stages: Vec<&(String, HistogramSnapshot)> =
         snap.histograms.iter().filter(|(n, _)| n.starts_with("stage_ns/")).collect();
     if !stages.is_empty() {
+        out.push_str(
+            "# HELP igcn_stage_ns Per-stage latency in nanoseconds \
+             (log2-bucketed summary; quantiles are bit-stable bucket upper bounds).\n",
+        );
         out.push_str("# TYPE igcn_stage_ns summary\n");
         for (name, h) in &stages {
             let stage = &name["stage_ns/".len()..];
@@ -645,7 +673,8 @@ pub fn render_prometheus() -> String {
     }
     for (name, h) in snap.histograms.iter().filter(|(n, _)| !n.starts_with("stage_ns/")) {
         let base = prom_name(name);
-        out.push_str(&format!("# TYPE {base} summary\n"));
+        let help = help_for(name, format!("Log2-bucketed summary {name}."));
+        out.push_str(&format!("# HELP {base} {help}\n# TYPE {base} summary\n"));
         for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
             out.push_str(&format!("{base}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
         }
@@ -796,12 +825,20 @@ mod tests {
     #[test]
     fn prometheus_rendering_shape() {
         counter("promtest_requests").add(3);
+        describe("promtest_requests", "Requests seen by the prom shape test.");
         gauge("promtest_depth").set(2);
         stage_histogram("promtest_stage").record(100);
         let text = render_prometheus();
         assert!(text.contains("igcn_promtest_requests_total 3"));
         assert!(text.contains("# TYPE igcn_promtest_requests_total counter"));
+        assert!(text
+            .contains("# HELP igcn_promtest_requests_total Requests seen by the prom shape test."));
         assert!(text.contains("igcn_promtest_depth 2"));
+        assert!(
+            text.contains("# HELP igcn_promtest_depth Instantaneous level promtest_depth."),
+            "undescribed metrics get a per-kind default HELP"
+        );
+        assert!(text.contains("# HELP igcn_stage_ns "));
         assert!(text.contains("igcn_stage_ns{stage=\"promtest_stage\",quantile=\"0.5\"}"));
         assert!(text.contains("igcn_stage_ns_count{stage=\"promtest_stage\"}"));
         // Every line is `name{labels} value` or a comment — parseable.
@@ -810,6 +847,18 @@ mod tests {
                 line.starts_with('#') || line.split_whitespace().count() == 2,
                 "unparseable exposition line: {line:?}"
             );
+        }
+        // Every `# TYPE` family is preceded by a `# HELP` for the same
+        // family — the satellite contract this PR adds.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split_whitespace().next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {family} ")),
+                    "family {family} has no HELP line"
+                );
+            }
         }
     }
 

@@ -31,6 +31,7 @@ use std::time::Instant;
 use igcn_gnn::{reference_forward, GnnModel, ModelWeights, ModelWorkload};
 use igcn_graph::{CsrGraph, SparseFeatures};
 use igcn_linalg::DenseMatrix;
+use igcn_obs::TraceCtx;
 
 use crate::error::CoreError;
 use crate::stats::{ExecStats, LocatorStats};
@@ -44,17 +45,27 @@ pub struct InferenceRequest {
     pub id: u64,
     /// Input node features; rows must match the backend's graph.
     pub features: SparseFeatures,
+    /// Trace-tree context the serving edge attached
+    /// ([`TraceCtx::NONE`] = untraced; engines parent their layer spans
+    /// under it). Never affects outputs — only observability.
+    pub trace: TraceCtx,
 }
 
 impl InferenceRequest {
-    /// Wraps `features` with correlation id 0.
+    /// Wraps `features` with correlation id 0 and no trace attached.
     pub fn new(features: SparseFeatures) -> Self {
-        InferenceRequest { id: 0, features }
+        InferenceRequest { id: 0, features, trace: TraceCtx::NONE }
     }
 
     /// Sets the correlation id.
     pub fn with_id(mut self, id: u64) -> Self {
         self.id = id;
+        self
+    }
+
+    /// Attaches a trace-tree context.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
         self
     }
 }

@@ -509,6 +509,9 @@ impl IGcnEngine {
         }
         let mut src: &mut DenseMatrix = ping;
         let mut dst: &mut DenseMatrix = pong;
+        // Trace-tree parent for this request (NONE on untraced paths:
+        // the per-layer tree spans below are then single-branch inert).
+        let trace_parent = igcn_obs::trace::ambient();
         for (i, layer) in model.layers().iter().enumerate() {
             let w = weights.layer(i);
             dst.resize_in_place(n, w.cols());
@@ -527,6 +530,10 @@ impl IGcnEngine {
             // Stage timing only — statistics and outputs are produced
             // identically whether telemetry is enabled or not.
             let _layer_span = igcn_obs::Span::enter(igcn_obs::stage::LAYER_EXECUTE);
+            let mut layer_tree_span =
+                igcn_obs::trace::OpenSpan::child(trace_parent, igcn_obs::stage::LAYER_EXECUTE);
+            layer_tree_span.tag("layer", i);
+            layer_tree_span.tag("waves", layout.schedule().num_waves());
             let mut layer_stats = match pool {
                 Some(pool) => hotpath::execute_layer_parallel(
                     layout,
@@ -680,6 +687,7 @@ impl Accelerator for IGcnEngine {
         let (model, weights) = self.prepared()?;
         validate_request(&self.graph, model, request)?;
         let plan = self.plan(model);
+        let _trace = igcn_obs::trace::with_ambient(request.trace);
         let (output, stats) = self.execute(&plan, &request.features, model, weights)?;
         Ok(InferenceResponse {
             id: request.id,
@@ -716,6 +724,9 @@ impl Accelerator for IGcnEngine {
                 // bit-identical at any thread count.
                 return pool
                     .par_map(requests, |_, request| {
+                        // Ambient trace context does not cross into pool
+                        // threads — re-install each request's own.
+                        let _trace = igcn_obs::trace::with_ambient(request.trace);
                         let (output, stats) =
                             self.execute_layout(&plan, &request.features, model, weights, None)?;
                         Ok(InferenceResponse {
@@ -731,6 +742,7 @@ impl Accelerator for IGcnEngine {
         requests
             .iter()
             .map(|request| {
+                let _trace = igcn_obs::trace::with_ambient(request.trace);
                 let (output, stats) = self.execute(&plan, &request.features, model, weights)?;
                 Ok(InferenceResponse {
                     id: request.id,

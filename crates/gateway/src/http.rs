@@ -58,6 +58,13 @@ pub(crate) enum HttpRequest {
     Stats { keep_alive: bool, trace: u64 },
     /// `GET /metrics` (Prometheus text exposition).
     Metrics { keep_alive: bool, trace: u64 },
+    /// `GET /traces` (retained trace-tree summaries).
+    Traces { keep_alive: bool, trace: u64 },
+    /// `GET /trace/{id}` (one retained tree as Chrome trace-event
+    /// JSON). `id` is the requested trace id, parsed from the path.
+    TraceById { id: u64, keep_alive: bool, trace: u64 },
+    /// `GET /debug/flight` (the flight-recorder ring as JSON).
+    DebugFlight { keep_alive: bool, trace: u64 },
 }
 
 /// Outcome of trying to parse one request off the front of a buffer.
@@ -167,6 +174,21 @@ pub(crate) fn parse(buf: &[u8]) -> HttpParse {
         ("GET", "/metrics") => {
             HttpParse::Request(HttpRequest::Metrics { keep_alive, trace }, body_end)
         }
+        ("GET", "/traces") => {
+            HttpParse::Request(HttpRequest::Traces { keep_alive, trace }, body_end)
+        }
+        ("GET", "/debug/flight") => {
+            HttpParse::Request(HttpRequest::DebugFlight { keep_alive, trace }, body_end)
+        }
+        ("GET", p) if p.starts_with("/trace/") => match parse_trace_id(&p["/trace/".len()..]) {
+            Some(id) => {
+                HttpParse::Request(HttpRequest::TraceById { id, keep_alive, trace }, body_end)
+            }
+            None => HttpParse::Error {
+                status: 400,
+                message: format!("bad trace id in {p:?} (want 1-16 hex digits)"),
+            },
+        },
         ("POST", "/v1/infer") => match parse_infer_body(body) {
             Ok((id, deadline_ms, features)) => HttpParse::Request(
                 HttpRequest::Infer { id, deadline_ms, features, keep_alive, trace },
@@ -183,6 +205,20 @@ pub(crate) fn parse(buf: &[u8]) -> HttpParse {
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).take(MAX_HEAD).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the `{id}` path segment of `GET /trace/{id}`: the same 16
+/// lowercase hex digits the [`TRACE_HEADER`] carries (shorter forms
+/// and an optional `0x` prefix accepted). Zero is never a valid id.
+fn parse_trace_id(segment: &str) -> Option<u64> {
+    let digits = segment.strip_prefix("0x").unwrap_or(segment);
+    if digits.is_empty() || digits.len() > 16 {
+        return None;
+    }
+    match u64::from_str_radix(digits, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
 }
 
 fn parse_infer_body(body: &[u8]) -> Result<(u64, Option<u64>, SparseFeatures), String> {
@@ -393,6 +429,42 @@ mod tests {
             parse(req),
             HttpParse::Request(HttpRequest::Metrics { keep_alive: true, .. }, _)
         ));
+        let req = b"GET /traces HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::Traces { keep_alive: true, .. }, _)
+        ));
+        let req = b"GET /debug/flight HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::DebugFlight { keep_alive: true, .. }, _)
+        ));
+    }
+
+    #[test]
+    fn trace_by_id_route_parses_hex_ids() {
+        let req = b"GET /trace/00000000deadbeef HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            parse(req),
+            HttpParse::Request(HttpRequest::TraceById { id: 0xDEAD_BEEF, .. }, _)
+        ));
+        // Short and 0x-prefixed forms are accepted.
+        assert!(matches!(
+            parse(b"GET /trace/ff HTTP/1.1\r\n\r\n"),
+            HttpParse::Request(HttpRequest::TraceById { id: 0xFF, .. }, _)
+        ));
+        assert!(matches!(
+            parse(b"GET /trace/0xff HTTP/1.1\r\n\r\n"),
+            HttpParse::Request(HttpRequest::TraceById { id: 0xFF, .. }, _)
+        ));
+        // Zero, empty, non-hex and oversized ids are 400s, not routes.
+        for bad in ["0", "", "not-hex", "11112222333344445"] {
+            let req = format!("GET /trace/{bad} HTTP/1.1\r\n\r\n");
+            assert!(
+                matches!(parse(req.as_bytes()), HttpParse::Error { status: 400, .. }),
+                "id {bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -60,7 +60,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -198,8 +198,17 @@ pub struct GatewayStats {
     /// Requests that failed in the backend or serving tier.
     pub failed: u64,
     /// Requests shed at admission (queue full or estimated wait over
-    /// budget).
+    /// budget). Always the sum of the three per-reason counters below.
     pub shed: u64,
+    /// Sheds because the admission queue was at capacity.
+    pub shed_queue_full: u64,
+    /// Sheds because the estimated queue wait exceeded the budget.
+    pub shed_estimated_wait: u64,
+    /// Sheds because the gateway was draining or shutting down.
+    pub shed_draining: u64,
+    /// Requests admitted and not yet terminal (queued, dispatched, or
+    /// awaiting response delivery).
+    pub inflight: u64,
     /// Requests whose deadline expired before dispatch (never reached
     /// the backend).
     pub deadline_expired: u64,
@@ -224,10 +233,25 @@ struct Counters {
     dispatched: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    /// Total sheds; kept as the exact sum of the three reason counters
+    /// so existing consumers of `shed` see unchanged semantics.
     shed: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_estimated_wait: AtomicU64,
+    shed_draining: AtomicU64,
     deadline_expired: AtomicU64,
     protocol_errors: AtomicU64,
     connections: AtomicU64,
+    /// Live gauge: admitted minus terminal (completed/failed/expired)
+    /// minus abandoned (connection died before its response was built).
+    inflight: AtomicI64,
+}
+
+impl Counters {
+    fn shed(&self, reason: &AtomicU64) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        reason.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Where one admitted request currently is.
@@ -235,7 +259,15 @@ enum ReplyState {
     /// In the admission queue, not yet dispatched.
     Queued,
     /// Handed to the serving tier; the ticket is polled by the IO loop.
-    Dispatched { ticket: Ticket, dispatched_at: Instant, queue_wait: Duration },
+    /// `span` is the open `dispatch` trace-tree span (inert for
+    /// untraced requests); it travels with the ticket so it closes when
+    /// the IO loop takes the response, covering the full service time.
+    Dispatched {
+        ticket: Ticket,
+        dispatched_at: Instant,
+        queue_wait: Duration,
+        span: igcn_obs::trace::OpenSpan,
+    },
     /// Terminal: the serving tier answered (or refused).
     Finished(Result<InferenceResponse, ServeError>),
     /// Terminal: the deadline expired before dispatch.
@@ -257,8 +289,12 @@ enum Resolution {
         response: Box<InferenceResponse>,
         service: Option<Duration>,
         queue_wait: Option<Duration>,
+        /// The `dispatch` trace-tree span, carried out of the slot so
+        /// its drop (which takes the trace-store lock) runs outside the
+        /// slot lock.
+        dispatch_span: Option<igcn_obs::trace::OpenSpan>,
     },
-    Failed(String),
+    Failed(String, Option<igcn_obs::trace::OpenSpan>),
     DeadlineExpired,
 }
 
@@ -270,24 +306,28 @@ fn resolve(slot: &RequestSlot) -> Option<Resolution> {
     let mut state = slot.state.lock().expect("slot lock");
     match std::mem::replace(&mut *state, ReplyState::Queued) {
         ReplyState::Queued => None,
-        ReplyState::Dispatched { ticket, dispatched_at, queue_wait } => match ticket.try_take() {
-            Ok(Ok(response)) => Some(Resolution::Response {
-                response: Box::new(response),
-                service: Some(dispatched_at.elapsed()),
-                queue_wait: Some(queue_wait),
-            }),
-            Ok(Err(e)) => Some(Resolution::Failed(e.to_string())),
-            Err(ticket) => {
-                *state = ReplyState::Dispatched { ticket, dispatched_at, queue_wait };
-                None
+        ReplyState::Dispatched { ticket, dispatched_at, queue_wait, span } => {
+            match ticket.try_take() {
+                Ok(Ok(response)) => Some(Resolution::Response {
+                    response: Box::new(response),
+                    service: Some(dispatched_at.elapsed()),
+                    queue_wait: Some(queue_wait),
+                    dispatch_span: Some(span),
+                }),
+                Ok(Err(e)) => Some(Resolution::Failed(e.to_string(), Some(span))),
+                Err(ticket) => {
+                    *state = ReplyState::Dispatched { ticket, dispatched_at, queue_wait, span };
+                    None
+                }
             }
-        },
+        }
         ReplyState::Finished(Ok(response)) => Some(Resolution::Response {
             response: Box::new(response),
             service: None,
             queue_wait: None,
+            dispatch_span: None,
         }),
-        ReplyState::Finished(Err(e)) => Some(Resolution::Failed(e.to_string())),
+        ReplyState::Finished(Err(e)) => Some(Resolution::Failed(e.to_string(), None)),
         ReplyState::DeadlineExpired => Some(Resolution::DeadlineExpired),
     }
 }
@@ -297,6 +337,9 @@ struct Job {
     deadline: Option<Instant>,
     slot: Arc<RequestSlot>,
     admitted_at: Instant,
+    /// The request's root trace-tree context (NONE when untraced); the
+    /// dispatcher parents `queue_wait` and `dispatch` spans under it.
+    root_ctx: igcn_obs::TraceCtx,
 }
 
 enum AdmitOutcome {
@@ -327,12 +370,17 @@ struct Inner {
 }
 
 impl Inner {
-    fn admit(&self, request: InferenceRequest, deadline: Option<Instant>) -> AdmitOutcome {
+    fn admit(
+        &self,
+        request: InferenceRequest,
+        deadline: Option<Instant>,
+        root_ctx: igcn_obs::TraceCtx,
+    ) -> AdmitOutcome {
         // A draining (or shutting-down) gateway refuses new work the
         // same way it sheds: the client sees a retryable signal and
         // goes to another replica.
         if self.draining.load(Ordering::SeqCst) || self.shutdown.load(Ordering::SeqCst) {
-            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed(&self.counters.shed_draining);
             return AdmitOutcome::Shed;
         }
         // Estimated-wait shedding: how long would this request sit
@@ -344,7 +392,7 @@ impl Inner {
         let mut queue = self.admission.lock().expect("admission lock");
         if queue.len() >= self.cfg.admission_capacity {
             drop(queue);
-            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed(&self.counters.shed_queue_full);
             return AdmitOutcome::Shed;
         }
         if ewma > 0 {
@@ -352,7 +400,7 @@ impl Inner {
             let estimated_ns = ewma.saturating_mul(pending + 1) / qs.workers.max(1) as u64;
             if estimated_ns > self.cfg.max_estimated_wait.as_nanos() as u64 {
                 drop(queue);
-                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.counters.shed(&self.counters.shed_estimated_wait);
                 return AdmitOutcome::Shed;
             }
         }
@@ -362,10 +410,12 @@ impl Inner {
             deadline,
             slot: Arc::clone(&slot),
             admitted_at: Instant::now(),
+            root_ctx,
         });
         drop(queue);
         self.admission_cv.notify_one();
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.inflight.fetch_add(1, Ordering::Relaxed);
         AdmitOutcome::Admitted(slot)
     }
 
@@ -428,6 +478,10 @@ impl Inner {
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
+            shed_queue_full: c.shed_queue_full.load(Ordering::Relaxed),
+            shed_estimated_wait: c.shed_estimated_wait.load(Ordering::Relaxed),
+            shed_draining: c.shed_draining.load(Ordering::Relaxed),
+            inflight: c.inflight.load(Ordering::Relaxed).max(0) as u64,
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             connections: c.connections.load(Ordering::Relaxed),
@@ -494,52 +548,111 @@ impl Inner {
     fn metrics_text(&self) -> String {
         let mut out = igcn_obs::render_prometheus();
         let s = self.stats();
-        let mut line = |name: &str, help: &str, kind: &str, value: u64| {
+        fn push_line(out: &mut String, name: &str, help: &str, kind: &str, value: u64) {
             out.push_str(&format!(
                 "# HELP igcn_gateway_{name} {help}\n# TYPE igcn_gateway_{name} {kind}\nigcn_gateway_{name} {value}\n"
             ));
-        };
-        line(
+        }
+        push_line(
+            &mut out,
             "admitted_total",
             "Requests accepted into the admission queue.",
             "counter",
             s.admitted,
         );
-        line("dispatched_total", "Requests handed to the serving tier.", "counter", s.dispatched);
-        line("completed_total", "Successful responses delivered.", "counter", s.completed);
-        line(
+        push_line(
+            &mut out,
+            "dispatched_total",
+            "Requests handed to the serving tier.",
+            "counter",
+            s.dispatched,
+        );
+        push_line(
+            &mut out,
+            "completed_total",
+            "Successful responses delivered.",
+            "counter",
+            s.completed,
+        );
+        push_line(
+            &mut out,
             "failed_total",
             "Requests failed in the backend or serving tier.",
             "counter",
             s.failed,
         );
-        line("shed_total", "Requests shed at admission.", "counter", s.shed);
-        line(
+        push_line(&mut out, "shed_total", "Requests shed at admission.", "counter", s.shed);
+        // The shed split by reason, one labelled family — the three
+        // values always sum to shed_total.
+        out.push_str(
+            "# HELP igcn_gateway_shed_reason_total Requests shed at admission, by reason.\n\
+             # TYPE igcn_gateway_shed_reason_total counter\n",
+        );
+        for (reason, value) in [
+            ("queue_full", s.shed_queue_full),
+            ("estimated_wait", s.shed_estimated_wait),
+            ("draining", s.shed_draining),
+        ] {
+            out.push_str(&format!(
+                "igcn_gateway_shed_reason_total{{reason=\"{reason}\"}} {value}\n"
+            ));
+        }
+        push_line(
+            &mut out,
             "deadline_expired_total",
             "Requests whose deadline expired before dispatch.",
             "counter",
             s.deadline_expired,
         );
-        line(
+        push_line(
+            &mut out,
             "protocol_errors_total",
             "Malformed requests or corrupt frames.",
             "counter",
             s.protocol_errors,
         );
-        line("connections_total", "Connections accepted since start.", "counter", s.connections);
-        line(
+        push_line(
+            &mut out,
+            "connections_total",
+            "Connections accepted since start.",
+            "counter",
+            s.connections,
+        );
+        push_line(
+            &mut out,
             "admission_depth",
             "Requests in the admission queue right now.",
             "gauge",
             s.admission_depth as u64,
         );
-        line(
+        push_line(
+            &mut out,
+            "queue_depth",
+            "Requests in the admission queue right now (alias of admission_depth).",
+            "gauge",
+            s.admission_depth as u64,
+        );
+        push_line(
+            &mut out,
+            "inflight",
+            "Requests admitted and not yet terminal.",
+            "gauge",
+            s.inflight,
+        );
+        push_line(
+            &mut out,
             "ewma_service_us",
             "EWMA of dispatch-to-completion service time.",
             "gauge",
             s.ewma_service_us,
         );
-        line("serving_depth", "Serving-tier queue depth.", "gauge", s.serving.depth as u64);
+        push_line(
+            &mut out,
+            "serving_depth",
+            "Serving-tier queue depth.",
+            "gauge",
+            s.serving.depth as u64,
+        );
         out
     }
 
@@ -554,6 +667,10 @@ impl Inner {
                     ("completed", JsonValue::Uint(s.completed)),
                     ("failed", JsonValue::Uint(s.failed)),
                     ("shed", JsonValue::Uint(s.shed)),
+                    ("shed_queue_full", JsonValue::Uint(s.shed_queue_full)),
+                    ("shed_estimated_wait", JsonValue::Uint(s.shed_estimated_wait)),
+                    ("shed_draining", JsonValue::Uint(s.shed_draining)),
+                    ("inflight", JsonValue::Uint(s.inflight)),
                     ("deadline_expired", JsonValue::Uint(s.deadline_expired)),
                     ("protocol_errors", JsonValue::Uint(s.protocol_errors)),
                     ("connections", JsonValue::Uint(s.connections)),
@@ -606,7 +723,9 @@ fn dispatcher_loop(inner: &Inner) {
         // fate — the queue_wait stage histogram feeds capacity
         // planning for shed tuning.
         let queue_wait = job.admitted_at.elapsed();
-        igcn_obs::record_stage_ns(igcn_obs::stage::QUEUE_WAIT, queue_wait.as_nanos() as u64);
+        let queue_wait_ns = queue_wait.as_nanos() as u64;
+        igcn_obs::record_stage_ns(igcn_obs::stage::QUEUE_WAIT, queue_wait_ns);
+        igcn_obs::trace::record_child_ns(job.root_ctx, igcn_obs::stage::QUEUE_WAIT, queue_wait_ns);
         // Cancellation before dispatch: an expired request never
         // reaches the serving queue or the backend.
         // invariant: slot-state lock holders never panic (see resolve()).
@@ -615,14 +734,27 @@ fn dispatcher_loop(inner: &Inner) {
             inner.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
             continue;
         }
-        match inner.serving.submit(job.request) {
+        // The dispatch tree span opens *before* submit so the engines
+        // see their parent on the request; it closes when the IO loop
+        // takes the response (full service time).
+        let mut span = igcn_obs::trace::OpenSpan::child(job.root_ctx, igcn_obs::stage::DISPATCH);
+        span.tag("backend", &inner.backend_name);
+        let mut request = job.request;
+        request.trace = span.ctx();
+        match inner.serving.submit(request) {
             Ok(ticket) => {
-                *job.slot.state.lock().expect("slot lock") =
-                    ReplyState::Dispatched { ticket, dispatched_at: Instant::now(), queue_wait };
+                *job.slot.state.lock().expect("slot lock") = ReplyState::Dispatched {
+                    ticket,
+                    dispatched_at: Instant::now(),
+                    queue_wait,
+                    span,
+                };
                 inner.counters.dispatched.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => {
                 *job.slot.state.lock().expect("slot lock") = ReplyState::Finished(Err(e));
+                // `span` drops here: the dispatch failed instantly and
+                // the short span records that.
             }
         }
     }
@@ -648,6 +780,10 @@ struct InFlight {
     /// client sent none): echoed on the reply, attached to the flight
     /// recorder entry and any slow-request log line.
     trace: u64,
+    /// The request's root trace-tree span. Held here so a connection
+    /// that dies mid-request drops it, which finishes the trace as
+    /// "aborted" instead of leaking an in-progress tree.
+    root: igcn_obs::trace::RootSpan,
 }
 
 struct Conn {
@@ -891,6 +1027,10 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
 
         for id in dead {
             if let Some(mut conn) = conns.remove(&id) {
+                // Requests abandoned by a dying connection leave the
+                // inflight gauge; dropping their `InFlight` entries
+                // (below) finishes any trace trees as "aborted".
+                inner.counters.inflight.fetch_sub(conn.in_flight.len() as i64, Ordering::Relaxed);
                 let _ = poll.registry().deregister(&mut conn.stream);
                 let _ = conn.stream.shutdown(std::net::Shutdown::Both);
             }
@@ -900,6 +1040,8 @@ fn io_loop(thread_idx: usize, mut listener: Option<TcpListener>, shared: Arc<IoS
             let drained = conns.values().all(Conn::idle);
             let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
             if (drained && conns.is_empty()) || expired {
+                let leftover: i64 = conns.values().map(|c| c.in_flight.len() as i64).sum();
+                inner.counters.inflight.fetch_sub(leftover, Ordering::Relaxed);
                 return;
             }
         }
@@ -932,21 +1074,26 @@ fn process_input(conn: &mut Conn, inner: &Inner) {
                 if !conn.in_flight.is_empty() {
                     return;
                 }
-                let span = igcn_obs::Span::enter(igcn_obs::stage::GATEWAY_DECODE_HTTP);
+                // Decode is timed explicitly (not via a scoped `Span`)
+                // because its duration is also replayed into the trace
+                // tree retroactively — the root span only exists once
+                // the request has parsed.
+                let started = igcn_obs::enabled().then(Instant::now);
                 match http::parse(&conn.inbuf) {
                     http::HttpParse::NeedMore => {
                         // An incomplete buffer is not a decode; the
                         // stage only measures requests that parsed.
-                        span.cancel();
                         return;
                     }
                     http::HttpParse::Request(request, consumed) => {
-                        drop(span);
+                        let decode_ns = started.map(|t| t.elapsed().as_nanos() as u64);
+                        if let Some(ns) = decode_ns {
+                            igcn_obs::record_stage_ns(igcn_obs::stage::GATEWAY_DECODE_HTTP, ns);
+                        }
                         conn.inbuf.drain(..consumed);
-                        handle_http_request(conn, inner, request);
+                        handle_http_request(conn, inner, request, decode_ns);
                     }
                     http::HttpParse::Error { status, message } => {
-                        span.cancel();
                         inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         conn.outbuf
                             .extend_from_slice(&http::error_response(status, &message, false, 0));
@@ -957,19 +1104,20 @@ fn process_input(conn: &mut Conn, inner: &Inner) {
                 }
             }
             Protocol::Binary => {
-                let span = igcn_obs::Span::enter(igcn_obs::stage::GATEWAY_DECODE_BINARY);
+                let started = igcn_obs::enabled().then(Instant::now);
                 match wire::decode(&conn.inbuf) {
                     wire::Decoded::NeedMore => {
-                        span.cancel();
                         return;
                     }
                     wire::Decoded::Frame(frame, trace, consumed) => {
-                        drop(span);
+                        let decode_ns = started.map(|t| t.elapsed().as_nanos() as u64);
+                        if let Some(ns) = decode_ns {
+                            igcn_obs::record_stage_ns(igcn_obs::stage::GATEWAY_DECODE_BINARY, ns);
+                        }
                         conn.inbuf.drain(..consumed);
-                        handle_frame(conn, inner, frame, trace);
+                        handle_frame(conn, inner, frame, trace, decode_ns);
                     }
                     wire::Decoded::Corrupt(message) => {
-                        span.cancel();
                         inner.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         conn.outbuf
                             .extend_from_slice(&wire::encode(&wire::Frame::Err { id: 0, message }));
@@ -994,7 +1142,12 @@ fn effective_trace(trace: u64) -> u64 {
     }
 }
 
-fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpRequest) {
+fn handle_http_request(
+    conn: &mut Conn,
+    inner: &Inner,
+    request: http::HttpRequest,
+    decode_ns: Option<u64>,
+) {
     match request {
         http::HttpRequest::Healthz { keep_alive, trace } => {
             let trace = effective_trace(trace);
@@ -1035,13 +1188,24 @@ fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpReques
         }
         http::HttpRequest::Infer { id, deadline_ms, features, keep_alive, trace } => {
             let trace = effective_trace(trace);
+            let mut root = igcn_obs::trace::root_span(trace, "request");
+            root.tag("protocol", "http");
+            root.tag("request_id", id);
+            if let Some(ns) = decode_ns {
+                igcn_obs::trace::record_child_ns(
+                    root.ctx(),
+                    igcn_obs::stage::GATEWAY_DECODE_HTTP,
+                    ns,
+                );
+            }
             let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
             let request = InferenceRequest::new(features).with_id(id);
-            match inner.admit(request, deadline) {
+            match inner.admit(request, deadline, root.ctx()) {
                 AdmitOutcome::Admitted(slot) => {
-                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive, trace });
+                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive, trace, root });
                 }
                 AdmitOutcome::Shed => {
+                    root.finish("shed");
                     conn.outbuf.extend_from_slice(&http::error_response(
                         429,
                         "shed: gateway is at capacity, retry later",
@@ -1052,21 +1216,124 @@ fn handle_http_request(conn: &mut Conn, inner: &Inner, request: http::HttpReques
                 }
             }
         }
+        http::HttpRequest::Traces { keep_alive, trace } => {
+            let trace = effective_trace(trace);
+            conn.outbuf.extend_from_slice(&http::response(200, &traces_json(), keep_alive, trace));
+            conn.closing |= !keep_alive;
+        }
+        http::HttpRequest::TraceById { id, keep_alive, trace } => {
+            let trace = effective_trace(trace);
+            match igcn_obs::trace::retained_trace(id) {
+                Some(retained) => {
+                    conn.outbuf.extend_from_slice(&http::raw_response(
+                        200,
+                        "application/json",
+                        retained.to_chrome_json().as_bytes(),
+                        keep_alive,
+                        trace,
+                    ));
+                }
+                None => {
+                    conn.outbuf.extend_from_slice(&http::error_response(
+                        404,
+                        &format!("no retained trace {id:016x}"),
+                        keep_alive,
+                        trace,
+                    ));
+                }
+            }
+            conn.closing |= !keep_alive;
+        }
+        http::HttpRequest::DebugFlight { keep_alive, trace } => {
+            let trace = effective_trace(trace);
+            conn.outbuf.extend_from_slice(&http::response(200, &flight_json(), keep_alive, trace));
+            conn.closing |= !keep_alive;
+        }
     }
 }
 
-fn handle_frame(conn: &mut Conn, inner: &Inner, frame: wire::Frame, trace: u64) {
+/// `GET /traces` body: a summary row per retained trace, newest last,
+/// with the id formatted the way `/trace/{id}` accepts it back.
+fn traces_json() -> JsonValue {
+    let rows = igcn_obs::trace::retained_traces()
+        .into_iter()
+        .map(|t| {
+            obj([
+                ("trace_id", JsonValue::Str(format!("{:016x}", t.trace_id))),
+                ("status", JsonValue::Str(t.status.to_string())),
+                ("total_us", JsonValue::Uint(t.total_ns / 1_000)),
+                ("spans", JsonValue::Uint(t.spans.len() as u64)),
+                ("truncated_spans", JsonValue::Uint(t.truncated_spans)),
+            ])
+        })
+        .collect();
+    obj([
+        ("retained", JsonValue::Array(rows)),
+        ("retention", JsonValue::Uint(igcn_obs::trace::retention() as u64)),
+        ("slow_threshold_ms", JsonValue::Uint(igcn_obs::trace::slow_threshold_ns() / 1_000_000)),
+    ])
+}
+
+/// `GET /debug/flight` body: the flight recorder's ring, oldest first.
+fn flight_json() -> JsonValue {
+    let rows = igcn_obs::flight_entries()
+        .into_iter()
+        .map(|e| {
+            let stages = e
+                .stages
+                .iter()
+                .map(|&(name, ns)| (name.to_string(), JsonValue::Uint(ns / 1_000)))
+                .collect::<Vec<_>>();
+            obj([
+                ("trace_id", JsonValue::Str(format!("{:016x}", e.trace_id))),
+                ("request_id", JsonValue::Uint(e.request_id)),
+                ("protocol", JsonValue::Str(e.protocol.to_string())),
+                ("status", JsonValue::Str(e.status.to_string())),
+                ("stages_us", JsonValue::Object(stages)),
+            ])
+        })
+        .collect();
+    obj([
+        ("entries", JsonValue::Array(rows)),
+        ("capacity", JsonValue::Uint(igcn_obs::FLIGHT_CAPACITY as u64)),
+    ])
+}
+
+fn handle_frame(
+    conn: &mut Conn,
+    inner: &Inner,
+    frame: wire::Frame,
+    trace: u64,
+    decode_ns: Option<u64>,
+) {
     let trace = effective_trace(trace);
     match frame {
         wire::Frame::Infer { id, deadline_ms, features } => {
+            let mut root = igcn_obs::trace::root_span(trace, "request");
+            root.tag("protocol", "binary");
+            root.tag("request_id", id);
+            if let Some(ns) = decode_ns {
+                igcn_obs::trace::record_child_ns(
+                    root.ctx(),
+                    igcn_obs::stage::GATEWAY_DECODE_BINARY,
+                    ns,
+                );
+            }
             let deadline =
                 (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
             let request = InferenceRequest::new(features).with_id(id);
-            match inner.admit(request, deadline) {
+            match inner.admit(request, deadline, root.ctx()) {
                 AdmitOutcome::Admitted(slot) => {
-                    conn.in_flight.push(InFlight { wire_id: id, slot, keep_alive: true, trace });
+                    conn.in_flight.push(InFlight {
+                        wire_id: id,
+                        slot,
+                        keep_alive: true,
+                        trace,
+                        root,
+                    });
                 }
                 AdmitOutcome::Shed => {
+                    root.finish("shed");
                     conn.outbuf
                         .extend_from_slice(&wire::encode_traced(&wire::Frame::Shed { id }, trace));
                 }
@@ -1153,10 +1420,16 @@ fn record_flight(
         stages,
     });
     if service.is_some_and(|s| s >= SLOW_REQUEST) {
-        let ms = service.map(|s| s.as_millis()).unwrap_or(0);
-        eprintln!(
-            "[igcn-gateway] slow request: trace={:016x} id={} protocol={protocol} service_ms={ms}",
-            entry.trace, entry.wire_id
+        let ms = service.map(|s| s.as_millis()).unwrap_or(0) as u64;
+        // The guard scopes the trace id so the structured line carries
+        // a "trace" field correlating it with `GET /trace/{id}`.
+        let _trace = igcn_log::with_trace(entry.trace);
+        igcn_log::warn!(
+            "igcn-gateway",
+            "slow request",
+            request_id = entry.wire_id,
+            protocol = protocol,
+            service_ms = ms,
         );
     }
 }
@@ -1179,15 +1452,19 @@ fn build_responses(conn: &mut Conn, inner: &Inner) {
             continue;
         };
         let entry = conn.in_flight.remove(i);
+        inner.counters.inflight.fetch_sub(1, Ordering::Relaxed);
         match resolution {
-            Resolution::Response { response, service, queue_wait } => {
+            Resolution::Response { response, service, queue_wait, dispatch_span } => {
+                // Close the dispatch span now rather than at end of
+                // arm: it should not absorb response encoding.
+                drop(dispatch_span);
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
                 if let Some(service) = service {
                     inner.record_service_sample(service);
                     igcn_obs::record_stage_ns(igcn_obs::stage::DISPATCH, service.as_nanos() as u64);
                 }
                 record_flight(&entry, protocol, "ok", queue_wait, service);
-                let _span = igcn_obs::Span::enter(encode_stage);
+                let started = igcn_obs::enabled().then(Instant::now);
                 if is_http {
                     let body = http::infer_ok_body(response.id, &response.output);
                     conn.outbuf.extend_from_slice(&http::response(
@@ -1202,8 +1479,15 @@ fn build_responses(conn: &mut Conn, inner: &Inner) {
                         entry.trace,
                     ));
                 }
+                if let Some(t) = started {
+                    let ns = t.elapsed().as_nanos() as u64;
+                    igcn_obs::record_stage_ns(encode_stage, ns);
+                    igcn_obs::trace::record_child_ns(entry.root.ctx(), encode_stage, ns);
+                }
+                entry.root.finish("ok");
             }
-            Resolution::Failed(message) => {
+            Resolution::Failed(message, dispatch_span) => {
+                drop(dispatch_span);
                 inner.counters.failed.fetch_add(1, Ordering::Relaxed);
                 record_flight(&entry, protocol, "failed", None, None);
                 if is_http {
@@ -1219,6 +1503,7 @@ fn build_responses(conn: &mut Conn, inner: &Inner) {
                         entry.trace,
                     ));
                 }
+                entry.root.finish("failed");
             }
             Resolution::DeadlineExpired => {
                 // Counted by the dispatcher, which is the only writer
@@ -1237,6 +1522,7 @@ fn build_responses(conn: &mut Conn, inner: &Inner) {
                         entry.trace,
                     ));
                 }
+                entry.root.finish("deadline");
             }
         }
         if is_http && !entry.keep_alive {

@@ -808,10 +808,20 @@ impl ShardedEngine {
             features.gather_rows_into(&shard.gather_original, &mut st.gathered);
         }
 
+        // Trace-tree parent for this request (NONE on untraced paths:
+        // every tree span below is then single-branch inert).
+        let trace_parent = igcn_obs::trace::ambient();
         for (li, layer) in model.layers().iter().enumerate() {
             let w = weights.layer(li);
             let width = w.cols();
             merge.begin_layer(num_hubs, width);
+
+            let mut layer_tree =
+                igcn_obs::trace::OpenSpan::child(trace_parent, igcn_obs::stage::LAYER_EXECUTE);
+            layer_tree.tag("layer", li);
+            layer_tree.tag("waves", layout.schedule().num_waves());
+            layer_tree.tag("shards", self.shards.len());
+            let layer_ctx = layer_tree.ctx();
 
             // Stage timing only — the halo_exchange span covers the
             // hub slab build plus the shard fan-out (the work that
@@ -819,6 +829,8 @@ impl ShardedEngine {
             // the schedule-order collect and hub finalise. Outputs are
             // identical whether telemetry is enabled or not.
             let exchange_span = igcn_obs::Span::enter(igcn_obs::stage::HALO_EXCHANGE);
+            let exchange_tree =
+                igcn_obs::trace::OpenSpan::child(layer_ctx, igcn_obs::stage::HALO_EXCHANGE);
 
             // 1. Hub XW slab from the merged hub activations.
             {
@@ -864,6 +876,11 @@ impl ShardedEngine {
                             // *inside* the guard's scope, so the lock is
                             // never contended and never poisoned.
                             let mut st = slots[i].lock().expect("shard slot lock");
+                            // Pool threads have no ambient trace; the
+                            // layer context crosses by value.
+                            let mut shard_span =
+                                igcn_obs::trace::OpenSpan::child(layer_ctx, "shard_execute");
+                            shard_span.tag("shard", i);
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
                                 run_shard_layer(
                                     &shards[i],
@@ -878,6 +895,7 @@ impl ShardedEngine {
                                 );
                             }));
                             if let Err(payload) = outcome {
+                                shard_span.tag("panicked", true);
                                 failures
                                     .lock()
                                     .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -893,6 +911,9 @@ impl ShardedEngine {
                     }
                     _ => {
                         for (i, st) in states.iter_mut().enumerate() {
+                            let mut shard_span =
+                                igcn_obs::trace::OpenSpan::child(layer_ctx, "shard_execute");
+                            shard_span.tag("shard", i);
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
                                 run_shard_layer(
                                     &self.shards[i],
@@ -907,6 +928,7 @@ impl ShardedEngine {
                                 );
                             }));
                             if let Err(payload) = outcome {
+                                shard_span.tag("panicked", true);
                                 failures
                                     .lock()
                                     .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -933,7 +955,10 @@ impl ShardedEngine {
             }
 
             drop(exchange_span);
+            drop(exchange_tree);
             let _merge_span = igcn_obs::Span::enter(igcn_obs::stage::HALO_MERGE);
+            let _merge_tree =
+                igcn_obs::trace::OpenSpan::child(layer_ctx, igcn_obs::stage::HALO_MERGE);
 
             // 3. Halo collect: replay every island's hub contributions
             // in global schedule order, then the inter-hub tasks —
@@ -1349,6 +1374,7 @@ impl Accelerator for ShardedEngine {
     fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, CoreError> {
         let prepared = self.prepared()?;
         validate_request(&self.graph, &prepared.model, request)?;
+        let _trace = igcn_obs::trace::with_ambient(request.trace);
         let output = self
             .execute(
                 &request.features,
@@ -1381,6 +1407,9 @@ impl Accelerator for ShardedEngine {
         let respond = |request: &InferenceRequest,
                        pool: Option<&ThreadPool>|
          -> Result<InferenceResponse, CoreError> {
+            // Runs on pool threads under the batch fan-out: install the
+            // request's own trace context there too.
+            let _trace = igcn_obs::trace::with_ambient(request.trace);
             let output = self
                 .execute(
                     &request.features,

@@ -569,22 +569,79 @@
 //!   `(stage, ns)` pairs) in a bounded ring — the first thing to read
 //!   after a latency incident.
 //! * **Scrape endpoints.** `GET /metrics` renders Prometheus text
-//!   (counters as `igcn_<name>_total`, gauges as `igcn_<name>`, stage
-//!   histograms as an `igcn_stage_ns` summary family, plus per-gateway
-//!   `igcn_gateway_*` lines); `GET /stats` serves the same as JSON
+//!   (every family introduced by a `# HELP` line — register richer
+//!   help with `obs::describe` — counters as `igcn_<name>_total`,
+//!   gauges as `igcn_<name>`, stage histograms as an `igcn_stage_ns`
+//!   summary family, plus per-gateway `igcn_gateway_*` lines
+//!   including the live `queue_depth`/`inflight` gauges and the shed
+//!   counter split by reason); `GET /stats` serves the same as JSON
 //!   with queue depth, per-stage quantiles and per-shard health
 //!   ([`core::accel::Accelerator::component_health`] — `/healthz` and
-//!   the binary `Health` frame carry the same per-shard detail).
+//!   the binary `Health` frame carry the same per-shard detail);
+//!   `GET /debug/flight` serves the flight-recorder ring as JSON.
+//! * **Trace trees.** Beyond the flat stage histograms, every
+//!   inference request roots a hierarchical span tree
+//!   ([`obs::trace`]): the gateway's `request` root carries protocol
+//!   and request-id tags and parents `gateway_decode_*`,
+//!   `queue_wait` and `dispatch` children; the dispatch context rides
+//!   [`core::accel::InferenceRequest::trace`] into the backend, where
+//!   [`shard::ShardedEngine`] adds per-layer `layer_execute` spans
+//!   (tagged with island wavefront counts) with one `shard_execute`
+//!   child per shard plus `halo_exchange`/`halo_merge` children, and
+//!   the single-engine path adds its own `layer_execute` spans.
+//!   Untraced spans stay inert — one branch, no clock read — so the
+//!   disabled fast path keeps its ≤ 5 ns budget.
+//! * **Tail sampling.** Completed trees are kept only when slow
+//!   (total time over `obs::trace::slow_threshold_ns`, default
+//!   500 ms, env `IGCN_TRACE_THRESHOLD_MS`) or non-`ok` (failed,
+//!   shed, deadline, aborted — a dropped-without-finish root, e.g. a
+//!   connection that died, retains as `aborted`), in a bounded ring
+//!   of `obs::trace::retention()` trees (default 64, env
+//!   `IGCN_TRACE_RETAIN`); in-progress assembly is capped at 512
+//!   concurrent traces / 2048 spans per trace, with overflow counted
+//!   in `traces_dropped` and per-trace `truncated_spans`.
+//! * **Trace export.** `GET /traces` lists retained trees;
+//!   `GET /trace/{id}` serves one as Chrome trace-event JSON
+//!   ([`obs::trace::RetainedTrace::to_chrome_json`]) loadable in
+//!   `chrome://tracing`/Perfetto, with spans tagged `shard=K` on
+//!   track `tid = K + 1` so per-shard work lines up visually.
+//! * **Structured logging.** [`log`] (`igcn-log`, vendored,
+//!   dependency-free) emits single-line JSON records to stderr:
+//!   `{"ts_ms", "level", "target", "msg", fields...}`, plus `"trace"`
+//!   (16-hex) when a [`log::with_trace`] guard is installed — the
+//!   gateway's slow-request warning uses it, so the line correlates
+//!   with `GET /trace/{id}` directly. Levels filter on one atomic
+//!   compare (`IGCN_LOG=debug|info|warn|error|off`), and each
+//!   callsite rate-limits itself (50/s, then one `"suppressed": n`
+//!   summary) so a hot error path cannot flood stderr.
 //!
 //! `cargo run --release -p igcn-bench --bin obs_tool` walks the whole
 //! contract — overhead probe, bit-neutrality, trace echo over both
 //! protocols, stage coverage, scrape parsing — and records per-stage
 //! p50/p99 per protocol in `results/telemetry.json` (1-CPU container:
-//! stage *ratios* transfer, absolute nanoseconds do not). The chaos
-//! campaigns additionally reconcile error counters against their own
-//! fault tallies (`shard_contained_panics`, `store_wal_rollbacks`) and
-//! assert no counter ever goes backwards across a heal or recovery
-//! boot.
+//! stage *ratios* transfer, absolute nanoseconds do not);
+//! `trace_tool` does the same for trace trees (capture, listing,
+//! Chrome export shape, per-shard coverage, drain leak-freedom). The
+//! chaos campaigns additionally reconcile error counters against
+//! their own fault tallies (`shard_contained_panics`,
+//! `store_wal_rollbacks`) and assert no counter ever goes backwards
+//! across a heal or recovery boot.
+//!
+//! ## The perf-regression observatory
+//!
+//! `results/perf_baseline.json` pins reference values for the
+//! machine-independent metrics in the committed results files —
+//! recovery rates, bit-identity flags, structural partition quality
+//! (5% tolerance bands), client/protocol error counts, the
+//! disabled-span budget — and `perf_gate` (`igcn_bench::perf`) fails
+//! CI when any current value regresses past its tolerance.
+//! Wall-clock timings are deliberately not gated: CI re-records
+//! `results/*.json` on arbitrary containers, so only portable
+//! numbers carry signal. Every verdict appends to
+//! `results/perf_history.json` (bounded to the last 200 runs), the
+//! trail of what moved and when. To move a baseline deliberately,
+//! change `perf_baseline.json` in the same commit as the code that
+//! moved the metric, with the why in the gate's `note`.
 //!
 //! # Migrating from the borrowed engine (pre-builder API)
 //!
@@ -620,6 +677,7 @@ pub use igcn_gateway as gateway;
 pub use igcn_gnn as gnn;
 pub use igcn_graph as graph;
 pub use igcn_linalg as linalg;
+pub use igcn_log as log;
 pub use igcn_obs as obs;
 pub use igcn_reorder as reorder;
 pub use igcn_serve as serve;

@@ -1,0 +1,209 @@
+//! Trace-tree integrity under sharded load.
+//!
+//! The contracts pinned here (the tentpole invariants of the
+//! hierarchical tracing layer):
+//!
+//! * a traced sharded inference assembles one tree whose every child
+//!   points at a live parent — no orphans, no dangling parent ids;
+//! * the per-shard `shard_execute` spans cover all K shards in every
+//!   layer;
+//! * concurrent traced requests keep their trees disjoint and leak
+//!   nothing: once all requests drain, no in-progress assembly
+//!   remains;
+//! * the tail sampler never exceeds its retention budget, evicting
+//!   oldest-first.
+//!
+//! The trace store is process-global, so every test serialises on one
+//! mutex and resets the store before it runs.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use igcn::core::{Accelerator, IGcnEngine, InferenceRequest};
+use igcn::gnn::{GnnModel, ModelWeights};
+use igcn::graph::generate::HubIslandConfig;
+use igcn::graph::SparseFeatures;
+use igcn::obs::trace;
+use igcn::shard::ShardedEngine;
+
+const DIM: usize = 12;
+const SHARDS: usize = 4;
+const LAYERS: usize = 2; // GnnModel::gcn is two layers
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn fleet(seed: u64) -> ShardedEngine {
+    let g = HubIslandConfig::new(300, 10).noise_fraction(0.03).generate(seed);
+    let mut engine = IGcnEngine::builder(g.graph).build().expect("generated graphs are loop-free");
+    let model = GnnModel::gcn(DIM, 9, 5);
+    let weights = ModelWeights::glorot(&model, seed + 1);
+    engine.prepare(&model, &weights).expect("weights match the model");
+    ShardedEngine::from_engine(&engine, SHARDS).expect("fleet partitions")
+}
+
+/// Runs one traced inference and returns its retained tree.
+fn traced_infer(fleet: &ShardedEngine, trace_id: u64, seed: u64) -> trace::RetainedTrace {
+    let x = SparseFeatures::random(fleet.graph().num_nodes(), DIM, 0.3, seed);
+    let mut root = trace::root_span(trace_id, "request");
+    assert!(root.is_live(), "enabled + nonzero id must root a trace");
+    root.tag("protocol", "test");
+    let request = InferenceRequest::new(x).with_id(trace_id).with_trace(root.ctx());
+    fleet.infer(&request).expect("fleet serves");
+    root.finish("ok");
+    trace::retained_trace(trace_id).expect("zero threshold retains every trace")
+}
+
+/// Asserts the structural invariants of one sharded-inference tree.
+fn assert_tree_integrity(tree: &trace::RetainedTrace) {
+    assert_eq!(tree.status, "ok");
+    assert_eq!(tree.truncated_spans, 0, "a single inference must not truncate");
+    let ids: BTreeSet<u64> = tree.spans.iter().map(|s| s.span_id).collect();
+    assert_eq!(ids.len(), tree.spans.len(), "span ids must be unique");
+    let roots = tree.spans.iter().filter(|s| s.parent_id == 0).count();
+    assert_eq!(roots, 1, "exactly one root span");
+    for span in &tree.spans {
+        assert!(
+            span.parent_id == 0 || ids.contains(&span.parent_id),
+            "span {} ({}) has dangling parent {}",
+            span.span_id,
+            span.name,
+            span.parent_id
+        );
+    }
+    // Per-layer skeleton: each layer_execute parents K shard spans
+    // covering every shard index, plus halo exchange and merge.
+    let layers: Vec<&trace::SpanRecord> =
+        tree.spans.iter().filter(|s| s.name == "layer_execute").collect();
+    assert_eq!(layers.len(), LAYERS, "one layer_execute span per layer");
+    for layer in &layers {
+        let shards: BTreeSet<u64> = tree
+            .spans
+            .iter()
+            .filter(|s| s.name == "shard_execute" && s.parent_id == layer.span_id)
+            .filter_map(|s| {
+                s.tags.iter().find(|(k, _)| *k == "shard").and_then(|(_, v)| v.parse().ok())
+            })
+            .collect();
+        assert_eq!(
+            shards,
+            (0..SHARDS as u64).collect::<BTreeSet<_>>(),
+            "layer {} must cover all {SHARDS} shards",
+            layer.span_id
+        );
+        for name in ["halo_exchange", "halo_merge"] {
+            assert!(
+                tree.spans.iter().any(|s| s.name == name && s.parent_id == layer.span_id),
+                "layer {} is missing its {name} child",
+                layer.span_id
+            );
+        }
+        assert!(
+            layer.tags.iter().any(|(k, _)| *k == "waves"),
+            "layer spans must carry the island wavefront count"
+        );
+    }
+}
+
+#[test]
+fn sharded_inference_assembles_a_complete_tree() {
+    let _s = serial();
+    igcn::obs::set_enabled(true);
+    trace::set_slow_threshold_ns(0);
+    trace::set_retention(64);
+    trace::reset_traces();
+
+    let fleet = fleet(21);
+    let tree = traced_infer(&fleet, 0x7E57_0001, 5);
+    assert_tree_integrity(&tree);
+    assert_eq!(trace::in_progress_count(), 0, "finished trace must leave assembly");
+    igcn::obs::set_enabled(false);
+}
+
+#[test]
+fn concurrent_traced_requests_stay_disjoint_and_leak_free() {
+    let _s = serial();
+    igcn::obs::set_enabled(true);
+    trace::set_slow_threshold_ns(0);
+    trace::set_retention(64);
+    trace::reset_traces();
+
+    let fleet = Arc::new(fleet(22));
+    let threads = 4u64;
+    let per_thread = 5u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let fleet = Arc::clone(&fleet);
+            std::thread::spawn(move || {
+                for k in 0..per_thread {
+                    let id = 0xC0_0000 + t * 100 + k;
+                    let tree = traced_infer(&fleet, id, t * 31 + k);
+                    assert_tree_integrity(&tree);
+                    assert_eq!(tree.trace_id, id, "trees must not cross-contaminate");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("traced load must not panic");
+    }
+    assert_eq!(trace::in_progress_count(), 0, "drained load must leak no in-progress traces");
+    assert_eq!(trace::retained_count(), (threads * per_thread) as usize);
+    igcn::obs::set_enabled(false);
+}
+
+#[test]
+fn tail_sampler_never_exceeds_its_retention_budget() {
+    let _s = serial();
+    igcn::obs::set_enabled(true);
+    trace::set_slow_threshold_ns(0);
+    trace::set_retention(8);
+    trace::reset_traces();
+
+    let fleet = fleet(23);
+    for k in 0..20u64 {
+        let _ = traced_infer(&fleet, 0xBEEF_0000 + k, k);
+        assert!(trace::retained_count() <= 8, "retention budget violated mid-load");
+    }
+    assert_eq!(trace::retained_count(), 8, "ring holds exactly its budget after 20 traces");
+    // Oldest evicted first: only the last 8 ids survive.
+    for k in 0..20u64 {
+        let id = 0xBEEF_0000 + k;
+        assert_eq!(trace::retained_trace(id).is_some(), k >= 12, "trace {k} eviction order");
+    }
+    trace::set_retention(64);
+    igcn::obs::set_enabled(false);
+}
+
+#[test]
+fn fast_requests_are_discarded_and_errored_kept_under_a_real_threshold() {
+    let _s = serial();
+    igcn::obs::set_enabled(true);
+    // A threshold no local inference will cross: fast + ok ⇒ discard.
+    trace::set_slow_threshold_ns(u64::MAX);
+    trace::set_retention(64);
+    trace::reset_traces();
+
+    let fleet = fleet(24);
+    let x = SparseFeatures::random(fleet.graph().num_nodes(), DIM, 0.3, 9);
+    let root = trace::root_span(0xFA57, "request");
+    let request = InferenceRequest::new(x).with_id(1).with_trace(root.ctx());
+    fleet.infer(&request).expect("fleet serves");
+    root.finish("ok");
+    assert!(
+        trace::retained_trace(0xFA57).is_none(),
+        "a fast ok request must not be retained (flat counters only)"
+    );
+
+    // An errored request is kept regardless of speed.
+    let failed = trace::root_span(0xFA58, "request");
+    failed.finish("failed");
+    let kept = trace::retained_trace(0xFA58).expect("errored traces always retain");
+    assert_eq!(kept.status, "failed");
+
+    assert_eq!(trace::in_progress_count(), 0);
+    trace::set_slow_threshold_ns(0);
+    igcn::obs::set_enabled(false);
+}
